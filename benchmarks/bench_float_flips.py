@@ -1,0 +1,113 @@
+"""E5 — float bit-flip error classes and quantized-checker catch rates.
+
+First regenerates the paper's per-bit-class damage numbers (exponent flips
+up to ~2**1024 relative error, sign = 200%, mantissa <= 50%), then sweeps
+the number of protected mantissa bits k and measures which targeted flips
+the quantized checker catches.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks._util import fmt_table, write_result
+from repro import PROGRAMS, QuantizedProgram, build_program
+from repro.faults.model import (
+    FaultSpec, FaultTarget, flip_float_bit, float_bit_class, relative_error,
+)
+from repro.faults.seu import RegisterFaultInjector
+from repro.ir.interp import ExecutionStatus, Interpreter
+
+ARGS = PROGRAMS["fmul_chain"].default_args
+
+
+def test_e5_bit_class_error_magnitudes(benchmark):
+    rng = np.random.default_rng(5)
+
+    def sweep():
+        worst = {"sign": 0.0, "exponent": 0.0, "mantissa": 0.0}
+        for _ in range(300):
+            value = float(rng.uniform(0.1, 100.0))
+            bit = int(rng.integers(64))
+            flipped = flip_float_bit(value, bit)
+            if np.isnan(flipped):
+                err = float("inf")
+            else:
+                err = relative_error(flipped, value)
+            cls = float_bit_class(bit)
+            if err > worst[cls]:
+                worst[cls] = err
+        return worst
+
+    worst = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        ["sign", f"{worst['sign'] * 100:.0f}%", "200%"],
+        ["exponent", (f"{worst['exponent']:.2e}"
+                      if np.isfinite(worst["exponent"]) else "inf (2^1024)"),
+         "up to 2^1024"],
+        ["mantissa", f"{worst['mantissa'] * 100:.0f}%", "<= 50%"],
+    ]
+    body = fmt_table(["bit class", "worst observed rel. error",
+                      "paper bound"], rows)
+    write_result("E5a", "float flip damage by bit class", body)
+
+    assert worst["sign"] == pytest.approx(2.0)
+    assert worst["mantissa"] <= 0.5
+    assert worst["exponent"] > 1e100 or not np.isfinite(worst["exponent"])
+
+
+TARGETED = [
+    ("fmul2", 60, "exponent (large)"),
+    ("fmul2", 53, "exponent (LSB, x2 error)"),
+    ("fmul7", 63, "sign (at output)"),
+    ("fmul7", 51, "mantissa MSB (50%)"),
+    ("fmul7", 30, "mantissa mid (~1e-6)"),
+]
+
+
+@pytest.fixture(scope="module")
+def catch_matrix():
+    base = build_program("fmul_chain")
+    matrix = {}
+    for k in (0, 2, 4, 8, 12):
+        program = QuantizedProgram(base, "fmul_chain", k=k)
+        row = {}
+        for register, bit, label in TARGETED:
+            injector = RegisterFaultInjector(
+                FaultSpec(FaultTarget.REGISTER, 0, location=register,
+                          bit=bit),
+                seed=1,
+            )
+            interp = Interpreter(program.module, step_hook=injector)
+            status = interp.run("fmul_chain", list(ARGS)).status
+            row[label] = status is ExecutionStatus.DETECTED
+        matrix[k] = row
+    return matrix
+
+
+def test_e5_quantized_catch_rate_vs_k(catch_matrix, benchmark):
+    base = build_program("fmul_chain")
+    benchmark(QuantizedProgram, base, "fmul_chain", 0)
+
+    labels = [label for _, _, label in TARGETED]
+    rows = []
+    for k, row in catch_matrix.items():
+        rows.append([f"k={k}"] + ["caught" if row[l] else "-"
+                                  for l in labels])
+    body = fmt_table(["protected bits"] + labels, rows)
+    body += (
+        "\n\nexpected shape: exponent+sign always caught; mantissa flips"
+        "\ncaught only once k exceeds their significance"
+    )
+    write_result("E5b", "quantized catch rate vs protected bits k", body)
+
+    # Exponent (large) and terminal sign flips: caught at every k.
+    for k, row in catch_matrix.items():
+        assert row["exponent (large)"], k
+        assert row["sign (at output)"], k
+    # Monotone coverage: more protected bits never catch fewer classes.
+    caught_counts = [sum(row.values()) for row in catch_matrix.values()]
+    assert caught_counts == sorted(caught_counts)
+    # Tunability endpoints.
+    assert not catch_matrix[0]["mantissa MSB (50%)"]
+    assert catch_matrix[8]["mantissa MSB (50%)"]
+    assert not catch_matrix[8]["mantissa mid (~1e-6)"]

@@ -1,0 +1,75 @@
+"""E9 — machine-emulator fault-injection campaigns (the QEMU experiment).
+
+Outcome mix per workload under register faults, and the cache/DRAM split
+for memory faults via the cache plugin — the classification the paper
+extends QEMU's monitor interface to provide.
+"""
+
+import pytest
+
+from benchmarks._util import fmt_table, write_result
+from repro.faults.model import FaultTarget
+from repro.faults.outcomes import FaultOutcome
+from repro.machine.inject import MachineCampaign, run_machine_campaign
+from repro.machine.programs import MACHINE_PROGRAMS
+
+N_TRIALS = 120
+
+
+@pytest.fixture(scope="module")
+def campaigns():
+    results = {}
+    for name in sorted(MACHINE_PROGRAMS):
+        results[name] = {
+            target: run_machine_campaign(
+                MachineCampaign(name, n_trials=N_TRIALS, target=target),
+                seed=5,
+            )
+            for target in (FaultTarget.REGISTER, FaultTarget.MEMORY,
+                           FaultTarget.CACHE)
+        }
+    return results
+
+
+def test_e9_outcome_mix(campaigns, benchmark):
+    benchmark.pedantic(
+        run_machine_campaign,
+        args=(MachineCampaign("sum_squares", n_trials=20),),
+        kwargs={"seed": 1},
+        rounds=1, iterations=1,
+    )
+
+    rows = []
+    for name, by_target in campaigns.items():
+        for target, result in by_target.items():
+            c = result.counts.counts
+            rows.append([
+                name, target.value,
+                str(c[FaultOutcome.BENIGN]), str(c[FaultOutcome.SDC]),
+                str(c[FaultOutcome.CRASH]), str(c[FaultOutcome.HANG]),
+            ])
+    body = fmt_table(
+        ["workload", "fault target", "benign", "SDC", "crash", "hang"],
+        rows,
+    )
+    body += f"\n\n{N_TRIALS} single-bit faults per cell, injected between instructions"
+    write_result("E9", "machine fault-injection campaigns", body)
+
+    for name, by_target in campaigns.items():
+        reg = by_target[FaultTarget.REGISTER].counts
+        assert reg.total == N_TRIALS
+        # Register faults produce the full failure taxonomy somewhere.
+        assert reg.counts[FaultOutcome.BENIGN] > 0
+
+
+def test_e9_cache_residency_matters(campaigns, benchmark):
+    """Cache-resident (hot) words are far more SDC-prone than cold DRAM."""
+    from repro.machine.cache import CachePlugin
+
+    cache = CachePlugin()
+    cache.on_access(0x100)
+    benchmark(cache.resident, 0x100)
+    for name in ("bubble_sort", "mach_checksum"):
+        cache_sdc = campaigns[name][FaultTarget.CACHE].counts.sdc_rate
+        dram_sdc = campaigns[name][FaultTarget.MEMORY].counts.sdc_rate
+        assert cache_sdc > dram_sdc, name

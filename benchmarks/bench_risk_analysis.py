@@ -1,0 +1,82 @@
+"""E10 — risk-analysis pass: static ratings vs empirical injected error.
+
+Regenerates the rating anchors (int64 -> 64, f64 -> 1024), the per-segment
+ratings for the workload suite, and validates that the static ranking
+agrees with the worst observed output corruption under injection.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks._util import fmt_table, write_result
+from repro import PROGRAMS, ProtectedProgram, ProtectionLevel, build_program
+from repro.core.risk import rate_function
+from repro.core.risk.report import analyze
+from repro.faults.outcomes import FaultOutcome
+from repro.ir.types import F64, INT64
+from repro.core.risk.rating import base_rating
+
+RATED_PROGRAMS = ("gcd", "fact", "checksum", "horner", "fmul_chain")
+
+
+@pytest.fixture(scope="module")
+def ratings_and_errors():
+    data = {}
+    for name in RATED_PROGRAMS:
+        module = build_program(name)
+        rating = rate_function(module.function(name), module).rating
+        prog = ProtectedProgram(module, name, ProtectionLevel.NONE)
+        campaign = prog.campaign(
+            PROGRAMS[name].default_args, n_trials=200, seed=17
+        )
+        errors = [
+            np.log2(t.rel_error) for t in campaign.trials
+            if t.outcome is FaultOutcome.SDC
+            and np.isfinite(t.rel_error) and t.rel_error > 0
+        ]
+        data[name] = (rating, max(errors, default=0.0))
+    return data
+
+
+def test_e10_anchors(benchmark):
+    benchmark(base_rating, F64)
+    assert base_rating(INT64) == 64
+    assert base_rating(F64) == 1024
+
+
+def test_e10_rating_vs_empirical(ratings_and_errors, benchmark):
+    module = build_program("horner")
+    benchmark(analyze, module.function("horner"), module)
+
+    rows = []
+    for name, (rating, worst_log2) in ratings_and_errors.items():
+        rows.append([name, str(rating), f"{worst_log2:.1f}"])
+    body = fmt_table(
+        ["program", "static rating (log2 worst error)",
+         "observed log2 max rel. error"], rows
+    )
+    body += (
+        "\n\nthe static rating is a worst-case bound, so it must sit above"
+        "\nthe observed log-error and preserve the cross-program ranking"
+    )
+    write_result("E10", "risk ratings vs injection", body)
+
+    for name, (rating, worst_log2) in ratings_and_errors.items():
+        assert rating >= worst_log2 - 1, name  # bound holds (1-unit slack)
+    # Ranking: the FP-heavy chain dominates the integer programs both ways.
+    assert (
+        ratings_and_errors["fmul_chain"][0]
+        > ratings_and_errors["gcd"][0]
+    )
+
+
+def test_e10_segment_granularity(benchmark):
+    module = build_program("horner")
+    report = benchmark.pedantic(
+        analyze, args=(module.function("horner"), module),
+        rounds=1, iterations=1,
+    )
+    rows = [[seg.label, str(seg.rating)] for seg in report.blocks]
+    body = fmt_table(["segment", "rating"], rows)
+    write_result("E10b", "per-block ratings (horner)", body)
+    assert "loop" in report.hottest_block.block_names

@@ -1,0 +1,66 @@
+"""E3 — SEU rate calibration against the paper's observational anchors.
+
+- 1.578e-6 upsets per bit per day on a Snapdragon 801 in LEO (CREME-class
+  simulation quoted in sect. 4);
+- a hardened Perseverance CPU sees ~1 correctable SEU per sol;
+- SAA passes and solar storms multiply the rate.
+"""
+
+from benchmarks._util import fmt_table, write_result
+from repro.hw.specs import SNAPDRAGON_801
+from repro.radiation.environment import LEO_NOMINAL, MARS_SURFACE, SOLAR_STORM
+from repro.radiation.events import EventGenerator
+from repro.radiation.flux import expected_upsets, seu_rate_per_bit_day
+from repro.units import SECONDS_PER_SOL, bytes_to_bits, mib
+
+
+def test_e3_rate_table(benchmark):
+    bits_2gb = bytes_to_bits(SNAPDRAGON_801.ram_bytes)
+
+    def build_rows():
+        rows = []
+        daily = expected_upsets(bits_2gb, 1.0)
+        rows.append(["Snapdragon 801, 2 GB, LEO quiet",
+                     f"{daily:,.0f} upsets/day"])
+        hardened_bits = bytes_to_bits(mib(256))
+        per_sol = (
+            seu_rate_per_bit_day(rad_hard=True) * hardened_bits
+            * (SECONDS_PER_SOL / 86_400.0)
+        )
+        rows.append(["rad-hard CPU, 256 MB (Perseverance-like)",
+                     f"{per_sol:.2f} upsets/sol"])
+        saa_mult = LEO_NOMINAL.rate_multiplier(
+            LEO_NOMINAL.orbit.period_s / 2
+        )
+        rows.append(["SAA pass multiplier", f"{saa_mult:.1f}x"])
+        storm_mult = SOLAR_STORM.rate_multiplier(0.0)
+        rows.append(["solar storm multiplier", f"{storm_mult:.1f}x"])
+        mars_mult = MARS_SURFACE.rate_multiplier(0.0)
+        rows.append(["Mars surface multiplier", f"{mars_mult:.2f}x"])
+        return rows, daily, per_sol
+
+    rows, daily, per_sol = benchmark.pedantic(
+        build_rows, rounds=1, iterations=1
+    )
+    body = fmt_table(["configuration", "model output"], rows)
+    body += (
+        "\n\npaper anchors: 1.578e-6 /bit/day (Snapdragon 801);"
+        " ~1 correctable SEU/sol on the hardened CPU"
+    )
+    write_result("E3", "SEU rate calibration", body)
+
+    assert 20_000 < daily < 30_000
+    assert 0.1 < per_sol < 10.0
+
+
+def test_e3_poisson_generation_matches_rate(benchmark):
+    rate = LEO_NOMINAL.seu_rate_device_per_s(
+        SNAPDRAGON_801.ram_bytes, rad_hard=False
+    )
+    generator = EventGenerator(seu_rate_per_s=rate, sel_rate_per_s=0.0,
+                               seed=4)
+    events = benchmark.pedantic(
+        generator.events_in, args=(0.0, 3600.0), rounds=1, iterations=1
+    )
+    hourly_expected = rate * 3600
+    assert 0.8 * hourly_expected < len(events) < 1.2 * hourly_expected

@@ -1,0 +1,30 @@
+"""T1 — Table 1: radiation-hardened vs commodity flight computers.
+
+Regenerates the paper's comparison table and quantifies the compute and
+perf-per-dollar gaps the introduction argues from.
+"""
+
+from benchmarks._util import write_result
+from repro.hw.specs import (
+    ENDUROSAT_OBC_SPEC, SNAPDRAGON_801, comparison_table,
+)
+
+
+def test_table1(benchmark):
+    text = benchmark(comparison_table)
+    ratio_compute = (
+        SNAPDRAGON_801.compute_score / ENDUROSAT_OBC_SPEC.compute_score
+    )
+    ratio_ppd = (
+        SNAPDRAGON_801.perf_per_dollar / ENDUROSAT_OBC_SPEC.perf_per_dollar
+    )
+    body = (
+        f"{text}\n\n"
+        f"compute gap (commodity / rad-hard): {ratio_compute:.0f}x\n"
+        f"perf-per-dollar gap:                {ratio_ppd:.0f}x"
+    )
+    write_result("T1", "Table 1 comparison", body)
+    # The paper's qualitative claims.
+    assert ratio_compute > 40
+    assert ratio_ppd > 500
+    assert ENDUROSAT_OBC_SPEC.cost_usd / SNAPDRAGON_801.cost_usd > 10

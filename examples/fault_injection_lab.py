@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""A QEMU-style fault-injection session on the machine emulator.
+
+Walks through the paper's sect. 4.2 workflow interactively: load a program,
+snapshot it, step to a point of interest, flip a bit through the
+monitor/GDB interface, ask the cache plugin where a memory fault would
+land, and compare the corrupted run against the restored golden state.
+
+Run:  python examples/fault_injection_lab.py
+"""
+
+from repro.faults.model import FaultTarget
+from repro.machine import (
+    CachePlugin, Machine, MachineCampaign, Monitor, load_program,
+    run_machine_campaign,
+)
+from repro.machine.programs import RESULT_ADDR
+
+
+def interactive_session() -> None:
+    print("=== monitor session on bubble_sort ===\n")
+    machine = Machine(load_program("bubble_sort"), cache=CachePlugin())
+    monitor = Monitor(machine)
+    for command in (
+        "step 40",
+        "savevm before_fault",
+        "where",
+        "cacheq 0x100 0x140 0x4000",
+        "flipmem 0x100 62",         # flip a high bit of the first element
+        "x 0x100",
+    ):
+        print(f"(monitor) {command}")
+        print(monitor.execute(command))
+        print()
+
+    machine.run()
+    corrupted = machine.read_word(RESULT_ADDR)
+    print(f"corrupted run result:  {corrupted}")
+
+    monitor.execute("loadvm before_fault")
+    machine.state.halted = False
+    machine.run()
+    golden = machine.read_word(RESULT_ADDR)
+    print(f"restored golden result: {golden}")
+    print(f"silent data corruption: {corrupted != golden}\n")
+
+
+def campaign_section() -> None:
+    print("=== campaign: where do faults hurt? ===\n")
+    print(f"{'target':10s} {'benign':>7s} {'SDC':>5s} {'crash':>6s} "
+          f"{'hang':>5s}")
+    for target in (FaultTarget.REGISTER, FaultTarget.MEMORY,
+                   FaultTarget.CACHE):
+        result = run_machine_campaign(
+            MachineCampaign("bubble_sort", n_trials=120, target=target),
+            seed=5,
+        )
+        c = result.counts.as_dict()
+        print(f"{target.value:10s} {c['benign']:7d} {c['sdc']:5d} "
+              f"{c['crash']:6d} {c['hang']:5d}")
+    print(
+        "\ncache-resident words are the live working set — flipping them"
+        "\ncorrupts the output far more often than flipping cold DRAM,"
+        "\nwhich is why the paper extends QEMU's monitor to distinguish"
+        "\nthe two."
+    )
+
+
+def main() -> None:
+    interactive_session()
+    campaign_section()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Coprocessor memory scrubbing: policies under radiation.
+
+Boots a small non-ECC memory, checksums it through the kernel module,
+bombards it with accelerated SEUs while a Zipf workload reads and writes,
+and lets the DSP-hosted scrubber race the reads — once per scheduling
+policy.
+
+Run:  python examples/memory_scrubbing.py
+"""
+
+import numpy as np
+
+from repro.core.scrubber import ScrubSimConfig, run_scrub_simulation
+
+
+def main() -> None:
+    config_base = dict(
+        n_pages=128, page_size=256, duration_s=120.0,
+        seu_rate_per_bit_s=2e-6, accesses_per_s=120.0, zipf_s=2.0,
+        scrub_pages_per_s=8.0,
+    )
+    print(
+        "128 pages x 256 B, accelerated SEU rate, hot-skewed workload,\n"
+        "DSP budget of 8 page-verifies per second\n"
+    )
+    print(f"{'policy':12s} {'flips':>6s} {'mean exposure':>14s} "
+          f"{'corrupted reads':>16s} {'repaired':>9s} {'baked-in':>9s}")
+    for policy in ("sequential", "lru", "predicted", "random"):
+        lat, frac, corrected, baked, flips = [], [], 0, 0, 0
+        for seed in (1, 2, 3):
+            r = run_scrub_simulation(
+                ScrubSimConfig(policy=policy, **config_base), seed=seed
+            )
+            lat.extend(r.detection_latencies_s)
+            frac.append(r.corrupted_read_fraction)
+            corrected += r.pages_corrected
+            baked += r.baked_in
+            flips += r.flips_injected
+        print(
+            f"{policy:12s} {flips:6d} {np.mean(lat):13.1f}s "
+            f"{np.mean(frac) * 100:15.2f}% {corrected:9d} {baked:9d}"
+        )
+    print(
+        "\nexposure = how long a flip survives before the scrubber clears"
+        "\nit; corrupted reads = reads served from a flipped page first."
+        "\nLRU minimizes exposure of cold data; predicted-access shields"
+        "\nthe hot set the workload is about to read.  All verification"
+        "\nruns on the idle DSP — zero CPU cycles (sect. 4.1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

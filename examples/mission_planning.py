@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Mission planning: should this constellation fly commodity hardware?
+
+Runs year-long mission simulations across hardware/protection
+configurations and radiation environments, answering the paper's headline
+question with numbers: software protection lets commodity hardware match
+rad-hard survivability at a fraction of the cost.
+
+Run:  python examples/mission_planning.py
+"""
+
+from repro.radiation.environment import LEO_NOMINAL, MARS_SURFACE, SOLAR_STORM
+from repro.sim.mission import (
+    PROTECTED_COMMODITY, RAD_HARD_BASELINE, UNPROTECTED_COMMODITY,
+    sweep_profiles,
+)
+from repro.sim.report import render_mission_table
+
+PROFILES = [UNPROTECTED_COMMODITY, PROTECTED_COMMODITY, RAD_HARD_BASELINE]
+
+
+def main() -> None:
+    for environment, days in (
+        (LEO_NOMINAL, 365.0),
+        (SOLAR_STORM, 90.0),
+        (MARS_SURFACE, 365.0),
+    ):
+        print(f"=== {environment.name}, {days:.0f} days "
+              f"(mean of 5 runs) ===")
+        reports = sweep_profiles(
+            PROFILES, environment=environment, duration_days=days,
+            n_runs=5, seed=4,
+        )
+        print(render_mission_table(reports))
+        print()
+    print(
+        "columns: uptime = fraction of the mission the computer was alive"
+        "\nand not rebooting; SDC/day = silent corruptions reaching output"
+        "\nper alive day; loss P = probability the board was permanently"
+        "\ndestroyed; compute = useful work normalized to an unprotected"
+        "\nSnapdragon 801 (includes protection overhead and the rad-hard"
+        "\npart's Table 1 clock deficit)."
+    )
+
+
+if __name__ == "__main__":
+    main()

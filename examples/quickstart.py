@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Quickstart: protect a program with tunable DMR and measure the trade-off.
+
+Builds a workload from the bundled suite, instruments it at every
+protection level, and prints the cycle overhead and fault-injection outcome
+mix at each level — the library's core loop in ~30 lines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import PROGRAMS, ProtectedProgram, ProtectionLevel, build_program
+from repro.core.dmr.levels import ALL_LEVELS
+
+
+def main() -> None:
+    name = "collatz"
+    module = build_program(name)
+    args = PROGRAMS[name].default_args
+    print(f"workload: {name}{args} — {PROGRAMS[name].description}\n")
+    print(f"{'level':14s} {'overhead':>9s} {'benign':>7s} {'SDC':>5s} "
+          f"{'crash':>6s} {'hang':>5s} {'detected':>9s}")
+    for level in ALL_LEVELS:
+        prog = ProtectedProgram(module, name, level)
+        overhead = prog.overhead(args)
+        counts = prog.campaign(args, n_trials=200, seed=7).counts.as_dict()
+        print(
+            f"{level.value:14s} {overhead:8.2f}x {counts['benign']:7d} "
+            f"{counts['sdc']:5d} {counts['crash']:6d} {counts['hang']:5d} "
+            f"{counts['detected']:9d}"
+        )
+    print(
+        "\nReading the table: each level duplicates a larger slice of the"
+        "\nprogram (overhead grows) and converts more silent corruptions"
+        "\n(SDC) into detections — the paper's tunable redundancy."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""SEL monitoring: a flight computer's current-anomaly daemon, end to end.
+
+Simulates the paper's sect. 3 scenario: a Raspberry-Pi-class board runs a
+cycling CPU/memory stress workload; a user-mode daemon samples
+software-extractable metrics plus the current sensor; a latch-up begins
+drawing extra current mid-run.  Four detectors race the 3-minute damage
+deadline.
+
+Run:  python examples/sel_monitoring.py
+"""
+
+from repro.core.sel import (
+    SelTrialConfig, run_detection_trial, train_detector_on_clean_trace,
+)
+from repro.core.sel.experiment import false_alarm_rate
+from repro.detect import (
+    CurrentThresholdDetector, EllipticEnvelopeDetector,
+    LinearResidualDetector, ResidualCusumDetector,
+)
+
+DETECTORS = {
+    "naive current threshold": CurrentThresholdDetector(),
+    "linear residual (metric-aware)": LinearResidualDetector(),
+    "elliptic envelope (paper)": EllipticEnvelopeDetector(seed=3),
+    "residual + CUSUM": ResidualCusumDetector(),
+}
+DELTAS_MA = (5, 20, 100, 500)
+
+
+def main() -> None:
+    config = SelTrialConfig(train_duration_s=180.0, eval_duration_s=240.0)
+    print("training each detector on 3 minutes of clean telemetry...\n")
+    print(f"{'detector':32s} {'FA/h':>5s} " +
+          " ".join(f"{d:>4d}mA" for d in DELTAS_MA))
+    for name, detector in DETECTORS.items():
+        trained = train_detector_on_clean_trace(detector, config, seed=11)
+        fa = false_alarm_rate(trained, config, seed=77)
+        cells = []
+        for delta_ma in DELTAS_MA:
+            trial = run_detection_trial(
+                trained, delta_ma / 1000.0, config, seed=42
+            )
+            cells.append(
+                f"{trial.latency_s:5.1f}s" if trial.saved else " MISS "
+            )
+        print(f"{name:32s} {fa:5.1f} " + " ".join(cells))
+    print(
+        "\nMISS = the latch-up outlived the 180 s damage deadline and the"
+        "\nboard was destroyed.  The black-box threshold only catches"
+        "\nampere-scale events; modelling current from CPU/memory metrics"
+        "\n(the paper's method) reaches down to the 5 mA case."
+    )
+
+
+if __name__ == "__main__":
+    main()

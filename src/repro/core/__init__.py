@@ -1,0 +1,12 @@
+"""The paper's contributions.
+
+- :mod:`repro.core.sel` — SEL detection from software-extractable metrics
+  (sect. 3.1).
+- :mod:`repro.core.dmr` — tunable double modular redundancy: control-flow
+  and data-flow integrity via compile-time instrumentation (sect. 4.1).
+- :mod:`repro.core.quantize` — quantized (order-of-magnitude) data-flow
+  checking for floating-point code (sect. 4.1).
+- :mod:`repro.core.scrubber` — coprocessor-based software ECC memory
+  scrubbing (sect. 4.1).
+- :mod:`repro.core.risk` — static SEU risk-analysis pass (sect. 4.2).
+"""

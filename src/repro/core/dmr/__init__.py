@@ -1,0 +1,51 @@
+"""Tunable double modular redundancy (sect. 4.1).
+
+Compile-time instrumentation that replicates only *critical* instructions —
+the backward slices of branch conditions (control-flow integrity) and
+optionally of returned values (data-flow integrity) — and traps when a
+replica disagrees with the primary value.  The protection level is tunable:
+
+========================  ====================================================
+Level                     Meaning
+========================  ====================================================
+``NONE``                  no instrumentation (baseline)
+``SCC_CFI``               verify only transitions between strongly connected
+                          components (cheapest: loop-internal branches
+                          unchecked)
+``BB_CFI``                verify every basic-block transition (every branch
+                          condition recomputed and compared)
+``CFI_DATAFLOW``          BB_CFI plus replication of the slices feeding
+                          returned values
+``FULL_DMR``              replicate every instruction; check at every branch,
+                          store and return (industry baseline, >= 2x cost)
+========================  ====================================================
+"""
+
+from repro.core.dmr.levels import ProtectionLevel
+from repro.core.dmr.critical import (
+    branch_conditions,
+    scc_exit_branches,
+    return_values,
+    critical_plan,
+    CriticalPlan,
+)
+from repro.core.dmr.instrument import instrument_function, instrument_module
+from repro.core.dmr.monitor import (
+    TraceMonitor,
+    TraceVerdict,
+    validate_block_trace,
+)
+from repro.core.dmr.runtime import (
+    MonitorPlacement,
+    ProtectedProgram,
+    placement_overhead_cycles,
+)
+
+__all__ = [
+    "ProtectionLevel",
+    "branch_conditions", "scc_exit_branches", "return_values",
+    "critical_plan", "CriticalPlan",
+    "instrument_function", "instrument_module",
+    "TraceMonitor", "TraceVerdict", "validate_block_trace",
+    "MonitorPlacement", "ProtectedProgram", "placement_overhead_cycles",
+]

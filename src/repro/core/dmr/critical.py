@@ -1,0 +1,133 @@
+"""Critical-value extraction for tunable DMR.
+
+Implements the paper's recipe (sect. 4.1): "We can extract the
+aforementioned critical values by traversing the control flow graph of the
+program and noting the values used in each transition.  We can then extract
+the set of instructions that determine these values by traversing the
+use-def tree in reverse order."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.dmr.levels import ProtectionLevel
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.scc import scc_of
+from repro.ir.usedef import backward_slice
+from repro.ir.values import Constant, Value
+
+
+@dataclass
+class CriticalPlan:
+    """What the instrumentation pass must do to one function.
+
+    Attributes:
+        level: the protection level the plan realizes.
+        duplicate: instructions to replicate (identity-keyed set).
+        check_branches: ``br`` instructions whose condition is compared
+            against its replica before branching.
+        check_returns: ``ret`` instructions whose value is compared.
+        check_stores: ``store`` instructions whose value and address are
+            compared (FULL_DMR only).
+    """
+
+    level: ProtectionLevel
+    duplicate: dict[int, Instruction] = field(default_factory=dict)
+    check_branches: list[Instruction] = field(default_factory=list)
+    check_returns: list[Instruction] = field(default_factory=list)
+    check_stores: list[Instruction] = field(default_factory=list)
+
+    @property
+    def n_duplicated(self) -> int:
+        return len(self.duplicate)
+
+    @property
+    def n_checks(self) -> int:
+        return (
+            len(self.check_branches)
+            + len(self.check_returns)
+            + len(self.check_stores)
+        )
+
+
+def branch_conditions(func: Function) -> list[tuple[Instruction, Value]]:
+    """All (br instruction, condition value) pairs in the function."""
+    pairs = []
+    for block in func.blocks:
+        term = block.instructions[-1] if block.instructions else None
+        if term is not None and term.opcode is Opcode.BR:
+            pairs.append((term, term.operands[0]))
+    return pairs
+
+
+def scc_exit_branches(func: Function) -> list[tuple[Instruction, Value]]:
+    """Branches with at least one target outside the branch's own SCC.
+
+    These are the transitions the SCC-level integrity mode verifies: "we may
+    further improve performance by verifying transitions only between
+    strongly connected components" (sect. 4.1).
+    """
+    membership = scc_of(func)
+    pairs = []
+    for term, cond in branch_conditions(func):
+        assert term.parent is not None
+        home = membership[term.parent.name]
+        if any(membership[t.name] != home for t in term.block_targets):
+            pairs.append((term, cond))
+    return pairs
+
+
+def return_values(func: Function) -> list[tuple[Instruction, Value]]:
+    """All (ret instruction, returned value) pairs with non-constant values."""
+    pairs = []
+    for block in func.blocks:
+        term = block.instructions[-1] if block.instructions else None
+        if term is not None and term.opcode is Opcode.RET and term.operands:
+            value = term.operands[0]
+            if not isinstance(value, Constant):
+                pairs.append((term, value))
+    return pairs
+
+
+#: Instructions never replicated: allocations (a second alloc would create a
+#: distinct buffer) and calls (replicated interprocedurally by instrumenting
+#: the callee instead).
+_NEVER_DUPLICATE = frozenset({Opcode.ALLOC, Opcode.CALL, Opcode.STORE})
+
+
+def _sliceable(instr: Instruction) -> bool:
+    return instr.defines_value and instr.opcode not in _NEVER_DUPLICATE
+
+
+def critical_plan(func: Function, level: ProtectionLevel) -> CriticalPlan:
+    """Compute the duplication/check plan for ``func`` at ``level``."""
+    plan = CriticalPlan(level=level)
+    if level is ProtectionLevel.NONE:
+        return plan
+
+    roots: list[Value] = []
+    if level is ProtectionLevel.SCC_CFI:
+        branch_pairs = scc_exit_branches(func)
+    else:
+        branch_pairs = branch_conditions(func)
+    plan.check_branches = [term for term, _ in branch_pairs]
+    roots.extend(cond for _, cond in branch_pairs)
+
+    if level in (ProtectionLevel.CFI_DATAFLOW, ProtectionLevel.FULL_DMR):
+        ret_pairs = return_values(func)
+        plan.check_returns = [term for term, _ in ret_pairs]
+        roots.extend(value for _, value in ret_pairs)
+
+    if level is ProtectionLevel.FULL_DMR:
+        for instr in func.instructions():
+            if _sliceable(instr):
+                plan.duplicate[id(instr)] = instr
+            if instr.opcode is Opcode.STORE:
+                plan.check_stores.append(instr)
+    else:
+        for instr in backward_slice(roots):
+            if _sliceable(instr):
+                plan.duplicate[id(instr)] = instr
+    return plan

@@ -1,0 +1,188 @@
+"""The tunable-DMR instrumentation pass.
+
+Transforms a function so that every instruction in the critical plan is
+executed twice (primary + replica) and, at each check point, the primary and
+replica values are compared; a mismatch branches to a ``trap`` block, which
+the interpreter reports as :data:`ExecutionStatus.DETECTED`.
+
+The replica of an instruction consumes the replicas of its operands when
+those exist, so an SEU striking either copy of any critical value — or any
+value feeding it — makes the copies diverge at the next check point.
+"""
+
+from __future__ import annotations
+
+from repro.core.dmr.critical import CriticalPlan, critical_plan
+from repro.core.dmr.levels import ProtectionLevel
+from repro.errors import IRError
+from repro.ir.block import BasicBlock
+from repro.ir.clone import clone_module
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction, Opcode, Predicate
+from repro.ir.module import Module
+from repro.ir.transform import get_or_create_trap_block, split_block
+from repro.ir.types import INT1, VOID
+from repro.ir.values import Constant, Value
+from repro.ir.verifier import verify_function
+
+_DUP_SUFFIX = ".dup"
+_DETECT_BLOCK = "dmr.detect"
+
+
+def _insert_duplicates(
+    func: Function, plan: CriticalPlan
+) -> dict[int, Instruction]:
+    """Insert replica instructions next to their primaries.
+
+    Returns the primary-id -> replica map.  Two passes: shells first so
+    that replicas of loop-carried phis can reference replicas defined
+    later.
+    """
+    dup_map: dict[int, Instruction] = {}
+    for block in func.blocks:
+        index = 0
+        while index < len(block.instructions):
+            instr = block.instructions[index]
+            if id(instr) in plan.duplicate and id(instr) not in dup_map:
+                dup = Instruction(
+                    instr.opcode,
+                    instr.type,
+                    [],
+                    name=instr.name + _DUP_SUFFIX,
+                    predicate=instr.predicate,
+                    callee=instr.callee,
+                    imm=instr.imm,
+                )
+                dup_map[id(instr)] = dup
+                block.insert(index + 1, dup)
+                index += 1
+            index += 1
+
+    def map_operand(value: Value) -> Value:
+        if isinstance(value, Instruction) and id(value) in dup_map:
+            return dup_map[id(value)]
+        return value
+
+    for primary_id, dup in dup_map.items():
+        primary = plan.duplicate[primary_id]
+        dup.operands = [map_operand(v) for v in primary.operands]
+        dup.block_targets = list(primary.block_targets)  # phi incoming blocks
+    return dup_map
+
+
+def _detect_block(func: Function) -> BasicBlock:
+    """Get-or-create the shared trap block."""
+    return get_or_create_trap_block(func, _DETECT_BLOCK)
+
+
+def _emit_check(
+    func: Function,
+    block: BasicBlock,
+    at_index: int,
+    values: list[tuple[Value, Instruction]],
+    detect: BasicBlock,
+) -> BasicBlock:
+    """Insert a compare-and-trap before ``block.instructions[at_index]``.
+
+    ``values`` holds (primary, replica) pairs.  Returns the continuation
+    block now holding the checked instruction.
+    """
+    cont = split_block(func, block, at_index)
+    mismatch: Value | None = None
+    for primary, replica in values:
+        opcode = Opcode.FCMP if primary.type.is_float else Opcode.ICMP
+        cmp_instr = Instruction(
+            opcode, INT1, [primary, replica],
+            name=func.fresh_name("dmr.ne"), predicate=Predicate.NE,
+        )
+        block.append(cmp_instr)
+        if mismatch is None:
+            mismatch = cmp_instr
+        else:
+            combined = Instruction(
+                Opcode.OR, INT1, [mismatch, cmp_instr],
+                name=func.fresh_name("dmr.or"),
+            )
+            block.append(combined)
+            mismatch = combined
+    assert mismatch is not None
+    block.append(
+        Instruction(
+            Opcode.BR, VOID, [mismatch], block_targets=[detect, cont]
+        )
+    )
+    return cont
+
+
+def _checked_values(
+    instr: Instruction, dup_map: dict[int, Instruction]
+) -> list[tuple[Value, Instruction]]:
+    """(primary, replica) pairs available for checking at ``instr``."""
+    pairs = []
+    for value in instr.operands:
+        if isinstance(value, Constant):
+            continue
+        replica = dup_map.get(id(value)) if isinstance(value, Instruction) else None
+        if replica is not None:
+            pairs.append((value, replica))
+    return pairs
+
+
+def instrument_function(
+    func: Function, level: ProtectionLevel
+) -> CriticalPlan:
+    """Instrument ``func`` in place; returns the plan that was applied."""
+    plan = critical_plan(func, level)
+    if level is ProtectionLevel.NONE or not plan.n_duplicated:
+        return plan
+    dup_map = _insert_duplicates(func, plan)
+    detect = _detect_block(func)
+
+    check_points: list[Instruction] = (
+        plan.check_branches + plan.check_returns + plan.check_stores
+    )
+    check_ids = {id(c) for c in check_points}
+    # Process per block, repeatedly scanning for not-yet-processed check
+    # points; splitting invalidates indices, so restart after each split.
+    processed: set[int] = set()
+    changed = True
+    while changed:
+        changed = False
+        for block in func.blocks:
+            for index, instr in enumerate(block.instructions):
+                if id(instr) not in check_ids or id(instr) in processed:
+                    continue
+                processed.add(id(instr))
+                values = _checked_values(instr, dup_map)
+                if values:
+                    _emit_check(func, block, index, values, detect)
+                    changed = True
+                    break
+            if changed:
+                break
+    verify_function(func)
+    return plan
+
+
+def instrument_module(
+    module: Module,
+    level: ProtectionLevel,
+    functions: list[str] | None = None,
+) -> tuple[Module, dict[str, CriticalPlan]]:
+    """Clone ``module`` and instrument (all or the named) functions.
+
+    Returns the instrumented clone and the per-function plans.  The input
+    module is left untouched so it can serve as the unprotected baseline.
+    """
+    instrumented = clone_module(module, f"{module.name}+{level.value}")
+    plans: dict[str, CriticalPlan] = {}
+    targets = functions if functions is not None else [
+        f.name for f in instrumented
+    ]
+    for name in targets:
+        if not instrumented.has_function(name):
+            raise IRError(f"no function @{name} to instrument")
+        plans[name] = instrument_function(
+            instrumented.function(name), level
+        )
+    return instrumented, plans

@@ -1,0 +1,42 @@
+"""Protection levels for tunable DMR."""
+
+from __future__ import annotations
+
+import enum
+
+
+class ProtectionLevel(enum.Enum):
+    """How much of the program the reference monitor replicates.
+
+    Ordered from cheapest/weakest to most expensive/strongest; the ordering
+    is what makes the scheme "tunable ... to strike a balance between
+    overhead and accuracy" (sect. 4.1).
+    """
+
+    NONE = "none"
+    SCC_CFI = "scc-cfi"
+    BB_CFI = "bb-cfi"
+    CFI_DATAFLOW = "cfi+dataflow"
+    FULL_DMR = "full-dmr"
+
+    @property
+    def rank(self) -> int:
+        """Position in the overhead/coverage ordering (0 = unprotected)."""
+        return _RANKS[self]
+
+    def __lt__(self, other: "ProtectionLevel") -> bool:
+        if not isinstance(other, ProtectionLevel):
+            return NotImplemented
+        return self.rank < other.rank
+
+
+_RANKS = {
+    ProtectionLevel.NONE: 0,
+    ProtectionLevel.SCC_CFI: 1,
+    ProtectionLevel.BB_CFI: 2,
+    ProtectionLevel.CFI_DATAFLOW: 3,
+    ProtectionLevel.FULL_DMR: 4,
+}
+
+#: Levels in ascending protection order, for sweeps.
+ALL_LEVELS = sorted(ProtectionLevel, key=lambda lv: lv.rank)

@@ -1,0 +1,143 @@
+"""Post-hoc reference monitoring of executed control flow.
+
+The paper describes running the reference monitor either in parallel with
+the program or afterwards over recorded state transitions (sect. 4.1).
+This module implements the *afterwards* variant for control flow: the
+interpreter (or machine emulator) records the executed block trace, and the
+monitor validates every transition against the static CFG — at basic-block
+granularity, or only across strongly-connected-component boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.cfg import successors
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.scc import scc_of
+
+
+@dataclass(frozen=True)
+class TraceVerdict:
+    """Result of validating one block trace.
+
+    Attributes:
+        ok: whether every checked transition was legal.
+        violation_index: index in the trace of the first bad transition.
+        violation: (function, from_block, to_block) of the first bad
+            transition, or None.
+        transitions_checked: number of edges the monitor examined.
+    """
+
+    ok: bool
+    violation_index: int | None
+    violation: tuple[str, str, str] | None
+    transitions_checked: int
+
+
+class TraceMonitor:
+    """Validates recorded (function, block) traces against a module's CFGs.
+
+    Handles call boundaries with a shadow call stack: entering a callee's
+    entry block pushes a frame; returning resumes validation at the caller's
+    pending transition.
+    """
+
+    def __init__(self, module: Module, scc_only: bool = False) -> None:
+        self.module = module
+        self.scc_only = scc_only
+        self._edges: dict[str, set[tuple[str, str]]] = {}
+        self._entries: dict[str, str] = {}
+        self._scc: dict[str, dict[str, int]] = {}
+        for func in module:
+            self._edges[func.name] = {
+                (block.name, succ.name)
+                for block in func.blocks
+                for succ in successors(block)
+            }
+            self._entries[func.name] = func.entry.name
+            if scc_only:
+                self._scc[func.name] = scc_of(func)
+
+    def _legal(self, func_name: str, src: str, dst: str) -> bool:
+        if (src, dst) not in self._edges[func_name]:
+            return False
+        return True
+
+    def _should_check(self, func_name: str, src: str, dst: str) -> bool:
+        if not self.scc_only:
+            return True
+        membership = self._scc[func_name]
+        return membership[src] != membership[dst]
+
+    def validate(self, trace: list[tuple[str, str]]) -> TraceVerdict:
+        """Validate a block trace recorded by the interpreter."""
+        checked = 0
+        stack: list[tuple[str, str]] = []  # (function, last block seen)
+        for index, (func_name, block_name) in enumerate(trace):
+            if not stack:
+                stack.append((func_name, block_name))
+                continue
+            cur_func, cur_block = stack[-1]
+            if func_name == cur_func:
+                if (
+                    block_name == self._entries.get(func_name)
+                    and not self._legal(func_name, cur_block, block_name)
+                ):
+                    # Recursive call: re-entering the entry block without a
+                    # CFG edge means a new activation, not a transition.
+                    stack.append((func_name, block_name))
+                    continue
+                if self._should_check(func_name, cur_block, block_name):
+                    checked += 1
+                    if not self._legal(func_name, cur_block, block_name):
+                        return TraceVerdict(
+                            ok=False,
+                            violation_index=index,
+                            violation=(func_name, cur_block, block_name),
+                            transitions_checked=checked,
+                        )
+                stack[-1] = (cur_func, block_name)
+                continue
+            if block_name == self._entries.get(func_name):
+                # Call into a new function.
+                stack.append((func_name, block_name))
+                continue
+            # Return back to an outer frame (possibly several levels out if
+            # tail blocks executed no further trace entries).
+            while stack and stack[-1][0] != func_name:
+                stack.pop()
+            if not stack:
+                return TraceVerdict(
+                    ok=False,
+                    violation_index=index,
+                    violation=(func_name, "<no-frame>", block_name),
+                    transitions_checked=checked,
+                )
+            cur_func, cur_block = stack[-1]
+            if self._should_check(func_name, cur_block, block_name):
+                checked += 1
+                if not self._legal(func_name, cur_block, block_name):
+                    return TraceVerdict(
+                        ok=False,
+                        violation_index=index,
+                        violation=(func_name, cur_block, block_name),
+                        transitions_checked=checked,
+                    )
+            stack[-1] = (cur_func, block_name)
+        return TraceVerdict(
+            ok=True,
+            violation_index=None,
+            violation=None,
+            transitions_checked=checked,
+        )
+
+
+def validate_block_trace(
+    module: Module,
+    trace: list[tuple[str, str]],
+    scc_only: bool = False,
+) -> TraceVerdict:
+    """One-shot trace validation (convenience wrapper)."""
+    return TraceMonitor(module, scc_only=scc_only).validate(trace)

@@ -1,0 +1,28 @@
+"""Quantized (order-of-magnitude) data-flow checking (sect. 4.1).
+
+Verifies floating-point multiply/divide chains in an integer logarithmic
+domain: because ``log2(a*b) = log2 a + log2 b`` exactly, the order of
+magnitude of a product chain can be predicted from the orders of magnitude
+of its inputs with cheap integer arithmetic (1-2 cycles/op on an A53,
+vs 7 for FP), and the sign can be predicted by xor-ing input signs.  A flip
+in any exponent or sign bit along the chain makes the observed magnitude or
+sign diverge from the prediction; flips in low mantissa bits (relative error
+at most 50%) are deliberately ignored.  The number of protected mantissa
+bits ``k`` is tunable: each extra bit halves the tolerated relative error.
+"""
+
+from repro.core.quantize.magnitude import (
+    expected_interval,
+    predicted_magnitude,
+    tolerance_units,
+)
+from repro.core.quantize.checker import (
+    QuantizePlan,
+    instrument_quantized,
+    QuantizedProgram,
+)
+
+__all__ = [
+    "expected_interval", "predicted_magnitude", "tolerance_units",
+    "QuantizePlan", "instrument_quantized", "QuantizedProgram",
+]

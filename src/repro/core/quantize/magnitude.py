@@ -1,0 +1,42 @@
+"""Magnitude arithmetic for the quantized checker.
+
+The runtime quantity is ``mag_k(x) = floor(2**k * log2|x|)`` (see
+:func:`repro.ir.interp.magnitude`).  These helpers predict the magnitude of
+multiply/divide expressions from leaf magnitudes and bound the floor error,
+which determines the checker's tolerance.
+"""
+
+from __future__ import annotations
+
+from repro.ir.interp import magnitude
+
+
+def predicted_magnitude(
+    add_leaves: list[float], sub_leaves: list[float], k: int = 0
+) -> int:
+    """Predicted magnitude of ``prod(add_leaves) / prod(sub_leaves)``."""
+    total = sum(magnitude(x, k) for x in add_leaves)
+    total -= sum(magnitude(x, k) for x in sub_leaves)
+    return total
+
+
+def tolerance_units(n_leaves: int) -> int:
+    """Tolerance (scaled units) for a shadow built from ``n_leaves`` leaves.
+
+    Each leaf magnitude under-estimates its true scaled log by less than
+    one unit (floor error), and the observed magnitude of the result
+    under-estimates by less than one more; FP rounding along the chain
+    contributes less than one unit in total for k <= 52.  Hence the
+    difference between observed and predicted magnitude is bounded by
+    ``n_leaves + 2`` units regardless of k.
+    """
+    return n_leaves + 2
+
+
+def expected_interval(
+    add_leaves: list[float], sub_leaves: list[float], k: int = 0
+) -> tuple[int, int]:
+    """Inclusive interval the observed magnitude must fall in."""
+    center = predicted_magnitude(add_leaves, sub_leaves, k)
+    tol = tolerance_units(len(add_leaves) + len(sub_leaves))
+    return center - tol, center + tol

@@ -1,0 +1,33 @@
+"""Static SEU risk analysis (the paper's LLVM pass, sect. 4.2).
+
+Assigns every value a logarithmic *error rating* — log2 of the worst-case
+output error a single bit flip in that value's inputs can cause — and
+propagates ratings through operations:
+
+- 64-bit integer: base rating 64 (max error 2**64);
+- 64-bit float: base rating 1024 (exponent MSB flip => error up to 2**1024);
+- add/sub: max of operand ratings;
+- mul/div: sum of operand ratings;
+- mod: rating of the first operand;
+- phi: max of incoming ratings.
+"""
+
+from repro.core.risk.rating import base_rating
+from repro.core.risk.propagate import (
+    ValueRatings,
+    SegmentRating,
+    rate_segment,
+    rate_function,
+    rate_blocks,
+    rate_sccs,
+    rate_module,
+)
+from repro.core.risk.report import RiskReport, render_report
+
+__all__ = [
+    "base_rating",
+    "ValueRatings", "SegmentRating",
+    "rate_segment", "rate_function", "rate_blocks", "rate_sccs",
+    "rate_module",
+    "RiskReport", "render_report",
+]

@@ -1,0 +1,248 @@
+"""Error-rating propagation over IR segments.
+
+A *segment* is any set of basic blocks of one function.  Values flowing into
+the segment (defined outside, or loaded from memory) receive their type's
+base rating; ratings then propagate forward through the segment's
+instructions using the paper's rules (sect. 4.2):
+
+- add/sub (int or float): max of the operands' ratings;
+- mul/div: sum of the operands' ratings;
+- mod (srem): rating of the first operand ("the maximum error of a modulo
+  operation occurs when the divisor is flipped to a very large value, at
+  which point the dividend becomes the result");
+- phi: max of the incoming ratings ("as we are interested in worst-case
+  error behavior");
+- everything else: conservative structural rules documented inline.
+
+As in the paper, the analysis "does not account for error propagation in
+loops": each instruction is visited once, in reverse postorder, so a loop
+body is rated for a single iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.risk.rating import base_rating
+from repro.ir.block import BasicBlock
+from repro.ir.cfg import reverse_postorder
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.module import Module
+from repro.ir.scc import strongly_connected_components
+from repro.ir.types import INT64
+from repro.ir.values import Argument, Constant, Value
+
+#: Opcodes whose result rating is the max of operand ratings.
+_MAX_RULE = frozenset({
+    Opcode.ADD, Opcode.SUB, Opcode.FADD, Opcode.FSUB,
+    Opcode.AND, Opcode.OR, Opcode.XOR,
+})
+#: Opcodes whose result rating is the sum of operand ratings.
+_SUM_RULE = frozenset({Opcode.MUL, Opcode.SDIV, Opcode.FMUL, Opcode.FDIV})
+
+
+@dataclass
+class ValueRatings:
+    """Ratings assigned to named values of one function/segment."""
+
+    ratings: dict[str, int] = field(default_factory=dict)
+
+    def get(self, value: Value) -> int:
+        """Rating of a value: looked up, or 0 for constants (immutable)."""
+        if isinstance(value, Constant):
+            return 0
+        rating = self.ratings.get(value.name)
+        if rating is None:
+            # Value defined outside the segment: fresh exposure at its
+            # type's base rating.
+            return base_rating(value.type)
+        return rating
+
+    def set(self, name: str, rating: int) -> None:
+        self.ratings[name] = rating
+
+
+@dataclass(frozen=True)
+class SegmentRating:
+    """Risk summary of a code segment.
+
+    Attributes:
+        label: human-readable segment name.
+        block_names: blocks composing the segment.
+        rating: log2 of the worst-case output error of the segment.
+        output_ratings: per-output-value ratings (outputs = values defined
+            in the segment and used outside it, plus ``ret`` operands).
+        value_ratings: rating of every value defined in the segment.
+    """
+
+    label: str
+    block_names: tuple[str, ...]
+    rating: int
+    output_ratings: dict[str, int]
+    value_ratings: dict[str, int]
+
+
+def _instruction_rating(
+    instr: Instruction, ratings: ValueRatings, module: Module | None,
+    summaries: dict[str, int] | None,
+) -> int:
+    """Apply the propagation rule for one instruction."""
+    op = instr.opcode
+    if op in _MAX_RULE:
+        return max(ratings.get(instr.operands[0]), ratings.get(instr.operands[1]))
+    if op in _SUM_RULE:
+        return ratings.get(instr.operands[0]) + ratings.get(instr.operands[1])
+    if op is Opcode.SREM:
+        return ratings.get(instr.operands[0])
+    if op in (Opcode.SHL, Opcode.LSHR, Opcode.ASHR):
+        # A corrupt shift amount can scale the value by up to 2**bits; a
+        # corrupt operand error is scaled by the shift.  Worst case is the
+        # sum, like multiplication by a power of two.
+        return ratings.get(instr.operands[0]) + ratings.get(instr.operands[1])
+    if op is Opcode.PHI:
+        incoming = [ratings.get(v) for v in instr.operands]
+        return max(incoming) if incoming else base_rating(instr.type)
+    if op is Opcode.SELECT:
+        # Either arm may be selected; a corrupt condition swaps arms.
+        return max(ratings.get(instr.operands[1]), ratings.get(instr.operands[2]))
+    if op in (Opcode.ICMP, Opcode.FCMP):
+        # A comparison result is one bit; its worst-case numeric error is
+        # 2**1.  The *consequences* of a flipped branch are control-flow,
+        # covered by the DMR CFI instrumentation, not by this metric.
+        return 1
+    if op in (Opcode.SITOFP, Opcode.FPTOSI, Opcode.ZEXT, Opcode.TRUNC):
+        # Conversions preserve the numeric error, clamped to what the
+        # destination type can express.
+        return min(ratings.get(instr.operands[0]), base_rating(instr.type))
+    if op is Opcode.MAG:
+        return min(ratings.get(instr.operands[0]), base_rating(INT64))
+    if op is Opcode.SIGN:
+        return 1
+    if op is Opcode.LOAD:
+        # Loaded data was exposed in memory: base rating of the loaded type.
+        return base_rating(instr.type)
+    if op in (Opcode.ALLOC, Opcode.GEP):
+        return base_rating(instr.type)
+    if op is Opcode.CALL:
+        if summaries is not None and instr.callee in summaries:
+            return summaries[instr.callee]
+        return base_rating(instr.type) if not instr.type.is_void else 0
+    raise AssertionError(f"no rating rule for {op}")  # pragma: no cover
+
+
+def rate_segment(
+    func: Function,
+    blocks: list[BasicBlock],
+    label: str,
+    module: Module | None = None,
+    summaries: dict[str, int] | None = None,
+) -> SegmentRating:
+    """Rate one segment of ``func``."""
+    segment_names = {b.name for b in blocks}
+    order = [b for b in reverse_postorder(func) if b.name in segment_names]
+    ratings = ValueRatings()
+    defined: set[str] = set()
+
+    for block in order:
+        for instr in block.instructions:
+            if not instr.defines_value:
+                continue
+            rating = _instruction_rating(instr, ratings, module, summaries)
+            ratings.set(instr.name, rating)
+            defined.add(instr.name)
+
+    # Segment outputs: values defined inside and used outside, plus values
+    # returned from inside the segment.
+    outputs: dict[str, int] = {}
+    for block in func.blocks:
+        inside = block.name in segment_names
+        for instr in block.instructions:
+            if inside and instr.opcode is Opcode.RET and instr.operands:
+                value = instr.operands[0]
+                if not isinstance(value, Constant):
+                    outputs[value.name] = ratings.get(value)
+            if inside:
+                continue
+            for value in instr.operands:
+                if isinstance(value, (Argument, Constant)):
+                    continue
+                if value.name in defined:
+                    outputs[value.name] = ratings.get(value)
+
+    if not outputs:
+        # Segment computes nothing visible outside; its exposure is the
+        # worst value it keeps live internally.
+        rating = max(ratings.ratings.values(), default=0)
+    else:
+        rating = max(outputs.values())
+    return SegmentRating(
+        label=label,
+        block_names=tuple(b.name for b in blocks),
+        rating=rating,
+        output_ratings=outputs,
+        value_ratings=dict(ratings.ratings),
+    )
+
+
+def rate_function(
+    func: Function,
+    module: Module | None = None,
+    summaries: dict[str, int] | None = None,
+) -> SegmentRating:
+    """Rate a whole function (inputs = arguments at base rating)."""
+    return rate_segment(
+        func, list(func.blocks), f"@{func.name}", module, summaries
+    )
+
+
+def rate_blocks(func: Function, module: Module | None = None) -> list[SegmentRating]:
+    """Rate each basic block as its own segment."""
+    return [
+        rate_segment(func, [block], f"@{func.name}:^{block.name}", module)
+        for block in func.blocks
+    ]
+
+
+def rate_sccs(func: Function, module: Module | None = None) -> list[SegmentRating]:
+    """Rate each CFG strongly connected component as a segment."""
+    results = []
+    for i, component in enumerate(strongly_connected_components(func)):
+        names = "+".join(b.name for b in component)
+        results.append(
+            rate_segment(func, component, f"@{func.name}:scc{i}({names})", module)
+        )
+    return results
+
+
+def rate_module(module: Module) -> dict[str, SegmentRating]:
+    """Rate every function, using callee summaries where available.
+
+    Functions are rated in an order that analyzes callees before callers
+    when the call graph is acyclic; recursive cycles fall back to the base
+    rating of the return type.
+    """
+    summaries: dict[str, int] = {}
+    remaining = {f.name for f in module}
+    progress = True
+    results: dict[str, SegmentRating] = {}
+    while remaining and progress:
+        progress = False
+        for func in module:
+            if func.name not in remaining:
+                continue
+            callees = {
+                i.callee
+                for i in func.instructions()
+                if i.opcode is Opcode.CALL and i.callee
+            }
+            if callees & remaining - {func.name}:
+                continue
+            seg = rate_function(func, module, summaries)
+            results[func.name] = seg
+            summaries[func.name] = seg.rating
+            remaining.discard(func.name)
+            progress = True
+    for name in remaining:  # recursive cycle: no summary available
+        results[name] = rate_function(module.function(name), module, summaries)
+    return results

@@ -1,0 +1,36 @@
+"""Base error ratings per IR type.
+
+The rating of a value is log2 of the worst-case numeric error that a single
+bit flip in its representation can cause.  Sect. 4.2 fixes the anchors: "the
+maximum error of a 64-bit integer type is 2**64, so its error rating is 64
+... the maximum error of a 64-bit float occurs when the most significant bit
+of the exponent is flipped, resulting in an error of 2**1024, so its error
+rating is 1024."
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.ir.types import Type, TypeKind
+
+#: Rating of a 64-bit IEEE double: flipping the exponent MSB multiplies (or
+#: divides) the value by 2**1024's order; the paper anchors it at 1024.
+FLOAT64_RATING = 1024
+
+#: Rating of a pointer: a flipped pointer bit moves an access by up to
+#: 2**63; the consequence is architectural (wild access), modelled like a
+#: 64-bit integer.
+POINTER_RATING = 64
+
+
+def base_rating(type_: Type) -> int:
+    """Worst-case single-bit-flip error rating of a freshly-read value."""
+    if type_.kind is TypeKind.INT:
+        return type_.bits
+    if type_.kind is TypeKind.FLOAT:
+        if type_.bits == 64:
+            return FLOAT64_RATING
+        raise ConfigError(f"no rating anchor for float width {type_.bits}")
+    if type_.kind is TypeKind.POINTER:
+        return POINTER_RATING
+    raise ConfigError(f"type {type_} has no error rating")

@@ -1,0 +1,62 @@
+"""Human-readable risk-analysis reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.risk.propagate import (
+    SegmentRating,
+    rate_blocks,
+    rate_function,
+    rate_sccs,
+)
+from repro.ir.function import Function
+from repro.ir.module import Module
+
+
+@dataclass(frozen=True)
+class RiskReport:
+    """All granularities of risk rating for one function.
+
+    Attributes:
+        function: the whole-function rating.
+        blocks: per-basic-block ratings.
+        sccs: per-SCC ratings.
+    """
+
+    function: SegmentRating
+    blocks: list[SegmentRating]
+    sccs: list[SegmentRating]
+
+    @property
+    def hottest_block(self) -> SegmentRating:
+        """The block with the highest rating — where protection pays most."""
+        return max(self.blocks, key=lambda s: s.rating)
+
+
+def analyze(func: Function, module: Module | None = None) -> RiskReport:
+    """Rate ``func`` at function, SCC and basic-block granularity."""
+    return RiskReport(
+        function=rate_function(func, module),
+        blocks=rate_blocks(func, module),
+        sccs=rate_sccs(func, module),
+    )
+
+
+def render_report(report: RiskReport) -> str:
+    """Render a report as an aligned text table."""
+    lines = [
+        f"risk report for {report.function.label}",
+        f"  function rating: {report.function.rating}",
+        "  per-SCC:",
+    ]
+    for seg in report.sccs:
+        lines.append(f"    {seg.label:40s} rating={seg.rating}")
+    lines.append("  per-block:")
+    for seg in report.blocks:
+        lines.append(f"    {seg.label:40s} rating={seg.rating}")
+    if report.function.output_ratings:
+        lines.append("  outputs:")
+        for name, rating in sorted(report.function.output_ratings.items()):
+            lines.append(f"    %{name:20s} rating={rating}")
+    return "\n".join(lines)

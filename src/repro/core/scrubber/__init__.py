@@ -1,0 +1,35 @@
+"""Coprocessor-based software ECC memory scrubbing (sect. 4.1).
+
+A kernel module reserves a checksum region and walks the page table; a DSP
+coprocessor verifies pages against their stored checksums and repairs
+correctable corruption.  Because cycling through all of memory is too slow
+(software BCH over 2 GB > 7 CPU-minutes), the scheduler prioritizes pages
+by policy: sequential sweep (baseline), least-recently-used first, or
+predicted-next-access first.
+"""
+
+from repro.core.scrubber.verifier import PageVerifier, VerifyOutcome, VerifyResult
+from repro.core.scrubber.policies import (
+    ScrubPolicy,
+    SequentialPolicy,
+    LruFirstPolicy,
+    PredictedAccessPolicy,
+    RandomPolicy,
+    make_policy,
+)
+from repro.core.scrubber.kmod import KernelScrubModule
+from repro.core.scrubber.scheduler import ScrubScheduler
+from repro.core.scrubber.service import (
+    ScrubSimConfig,
+    ScrubSimResult,
+    run_scrub_simulation,
+)
+
+__all__ = [
+    "PageVerifier", "VerifyOutcome", "VerifyResult",
+    "ScrubPolicy", "SequentialPolicy", "LruFirstPolicy",
+    "PredictedAccessPolicy", "RandomPolicy", "make_policy",
+    "KernelScrubModule", "ScrubScheduler",
+    "ScrubSimConfig", "ScrubSimResult",
+    "run_scrub_simulation",
+]

@@ -1,0 +1,85 @@
+"""The kernel-side half of the scrubber.
+
+"We will pair a kernel module with a page verifier on the DSP.  On startup,
+the kernel module will reserve an area of memory for checksums to be
+stored.  It will then schedule pages stored in memory to checksum and pass
+the physical page address to the memory page verifier running on the DSP"
+(sect. 4.1).
+"""
+
+from __future__ import annotations
+
+from repro.core.scrubber.verifier import PageVerifier, VerifyOutcome, VerifyResult
+from repro.mem.checksums import ChecksumStore
+from repro.mem.pagetable import PageTable
+from repro.mem.physical import PhysicalMemory
+
+
+class KernelScrubModule:
+    """Owns the checksum region and mediates between kernel and DSP.
+
+    Attributes:
+        memory: physical memory under protection.
+        page_table: the kernel's page table (source of mapped pages).
+        store: the reserved checksum region.
+        verifier: the DSP-side verify/repair routine.
+    """
+
+    def __init__(
+        self,
+        memory: PhysicalMemory,
+        page_table: PageTable,
+        correction: bool | str = True,
+    ) -> None:
+        self.memory = memory
+        self.page_table = page_table
+        self.store = ChecksumStore(
+            memory.n_pages, memory.page_size, correction=correction
+        )
+        self.verifier = PageVerifier(memory, self.store)
+
+    @property
+    def reserved_bytes(self) -> int:
+        """Size of the reserved checksum region."""
+        return self.store.reserved_bytes
+
+    def mapped_physical_pages(self) -> list[int]:
+        """Physical pages currently mapped (what the DSP may verify)."""
+        return [
+            entry.physical_page
+            for _, entry in self.page_table.mapped_pages()
+        ]
+
+    def checksum_all(self) -> int:
+        """Initial pass: checksum every mapped page; returns page count."""
+        pages = self.mapped_physical_pages()
+        for page in pages:
+            self.verifier.checksum_page(page)
+        for vpn, _ in self.page_table.mapped_pages():
+            self.page_table.clear_dirty(vpn)
+        return len(pages)
+
+    def note_write(self, vpn: int) -> None:
+        """Mark a virtual page dirty after a CPU write."""
+        self.page_table.mark_dirty(vpn)
+
+    def scrub_one(self, physical_page: int) -> VerifyResult:
+        """Handle one scheduled page: re-checksum if dirty, else verify.
+
+        A dirty page's stored checksum is stale — the CPU legitimately
+        changed the contents — so the module refreshes the checksum rather
+        than raising a false alarm.
+        """
+        dirty_vpns = [
+            vpn
+            for vpn, entry in self.page_table.mapped_pages()
+            if entry.physical_page == physical_page and entry.dirty
+        ]
+        if dirty_vpns or not self.store.has_checksum(physical_page):
+            self.verifier.checksum_page(physical_page)
+            for vpn in dirty_vpns:
+                self.page_table.clear_dirty(vpn)
+            return VerifyResult(
+                page=physical_page, outcome=VerifyOutcome.STALE
+            )
+        return self.verifier.verify_page(physical_page)

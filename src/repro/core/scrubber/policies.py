@@ -1,0 +1,135 @@
+"""Scrub-scheduling policies.
+
+"One method may be to schedule pages to be verified in least recently used
+order, as these pages have been in memory the longest and are thus more
+likely to contain an error.  Another approach may involve using program
+traces to predict which pages will be accessed next and scheduling these
+pages for verification first" (sect. 4.1).  A sequential sweep and a random
+policy serve as baselines.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.mem.tracker import AccessTracker
+from repro.rng import make_rng
+
+
+class ScrubPolicy(abc.ABC):
+    """Chooses which physical pages to verify next."""
+
+    name = "abstract"
+
+    @abc.abstractmethod
+    def next_pages(
+        self, mapped: list[int], budget: int, tracker: AccessTracker
+    ) -> list[int]:
+        """Up to ``budget`` pages from ``mapped``, highest priority first."""
+
+
+class SequentialPolicy(ScrubPolicy):
+    """Round-robin sweep over the mapped pages (the classic scrubber)."""
+
+    name = "sequential"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def next_pages(
+        self, mapped: list[int], budget: int, tracker: AccessTracker
+    ) -> list[int]:
+        if not mapped:
+            return []
+        picked = []
+        for i in range(min(budget, len(mapped))):
+            picked.append(mapped[(self._cursor + i) % len(mapped)])
+        self._cursor = (self._cursor + len(picked)) % len(mapped)
+        return picked
+
+
+class LruFirstPolicy(ScrubPolicy):
+    """Verify the longest-unattended pages first."""
+
+    name = "lru"
+
+    def next_pages(
+        self, mapped: list[int], budget: int, tracker: AccessTracker
+    ) -> list[int]:
+        return tracker.lru_order(mapped)[:budget]
+
+
+class PredictedAccessPolicy(ScrubPolicy):
+    """Verify the pages the workload will touch next; sweep the rest.
+
+    Scrubbing a page *just before* it is read converts would-be corrupted
+    reads into repairs.  The remaining budget runs a sequential sweep, which
+    bounds every page's staleness — an LRU fallback would starve the
+    moderately-hot band (recently-accessed pages sort last in LRU order but
+    are still read often enough to serve corrupted data).
+    """
+
+    name = "predicted"
+
+    def __init__(self, predict_fraction: float = 0.5) -> None:
+        if not 0.0 <= predict_fraction <= 1.0:
+            raise ConfigError(
+                f"predict fraction {predict_fraction} outside [0, 1]"
+            )
+        self.predict_fraction = predict_fraction
+        self._sweep = SequentialPolicy()
+
+    def next_pages(
+        self, mapped: list[int], budget: int, tracker: AccessTracker
+    ) -> list[int]:
+        mapped_set = set(mapped)
+        n_predict = int(round(budget * self.predict_fraction))
+        picked: list[int] = []
+        seen: set[int] = set()
+        for page in tracker.predicted_next(n_predict * 2):
+            if page in mapped_set and page not in seen:
+                picked.append(page)
+                seen.add(page)
+            if len(picked) >= n_predict:
+                break
+        for page in self._sweep.next_pages(mapped, budget, tracker):
+            if len(picked) >= budget:
+                break
+            if page not in seen:
+                picked.append(page)
+                seen.add(page)
+        return picked[:budget]
+
+
+class RandomPolicy(ScrubPolicy):
+    """Uniformly random page choice (sanity baseline)."""
+
+    name = "random"
+
+    def __init__(self, seed: int | np.random.Generator | None = None) -> None:
+        self.rng = make_rng(seed)
+
+    def next_pages(
+        self, mapped: list[int], budget: int, tracker: AccessTracker
+    ) -> list[int]:
+        if not mapped:
+            return []
+        count = min(budget, len(mapped))
+        picked = self.rng.choice(len(mapped), size=count, replace=False)
+        return [mapped[i] for i in picked]
+
+
+def make_policy(name: str, seed: int | None = None) -> ScrubPolicy:
+    """Policy factory by name."""
+    if name == "sequential":
+        return SequentialPolicy()
+    if name == "lru":
+        return LruFirstPolicy()
+    if name == "predicted":
+        return PredictedAccessPolicy()
+    if name == "random":
+        return RandomPolicy(seed=seed)
+    raise ConfigError(f"unknown scrub policy {name!r}")

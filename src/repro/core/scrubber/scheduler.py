@@ -1,0 +1,80 @@
+"""The scrub scheduler: policy + DSP cycle budget -> verified pages."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.scrubber.kmod import KernelScrubModule
+from repro.core.scrubber.policies import ScrubPolicy
+from repro.core.scrubber.verifier import VerifyOutcome, VerifyResult
+from repro.hw.coprocessor import DspCoprocessor
+from repro.mem.tracker import AccessTracker
+
+
+@dataclass
+class ScrubStats:
+    """Aggregate scrubbing statistics."""
+
+    pages_verified: int = 0
+    pages_rechecksummed: int = 0
+    pages_corrected: int = 0
+    pages_uncorrectable: int = 0
+    words_corrected: int = 0
+    results: list[VerifyResult] = field(default_factory=list)
+
+
+class ScrubScheduler:
+    """Runs scrub intervals: ask the policy, spend the DSP budget.
+
+    Attributes:
+        codec: cost-model codec used for budgeting DSP cycles per page
+            (the verify path itself is CRC + SECDED words).
+    """
+
+    def __init__(
+        self,
+        kmod: KernelScrubModule,
+        policy: ScrubPolicy,
+        dsp: DspCoprocessor,
+        tracker: AccessTracker,
+        codec: str = "secded",
+        keep_results: bool = False,
+    ) -> None:
+        self.kmod = kmod
+        self.policy = policy
+        self.dsp = dsp
+        self.tracker = tracker
+        self.codec = codec
+        self.keep_results = keep_results
+        self.stats = ScrubStats()
+
+    def run_interval(self, t: float, dt: float) -> list[VerifyResult]:
+        """One scheduling interval of ``dt`` seconds of DSP time."""
+        self.dsp.begin_interval(dt)
+        page_size = self.kmod.memory.page_size
+        budget_pages = self.dsp.pages_per_interval(dt, page_size, self.codec)
+        mapped = self.kmod.mapped_physical_pages()
+        chosen = self.policy.next_pages(mapped, budget_pages, self.tracker)
+        results = []
+        for page in chosen:
+            if not self.dsp.try_schedule(page_size, self.codec):
+                break
+            result = self.kmod.scrub_one(page)
+            self.tracker.record_scrub(page, t)
+            self._account(result)
+            results.append(result)
+        if self.keep_results:
+            self.stats.results.extend(results)
+        return results
+
+    def _account(self, result: VerifyResult) -> None:
+        stats = self.stats
+        if result.outcome is VerifyOutcome.STALE:
+            stats.pages_rechecksummed += 1
+            return
+        stats.pages_verified += 1
+        if result.outcome is VerifyOutcome.CORRECTED:
+            stats.pages_corrected += 1
+            stats.words_corrected += len(result.corrected_words)
+        elif result.outcome is VerifyOutcome.UNCORRECTABLE:
+            stats.pages_uncorrectable += 1

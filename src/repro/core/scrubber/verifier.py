@@ -1,0 +1,161 @@
+"""Page verification against the checksum store.
+
+The DSP-side routine: fetch a physical page, check its CRC; on mismatch,
+walk the page's 64-bit words against their stored SECDED check bits,
+correcting single-bit flips in place and flagging uncorrectable words.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.ecc.crc import crc32
+from repro.ecc.hamming import DecodeStatus
+from repro.errors import ConfigError
+from repro.mem.checksums import ChecksumStore
+from repro.mem.physical import PhysicalMemory
+
+
+class VerifyOutcome(enum.Enum):
+    """Result class of verifying one page."""
+
+    CLEAN = "clean"
+    CORRECTED = "corrected"
+    UNCORRECTABLE = "uncorrectable"
+    STALE = "stale"  # page dirty since checksum; re-checksummed instead
+
+
+@dataclass
+class VerifyResult:
+    """What one page verification found and did.
+
+    Attributes:
+        page: physical page number.
+        outcome: classification.
+        corrected_words: byte offsets of words repaired in place.
+        uncorrectable_words: byte offsets of words beyond repair.
+    """
+
+    page: int
+    outcome: VerifyOutcome
+    corrected_words: list[int] = field(default_factory=list)
+    uncorrectable_words: list[int] = field(default_factory=list)
+
+
+class PageVerifier:
+    """Verifies and repairs pages using a :class:`ChecksumStore`."""
+
+    def __init__(self, memory: PhysicalMemory, store: ChecksumStore) -> None:
+        if store.page_size != memory.page_size:
+            raise ConfigError(
+                f"store page size {store.page_size} != memory page size "
+                f"{memory.page_size}"
+            )
+        self.memory = memory
+        self.store = store
+
+    def checksum_page(self, page: int) -> None:
+        """(Re)compute stored metadata from the page's current contents."""
+        self.store.checksum_page(page, self.memory.read_page(page))
+
+    def verify_page(self, page: int) -> VerifyResult:
+        """Verify one page; repair correctable corruption in place."""
+        data = self.memory.read_page(page)
+        slot = self.store.get(page)
+        if crc32(data) == slot.crc:
+            return VerifyResult(page=page, outcome=VerifyOutcome.CLEAN)
+        if self.store.codec == "bch":
+            corrected, uncorrectable = self._repair_bch(page, data, slot)
+        elif self.store.secded is not None:
+            corrected, uncorrectable = self._repair_secded(page, slot)
+        else:
+            # Detection-only configuration: flag, cannot repair.
+            return VerifyResult(
+                page=page,
+                outcome=VerifyOutcome.UNCORRECTABLE,
+                uncorrectable_words=[-1],
+            )
+        # Confirm the repair took (CRC must match again) unless something
+        # was uncorrectable.
+        if uncorrectable:
+            return VerifyResult(
+                page=page,
+                outcome=VerifyOutcome.UNCORRECTABLE,
+                corrected_words=corrected,
+                uncorrectable_words=uncorrectable,
+            )
+        repaired = self.memory.read_page(page)
+        if crc32(repaired) != slot.crc:
+            # Flip hid from SECDED (e.g. two flips in one word aliasing) —
+            # treat as uncorrectable.
+            return VerifyResult(
+                page=page,
+                outcome=VerifyOutcome.UNCORRECTABLE,
+                corrected_words=corrected,
+                uncorrectable_words=[-1],
+            )
+        return VerifyResult(
+            page=page,
+            outcome=VerifyOutcome.CORRECTED,
+            corrected_words=corrected,
+        )
+
+    def _repair_secded(
+        self, page: int, slot
+    ) -> tuple[list[int], list[int]]:
+        """Word-wise SECDED repair; returns (corrected, uncorrectable)."""
+        secded = self.store.secded
+        assert secded is not None
+        corrected: list[int] = []
+        uncorrectable: list[int] = []
+        for word_index, checks in enumerate(slot.word_checks):
+            offset = word_index * 8
+            word = self.memory.read_word(page, offset)
+            codeword = self.store.rebuild_codeword(word, checks)
+            result = secded.decode(codeword)
+            if result.status is DecodeStatus.CLEAN:
+                continue
+            if result.status is DecodeStatus.CORRECTED:
+                self.memory.write_word(page, offset, result.data)
+                corrected.append(offset)
+            else:
+                uncorrectable.append(offset)
+        return corrected, uncorrectable
+
+    def _repair_bch(
+        self, page: int, data: bytes, slot
+    ) -> tuple[list[int], list[int]]:
+        """Block-wise BCH repair (up to t flips per block); offsets are
+        block indices scaled to approximate byte positions."""
+        import numpy as np
+
+        from repro.errors import UncorrectableError
+
+        bch = self.store.bch
+        assert bch is not None
+        corrected: list[int] = []
+        uncorrectable: list[int] = []
+        blocks = self.store.bch_blocks(data)
+        repaired_blocks = []
+        changed = False
+        for index, block in enumerate(blocks):
+            parity = slot.block_parity[index]
+            codeword = np.concatenate([parity, block])
+            try:
+                decoded, n_errors = bch.decode(codeword)
+            except UncorrectableError:
+                uncorrectable.append(index * bch.k // 8)
+                repaired_blocks.append(block)
+                continue
+            repaired_blocks.append(decoded)
+            if n_errors:
+                changed = True
+                corrected.append(index * bch.k // 8)
+        if changed and not uncorrectable:
+            bits = np.concatenate(repaired_blocks)[: self.store.page_size * 8]
+            repaired = np.packbits(
+                bits.astype(np.uint8), bitorder="little"
+            ).tobytes()
+            self.memory.write_page(page, repaired)
+        return corrected, uncorrectable

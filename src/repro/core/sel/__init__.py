@@ -1,0 +1,23 @@
+"""SEL detection from software-extractable metrics (sect. 3.1).
+
+A user-mode daemon continuously samples system metrics (per-core CPU
+utilization, memory occupancy and bandwidth, cache-miss rate) together with
+the board current sensor, normalizes over a 30-second moving window, scores
+each sample with a trained anomaly detector, and commands a power cycle
+when a sustained anomaly indicates a latch-up — before the ~3-minute damage
+deadline.
+"""
+
+from repro.core.sel.featurizer import Featurizer
+from repro.core.sel.daemon import SelDaemon, DaemonConfig
+from repro.core.sel.policy import PowerCycleController
+from repro.core.sel.experiment import (
+    SelTrialConfig,
+    run_detection_trial,
+    train_detector_on_clean_trace,
+)
+
+__all__ = [
+    "Featurizer", "SelDaemon", "DaemonConfig", "PowerCycleController",
+    "SelTrialConfig", "run_detection_trial", "train_detector_on_clean_trace",
+]

@@ -1,0 +1,166 @@
+"""End-to-end SEL detection trials (the harness behind experiment E1/E2).
+
+One trial: train a detector on clean telemetry from a stress workload,
+then replay the workload with a latch-up of magnitude ``delta_current_a``
+injected at a random onset, stream samples through the daemon, and measure
+whether/when it alarms — against the 3-minute damage deadline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.sel.daemon import DaemonConfig, SelDaemon
+from repro.core.sel.featurizer import Featurizer
+from repro.detect.base import AnomalyDetector
+from repro.detect.evaluate import DetectionTrial
+from repro.errors import DeviceDestroyed
+from repro.faults.sel import LatchupEvent
+from repro.hw.board import Board
+from repro.hw.specs import RASPBERRY_PI_4, SocSpec
+from repro.rng import make_rng
+from repro.telemetry.window import MovingWindow
+from repro.workloads.stress import StressSchedule, cpu_memory_stress_schedule
+
+
+@dataclass(frozen=True)
+class SelTrialConfig:
+    """Shared setup for a batch of detection trials.
+
+    Attributes:
+        spec: board spec under test.
+        train_duration_s: clean telemetry used for training.
+        eval_duration_s: length of each faulted trace.
+        sample_rate_hz: daemon sampling rate.
+        onset_s: latch-up onset within the eval trace.
+        deadline_s: damage deadline (sect. 3: ~180 s).
+        daemon: daemon tuning.
+    """
+
+    spec: SocSpec = RASPBERRY_PI_4
+    train_duration_s: float = 240.0
+    eval_duration_s: float = 240.0
+    sample_rate_hz: float = 10.0
+    onset_s: float = 40.0
+    deadline_s: float = 180.0
+    daemon: DaemonConfig = DaemonConfig()
+
+
+def _training_rows(
+    board: Board,
+    schedule: StressSchedule,
+    featurizer: Featurizer,
+    config: SelTrialConfig,
+) -> np.ndarray:
+    """Clean training matrix, normalized the same way the daemon scores."""
+    rows = []
+    window = MovingWindow(config.daemon.window_s)
+    n = int(config.train_duration_s * config.sample_rate_hz)
+    for i in range(n):
+        t = i / config.sample_rate_hz
+        sample = board.sample(
+            t,
+            core_utils=schedule.core_utilizations(t),
+            mem_fraction=schedule.memory_fraction(t),
+            mem_bandwidth=schedule.memory_bandwidth_fraction(t),
+        )
+        row = featurizer.row(sample)
+        window.push(t, row)
+        if config.daemon.use_window_normalization:
+            rows.append(window.normalized_latest())
+        else:
+            rows.append(row)
+    return np.stack(rows)
+
+
+def train_detector_on_clean_trace(
+    detector: AnomalyDetector,
+    config: SelTrialConfig = SelTrialConfig(),
+    schedule: StressSchedule | None = None,
+    seed: int | np.random.Generator | None = None,
+) -> AnomalyDetector:
+    """Fit ``detector`` on clean telemetry from a fresh board."""
+    rng = make_rng(seed)
+    schedule = schedule or cpu_memory_stress_schedule(config.spec.n_cores)
+    board = Board(spec=config.spec, seed=rng)
+    featurizer = Featurizer(config.spec.n_cores)
+    rows = _training_rows(board, schedule, featurizer, config)
+    return detector.fit(rows)
+
+
+def run_detection_trial(
+    detector: AnomalyDetector,
+    delta_current_a: float,
+    config: SelTrialConfig = SelTrialConfig(),
+    schedule: StressSchedule | None = None,
+    seed: int | np.random.Generator | None = None,
+) -> DetectionTrial:
+    """One faulted trace through a *trained* detector; returns the trial.
+
+    The board is fresh (new noise/spike realization) but statistically
+    identical to the training board, as in a deployed system.
+    """
+    rng = make_rng(seed)
+    schedule = schedule or cpu_memory_stress_schedule(config.spec.n_cores)
+    board = Board(spec=config.spec, seed=rng)
+    board.inject_latchup(
+        LatchupEvent(
+            onset_s=config.onset_s,
+            delta_current_a=delta_current_a,
+            damage_deadline_s=config.deadline_s,
+        )
+    )
+    featurizer = Featurizer(config.spec.n_cores)
+    daemon = SelDaemon(detector, featurizer, config.daemon)
+    detected_at: float | None = None
+    n = int(config.eval_duration_s * config.sample_rate_hz)
+    for i in range(n):
+        t = i / config.sample_rate_hz
+        try:
+            sample = board.sample(
+                t,
+                core_utils=schedule.core_utilizations(t),
+                mem_fraction=schedule.memory_fraction(t),
+                mem_bandwidth=schedule.memory_bandwidth_fraction(t),
+            )
+        except DeviceDestroyed:
+            # The latch-up outlived its deadline undetected: a miss.
+            break
+        if daemon.process(sample) and t >= config.onset_s and detected_at is None:
+            detected_at = t
+            break
+    return DetectionTrial(
+        delta_current_a=delta_current_a,
+        onset_s=config.onset_s,
+        detected_at_s=detected_at,
+        deadline_s=config.deadline_s,
+    )
+
+
+def false_alarm_rate(
+    detector: AnomalyDetector,
+    config: SelTrialConfig = SelTrialConfig(),
+    schedule: StressSchedule | None = None,
+    seed: int | np.random.Generator | None = None,
+) -> float:
+    """Alarms per hour on a clean (no latch-up) trace."""
+    rng = make_rng(seed)
+    schedule = schedule or cpu_memory_stress_schedule(config.spec.n_cores)
+    board = Board(spec=config.spec, seed=rng)
+    featurizer = Featurizer(config.spec.n_cores)
+    daemon = SelDaemon(detector, featurizer, config.daemon)
+    n = int(config.eval_duration_s * config.sample_rate_hz)
+    for i in range(n):
+        t = i / config.sample_rate_hz
+        daemon.process(
+            board.sample(
+                t,
+                core_utils=schedule.core_utilizations(t),
+                mem_fraction=schedule.memory_fraction(t),
+                mem_bandwidth=schedule.memory_bandwidth_fraction(t),
+            )
+        )
+    hours = config.eval_duration_s / 3600.0
+    return len(daemon.alarms) / hours if hours > 0 else 0.0

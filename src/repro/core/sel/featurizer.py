@@ -1,0 +1,35 @@
+"""Feature extraction for the SEL daemon."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hw.board import TelemetrySample
+
+
+class Featurizer:
+    """Builds detector rows from telemetry samples.
+
+    A row is ``[software features..., current]`` — the joint vector the
+    metric-aware detectors model.  ``feature_names`` documents the layout
+    for operators reading detector diagnostics.
+    """
+
+    def __init__(self, n_cores: int) -> None:
+        self.n_cores = n_cores
+        self.feature_names = (
+            [f"core{i}_util" for i in range(n_cores)]
+            + ["mem_fraction", "mem_bandwidth", "cache_miss_rate", "current_a"]
+        )
+
+    @property
+    def n_columns(self) -> int:
+        return len(self.feature_names)
+
+    def row(self, sample: TelemetrySample) -> np.ndarray:
+        """One detector row from one telemetry sample."""
+        return np.concatenate([sample.features(), [sample.current_a]])
+
+    def matrix(self, samples: list[TelemetrySample]) -> np.ndarray:
+        """(n, d) matrix from a list of samples."""
+        return np.stack([self.row(s) for s in samples])

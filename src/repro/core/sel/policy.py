@@ -1,0 +1,42 @@
+"""Power-cycle response policy.
+
+"Once a suspected SEL is detected, we force a power cycle to restore the
+device to normal operation" (sect. 3.1).  The controller debounces alarms
+with a cooldown so one latch-up does not trigger a reboot storm, and keeps
+the statistics operators care about: reboots commanded, false reboots
+(no latch-up active), and saves (reboot before the damage deadline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.board import Board
+
+
+@dataclass
+class PowerCycleController:
+    """Turns daemon alarms into board power cycles.
+
+    Attributes:
+        board: the controlled board.
+        cooldown_s: minimum spacing between commanded reboots.
+        reboots: times of commanded power cycles.
+        false_reboots: reboots commanded with no latch-up active.
+    """
+
+    board: Board
+    cooldown_s: float = 60.0
+    reboots: list[float] = field(default_factory=list)
+    false_reboots: int = 0
+
+    def on_alarm(self, t: float) -> bool:
+        """Handle an alarm at time ``t``; returns True when a reboot ran."""
+        if self.reboots and t - self.reboots[-1] < self.cooldown_s:
+            return False
+        had_latchup = bool(self.board.active_latchups)
+        self.board.power_cycle(t)
+        self.reboots.append(t)
+        if not had_latchup:
+            self.false_reboots += 1
+        return True

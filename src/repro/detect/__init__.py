@@ -1,0 +1,34 @@
+"""Anomaly-detection algorithms for SEL detection.
+
+Two families:
+
+- *Black-box* detectors that see only the current channel — the prior art
+  the paper criticizes (fixed thresholds, rolling z-scores).
+- *Metric-aware* detectors that model current jointly with (or conditioned
+  on) software-extractable features — the paper's contribution: a linear
+  residual model of expected current, and an elliptic envelope (robust
+  Mahalanobis gate over a FAST-MCD covariance estimate, implemented from
+  scratch; the paper cites sklearn's EllipticEnvelope).
+"""
+
+from repro.detect.base import AnomalyDetector, FittedState
+from repro.detect.threshold import CurrentThresholdDetector
+from repro.detect.zscore import RollingZScoreDetector
+from repro.detect.regression import LinearResidualDetector
+from repro.detect.mcd import fast_mcd, McdResult
+from repro.detect.elliptic import EllipticEnvelopeDetector
+from repro.detect.ewma import EwmaDetector
+from repro.detect.cusum import CusumDetector
+from repro.detect.rescusum import ResidualCusumDetector
+from repro.detect.evaluate import (
+    roc_curve, roc_auc, DetectionTrial, detection_latency,
+)
+
+__all__ = [
+    "AnomalyDetector", "FittedState",
+    "CurrentThresholdDetector", "RollingZScoreDetector",
+    "LinearResidualDetector", "fast_mcd", "McdResult",
+    "EllipticEnvelopeDetector", "EwmaDetector", "CusumDetector",
+    "ResidualCusumDetector",
+    "roc_curve", "roc_auc", "DetectionTrial", "detection_latency",
+]

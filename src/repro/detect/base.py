@@ -1,0 +1,64 @@
+"""Detector interface.
+
+All detectors share a two-phase life cycle: ``fit`` on clean training
+telemetry (rows = samples; the last column is measured current, preceding
+columns are software features), then ``score`` new rows — higher scores
+mean more anomalous.  ``predict`` applies the detector's calibrated
+threshold.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+
+import numpy as np
+
+from repro.errors import DetectorError
+
+
+class FittedState(enum.Enum):
+    """Whether a detector has been trained."""
+
+    UNFITTED = "unfitted"
+    FITTED = "fitted"
+
+
+class AnomalyDetector(abc.ABC):
+    """Base class for all SEL detectors."""
+
+    def __init__(self) -> None:
+        self.state = FittedState.UNFITTED
+
+    @abc.abstractmethod
+    def _fit(self, rows: np.ndarray) -> None:
+        """Train on clean telemetry rows."""
+
+    @abc.abstractmethod
+    def _score(self, rows: np.ndarray) -> np.ndarray:
+        """Anomaly score per row (higher = more anomalous)."""
+
+    @property
+    @abc.abstractmethod
+    def threshold(self) -> float:
+        """Score above which a row is flagged."""
+
+    def fit(self, rows: np.ndarray) -> "AnomalyDetector":
+        rows = np.atleast_2d(np.asarray(rows, dtype=float))
+        if rows.shape[0] < 2:
+            raise DetectorError("need at least two training rows")
+        self._fit(rows)
+        self.state = FittedState.FITTED
+        return self
+
+    def score(self, rows: np.ndarray) -> np.ndarray:
+        if self.state is not FittedState.FITTED:
+            raise DetectorError(f"{type(self).__name__} is not fitted")
+        return self._score(np.atleast_2d(np.asarray(rows, dtype=float)))
+
+    def predict(self, rows: np.ndarray) -> np.ndarray:
+        """Boolean anomaly flags per row."""
+        return self.score(rows) > self.threshold
+
+    def score_one(self, row: np.ndarray) -> float:
+        return float(self.score(row.reshape(1, -1))[0])

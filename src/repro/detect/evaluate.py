@@ -1,0 +1,90 @@
+"""Detector evaluation: ROC curves and detection-latency measurement."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+def roc_curve(
+    scores: np.ndarray, labels: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(fpr, tpr, thresholds) over all score cutoffs.
+
+    ``labels`` are 1 for anomalous samples.  Thresholds descend; a sample
+    is flagged when its score strictly exceeds the threshold.
+    """
+    scores = np.asarray(scores, dtype=float)
+    labels = np.asarray(labels, dtype=int)
+    if scores.shape != labels.shape:
+        raise ConfigError("scores and labels must align")
+    n_pos = int(labels.sum())
+    n_neg = len(labels) - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ConfigError("need both positive and negative samples")
+    order = np.argsort(-scores, kind="stable")
+    sorted_labels = labels[order]
+    tp = np.cumsum(sorted_labels)
+    fp = np.cumsum(1 - sorted_labels)
+    tpr = np.concatenate([[0.0], tp / n_pos])
+    fpr = np.concatenate([[0.0], fp / n_neg])
+    thresholds = np.concatenate([[np.inf], scores[order]])
+    return fpr, tpr, thresholds
+
+
+def roc_auc(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Area under the ROC curve (trapezoidal)."""
+    fpr, tpr, _ = roc_curve(scores, labels)
+    return float(np.trapezoid(tpr, fpr))
+
+
+def tpr_at_fpr(
+    scores: np.ndarray, labels: np.ndarray, max_fpr: float
+) -> float:
+    """Best achievable TPR subject to FPR <= max_fpr."""
+    fpr, tpr, _ = roc_curve(scores, labels)
+    feasible = tpr[fpr <= max_fpr]
+    return float(feasible.max()) if len(feasible) else 0.0
+
+
+@dataclass(frozen=True)
+class DetectionTrial:
+    """One latch-up detection trial.
+
+    Attributes:
+        delta_current_a: injected latch-up magnitude.
+        onset_s: injection time.
+        detected_at_s: first alarm at/after onset (None = missed).
+        deadline_s: damage deadline after onset.
+    """
+
+    delta_current_a: float
+    onset_s: float
+    detected_at_s: float | None
+    deadline_s: float = 180.0
+
+    @property
+    def latency_s(self) -> float | None:
+        if self.detected_at_s is None:
+            return None
+        return self.detected_at_s - self.onset_s
+
+    @property
+    def saved(self) -> bool:
+        """Whether the board was power-cycled before permanent damage."""
+        latency = self.latency_s
+        return latency is not None and latency <= self.deadline_s
+
+
+def detection_latency(
+    alarm_times: np.ndarray, onset_s: float
+) -> float | None:
+    """First alarm at or after ``onset_s`` (None when never alarmed)."""
+    alarm_times = np.asarray(alarm_times, dtype=float)
+    after = alarm_times[alarm_times >= onset_s]
+    if len(after) == 0:
+        return None
+    return float(after.min())

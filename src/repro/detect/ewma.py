@@ -1,0 +1,55 @@
+"""EWMA drift detector over a scalar stream (usually the model residual).
+
+Latch-ups are *sustained* shifts; DVFS spikes are brief.  An exponentially
+weighted moving average of the residual integrates out spikes but tracks a
+persistent step, making it a good post-filter behind the residual model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detect.base import AnomalyDetector
+from repro.errors import ConfigError
+
+
+class EwmaDetector(AnomalyDetector):
+    """EWMA of the current channel's deviation from its training mean.
+
+    Stateful: ``score`` processes rows in order and carries the EWMA
+    across calls.  Call :meth:`reset` between independent traces.
+    """
+
+    def __init__(self, alpha: float = 0.08, z_threshold: float = 4.0) -> None:
+        super().__init__()
+        if not 0 < alpha <= 1:
+            raise ConfigError(f"alpha {alpha} outside (0, 1]")
+        self.alpha = alpha
+        self.z_threshold = z_threshold
+        self._mean = 0.0
+        self._sigma = 1.0
+        self._ewma = 0.0
+
+    def reset(self) -> None:
+        """Clear the running average (start of a new trace)."""
+        self._ewma = 0.0
+
+    def _fit(self, rows: np.ndarray) -> None:
+        current = rows[:, -1]
+        self._mean = float(current.mean())
+        self._sigma = float(max(current.std(), 1e-9))
+        self.reset()
+
+    def _score(self, rows: np.ndarray) -> np.ndarray:
+        # Steady-state EWMA std of iid input is sigma * sqrt(a / (2 - a)).
+        ewma_sigma = self._sigma * np.sqrt(self.alpha / (2.0 - self.alpha))
+        scores = np.empty(len(rows))
+        for i, row in enumerate(rows):
+            deviation = row[-1] - self._mean
+            self._ewma = self.alpha * deviation + (1 - self.alpha) * self._ewma
+            scores[i] = abs(self._ewma) / ewma_sigma
+        return scores
+
+    @property
+    def threshold(self) -> float:
+        return self.z_threshold

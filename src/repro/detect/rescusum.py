@@ -1,0 +1,75 @@
+"""Residual-CUSUM: the library's strongest SEL detector.
+
+Combines the paper's two ideas: model expected current from software
+features (the metric-aware residual), then run a clipped one-sided CUSUM on
+the residual stream.  A latch-up is a *sustained positive* residual step,
+so the CUSUM accumulates it linearly and crosses the alarm level even for
+few-mA deltas; DVFS spikes are brief, and clipping each sample's
+contribution bounds how far a spike can push the statistic before it decays
+away.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detect.base import AnomalyDetector
+from repro.detect.regression import LinearResidualDetector
+from repro.errors import ConfigError
+
+
+class ResidualCusumDetector(AnomalyDetector):
+    """Clipped one-sided CUSUM over linear-model current residuals.
+
+    Attributes:
+        k_sigma: per-sample slack (drift allowance) in residual sigmas.
+        h_sigma: alarm level of the accumulated statistic.
+        clip_sigma: per-sample contribution cap; must satisfy
+            (clip - k) * spike_samples < h so a lone DVFS spike cannot
+            alarm.
+    """
+
+    def __init__(
+        self,
+        k_sigma: float = 0.5,
+        h_sigma: float = 16.0,
+        clip_sigma: float = 4.0,
+        ridge: float = 1e-6,
+    ) -> None:
+        super().__init__()
+        if not 0 <= k_sigma < clip_sigma:
+            raise ConfigError("need 0 <= k < clip")
+        if h_sigma <= 0:
+            raise ConfigError("alarm level h must be positive")
+        self.k_sigma = k_sigma
+        self.h_sigma = h_sigma
+        self.clip_sigma = clip_sigma
+        self._model = LinearResidualDetector(ridge=ridge)
+        self._s = 0.0
+
+    def reset(self) -> None:
+        """Clear the accumulated statistic (start of a new trace)."""
+        self._s = 0.0
+
+    def _fit(self, rows: np.ndarray) -> None:
+        self._model.fit(rows)
+        self.reset()
+
+    def _score(self, rows: np.ndarray) -> np.ndarray:
+        expected = self._model.expected_current(rows)
+        sigma = self._model.residual_sigma_a
+        scores = np.empty(len(rows))
+        for i, row in enumerate(rows):
+            z = (row[-1] - expected[i]) / sigma
+            z = min(z, self.clip_sigma)
+            self._s = max(0.0, self._s + z - self.k_sigma)
+            scores[i] = self._s
+        return scores
+
+    @property
+    def threshold(self) -> float:
+        return self.h_sigma
+
+    @property
+    def residual_sigma_a(self) -> float:
+        return self._model.residual_sigma_a

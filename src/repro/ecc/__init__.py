@@ -1,0 +1,29 @@
+"""Error-correcting codes for software memory protection.
+
+Real implementations (not stubs) of the codes a software scrubber would
+run:
+
+- :mod:`repro.ecc.parity` — per-word parity (single-error *detection*).
+- :mod:`repro.ecc.hamming` — Hamming SECDED(72,64): corrects any single-bit
+  error per 64-bit word, detects any double-bit error.
+- :mod:`repro.ecc.bch` — binary BCH over GF(2^m) with Berlekamp-Massey
+  decoding: corrects up to t errors per block (the paper's "software BCH
+  coding scheme", sect. 4.1).
+- :mod:`repro.ecc.crc` — CRC-32 (detection-only page checksums).
+- :mod:`repro.ecc.cost` — software cycle-cost model per codec, calibrated
+  to the paper's observation that verifying 2 GB with software BCH takes
+  over 7 minutes of CPU on a Snapdragon 801.
+"""
+
+from repro.ecc.gf2 import GF2m
+from repro.ecc.parity import ParityCode
+from repro.ecc.hamming import SecDedCode, DecodeStatus
+from repro.ecc.bch import BchCode
+from repro.ecc.crc import crc32, Crc32Code
+from repro.ecc.cost import CodecCostModel, CODEC_COSTS, cpu_seconds_to_scan
+
+__all__ = [
+    "GF2m", "ParityCode", "SecDedCode", "DecodeStatus", "BchCode",
+    "crc32", "Crc32Code", "CodecCostModel", "CODEC_COSTS",
+    "cpu_seconds_to_scan",
+]

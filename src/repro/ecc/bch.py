@@ -1,0 +1,245 @@
+"""Binary BCH codes over GF(2^m) with Berlekamp-Massey decoding.
+
+A ``BchCode(m, t)`` has block length ``n = 2^m - 1`` bits and corrects up to
+``t`` bit errors per block.  The generator polynomial is the LCM of the
+minimal polynomials of alpha, alpha^2, ..., alpha^(2t); decoding computes
+syndromes, runs Berlekamp-Massey to find the error-locator polynomial, and
+locates errors by Chien search.
+
+This is the "software BCH coding scheme" the paper benchmarks for memory
+verification (sect. 4.1); the scrubber uses it through
+:class:`repro.core.scrubber.verifier.PageVerifier`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ecc.gf2 import GF2m, gf2_poly_degree, gf2_poly_mod, gf2_poly_mul
+from repro.errors import ConfigError, UncorrectableError
+
+
+def _minimal_polynomial(field: GF2m, element_log: int) -> int:
+    """Packed GF(2)[x] minimal polynomial of alpha**element_log.
+
+    The minimal polynomial's roots are the conjugacy class
+    {alpha^(e * 2^i)}; the product of (x - root) over the class has
+    coefficients in GF(2).
+    """
+    # Collect the conjugacy class of exponents.
+    exponents = set()
+    e = element_log % field.order
+    while e not in exponents:
+        exponents.add(e)
+        e = (e * 2) % field.order
+    # Multiply out prod (x + alpha^e) over the class, in GF(2^m)[x].
+    poly = [1]  # constant 1 (degree-0 polynomial)
+    for exp in sorted(exponents):
+        root = field.alpha_pow(exp)
+        poly = field.poly_mul(poly, [root, 1])  # (root + x)
+    # All coefficients must land in GF(2).
+    packed = 0
+    for degree, coeff in enumerate(poly):
+        if coeff not in (0, 1):
+            raise AssertionError(
+                "minimal polynomial has non-binary coefficient"
+            )  # pragma: no cover - mathematically impossible
+        if coeff:
+            packed |= 1 << degree
+    return packed
+
+
+def _lcm_packed(polys: list[int]) -> int:
+    """LCM of packed GF(2)[x] polynomials (product of distinct factors)."""
+    seen: list[int] = []
+    for p in polys:
+        if p not in seen:
+            seen.append(p)
+    result = 1
+    for p in seen:
+        result = gf2_poly_mul(result, p)
+    return result
+
+
+class BchCode:
+    """A binary BCH(n=2^m-1, k, t) code.
+
+    Attributes:
+        m: field exponent (block length n = 2^m - 1 bits).
+        t: correctable errors per block.
+        n: block length in bits.
+        k: data bits per block.
+        n_parity: parity bits per block (n - k).
+    """
+
+    def __init__(self, m: int = 6, t: int = 2) -> None:
+        if t < 1:
+            raise ConfigError(f"t must be >= 1, got {t}")
+        self.field = GF2m(m)
+        self.m = m
+        self.t = t
+        self.n = self.field.order
+        minimal = [
+            _minimal_polynomial(self.field, i) for i in range(1, 2 * t + 1)
+        ]
+        self.generator = _lcm_packed(minimal)
+        self.n_parity = gf2_poly_degree(self.generator)
+        self.k = self.n - self.n_parity
+        if self.k <= 0:
+            raise ConfigError(
+                f"BCH(m={m}, t={t}) leaves no data bits (parity={self.n_parity})"
+            )
+
+    # -- bit-array plumbing ------------------------------------------------------
+
+    @staticmethod
+    def _bits_to_int(bits: np.ndarray) -> int:
+        value = 0
+        for i, b in enumerate(bits):
+            if b:
+                value |= 1 << i
+        return value
+
+    @staticmethod
+    def _int_to_bits(value: int, width: int) -> np.ndarray:
+        return np.array(
+            [(value >> i) & 1 for i in range(width)], dtype=np.uint8
+        )
+
+    # -- encode / decode ------------------------------------------------------------
+
+    def encode(self, data_bits: np.ndarray) -> np.ndarray:
+        """Systematic encode: returns ``n`` bits = data followed by parity."""
+        data_bits = np.asarray(data_bits, dtype=np.uint8)
+        if data_bits.shape != (self.k,):
+            raise ConfigError(
+                f"BCH(m={self.m}, t={self.t}) encodes exactly {self.k} data "
+                f"bits, got {data_bits.shape}"
+            )
+        message = self._bits_to_int(data_bits)
+        # Systematic: codeword = data * x^(n-k) + (data * x^(n-k) mod g).
+        shifted = message << self.n_parity
+        parity = gf2_poly_mod(shifted, self.generator)
+        codeword = shifted | parity
+        return self._int_to_bits(codeword, self.n)
+
+    def syndromes(self, codeword_bits: np.ndarray) -> list[int]:
+        """Syndromes S_1..S_2t of a received word (all zero iff clean)."""
+        field = self.field
+        support = np.flatnonzero(np.asarray(codeword_bits, dtype=np.uint8))
+        result = []
+        for j in range(1, 2 * self.t + 1):
+            s = 0
+            for pos in support:
+                s ^= field.alpha_pow(int(pos) * j)
+            result.append(s)
+        return result
+
+    def decode(self, codeword_bits: np.ndarray) -> tuple[np.ndarray, int]:
+        """Correct up to ``t`` errors; returns (data bits, errors corrected).
+
+        Raises :class:`UncorrectableError` when the word is beyond the
+        code's correction radius (detected but uncorrectable).
+        """
+        codeword_bits = np.asarray(codeword_bits, dtype=np.uint8).copy()
+        if codeword_bits.shape != (self.n,):
+            raise ConfigError(
+                f"codeword must be {self.n} bits, got {codeword_bits.shape}"
+            )
+        synd = self.syndromes(codeword_bits)
+        if not any(synd):
+            return codeword_bits[self.n_parity:].copy(), 0
+
+        locator = self._berlekamp_massey(synd)
+        n_errors = len(locator) - 1
+        if n_errors > self.t:
+            raise UncorrectableError(
+                f"error locator degree {n_errors} exceeds t={self.t}"
+            )
+        positions = self._chien_search(locator)
+        if len(positions) != n_errors:
+            raise UncorrectableError(
+                "error locator does not split over the field "
+                f"({len(positions)} roots for degree {n_errors})"
+            )
+        for pos in positions:
+            codeword_bits[pos] ^= 1
+        if any(self.syndromes(codeword_bits)):
+            raise UncorrectableError(
+                "residual syndrome after correction"
+            )
+        return codeword_bits[self.n_parity:].copy(), n_errors
+
+    def _berlekamp_massey(self, synd: list[int]) -> list[int]:
+        """Error-locator polynomial (coefficients low-to-high)."""
+        field = self.field
+        c = [1]
+        b = [1]
+        l_len = 0
+        shift = 1
+        b_coef = 1
+        for n_iter in range(2 * self.t):
+            # Discrepancy.
+            d = synd[n_iter]
+            for i in range(1, l_len + 1):
+                if i < len(c) and c[i]:
+                    d ^= field.mul(c[i], synd[n_iter - i])
+            if d == 0:
+                shift += 1
+                continue
+            t_poly = list(c)
+            coef = field.div(d, b_coef)
+            # c = c - (d/b) * x^shift * b
+            needed = len(b) + shift
+            if len(c) < needed:
+                c = c + [0] * (needed - len(c))
+            for i, bc in enumerate(b):
+                if bc:
+                    c[i + shift] ^= field.mul(coef, bc)
+            if 2 * l_len <= n_iter:
+                l_len = n_iter + 1 - l_len
+                b = t_poly
+                b_coef = d
+                shift = 1
+            else:
+                shift += 1
+        # Trim trailing zeros.
+        while len(c) > 1 and c[-1] == 0:
+            c.pop()
+        return c
+
+    def _chien_search(self, locator: list[int]) -> list[int]:
+        """Error positions: i such that alpha^-i is a root of the locator."""
+        field = self.field
+        positions = []
+        for i in range(self.n):
+            x = field.alpha_pow(-i % field.order)
+            if field.poly_eval(locator, x) == 0:
+                positions.append(i)
+        return positions
+
+    # -- byte-level convenience ---------------------------------------------------
+
+    def data_bytes_per_block(self) -> int:
+        """Whole bytes of payload per block (shortened-code packing)."""
+        return self.k // 8
+
+    def encode_bytes(self, payload: bytes) -> np.ndarray:
+        """Encode whole bytes (zero-padding the unused data bits)."""
+        usable = self.data_bytes_per_block()
+        if len(payload) > usable:
+            raise ConfigError(
+                f"block holds {usable} bytes, got {len(payload)}"
+            )
+        bits = np.zeros(self.k, dtype=np.uint8)
+        raw = np.frombuffer(payload.ljust(usable, b"\0"), dtype=np.uint8)
+        unpacked = np.unpackbits(raw, bitorder="little")
+        bits[: len(unpacked)] = unpacked
+        return self.encode(bits)
+
+    def decode_bytes(self, codeword_bits: np.ndarray) -> tuple[bytes, int]:
+        """Decode to whole bytes; returns (payload, errors corrected)."""
+        data_bits, n_errors = self.decode(codeword_bits)
+        usable = self.data_bytes_per_block()
+        packed = np.packbits(data_bits[: usable * 8], bitorder="little")
+        return packed.tobytes(), n_errors

@@ -1,0 +1,76 @@
+"""Software cycle costs of each codec.
+
+Calibration anchor (sect. 4.1): "a benchmark on a Snapdragon 801 shows that
+verifying 2 GB of memory using a software BCH coding scheme takes over
+7 minutes of valuable CPU time."  At the Snapdragon 801's 2.5 GHz
+(Table 1), 7 minutes over 2 GiB is:
+
+    7 * 60 s * 2.5e9 Hz / 2**31 B  ~=  489 cycles/byte
+
+The other codecs are scaled from their relative arithmetic density: CRC-32
+is one table lookup + xor per byte (~8 cycles/byte in scalar code), SECDED
+is ~7 parity trees over each 8-byte word (~24 cycles/byte), parity is one
+tree (~4 cycles/byte).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CodecCostModel:
+    """CPU cost of scanning memory with one codec.
+
+    Attributes:
+        name: codec identifier.
+        cycles_per_byte: scalar-CPU verify cost.
+        dsp_speedup: throughput multiplier when run on the vector DSP
+            coprocessor (Hexagon-class HVX units process 128 bytes/insn).
+        corrects: bit errors corrected per protected unit.
+        detects: bit errors detected per protected unit.
+    """
+
+    name: str
+    cycles_per_byte: float
+    dsp_speedup: float
+    corrects: int
+    detects: int
+
+    def cpu_cycles(self, n_bytes: int) -> float:
+        """Cycles to verify ``n_bytes`` on the CPU."""
+        return self.cycles_per_byte * n_bytes
+
+    def dsp_cycles(self, n_bytes: int) -> float:
+        """Cycles to verify ``n_bytes`` on the DSP coprocessor."""
+        return self.cpu_cycles(n_bytes) / self.dsp_speedup
+
+
+CODEC_COSTS: dict[str, CodecCostModel] = {
+    c.name: c
+    for c in [
+        CodecCostModel("parity", cycles_per_byte=4.0, dsp_speedup=16.0,
+                       corrects=0, detects=1),
+        CodecCostModel("crc32", cycles_per_byte=8.0, dsp_speedup=12.0,
+                       corrects=0, detects=1),
+        CodecCostModel("secded", cycles_per_byte=24.0, dsp_speedup=16.0,
+                       corrects=1, detects=2),
+        CodecCostModel("bch", cycles_per_byte=489.0, dsp_speedup=8.0,
+                       corrects=2, detects=4),
+    ]
+}
+
+
+def cpu_seconds_to_scan(
+    n_bytes: int, codec: str, clock_hz: float, on_dsp: bool = False
+) -> float:
+    """Wall-clock seconds to scan ``n_bytes`` with ``codec``."""
+    if codec not in CODEC_COSTS:
+        raise ConfigError(
+            f"unknown codec {codec!r}; known: {sorted(CODEC_COSTS)}"
+        )
+    model = CODEC_COSTS[codec]
+    cycles = model.dsp_cycles(n_bytes) if on_dsp else model.cpu_cycles(n_bytes)
+    return cycles / clock_hz

@@ -1,0 +1,144 @@
+"""Galois-field arithmetic GF(2^m) via log/antilog tables.
+
+The BCH codec needs multiplication, inversion and discrete logs in
+GF(2^m).  Elements are represented as integers in [0, 2^m); addition is
+XOR.  Tables are built once per field from a primitive polynomial.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+#: Primitive polynomials (as integer bit masks, including the x^m term) for
+#: the field sizes the library supports.
+PRIMITIVE_POLYS = {
+    3: 0b1011,            # x^3 + x + 1
+    4: 0b10011,           # x^4 + x + 1
+    5: 0b100101,          # x^5 + x^2 + 1
+    6: 0b1000011,         # x^6 + x + 1
+    7: 0b10001001,        # x^7 + x^3 + 1
+    8: 0b100011101,       # x^8 + x^4 + x^3 + x^2 + 1
+    9: 0b1000010001,      # x^9 + x^4 + 1
+    10: 0b10000001001,    # x^10 + x^3 + 1
+    11: 0b100000000101,   # x^11 + x^2 + 1
+    12: 0b1000001010011,  # x^12 + x^6 + x^4 + x + 1
+    13: 0b10000000011011, # x^13 + x^4 + x^3 + x + 1
+}
+
+
+class GF2m:
+    """The finite field GF(2^m).
+
+    Attributes:
+        m: field exponent.
+        size: 2^m.
+        order: multiplicative group order, 2^m - 1.
+    """
+
+    def __init__(self, m: int) -> None:
+        if m not in PRIMITIVE_POLYS:
+            raise ConfigError(
+                f"unsupported field GF(2^{m}); supported m: "
+                f"{sorted(PRIMITIVE_POLYS)}"
+            )
+        self.m = m
+        self.size = 1 << m
+        self.order = self.size - 1
+        self.prim_poly = PRIMITIVE_POLYS[m]
+        self._exp = [0] * (2 * self.order)
+        self._log = [0] * self.size
+        x = 1
+        for i in range(self.order):
+            self._exp[i] = x
+            self._log[x] = i
+            x <<= 1
+            if x & self.size:
+                x ^= self.prim_poly
+        # Duplicate the exp table so exp[i + j] never needs a modulo.
+        for i in range(self.order, 2 * self.order):
+            self._exp[i] = self._exp[i - self.order]
+
+    # -- element arithmetic ----------------------------------------------------
+
+    def mul(self, a: int, b: int) -> int:
+        """Field product of two elements."""
+        if a == 0 or b == 0:
+            return 0
+        return self._exp[self._log[a] + self._log[b]]
+
+    def div(self, a: int, b: int) -> int:
+        """Field quotient ``a / b``."""
+        if b == 0:
+            raise ZeroDivisionError("division by zero in GF(2^m)")
+        if a == 0:
+            return 0
+        return self._exp[self._log[a] - self._log[b] + self.order]
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse."""
+        if a == 0:
+            raise ZeroDivisionError("zero has no inverse in GF(2^m)")
+        return self._exp[self.order - self._log[a]]
+
+    def pow(self, a: int, n: int) -> int:
+        """``a ** n`` in the field."""
+        if a == 0:
+            return 0 if n > 0 else 1
+        return self._exp[(self._log[a] * n) % self.order]
+
+    def alpha_pow(self, n: int) -> int:
+        """``alpha ** n`` for the primitive element alpha."""
+        return self._exp[n % self.order]
+
+    def log(self, a: int) -> int:
+        """Discrete log base alpha."""
+        if a == 0:
+            raise ValueError("log of zero is undefined")
+        return self._log[a]
+
+    # -- polynomials over this field (coefficient lists, index = degree) -------
+
+    def poly_eval(self, poly: list[int], x: int) -> int:
+        """Evaluate a polynomial (coefficients low-to-high) at ``x``."""
+        result = 0
+        for coeff in reversed(poly):
+            result = self.mul(result, x) ^ coeff
+        return result
+
+    def poly_mul(self, a: list[int], b: list[int]) -> list[int]:
+        """Product of two polynomials over the field."""
+        result = [0] * (len(a) + len(b) - 1)
+        for i, ca in enumerate(a):
+            if ca == 0:
+                continue
+            for j, cb in enumerate(b):
+                if cb:
+                    result[i + j] ^= self.mul(ca, cb)
+        return result
+
+
+def gf2_poly_mul(a: int, b: int) -> int:
+    """Multiply two GF(2)[x] polynomials packed as integer bit masks."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a <<= 1
+        b >>= 1
+    return result
+
+
+def gf2_poly_mod(a: int, mod: int) -> int:
+    """Remainder of GF(2)[x] division, operands packed as bit masks."""
+    if mod == 0:
+        raise ZeroDivisionError("polynomial modulus is zero")
+    mod_deg = mod.bit_length() - 1
+    while a.bit_length() - 1 >= mod_deg and a:
+        shift = (a.bit_length() - 1) - mod_deg
+        a ^= mod << shift
+    return a
+
+
+def gf2_poly_degree(a: int) -> int:
+    """Degree of a packed GF(2)[x] polynomial (-1 for the zero poly)."""
+    return a.bit_length() - 1

@@ -1,0 +1,147 @@
+"""Hamming SECDED(72,64): single-error-correcting, double-error-detecting.
+
+This is the code hardware ECC DIMMs implement per 64-bit word; the software
+scrubber offers it as the middle point between parity (detect-only) and BCH
+(multi-error) protection.  Construction: extended Hamming code — 7 check
+bits over the 127-position Hamming layout restricted to 64 data bits, plus
+one overall parity bit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+class DecodeStatus(enum.Enum):
+    """Outcome of decoding one SECDED word."""
+
+    CLEAN = "clean"
+    CORRECTED = "corrected"          # single-bit error fixed
+    DOUBLE_DETECTED = "double"       # two-bit error detected, not fixed
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    """Decoded word plus what happened.
+
+    Attributes:
+        data: the (corrected) 64-bit payload.
+        status: clean / corrected / double-detected.
+        flipped_bit: corrected codeword position (None unless CORRECTED).
+    """
+
+    data: int
+    status: DecodeStatus
+    flipped_bit: int | None
+
+
+class SecDedCode:
+    """SECDED(72,64) over 64-bit integer words.
+
+    Codeword layout (positions 1..71 as in a classic Hamming code, plus
+    position 0 holding the overall parity): power-of-two positions hold
+    check bits; the first 64 non-power-of-two positions hold data bits.
+    """
+
+    N_DATA = 64
+    N_CHECK = 7  # positions 1, 2, 4, 8, 16, 32, 64
+    N_TOTAL = 72  # 64 data + 7 hamming checks + 1 overall parity
+
+    def __init__(self) -> None:
+        self._data_positions = []
+        pos = 1
+        while len(self._data_positions) < self.N_DATA:
+            if pos & (pos - 1):  # not a power of two
+                self._data_positions.append(pos)
+            pos += 1
+        self._max_pos = self._data_positions[-1]
+        self._check_positions = [
+            1 << i for i in range((self._max_pos).bit_length())
+        ]
+        if len(self._check_positions) != self.N_CHECK:
+            raise ConfigError(
+                "SECDED layout error: "
+                f"{len(self._check_positions)} check bits"
+            )  # pragma: no cover - fixed layout
+
+    # -- encode --------------------------------------------------------------
+
+    def encode(self, data: int) -> int:
+        """Encode a 64-bit word into a 72-bit codeword (as an int).
+
+        Codeword bit 0 is the overall parity; bit i (i >= 1) is Hamming
+        position i.
+        """
+        if not 0 <= data < 1 << self.N_DATA:
+            raise ConfigError("data word must fit in 64 bits")
+        word = self._layout_checks(data)
+        overall = bin(word >> 1).count("1") & 1
+        if overall:
+            word |= 1
+        return word
+
+    def _layout_checks(self, data: int) -> int:
+        """Build the codeword with check bits placed at their positions."""
+        word = 0
+        for i, pos in enumerate(self._data_positions):
+            if (data >> i) & 1:
+                word |= 1 << pos
+        for check in self._check_positions:
+            parity = 0
+            pos = 1
+            while pos <= self._max_pos:
+                if pos != check and (pos & check) and (word >> pos) & 1:
+                    parity ^= 1
+                pos += 1
+            if parity:
+                word |= 1 << check
+        return word
+
+    @staticmethod
+    def _pos_index(pos: int) -> int:
+        return pos
+
+    # -- decode --------------------------------------------------------------
+
+    def decode(self, codeword: int) -> DecodeResult:
+        """Decode a 72-bit codeword, correcting one or detecting two flips."""
+        syndrome = 0
+        for check in self._check_positions:
+            parity = 0
+            pos = 1
+            while pos <= self._max_pos:
+                if (pos & check) and (codeword >> pos) & 1:
+                    parity ^= 1
+                pos += 1
+            if parity:
+                syndrome |= check
+        overall = bin(codeword).count("1") & 1
+
+        if syndrome == 0 and overall == 0:
+            return DecodeResult(self._extract(codeword), DecodeStatus.CLEAN, None)
+        if syndrome != 0 and overall == 1:
+            # Single-bit error at position `syndrome` (could be a check bit).
+            corrected = codeword ^ (1 << syndrome)
+            return DecodeResult(
+                self._extract(corrected), DecodeStatus.CORRECTED, syndrome
+            )
+        if syndrome == 0 and overall == 1:
+            # The overall parity bit itself flipped.
+            corrected = codeword ^ 1
+            return DecodeResult(
+                self._extract(corrected), DecodeStatus.CORRECTED, 0
+            )
+        # syndrome != 0 and overall == 0: double-bit error.
+        return DecodeResult(
+            self._extract(codeword), DecodeStatus.DOUBLE_DETECTED, None
+        )
+
+    def _extract(self, codeword: int) -> int:
+        data = 0
+        for i, pos in enumerate(self._data_positions):
+            if (codeword >> pos) & 1:
+                data |= 1 << i
+        return data

@@ -1,0 +1,28 @@
+"""Per-word parity: the cheapest (detection-only) memory check."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+class ParityCode:
+    """Even parity over ``width``-bit words.
+
+    Detects any odd number of bit flips; corrects nothing.  One check bit
+    per word.
+    """
+
+    def __init__(self, width: int = 64) -> None:
+        if width <= 0:
+            raise ConfigError(f"word width must be positive, got {width}")
+        self.width = width
+
+    def encode(self, data: int) -> int:
+        """Parity bit for ``data``."""
+        if not 0 <= data < 1 << self.width:
+            raise ConfigError(f"data does not fit in {self.width} bits")
+        return bin(data).count("1") & 1
+
+    def check(self, data: int, parity_bit: int) -> bool:
+        """True when the stored parity matches the data."""
+        return self.encode(data) == (parity_bit & 1)

@@ -1,0 +1,136 @@
+"""Fault-injection campaigns: many randomized trials, classified outcomes.
+
+A campaign fixes a program and its inputs, takes one golden (fault-free)
+run, then repeatedly re-executes with a single random SEU — uniform over
+dynamic instruction index, live register (or heap cell) and bit — and
+classifies each outcome.  This reproduces the methodology of the paper's
+QEMU experiments at the granularity it argues is sufficient: faults between
+instructions (sect. 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import FaultInjectionError
+from repro.faults.model import FaultSpec, FaultTarget
+from repro.faults.outcomes import FaultOutcome, OutcomeCounts, TrialResult, classify
+from repro.faults.seu import HeapFaultInjector, RegisterFaultInjector
+from repro.ir.costmodel import CORTEX_A53, CostModel
+from repro.ir.interp import ExecutionResult, Interpreter
+from repro.ir.module import Module
+from repro.rng import fork, make_rng
+
+
+@dataclass
+class Campaign:
+    """Configuration of one fault-injection campaign.
+
+    Attributes:
+        module: module containing the program (possibly instrumented).
+        func_name: entry function.
+        args: arguments passed on every run.
+        n_trials: number of injected faults.
+        target: REGISTER or MEMORY faults.
+        sdc_tolerance: relative output error treated as benign.
+        fuel: instruction budget per run (hang detection).
+        cost_model: cycle cost model used for overhead accounting.
+    """
+
+    module: Module
+    func_name: str
+    args: tuple[int | float, ...]
+    n_trials: int = 200
+    target: FaultTarget = FaultTarget.REGISTER
+    sdc_tolerance: float = 0.0
+    fuel: int = 2_000_000
+    cost_model: CostModel = CORTEX_A53
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of a campaign.
+
+    Attributes:
+        golden: the fault-free reference run.
+        counts: aggregated outcome tallies.
+        trials: per-trial records.
+        mean_faulty_cycles: average cycles across faulted runs.
+    """
+
+    golden: ExecutionResult
+    counts: OutcomeCounts
+    trials: list[TrialResult] = field(default_factory=list)
+
+    @property
+    def mean_faulty_cycles(self) -> float:
+        if not self.trials:
+            return 0.0
+        return float(np.mean([t.cycles for t in self.trials]))
+
+
+def run_campaign(
+    campaign: Campaign,
+    seed: int | np.random.Generator | None = None,
+) -> CampaignResult:
+    """Execute ``campaign`` and classify every trial."""
+    rng = make_rng(seed)
+    golden_interp = Interpreter(
+        campaign.module, cost_model=campaign.cost_model, fuel=campaign.fuel
+    )
+    golden = golden_interp.run(campaign.func_name, list(campaign.args))
+    if not golden.ok:
+        raise FaultInjectionError(
+            f"golden run of @{campaign.func_name} failed: "
+            f"{golden.status.value} ({golden.trap_reason})"
+        )
+    if golden.instructions == 0:
+        raise FaultInjectionError("golden run executed no instructions")
+
+    # A fault can only lengthen a loop's trip count, not turn a terminating
+    # program into one that needs unbounded fuel to *detect* as hung.  Cap
+    # per-trial fuel at a generous multiple of the golden run so hang trials
+    # don't dominate campaign wall time.
+    trial_fuel = min(campaign.fuel, golden.instructions * 50 + 2_000)
+
+    counts = OutcomeCounts()
+    trials: list[TrialResult] = []
+    for trial_rng in fork(rng, campaign.n_trials):
+        index = int(trial_rng.integers(golden.instructions))
+        spec = FaultSpec(target=campaign.target, dynamic_index=index)
+        if campaign.target is FaultTarget.REGISTER:
+            injector = RegisterFaultInjector(spec, seed=trial_rng)
+        elif campaign.target is FaultTarget.MEMORY:
+            injector = HeapFaultInjector(spec, seed=trial_rng)
+        else:
+            raise FaultInjectionError(
+                f"interpreter campaigns support REGISTER/MEMORY targets, "
+                f"not {campaign.target}"
+            )
+        interp = Interpreter(
+            campaign.module,
+            cost_model=campaign.cost_model,
+            fuel=trial_fuel,
+            step_hook=injector,
+        )
+        result = interp.run(campaign.func_name, list(campaign.args))
+        outcome, rel_error = classify(
+            result, golden.value, campaign.sdc_tolerance
+        )
+        if not injector.fired:
+            # The fault never landed (e.g. MEMORY target but the program
+            # allocated nothing).  Count it as benign: the particle missed.
+            outcome, rel_error = FaultOutcome.BENIGN, 0.0
+        counts.record(outcome)
+        trials.append(
+            TrialResult(
+                spec=injector.resolved or spec,
+                outcome=outcome,
+                value=result.value,
+                rel_error=rel_error,
+                cycles=result.cycles,
+            )
+        )
+    return CampaignResult(golden=golden, counts=counts, trials=trials)

@@ -1,0 +1,98 @@
+"""Fault specifications and bit-flip primitives.
+
+SEUs flip exactly one bit (the paper's fault model: "Observational data from
+Perseverance has shown only one radiation error affecting multiple bits for
+its entire 25-year lifespan.  We therefore focus on single-bit rather than
+multi-bit errors").  These helpers flip a chosen bit in the two machine
+representations the IR uses: two's-complement integers and IEEE-754 doubles.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+from repro.errors import FaultInjectionError
+from repro.ir.types import Type
+
+
+class FaultTarget(enum.Enum):
+    """Where a fault lands."""
+
+    REGISTER = "register"   # live SSA value in the executing frame
+    MEMORY = "memory"       # heap cell (interpreter) / DRAM (machine)
+    CACHE = "cache"         # cache-resident copy (machine emulator only)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fully determined fault.
+
+    Attributes:
+        target: which state class the flip hits.
+        dynamic_index: dynamic instruction index at which to inject.
+        location: register name or memory address (resolved at runtime when
+            None — the injector picks uniformly among live candidates).
+        bit: bit index to flip (LSB = 0); None means pick uniformly.
+    """
+
+    target: FaultTarget
+    dynamic_index: int
+    location: str | int | None = None
+    bit: int | None = None
+
+
+# -- bit flips ----------------------------------------------------------------
+
+def flip_int_bit(value: int, bit: int, bits: int) -> int:
+    """Flip ``bit`` of a ``bits``-wide two's-complement integer."""
+    if not 0 <= bit < bits:
+        raise FaultInjectionError(f"bit {bit} outside width {bits}")
+    mask = (1 << bits) - 1
+    raw = (value & mask) ^ (1 << bit)
+    if raw >= 1 << (bits - 1):
+        return raw - (1 << bits)
+    return raw
+
+
+def flip_float_bit(value: float, bit: int) -> float:
+    """Flip ``bit`` of an IEEE-754 double (bit 63 = sign, 62-52 = exponent)."""
+    if not 0 <= bit < 64:
+        raise FaultInjectionError(f"bit {bit} outside a 64-bit double")
+    (raw,) = struct.unpack("<Q", struct.pack("<d", value))
+    raw ^= 1 << bit
+    (flipped,) = struct.unpack("<d", struct.pack("<Q", raw))
+    return flipped
+
+
+def flip_value_bit(value: int | float, type_: Type, bit: int) -> int | float:
+    """Flip ``bit`` in a typed IR value."""
+    if type_.is_float:
+        return flip_float_bit(float(value), bit)
+    if type_.is_pointer:
+        return flip_int_bit(int(value), bit, 64) & ((1 << 64) - 1)
+    return type_.wrap(flip_int_bit(int(value), bit, type_.bits))
+
+
+def float_bit_class(bit: int) -> str:
+    """Classify a double's bit: ``sign``, ``exponent`` or ``mantissa``.
+
+    Sect. 4.1 quantifies the per-class damage: "An SEU in a float results in
+    relative errors up to 2**1024 when an exponent bit is hit, 200% if the
+    sign bit is hit, and 50% if a mantissa bit is hit."
+    """
+    if bit == 63:
+        return "sign"
+    if 52 <= bit <= 62:
+        return "exponent"
+    if 0 <= bit <= 51:
+        return "mantissa"
+    raise FaultInjectionError(f"bit {bit} outside a 64-bit double")
+
+
+def relative_error(corrupted: float, reference: float) -> float:
+    """|corrupted - reference| / |reference| (inf when reference is 0)."""
+    if reference == 0:
+        return float("inf") if corrupted != reference else 0.0
+    return abs(corrupted - reference) / abs(reference)

@@ -1,0 +1,120 @@
+"""Outcome classification for fault-injection trials.
+
+Mirrors the taxonomy the paper uses for SEU effects: "crashes, hangs, and
+silent data corruption" (sect. 4), plus *benign* (the flip was masked) and
+*detected* (a protection pass's trap fired before the corruption escaped).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+from repro.faults.model import FaultSpec, relative_error
+from repro.ir.interp import ExecutionResult, ExecutionStatus
+
+
+class FaultOutcome(enum.Enum):
+    """What a single injected fault did to the program."""
+
+    BENIGN = "benign"        # output identical to golden
+    SDC = "sdc"              # silent data corruption: wrong output, no signal
+    CRASH = "crash"          # trap (bad address, division by zero, ...)
+    HANG = "hang"            # instruction budget exhausted
+    DETECTED = "detected"    # protection instrumentation trapped
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """One fault-injection trial.
+
+    Attributes:
+        spec: the injected fault (fully resolved: location and bit chosen).
+        outcome: classification against the golden run.
+        value: the corrupted run's return value (None on crash/hang).
+        rel_error: relative output error for numeric SDC (0 for benign).
+        cycles: cycles consumed by the corrupted run.
+    """
+
+    spec: FaultSpec
+    outcome: FaultOutcome
+    value: int | float | None
+    rel_error: float
+    cycles: int
+
+
+def classify(
+    result: ExecutionResult,
+    golden_value: int | float | None,
+    sdc_tolerance: float = 0.0,
+) -> tuple[FaultOutcome, float]:
+    """Classify a faulted run against the golden output.
+
+    ``sdc_tolerance`` implements the paper's "acceptable margin of error"
+    tuning: numeric deviations with relative error at or below the tolerance
+    count as benign.
+    """
+    if result.status is ExecutionStatus.DETECTED:
+        return FaultOutcome.DETECTED, 0.0
+    if result.status is ExecutionStatus.TRAP:
+        return FaultOutcome.CRASH, 0.0
+    if result.status is ExecutionStatus.HANG:
+        return FaultOutcome.HANG, 0.0
+    if result.value == golden_value:
+        return FaultOutcome.BENIGN, 0.0
+    if isinstance(result.value, float) and isinstance(golden_value, float):
+        if math.isnan(result.value) and math.isnan(golden_value):
+            return FaultOutcome.BENIGN, 0.0
+        err = relative_error(result.value, golden_value)
+        if err <= sdc_tolerance:
+            return FaultOutcome.BENIGN, err
+        return FaultOutcome.SDC, err
+    return FaultOutcome.SDC, float("inf")
+
+
+@dataclass
+class OutcomeCounts:
+    """Aggregated outcome tallies for a campaign."""
+
+    counts: dict[FaultOutcome, int] = field(
+        default_factory=lambda: {o: 0 for o in FaultOutcome}
+    )
+
+    def record(self, outcome: FaultOutcome) -> None:
+        self.counts[outcome] += 1
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def fraction(self, outcome: FaultOutcome) -> float:
+        if self.total == 0:
+            return 0.0
+        return self.counts[outcome] / self.total
+
+    @property
+    def sdc_rate(self) -> float:
+        """Fraction of trials ending in silent data corruption."""
+        return self.fraction(FaultOutcome.SDC)
+
+    @property
+    def detection_rate(self) -> float:
+        """Detected / (detected + sdc): how much harm the monitor caught.
+
+        Crashes and hangs are externally observable (a supervisor can
+        restart), so the quantity of interest is how many *silent*
+        corruptions were converted into detections.
+        """
+        caught = self.counts[FaultOutcome.DETECTED]
+        escaped = self.counts[FaultOutcome.SDC]
+        if caught + escaped == 0:
+            return 1.0
+        return caught / (caught + escaped)
+
+    def as_dict(self) -> dict[str, int]:
+        return {o.value: n for o, n in self.counts.items()}
+
+    def __str__(self) -> str:
+        parts = [f"{o.value}={n}" for o, n in self.counts.items() if n]
+        return f"OutcomeCounts({', '.join(parts) or 'empty'})"

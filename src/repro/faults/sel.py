@@ -1,0 +1,88 @@
+"""Single-event latch-up events.
+
+An SEL is modelled by its observable signature (sect. 3): a step increase in
+current draw — possibly as small as 5 mA, far below normal load swings —
+starting at a random onset and persisting until the device is power-cycled.
+If it persists past the damage deadline (~3 minutes: "destroying the gate
+within around 3 minutes"), the device is permanently destroyed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.rng import make_rng
+
+#: Time from latch-up onset to permanent damage (sect. 3: ~3 minutes).
+DEFAULT_DAMAGE_DEADLINE_S = 180.0
+
+
+@dataclass(frozen=True)
+class LatchupEvent:
+    """One latch-up.
+
+    Attributes:
+        onset_s: simulation time at which the short-circuit forms.
+        delta_current_a: additional current drawn while latched.
+        damage_deadline_s: seconds after onset at which the part is
+            permanently destroyed unless power-cycled.
+    """
+
+    onset_s: float
+    delta_current_a: float
+    damage_deadline_s: float = DEFAULT_DAMAGE_DEADLINE_S
+
+    @property
+    def destruction_time_s(self) -> float:
+        return self.onset_s + self.damage_deadline_s
+
+    def current_at(self, t: float, cleared_at: float | None = None) -> float:
+        """Additional current at time ``t`` (0 before onset / after clear)."""
+        if t < self.onset_s:
+            return 0.0
+        if cleared_at is not None and t >= cleared_at:
+            return 0.0
+        return self.delta_current_a
+
+
+class LatchupGenerator:
+    """Draws latch-up events with configurable severity.
+
+    The severity range defaults to the paper's span of interest: from the
+    nearly invisible 5 mA case up to a full ampere.
+    """
+
+    def __init__(
+        self,
+        min_delta_a: float = 0.005,
+        max_delta_a: float = 1.0,
+        damage_deadline_s: float = DEFAULT_DAMAGE_DEADLINE_S,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if min_delta_a <= 0 or max_delta_a < min_delta_a:
+            raise ConfigError(
+                f"invalid delta-current range [{min_delta_a}, {max_delta_a}]"
+            )
+        self.min_delta_a = min_delta_a
+        self.max_delta_a = max_delta_a
+        self.damage_deadline_s = damage_deadline_s
+        self.rng = make_rng(seed)
+
+    def sample(self, onset_s: float) -> LatchupEvent:
+        """One latch-up at ``onset_s`` with log-uniform severity.
+
+        Log-uniform sampling spreads probability across decades, so the
+        hard-to-detect few-mA events are as represented as ampere-scale
+        ones.
+        """
+        log_lo = np.log(self.min_delta_a)
+        log_hi = np.log(self.max_delta_a)
+        delta = float(np.exp(self.rng.uniform(log_lo, log_hi)))
+        return LatchupEvent(
+            onset_s=onset_s,
+            delta_current_a=delta,
+            damage_deadline_s=self.damage_deadline_s,
+        )

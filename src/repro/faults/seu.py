@@ -1,0 +1,168 @@
+"""SEU injectors for the IR interpreter.
+
+Each injector is a ``step_hook`` (see :class:`repro.ir.interp.Interpreter`)
+that fires once, at a chosen dynamic instruction index, and flips one bit of
+live architectural state — a register (live SSA value of the executing
+frame) or a heap cell.  This mirrors the paper's QEMU framework, which
+"pauses the execution of the system emulation at a selected time, and uses
+GDB to modify register and memory contents" (sect. 4.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FaultInjectionError
+from repro.faults.model import FaultSpec, FaultTarget, flip_value_bit, flip_int_bit
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+from repro.ir.interp import Frame, Interpreter
+from repro.ir.types import F64, Type
+from repro.rng import make_rng
+
+
+def _value_types(func: Function) -> dict[str, Type]:
+    """Declared type of every named value (arguments + instruction results)."""
+    types = {arg.name: arg.type for arg in func.args}
+    for instr in func.instructions():
+        if instr.defines_value:
+            types[instr.name] = instr.type
+    return types
+
+
+class RegisterFaultInjector:
+    """Flips one bit in one live register at one dynamic instruction.
+
+    Attributes:
+        spec: the fault request; unresolved fields (location/bit) are chosen
+            uniformly at injection time and recorded in :attr:`resolved`.
+        resolved: the fully determined fault actually injected (None until
+            injection happens).
+    """
+
+    def __init__(
+        self,
+        spec: FaultSpec,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if spec.target is not FaultTarget.REGISTER:
+            raise FaultInjectionError(
+                f"RegisterFaultInjector got target {spec.target}"
+            )
+        self.spec = spec
+        self.rng = make_rng(seed)
+        self.resolved: FaultSpec | None = None
+        self._type_cache: dict[str, dict[str, Type]] = {}
+
+    def __call__(
+        self,
+        interp: Interpreter,
+        frame: Frame,
+        instr: Instruction,
+        dynamic_index: int,
+    ) -> None:
+        if self.resolved is not None or dynamic_index < self.spec.dynamic_index:
+            return
+        env = frame.env
+        if not env:
+            return  # nothing live yet; fires at the next opportunity
+        types = self._type_cache.get(frame.func.name)
+        if types is None:
+            types = _value_types(frame.func)
+            self._type_cache[frame.func.name] = types
+
+        if self.spec.location is not None:
+            name = str(self.spec.location)
+            if name not in env:
+                return  # requested register not live yet; wait
+        else:
+            names = sorted(env)
+            name = names[int(self.rng.integers(len(names)))]
+
+        type_ = types.get(name, F64 if isinstance(env[name], float) else None)
+        if type_ is None:
+            from repro.ir.types import INT64
+
+            type_ = INT64
+        width = 64 if (type_.is_float or type_.is_pointer) else type_.bits
+        bit = (
+            self.spec.bit
+            if self.spec.bit is not None
+            else int(self.rng.integers(width))
+        )
+        env[name] = flip_value_bit(env[name], type_, bit)
+        self.resolved = FaultSpec(
+            target=FaultTarget.REGISTER,
+            dynamic_index=dynamic_index,
+            location=name,
+            bit=bit,
+        )
+
+    @property
+    def fired(self) -> bool:
+        return self.resolved is not None
+
+
+class HeapFaultInjector:
+    """Flips one bit in one heap cell at one dynamic instruction.
+
+    Heap cells are typeless 8-byte slots; the flip respects the runtime kind
+    of the stored value (float vs integer).
+    """
+
+    def __init__(
+        self,
+        spec: FaultSpec,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if spec.target is not FaultTarget.MEMORY:
+            raise FaultInjectionError(
+                f"HeapFaultInjector got target {spec.target}"
+            )
+        self.spec = spec
+        self.rng = make_rng(seed)
+        self.resolved: FaultSpec | None = None
+
+    def __call__(
+        self,
+        interp: Interpreter,
+        frame: Frame,
+        instr: Instruction,
+        dynamic_index: int,
+    ) -> None:
+        if self.resolved is not None or dynamic_index < self.spec.dynamic_index:
+            return
+        if not interp.heap:
+            return
+        if self.spec.location is not None:
+            address = int(self.spec.location)
+            if not 0 <= address < len(interp.heap):
+                raise FaultInjectionError(
+                    f"heap address {address} outside heap of "
+                    f"{len(interp.heap)} cells"
+                )
+        else:
+            address = int(self.rng.integers(len(interp.heap)))
+        cell = interp.heap[address]
+        if isinstance(cell, float):
+            bit = (
+                self.spec.bit if self.spec.bit is not None
+                else int(self.rng.integers(64))
+            )
+            interp.heap[address] = flip_value_bit(cell, F64, bit)
+        else:
+            bit = (
+                self.spec.bit if self.spec.bit is not None
+                else int(self.rng.integers(64))
+            )
+            interp.heap[address] = flip_int_bit(int(cell), bit, 64)
+        self.resolved = FaultSpec(
+            target=FaultTarget.MEMORY,
+            dynamic_index=dynamic_index,
+            location=address,
+            bit=bit,
+        )
+
+    @property
+    def fired(self) -> bool:
+        return self.resolved is not None

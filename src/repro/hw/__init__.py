@@ -1,0 +1,34 @@
+"""Hardware models: the simulated flight computer.
+
+Everything the paper measured on physical hardware is modelled here:
+
+- :mod:`repro.hw.specs` — SoC spec sheets (Table 1's EnduroSat OBC and
+  Snapdragon 801, plus the Raspberry Pi used in sect. 3's testbed).
+- :mod:`repro.hw.power` — utilization-driven current model reproducing the
+  Figure 1 relationship (CPU usage vs current correlation ~99.9%).
+- :mod:`repro.hw.sensor` — INA219-class current sensor with quantization
+  and noise (the testbed's I2C current monitor).
+- :mod:`repro.hw.thermal` — lumped thermal state and latch-up damage clock.
+- :mod:`repro.hw.board` — the assembled board: load in, telemetry out,
+  power-cycle control, destruction on unhandled latch-ups.
+- :mod:`repro.hw.coprocessor` — the idle DSP that hosts the memory
+  scrubber.
+"""
+
+from repro.hw.specs import (
+    SocSpec, SNAPDRAGON_801, ENDUROSAT_OBC_SPEC, RASPBERRY_PI_4, ALL_SPECS,
+    comparison_table,
+)
+from repro.hw.power import PowerModel, PowerModelParams, RPI4_POWER
+from repro.hw.sensor import CurrentSensor
+from repro.hw.thermal import ThermalModel
+from repro.hw.board import Board, TelemetrySample
+from repro.hw.coprocessor import DspCoprocessor
+
+__all__ = [
+    "SocSpec", "SNAPDRAGON_801", "ENDUROSAT_OBC_SPEC", "RASPBERRY_PI_4",
+    "ALL_SPECS", "comparison_table",
+    "PowerModel", "PowerModelParams", "RPI4_POWER",
+    "CurrentSensor", "ThermalModel", "Board", "TelemetrySample",
+    "DspCoprocessor",
+]

@@ -1,0 +1,195 @@
+"""The assembled flight-computer board.
+
+Ties the SoC spec, power model, current sensor, thermal node and latch-up
+state together: feed it a load (a stress schedule or mission workload), and
+it produces telemetry samples; inject latch-ups, and it either gets
+power-cycled in time or is destroyed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DeviceDestroyed
+from repro.faults.sel import LatchupEvent
+from repro.hw.power import PowerModel
+from repro.hw.sensor import CurrentSensor
+from repro.hw.specs import RASPBERRY_PI_4, SocSpec
+from repro.hw.thermal import ThermalModel
+from repro.rng import make_rng
+
+
+@dataclass(frozen=True)
+class TelemetrySample:
+    """One sample of software-extractable metrics plus measured current.
+
+    These are exactly the signals the paper's detector consumes: per-core
+    utilization, memory capacity and bandwidth usage, cache-miss rate and
+    temperature from the OS side; current from the monitoring chip.
+    """
+
+    t: float
+    core_utils: tuple[float, ...]
+    cpu_util: float
+    mem_fraction: float
+    mem_bandwidth: float
+    cache_miss_rate: float
+    temperature_c: float
+    current_a: float
+
+    def features(self) -> np.ndarray:
+        """The software-only feature vector (everything except current).
+
+        The aggregate cpu_util is deliberately excluded: it is an exact
+        linear function of the per-core utilizations and would make the
+        joint covariance singular.
+        """
+        return np.array(
+            [
+                *self.core_utils,
+                self.mem_fraction,
+                self.mem_bandwidth,
+                self.cache_miss_rate,
+            ]
+        )
+
+
+@dataclass
+class _LatchupState:
+    event: LatchupEvent
+    cleared_at: float | None = None
+
+
+class Board:
+    """A commodity flight computer under simulation.
+
+    Attributes:
+        spec: the SoC spec sheet.
+        destroyed: set permanently once a latch-up outlives its deadline.
+        power_cycles: count of reboots commanded so far.
+    """
+
+    def __init__(
+        self,
+        spec: SocSpec = RASPBERRY_PI_4,
+        power_model: PowerModel | None = None,
+        sensor: CurrentSensor | None = None,
+        thermal: ThermalModel | None = None,
+        seed: int | np.random.Generator | None = None,
+        reboot_downtime_s: float = 8.0,
+    ) -> None:
+        rng = make_rng(seed)
+        self.spec = spec
+        self.power_model = power_model or PowerModel(seed=rng.spawn(1)[0])
+        self.sensor = sensor or CurrentSensor(seed=rng.spawn(1)[0])
+        self.thermal = thermal or ThermalModel()
+        self.rng = rng
+        self.reboot_downtime_s = reboot_downtime_s
+        self.destroyed = False
+        self.power_cycles = 0
+        self._latchups: list[_LatchupState] = []
+        self._down_until = -1.0
+        self._last_t = 0.0
+
+    # -- fault interface -------------------------------------------------------
+
+    def inject_latchup(self, event: LatchupEvent) -> None:
+        """Register a latch-up that begins at ``event.onset_s``."""
+        self._latchups.append(_LatchupState(event=event))
+
+    def power_cycle(self, t: float) -> None:
+        """Reboot the board: clears all active latch-ups, costs downtime."""
+        if self.destroyed:
+            raise DeviceDestroyed(
+                f"{self.spec.name} was destroyed; power cycling cannot help"
+            )
+        for state in self._latchups:
+            if state.cleared_at is None:
+                state.cleared_at = t
+        self.power_cycles += 1
+        self._down_until = t + self.reboot_downtime_s
+
+    def is_down(self, t: float) -> bool:
+        """Whether the board is mid-reboot at time ``t``."""
+        return t < self._down_until
+
+    @property
+    def active_latchups(self) -> list[LatchupEvent]:
+        return [
+            s.event
+            for s in self._latchups
+            if s.cleared_at is None and s.event.onset_s <= self._last_t
+        ]
+
+    # -- stepping ----------------------------------------------------------------
+
+    def _latchup_current(self, t: float) -> float:
+        total = 0.0
+        for state in self._latchups:
+            total += state.event.current_at(t, state.cleared_at)
+        return total
+
+    def _check_destruction(self, t: float) -> None:
+        for state in self._latchups:
+            deadline = state.event.destruction_time_s
+            cleared_too_late = (
+                state.cleared_at is not None and state.cleared_at > deadline
+            )
+            still_latched_past_deadline = state.cleared_at is None and t > deadline
+            if cleared_too_late or still_latched_past_deadline:
+                self.destroyed = True
+
+    def sample(
+        self,
+        t: float,
+        core_utils: list[float],
+        mem_fraction: float,
+        mem_bandwidth: float,
+    ) -> TelemetrySample:
+        """Advance to time ``t`` under the given load and read telemetry."""
+        if self.destroyed:
+            raise DeviceDestroyed(f"{self.spec.name} is destroyed")
+        dt = max(0.0, t - self._last_t)
+        self._last_t = t
+        self._check_destruction(t)
+        if self.destroyed:
+            raise DeviceDestroyed(
+                f"{self.spec.name}: latch-up exceeded its damage deadline"
+            )
+        if self.is_down(t):
+            core_utils = [0.0] * self.spec.n_cores
+            mem_fraction, mem_bandwidth = 0.02, 0.0
+
+        extra = self._latchup_current(t)
+        true_current = self.power_model.current(
+            t, core_utils, mem_bandwidth, mem_fraction, extra_a=extra
+        )
+        self.thermal.step(dt, true_current)
+        # OS-visible utilization is an interval estimate, not the true
+        # instantaneous value: add sampling jitter as /proc/stat would show.
+        core_utils = [
+            float(np.clip(u + self.rng.normal(0.0, 0.015), 0.0, 1.0))
+            for u in core_utils
+        ]
+        mem_fraction = float(
+            np.clip(mem_fraction + self.rng.normal(0.0, 0.004), 0.0, 1.0)
+        )
+        mem_bandwidth = float(
+            np.clip(mem_bandwidth + self.rng.normal(0.0, 0.01), 0.0, 1.0)
+        )
+        cpu_util = float(np.mean(core_utils)) if core_utils else 0.0
+        # Cache miss rate rises with memory bandwidth pressure; small
+        # baseline from ordinary execution.
+        miss = 0.02 + 0.6 * mem_bandwidth + float(self.rng.normal(0, 0.01))
+        return TelemetrySample(
+            t=t,
+            core_utils=tuple(core_utils),
+            cpu_util=cpu_util,
+            mem_fraction=mem_fraction,
+            mem_bandwidth=mem_bandwidth,
+            cache_miss_rate=max(0.0, min(1.0, miss)),
+            temperature_c=self.thermal.temperature_c,
+            current_a=self.sensor.read(true_current),
+        )

@@ -1,0 +1,56 @@
+"""The idle DSP coprocessor hosting the memory scrubber.
+
+"Many of these general-purpose SoCs provide hardware accelerators ... but
+they are often left unused in spacecraft" (sect. 4.1).  The model exposes a
+cycle budget per unit time; the scrubber scheduler converts page-verify
+requests into cycles via the codec cost model and consumes the budget.
+"""
+
+from __future__ import annotations
+
+from repro.ecc.cost import CODEC_COSTS
+from repro.errors import ConfigError
+
+
+class DspCoprocessor:
+    """A Hexagon-class vector DSP with a per-second cycle budget.
+
+    Attributes:
+        clock_hz: DSP clock.
+        busy_cycles: cycles consumed so far (total).
+    """
+
+    def __init__(self, clock_hz: float = 600e6) -> None:
+        if clock_hz <= 0:
+            raise ConfigError(f"DSP clock must be positive, got {clock_hz}")
+        self.clock_hz = clock_hz
+        self.busy_cycles = 0.0
+        self._window_budget = 0.0
+
+    def begin_interval(self, dt: float) -> None:
+        """Open a scheduling interval of ``dt`` seconds of DSP time."""
+        if dt < 0:
+            raise ConfigError(f"negative interval {dt}")
+        self._window_budget = dt * self.clock_hz
+
+    def verify_cost_cycles(self, n_bytes: int, codec: str) -> float:
+        """DSP cycles to verify ``n_bytes`` with ``codec``."""
+        if codec not in CODEC_COSTS:
+            raise ConfigError(f"unknown codec {codec!r}")
+        return CODEC_COSTS[codec].dsp_cycles(n_bytes)
+
+    def try_schedule(self, n_bytes: int, codec: str) -> bool:
+        """Consume budget for one verification; False when out of budget."""
+        cost = self.verify_cost_cycles(n_bytes, codec)
+        if cost > self._window_budget:
+            return False
+        self._window_budget -= cost
+        self.busy_cycles += cost
+        return True
+
+    def pages_per_interval(self, dt: float, page_size: int, codec: str) -> int:
+        """How many pages fit in an interval (for budget planning)."""
+        per_page = self.verify_cost_cycles(page_size, codec)
+        if per_page <= 0:
+            return 0
+        return int(dt * self.clock_hz / per_page)

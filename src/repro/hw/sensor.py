@@ -1,0 +1,47 @@
+"""INA219-class current sensor model.
+
+The SEL testbed (sect. 3.2) reads board current over I2C from a cheap
+monitor chip.  Real parts quantize (the INA219's current LSB is
+programmable, ~0.1-1 mA), add measurement noise, and sample at a bounded
+rate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.rng import make_rng
+
+
+class CurrentSensor:
+    """Quantizing, noisy current sensor.
+
+    Attributes:
+        lsb_a: quantization step (amperes per count).
+        noise_sigma_a: RMS measurement noise.
+        max_a: full-scale range (readings clip here).
+        sample_rate_hz: maximum sampling rate.
+    """
+
+    def __init__(
+        self,
+        lsb_a: float = 0.001,
+        noise_sigma_a: float = 0.0015,
+        max_a: float = 6.0,
+        sample_rate_hz: float = 100.0,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if lsb_a <= 0 or max_a <= 0 or sample_rate_hz <= 0:
+            raise ConfigError("sensor parameters must be positive")
+        self.lsb_a = lsb_a
+        self.noise_sigma_a = noise_sigma_a
+        self.max_a = max_a
+        self.sample_rate_hz = sample_rate_hz
+        self.rng = make_rng(seed)
+
+    def read(self, true_current_a: float) -> float:
+        """One sensor reading of ``true_current_a``."""
+        noisy = true_current_a + float(self.rng.normal(0.0, self.noise_sigma_a))
+        clipped = min(max(noisy, 0.0), self.max_a)
+        return round(clipped / self.lsb_a) * self.lsb_a

@@ -1,0 +1,141 @@
+"""SoC specification sheets (Table 1 of the paper).
+
+================  ==================  =================
+Specification     EnduroSat OBC       Snapdragon 801
+================  ==================  =================
+Rad-hardened      Yes                 No
+ISA               ARMv7E-M            ARMv7-A
+Clock             216 MHz             2.5 GHz
+RAM               64 MB ECC           2 GB non-ECC
+Storage           256 MB flash        32 GB flash
+Cost              $10,000             $750
+================  ==================  =================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import ghz, gib, mhz, mib
+
+
+@dataclass(frozen=True)
+class SocSpec:
+    """A flight-computer spec sheet.
+
+    Attributes:
+        name: marketing name.
+        isa: instruction-set architecture.
+        rad_hard: whether the part is radiation hardened.
+        n_cores: CPU core count.
+        clock_hz: per-core clock.
+        ram_bytes: main-memory capacity.
+        ram_ecc: whether RAM has hardware ECC.
+        storage_bytes: flash capacity.
+        cost_usd: unit cost.
+        has_dsp: whether an idle vector DSP coprocessor is available.
+        dsp_clock_hz: DSP clock (0 when absent).
+    """
+
+    name: str
+    isa: str
+    rad_hard: bool
+    n_cores: int
+    clock_hz: float
+    ram_bytes: int
+    ram_ecc: bool
+    storage_bytes: int
+    cost_usd: float
+    has_dsp: bool = False
+    dsp_clock_hz: float = 0.0
+
+    @property
+    def compute_score(self) -> float:
+        """Crude aggregate throughput proxy: cores x clock."""
+        return self.n_cores * self.clock_hz
+
+    @property
+    def perf_per_dollar(self) -> float:
+        return self.compute_score / self.cost_usd
+
+
+ENDUROSAT_OBC_SPEC = SocSpec(
+    name="EnduroSat OBC",
+    isa="ARMv7E-M",
+    rad_hard=True,
+    n_cores=1,
+    clock_hz=mhz(216),
+    ram_bytes=mib(64),
+    ram_ecc=True,
+    storage_bytes=mib(256),
+    cost_usd=10_000.0,
+)
+
+SNAPDRAGON_801 = SocSpec(
+    name="Snapdragon 801",
+    isa="ARMv7-A",
+    rad_hard=False,
+    n_cores=4,
+    clock_hz=ghz(2.5),
+    ram_bytes=gib(2),
+    ram_ecc=False,
+    storage_bytes=gib(32),
+    cost_usd=750.0,
+    has_dsp=True,
+    dsp_clock_hz=mhz(600),  # Hexagon QDSP6 class
+)
+
+RASPBERRY_PI_4 = SocSpec(
+    name="Raspberry Pi 4",
+    isa="ARMv8-A",
+    rad_hard=False,
+    n_cores=4,
+    clock_hz=ghz(1.5),
+    ram_bytes=gib(4),
+    ram_ecc=False,
+    storage_bytes=gib(32),
+    cost_usd=75.0,
+    has_dsp=False,
+)
+
+ALL_SPECS = [ENDUROSAT_OBC_SPEC, SNAPDRAGON_801, RASPBERRY_PI_4]
+
+
+def comparison_table(specs: list[SocSpec] | None = None) -> str:
+    """Render the Table 1 comparison as aligned text."""
+    specs = specs or [ENDUROSAT_OBC_SPEC, SNAPDRAGON_801]
+    rows = [
+        ("Specification", [s.name for s in specs]),
+        ("Radiation-hardened", ["Yes" if s.rad_hard else "No" for s in specs]),
+        ("ISA", [s.isa for s in specs]),
+        ("Clock Speed", [_fmt_hz(s.clock_hz) for s in specs]),
+        ("RAM", [
+            f"{_fmt_bytes(s.ram_bytes)} {'ECC' if s.ram_ecc else 'non-ECC'}"
+            for s in specs
+        ]),
+        ("Storage", [f"{_fmt_bytes(s.storage_bytes)} Flash" for s in specs]),
+        ("Cost", [f"${s.cost_usd:,.0f}" for s in specs]),
+        ("Compute (cores x Hz)", [f"{s.compute_score:.2e}" for s in specs]),
+        ("Perf per dollar", [f"{s.perf_per_dollar:.2e}" for s in specs]),
+    ]
+    label_width = max(len(r[0]) for r in rows)
+    col_width = max(
+        max(len(cell) for cell in cells) for _, cells in rows
+    )
+    lines = []
+    for label, cells in rows:
+        padded = "  ".join(c.ljust(col_width) for c in cells)
+        lines.append(f"{label.ljust(label_width)}  {padded}")
+    return "\n".join(lines)
+
+
+def _fmt_hz(hz: float) -> str:
+    if hz >= 1e9:
+        return f"{hz / 1e9:g}GHz"
+    return f"{hz / 1e6:g}MHz"
+
+
+def _fmt_bytes(n: int) -> str:
+    if n >= 1 << 30:
+        return f"{n / (1 << 30):g}GB"
+    return f"{n / (1 << 20):g}MB"

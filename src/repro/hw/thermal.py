@@ -1,0 +1,44 @@
+"""Lumped thermal model of the flight computer.
+
+In vacuum there is no convection; heat leaves only by conduction to the
+structure and radiation, so sustained latch-up current concentrates heat at
+a few gates and destroys them within minutes (sect. 3).  The board-level
+model here provides a temperature telemetry channel (one of the
+software-extractable features) and tracks the latch-up damage clock.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+class ThermalModel:
+    """First-order RC thermal node.
+
+    dT/dt = (P * R_th - (T - T_env)) / tau
+    """
+
+    def __init__(
+        self,
+        t_env_c: float = 10.0,
+        r_th_c_per_w: float = 8.0,
+        tau_s: float = 120.0,
+        supply_v: float = 5.0,
+    ) -> None:
+        if tau_s <= 0 or r_th_c_per_w <= 0 or supply_v <= 0:
+            raise ConfigError("thermal parameters must be positive")
+        self.t_env_c = t_env_c
+        self.r_th_c_per_w = r_th_c_per_w
+        self.tau_s = tau_s
+        self.supply_v = supply_v
+        self.temperature_c = t_env_c
+
+    def step(self, dt: float, current_a: float) -> float:
+        """Advance the node by ``dt`` seconds at the given supply current."""
+        if dt < 0:
+            raise ConfigError(f"negative time step {dt}")
+        power_w = current_a * self.supply_v
+        equilibrium = self.t_env_c + power_w * self.r_th_c_per_w
+        alpha = 1.0 - pow(2.718281828459045, -dt / self.tau_s)
+        self.temperature_c += (equilibrium - self.temperature_c) * alpha
+        return self.temperature_c

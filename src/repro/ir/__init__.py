@@ -1,0 +1,44 @@
+"""SSA intermediate representation: the library's LLVM stand-in.
+
+The paper's tunable-DMR instrumentation (sect. 4.1) and risk-analysis pass
+(sect. 4.2) are described as LLVM compiler passes.  This package provides the
+facilities those passes need: a typed SSA IR with basic blocks and phi nodes,
+a builder, a verifier, a textual printer/parser, CFG analyses (dominators,
+strongly connected components), use-def chains, and an interpreter with a
+Cortex-A53-style cycle cost model.
+"""
+
+from repro.ir.types import Type, INT1, INT32, INT64, F64, PTR
+from repro.ir.values import Value, Constant, Argument
+from repro.ir.instructions import Opcode, Instruction
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.builder import IRBuilder
+from repro.ir.verifier import verify_module, verify_function
+from repro.ir.printer import print_module, print_function
+from repro.ir.parser import parse_module
+from repro.ir.cfg import successors, predecessors, reverse_postorder
+from repro.ir.dominators import DominatorTree
+from repro.ir.scc import strongly_connected_components, condensation
+from repro.ir.usedef import UseDefInfo, backward_slice
+from repro.ir.interp import (
+    Interpreter, ExecutionResult, ExecutionStatus, magnitude,
+)
+from repro.ir.costmodel import CostModel, CORTEX_A53
+from repro.ir.clone import clone_function, clone_module
+
+__all__ = [
+    "Type", "INT1", "INT32", "INT64", "F64", "PTR",
+    "Value", "Constant", "Argument",
+    "Opcode", "Instruction",
+    "BasicBlock", "Function", "Module", "IRBuilder",
+    "verify_module", "verify_function",
+    "print_module", "print_function", "parse_module",
+    "successors", "predecessors", "reverse_postorder",
+    "DominatorTree", "strongly_connected_components", "condensation",
+    "UseDefInfo", "backward_slice",
+    "Interpreter", "ExecutionResult", "ExecutionStatus", "magnitude",
+    "CostModel", "CORTEX_A53",
+    "clone_function", "clone_module",
+]

@@ -1,0 +1,80 @@
+"""Basic blocks: straight-line instruction sequences ending in a terminator."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.errors import IRError
+from repro.ir.instructions import Instruction
+
+if TYPE_CHECKING:
+    from repro.ir.function import Function
+
+
+class BasicBlock:
+    """A labelled sequence of instructions with a single terminator.
+
+    Attributes:
+        name: block label without the leading ``^``.
+        instructions: the instructions in program order.
+        parent: owning function.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.instructions: list[Instruction] = []
+        self.parent: Function | None = None
+
+    def append(self, instr: Instruction) -> Instruction:
+        """Append ``instr``; raises if the block is already terminated."""
+        if self.is_terminated:
+            raise IRError(
+                f"block ^{self.name} already has terminator "
+                f"{self.terminator.opcode.value}"
+            )
+        instr.parent = self
+        self.instructions.append(instr)
+        return instr
+
+    def insert(self, index: int, instr: Instruction) -> Instruction:
+        """Insert ``instr`` at ``index`` (used by instrumentation passes)."""
+        instr.parent = self
+        self.instructions.insert(index, instr)
+        return instr
+
+    @property
+    def is_terminated(self) -> bool:
+        return bool(self.instructions) and self.instructions[-1].is_terminator
+
+    @property
+    def terminator(self) -> Instruction:
+        if not self.is_terminated:
+            raise IRError(f"block ^{self.name} has no terminator")
+        return self.instructions[-1]
+
+    @property
+    def phis(self) -> list[Instruction]:
+        """The leading phi nodes of this block."""
+        result = []
+        for instr in self.instructions:
+            if not instr.is_phi:
+                break
+            result.append(instr)
+        return result
+
+    @property
+    def body(self) -> list[Instruction]:
+        """Instructions excluding leading phis."""
+        return self.instructions[len(self.phis):]
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def ref(self) -> str:
+        return f"^{self.name}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BasicBlock ^{self.name} ({len(self.instructions)} instrs)>"

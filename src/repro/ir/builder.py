@@ -1,0 +1,243 @@
+"""Convenience builder for constructing IR, with eager type checking.
+
+The builder keeps an insertion point (a basic block) and exposes one method
+per opcode.  Workload programs (:mod:`repro.workloads.irprograms`) and the
+DMR instrumentation pass are written against this API.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRTypeError
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction, Opcode, Predicate
+from repro.ir.types import F64, INT1, INT32, INT64, PTR, VOID, Type  # noqa: F401
+from repro.ir.values import Constant, Value
+
+
+class IRBuilder:
+    """Builds instructions into a function at a movable insertion point."""
+
+    def __init__(self, func: Function) -> None:
+        self.func = func
+        self.block: BasicBlock | None = None
+
+    # -- positioning --------------------------------------------------------
+
+    def set_block(self, block: BasicBlock) -> BasicBlock:
+        self.block = block
+        return block
+
+    def new_block(self, name: str | None = None) -> BasicBlock:
+        """Create a block in the function without moving the insertion point."""
+        return self.func.add_block(name)
+
+    def _emit(self, instr: Instruction, name_hint: str) -> Instruction:
+        if self.block is None:
+            raise IRTypeError("builder has no insertion block; call set_block()")
+        if instr.defines_value and not instr.name:
+            instr.name = self.func.fresh_name(name_hint)
+        self.block.append(instr)
+        return instr
+
+    # -- constants ------------------------------------------------------------
+
+    @staticmethod
+    def const(type_: Type, value: int | float) -> Constant:
+        return Constant(type_, value)
+
+    @staticmethod
+    def i64(value: int) -> Constant:
+        return Constant(INT64, value)
+
+    @staticmethod
+    def i32(value: int) -> Constant:
+        return Constant(INT32, value)
+
+    @staticmethod
+    def i1(value: bool | int) -> Constant:
+        return Constant(INT1, int(bool(value)))
+
+    @staticmethod
+    def f64(value: float) -> Constant:
+        return Constant(F64, value)
+
+    # -- arithmetic -------------------------------------------------------------
+
+    def _binop(self, opcode: Opcode, a: Value, b: Value, float_op: bool,
+               name: str = "") -> Instruction:
+        if a.type != b.type:
+            raise IRTypeError(
+                f"{opcode.value} operand types differ: {a.type} vs {b.type}"
+            )
+        if float_op and not a.type.is_float:
+            raise IRTypeError(f"{opcode.value} requires float operands, got {a.type}")
+        if not float_op and not a.type.is_int:
+            raise IRTypeError(f"{opcode.value} requires int operands, got {a.type}")
+        instr = Instruction(opcode, a.type, [a, b], name=name)
+        return self._emit(instr, opcode.value)
+
+    def add(self, a: Value, b: Value, name: str = "") -> Instruction:
+        return self._binop(Opcode.ADD, a, b, False, name)
+
+    def sub(self, a: Value, b: Value, name: str = "") -> Instruction:
+        return self._binop(Opcode.SUB, a, b, False, name)
+
+    def mul(self, a: Value, b: Value, name: str = "") -> Instruction:
+        return self._binop(Opcode.MUL, a, b, False, name)
+
+    def sdiv(self, a: Value, b: Value, name: str = "") -> Instruction:
+        return self._binop(Opcode.SDIV, a, b, False, name)
+
+    def srem(self, a: Value, b: Value, name: str = "") -> Instruction:
+        return self._binop(Opcode.SREM, a, b, False, name)
+
+    def and_(self, a: Value, b: Value, name: str = "") -> Instruction:
+        return self._binop(Opcode.AND, a, b, False, name)
+
+    def or_(self, a: Value, b: Value, name: str = "") -> Instruction:
+        return self._binop(Opcode.OR, a, b, False, name)
+
+    def xor(self, a: Value, b: Value, name: str = "") -> Instruction:
+        return self._binop(Opcode.XOR, a, b, False, name)
+
+    def shl(self, a: Value, b: Value, name: str = "") -> Instruction:
+        return self._binop(Opcode.SHL, a, b, False, name)
+
+    def lshr(self, a: Value, b: Value, name: str = "") -> Instruction:
+        return self._binop(Opcode.LSHR, a, b, False, name)
+
+    def ashr(self, a: Value, b: Value, name: str = "") -> Instruction:
+        return self._binop(Opcode.ASHR, a, b, False, name)
+
+    def fadd(self, a: Value, b: Value, name: str = "") -> Instruction:
+        return self._binop(Opcode.FADD, a, b, True, name)
+
+    def fsub(self, a: Value, b: Value, name: str = "") -> Instruction:
+        return self._binop(Opcode.FSUB, a, b, True, name)
+
+    def fmul(self, a: Value, b: Value, name: str = "") -> Instruction:
+        return self._binop(Opcode.FMUL, a, b, True, name)
+
+    def fdiv(self, a: Value, b: Value, name: str = "") -> Instruction:
+        return self._binop(Opcode.FDIV, a, b, True, name)
+
+    # -- comparisons -------------------------------------------------------------
+
+    def icmp(self, pred: Predicate, a: Value, b: Value, name: str = "") -> Instruction:
+        if a.type != b.type or not a.type.is_int:
+            raise IRTypeError(f"icmp needs matching int operands: {a.type}, {b.type}")
+        instr = Instruction(Opcode.ICMP, INT1, [a, b], name=name, predicate=pred)
+        return self._emit(instr, "cmp")
+
+    def fcmp(self, pred: Predicate, a: Value, b: Value, name: str = "") -> Instruction:
+        if a.type != b.type or not a.type.is_float:
+            raise IRTypeError(f"fcmp needs matching float operands: {a.type}, {b.type}")
+        instr = Instruction(Opcode.FCMP, INT1, [a, b], name=name, predicate=pred)
+        return self._emit(instr, "fcmp")
+
+    # -- conversions ----------------------------------------------------------------
+
+    def sitofp(self, a: Value, name: str = "") -> Instruction:
+        if not a.type.is_int:
+            raise IRTypeError(f"sitofp operand must be int, got {a.type}")
+        return self._emit(Instruction(Opcode.SITOFP, F64, [a], name=name), "fp")
+
+    def fptosi(self, a: Value, to: Type = INT64, name: str = "") -> Instruction:
+        if not a.type.is_float or not to.is_int:
+            raise IRTypeError(f"fptosi {a.type} -> {to} is invalid")
+        return self._emit(Instruction(Opcode.FPTOSI, to, [a], name=name), "si")
+
+    def zext(self, a: Value, to: Type = INT64, name: str = "") -> Instruction:
+        if not a.type.is_int or not to.is_int or to.bits < a.type.bits:
+            raise IRTypeError(f"zext {a.type} -> {to} is invalid")
+        return self._emit(Instruction(Opcode.ZEXT, to, [a], name=name), "zext")
+
+    def trunc(self, a: Value, to: Type, name: str = "") -> Instruction:
+        if not a.type.is_int or not to.is_int or to.bits > a.type.bits:
+            raise IRTypeError(f"trunc {a.type} -> {to} is invalid")
+        return self._emit(Instruction(Opcode.TRUNC, to, [a], name=name), "trunc")
+
+    # -- memory ------------------------------------------------------------------------
+
+    def alloc(self, count: Value, name: str = "") -> Instruction:
+        """Allocate ``count`` 8-byte cells on the interpreter heap."""
+        if not count.type.is_int:
+            raise IRTypeError(f"alloc count must be int, got {count.type}")
+        return self._emit(Instruction(Opcode.ALLOC, PTR, [count], name=name), "ptr")
+
+    def load(self, ptr: Value, type_: Type, name: str = "") -> Instruction:
+        if not ptr.type.is_pointer:
+            raise IRTypeError(f"load address must be ptr, got {ptr.type}")
+        return self._emit(Instruction(Opcode.LOAD, type_, [ptr], name=name), "ld")
+
+    def store(self, value: Value, ptr: Value) -> Instruction:
+        if not ptr.type.is_pointer:
+            raise IRTypeError(f"store address must be ptr, got {ptr.type}")
+        return self._emit(Instruction(Opcode.STORE, VOID, [value, ptr]), "st")
+
+    def gep(self, ptr: Value, offset: Value, name: str = "") -> Instruction:
+        """Pointer arithmetic: ``ptr + offset`` in 8-byte cells."""
+        if not ptr.type.is_pointer or not offset.type.is_int:
+            raise IRTypeError(f"gep needs (ptr, int), got ({ptr.type}, {offset.type})")
+        return self._emit(Instruction(Opcode.GEP, PTR, [ptr, offset], name=name), "gep")
+
+    # -- control flow --------------------------------------------------------------------
+
+    def br(self, cond: Value, then_block: BasicBlock, else_block: BasicBlock) -> Instruction:
+        if cond.type != INT1:
+            raise IRTypeError(f"br condition must be i1, got {cond.type}")
+        instr = Instruction(
+            Opcode.BR, VOID, [cond], block_targets=[then_block, else_block]
+        )
+        return self._emit(instr, "br")
+
+    def jmp(self, target: BasicBlock) -> Instruction:
+        instr = Instruction(Opcode.JMP, VOID, [], block_targets=[target])
+        return self._emit(instr, "jmp")
+
+    def ret(self, value: Value | None = None) -> Instruction:
+        operands = [] if value is None else [value]
+        return self._emit(Instruction(Opcode.RET, VOID, operands), "ret")
+
+    def trap(self) -> Instruction:
+        """Emit a detection trap (terminates the block)."""
+        return self._emit(Instruction(Opcode.TRAP, VOID, []), "trap")
+
+    def mag(self, value: Value, k: int = 0, name: str = "") -> Instruction:
+        """Order-of-magnitude of a float: ``floor(2**k * log2|x|)`` as i64."""
+        if not value.type.is_float:
+            raise IRTypeError(f"mag operand must be float, got {value.type}")
+        if k < 0 or k > 52:
+            raise IRTypeError(f"mag protected-bit count must be in [0, 52], got {k}")
+        return self._emit(
+            Instruction(Opcode.MAG, INT64, [value], name=name, imm=k), "mag"
+        )
+
+    # -- misc ------------------------------------------------------------------------------
+
+    def phi(self, type_: Type, name: str = "") -> Instruction:
+        """Create an (initially empty) phi node at the top of the block."""
+        if self.block is None:
+            raise IRTypeError("builder has no insertion block; call set_block()")
+        instr = Instruction(Opcode.PHI, type_, [], name=name)
+        if not instr.name:
+            instr.name = self.func.fresh_name("phi")
+        self.block.insert(len(self.block.phis), instr)
+        return instr
+
+    def select(self, cond: Value, a: Value, b: Value, name: str = "") -> Instruction:
+        if cond.type != INT1:
+            raise IRTypeError(f"select condition must be i1, got {cond.type}")
+        if a.type != b.type:
+            raise IRTypeError(f"select arms differ: {a.type} vs {b.type}")
+        return self._emit(
+            Instruction(Opcode.SELECT, a.type, [cond, a, b], name=name), "sel"
+        )
+
+    def call(self, callee: str, args: list[Value], return_type: Type,
+             name: str = "") -> Instruction:
+        instr = Instruction(
+            Opcode.CALL, return_type, args, name=name, callee=callee
+        )
+        return self._emit(instr, "call")

@@ -1,0 +1,74 @@
+"""Deep-cloning of IR functions and modules.
+
+Instrumentation passes (tunable DMR, quantized checking) never mutate the
+caller's module: they clone it first and transform the clone, so the
+unprotected baseline remains available for overhead comparisons.
+"""
+
+from __future__ import annotations
+
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+from repro.ir.module import Module
+from repro.ir.values import Argument, Constant, Value
+
+
+def clone_function(func: Function) -> Function:
+    """Structure-preserving deep copy of ``func`` (same names throughout)."""
+    new_func = Function(
+        func.name,
+        [(a.name, a.type) for a in func.args],
+        func.return_type,
+    )
+    new_func._name_counter = func._name_counter
+
+    block_map: dict[str, BasicBlock] = {}
+    for block in func.blocks:
+        block_map[block.name] = new_func.add_block(block.name)
+
+    value_map: dict[int, Value] = {
+        id(old): new for old, new in zip(func.args, new_func.args)
+    }
+
+    # First pass: create instruction shells so forward references (phi
+    # incoming values defined later) can be patched in the second pass.
+    instr_map: dict[int, Instruction] = {}
+    for block in func.blocks:
+        for instr in block.instructions:
+            copy = Instruction(
+                instr.opcode,
+                instr.type,
+                [],
+                name=instr.name,
+                predicate=instr.predicate,
+                callee=instr.callee,
+                imm=instr.imm,
+            )
+            instr_map[id(instr)] = copy
+            value_map[id(instr)] = copy
+            block_map[block.name].append(copy)
+
+    def map_value(value: Value) -> Value:
+        if isinstance(value, Constant):
+            return value
+        if isinstance(value, (Argument, Instruction)):
+            return value_map[id(value)]
+        raise AssertionError(f"unmappable value {value!r}")  # pragma: no cover
+
+    for block in func.blocks:
+        for instr in block.instructions:
+            copy = instr_map[id(instr)]
+            copy.operands = [map_value(v) for v in instr.operands]
+            copy.block_targets = [
+                block_map[b.name] for b in instr.block_targets
+            ]
+    return new_func
+
+
+def clone_module(module: Module, name: str | None = None) -> Module:
+    """Deep copy of every function in ``module``."""
+    new_module = Module(name or module.name)
+    for func in module:
+        new_module.add_function(clone_function(func))
+    return new_module

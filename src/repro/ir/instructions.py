@@ -1,0 +1,179 @@
+"""IR instructions.
+
+A single generic :class:`Instruction` class covers all opcodes; the opcode
+enum carries the semantic classification (arithmetic vs. comparison vs.
+control flow) that the DMR instrumentation and risk-analysis passes key on.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Sequence
+
+from repro.errors import IRError
+from repro.ir.types import Type, VOID
+from repro.ir.values import Value
+
+if TYPE_CHECKING:
+    from repro.ir.block import BasicBlock
+
+
+class Opcode(enum.Enum):
+    """Every operation the IR supports."""
+
+    # Integer arithmetic (two's complement, wrapping).
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    SDIV = "sdiv"
+    SREM = "srem"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    LSHR = "lshr"
+    ASHR = "ashr"
+    # Floating point arithmetic.
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    # Comparisons; the predicate lives in Instruction.predicate.
+    ICMP = "icmp"
+    FCMP = "fcmp"
+    # Conversions.
+    SITOFP = "sitofp"
+    FPTOSI = "fptosi"
+    ZEXT = "zext"
+    TRUNC = "trunc"
+    # Memory.
+    ALLOC = "alloc"
+    LOAD = "load"
+    STORE = "store"
+    GEP = "gep"  # pointer + element offset
+    # Control flow.
+    BR = "br"       # conditional branch: (cond, then_block, else_block)
+    JMP = "jmp"     # unconditional branch
+    RET = "ret"
+    TRAP = "trap"   # detection trap inserted by protection passes
+    # Misc.
+    PHI = "phi"
+    SELECT = "select"
+    CALL = "call"
+    #: Order-of-magnitude extraction: i64 result = floor(2**imm * log2|x|)
+    #: of an f64 operand.  Costs 1 cycle on the A53 model (sect. 4.1).
+    MAG = "mag"
+    #: Sign-bit extraction of an f64 operand as i1 (1 = negative).  A bit
+    #: test in hardware: 1 cycle.
+    SIGN = "sign"
+
+
+INT_BINOPS = frozenset({
+    Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.SDIV, Opcode.SREM,
+    Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.SHL, Opcode.LSHR, Opcode.ASHR,
+})
+FLOAT_BINOPS = frozenset({Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV})
+BINOPS = INT_BINOPS | FLOAT_BINOPS
+COMPARISONS = frozenset({Opcode.ICMP, Opcode.FCMP})
+CASTS = frozenset({Opcode.SITOFP, Opcode.FPTOSI, Opcode.ZEXT, Opcode.TRUNC})
+MEMORY_OPS = frozenset({Opcode.ALLOC, Opcode.LOAD, Opcode.STORE, Opcode.GEP})
+TERMINATORS = frozenset({Opcode.BR, Opcode.JMP, Opcode.RET, Opcode.TRAP})
+
+
+class Predicate(enum.Enum):
+    """Comparison predicates shared by ``icmp`` and ``fcmp``."""
+
+    EQ = "eq"
+    NE = "ne"
+    LT = "lt"
+    LE = "le"
+    GT = "gt"
+    GE = "ge"
+
+
+class Instruction(Value):
+    """A single IR instruction; also the SSA value it defines.
+
+    Attributes:
+        opcode: the operation performed.
+        operands: value operands, in positional order.
+        block_targets: successor blocks for terminators (``br``: [then,
+            else]; ``jmp``: [target]) and incoming blocks for ``phi`` nodes
+            (parallel to ``operands``).
+        predicate: comparison predicate for ``icmp``/``fcmp``.
+        callee: function name for ``call``.
+        imm: immediate attribute (``mag``: number of protected mantissa
+            bits; ``trap``: unused).
+        parent: the basic block containing this instruction.
+    """
+
+    def __init__(
+        self,
+        opcode: Opcode,
+        type_: Type,
+        operands: Sequence[Value] = (),
+        name: str = "",
+        block_targets: Sequence["BasicBlock"] = (),
+        predicate: Predicate | None = None,
+        callee: str | None = None,
+        imm: int | None = None,
+    ) -> None:
+        super().__init__(type_, name)
+        self.opcode = opcode
+        self.operands: list[Value] = list(operands)
+        self.block_targets: list[BasicBlock] = list(block_targets)
+        self.predicate = predicate
+        self.callee = callee
+        self.imm = imm
+        self.parent: BasicBlock | None = None
+
+    # -- classification ---------------------------------------------------
+
+    @property
+    def is_terminator(self) -> bool:
+        return self.opcode in TERMINATORS
+
+    @property
+    def is_binop(self) -> bool:
+        return self.opcode in BINOPS
+
+    @property
+    def is_comparison(self) -> bool:
+        return self.opcode in COMPARISONS
+
+    @property
+    def is_phi(self) -> bool:
+        return self.opcode is Opcode.PHI
+
+    @property
+    def defines_value(self) -> bool:
+        """Whether this instruction produces an SSA result."""
+        return self.type is not VOID and not self.type.is_void
+
+    # -- mutation ----------------------------------------------------------
+
+    def replace_operand(self, old: Value, new: Value) -> int:
+        """Replace every use of ``old`` in this instruction; returns count."""
+        count = 0
+        for i, op in enumerate(self.operands):
+            if op is old:
+                self.operands[i] = new
+                count += 1
+        return count
+
+    # -- phi helpers --------------------------------------------------------
+
+    def phi_incoming(self) -> list[tuple[Value, "BasicBlock"]]:
+        """(value, predecessor-block) pairs of a phi node."""
+        if not self.is_phi:
+            raise IRError(f"{self.ref()} is not a phi node")
+        return list(zip(self.operands, self.block_targets))
+
+    def add_phi_incoming(self, value: Value, block: "BasicBlock") -> None:
+        if not self.is_phi:
+            raise IRError(f"{self.ref()} is not a phi node")
+        self.operands.append(value)
+        self.block_targets.append(block)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Instruction {self.opcode.value} {self.ref()}>"

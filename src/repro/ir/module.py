@@ -1,0 +1,50 @@
+"""IR modules: the compilation unit holding a set of functions."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import IRError
+from repro.ir.function import Function
+
+
+class Module:
+    """A named collection of functions (the IR compilation unit)."""
+
+    def __init__(self, name: str = "module") -> None:
+        self.name = name
+        self._functions: dict[str, Function] = {}
+
+    def add_function(self, func: Function) -> Function:
+        if func.name in self._functions:
+            raise IRError(f"duplicate function @{func.name} in module {self.name}")
+        func.parent = self
+        self._functions[func.name] = func
+        return func
+
+    def function(self, name: str) -> Function:
+        try:
+            return self._functions[name]
+        except KeyError:
+            raise IRError(f"no function @{name} in module {self.name}") from None
+
+    def has_function(self, name: str) -> bool:
+        return name in self._functions
+
+    def remove_function(self, name: str) -> None:
+        if name not in self._functions:
+            raise IRError(f"no function @{name} in module {self.name}")
+        del self._functions[name]
+
+    @property
+    def functions(self) -> list[Function]:
+        return list(self._functions.values())
+
+    def __iter__(self) -> Iterator[Function]:
+        return iter(self._functions.values())
+
+    def __len__(self) -> int:
+        return len(self._functions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Module {self.name} ({len(self)} functions)>"

@@ -1,0 +1,341 @@
+"""Textual IR parser (inverse of :mod:`repro.ir.printer`).
+
+Supports forward references (phi incoming values defined later, branches to
+later blocks) via a two-phase resolve.  Lines starting with ``;`` are
+comments.  After parsing, the module is verified unless ``verify=False``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import IRParseError
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    BINOPS,
+    CASTS,
+    Instruction,
+    Opcode,
+    Predicate,
+)
+from repro.ir.module import Module
+from repro.ir.types import F64, INT1, INT64, PTR, VOID, Type, type_from_name
+from repro.ir.values import Constant, Value
+from repro.ir.verifier import verify_module
+
+_FUNC_RE = re.compile(
+    r"^func\s+@(?P<name>[\w.]+)\((?P<params>[^)]*)\)\s*->\s*(?P<ret>\w+)\s*\{$"
+)
+_PARAM_RE = re.compile(r"^%(?P<name>[\w.]+)\s*:\s*(?P<type>\w+)$")
+_LABEL_RE = re.compile(r"^\^(?P<name>[\w.]+):$")
+_PHI_ARM_RE = re.compile(r"\[\s*(?P<val>[^,\]]+)\s*,\s*\^(?P<block>[\w.]+)\s*\]")
+_CALL_RE = re.compile(
+    r"^call\s+(?P<type>\w+)\s+@(?P<callee>[\w.]+)\((?P<args>.*)\)$"
+)
+
+_OPCODES_BY_NAME = {op.value: op for op in Opcode}
+_PREDICATES_BY_NAME = {p.value: p for p in Predicate}
+
+
+class _Placeholder(Value):
+    """Stand-in for a named value not yet defined (forward reference)."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(VOID, name)
+
+
+class _FunctionParser:
+    def __init__(self, name: str, params: str, ret: str) -> None:
+        arg_types: list[tuple[str, Type]] = []
+        params = params.strip()
+        if params:
+            for chunk in params.split(","):
+                m = _PARAM_RE.match(chunk.strip())
+                if not m:
+                    raise IRParseError(f"bad parameter {chunk!r} in @{name}")
+                arg_types.append((m.group("name"), type_from_name(m.group("type"))))
+        self.func = Function(name, arg_types, type_from_name(ret))
+        self.symbols: dict[str, Value] = {a.name: a for a in self.func.args}
+        self.placeholders: list[tuple[Instruction, int, str]] = []
+        self.block: BasicBlock | None = None
+        self._pending_labels: dict[str, BasicBlock] = {}
+
+    # -- block and value resolution ------------------------------------------
+
+    def block_ref(self, name: str) -> BasicBlock:
+        """Get-or-create a block by label (forward references allowed)."""
+        for existing in self.func.blocks:
+            if existing.name == name:
+                return existing
+        if name not in self._pending_labels:
+            self._pending_labels[name] = BasicBlock(name)
+        return self._pending_labels[name]
+
+    def start_block(self, name: str) -> None:
+        if name in self._pending_labels:
+            block = self._pending_labels.pop(name)
+            block.parent = self.func
+            self.func.blocks.append(block)
+        else:
+            block = self.func.add_block(name)
+        self.block = block
+
+    def operand(self, token: str, context_type: Type | None) -> Value:
+        """Resolve an operand token: %name, integer or float literal."""
+        token = token.strip()
+        if token.startswith("%"):
+            name = token[1:]
+            value = self.symbols.get(name)
+            if value is not None:
+                return value
+            return _Placeholder(name)
+        if context_type is None:
+            context_type = F64 if _looks_float(token) else INT64
+        try:
+            if context_type.is_float:
+                return Constant(context_type, float(token))
+            if context_type.is_pointer:
+                return Constant(PTR, int(token))
+            return Constant(context_type, int(token))
+        except ValueError:
+            raise IRParseError(f"bad literal {token!r}") from None
+
+    def finish_instruction(self, instr: Instruction) -> None:
+        if self.block is None:
+            raise IRParseError("instruction outside any block")
+        for i, op in enumerate(instr.operands):
+            if isinstance(op, _Placeholder):
+                self.placeholders.append((instr, i, op.name))
+        self.block.append(instr)
+        if instr.defines_value:
+            if instr.name in self.symbols:
+                raise IRParseError(f"redefinition of %{instr.name}")
+            self.symbols[instr.name] = instr
+
+    def resolve(self) -> Function:
+        if self._pending_labels:
+            missing = ", ".join(sorted(self._pending_labels))
+            raise IRParseError(f"@{self.func.name}: undefined labels: {missing}")
+        for instr, index, name in self.placeholders:
+            value = self.symbols.get(name)
+            if value is None:
+                raise IRParseError(
+                    f"@{self.func.name}: undefined value %{name}"
+                )
+            instr.operands[index] = value
+        return self.func
+
+
+def _looks_float(token: str) -> bool:
+    return any(c in token for c in ".eE") and not token.lstrip("-").isdigit()
+
+
+def _split_commas(text: str) -> list[str]:
+    """Split on top-level commas (commas inside [...] belong to phi arms)."""
+    parts: list[str] = []
+    depth = 0
+    current = ""
+    for ch in text:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append(current.strip())
+            current = ""
+        else:
+            current += ch
+    if current.strip():
+        parts.append(current.strip())
+    return parts
+
+
+def _parse_instruction(fp: _FunctionParser, line: str) -> None:
+    result_name = ""
+    if line.startswith("%"):
+        lhs, _, rhs = line.partition("=")
+        result_name = lhs.strip()[1:]
+        line = rhs.strip()
+
+    head, _, rest = line.partition(" ")
+    rest = rest.strip()
+    opcode = _OPCODES_BY_NAME.get(head)
+    if opcode is None:
+        raise IRParseError(f"unknown opcode {head!r} in line {line!r}")
+
+    if opcode in BINOPS:
+        type_name, _, operands = rest.partition(" ")
+        type_ = type_from_name(type_name)
+        a, b = _split_commas(operands)
+        instr = Instruction(
+            opcode, type_,
+            [fp.operand(a, type_), fp.operand(b, type_)], name=result_name,
+        )
+    elif opcode in (Opcode.ICMP, Opcode.FCMP):
+        pred_name, _, rest2 = rest.partition(" ")
+        pred = _PREDICATES_BY_NAME.get(pred_name)
+        if pred is None:
+            raise IRParseError(f"unknown predicate {pred_name!r}")
+        type_name, _, operands = rest2.strip().partition(" ")
+        type_ = type_from_name(type_name)
+        a, b = _split_commas(operands)
+        instr = Instruction(
+            opcode, INT1,
+            [fp.operand(a, type_), fp.operand(b, type_)],
+            name=result_name, predicate=pred,
+        )
+    elif opcode in CASTS:
+        type_name, _, operand = rest.partition(" ")
+        instr = Instruction(
+            opcode, type_from_name(type_name),
+            [fp.operand(operand, None)], name=result_name,
+        )
+    elif opcode is Opcode.ALLOC:
+        type_name, _, operand = rest.partition(" ")
+        count_type = type_from_name(type_name)
+        instr = Instruction(
+            Opcode.ALLOC, PTR, [fp.operand(operand, count_type)],
+            name=result_name,
+        )
+    elif opcode is Opcode.LOAD:
+        type_name, _, operand = rest.partition(" ")
+        instr = Instruction(
+            Opcode.LOAD, type_from_name(type_name),
+            [fp.operand(operand, PTR)], name=result_name,
+        )
+    elif opcode is Opcode.STORE:
+        type_name, _, operands = rest.partition(" ")
+        value_type = type_from_name(type_name)
+        value_tok, ptr_tok = _split_commas(operands)
+        instr = Instruction(
+            Opcode.STORE, VOID,
+            [fp.operand(value_tok, value_type), fp.operand(ptr_tok, PTR)],
+        )
+    elif opcode is Opcode.GEP:
+        base_tok, offset_part = _split_commas(rest)
+        off_type_name, _, off_tok = offset_part.partition(" ")
+        off_type = type_from_name(off_type_name)
+        instr = Instruction(
+            Opcode.GEP, PTR,
+            [fp.operand(base_tok, PTR), fp.operand(off_tok, off_type)],
+            name=result_name,
+        )
+    elif opcode is Opcode.BR:
+        cond_tok, then_tok, else_tok = _split_commas(rest)
+        instr = Instruction(
+            Opcode.BR, VOID, [fp.operand(cond_tok, INT1)],
+            block_targets=[
+                fp.block_ref(then_tok.lstrip("^")),
+                fp.block_ref(else_tok.lstrip("^")),
+            ],
+        )
+    elif opcode is Opcode.JMP:
+        instr = Instruction(
+            Opcode.JMP, VOID, [],
+            block_targets=[fp.block_ref(rest.lstrip("^"))],
+        )
+    elif opcode is Opcode.RET:
+        if rest:
+            type_name, _, operand = rest.partition(" ")
+            type_ = type_from_name(type_name)
+            instr = Instruction(Opcode.RET, VOID, [fp.operand(operand, type_)])
+        else:
+            instr = Instruction(Opcode.RET, VOID, [])
+    elif opcode is Opcode.TRAP:
+        instr = Instruction(Opcode.TRAP, VOID, [])
+    elif opcode is Opcode.SIGN:
+        instr = Instruction(
+            Opcode.SIGN, INT1, [fp.operand(rest, F64)], name=result_name
+        )
+    elif opcode is Opcode.MAG:
+        k_text, _, operand = rest.partition(" ")
+        try:
+            k = int(k_text)
+        except ValueError:
+            raise IRParseError(f"bad mag immediate {k_text!r}") from None
+        instr = Instruction(
+            Opcode.MAG, INT64, [fp.operand(operand, F64)],
+            name=result_name, imm=k,
+        )
+    elif opcode is Opcode.PHI:
+        type_name, _, arms = rest.partition(" ")
+        type_ = type_from_name(type_name)
+        operands: list[Value] = []
+        targets: list[BasicBlock] = []
+        for m in _PHI_ARM_RE.finditer(arms):
+            operands.append(fp.operand(m.group("val"), type_))
+            targets.append(fp.block_ref(m.group("block")))
+        instr = Instruction(
+            Opcode.PHI, type_, operands, name=result_name,
+            block_targets=targets,
+        )
+    elif opcode is Opcode.SELECT:
+        type_name, _, operands_text = rest.partition(" ")
+        type_ = type_from_name(type_name)
+        cond_tok, a_tok, b_tok = _split_commas(operands_text)
+        instr = Instruction(
+            Opcode.SELECT, type_,
+            [
+                fp.operand(cond_tok, INT1),
+                fp.operand(a_tok, type_),
+                fp.operand(b_tok, type_),
+            ],
+            name=result_name,
+        )
+    elif opcode is Opcode.CALL:
+        m = _CALL_RE.match(line)
+        if not m:
+            raise IRParseError(f"malformed call: {line!r}")
+        args: list[Value] = []
+        args_text = m.group("args").strip()
+        if args_text:
+            for chunk in _split_commas(args_text):
+                arg_type_name, _, arg_tok = chunk.partition(" ")
+                args.append(fp.operand(arg_tok, type_from_name(arg_type_name)))
+        instr = Instruction(
+            Opcode.CALL, type_from_name(m.group("type")), args,
+            name=result_name, callee=m.group("callee"),
+        )
+    else:  # pragma: no cover - all opcodes handled
+        raise IRParseError(f"unsupported opcode {head!r}")
+
+    fp.finish_instruction(instr)
+
+
+def parse_module(text: str, name: str = "module", verify: bool = True) -> Module:
+    """Parse textual IR into a :class:`Module`."""
+    module = Module(name)
+    fp: _FunctionParser | None = None
+    for raw_line in text.splitlines():
+        line = raw_line.split(";", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("func "):
+            if fp is not None:
+                raise IRParseError("nested function definition")
+            m = _FUNC_RE.match(line)
+            if not m:
+                raise IRParseError(f"malformed function header: {line!r}")
+            fp = _FunctionParser(m.group("name"), m.group("params"), m.group("ret"))
+            continue
+        if line == "}":
+            if fp is None:
+                raise IRParseError("unmatched '}'")
+            module.add_function(fp.resolve())
+            fp = None
+            continue
+        m = _LABEL_RE.match(line)
+        if m:
+            if fp is None:
+                raise IRParseError(f"label {line!r} outside function")
+            fp.start_block(m.group("name"))
+            continue
+        if fp is None:
+            raise IRParseError(f"instruction outside function: {line!r}")
+        _parse_instruction(fp, line)
+    if fp is not None:
+        raise IRParseError(f"unterminated function @{fp.func.name}")
+    if verify:
+        verify_module(module)
+    return module

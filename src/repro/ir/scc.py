@@ -1,0 +1,56 @@
+"""Strongly connected components of the CFG.
+
+The paper proposes verifying control-flow transitions only *between* SCCs as
+the cheapest integrity level (sect. 4.1): within a loop (an SCC) transitions
+are unchecked, and only entering/leaving the loop is validated.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.ir.block import BasicBlock
+from repro.ir.cfg import cfg_graph
+from repro.ir.function import Function
+
+
+def strongly_connected_components(func: Function) -> list[list[BasicBlock]]:
+    """SCCs of the function's CFG, in topological order of the condensation.
+
+    Each component is a list of blocks; singleton components without a
+    self-loop correspond to straight-line regions, larger components to
+    loops.
+    """
+    graph = cfg_graph(func)
+    condensed = nx.condensation(graph)
+    ordered: list[list[BasicBlock]] = []
+    for scc_id in nx.topological_sort(condensed):
+        members = condensed.nodes[scc_id]["members"]
+        ordered.append([func.block(name) for name in sorted(members)])
+    return ordered
+
+
+def condensation(func: Function) -> tuple["nx.DiGraph", dict[str, int]]:
+    """The SCC condensation DAG and a block-name -> SCC-id map."""
+    graph = cfg_graph(func)
+    condensed = nx.condensation(graph)
+    membership: dict[str, int] = {}
+    for scc_id, data in condensed.nodes(data=True):
+        for name in data["members"]:
+            membership[name] = scc_id
+    return condensed, membership
+
+
+def scc_of(func: Function) -> dict[str, int]:
+    """Convenience wrapper: block name -> SCC id."""
+    _, membership = condensation(func)
+    return membership
+
+
+def is_loop_component(func: Function, component: list[BasicBlock]) -> bool:
+    """Whether an SCC represents a loop (multi-node or self-looping)."""
+    if len(component) > 1:
+        return True
+    graph = cfg_graph(func)
+    name = component[0].name
+    return graph.has_edge(name, name)

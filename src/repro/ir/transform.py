@@ -1,0 +1,50 @@
+"""Shared CFG transformation utilities for instrumentation passes."""
+
+from __future__ import annotations
+
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.types import VOID
+
+
+def split_block(func: Function, block: BasicBlock, index: int) -> BasicBlock:
+    """Move ``block.instructions[index:]`` into a fresh continuation block.
+
+    Successor phis that named ``block`` as an incoming edge are rewired to
+    the continuation, preserving SSA form.  The caller must re-terminate
+    ``block`` (it is left unterminated).
+    """
+    cont = func.add_block(func.fresh_name(f"{block.name}.cont"))
+    moved = block.instructions[index:]
+    del block.instructions[index:]
+    for instr in moved:
+        instr.parent = cont
+        cont.instructions.append(instr)
+    if moved and moved[-1].is_terminator:
+        for succ in moved[-1].block_targets:
+            for phi in succ.phis:
+                phi.block_targets = [
+                    cont if b is block else b for b in phi.block_targets
+                ]
+    return cont
+
+
+def get_or_create_trap_block(func: Function, name: str) -> BasicBlock:
+    """Get-or-create a block holding a single ``trap`` instruction."""
+    for block in func.blocks:
+        if block.name == name:
+            return block
+    block = func.add_block(name)
+    block.append(Instruction(Opcode.TRAP, VOID, []))
+    return block
+
+
+def insert_after(block: BasicBlock, anchor: Instruction,
+                 new_instr: Instruction) -> None:
+    """Insert ``new_instr`` immediately after ``anchor`` within ``block``."""
+    for i, instr in enumerate(block.instructions):
+        if instr is anchor:
+            block.insert(i + 1, new_instr)
+            return
+    raise ValueError(f"anchor {anchor!r} not found in ^{block.name}")

@@ -1,0 +1,101 @@
+"""IR value types.
+
+The IR is deliberately small: three integer widths (1, 32 and 64 bits), one
+floating-point type (IEEE-754 double), and a pointer type addressing the
+interpreter's flat heap.  Integer arithmetic wraps modulo 2**bits with
+two's-complement signedness, matching what the machine emulator executes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import IRTypeError
+
+
+class TypeKind(enum.Enum):
+    """Classification of an IR type."""
+
+    INT = "int"
+    FLOAT = "float"
+    POINTER = "ptr"
+    VOID = "void"
+
+
+@dataclass(frozen=True)
+class Type:
+    """A first-class IR type.
+
+    Attributes:
+        kind: broad classification (integer, float, pointer, void).
+        bits: bit width of the representation.  Pointers are 64-bit.
+    """
+
+    kind: TypeKind
+    bits: int
+
+    def __str__(self) -> str:
+        if self.kind is TypeKind.INT:
+            return f"i{self.bits}"
+        if self.kind is TypeKind.FLOAT:
+            return f"f{self.bits}"
+        if self.kind is TypeKind.POINTER:
+            return "ptr"
+        return "void"
+
+    @property
+    def is_int(self) -> bool:
+        return self.kind is TypeKind.INT
+
+    @property
+    def is_float(self) -> bool:
+        return self.kind is TypeKind.FLOAT
+
+    @property
+    def is_pointer(self) -> bool:
+        return self.kind is TypeKind.POINTER
+
+    @property
+    def is_void(self) -> bool:
+        return self.kind is TypeKind.VOID
+
+    @property
+    def signed_min(self) -> int:
+        if not self.is_int:
+            raise IRTypeError(f"{self} has no integer range")
+        return -(1 << (self.bits - 1))
+
+    @property
+    def signed_max(self) -> int:
+        if not self.is_int:
+            raise IRTypeError(f"{self} has no integer range")
+        return (1 << (self.bits - 1)) - 1
+
+    def wrap(self, value: int) -> int:
+        """Reduce ``value`` into this integer type's two's-complement range."""
+        if not self.is_int:
+            raise IRTypeError(f"cannot wrap into non-integer type {self}")
+        mask = (1 << self.bits) - 1
+        value &= mask
+        if value > self.signed_max:
+            value -= 1 << self.bits
+        return value
+
+
+INT1 = Type(TypeKind.INT, 1)
+INT32 = Type(TypeKind.INT, 32)
+INT64 = Type(TypeKind.INT, 64)
+F64 = Type(TypeKind.FLOAT, 64)
+PTR = Type(TypeKind.POINTER, 64)
+VOID = Type(TypeKind.VOID, 0)
+
+_BY_NAME = {str(t): t for t in (INT1, INT32, INT64, F64, PTR, VOID)}
+
+
+def type_from_name(name: str) -> Type:
+    """Look up a type by its textual spelling (``i64``, ``f64``, ``ptr``)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise IRTypeError(f"unknown IR type {name!r}") from None

@@ -1,0 +1,85 @@
+"""Use-def and def-use chains, and backward slicing.
+
+The paper's tunable-DMR pass extracts "the set of instructions that determine
+[branch-governing] values by traversing the use-def tree in reverse order"
+(sect. 4.1).  :func:`backward_slice` is exactly that traversal.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+from repro.ir.values import Argument, Constant, Value
+
+
+class UseDefInfo:
+    """Def-use and use-def chains for one function.
+
+    ``users(v)`` answers "which instructions consume v"; ``defs(i)`` answers
+    "which values does instruction i consume".  Constants are excluded from
+    chains (they cannot be corrupted before program start and carry no
+    defining instruction).
+    """
+
+    def __init__(self, func: Function) -> None:
+        self.func = func
+        self._users: dict[Value, list[Instruction]] = defaultdict(list)
+        for instr in func.instructions():
+            for operand in instr.operands:
+                if not isinstance(operand, Constant):
+                    self._users[operand].append(instr)
+
+    def users(self, value: Value) -> list[Instruction]:
+        """Instructions using ``value`` as an operand."""
+        return list(self._users.get(value, []))
+
+    @staticmethod
+    def operands_of(instr: Instruction) -> list[Value]:
+        """Non-constant operands of ``instr``."""
+        return [op for op in instr.operands if not isinstance(op, Constant)]
+
+    def is_dead(self, instr: Instruction) -> bool:
+        """True if ``instr`` defines a value nobody uses (and is removable)."""
+        return instr.defines_value and not self._users.get(instr)
+
+
+def backward_slice(roots: Iterable[Value]) -> list[Instruction]:
+    """All instructions transitively feeding the ``roots`` values.
+
+    Traverses use-def edges in reverse from each root.  Arguments and
+    constants terminate the walk.  The result is deduplicated and returned
+    in a deterministic order (by discovery), with the defining instructions
+    of the roots included when the roots are instruction results.
+    """
+    seen: set[int] = set()
+    ordered: list[Instruction] = []
+    stack: list[Value] = list(roots)
+    while stack:
+        value = stack.pop()
+        if isinstance(value, (Constant, Argument)):
+            continue
+        if not isinstance(value, Instruction):
+            continue
+        if id(value) in seen:
+            continue
+        seen.add(id(value))
+        ordered.append(value)
+        stack.extend(value.operands)
+    ordered.reverse()
+    return ordered
+
+
+def slice_fraction(func: Function, roots: Iterable[Value]) -> float:
+    """Fraction of the function's instructions inside the backward slice.
+
+    This is the quantity the paper's argument hinges on: the critical subset
+    is "a subset of all values in the program", so replicating only the
+    slice is cheaper than full DMR.
+    """
+    total = len(func)
+    if total == 0:
+        return 0.0
+    return len(backward_slice(roots)) / total

@@ -1,0 +1,69 @@
+"""IR values: constants, function arguments, and instruction results.
+
+Everything an instruction can consume is a :class:`Value`.  Instructions are
+themselves values (their result); see :mod:`repro.ir.instructions`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRTypeError
+from repro.ir.types import Type, TypeKind
+
+
+class Value:
+    """Base class for anything usable as an instruction operand.
+
+    Attributes:
+        type: the IR type of the value.
+        name: SSA name without the leading ``%`` (may be empty for
+            constants).
+    """
+
+    def __init__(self, type_: Type, name: str = "") -> None:
+        self.type = type_
+        self.name = name
+
+    def ref(self) -> str:
+        """Textual reference used when this value appears as an operand."""
+        return f"%{self.name}"
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.ref()}: {self.type}>"
+
+
+class Constant(Value):
+    """An immediate constant of integer, float or pointer type."""
+
+    def __init__(self, type_: Type, value: int | float) -> None:
+        super().__init__(type_, "")
+        if type_.kind is TypeKind.INT:
+            self.value: int | float = type_.wrap(int(value))
+        elif type_.kind is TypeKind.FLOAT:
+            self.value = float(value)
+        elif type_.kind is TypeKind.POINTER:
+            self.value = int(value)
+        else:
+            raise IRTypeError(f"cannot build a constant of type {type_}")
+
+    def ref(self) -> str:
+        if self.type.is_float:
+            return repr(self.value)
+        return str(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Constant)
+            and self.type == other.type
+            and self.value == other.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.type, self.value))
+
+
+class Argument(Value):
+    """A formal parameter of a function."""
+
+    def __init__(self, type_: Type, name: str, index: int) -> None:
+        super().__init__(type_, name)
+        self.index = index

@@ -1,0 +1,282 @@
+"""Structural verification of IR modules.
+
+Checks the invariants every pass may rely on: blocks end in exactly one
+terminator, phi nodes agree with CFG predecessors, SSA definitions dominate
+their uses, operand/result types are consistent, and calls match callee
+signatures.  Passes run the verifier after transforming a module; tests use
+it as the oracle for hypothesis-generated programs.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRVerificationError
+from repro.ir.block import BasicBlock
+from repro.ir.cfg import predecessors, reachable_blocks
+from repro.ir.dominators import DominatorTree
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    BINOPS,
+    CASTS,
+    FLOAT_BINOPS,
+    INT_BINOPS,
+    Instruction,
+    Opcode,
+)
+from repro.ir.module import Module
+from repro.ir.types import INT1, VOID
+from repro.ir.values import Argument, Constant, Value
+
+
+def verify_module(module: Module) -> None:
+    """Verify every function in ``module``; raises IRVerificationError."""
+    for func in module:
+        verify_function(func, module)
+
+
+def verify_function(func: Function, module: Module | None = None) -> None:
+    """Verify a single function (against ``module`` for call signatures)."""
+    if not func.blocks:
+        raise IRVerificationError(f"@{func.name}: function has no blocks")
+    _check_blocks(func)
+    _check_ssa_names(func)
+    _check_types(func, module)
+    _check_phis(func)
+    _check_dominance(func)
+
+
+def _check_blocks(func: Function) -> None:
+    seen: set[str] = set()
+    for block in func.blocks:
+        if block.name in seen:
+            raise IRVerificationError(f"@{func.name}: duplicate block ^{block.name}")
+        seen.add(block.name)
+        if not block.is_terminated:
+            raise IRVerificationError(
+                f"@{func.name}:^{block.name}: block lacks a terminator"
+            )
+        for instr in block.instructions[:-1]:
+            if instr.is_terminator:
+                raise IRVerificationError(
+                    f"@{func.name}:^{block.name}: terminator "
+                    f"{instr.opcode.value} in mid-block"
+                )
+        in_phi_prefix = True
+        for instr in block.instructions:
+            if instr.is_phi and not in_phi_prefix:
+                raise IRVerificationError(
+                    f"@{func.name}:^{block.name}: phi {instr.ref()} not at "
+                    "block head"
+                )
+            if not instr.is_phi:
+                in_phi_prefix = False
+        for instr in block.instructions:
+            term = block.terminator
+            for target in term.block_targets:
+                if target not in func.blocks:
+                    raise IRVerificationError(
+                        f"@{func.name}:^{block.name}: branch to foreign block "
+                        f"^{target.name}"
+                    )
+
+
+def _check_ssa_names(func: Function) -> None:
+    names: set[str] = {arg.name for arg in func.args}
+    if len(names) != len(func.args):
+        raise IRVerificationError(f"@{func.name}: duplicate argument names")
+    for instr in func.instructions():
+        if not instr.defines_value:
+            continue
+        if not instr.name:
+            raise IRVerificationError(
+                f"@{func.name}: unnamed value-producing {instr.opcode.value}"
+            )
+        if instr.name in names:
+            raise IRVerificationError(
+                f"@{func.name}: SSA name %{instr.name} defined twice"
+            )
+        names.add(instr.name)
+
+
+def _check_types(func: Function, module: Module | None) -> None:
+    for block in func.blocks:
+        for instr in block.instructions:
+            _check_instruction_types(func, block, instr, module)
+
+
+def _check_instruction_types(
+    func: Function, block: BasicBlock, instr: Instruction, module: Module | None
+) -> None:
+    where = f"@{func.name}:^{block.name}:{instr.ref() or instr.opcode.value}"
+    op = instr.opcode
+
+    if op in BINOPS:
+        a, b = instr.operands
+        if a.type != b.type or a.type != instr.type:
+            raise IRVerificationError(f"{where}: binop type mismatch")
+        if op in INT_BINOPS and not instr.type.is_int:
+            raise IRVerificationError(f"{where}: int binop on {instr.type}")
+        if op in FLOAT_BINOPS and not instr.type.is_float:
+            raise IRVerificationError(f"{where}: float binop on {instr.type}")
+    elif op in (Opcode.ICMP, Opcode.FCMP):
+        a, b = instr.operands
+        if a.type != b.type:
+            raise IRVerificationError(f"{where}: comparison operand mismatch")
+        if instr.type != INT1:
+            raise IRVerificationError(f"{where}: comparison must produce i1")
+        if instr.predicate is None:
+            raise IRVerificationError(f"{where}: comparison lacks predicate")
+    elif op in CASTS:
+        (a,) = instr.operands
+        if op is Opcode.SITOFP and not (a.type.is_int and instr.type.is_float):
+            raise IRVerificationError(f"{where}: sitofp {a.type}->{instr.type}")
+        if op is Opcode.FPTOSI and not (a.type.is_float and instr.type.is_int):
+            raise IRVerificationError(f"{where}: fptosi {a.type}->{instr.type}")
+        if op is Opcode.ZEXT and not (
+            a.type.is_int and instr.type.is_int and instr.type.bits >= a.type.bits
+        ):
+            raise IRVerificationError(f"{where}: zext {a.type}->{instr.type}")
+        if op is Opcode.TRUNC and not (
+            a.type.is_int and instr.type.is_int and instr.type.bits <= a.type.bits
+        ):
+            raise IRVerificationError(f"{where}: trunc {a.type}->{instr.type}")
+    elif op is Opcode.ALLOC:
+        (count,) = instr.operands
+        if not count.type.is_int or not instr.type.is_pointer:
+            raise IRVerificationError(f"{where}: alloc signature invalid")
+    elif op is Opcode.LOAD:
+        (ptr,) = instr.operands
+        if not ptr.type.is_pointer or instr.type.is_void:
+            raise IRVerificationError(f"{where}: load signature invalid")
+    elif op is Opcode.STORE:
+        value, ptr = instr.operands
+        if not ptr.type.is_pointer or value.type.is_void:
+            raise IRVerificationError(f"{where}: store signature invalid")
+    elif op is Opcode.GEP:
+        ptr, offset = instr.operands
+        if not ptr.type.is_pointer or not offset.type.is_int:
+            raise IRVerificationError(f"{where}: gep signature invalid")
+    elif op is Opcode.BR:
+        (cond,) = instr.operands
+        if cond.type != INT1 or len(instr.block_targets) != 2:
+            raise IRVerificationError(f"{where}: br signature invalid")
+    elif op is Opcode.JMP:
+        if instr.operands or len(instr.block_targets) != 1:
+            raise IRVerificationError(f"{where}: jmp signature invalid")
+    elif op is Opcode.RET:
+        if func.return_type.is_void:
+            if instr.operands:
+                raise IRVerificationError(f"{where}: ret with value in void fn")
+        else:
+            if len(instr.operands) != 1:
+                raise IRVerificationError(f"{where}: ret must carry one value")
+            if instr.operands[0].type != func.return_type:
+                raise IRVerificationError(
+                    f"{where}: ret type {instr.operands[0].type} != "
+                    f"{func.return_type}"
+                )
+    elif op is Opcode.TRAP:
+        if instr.operands or instr.block_targets:
+            raise IRVerificationError(f"{where}: trap takes no operands")
+    elif op is Opcode.MAG:
+        (a,) = instr.operands
+        if not a.type.is_float or not instr.type.is_int:
+            raise IRVerificationError(f"{where}: mag signature invalid")
+        if instr.imm is None or not 0 <= instr.imm <= 52:
+            raise IRVerificationError(f"{where}: mag immediate out of range")
+    elif op is Opcode.SIGN:
+        (a,) = instr.operands
+        if not a.type.is_float or instr.type != INT1:
+            raise IRVerificationError(f"{where}: sign signature invalid")
+    elif op is Opcode.SELECT:
+        cond, a, b = instr.operands
+        if cond.type != INT1 or a.type != b.type or a.type != instr.type:
+            raise IRVerificationError(f"{where}: select types invalid")
+    elif op is Opcode.PHI:
+        for value in instr.operands:
+            if value.type != instr.type:
+                raise IRVerificationError(
+                    f"{where}: phi incoming {value.type} != {instr.type}"
+                )
+    elif op is Opcode.CALL:
+        if instr.callee is None:
+            raise IRVerificationError(f"{where}: call lacks a callee")
+        if module is not None and module.has_function(instr.callee):
+            callee = module.function(instr.callee)
+            if len(callee.args) != len(instr.operands):
+                raise IRVerificationError(
+                    f"{where}: call passes {len(instr.operands)} args; "
+                    f"@{callee.name} takes {len(callee.args)}"
+                )
+            for arg, param in zip(instr.operands, callee.args):
+                if arg.type != param.type:
+                    raise IRVerificationError(
+                        f"{where}: call arg type {arg.type} != {param.type}"
+                    )
+            if callee.return_type != instr.type:
+                raise IRVerificationError(
+                    f"{where}: call result {instr.type} != {callee.return_type}"
+                )
+    else:  # pragma: no cover - every opcode is handled above
+        raise IRVerificationError(f"{where}: unhandled opcode {op}")
+
+
+def _check_phis(func: Function) -> None:
+    reachable = reachable_blocks(func)
+    for block in func.blocks:
+        if block.name not in reachable:
+            continue
+        preds = {
+            p.name for p in predecessors(func, block) if p.name in reachable
+        }
+        for phi in block.phis:
+            incoming = {b.name for b in phi.block_targets}
+            if incoming != preds:
+                raise IRVerificationError(
+                    f"@{func.name}:^{block.name}: phi {phi.ref()} incoming "
+                    f"{sorted(incoming)} != predecessors {sorted(preds)}"
+                )
+
+
+def _check_dominance(func: Function) -> None:
+    reachable = reachable_blocks(func)
+    domtree = DominatorTree(func)
+    positions: dict[int, tuple[BasicBlock, int]] = {}
+    for block in func.blocks:
+        for i, instr in enumerate(block.instructions):
+            positions[id(instr)] = (block, i)
+
+    def def_dominates_use(
+        value: Value, use_block: BasicBlock, use_index: int
+    ) -> bool:
+        if isinstance(value, (Constant, Argument)):
+            return True
+        assert isinstance(value, Instruction)
+        def_block, def_index = positions.get(id(value), (None, -1))
+        if def_block is None:
+            return False
+        if def_block is use_block:
+            return def_index < use_index
+        return domtree.dominates(def_block, use_block)
+
+    for block in func.blocks:
+        if block.name not in reachable:
+            continue
+        for i, instr in enumerate(block.instructions):
+            if instr.is_phi:
+                for value, pred in instr.phi_incoming():
+                    if pred.name not in reachable:
+                        continue
+                    term_idx = len(pred.instructions)
+                    if not def_dominates_use(value, pred, term_idx):
+                        raise IRVerificationError(
+                            f"@{func.name}:^{block.name}: phi incoming "
+                            f"{value.ref()} does not dominate edge from "
+                            f"^{pred.name}"
+                        )
+                continue
+            for value in instr.operands:
+                if not def_dominates_use(value, block, i):
+                    raise IRVerificationError(
+                        f"@{func.name}:^{block.name}: use of {value.ref()} "
+                        f"in {instr.opcode.value} not dominated by its def"
+                    )

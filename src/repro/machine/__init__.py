@@ -1,0 +1,50 @@
+"""Instruction-level machine emulator: the library's QEMU stand-in.
+
+The paper's fault-injection framework (sect. 4.2) pauses a QEMU system
+emulation between instructions, flips register/memory bits through a GDB
+stub, and uses QEMU's TCG cache plugin to decide whether a memory fault
+lands in a cache-resident line or in DRAM.  This package provides the same
+facilities over a small 64-bit RISC machine:
+
+- :mod:`repro.machine.isa` / :mod:`repro.machine.asm` — the instruction set
+  and a two-pass assembler;
+- :mod:`repro.machine.cpu` — the stepping emulator with cycle accounting
+  and per-instruction hooks;
+- :mod:`repro.machine.cache` — the cache-model plugin (residency tracking,
+  like QEMU's cache TCG plugin);
+- :mod:`repro.machine.monitor` — a QEMU-monitor-style command interface;
+- :mod:`repro.machine.gdbport` — programmatic register/memory access and
+  single-stepping (the GDB stub);
+- :mod:`repro.machine.snapshot` — VM snapshot/restore;
+- :mod:`repro.machine.inject` — fault-injection campaigns against machine
+  programs, with cache/DRAM classification;
+- :mod:`repro.machine.programs` — assembly workloads.
+"""
+
+from repro.machine.isa import Mnemonic, MachInstr, N_REGISTERS
+from repro.machine.asm import assemble, Program
+from repro.machine.cpu import Machine, MachineState, RunOutcome
+from repro.machine.cache import CachePlugin, CacheConfig
+from repro.machine.monitor import Monitor
+from repro.machine.gdbport import GdbPort
+from repro.machine.snapshot import Snapshot, take_snapshot, restore_snapshot
+from repro.machine.inject import (
+    MachineCampaign, MachineCampaignResult, run_machine_campaign,
+)
+from repro.machine.programs import MACHINE_PROGRAMS, load_program
+from repro.machine.codegen import (
+    CodeGenerator, UnsupportedIRError, compile_function, run_compiled,
+)
+
+__all__ = [
+    "Mnemonic", "MachInstr", "N_REGISTERS",
+    "assemble", "Program",
+    "Machine", "MachineState", "RunOutcome",
+    "CachePlugin", "CacheConfig",
+    "Monitor", "GdbPort",
+    "Snapshot", "take_snapshot", "restore_snapshot",
+    "MachineCampaign", "MachineCampaignResult", "run_machine_campaign",
+    "MACHINE_PROGRAMS", "load_program",
+    "CodeGenerator", "UnsupportedIRError", "compile_function",
+    "run_compiled",
+]

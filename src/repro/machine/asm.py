@@ -1,0 +1,176 @@
+"""Two-pass assembler for the machine ISA.
+
+Source format::
+
+    ; comments after semicolons
+    .data 0x100 7 11 13      ; words written at byte address 0x100
+    start:
+        li   r1, 0
+        li   r2, 10
+    loop:
+        add  r1, r1, r2
+        addi r2, r2, -1
+        bne  r2, r0, loop
+        st   r1, 0(r3)
+        halt
+
+Labels resolve to instruction indices; ``.data`` directives populate
+initial memory.  Register ``r0`` is general purpose (not hardwired) but the
+conventional zero register by usage.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import AssemblerError
+from repro.machine.isa import BRANCHES, JUMPS, MachInstr, Mnemonic, N_REGISTERS
+
+_MEM_RE = re.compile(r"^(-?\w+)\((r\d+)\)$")
+
+
+@dataclass
+class Program:
+    """An assembled program.
+
+    Attributes:
+        instructions: decoded instructions, pc = index.
+        labels: label -> instruction index.
+        data: initial memory image: byte address -> 64-bit word.
+    """
+
+    instructions: list[MachInstr] = field(default_factory=list)
+    labels: dict[str, int] = field(default_factory=dict)
+    data: dict[int, int] = field(default_factory=dict)
+
+
+def _parse_int(token: str, where: str) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblerError(f"{where}: bad integer {token!r}") from None
+
+
+def _parse_reg(token: str, where: str) -> int:
+    token = token.strip()
+    if not token.startswith("r"):
+        raise AssemblerError(f"{where}: expected register, got {token!r}")
+    index = _parse_int(token[1:], where)
+    if not 0 <= index < N_REGISTERS:
+        raise AssemblerError(f"{where}: register r{index} out of range")
+    return index
+
+
+def assemble(source: str) -> Program:
+    """Assemble ``source`` into a :class:`Program`."""
+    program = Program()
+    pending: list[tuple[int, str, list[str]]] = []  # (line no, mnem, args)
+
+    # Pass 1: collect labels, data, and raw instructions.
+    index = 0
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split(";", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith(".data"):
+            parts = line.split()
+            if len(parts) < 3:
+                raise AssemblerError(f"line {line_no}: .data needs addr + words")
+            base = _parse_int(parts[1], f"line {line_no}")
+            for offset, word in enumerate(parts[2:]):
+                program.data[base + 8 * offset] = _parse_int(
+                    word, f"line {line_no}"
+                )
+            continue
+        while ":" in line:
+            label, _, line = line.partition(":")
+            label = label.strip()
+            if label in program.labels:
+                raise AssemblerError(f"line {line_no}: duplicate label {label}")
+            program.labels[label] = index
+            line = line.strip()
+        if not line:
+            continue
+        mnem, _, rest = line.partition(" ")
+        args = [a.strip() for a in rest.split(",")] if rest.strip() else []
+        pending.append((line_no, mnem.lower(), args))
+        index += 1
+
+    # Pass 2: decode with labels resolved.
+    for line_no, mnem_name, args in pending:
+        where = f"line {line_no}"
+        try:
+            mnem = Mnemonic(mnem_name)
+        except ValueError:
+            raise AssemblerError(f"{where}: unknown mnemonic {mnem_name!r}") from None
+        program.instructions.append(
+            _decode(mnem, args, program.labels, where)
+        )
+    return program
+
+
+def _resolve_target(token: str, labels: dict[str, int], where: str) -> int:
+    token = token.strip()
+    if token in labels:
+        return labels[token]
+    return _parse_int(token, where)
+
+
+def _decode(
+    mnem: Mnemonic, args: list[str], labels: dict[str, int], where: str
+) -> MachInstr:
+    def need(n: int) -> None:
+        if len(args) != n:
+            raise AssemblerError(
+                f"{where}: {mnem.value} takes {n} operands, got {len(args)}"
+            )
+
+    if mnem in (Mnemonic.HALT, Mnemonic.NOP):
+        need(0)
+        return MachInstr(mnem)
+    if mnem is Mnemonic.LI:
+        need(2)
+        return MachInstr(mnem, rd=_parse_reg(args[0], where),
+                         imm=_parse_int(args[1], where))
+    if mnem is Mnemonic.ADDI:
+        need(3)
+        return MachInstr(
+            mnem,
+            rd=_parse_reg(args[0], where),
+            rs1=_parse_reg(args[1], where),
+            imm=_parse_int(args[2], where),
+        )
+    if mnem in (Mnemonic.LD, Mnemonic.ST):
+        need(2)
+        m = _MEM_RE.match(args[1].replace(" ", ""))
+        if not m:
+            raise AssemblerError(f"{where}: expected offset(reg), got {args[1]!r}")
+        return MachInstr(
+            mnem,
+            rd=_parse_reg(args[0], where),
+            rs1=_parse_reg(m.group(2), where),
+            imm=_parse_int(m.group(1), where),
+        )
+    if mnem in BRANCHES:
+        need(3)
+        return MachInstr(
+            mnem,
+            rs1=_parse_reg(args[0], where),
+            rs2=_parse_reg(args[1], where),
+            imm=_resolve_target(args[2], labels, where),
+        )
+    if mnem in JUMPS:
+        need(1)
+        return MachInstr(mnem, imm=_resolve_target(args[0], labels, where))
+    if mnem is Mnemonic.JR:
+        need(1)
+        return MachInstr(mnem, rs1=_parse_reg(args[0], where))
+    # Three-register ALU ops.
+    need(3)
+    return MachInstr(
+        mnem,
+        rd=_parse_reg(args[0], where),
+        rs1=_parse_reg(args[1], where),
+        rs2=_parse_reg(args[2], where),
+    )

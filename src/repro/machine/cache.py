@@ -1,0 +1,94 @@
+"""Cache-model plugin (the QEMU TCG cache plugin stand-in).
+
+"To model a cache, we use QEMU's cache plugin, which instruments memory
+accesses and records locations that would be stored in a cache ... to
+allow QEMU's cache plugin to return addresses that are located in cache or
+in memory" (sect. 4.2).  The plugin observes every data access the CPU
+makes and maintains a set-associative LRU residency model; it never holds
+data — it answers *where a fault would land*.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of the modelled data cache.
+
+    Defaults approximate a Cortex-A53 L1D: 32 KiB, 4-way, 64-byte lines.
+    """
+
+    size_bytes: int = 32 * 1024
+    line_bytes: int = 64
+    ways: int = 4
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.line_bytes <= 0 or self.ways <= 0:
+            raise ConfigError("cache geometry must be positive")
+        if self.size_bytes % (self.line_bytes * self.ways):
+            raise ConfigError("cache size must divide into ways x lines")
+
+    @property
+    def n_sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.ways)
+
+
+class CachePlugin:
+    """Set-associative LRU residency tracker.
+
+    Attributes:
+        hits / misses: access statistics.
+    """
+
+    def __init__(self, config: CacheConfig = CacheConfig()) -> None:
+        self.config = config
+        # Per-set ordered dict of resident line tags (LRU first).
+        self._sets: list[OrderedDict[int, None]] = [
+            OrderedDict() for _ in range(config.n_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+
+    def _locate(self, address: int) -> tuple[int, int]:
+        line = address // self.config.line_bytes
+        return line % self.config.n_sets, line
+
+    def on_access(self, address: int) -> bool:
+        """Record one access; returns True on hit."""
+        set_index, tag = self._locate(address)
+        ways = self._sets[set_index]
+        if tag in ways:
+            ways.move_to_end(tag)
+            self.hits += 1
+            return True
+        self.misses += 1
+        ways[tag] = None
+        if len(ways) > self.config.ways:
+            ways.popitem(last=False)
+        return False
+
+    def resident(self, address: int) -> bool:
+        """Whether ``address`` is currently cache-resident."""
+        set_index, tag = self._locate(address)
+        return tag in self._sets[set_index]
+
+    def resident_addresses(self, addresses: list[int]) -> list[int]:
+        """Subset of ``addresses`` currently in cache (the monitor query)."""
+        return [a for a in addresses if self.resident(a)]
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0
+
+    def flush(self) -> None:
+        """Drop all residency state (e.g. after a snapshot restore)."""
+        for ways in self._sets:
+            ways.clear()
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,398 @@
+"""IR -> machine code generation.
+
+Lowers integer IR functions onto the emulated RISC machine, completing the
+compiler pipeline between the library's two execution substrates: the same
+program can run under the IR interpreter (where the DMR/quantize passes
+operate) and on the machine emulator (where QEMU-style cache/memory faults
+are injected), and campaigns on either can be cross-validated.
+
+Strategy: a simple spill-everything allocator.  Every SSA value gets a
+64-bit stack slot; each IR instruction loads its operands into scratch
+registers, computes, and stores the result back.  Phi nodes are resolved as
+parallel copies on each incoming edge (staged through shadow slots so
+swaps are safe).  The IR heap is a bump allocator above the spill area;
+IR pointers are machine byte addresses, so ``gep`` scales its cell offset
+by 8.
+
+Scope: integer and pointer IR only — the machine has no FPU.  ``call`` is
+not lowered (the workload suite's programs are single-function).  Floating
+point functions are rejected with :class:`UnsupportedIRError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MachineError
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction, Opcode, Predicate
+from repro.ir.values import Argument, Constant, Value
+from repro.machine.asm import Program
+from repro.machine.isa import MASK64, MachInstr, Mnemonic
+
+#: Scratch registers used by the lowering (r0 is kept zero by convention).
+_SA, _SB, _SC, _SD = 1, 2, 3, 4
+
+#: Stack slots start here; the IR heap begins right after the last slot.
+_FRAME_BASE = 0x100
+
+#: Where the lowered function stores its return value.
+RESULT_SLOT = 0x8
+#: Slot holding the bump-allocator's next free heap address.
+_HEAP_PTR_SLOT = 0x10
+
+
+class UnsupportedIRError(MachineError):
+    """The IR construct has no machine lowering (floats, calls)."""
+
+
+@dataclass
+class _Emitter:
+    instructions: list[MachInstr] = field(default_factory=list)
+    #: label -> instruction index (blocks + synthesized edge blocks)
+    labels: dict[str, int] = field(default_factory=dict)
+    #: (instruction index, label) pairs needing target resolution
+    fixups: list[tuple[int, str]] = field(default_factory=list)
+
+    def here(self, label: str) -> None:
+        self.labels[label] = len(self.instructions)
+
+    def emit(self, instr: MachInstr) -> None:
+        self.instructions.append(instr)
+
+    def emit_branch(self, mnemonic: Mnemonic, label: str,
+                    rs1: int = 0, rs2: int = 0) -> None:
+        self.fixups.append((len(self.instructions), label))
+        self.emit(MachInstr(mnemonic, rs1=rs1, rs2=rs2, imm=-1))
+
+    def resolve(self) -> None:
+        for index, label in self.fixups:
+            old = self.instructions[index]
+            self.instructions[index] = MachInstr(
+                old.mnemonic, rd=old.rd, rs1=old.rs1, rs2=old.rs2,
+                imm=self.labels[label],
+            )
+
+
+class CodeGenerator:
+    """Lowers one IR function to a machine :class:`Program`."""
+
+    def __init__(self, func: Function) -> None:
+        self.func = func
+        self.emitter = _Emitter()
+        self.slots: dict[str, int] = {}
+        self._next_slot = _FRAME_BASE
+        self._check_supported()
+
+    # -- validation ---------------------------------------------------------
+
+    def _check_supported(self) -> None:
+        if self.func.return_type.is_float:
+            raise UnsupportedIRError(
+                f"@{self.func.name}: machine has no FPU"
+            )
+        for arg in self.func.args:
+            if arg.type.is_float:
+                raise UnsupportedIRError(
+                    f"@{self.func.name}: float argument %{arg.name}"
+                )
+        for instr in self.func.instructions():
+            if instr.type.is_float or any(
+                op.type.is_float for op in instr.operands
+            ):
+                raise UnsupportedIRError(
+                    f"@{self.func.name}: float instruction "
+                    f"{instr.opcode.value}"
+                )
+            if instr.opcode is Opcode.CALL:
+                raise UnsupportedIRError(
+                    f"@{self.func.name}: call lowering not supported"
+                )
+
+    # -- slots ---------------------------------------------------------------
+
+    def _slot(self, name: str) -> int:
+        if name not in self.slots:
+            self.slots[name] = self._next_slot
+            self._next_slot += 8
+        return self.slots[name]
+
+    def _assign_all_slots(self) -> None:
+        for arg in self.func.args:
+            self._slot(arg.name)
+        for instr in self.func.instructions():
+            if instr.defines_value:
+                self._slot(instr.name)
+                if instr.is_phi:
+                    self._slot(f"{instr.name}.shadow")
+
+    # -- value access -----------------------------------------------------------
+
+    def _load_value(self, value: Value, register: int) -> None:
+        """Materialize ``value`` into ``register``."""
+        e = self.emitter
+        if isinstance(value, Constant):
+            imm = int(value.value) & MASK64
+            # The assembler's LI takes arbitrary Python ints; keep signed.
+            e.emit(MachInstr(Mnemonic.LI, rd=register,
+                             imm=int(value.value)))
+            return
+        if isinstance(value, (Argument, Instruction)):
+            e.emit(MachInstr(Mnemonic.LD, rd=register, rs1=0,
+                             imm=self._slot(value.name)))
+            return
+        raise MachineError(f"cannot load value {value!r}")
+
+    def _store_result(self, name: str, register: int) -> None:
+        self.emitter.emit(
+            MachInstr(Mnemonic.ST, rd=register, rs1=0, imm=self._slot(name))
+        )
+
+    # -- lowering -------------------------------------------------------------------
+
+    _ALU = {
+        Opcode.ADD: Mnemonic.ADD, Opcode.SUB: Mnemonic.SUB,
+        Opcode.MUL: Mnemonic.MUL, Opcode.SDIV: Mnemonic.DIV,
+        Opcode.SREM: Mnemonic.REM, Opcode.AND: Mnemonic.AND,
+        Opcode.OR: Mnemonic.OR, Opcode.XOR: Mnemonic.XOR,
+        Opcode.SHL: Mnemonic.SHL, Opcode.LSHR: Mnemonic.SHR,
+        Opcode.ASHR: Mnemonic.SAR,
+    }
+
+    def generate(self) -> Program:
+        """Lower the function; arguments are read from fixed slots.
+
+        Calling convention: the loader stores argument i at slot
+        ``_FRAME_BASE + 8*i`` (the slots of the formals, which are assigned
+        first); the return value lands in :data:`RESULT_SLOT`.
+        """
+        self._assign_all_slots()
+        e = self.emitter
+        # r0 = 0 throughout.
+        e.emit(MachInstr(Mnemonic.LI, rd=0, imm=0))
+        # Initialize the heap pointer past the spill area.
+        e.emit(MachInstr(Mnemonic.LI, rd=_SA, imm=self._next_slot))
+        e.emit(MachInstr(Mnemonic.ST, rd=_SA, rs1=0, imm=_HEAP_PTR_SLOT))
+        e.emit_branch(Mnemonic.JMP, f"bb.{self.func.entry.name}")
+
+        for block in self.func.blocks:
+            self._lower_block(block)
+        e.resolve()
+
+        program = Program(
+            instructions=e.instructions,
+            labels=dict(e.labels),
+            data={},
+        )
+        return program
+
+    def _lower_block(self, block: BasicBlock) -> None:
+        e = self.emitter
+        e.here(f"bb.{block.name}")
+        # Phi landing: copy shadow slots (written by predecessors) into the
+        # real phi slots, as a parallel-copy second half.
+        for phi in block.phis:
+            e.emit(MachInstr(Mnemonic.LD, rd=_SA, rs1=0,
+                             imm=self._slot(f"{phi.name}.shadow")))
+            e.emit(MachInstr(Mnemonic.ST, rd=_SA, rs1=0,
+                             imm=self._slot(phi.name)))
+        for instr in block.body:
+            self._lower_instruction(block, instr)
+
+    def _stage_phis(self, edge_source: BasicBlock,
+                    target: BasicBlock) -> None:
+        """First half of the parallel copy: incoming values -> shadows."""
+        e = self.emitter
+        for phi in target.phis:
+            for value, pred in phi.phi_incoming():
+                if pred is edge_source:
+                    self._load_value(value, _SA)
+                    e.emit(MachInstr(
+                        Mnemonic.ST, rd=_SA, rs1=0,
+                        imm=self._slot(f"{phi.name}.shadow"),
+                    ))
+
+    def _lower_instruction(self, block: BasicBlock,
+                           instr: Instruction) -> None:
+        e = self.emitter
+        op = instr.opcode
+
+        if op in self._ALU:
+            self._load_value(instr.operands[0], _SA)
+            self._load_value(instr.operands[1], _SB)
+            e.emit(MachInstr(self._ALU[op], rd=_SC, rs1=_SA, rs2=_SB))
+            self._mask_to_width(instr, _SC)
+            self._store_result(instr.name, _SC)
+            return
+        if op is Opcode.ICMP:
+            self._lower_icmp(instr)
+            return
+        if op in (Opcode.ZEXT, Opcode.TRUNC):
+            self._load_value(instr.operands[0], _SC)
+            if op is Opcode.ZEXT:
+                # Clear bits above the source width.
+                src_bits = instr.operands[0].type.bits
+                if src_bits < 64:
+                    e.emit(MachInstr(Mnemonic.LI, rd=_SB,
+                                     imm=(1 << src_bits) - 1))
+                    e.emit(MachInstr(Mnemonic.AND, rd=_SC, rs1=_SC,
+                                     rs2=_SB))
+            self._mask_to_width(instr, _SC)
+            self._store_result(instr.name, _SC)
+            return
+        if op is Opcode.ALLOC:
+            # base = heap_ptr; heap_ptr += count * 8
+            self._load_value(instr.operands[0], _SA)
+            e.emit(MachInstr(Mnemonic.LI, rd=_SB, imm=8))
+            e.emit(MachInstr(Mnemonic.MUL, rd=_SA, rs1=_SA, rs2=_SB))
+            e.emit(MachInstr(Mnemonic.LD, rd=_SC, rs1=0,
+                             imm=_HEAP_PTR_SLOT))
+            e.emit(MachInstr(Mnemonic.ADD, rd=_SD, rs1=_SC, rs2=_SA))
+            e.emit(MachInstr(Mnemonic.ST, rd=_SD, rs1=0,
+                             imm=_HEAP_PTR_SLOT))
+            self._store_result(instr.name, _SC)
+            return
+        if op is Opcode.GEP:
+            self._load_value(instr.operands[0], _SA)
+            self._load_value(instr.operands[1], _SB)
+            e.emit(MachInstr(Mnemonic.LI, rd=_SC, imm=8))
+            e.emit(MachInstr(Mnemonic.MUL, rd=_SB, rs1=_SB, rs2=_SC))
+            e.emit(MachInstr(Mnemonic.ADD, rd=_SC, rs1=_SA, rs2=_SB))
+            self._store_result(instr.name, _SC)
+            return
+        if op is Opcode.LOAD:
+            self._load_value(instr.operands[0], _SA)
+            e.emit(MachInstr(Mnemonic.LD, rd=_SC, rs1=_SA, imm=0))
+            self._mask_to_width(instr, _SC)
+            self._store_result(instr.name, _SC)
+            return
+        if op is Opcode.STORE:
+            self._load_value(instr.operands[0], _SA)
+            self._load_value(instr.operands[1], _SB)
+            e.emit(MachInstr(Mnemonic.ST, rd=_SA, rs1=_SB, imm=0))
+            return
+        if op is Opcode.SELECT:
+            self._lower_select(block, instr)
+            return
+        if op is Opcode.BR:
+            then_b, else_b = instr.block_targets
+            self._load_value(instr.operands[0], _SA)
+            # cond != 0 -> then.  Stage phis per edge via split paths.
+            edge_then = f"edge.{block.name}.{then_b.name}.{id(instr)}"
+            edge_else = f"edge.{block.name}.{else_b.name}.{id(instr)}"
+            e.emit_branch(Mnemonic.BNE, edge_then, rs1=_SA, rs2=0)
+            e.emit_branch(Mnemonic.JMP, edge_else)
+            e.here(edge_then)
+            self._stage_phis(block, then_b)
+            e.emit_branch(Mnemonic.JMP, f"bb.{then_b.name}")
+            e.here(edge_else)
+            self._stage_phis(block, else_b)
+            e.emit_branch(Mnemonic.JMP, f"bb.{else_b.name}")
+            return
+        if op is Opcode.JMP:
+            target = instr.block_targets[0]
+            self._stage_phis(block, target)
+            e.emit_branch(Mnemonic.JMP, f"bb.{target.name}")
+            return
+        if op is Opcode.RET:
+            if instr.operands:
+                self._load_value(instr.operands[0], _SA)
+                e.emit(MachInstr(Mnemonic.ST, rd=_SA, rs1=0,
+                                 imm=RESULT_SLOT))
+            e.emit(MachInstr(Mnemonic.HALT))
+            return
+        if op is Opcode.TRAP:
+            # Lower to a deliberate fault the emulator reports as a trap.
+            e.emit(MachInstr(Mnemonic.LI, rd=_SA, imm=0))
+            e.emit(MachInstr(Mnemonic.DIV, rd=_SA, rs1=_SA, rs2=_SA))
+            return
+        raise UnsupportedIRError(
+            f"@{self.func.name}: no lowering for {op.value}"
+        )
+
+    def _mask_to_width(self, instr: Instruction, register: int) -> None:
+        """Sign-extend a narrow integer result to the 64-bit register."""
+        bits = instr.type.bits
+        if instr.type.is_pointer or bits >= 64:
+            return
+        e = self.emitter
+        shift = 64 - bits
+        e.emit(MachInstr(Mnemonic.LI, rd=_SD, imm=shift))
+        e.emit(MachInstr(Mnemonic.SHL, rd=register, rs1=register, rs2=_SD))
+        e.emit(MachInstr(Mnemonic.SAR, rd=register, rs1=register, rs2=_SD))
+
+    def _lower_icmp(self, instr: Instruction) -> None:
+        e = self.emitter
+        self._load_value(instr.operands[0], _SA)
+        self._load_value(instr.operands[1], _SB)
+        pred = instr.predicate
+        assert pred is not None
+        swap = pred in (Predicate.GT, Predicate.LE)
+        a, b = (_SB, _SA) if swap else (_SA, _SB)
+        true_label = f"icmp.true.{id(instr)}"
+        done_label = f"icmp.done.{id(instr)}"
+        branch = {
+            Predicate.EQ: Mnemonic.BEQ,
+            Predicate.NE: Mnemonic.BNE,
+            Predicate.LT: Mnemonic.BLT,
+            Predicate.GT: Mnemonic.BLT,   # swapped operands
+            Predicate.GE: Mnemonic.BGE,
+            Predicate.LE: Mnemonic.BGE,   # swapped operands
+        }[pred]
+        e.emit_branch(branch, true_label, rs1=a, rs2=b)
+        e.emit(MachInstr(Mnemonic.LI, rd=_SC, imm=0))
+        e.emit_branch(Mnemonic.JMP, done_label)
+        e.here(true_label)
+        e.emit(MachInstr(Mnemonic.LI, rd=_SC, imm=1))
+        e.here(done_label)
+        self._store_result(instr.name, _SC)
+
+    def _lower_select(self, block: BasicBlock, instr: Instruction) -> None:
+        e = self.emitter
+        take_a = f"sel.a.{id(instr)}"
+        done = f"sel.done.{id(instr)}"
+        self._load_value(instr.operands[0], _SA)
+        e.emit_branch(Mnemonic.BNE, take_a, rs1=_SA, rs2=0)
+        self._load_value(instr.operands[2], _SC)
+        e.emit_branch(Mnemonic.JMP, done)
+        e.here(take_a)
+        self._load_value(instr.operands[1], _SC)
+        e.here(done)
+        self._store_result(instr.name, _SC)
+
+
+def compile_function(func: Function) -> tuple[Program, dict[str, int]]:
+    """Compile an IR function; returns (program, argument slot map)."""
+    generator = CodeGenerator(func)
+    program = generator.generate()
+    arg_slots = {
+        arg.name: generator.slots[arg.name] for arg in func.args
+    }
+    return program, arg_slots
+
+
+def run_compiled(
+    func: Function,
+    args: list[int],
+    fuel: int = 2_000_000,
+    memory_bytes: int = 1 << 22,
+):
+    """Compile and execute; returns (machine RunOutcome, result value).
+
+    The result is read from :data:`RESULT_SLOT` and sign-extended per the
+    function's return type.
+    """
+    from repro.machine.cpu import Machine
+
+    program, arg_slots = compile_function(func)
+    machine = Machine(program, memory_bytes=memory_bytes)
+    for formal, actual in zip(func.args, args):
+        machine.write_word(arg_slots[formal.name], int(actual) & MASK64)
+    outcome = machine.run(fuel=fuel)
+    raw = machine.read_word(RESULT_SLOT)
+    if func.return_type.is_int:
+        value = func.return_type.wrap(raw)
+    else:
+        value = raw
+    return outcome, value

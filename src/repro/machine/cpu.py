@@ -1,0 +1,222 @@
+"""The stepping machine emulator."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import InvalidInstruction, MachineHalted, MemoryFault
+from repro.machine.asm import Program
+from repro.machine.cache import CachePlugin
+from repro.machine.isa import (
+    BRANCHES,
+    CYCLE_COST,
+    MASK64,
+    LINK_REGISTER,
+    MachInstr,
+    Mnemonic,
+    N_REGISTERS,
+    WORD_BYTES,
+    to_signed,
+)
+
+
+class RunOutcome(enum.Enum):
+    """How a machine run ended."""
+
+    HALTED = "halted"
+    TRAP = "trap"
+    FUEL_EXHAUSTED = "fuel"
+
+
+@dataclass
+class MachineState:
+    """Snapshot-able architectural state."""
+
+    registers: list[int] = field(
+        default_factory=lambda: [0] * N_REGISTERS
+    )
+    pc: int = 0
+    memory: dict[int, int] = field(default_factory=dict)  # word addr -> word
+    halted: bool = False
+    steps: int = 0
+    cycles: int = 0
+
+
+#: Hook called before each instruction: (machine, instruction, step index).
+MachStepHook = Callable[["Machine", MachInstr, int], None]
+
+
+class Machine:
+    """Executes an assembled program with cycle accounting and hooks.
+
+    Attributes:
+        program: the loaded program.
+        state: architectural state.
+        cache: optional cache plugin observing data accesses.
+        pc_trace: executed pc sequence (when tracing is enabled).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        memory_bytes: int = 1 << 20,
+        cache: CachePlugin | None = None,
+        record_trace: bool = False,
+        step_hook: MachStepHook | None = None,
+    ) -> None:
+        self.program = program
+        self.memory_bytes = memory_bytes
+        self.cache = cache
+        self.record_trace = record_trace
+        self.step_hook = step_hook
+        self.state = MachineState()
+        self.pc_trace: list[int] = []
+        self.trap_reason = ""
+        for address, word in program.data.items():
+            self._store(address, word, observe=False)
+
+    # -- memory -----------------------------------------------------------------
+
+    def _check_address(self, address: int) -> None:
+        if address % WORD_BYTES:
+            raise MemoryFault(f"misaligned access at {address:#x}")
+        if not 0 <= address < self.memory_bytes:
+            raise MemoryFault(f"access beyond memory at {address:#x}")
+
+    def _load(self, address: int) -> int:
+        self._check_address(address)
+        if self.cache is not None:
+            self.cache.on_access(address)
+        return self.state.memory.get(address, 0)
+
+    def _store(self, address: int, value: int, observe: bool = True) -> None:
+        self._check_address(address)
+        if observe and self.cache is not None:
+            self.cache.on_access(address)
+        self.state.memory[address] = value & MASK64
+
+    def read_word(self, address: int) -> int:
+        """Debugger-path read (does not touch the cache model)."""
+        self._check_address(address)
+        return self.state.memory.get(address, 0)
+
+    def write_word(self, address: int, value: int) -> None:
+        """Debugger-path write (does not touch the cache model)."""
+        self._check_address(address)
+        self.state.memory[address] = value & MASK64
+
+    # -- registers --------------------------------------------------------------
+
+    def read_register(self, index: int) -> int:
+        return self.state.registers[index]
+
+    def write_register(self, index: int, value: int) -> None:
+        self.state.registers[index] = value & MASK64
+
+    # -- execution ----------------------------------------------------------------
+
+    def step(self) -> None:
+        """Execute one instruction."""
+        state = self.state
+        if state.halted:
+            raise MachineHalted("machine is halted")
+        if not 0 <= state.pc < len(self.program.instructions):
+            raise MemoryFault(f"pc {state.pc} outside program")
+        instr = self.program.instructions[state.pc]
+        if self.step_hook is not None:
+            self.step_hook(self, instr, state.steps)
+        if self.record_trace:
+            self.pc_trace.append(state.pc)
+        state.steps += 1
+        state.cycles += CYCLE_COST[instr.mnemonic]
+        self._execute(instr)
+
+    def _execute(self, instr: MachInstr) -> None:
+        state = self.state
+        regs = state.registers
+        m = instr.mnemonic
+        next_pc = state.pc + 1
+
+        if m is Mnemonic.HALT:
+            state.halted = True
+            return
+        if m is Mnemonic.NOP:
+            pass
+        elif m is Mnemonic.LI:
+            regs[instr.rd] = instr.imm & MASK64
+        elif m is Mnemonic.ADDI:
+            regs[instr.rd] = (regs[instr.rs1] + instr.imm) & MASK64
+        elif m is Mnemonic.LD:
+            address = (regs[instr.rs1] + instr.imm) & MASK64
+            regs[instr.rd] = self._load(address)
+        elif m is Mnemonic.ST:
+            address = (regs[instr.rs1] + instr.imm) & MASK64
+            self._store(address, regs[instr.rd])
+        elif m in BRANCHES:
+            a = to_signed(regs[instr.rs1])
+            b = to_signed(regs[instr.rs2])
+            taken = {
+                Mnemonic.BEQ: a == b,
+                Mnemonic.BNE: a != b,
+                Mnemonic.BLT: a < b,
+                Mnemonic.BGE: a >= b,
+            }[m]
+            if taken:
+                next_pc = instr.imm
+        elif m is Mnemonic.JMP:
+            next_pc = instr.imm
+        elif m is Mnemonic.JAL:
+            regs[LINK_REGISTER] = next_pc & MASK64
+            next_pc = instr.imm
+        elif m is Mnemonic.JR:
+            next_pc = regs[instr.rs1]
+        else:
+            regs[instr.rd] = self._alu(m, regs[instr.rs1], regs[instr.rs2])
+        state.pc = next_pc
+
+    @staticmethod
+    def _alu(m: Mnemonic, a_raw: int, b_raw: int) -> int:
+        a, b = to_signed(a_raw), to_signed(b_raw)
+        if m is Mnemonic.ADD:
+            return (a + b) & MASK64
+        if m is Mnemonic.SUB:
+            return (a - b) & MASK64
+        if m is Mnemonic.MUL:
+            return (a * b) & MASK64
+        if m is Mnemonic.DIV:
+            if b == 0:
+                raise MemoryFault("division by zero")
+            return int(a / b) & MASK64
+        if m is Mnemonic.REM:
+            if b == 0:
+                raise MemoryFault("remainder by zero")
+            return (a - int(a / b) * b) & MASK64
+        if m is Mnemonic.AND:
+            return (a_raw & b_raw) & MASK64
+        if m is Mnemonic.OR:
+            return (a_raw | b_raw) & MASK64
+        if m is Mnemonic.XOR:
+            return (a_raw ^ b_raw) & MASK64
+        shift = b_raw & 63
+        if m is Mnemonic.SHL:
+            return (a_raw << shift) & MASK64
+        if m is Mnemonic.SHR:
+            return (a_raw & MASK64) >> shift
+        if m is Mnemonic.SAR:
+            return (a >> shift) & MASK64
+        raise InvalidInstruction(f"unhandled mnemonic {m}")
+
+    def run(self, fuel: int = 1_000_000) -> RunOutcome:
+        """Run until halt, trap, or ``fuel`` steps."""
+        self.trap_reason = ""
+        try:
+            while not self.state.halted and self.state.steps < fuel:
+                self.step()
+        except (MemoryFault, InvalidInstruction) as exc:
+            self.trap_reason = str(exc)
+            return RunOutcome.TRAP
+        if self.state.halted:
+            return RunOutcome.HALTED
+        return RunOutcome.FUEL_EXHAUSTED

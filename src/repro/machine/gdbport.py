@@ -1,0 +1,88 @@
+"""GDB-stub-style programmatic access to a machine.
+
+The paper's framework "uses GDB to modify register and memory contents in
+the emulated system" (sect. 4.2).  This port exposes the same operations:
+read/write registers and memory, flip individual bits, set breakpoints,
+single-step, continue.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FaultInjectionError
+from repro.machine.cpu import Machine, RunOutcome
+from repro.machine.isa import MASK64, N_REGISTERS
+
+
+class GdbPort:
+    """Debugger-side handle on a machine."""
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self.breakpoints: set[int] = set()
+
+    # -- state access -----------------------------------------------------------
+
+    def read_register(self, index: int) -> int:
+        self._check_reg(index)
+        return self.machine.read_register(index)
+
+    def write_register(self, index: int, value: int) -> None:
+        self._check_reg(index)
+        self.machine.write_register(index, value)
+
+    def flip_register_bit(self, index: int, bit: int) -> int:
+        """Flip one bit of a register; returns the new value."""
+        self._check_reg(index)
+        if not 0 <= bit < 64:
+            raise FaultInjectionError(f"bit {bit} outside 64-bit register")
+        value = self.machine.read_register(index) ^ (1 << bit)
+        self.machine.write_register(index, value)
+        return value & MASK64
+
+    def read_memory(self, address: int) -> int:
+        return self.machine.read_word(address)
+
+    def write_memory(self, address: int, value: int) -> None:
+        self.machine.write_word(address, value)
+
+    def flip_memory_bit(self, address: int, bit: int) -> int:
+        """Flip one bit of a memory word; returns the new value."""
+        if not 0 <= bit < 64:
+            raise FaultInjectionError(f"bit {bit} outside 64-bit word")
+        value = self.machine.read_word(address) ^ (1 << bit)
+        self.machine.write_word(address, value)
+        return value
+
+    # -- execution control ---------------------------------------------------------
+
+    def set_breakpoint(self, pc: int) -> None:
+        self.breakpoints.add(pc)
+
+    def clear_breakpoint(self, pc: int) -> None:
+        self.breakpoints.discard(pc)
+
+    def step(self) -> None:
+        self.machine.step()
+
+    def cont(self, fuel: int = 1_000_000) -> RunOutcome | str:
+        """Run until a breakpoint, halt, trap or fuel exhaustion.
+
+        Returns "breakpoint" when stopped at one, else the RunOutcome.
+        """
+        steps = 0
+        while steps < fuel:
+            if self.machine.state.halted:
+                return RunOutcome.HALTED
+            if self.machine.state.pc in self.breakpoints and steps > 0:
+                return "breakpoint"
+            try:
+                self.machine.step()
+            except Exception as exc:  # noqa: BLE001 - surfaced as trap
+                self.machine.trap_reason = str(exc)
+                return RunOutcome.TRAP
+            steps += 1
+        return RunOutcome.FUEL_EXHAUSTED
+
+    def _check_reg(self, index: int) -> None:
+        if not 0 <= index < N_REGISTERS:
+            raise FaultInjectionError(f"register r{index} out of range")

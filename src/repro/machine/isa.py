@@ -1,0 +1,112 @@
+"""The emulated machine's instruction set.
+
+A 64-bit RISC: 16 general registers, word-addressed memory operations with
+base+offset addressing, compare-and-branch, and jump-and-link for
+subroutines.  Arithmetic wraps modulo 2**64 (two's complement), matching
+the IR's i64 semantics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+N_REGISTERS = 16
+WORD_BYTES = 8
+LINK_REGISTER = 14  # return address for JAL
+MASK64 = (1 << 64) - 1
+
+
+class Mnemonic(enum.Enum):
+    """Every machine operation."""
+
+    # ALU register-register.
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"     # signed, trap on zero
+    REM = "rem"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"     # logical
+    SAR = "sar"     # arithmetic
+    # Immediates.
+    LI = "li"       # rd <- imm
+    ADDI = "addi"   # rd <- rs + imm
+    # Memory (byte addresses, 8-byte aligned).
+    LD = "ld"       # rd <- mem[rs + imm]
+    ST = "st"       # mem[rs + imm] <- rd
+    # Control.
+    BEQ = "beq"
+    BNE = "bne"
+    BLT = "blt"
+    BGE = "bge"
+    JMP = "jmp"
+    JAL = "jal"     # r14 <- pc + 1; pc <- target
+    JR = "jr"       # pc <- rs
+    HALT = "halt"
+    NOP = "nop"
+
+
+#: Mnemonics whose third operand is a branch target label.
+BRANCHES = frozenset({Mnemonic.BEQ, Mnemonic.BNE, Mnemonic.BLT, Mnemonic.BGE})
+JUMPS = frozenset({Mnemonic.JMP, Mnemonic.JAL})
+
+#: Cycle costs, same spirit as the IR cost model (A53-ish).
+CYCLE_COST = {
+    Mnemonic.ADD: 2, Mnemonic.SUB: 2, Mnemonic.MUL: 3,
+    Mnemonic.DIV: 8, Mnemonic.REM: 8,
+    Mnemonic.AND: 2, Mnemonic.OR: 2, Mnemonic.XOR: 2,
+    Mnemonic.SHL: 2, Mnemonic.SHR: 2, Mnemonic.SAR: 2,
+    Mnemonic.LI: 1, Mnemonic.ADDI: 2,
+    Mnemonic.LD: 4, Mnemonic.ST: 1,
+    Mnemonic.BEQ: 1, Mnemonic.BNE: 1, Mnemonic.BLT: 1, Mnemonic.BGE: 1,
+    Mnemonic.JMP: 1, Mnemonic.JAL: 2, Mnemonic.JR: 2,
+    Mnemonic.HALT: 1, Mnemonic.NOP: 1,
+}
+
+
+@dataclass(frozen=True)
+class MachInstr:
+    """One decoded machine instruction.
+
+    Attributes:
+        mnemonic: operation.
+        rd: destination (or source for ST) register.
+        rs1 / rs2: source registers.
+        imm: immediate / memory offset / jump target (instruction index).
+    """
+
+    mnemonic: Mnemonic
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+
+    def __str__(self) -> str:
+        m = self.mnemonic
+        if m in (Mnemonic.HALT, Mnemonic.NOP):
+            return m.value
+        if m is Mnemonic.LI:
+            return f"li r{self.rd}, {self.imm}"
+        if m is Mnemonic.ADDI:
+            return f"addi r{self.rd}, r{self.rs1}, {self.imm}"
+        if m is Mnemonic.LD:
+            return f"ld r{self.rd}, {self.imm}(r{self.rs1})"
+        if m is Mnemonic.ST:
+            return f"st r{self.rd}, {self.imm}(r{self.rs1})"
+        if m in BRANCHES:
+            return f"{m.value} r{self.rs1}, r{self.rs2}, @{self.imm}"
+        if m in JUMPS:
+            return f"{m.value} @{self.imm}"
+        if m is Mnemonic.JR:
+            return f"jr r{self.rs1}"
+        return f"{m.value} r{self.rd}, r{self.rs1}, r{self.rs2}"
+
+
+def to_signed(value: int) -> int:
+    """Interpret a 64-bit pattern as signed."""
+    value &= MASK64
+    return value - (1 << 64) if value >= 1 << 63 else value

@@ -1,0 +1,131 @@
+"""QEMU-monitor-style command interface.
+
+The paper "extend[s] QEMU's monitor interface, which takes user input to do
+complex tasks such as mounting devices or taking snapshots of the virtual
+machine, to allow QEMU's cache plugin to return addresses that are located
+in cache or in memory" (sect. 4.2).  This monitor exposes the same command
+surface over the emulated machine, including the cache-residency query.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MachineError
+from repro.machine.cpu import Machine
+from repro.machine.gdbport import GdbPort
+from repro.machine.snapshot import Snapshot, restore_snapshot, take_snapshot
+
+
+class Monitor:
+    """Text-command console for a machine.
+
+    Commands::
+
+        info registers            register dump
+        info cache                hit/miss statistics
+        x <addr>                  read a memory word
+        setreg <r> <value>        write a register
+        setmem <addr> <value>     write a memory word
+        flipreg <r> <bit>         flip one register bit
+        flipmem <addr> <bit>      flip one memory-word bit
+        cacheq <addr> [...]       which of the addresses are cache-resident
+        savevm <name>             take a snapshot
+        loadvm <name>             restore a snapshot
+        step [n]                  single-step n instructions
+        where                     current pc and instruction
+    """
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self.gdb = GdbPort(machine)
+        self.snapshots: dict[str, Snapshot] = {}
+
+    def execute(self, command: str) -> str:
+        """Run one command line and return its textual output."""
+        parts = command.split()
+        if not parts:
+            return ""
+        op = parts[0]
+        handler = getattr(self, f"_cmd_{op}", None)
+        if handler is None:
+            raise MachineError(f"unknown monitor command {op!r}")
+        return handler(parts[1:])
+
+    # -- commands ----------------------------------------------------------------
+
+    def _cmd_info(self, args: list[str]) -> str:
+        if args == ["registers"]:
+            regs = self.machine.state.registers
+            lines = [
+                f"r{i:<2d} = {value:#018x}" for i, value in enumerate(regs)
+            ]
+            lines.append(f"pc  = {self.machine.state.pc}")
+            return "\n".join(lines)
+        if args == ["cache"]:
+            cache = self.machine.cache
+            if cache is None:
+                return "no cache plugin attached"
+            return (
+                f"hits={cache.hits} misses={cache.misses} "
+                f"miss_rate={cache.miss_rate:.4f}"
+            )
+        raise MachineError(f"unknown info topic {args!r}")
+
+    def _cmd_x(self, args: list[str]) -> str:
+        address = int(args[0], 0)
+        return f"{address:#x}: {self.gdb.read_memory(address):#018x}"
+
+    def _cmd_setreg(self, args: list[str]) -> str:
+        index, value = int(args[0]), int(args[1], 0)
+        self.gdb.write_register(index, value)
+        return f"r{index} <- {value:#x}"
+
+    def _cmd_setmem(self, args: list[str]) -> str:
+        address, value = int(args[0], 0), int(args[1], 0)
+        self.gdb.write_memory(address, value)
+        return f"mem[{address:#x}] <- {value:#x}"
+
+    def _cmd_flipreg(self, args: list[str]) -> str:
+        index, bit = int(args[0]), int(args[1])
+        value = self.gdb.flip_register_bit(index, bit)
+        return f"r{index} bit {bit} flipped -> {value:#x}"
+
+    def _cmd_flipmem(self, args: list[str]) -> str:
+        address, bit = int(args[0], 0), int(args[1])
+        value = self.gdb.flip_memory_bit(address, bit)
+        return f"mem[{address:#x}] bit {bit} flipped -> {value:#x}"
+
+    def _cmd_cacheq(self, args: list[str]) -> str:
+        cache = self.machine.cache
+        if cache is None:
+            raise MachineError("no cache plugin attached")
+        addresses = [int(a, 0) for a in args]
+        resident = cache.resident_addresses(addresses)
+        lines = [
+            f"{a:#x}: {'cache' if a in resident else 'memory'}"
+            for a in addresses
+        ]
+        return "\n".join(lines)
+
+    def _cmd_savevm(self, args: list[str]) -> str:
+        name = args[0]
+        self.snapshots[name] = take_snapshot(self.machine)
+        return f"snapshot {name!r} saved at step {self.machine.state.steps}"
+
+    def _cmd_loadvm(self, args: list[str]) -> str:
+        name = args[0]
+        if name not in self.snapshots:
+            raise MachineError(f"no snapshot {name!r}")
+        restore_snapshot(self.machine, self.snapshots[name])
+        return f"snapshot {name!r} restored (pc={self.machine.state.pc})"
+
+    def _cmd_step(self, args: list[str]) -> str:
+        count = int(args[0]) if args else 1
+        for _ in range(count):
+            self.machine.step()
+        return f"stepped {count}; pc={self.machine.state.pc}"
+
+    def _cmd_where(self, args: list[str]) -> str:
+        pc = self.machine.state.pc
+        if 0 <= pc < len(self.machine.program.instructions):
+            return f"pc={pc}: {self.machine.program.instructions[pc]}"
+        return f"pc={pc}: <outside program>"

@@ -1,0 +1,157 @@
+"""Assembly workloads for the machine emulator.
+
+Each program leaves its result in a known memory word (``RESULT_ADDR``) so
+campaigns can compare against a golden run.  The mix mirrors the IR suite:
+arithmetic loop, memory-heavy sort, and a table-driven checksum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.asm import Program, assemble
+
+#: All programs store their final result here.
+RESULT_ADDR = 0x8
+
+
+_SUM_LOOP = """
+; sum of i*i for i in 1..n  (n in r1)
+        li   r1, 200
+        li   r2, 0          ; acc
+        li   r3, 1          ; i
+        li   r0, 0
+loop:
+        mul  r4, r3, r3
+        add  r2, r2, r4
+        addi r3, r3, 1
+        addi r5, r1, 1
+        blt  r3, r5, loop
+        li   r6, 0x8
+        st   r2, 0(r6)
+        halt
+"""
+
+_BUBBLE_SORT = """
+; bubble-sort 16 words at 0x100, result = weighted sum
+.data 0x100 92 17 45 3 88 64 21 50 7 99 31 76 12 83 40 58
+        li   r1, 0x100      ; base
+        li   r2, 16         ; n
+        li   r0, 0
+outer:
+        li   r3, 0          ; swapped flag
+        li   r4, 0          ; i
+        addi r5, r2, -1     ; n-1
+inner:
+        bge  r4, r5, check
+        mul  r6, r4, r0     ; r6 = 0 (offset calc below)
+        li   r6, 8
+        mul  r6, r6, r4     ; byte offset of a[i]
+        add  r7, r1, r6
+        ld   r8, 0(r7)      ; a[i]
+        ld   r9, 8(r7)      ; a[i+1]
+        bge  r9, r8, noswap ; already ordered
+        st   r9, 0(r7)
+        st   r8, 8(r7)
+        li   r3, 1
+noswap:
+        addi r4, r4, 1
+        jmp  inner
+check:
+        bne  r3, r0, outer
+; weighted sum: sum a[i] * (i+1)
+        li   r4, 0
+        li   r10, 0
+sumloop:
+        bge  r4, r2, done
+        li   r6, 8
+        mul  r6, r6, r4
+        add  r7, r1, r6
+        ld   r8, 0(r7)
+        addi r9, r4, 1
+        mul  r8, r8, r9
+        add  r10, r10, r8
+        addi r4, r4, 1
+        jmp  sumloop
+done:
+        li   r6, 0x8
+        st   r10, 0(r6)
+        halt
+"""
+
+_CHECKSUM = """
+; LCG-fill 64 words at 0x200 then xor-multiply fold
+        li   r1, 0x200
+        li   r2, 64
+        li   r3, 88172645463325252
+        li   r4, 0          ; i
+        li   r0, 0
+fill:
+        bge  r4, r2, foldinit
+        li   r5, 6364136223846793005
+        mul  r3, r3, r5
+        li   r5, 1442695040888963407
+        add  r3, r3, r5
+        li   r6, 8
+        mul  r6, r6, r4
+        add  r7, r1, r6
+        st   r3, 0(r7)
+        addi r4, r4, 1
+        jmp  fill
+foldinit:
+        li   r4, 0
+        li   r8, 0          ; acc
+fold:
+        bge  r4, r2, out
+        li   r6, 8
+        mul  r6, r6, r4
+        add  r7, r1, r6
+        ld   r9, 0(r7)
+        xor  r8, r8, r9
+        li   r10, 31
+        mul  r8, r8, r10
+        addi r4, r4, 1
+        jmp  fold
+out:
+        li   r6, 0x8
+        st   r8, 0(r6)
+        halt
+"""
+
+
+@dataclass(frozen=True)
+class MachineProgramSpec:
+    """A registered assembly workload.
+
+    Attributes:
+        name: identifier.
+        source: assembly text.
+        description: one-line summary.
+        memory_heavy: whether the program's state lives mainly in DRAM.
+    """
+
+    name: str
+    source: str
+    description: str
+    memory_heavy: bool
+
+
+MACHINE_PROGRAMS: dict[str, MachineProgramSpec] = {
+    spec.name: spec
+    for spec in [
+        MachineProgramSpec(
+            "sum_squares", _SUM_LOOP, "sum of squares loop", False
+        ),
+        MachineProgramSpec(
+            "bubble_sort", _BUBBLE_SORT, "bubble sort + weighted sum", True
+        ),
+        MachineProgramSpec(
+            "mach_checksum", _CHECKSUM, "LCG fill + xor/multiply fold", True
+        ),
+    ]
+}
+
+
+def load_program(name: str) -> Program:
+    """Assemble a registered workload."""
+    return assemble(MACHINE_PROGRAMS[name].source)

@@ -1,0 +1,46 @@
+"""VM snapshot / restore (QEMU's savevm/loadvm analogue)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.cpu import Machine, MachineState
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """An immutable copy of machine state at a point in time."""
+
+    registers: tuple[int, ...]
+    pc: int
+    memory: tuple[tuple[int, int], ...]
+    halted: bool
+    steps: int
+    cycles: int
+
+
+def take_snapshot(machine: Machine) -> Snapshot:
+    """Capture the machine's architectural state."""
+    s = machine.state
+    return Snapshot(
+        registers=tuple(s.registers),
+        pc=s.pc,
+        memory=tuple(sorted(s.memory.items())),
+        halted=s.halted,
+        steps=s.steps,
+        cycles=s.cycles,
+    )
+
+
+def restore_snapshot(machine: Machine, snapshot: Snapshot) -> None:
+    """Restore state; the cache model is flushed (residency is unknown)."""
+    machine.state = MachineState(
+        registers=list(snapshot.registers),
+        pc=snapshot.pc,
+        memory=dict(snapshot.memory),
+        halted=snapshot.halted,
+        steps=snapshot.steps,
+        cycles=snapshot.cycles,
+    )
+    if machine.cache is not None:
+        machine.cache.flush()

@@ -1,0 +1,15 @@
+"""Paged physical memory substrate for the software memory scrubber.
+
+Models the non-ECC DRAM of a commodity SoC: a flat array of physical pages,
+a kernel page table mapping virtual pages onto them, and an access tracker
+recording per-page read/write recency (the input to the scrubber's LRU and
+predicted-access policies).
+"""
+
+from repro.mem.physical import PhysicalMemory
+from repro.mem.pagetable import PageTable, PageTableEntry
+from repro.mem.tracker import AccessTracker
+from repro.mem.checksums import ChecksumStore
+
+__all__ = ["PhysicalMemory", "PageTable", "PageTableEntry", "AccessTracker",
+           "ChecksumStore"]

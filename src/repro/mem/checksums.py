@@ -1,0 +1,161 @@
+"""The reserved checksum region.
+
+"On startup, the kernel module will reserve an area of memory for checksums
+to be stored" (sect. 4.1).  This class models that region: a per-physical-
+page slot holding the page's CRC-32 (detection) and, when a correcting
+codec is active, its correction metadata — SECDED check bits per 64-bit
+word (1-bit correction), or BCH parity per 51-bit block (the paper's
+"software BCH coding scheme", correcting multi-bit bursts per block).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ecc.bch import BchCode
+from repro.ecc.crc import crc32
+from repro.ecc.hamming import SecDedCode
+from repro.errors import ConfigError, MemError
+
+
+@dataclass
+class PageChecksum:
+    """Stored integrity metadata for one physical page.
+
+    Attributes:
+        crc: CRC-32 of the page contents at checksum time.
+        word_checks: per-64-bit-word SECDED check bits (secded codec).
+        block_parity: per-BCH-block parity bit arrays (bch codec).
+    """
+
+    crc: int
+    word_checks: list[int] = field(default_factory=list)
+    block_parity: list[np.ndarray] = field(default_factory=list)
+
+
+class ChecksumStore:
+    """Per-page checksum slots plus the codec used to fill them.
+
+    Attributes:
+        codec: "secded" (default), "bch", or "crc" (detection only).
+    """
+
+    def __init__(self, n_pages: int, page_size: int,
+                 correction: bool | str = True) -> None:
+        self.n_pages = n_pages
+        self.page_size = page_size
+        if correction is True:
+            codec = "secded"
+        elif correction is False:
+            codec = "crc"
+        else:
+            codec = correction
+        if codec not in ("secded", "bch", "crc"):
+            raise ConfigError(f"unknown checksum codec {codec!r}")
+        self.codec = codec
+        self.correction = codec != "crc"
+        self._slots: dict[int, PageChecksum] = {}
+        self._secded = SecDedCode() if codec == "secded" else None
+        self._bch = BchCode(m=6, t=2) if codec == "bch" else None
+
+    @property
+    def reserved_bytes(self) -> int:
+        """Size of the reserved region this store occupies.
+
+        4 bytes of CRC per page, plus the active codec's redundancy:
+        1 byte of SECDED checks per 64-bit word, or 12 parity bits per
+        51-bit BCH block.
+        """
+        per_page = 4
+        if self.codec == "secded":
+            per_page += self.page_size // 8
+        elif self.codec == "bch":
+            assert self._bch is not None
+            n_blocks = -(-self.page_size * 8 // self._bch.k)
+            per_page += -(-n_blocks * self._bch.n_parity // 8)
+        return per_page * self.n_pages
+
+    # -- BCH block helpers -------------------------------------------------------
+
+    def _page_bits(self, data: bytes) -> np.ndarray:
+        return np.unpackbits(
+            np.frombuffer(data, dtype=np.uint8), bitorder="little"
+        )
+
+    def bch_blocks(self, data: bytes) -> list[np.ndarray]:
+        """The page split into k-bit data blocks (zero-padded tail)."""
+        assert self._bch is not None
+        bits = self._page_bits(data)
+        k = self._bch.k
+        n_blocks = -(-len(bits) // k)
+        padded = np.zeros(n_blocks * k, dtype=np.uint8)
+        padded[: len(bits)] = bits
+        return [padded[i * k: (i + 1) * k] for i in range(n_blocks)]
+
+    def checksum_page(self, page: int, data: bytes) -> None:
+        """(Re)compute and store the metadata for ``page``."""
+        if len(data) != self.page_size:
+            raise MemError(
+                f"checksum of {len(data)} bytes; page size {self.page_size}"
+            )
+        word_checks: list[int] = []
+        block_parity: list[np.ndarray] = []
+        if self._secded is not None:
+            for off in range(0, self.page_size, 8):
+                word = int.from_bytes(data[off: off + 8], "little")
+                codeword = self._secded.encode(word)
+                # Check bits: the codeword with the data positions zeroed.
+                word_checks.append(self._extract_checks(codeword))
+        elif self._bch is not None:
+            for block in self.bch_blocks(data):
+                codeword = self._bch.encode(block)
+                block_parity.append(codeword[: self._bch.n_parity].copy())
+        self._slots[page] = PageChecksum(
+            crc=crc32(data), word_checks=word_checks,
+            block_parity=block_parity,
+        )
+
+    def _extract_checks(self, codeword: int) -> int:
+        """Pack the 8 non-data bits (overall parity + 7 checks) of a word."""
+        assert self._secded is not None
+        packed = codeword & 1  # overall parity at bit 0
+        for i, pos in enumerate(self._secded._check_positions):
+            if (codeword >> pos) & 1:
+                packed |= 1 << (i + 1)
+        return packed
+
+    def rebuild_codeword(self, word: int, checks: int) -> int:
+        """Reassemble a 72-bit codeword from data word + packed checks."""
+        assert self._secded is not None
+        codeword = 0
+        for i, pos in enumerate(self._secded._data_positions):
+            if (word >> i) & 1:
+                codeword |= 1 << pos
+        if checks & 1:
+            codeword |= 1
+        for i, pos in enumerate(self._secded._check_positions):
+            if (checks >> (i + 1)) & 1:
+                codeword |= 1 << pos
+        return codeword
+
+    def has_checksum(self, page: int) -> bool:
+        return page in self._slots
+
+    def get(self, page: int) -> PageChecksum:
+        slot = self._slots.get(page)
+        if slot is None:
+            raise MemError(f"page {page} has no stored checksum")
+        return slot
+
+    def drop(self, page: int) -> None:
+        self._slots.pop(page, None)
+
+    @property
+    def secded(self) -> SecDedCode | None:
+        return self._secded
+
+    @property
+    def bch(self) -> BchCode | None:
+        return self._bch

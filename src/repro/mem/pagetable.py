@@ -1,0 +1,83 @@
+"""A minimal kernel page table.
+
+The paper's DSP verifier "does not have an understanding of the kernel's
+page table and therefore will not be able to run on pages without kernel
+support" (sect. 4.1) — the kernel module walks this structure and hands
+*physical* page numbers to the DSP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MemError, PageFault
+
+
+@dataclass
+class PageTableEntry:
+    """One virtual-page mapping.
+
+    Attributes:
+        physical_page: backing frame number.
+        present: whether the mapping is live.
+        dirty: set on write; cleared when the scrubber re-checksums.
+    """
+
+    physical_page: int
+    present: bool = True
+    dirty: bool = False
+
+
+class PageTable:
+    """Virtual page number -> physical frame mapping."""
+
+    def __init__(self, n_physical_pages: int) -> None:
+        self.n_physical_pages = n_physical_pages
+        self._entries: dict[int, PageTableEntry] = {}
+        self._free = list(range(n_physical_pages - 1, -1, -1))
+
+    def map_page(self, vpn: int) -> PageTableEntry:
+        """Map a virtual page to a fresh physical frame."""
+        if vpn in self._entries and self._entries[vpn].present:
+            raise MemError(f"virtual page {vpn} already mapped")
+        if not self._free:
+            raise MemError("out of physical frames")
+        entry = PageTableEntry(physical_page=self._free.pop())
+        self._entries[vpn] = entry
+        return entry
+
+    def unmap_page(self, vpn: int) -> None:
+        entry = self._entries.get(vpn)
+        if entry is None or not entry.present:
+            raise PageFault(f"virtual page {vpn} not mapped")
+        entry.present = False
+        self._free.append(entry.physical_page)
+        del self._entries[vpn]
+
+    def translate(self, vpn: int) -> int:
+        """Physical frame of a virtual page."""
+        entry = self._entries.get(vpn)
+        if entry is None or not entry.present:
+            raise PageFault(f"virtual page {vpn} not mapped")
+        return entry.physical_page
+
+    def entry(self, vpn: int) -> PageTableEntry:
+        entry = self._entries.get(vpn)
+        if entry is None:
+            raise PageFault(f"virtual page {vpn} not mapped")
+        return entry
+
+    def mapped_pages(self) -> list[tuple[int, PageTableEntry]]:
+        """All live (vpn, entry) pairs, ordered by vpn."""
+        return sorted(
+            ((vpn, e) for vpn, e in self._entries.items() if e.present),
+        )
+
+    def mark_dirty(self, vpn: int) -> None:
+        self.entry(vpn).dirty = True
+
+    def clear_dirty(self, vpn: int) -> None:
+        self.entry(vpn).dirty = False
+
+    def __len__(self) -> int:
+        return sum(1 for _, e in self._entries.items() if e.present)

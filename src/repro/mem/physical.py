@@ -1,0 +1,89 @@
+"""Physical page frames with bit-level corruption."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MemError, PageFault
+
+
+class PhysicalMemory:
+    """``n_pages`` frames of ``page_size`` bytes each.
+
+    Backed by a numpy byte array; supports bit flips at arbitrary physical
+    bit offsets (what an SEU does to DRAM) and page-granularity reads and
+    writes (what the DSP verifier does).
+    """
+
+    def __init__(self, n_pages: int, page_size: int = 4096) -> None:
+        if n_pages <= 0 or page_size <= 0:
+            raise MemError(
+                f"invalid geometry: {n_pages} pages x {page_size} bytes"
+            )
+        self.n_pages = n_pages
+        self.page_size = page_size
+        self._frames = np.zeros(n_pages * page_size, dtype=np.uint8)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.n_pages * self.page_size
+
+    @property
+    def total_bits(self) -> int:
+        return self.total_bytes * 8
+
+    def _check_page(self, page: int) -> None:
+        if not 0 <= page < self.n_pages:
+            raise PageFault(f"physical page {page} out of range")
+
+    def read_page(self, page: int) -> bytes:
+        """Contents of one page frame."""
+        self._check_page(page)
+        start = page * self.page_size
+        return self._frames[start: start + self.page_size].tobytes()
+
+    def write_page(self, page: int, data: bytes) -> None:
+        """Overwrite one page frame."""
+        self._check_page(page)
+        if len(data) != self.page_size:
+            raise MemError(
+                f"page write of {len(data)} bytes; page size is "
+                f"{self.page_size}"
+            )
+        start = page * self.page_size
+        self._frames[start: start + self.page_size] = np.frombuffer(
+            data, dtype=np.uint8
+        )
+
+    def read_word(self, page: int, offset: int) -> int:
+        """Read the 64-bit little-endian word at byte ``offset`` of a page."""
+        self._check_page(page)
+        if offset % 8 or not 0 <= offset <= self.page_size - 8:
+            raise MemError(f"misaligned or out-of-page word offset {offset}")
+        start = page * self.page_size + offset
+        return int.from_bytes(self._frames[start: start + 8].tobytes(), "little")
+
+    def write_word(self, page: int, offset: int, value: int) -> None:
+        """Write a 64-bit little-endian word."""
+        self._check_page(page)
+        if offset % 8 or not 0 <= offset <= self.page_size - 8:
+            raise MemError(f"misaligned or out-of-page word offset {offset}")
+        start = page * self.page_size + offset
+        self._frames[start: start + 8] = np.frombuffer(
+            (value & (1 << 64) - 1).to_bytes(8, "little"), dtype=np.uint8
+        )
+
+    def flip_bit(self, bit_offset: int) -> tuple[int, int]:
+        """Flip one physical bit; returns (page, bit offset within page)."""
+        if not 0 <= bit_offset < self.total_bits:
+            raise MemError(f"bit offset {bit_offset} beyond physical memory")
+        byte_index, bit = divmod(bit_offset, 8)
+        self._frames[byte_index] ^= 1 << bit
+        page, page_byte = divmod(byte_index, self.page_size)
+        return page, page_byte * 8 + bit
+
+    def fill_random(self, rng: np.random.Generator) -> None:
+        """Fill all frames with random bytes (a realistic live-data image)."""
+        self._frames[:] = rng.integers(
+            0, 256, size=self._frames.shape, dtype=np.uint8
+        )

@@ -1,0 +1,73 @@
+"""Per-page access tracking: recency and history.
+
+Feeds the scrubber's scheduling policies: least-recently-used ordering
+("pages [that] have been in memory the longest and are thus more likely to
+contain an error") and the access predictor ("using program traces to
+predict which pages will be accessed next", sect. 4.1).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict, deque
+
+
+class AccessTracker:
+    """Records page accesses and answers recency/prediction queries."""
+
+    def __init__(self, history_limit: int = 4096) -> None:
+        self.last_access: dict[int, float] = {}
+        self.last_scrub: dict[int, float] = {}
+        self.access_counts: Counter[int] = Counter()
+        self.history: deque[int] = deque(maxlen=history_limit)
+        self._transitions: dict[int, Counter[int]] = defaultdict(Counter)
+        self._previous: int | None = None
+
+    def record_access(self, page: int, t: float) -> None:
+        """Record a read or write of ``page`` at time ``t``."""
+        self.last_access[page] = t
+        self.access_counts[page] += 1
+        self.history.append(page)
+        if self._previous is not None and self._previous != page:
+            self._transitions[self._previous][page] += 1
+        self._previous = page
+
+    def record_scrub(self, page: int, t: float) -> None:
+        """Record that the scrubber verified ``page`` at time ``t``."""
+        self.last_scrub[page] = t
+
+    def lru_order(self, pages: list[int]) -> list[int]:
+        """``pages`` sorted least-recently-*scrubbed-or-accessed* first.
+
+        A page neither accessed nor scrubbed recently has been sitting in
+        DRAM accumulating exposure — scrub it first.
+        """
+        def staleness_key(page: int) -> float:
+            return max(
+                self.last_access.get(page, float("-inf")),
+                self.last_scrub.get(page, float("-inf")),
+            )
+
+        return sorted(pages, key=staleness_key)
+
+    def predicted_next(self, limit: int) -> list[int]:
+        """Pages most likely to be touched next, best first.
+
+        First-order Markov prediction from the current page's observed
+        transitions, backed off to global access frequency.
+        """
+        ranked: list[int] = []
+        seen: set[int] = set()
+        if self._previous is not None:
+            for page, _count in self._transitions[self._previous].most_common():
+                if page not in seen:
+                    ranked.append(page)
+                    seen.add(page)
+                if len(ranked) >= limit:
+                    return ranked
+        for page, _count in self.access_counts.most_common():
+            if page not in seen:
+                ranked.append(page)
+                seen.add(page)
+            if len(ranked) >= limit:
+                break
+        return ranked

@@ -1,0 +1,28 @@
+"""Radiation environment model.
+
+Calibrated event-rate models for the orbits the paper discusses (LEO with
+South Atlantic Anomaly passes, solar particle events, Mars surface), and
+Poisson generators for SEU/SEL event streams consumed by the mission
+simulator.  Calibration anchors from the paper (sect. 4):
+
+- Snapdragon 801 SEU probability: 1.578e-6 per bit per day (CREME-class
+  simulation cited by the paper);
+- Perseverance's rad-hard CPU: ~1 correctable SEU per Martian sol;
+- Perseverance's commodity Snapdragon: >= 4 SEUs in 800 sols observed.
+"""
+
+from repro.radiation.flux import (
+    SEU_RATE_SNAPDRAGON_PER_BIT_DAY,
+    FluxModel,
+    seu_rate_per_bit_day,
+)
+from repro.radiation.orbit import OrbitPhase, LeoOrbit
+from repro.radiation.events import EventGenerator, RadiationEvent, EventKind
+from repro.radiation.environment import Environment, LEO_NOMINAL, MARS_SURFACE, SOLAR_STORM
+
+__all__ = [
+    "SEU_RATE_SNAPDRAGON_PER_BIT_DAY", "FluxModel", "seu_rate_per_bit_day",
+    "OrbitPhase", "LeoOrbit",
+    "EventGenerator", "RadiationEvent", "EventKind",
+    "Environment", "LEO_NOMINAL", "MARS_SURFACE", "SOLAR_STORM",
+]

@@ -1,0 +1,69 @@
+"""Named radiation environments combining flux, orbit and storm activity."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.radiation.flux import FluxModel, seu_rate_per_bit_second
+from repro.radiation.orbit import LeoOrbit, OrbitPhase
+from repro.units import bytes_to_bits
+
+
+@dataclass(frozen=True)
+class Environment:
+    """A radiation environment a mission flies through.
+
+    Attributes:
+        name: human label.
+        flux: source mix and modulation factors.
+        orbit: SAA geometry (None for deep space / planetary surface).
+        storm_active: whether a solar particle event is in progress.
+        sel_rate_per_device_day: latch-ups per device per day (commercial
+            SmallSat experience: order 1e-2..1e-1 per day in LEO for
+            unhardened parts; higher in storms).
+    """
+
+    name: str
+    flux: FluxModel = field(default_factory=FluxModel)
+    orbit: LeoOrbit | None = field(default_factory=LeoOrbit)
+    storm_active: bool = False
+    sel_rate_per_device_day: float = 0.05
+
+    def rate_multiplier(self, t: float) -> float:
+        """Instantaneous SEU-rate multiplier at mission time ``t``."""
+        in_saa = (
+            self.orbit is not None
+            and self.orbit.phase_at(t) is OrbitPhase.SAA
+        )
+        return self.flux.rate_multiplier(in_saa=in_saa, in_storm=self.storm_active)
+
+    def seu_rate_device_per_s(
+        self, ram_bytes: int, rad_hard: bool, t: float = 0.0
+    ) -> float:
+        """Device-wide SEU rate for a given memory size at time ``t``."""
+        per_bit = seu_rate_per_bit_second(
+            rad_hard=rad_hard, multiplier=self.rate_multiplier(t)
+        )
+        return per_bit * bytes_to_bits(ram_bytes)
+
+
+#: Nominal LEO: quiet sun, periodic SAA passes.
+LEO_NOMINAL = Environment(name="leo-nominal")
+
+#: LEO during a solar particle event.
+SOLAR_STORM = Environment(name="leo-solar-storm", storm_active=True,
+                          sel_rate_per_device_day=0.5)
+
+#: Mars surface: no trapped-proton belt, GCR-dominated, thin atmosphere.
+MARS_SURFACE = Environment(
+    name="mars-surface",
+    flux=FluxModel(
+        trapped_fraction=0.0,
+        gcr_fraction=0.85,
+        solar_fraction=0.15,
+        saa_multiplier=1.0,
+        storm_multiplier=50.0,
+    ),
+    orbit=None,
+    sel_rate_per_device_day=0.02,
+)

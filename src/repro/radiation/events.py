@@ -1,0 +1,98 @@
+"""Poisson generation of discrete radiation events.
+
+Produces the event streams the protection systems consume: SEUs (with a
+target component drawn by state size) and SELs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.rng import make_rng
+
+
+class EventKind(enum.Enum):
+    """Discrete radiation event types."""
+
+    SEU = "seu"
+    SEL = "sel"
+
+
+@dataclass(frozen=True)
+class RadiationEvent:
+    """One discrete event.
+
+    Attributes:
+        kind: SEU or SEL.
+        t: event time (mission seconds).
+        target: affected component ("dram", "cache", "register", "board").
+    """
+
+    kind: EventKind
+    t: float
+    target: str
+
+
+#: Relative SEU cross-section by component, roughly proportional to state
+#: size on a 2 GB commodity SoC (cache ~2 MiB, architectural registers plus
+#: pipeline flip-flops a few KiB): DRAM utterly dominates; cache and
+#: register upsets are rare but strike live computation directly.
+DEFAULT_TARGET_WEIGHTS = {
+    "dram": 0.9989,
+    "cache": 1.0e-3,
+    "register": 1.0e-4,
+}
+
+
+class EventGenerator:
+    """Draws SEU/SEL event streams over an interval.
+
+    Attributes:
+        seu_rate_per_s: device-wide SEU rate (events/second).
+        sel_rate_per_s: device-wide SEL rate (events/second).
+    """
+
+    def __init__(
+        self,
+        seu_rate_per_s: float,
+        sel_rate_per_s: float,
+        target_weights: dict[str, float] | None = None,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if seu_rate_per_s < 0 or sel_rate_per_s < 0:
+            raise ConfigError("rates must be non-negative")
+        self.seu_rate_per_s = seu_rate_per_s
+        self.sel_rate_per_s = sel_rate_per_s
+        weights = target_weights or DEFAULT_TARGET_WEIGHTS
+        total = sum(weights.values())
+        if total <= 0:
+            raise ConfigError("target weights must sum to a positive value")
+        self._targets = list(weights)
+        self._probs = np.array([weights[k] / total for k in self._targets])
+        self.rng = make_rng(seed)
+
+    def events_in(
+        self, t_start: float, t_end: float, rate_multiplier: float = 1.0
+    ) -> list[RadiationEvent]:
+        """All events in [t_start, t_end), time-ordered."""
+        if t_end < t_start:
+            raise ConfigError("interval end precedes start")
+        duration = t_end - t_start
+        events: list[RadiationEvent] = []
+        n_seu = self.rng.poisson(self.seu_rate_per_s * rate_multiplier * duration)
+        for _ in range(n_seu):
+            t = t_start + self.rng.uniform(0.0, duration)
+            target = self._targets[
+                int(self.rng.choice(len(self._targets), p=self._probs))
+            ]
+            events.append(RadiationEvent(EventKind.SEU, t, target))
+        n_sel = self.rng.poisson(self.sel_rate_per_s * rate_multiplier * duration)
+        for _ in range(n_sel):
+            t = t_start + self.rng.uniform(0.0, duration)
+            events.append(RadiationEvent(EventKind.SEL, t, "board"))
+        events.sort(key=lambda e: e.t)
+        return events

@@ -1,0 +1,69 @@
+"""Orbit geometry: when is the spacecraft in the South Atlantic Anomaly?
+
+A full orbital propagator is unnecessary for rate modulation; what matters
+is the duty cycle and periodicity of SAA passes.  A LEO spacecraft at
+ISS-like inclination crosses the SAA on roughly 6 of its ~15.5 daily
+orbits, each pass lasting 10-15 minutes.  The model exposes exactly that
+structure.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+class OrbitPhase(enum.Enum):
+    """Radiation-relevant phase of the orbit."""
+
+    QUIET = "quiet"
+    SAA = "saa"
+
+
+@dataclass(frozen=True)
+class LeoOrbit:
+    """A low-earth orbit with periodic SAA exposure.
+
+    Attributes:
+        period_s: orbital period (ISS-like: ~5580 s).
+        saa_pass_duration_s: length of one SAA crossing.
+        saa_orbit_stride: the SAA is crossed every k-th orbit (geometry of
+            the anomaly vs the ground track).
+    """
+
+    period_s: float = 5_580.0
+    saa_pass_duration_s: float = 780.0
+    saa_orbit_stride: int = 3
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0 or self.saa_pass_duration_s < 0:
+            raise ConfigError("orbit parameters must be positive")
+        if self.saa_pass_duration_s > self.period_s:
+            raise ConfigError("SAA pass cannot exceed the orbital period")
+        if self.saa_orbit_stride < 1:
+            raise ConfigError("SAA stride must be >= 1")
+
+    def orbit_number(self, t: float) -> int:
+        """Which orbit (0-based) contains time ``t``."""
+        return int(t // self.period_s)
+
+    def phase_at(self, t: float) -> OrbitPhase:
+        """QUIET or SAA at mission time ``t`` (seconds)."""
+        orbit = self.orbit_number(t)
+        if orbit % self.saa_orbit_stride != 0:
+            return OrbitPhase.QUIET
+        # The SAA pass sits mid-orbit.
+        offset = t - orbit * self.period_s
+        start = (self.period_s - self.saa_pass_duration_s) / 2.0
+        if start <= offset < start + self.saa_pass_duration_s:
+            return OrbitPhase.SAA
+        return OrbitPhase.QUIET
+
+    @property
+    def saa_duty_cycle(self) -> float:
+        """Long-run fraction of time spent inside the SAA."""
+        return self.saa_pass_duration_s / (
+            self.period_s * self.saa_orbit_stride
+        )

@@ -1,0 +1,25 @@
+"""Whole-mission simulation: the paper's vision, end to end.
+
+Composes the component systems — SEL daemon + power-cycle policy, tunable
+DMR on compute jobs, coprocessor scrubbing of DRAM — over a radiation
+environment, and compares mission outcomes (uptime, silent corruption
+escapes, hardware losses, compute delivered) across hardware/protection
+configurations: unprotected commodity, software-protected commodity, and a
+radiation-hardened baseline.
+"""
+
+from repro.sim.mission import (
+    MissionConfig,
+    ProtectionProfile,
+    run_mission,
+    UNPROTECTED_COMMODITY,
+    PROTECTED_COMMODITY,
+    RAD_HARD_BASELINE,
+)
+from repro.sim.report import MissionReport, render_mission_table
+
+__all__ = [
+    "MissionConfig", "ProtectionProfile", "run_mission",
+    "UNPROTECTED_COMMODITY", "PROTECTED_COMMODITY", "RAD_HARD_BASELINE",
+    "MissionReport", "render_mission_table",
+]

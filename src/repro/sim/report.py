@@ -1,0 +1,114 @@
+"""Mission reports and comparison tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.faults.outcomes import FaultOutcome
+
+
+@dataclass
+class MissionReport:
+    """Aggregated outcome of one (or an average of several) mission runs.
+
+    Attributes:
+        sdc_escapes: silent corruptions that reached mission output —
+            the headline safety metric.
+        compute_delivered: useful compute, normalized to an unprotected
+            Snapdragon 801 at 100% uptime.
+        destroyed: whether the board was permanently lost (fractional
+            after averaging: probability of loss).
+    """
+
+    profile_name: str
+    environment: str
+    duration_days: float
+    seu_events: int = 0
+    sel_events: int = 0
+    sel_survived: int = 0
+    compute_outcomes: dict[FaultOutcome, int] = field(
+        default_factory=lambda: {o: 0 for o in FaultOutcome}
+    )
+    dram_corrected: int = 0
+    dram_sdc: int = 0
+    sdc_escapes: int = 0
+    uptime_fraction: float = 1.0
+    compute_delivered: float = 0.0
+    cost_usd: float = 0.0
+    destroyed: bool | float = False
+    destroyed_at_day: float | None = None
+
+    def record_compute_outcome(self, outcome: FaultOutcome) -> None:
+        self.compute_outcomes[outcome] += 1
+        if outcome is FaultOutcome.SDC:
+            self.sdc_escapes += 1
+
+    @property
+    def loss_probability(self) -> float:
+        return float(self.destroyed)
+
+    @property
+    def alive_days(self) -> float:
+        """Days the board survived (full duration unless destroyed)."""
+        if self.destroyed and self.destroyed_at_day is not None:
+            return self.destroyed_at_day
+        return self.duration_days
+
+    @property
+    def sdc_per_day(self) -> float:
+        """Silent corruptions per alive day — the rate comparison metric."""
+        return self.sdc_escapes / self.alive_days if self.alive_days else 0.0
+
+    @staticmethod
+    def average(reports: list["MissionReport"]) -> "MissionReport":
+        """Mean of several runs of the same profile."""
+        first = reports[0]
+        avg = MissionReport(
+            profile_name=first.profile_name,
+            environment=first.environment,
+            duration_days=first.duration_days,
+        )
+        n = len(reports)
+        avg.seu_events = round(sum(r.seu_events for r in reports) / n)
+        avg.sel_events = round(sum(r.sel_events for r in reports) / n)
+        avg.sel_survived = round(sum(r.sel_survived for r in reports) / n)
+        for outcome in FaultOutcome:
+            avg.compute_outcomes[outcome] = round(
+                sum(r.compute_outcomes[outcome] for r in reports) / n
+            )
+        avg.dram_corrected = round(sum(r.dram_corrected for r in reports) / n)
+        avg.dram_sdc = round(sum(r.dram_sdc for r in reports) / n)
+        avg.sdc_escapes = round(sum(r.sdc_escapes for r in reports) / n)
+        avg.uptime_fraction = float(
+            np.mean([r.uptime_fraction for r in reports])
+        )
+        avg.compute_delivered = float(
+            np.mean([r.compute_delivered for r in reports])
+        )
+        avg.cost_usd = first.cost_usd
+        avg.destroyed = float(np.mean([bool(r.destroyed) for r in reports]))
+        alive = [r.alive_days for r in reports]
+        if any(r.destroyed for r in reports):
+            avg.destroyed_at_day = float(np.mean(alive))
+        return avg
+
+
+def render_mission_table(reports: list[MissionReport]) -> str:
+    """Aligned comparison table across profiles."""
+    header = (
+        f"{'profile':24s} {'uptime':>8s} {'SDC/day':>9s} {'loss P':>7s} "
+        f"{'compute':>9s} {'perf/$':>10s}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in reports:
+        perf_per_dollar = (
+            r.compute_delivered / r.cost_usd if r.cost_usd else 0.0
+        )
+        lines.append(
+            f"{r.profile_name:24s} {r.uptime_fraction:8.3f} "
+            f"{r.sdc_per_day:9.3f} {r.loss_probability:7.2f} "
+            f"{r.compute_delivered:9.4f} {perf_per_dollar:10.2e}"
+        )
+    return "\n".join(lines)

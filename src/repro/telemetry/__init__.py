@@ -1,0 +1,11 @@
+"""Telemetry: sampling, moving windows and statistics over board metrics."""
+
+from repro.telemetry.series import TimeSeries
+from repro.telemetry.window import MovingWindow
+from repro.telemetry.sampler import sample_schedule, SampledTrace
+from repro.telemetry.stats import pearson_correlation
+
+__all__ = [
+    "TimeSeries", "MovingWindow", "sample_schedule", "SampledTrace",
+    "pearson_correlation",
+]

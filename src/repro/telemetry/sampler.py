@@ -1,0 +1,68 @@
+"""Sampling a board under a stress schedule into a telemetry trace."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hw.board import Board, TelemetrySample
+from repro.workloads.stress import StressSchedule
+
+
+@dataclass
+class SampledTrace:
+    """A dense telemetry recording.
+
+    Attributes:
+        samples: board samples, oldest first.
+    """
+
+    samples: list[TelemetrySample]
+
+    @property
+    def t(self) -> np.ndarray:
+        return np.array([s.t for s in self.samples])
+
+    @property
+    def current_a(self) -> np.ndarray:
+        return np.array([s.current_a for s in self.samples])
+
+    @property
+    def cpu_util(self) -> np.ndarray:
+        return np.array([s.cpu_util for s in self.samples])
+
+    @property
+    def mem_fraction(self) -> np.ndarray:
+        return np.array([s.mem_fraction for s in self.samples])
+
+    def feature_matrix(self) -> np.ndarray:
+        """(n, d) software-feature matrix (no current)."""
+        return np.stack([s.features() for s in self.samples])
+
+    def joint_matrix(self) -> np.ndarray:
+        """(n, d+1) features with measured current appended."""
+        return np.column_stack([self.feature_matrix(), self.current_a])
+
+
+def sample_schedule(
+    board: Board,
+    schedule: StressSchedule,
+    duration_s: float,
+    rate_hz: float = 10.0,
+    t_start: float = 0.0,
+) -> SampledTrace:
+    """Run ``schedule`` on ``board`` and sample telemetry at ``rate_hz``."""
+    samples = []
+    n = int(duration_s * rate_hz)
+    for i in range(n):
+        t = t_start + i / rate_hz
+        samples.append(
+            board.sample(
+                t,
+                core_utils=schedule.core_utilizations(t),
+                mem_fraction=schedule.memory_fraction(t),
+                mem_bandwidth=schedule.memory_bandwidth_fraction(t),
+            )
+        )
+    return SampledTrace(samples=samples)

@@ -1,0 +1,49 @@
+"""Time-series container for telemetry channels."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+class TimeSeries:
+    """An append-only (timestamp, value) series with numpy export."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._t: list[float] = []
+        self._v: list[float] = []
+
+    def append(self, t: float, value: float) -> None:
+        if self._t and t < self._t[-1]:
+            raise ConfigError(
+                f"{self.name}: non-monotonic timestamp {t} after {self._t[-1]}"
+            )
+        self._t.append(t)
+        self._v.append(value)
+
+    @property
+    def t(self) -> np.ndarray:
+        return np.asarray(self._t)
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.asarray(self._v)
+
+    def __len__(self) -> int:
+        return len(self._t)
+
+    def window(self, t_start: float, t_end: float) -> np.ndarray:
+        """Values with timestamps in [t_start, t_end)."""
+        t = self.t
+        mask = (t >= t_start) & (t < t_end)
+        return self.values[mask]
+
+    def resample_last(self, t_grid: np.ndarray) -> np.ndarray:
+        """Zero-order-hold resample onto ``t_grid``."""
+        if len(self) == 0:
+            raise ConfigError(f"{self.name}: cannot resample an empty series")
+        idx = np.searchsorted(self.t, t_grid, side="right") - 1
+        idx = np.clip(idx, 0, len(self) - 1)
+        return self.values[idx]

@@ -1,0 +1,66 @@
+"""Moving-window state for online detection.
+
+The paper's daemon "normalize[s] these current spikes by having the
+detection algorithm match against a moving window of the last 30 seconds of
+data" (sect. 3.1).  :class:`MovingWindow` maintains that window and provides
+the normalized view the detector scores.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+class MovingWindow:
+    """Fixed-duration sliding window over feature rows.
+
+    Attributes:
+        duration_s: window length (the paper uses 30 s).
+    """
+
+    def __init__(self, duration_s: float = 30.0) -> None:
+        if duration_s <= 0:
+            raise ConfigError(f"window duration must be positive: {duration_s}")
+        self.duration_s = duration_s
+        self._rows: deque[tuple[float, np.ndarray]] = deque()
+
+    def push(self, t: float, row: np.ndarray) -> None:
+        """Add a sample and evict everything older than the window."""
+        self._rows.append((t, np.asarray(row, dtype=float)))
+        cutoff = t - self.duration_s
+        while self._rows and self._rows[0][0] < cutoff:
+            self._rows.popleft()
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def full(self) -> bool:
+        """Whether the window spans (nearly) its whole duration."""
+        if len(self._rows) < 2:
+            return False
+        return (self._rows[-1][0] - self._rows[0][0]) >= 0.9 * self.duration_s
+
+    def matrix(self) -> np.ndarray:
+        """All rows as an (n, d) matrix (oldest first)."""
+        if not self._rows:
+            return np.empty((0, 0))
+        return np.stack([row for _, row in self._rows])
+
+    def median_row(self) -> np.ndarray:
+        """Per-dimension median over the window (spike-robust center)."""
+        return np.median(self.matrix(), axis=0)
+
+    def normalized_latest(self) -> np.ndarray:
+        """Latest row minus the window median.
+
+        Subtracting the windowed median cancels slow drift and makes brief
+        DVFS spikes stand out less than sustained shifts — the paper's
+        spike-normalization idea.
+        """
+        matrix = self.matrix()
+        return matrix[-1] - np.median(matrix, axis=0)

@@ -1,0 +1,65 @@
+"""Small helpers for physical units used throughout the simulator.
+
+Internally the library standardises on SI base units: seconds, amperes,
+watts, joules, bytes and (dimensionless) CPU cycles.  These helpers exist to
+make call sites read naturally (``milliamps(5)``) and to keep conversion
+factors in one place.
+"""
+
+from __future__ import annotations
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+SECONDS_PER_DAY = 86_400.0
+#: One Martian sol in seconds (24 h 39 m 35 s), used by the Perseverance
+#: SEU-rate calibration in the paper (sect. 4).
+SECONDS_PER_SOL = 88_775.0
+
+
+def milliamps(value: float) -> float:
+    """Convert milliamperes to amperes."""
+    return value * 1e-3
+
+
+def amps_to_milliamps(value: float) -> float:
+    """Convert amperes to milliamperes."""
+    return value * 1e3
+
+
+def mhz(value: float) -> float:
+    """Convert megahertz to hertz."""
+    return value * 1e6
+
+
+def ghz(value: float) -> float:
+    """Convert gigahertz to hertz."""
+    return value * 1e9
+
+
+def mib(value: float) -> int:
+    """Convert mebibytes to bytes."""
+    return int(value * MIB)
+
+
+def gib(value: float) -> int:
+    """Convert gibibytes to bytes."""
+    return int(value * GIB)
+
+
+def bytes_to_bits(n_bytes: int) -> int:
+    """Number of bits in ``n_bytes`` bytes."""
+    return n_bytes * 8
+
+
+def per_day_to_per_second(rate: float) -> float:
+    """Convert an event rate expressed per day into per second."""
+    return rate / SECONDS_PER_DAY
+
+
+def cycles_to_seconds(cycles: float, clock_hz: float) -> float:
+    """Wall-clock duration of ``cycles`` cycles at ``clock_hz``."""
+    if clock_hz <= 0:
+        raise ValueError(f"clock frequency must be positive, got {clock_hz}")
+    return cycles / clock_hz

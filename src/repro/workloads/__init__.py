@@ -1,0 +1,30 @@
+"""Workloads: IR benchmark programs and system-level stress generators.
+
+Two kinds of workload live here:
+
+- :mod:`repro.workloads.irprograms` — programs written in the library's IR,
+  used by the SEU experiments (fault-injection campaigns, tunable DMR,
+  quantized checking, risk analysis).  They cover the application mix the
+  paper names for spacecraft: scientific kernels, navigation/astrodynamics,
+  and image-processing-style loops.
+- :mod:`repro.workloads.stress` — system-level CPU/memory stress drivers
+  that feed the hardware power model, reproducing the Figure 1 experiment.
+"""
+
+from repro.workloads.irprograms import (
+    ProgramSpec,
+    PROGRAMS,
+    build_program,
+    build_suite,
+    golden_run,
+)
+from repro.workloads.stress import (
+    StressPhase,
+    StressSchedule,
+    cpu_memory_stress_schedule,
+)
+
+__all__ = [
+    "ProgramSpec", "PROGRAMS", "build_program", "build_suite", "golden_run",
+    "StressPhase", "StressSchedule", "cpu_memory_stress_schedule",
+]

@@ -1,0 +1,129 @@
+"""CPU / memory stress-test schedules (the Figure 1 workload).
+
+The paper's Figure 1 experiment runs a CPU stress test (one worker per core
+looping over matrix multiplication/transposition/addition) and a memory
+stress test (one worker per core repeatedly writing and reading an allocated
+region), cycling between using 0, 1, 2, 3 and 4 cores, with the memory
+stressor cycling at a phase offset from the CPU stressor.  This module
+produces those utilization schedules; :mod:`repro.hw.power` turns them into
+current draw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class StressPhase:
+    """Target load during one schedule segment.
+
+    Attributes:
+        duration_s: length of the phase in seconds.
+        cpu_cores_busy: number of cores running the CPU stressor.
+        mem_cores_busy: number of cores running the memory stressor.
+        mem_fraction: fraction of RAM held allocated during the phase.
+    """
+
+    duration_s: float
+    cpu_cores_busy: int
+    mem_cores_busy: int
+    mem_fraction: float
+
+
+class StressSchedule:
+    """A piecewise-constant load schedule over time."""
+
+    def __init__(self, phases: list[StressPhase], n_cores: int) -> None:
+        if n_cores <= 0:
+            raise ConfigError(f"core count must be positive, got {n_cores}")
+        for phase in phases:
+            if phase.cpu_cores_busy > n_cores or phase.mem_cores_busy > n_cores:
+                raise ConfigError(
+                    f"phase uses more cores than the {n_cores} available"
+                )
+            if not 0.0 <= phase.mem_fraction <= 1.0:
+                raise ConfigError(
+                    f"memory fraction {phase.mem_fraction} outside [0, 1]"
+                )
+        self.phases = list(phases)
+        self.n_cores = n_cores
+
+    @property
+    def total_duration_s(self) -> float:
+        return sum(p.duration_s for p in self.phases)
+
+    def phase_at(self, t: float) -> StressPhase:
+        """The phase active at time ``t`` (schedules repeat cyclically)."""
+        total = self.total_duration_s
+        if total <= 0:
+            raise ConfigError("schedule has zero duration")
+        t = t % total
+        elapsed = 0.0
+        for phase in self.phases:
+            elapsed += phase.duration_s
+            if t < elapsed:
+                return phase
+        return self.phases[-1]
+
+    def core_utilizations(self, t: float) -> list[float]:
+        """Per-core utilization in [0, 1] at time ``t``.
+
+        Stressor workers pin one core each at full utilization; a core
+        running either the CPU or the memory stressor reads as busy.
+        """
+        phase = self.phase_at(t)
+        busy = [0.0] * self.n_cores
+        for core in range(min(phase.cpu_cores_busy, self.n_cores)):
+            busy[core] = 1.0
+        # Memory workers fill cores from the top so that, at offsets, the
+        # two stressors overlap only when their counts together exceed the
+        # core count — matching a scheduler spreading distinct processes.
+        for core in range(min(phase.mem_cores_busy, self.n_cores)):
+            busy[self.n_cores - 1 - core] = 1.0
+        return busy
+
+    def memory_fraction(self, t: float) -> float:
+        """Fraction of RAM allocated at time ``t``."""
+        return self.phase_at(t).mem_fraction
+
+    def memory_bandwidth_fraction(self, t: float) -> float:
+        """Fraction of peak memory bandwidth consumed at time ``t``."""
+        phase = self.phase_at(t)
+        if self.n_cores == 0:
+            return 0.0
+        return phase.mem_cores_busy / self.n_cores
+
+
+def cpu_memory_stress_schedule(
+    n_cores: int = 4,
+    step_s: float = 3.0,
+    mem_offset_steps: int = 2,
+    base_mem_fraction: float = 0.12,
+    mem_fraction_per_worker: float = 0.18,
+) -> StressSchedule:
+    """The Figure 1 schedule: core counts cycle 0→n and back, memory offset.
+
+    The CPU stressor steps through 0, 1, ..., n, ..., 1, 0 busy cores; the
+    memory stressor follows the same cycle shifted by ``mem_offset_steps``
+    phases, as in the paper's figure where the memory trace is offset from
+    the CPU trace.
+    """
+    up_down = list(range(n_cores + 1)) + list(range(n_cores - 1, -1, -1))
+    n_phases = len(up_down)
+    phases = []
+    for idx, cpu_busy in enumerate(up_down):
+        mem_busy = up_down[(idx + mem_offset_steps) % n_phases]
+        phases.append(
+            StressPhase(
+                duration_s=step_s,
+                cpu_cores_busy=cpu_busy,
+                mem_cores_busy=mem_busy,
+                mem_fraction=min(
+                    1.0, base_mem_fraction + mem_fraction_per_worker * mem_busy
+                ),
+            )
+        )
+    return StressSchedule(phases, n_cores)

@@ -1,0 +1,145 @@
+"""Anomaly-detector unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.detect import (
+    CurrentThresholdDetector, CusumDetector, EllipticEnvelopeDetector,
+    EwmaDetector, LinearResidualDetector, ResidualCusumDetector,
+    RollingZScoreDetector,
+)
+from repro.errors import DetectorError
+from repro.rng import make_rng
+
+
+def _synthetic_rows(n=600, seed=0, shift_after=None, shift=0.0):
+    """(features..., current) rows: current = 0.5 + 0.2*load + noise."""
+    rng = make_rng(seed)
+    load = rng.random(n)
+    current = 0.5 + 0.2 * load + rng.normal(0, 0.002, n)
+    if shift_after is not None:
+        current[shift_after:] += shift
+    return np.column_stack([load, current])
+
+
+class TestLifecycle:
+    def test_score_before_fit_raises(self):
+        detector = CurrentThresholdDetector()
+        with pytest.raises(DetectorError):
+            detector.score(np.zeros((1, 2)))
+
+    def test_fit_needs_rows(self):
+        with pytest.raises(DetectorError):
+            CurrentThresholdDetector().fit(np.zeros((1, 2)))
+
+
+class TestThreshold:
+    def test_flags_only_above_ceiling(self):
+        rows = _synthetic_rows()
+        detector = CurrentThresholdDetector(margin_a=0.05).fit(rows)
+        clean = rows[:5].copy()
+        assert not detector.predict(clean).any()
+        hot = clean.copy()
+        hot[:, -1] += 0.5
+        assert detector.predict(hot).all()
+
+    def test_blind_to_workload_context(self):
+        """The fundamental weakness: a small delta under low load passes."""
+        rows = _synthetic_rows()
+        detector = CurrentThresholdDetector().fit(rows)
+        low_load_plus_sel = np.array([[0.0, 0.5 + 0.02]])  # idle + 20 mA
+        assert not detector.predict(low_load_plus_sel).any()
+
+
+class TestResidual:
+    def test_learns_the_load_model(self):
+        rows = _synthetic_rows()
+        detector = LinearResidualDetector().fit(rows)
+        expected = detector.expected_current(np.array([[0.5, 0.0]]))
+        assert expected[0] == pytest.approx(0.6, abs=0.01)
+
+    def test_catches_context_anomaly_threshold_misses(self):
+        rows = _synthetic_rows()
+        residual = LinearResidualDetector().fit(rows)
+        threshold = CurrentThresholdDetector().fit(rows)
+        anomaly = np.array([[0.0, 0.5 + 0.02]])  # idle + 20 mA latch-up
+        assert residual.predict(anomaly).any()
+        assert not threshold.predict(anomaly).any()
+
+    def test_sigma_is_robust_to_outliers(self):
+        rows = _synthetic_rows()
+        rows[::50, -1] += 0.3  # spike contamination
+        detector = LinearResidualDetector().fit(rows)
+        assert detector.residual_sigma_a < 0.02
+
+
+class TestElliptic:
+    def test_fits_and_scores(self):
+        rows = _synthetic_rows()
+        detector = EllipticEnvelopeDetector(seed=0).fit(rows)
+        clean_scores = detector.score(rows[:20])
+        shifted = rows[:20].copy()
+        shifted[:, -1] += 0.1
+        assert detector.score(shifted).mean() > clean_scores.mean() * 5
+
+    def test_mcd_support_excludes_outliers(self):
+        rows = _synthetic_rows()
+        rows[:10, -1] += 5.0  # gross outliers
+        detector = EllipticEnvelopeDetector(seed=0).fit(rows)
+        assert detector.mcd.support[:10].sum() == 0
+
+
+class TestSequentialDetectors:
+    def test_zscore_flags_big_shift(self):
+        rows = _synthetic_rows()
+        detector = RollingZScoreDetector(z_threshold=4.0).fit(rows)
+        hot = rows[:1].copy()
+        hot[:, -1] += 1.0
+        assert detector.predict(hot).any()
+
+    def test_ewma_integrates_sustained_shift(self):
+        rows = _synthetic_rows()
+        detector = EwmaDetector(alpha=0.1).fit(rows)
+        shifted = rows[:100].copy()
+        shifted[:, -1] += 0.05
+        flags = detector.predict(shifted)
+        assert flags[-1]  # flagged once the EWMA converges
+
+    def test_cusum_accumulates_moderate_shift(self):
+        # Raw (load-blind) CUSUM: the shift must exceed the *total* current
+        # variance including load swings; sub-sigma steps need the
+        # residual-CUSUM variant below.
+        rows = _synthetic_rows()
+        detector = CusumDetector(k_sigma=0.5, h_sigma=8.0).fit(rows)
+        shifted = rows[:200].copy()
+        shifted[:, -1] += 0.1
+        assert detector.predict(shifted).any()
+
+    def test_reset_clears_state(self):
+        rows = _synthetic_rows()
+        detector = CusumDetector().fit(rows)
+        shifted = rows[:200].copy()
+        shifted[:, -1] += 0.05
+        detector.score(shifted)
+        detector.reset()
+        assert detector.score(rows[:1])[0] < detector.threshold
+
+
+class TestResidualCusum:
+    def test_detects_tiny_delta_under_variable_load(self):
+        rows = _synthetic_rows(n=1000)
+        detector = ResidualCusumDetector().fit(rows)
+        eval_rows = _synthetic_rows(n=600, seed=1, shift_after=300,
+                                    shift=0.005)
+        scores = detector.score(eval_rows)
+        flagged = np.nonzero(scores > detector.threshold)[0]
+        assert len(flagged) > 0
+        assert flagged[0] >= 300  # no false alarm before the shift
+
+    def test_clipping_bounds_spike_impact(self):
+        rows = _synthetic_rows(n=1000)
+        detector = ResidualCusumDetector(clip_sigma=4.0, h_sigma=16.0).fit(rows)
+        eval_rows = _synthetic_rows(n=100, seed=2)
+        eval_rows[50:53, -1] += 1.0  # a 3-sample spike
+        scores = detector.score(eval_rows)
+        assert scores.max() < detector.threshold

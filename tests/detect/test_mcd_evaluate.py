@@ -1,0 +1,111 @@
+"""FAST-MCD and evaluation-utility tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.detect.evaluate import (
+    DetectionTrial, detection_latency, roc_auc, roc_curve, tpr_at_fpr,
+)
+from repro.detect.mcd import fast_mcd
+from repro.errors import ConfigError, DetectorError
+from repro.rng import make_rng
+
+
+class TestFastMcd:
+    def test_recovers_gaussian_parameters(self):
+        rng = make_rng(1)
+        cov_true = np.array([[1.0, 0.6], [0.6, 1.0]])
+        x = rng.multivariate_normal([2.0, -1.0], cov_true, size=800)
+        result = fast_mcd(x, seed=0)
+        assert np.allclose(result.location, [2.0, -1.0], atol=0.15)
+        assert np.allclose(result.covariance, cov_true, atol=0.3)
+
+    def test_robust_to_25_percent_contamination(self):
+        rng = make_rng(2)
+        clean = rng.normal(0, 1, size=(600, 2))
+        outliers = rng.normal(12, 0.5, size=(200, 2))
+        x = np.vstack([clean, outliers])
+        result = fast_mcd(x, support_fraction=0.7, seed=0)
+        # A non-robust mean would be dragged to ~3; MCD stays near 0.
+        assert np.abs(result.location).max() < 0.5
+        assert result.support[600:].sum() == 0
+
+    def test_mahalanobis_distances(self):
+        rng = make_rng(3)
+        x = rng.normal(0, 1, size=(500, 3))
+        result = fast_mcd(x, seed=0)
+        d_center = result.mahalanobis_sq(np.zeros((1, 3)))[0]
+        d_far = result.mahalanobis_sq(np.full((1, 3), 10.0))[0]
+        assert d_far > d_center * 50
+
+    def test_too_few_rows_rejected(self):
+        with pytest.raises(DetectorError):
+            fast_mcd(np.zeros((3, 4)))
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_affine_shift_equivariance(self, seed):
+        rng = make_rng(seed)
+        x = rng.normal(0, 1, size=(300, 2))
+        shift = np.array([5.0, -7.0])
+        a = fast_mcd(x, seed=1)
+        b = fast_mcd(x + shift, seed=1)
+        assert np.allclose(b.location - a.location, shift, atol=0.2)
+
+
+class TestRoc:
+    def test_perfect_separation(self):
+        scores = np.array([0.1, 0.2, 0.9, 0.8])
+        labels = np.array([0, 0, 1, 1])
+        assert roc_auc(scores, labels) == pytest.approx(1.0)
+
+    def test_random_scores_near_half(self):
+        rng = make_rng(4)
+        scores = rng.random(2000)
+        labels = (rng.random(2000) < 0.5).astype(int)
+        assert roc_auc(scores, labels) == pytest.approx(0.5, abs=0.05)
+
+    def test_curve_endpoints(self):
+        fpr, tpr, _ = roc_curve(
+            np.array([0.3, 0.7]), np.array([0, 1])
+        )
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+
+    def test_tpr_at_fpr(self):
+        scores = np.array([0.1, 0.2, 0.9, 0.8])
+        labels = np.array([0, 0, 1, 1])
+        assert tpr_at_fpr(scores, labels, 0.0) == 1.0
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ConfigError):
+            roc_curve(np.array([1.0, 2.0]), np.array([1, 1]))
+
+
+class TestDetectionTrial:
+    def test_latency_and_saved(self):
+        trial = DetectionTrial(
+            delta_current_a=0.02, onset_s=40.0, detected_at_s=55.0
+        )
+        assert trial.latency_s == 15.0
+        assert trial.saved
+
+    def test_miss(self):
+        trial = DetectionTrial(
+            delta_current_a=0.02, onset_s=40.0, detected_at_s=None
+        )
+        assert trial.latency_s is None
+        assert not trial.saved
+
+    def test_too_late_is_not_saved(self):
+        trial = DetectionTrial(
+            delta_current_a=0.02, onset_s=40.0, detected_at_s=300.0,
+            deadline_s=180.0,
+        )
+        assert not trial.saved
+
+    def test_detection_latency_helper(self):
+        alarms = np.array([10.0, 50.0, 90.0])
+        assert detection_latency(alarms, 40.0) == 50.0
+        assert detection_latency(alarms, 100.0) is None

@@ -1,0 +1,68 @@
+"""Critical-value extraction tests."""
+
+from repro.core.dmr.critical import (
+    branch_conditions, critical_plan, return_values, scc_exit_branches,
+)
+from repro.core.dmr.levels import ProtectionLevel
+from repro.workloads.irprograms import build_program
+
+
+class TestExtraction:
+    def test_branch_conditions_found(self, counted_loop_module):
+        func = counted_loop_module.function("triangle")
+        pairs = branch_conditions(func)
+        assert len(pairs) == 2  # entry guard + loop latch
+
+    def test_scc_exit_subset_of_all_branches(self):
+        func = build_program("collatz").function("collatz")
+        all_branches = {id(t) for t, _ in branch_conditions(func)}
+        exits = {id(t) for t, _ in scc_exit_branches(func)}
+        assert exits <= all_branches
+        assert len(exits) < len(all_branches)  # loop-internal branch skipped
+
+    def test_return_values_skip_constants(self, counted_loop_module):
+        func = counted_loop_module.function("triangle")
+        pairs = return_values(func)
+        assert len(pairs) == 1
+        assert pairs[0][1].name == "res"
+
+
+class TestPlans:
+    def test_none_level_is_empty(self, counted_loop_module):
+        func = counted_loop_module.function("triangle")
+        plan = critical_plan(func, ProtectionLevel.NONE)
+        assert plan.n_duplicated == 0
+        assert plan.n_checks == 0
+
+    def test_plan_sizes_monotone_in_level(self, counted_loop_module):
+        func = counted_loop_module.function("triangle")
+        sizes = []
+        for level in (ProtectionLevel.SCC_CFI, ProtectionLevel.BB_CFI,
+                      ProtectionLevel.CFI_DATAFLOW, ProtectionLevel.FULL_DMR):
+            plan = critical_plan(func, level)
+            sizes.append((plan.n_duplicated, plan.n_checks))
+        dups = [s[0] for s in sizes]
+        assert dups == sorted(dups)
+
+    def test_full_dmr_duplicates_all_defining_instructions(
+        self, counted_loop_module
+    ):
+        func = counted_loop_module.function("triangle")
+        plan = critical_plan(func, ProtectionLevel.FULL_DMR)
+        defining = sum(
+            1 for i in func.instructions()
+            if i.defines_value and i.opcode.value not in ("alloc", "call")
+        )
+        assert plan.n_duplicated == defining
+
+    def test_cfi_slice_smaller_than_function(self):
+        """The paper's core claim: critical values are a proper subset."""
+        for name in ("checksum", "isort", "matmul"):
+            func = build_program(name).function(name)
+            plan = critical_plan(func, ProtectionLevel.BB_CFI)
+            assert 0 < plan.n_duplicated < len(func)
+
+    def test_full_dmr_checks_stores(self):
+        func = build_program("checksum").function("checksum")
+        plan = critical_plan(func, ProtectionLevel.FULL_DMR)
+        assert plan.check_stores

@@ -1,0 +1,71 @@
+"""Post-hoc trace-monitor tests."""
+
+from repro.core.dmr.monitor import TraceMonitor, validate_block_trace
+from repro.ir.interp import Interpreter
+from repro.workloads.irprograms import build_program
+
+
+class TestTraceValidation:
+    def test_real_trace_validates(self, counted_loop_module):
+        interp = Interpreter(counted_loop_module, record_trace=True)
+        result = interp.run("triangle", [10])
+        verdict = validate_block_trace(counted_loop_module, result.block_trace)
+        assert verdict.ok
+        assert verdict.transitions_checked > 0
+
+    def test_corrupted_trace_flagged(self, counted_loop_module):
+        interp = Interpreter(counted_loop_module, record_trace=True)
+        trace = interp.run("triangle", [10]).block_trace
+        # Forge an impossible transition: done -> loop.
+        trace.append(("triangle", "loop"))
+        verdict = validate_block_trace(counted_loop_module, trace)
+        assert not verdict.ok
+        assert verdict.violation == ("triangle", "done", "loop")
+        assert verdict.violation_index == len(trace) - 1
+
+    def test_scc_mode_checks_fewer_transitions(self, counted_loop_module):
+        interp = Interpreter(counted_loop_module, record_trace=True)
+        trace = interp.run("triangle", [30]).block_trace
+        full = validate_block_trace(counted_loop_module, trace)
+        scc = validate_block_trace(counted_loop_module, trace, scc_only=True)
+        assert scc.ok
+        assert scc.transitions_checked < full.transitions_checked
+
+    def test_scc_mode_still_catches_cross_component_violation(
+        self, counted_loop_module
+    ):
+        interp = Interpreter(counted_loop_module, record_trace=True)
+        trace = interp.run("triangle", [10]).block_trace
+        trace.append(("triangle", "loop"))  # done -> loop crosses SCCs
+        verdict = validate_block_trace(
+            counted_loop_module, trace, scc_only=True
+        )
+        assert not verdict.ok
+
+    def test_trace_across_calls(self, counted_loop_module):
+        from repro.ir.builder import IRBuilder
+        from repro.ir.function import Function
+        from repro.ir.types import INT64
+
+        module = counted_loop_module
+        outer = Function("outer", [("n", INT64)], INT64)
+        module.add_function(outer)
+        b = IRBuilder(outer)
+        b.set_block(outer.add_block("entry"))
+        inner = b.call("triangle", [outer.args[0]], INT64)
+        b.ret(inner)
+        interp = Interpreter(module, record_trace=True)
+        trace = interp.run("outer", [5]).block_trace
+        verdict = validate_block_trace(module, trace)
+        assert verdict.ok
+
+    def test_empty_trace_ok(self, counted_loop_module):
+        assert validate_block_trace(counted_loop_module, []).ok
+
+    def test_monitor_reusable(self):
+        module = build_program("collatz")
+        monitor = TraceMonitor(module)
+        for n in (7, 27):
+            interp = Interpreter(module, record_trace=True)
+            trace = interp.run("collatz", [n]).block_trace
+            assert monitor.validate(trace).ok

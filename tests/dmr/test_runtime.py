@@ -1,0 +1,107 @@
+"""ProtectedProgram / placement-model tests."""
+
+import pytest
+
+from repro.core.dmr.levels import ALL_LEVELS, ProtectionLevel
+from repro.core.dmr.runtime import (
+    MonitorPlacement, PlacementCost, ProtectedProgram,
+    placement_overhead_cycles,
+)
+from repro.faults.outcomes import FaultOutcome
+from repro.workloads.irprograms import PROGRAMS, build_program
+
+
+@pytest.fixture(scope="module")
+def fact_module():
+    return build_program("fact")
+
+
+class TestProtectedProgram:
+    def test_overhead_one_for_none(self, fact_module):
+        prog = ProtectedProgram(fact_module, "fact", ProtectionLevel.NONE)
+        assert prog.overhead((12,)) == pytest.approx(1.0)
+
+    def test_overhead_monotone_in_level(self, fact_module):
+        overheads = [
+            ProtectedProgram(fact_module, "fact", lv).overhead((12,))
+            for lv in ALL_LEVELS
+        ]
+        assert overheads == sorted(overheads)
+
+    def test_full_dmr_at_least_double_ish(self, fact_module):
+        """Sect. 4.1: DMR 'incurs at least double the runtime cost'."""
+        prog = ProtectedProgram(fact_module, "fact", ProtectionLevel.FULL_DMR)
+        assert prog.overhead((12,)) > 1.8
+
+    def test_campaign_detection_improves_with_level(self, fact_module):
+        unprotected = ProtectedProgram(
+            fact_module, "fact", ProtectionLevel.NONE
+        ).campaign((12,), n_trials=100, seed=7)
+        protected = ProtectedProgram(
+            fact_module, "fact", ProtectionLevel.FULL_DMR
+        ).campaign((12,), n_trials=100, seed=7)
+        assert (
+            protected.counts.detection_rate
+            > unprotected.counts.detection_rate
+        )
+        assert protected.counts.counts[FaultOutcome.DETECTED] > 0
+
+    def test_campaign_reproducible(self, fact_module):
+        prog = ProtectedProgram(fact_module, "fact", ProtectionLevel.BB_CFI)
+        a = prog.campaign((10,), n_trials=30, seed=1)
+        b = prog.campaign((10,), n_trials=30, seed=1)
+        assert a.counts.as_dict() == b.counts.as_dict()
+
+
+class TestPlacementModel:
+    def test_inline_adds_monitor_to_wall(self):
+        cost = placement_overhead_cycles(
+            1000, 400, 10, MonitorPlacement.INLINE
+        )
+        assert cost.wall_cycles == 1400
+        assert cost.energy_cycles == 1400
+
+    def test_parallel_hides_latency_but_pays_sync(self):
+        # 10 checks in one epoch: wall = max(1000 + 60, 400) + 200.
+        cost = placement_overhead_cycles(
+            1000, 400, 10, MonitorPlacement.PARALLEL,
+            ipc_sync_cycles=200, record_cycles=6,
+        )
+        assert cost.wall_cycles == 1000 + 60 + 200
+        assert cost.energy_cycles > cost.wall_cycles
+
+    def test_parallel_beats_inline_on_wall_for_heavy_monitors(self):
+        """When the monitor is expensive, hiding it in parallel wins."""
+        inline = placement_overhead_cycles(
+            10_000, 9_000, 100, MonitorPlacement.INLINE
+        )
+        parallel = placement_overhead_cycles(
+            10_000, 9_000, 100, MonitorPlacement.PARALLEL
+        )
+        assert parallel.wall_cycles < inline.wall_cycles
+
+    def test_posthoc_cheaper_recording(self):
+        """The paper's trade-off: posthoc avoids IPC, pays serialization."""
+        parallel = placement_overhead_cycles(
+            1000, 400, 50, MonitorPlacement.PARALLEL
+        )
+        posthoc = placement_overhead_cycles(
+            1000, 400, 50, MonitorPlacement.POSTHOC
+        )
+        assert posthoc.energy_cycles < parallel.energy_cycles
+
+    def test_returns_placement_cost(self):
+        cost = placement_overhead_cycles(1, 1, 1, MonitorPlacement.POSTHOC)
+        assert isinstance(cost, PlacementCost)
+
+
+class TestLevels:
+    def test_rank_ordering(self):
+        assert ProtectionLevel.NONE < ProtectionLevel.SCC_CFI
+        assert ProtectionLevel.SCC_CFI < ProtectionLevel.BB_CFI
+        assert ProtectionLevel.BB_CFI < ProtectionLevel.CFI_DATAFLOW
+        assert ProtectionLevel.CFI_DATAFLOW < ProtectionLevel.FULL_DMR
+
+    def test_all_levels_sorted(self):
+        ranks = [lv.rank for lv in ALL_LEVELS]
+        assert ranks == sorted(ranks)

@@ -1,0 +1,92 @@
+"""GF(2^m) field-axiom tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ecc.gf2 import (
+    GF2m, gf2_poly_degree, gf2_poly_mod, gf2_poly_mul,
+)
+from repro.errors import ConfigError
+
+FIELD = GF2m(6)
+elements = st.integers(0, FIELD.order)
+nonzero = st.integers(1, FIELD.order)
+
+
+class TestFieldAxioms:
+    @given(nonzero, nonzero)
+    def test_mul_commutes(self, a, b):
+        assert FIELD.mul(a, b) == FIELD.mul(b, a)
+
+    @given(nonzero, nonzero, nonzero)
+    def test_mul_associates(self, a, b, c):
+        assert FIELD.mul(FIELD.mul(a, b), c) == FIELD.mul(a, FIELD.mul(b, c))
+
+    @given(nonzero)
+    def test_inverse(self, a):
+        assert FIELD.mul(a, FIELD.inv(a)) == 1
+
+    @given(nonzero, nonzero)
+    def test_div_is_mul_by_inverse(self, a, b):
+        assert FIELD.div(a, b) == FIELD.mul(a, FIELD.inv(b))
+
+    @given(elements)
+    def test_zero_annihilates(self, a):
+        assert FIELD.mul(a, 0) == 0
+
+    @given(nonzero, nonzero, nonzero)
+    def test_distributivity(self, a, b, c):
+        left = FIELD.mul(a, b ^ c)  # addition in GF(2^m) is xor
+        right = FIELD.mul(a, b) ^ FIELD.mul(a, c)
+        assert left == right
+
+    @given(nonzero)
+    def test_log_exp_inverse(self, a):
+        assert FIELD.alpha_pow(FIELD.log(a)) == a
+
+    def test_pow(self):
+        assert FIELD.pow(2, 0) == 1
+        assert FIELD.pow(2, 1) == 2
+        assert FIELD.pow(2, FIELD.order) == 2 ** 0  # Fermat: a^(q-1)=1... a^q=a
+        assert FIELD.pow(0, 5) == 0
+
+    def test_zero_division_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            FIELD.div(1, 0)
+        with pytest.raises(ZeroDivisionError):
+            FIELD.inv(0)
+
+    def test_unsupported_m_rejected(self):
+        with pytest.raises(ConfigError):
+            GF2m(2)
+
+
+class TestPolyOverField:
+    def test_poly_eval_horner(self):
+        # p(x) = 1 + x over GF(2^6): p(alpha) = alpha ^ 1 (xor).
+        alpha = FIELD.alpha_pow(1)
+        assert FIELD.poly_eval([1, 1], alpha) == (alpha ^ 1)
+
+    def test_poly_mul_degree(self):
+        p = FIELD.poly_mul([1, 1], [1, 1])  # (1+x)^2 = 1 + x^2 over GF(2)
+        assert p == [1, 0, 1]
+
+
+class TestPackedGf2Polys:
+    def test_mul(self):
+        # (x + 1)(x + 1) = x^2 + 1 over GF(2)
+        assert gf2_poly_mul(0b11, 0b11) == 0b101
+
+    def test_mod(self):
+        # x^3 mod (x^2 + 1) = x  (since x^3 = x * (x^2+1) + x)
+        assert gf2_poly_mod(0b1000, 0b101) == 0b10
+
+    def test_degree(self):
+        assert gf2_poly_degree(0b1) == 0
+        assert gf2_poly_degree(0b1000) == 3
+        assert gf2_poly_degree(0) == -1
+
+    @given(st.integers(1, 2**20), st.integers(2, 2**10))
+    def test_mod_degree_below_modulus(self, a, mod):
+        rem = gf2_poly_mod(a, mod)
+        assert gf2_poly_degree(rem) < gf2_poly_degree(mod)

@@ -1,0 +1,49 @@
+"""SECDED(72,64) property tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ecc.hamming import DecodeStatus, SecDedCode
+from repro.errors import ConfigError
+
+CODE = SecDedCode()
+words = st.integers(0, 2**64 - 1)
+bits = st.integers(0, 71)
+
+
+class TestSecDed:
+    @given(words)
+    def test_clean_round_trip(self, data):
+        result = CODE.decode(CODE.encode(data))
+        assert result.status is DecodeStatus.CLEAN
+        assert result.data == data
+
+    @given(words, bits)
+    def test_every_single_bit_error_corrected(self, data, bit):
+        corrupted = CODE.encode(data) ^ (1 << bit)
+        result = CODE.decode(corrupted)
+        assert result.status is DecodeStatus.CORRECTED
+        assert result.data == data
+
+    @given(words, bits, bits)
+    def test_every_double_bit_error_detected(self, data, b1, b2):
+        if b1 == b2:
+            return
+        corrupted = CODE.encode(data) ^ (1 << b1) ^ (1 << b2)
+        result = CODE.decode(corrupted)
+        assert result.status is DecodeStatus.DOUBLE_DETECTED
+
+    def test_oversized_word_rejected(self):
+        with pytest.raises(ConfigError):
+            CODE.encode(1 << 64)
+
+    def test_codeword_width(self):
+        cw = CODE.encode(2**64 - 1)
+        assert cw < 1 << CODE.N_TOTAL
+
+    def test_overall_parity_bit_flip_corrected(self):
+        cw = CODE.encode(12345) ^ 1  # bit 0 is the overall parity
+        result = CODE.decode(cw)
+        assert result.status is DecodeStatus.CORRECTED
+        assert result.data == 12345
+        assert result.flipped_bit == 0

@@ -1,0 +1,78 @@
+"""Parity, CRC-32 and cost-model tests."""
+
+import zlib
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ecc.cost import CODEC_COSTS, cpu_seconds_to_scan
+from repro.ecc.crc import Crc32Code, crc32
+from repro.ecc.parity import ParityCode
+from repro.errors import ConfigError
+from repro.units import ghz, gib
+
+
+class TestParity:
+    @given(st.integers(0, 2**64 - 1))
+    def test_round_trip(self, data):
+        code = ParityCode(64)
+        assert code.check(data, code.encode(data))
+
+    @given(st.integers(0, 2**64 - 1), st.integers(0, 63))
+    def test_single_flip_detected(self, data, bit):
+        code = ParityCode(64)
+        parity = code.encode(data)
+        assert not code.check(data ^ (1 << bit), parity)
+
+    @given(st.integers(0, 2**64 - 1), st.integers(0, 63), st.integers(0, 63))
+    def test_double_flip_missed(self, data, b1, b2):
+        """Parity's known blind spot: even numbers of flips pass."""
+        if b1 == b2:
+            return
+        code = ParityCode(64)
+        parity = code.encode(data)
+        assert code.check(data ^ (1 << b1) ^ (1 << b2), parity)
+
+
+class TestCrc32:
+    @given(st.binary(min_size=0, max_size=2048))
+    def test_matches_zlib(self, blob):
+        assert crc32(blob) == zlib.crc32(blob)
+
+    @given(st.binary(min_size=1, max_size=256), st.integers(0, 7))
+    def test_any_single_bit_flip_detected(self, blob, bit):
+        code = Crc32Code()
+        checksum = code.encode(blob)
+        corrupted = bytearray(blob)
+        corrupted[0] ^= 1 << bit
+        assert not code.check(bytes(corrupted), checksum)
+
+
+class TestCostModel:
+    def test_paper_anchor_bch_2gb_7_minutes(self):
+        """Sect. 4.1: software BCH over 2 GB takes > 7 minutes of CPU."""
+        seconds = cpu_seconds_to_scan(gib(2), "bch", ghz(2.5))
+        assert 6.5 * 60 <= seconds <= 8.5 * 60
+
+    def test_dsp_offload_is_faster_and_frees_cpu(self):
+        cpu = cpu_seconds_to_scan(gib(2), "bch", ghz(2.5))
+        dsp = cpu_seconds_to_scan(gib(2), "bch", ghz(2.5), on_dsp=True)
+        assert dsp < cpu
+
+    def test_cost_ordering(self):
+        costs = CODEC_COSTS
+        assert (
+            costs["parity"].cycles_per_byte
+            < costs["crc32"].cycles_per_byte
+            < costs["secded"].cycles_per_byte
+            < costs["bch"].cycles_per_byte
+        )
+
+    def test_correction_capability_ordering(self):
+        assert CODEC_COSTS["parity"].corrects == 0
+        assert CODEC_COSTS["secded"].corrects == 1
+        assert CODEC_COSTS["bch"].corrects >= 2
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(ConfigError):
+            cpu_seconds_to_scan(100, "turbo", 1e9)

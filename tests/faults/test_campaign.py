@@ -1,0 +1,76 @@
+"""Campaign-runner tests."""
+
+import pytest
+
+from repro.errors import FaultInjectionError
+from repro.faults.campaign import Campaign, run_campaign
+from repro.faults.model import FaultTarget
+from repro.faults.outcomes import FaultOutcome
+from repro.workloads.irprograms import PROGRAMS, build_program
+
+
+def _campaign(name, **kwargs):
+    module = build_program(name)
+    return Campaign(
+        module=module,
+        func_name=name,
+        args=PROGRAMS[name].default_args,
+        **kwargs,
+    )
+
+
+class TestCampaigns:
+    def test_counts_sum_to_trials(self):
+        result = run_campaign(_campaign("fact", n_trials=50), seed=1)
+        assert result.counts.total == 50
+        assert len(result.trials) == 50
+
+    def test_reproducible_under_seed(self):
+        a = run_campaign(_campaign("gcd", n_trials=40), seed=5)
+        b = run_campaign(_campaign("gcd", n_trials=40), seed=5)
+        assert a.counts.as_dict() == b.counts.as_dict()
+        assert [t.outcome for t in a.trials] == [t.outcome for t in b.trials]
+
+    def test_different_seeds_differ(self):
+        a = run_campaign(_campaign("fact", n_trials=60), seed=1)
+        b = run_campaign(_campaign("fact", n_trials=60), seed=2)
+        assert [t.spec for t in a.trials] != [t.spec for t in b.trials]
+
+    def test_produces_mixed_outcomes(self):
+        result = run_campaign(_campaign("fact", n_trials=120), seed=3)
+        counts = result.counts
+        assert counts.counts[FaultOutcome.BENIGN] > 0
+        assert counts.counts[FaultOutcome.SDC] > 0
+
+    def test_memory_target_on_array_program(self):
+        result = run_campaign(
+            _campaign("checksum", n_trials=40, target=FaultTarget.MEMORY),
+            seed=4,
+        )
+        assert result.counts.total == 40
+        assert result.counts.counts[FaultOutcome.SDC] > 0
+
+    def test_sdc_tolerance_reduces_sdc(self):
+        strict = run_campaign(_campaign("dot", n_trials=150), seed=6)
+        tolerant = run_campaign(
+            _campaign("dot", n_trials=150, sdc_tolerance=0.5), seed=6
+        )
+        assert (
+            tolerant.counts.counts[FaultOutcome.SDC]
+            <= strict.counts.counts[FaultOutcome.SDC]
+        )
+
+    def test_cache_target_rejected_for_interpreter(self):
+        with pytest.raises(FaultInjectionError):
+            run_campaign(
+                _campaign("fact", n_trials=1, target=FaultTarget.CACHE),
+                seed=0,
+            )
+
+    def test_golden_preserved(self):
+        result = run_campaign(_campaign("fib", n_trials=10), seed=0)
+        assert result.golden.value == 832040
+
+    def test_mean_faulty_cycles_positive(self):
+        result = run_campaign(_campaign("fact", n_trials=20), seed=0)
+        assert result.mean_faulty_cycles > 0

@@ -1,0 +1,104 @@
+"""Bit-flip primitive tests."""
+
+import math
+import struct
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import FaultInjectionError
+from repro.faults.model import (
+    flip_float_bit, flip_int_bit, flip_value_bit, float_bit_class,
+    relative_error,
+)
+from repro.ir.types import F64, INT1, INT64, PTR
+
+
+class TestIntFlips:
+    def test_flip_lsb(self):
+        assert flip_int_bit(0, 0, 64) == 1
+        assert flip_int_bit(1, 0, 64) == 0
+
+    def test_flip_sign_bit(self):
+        assert flip_int_bit(0, 63, 64) == -(2**63)
+
+    def test_out_of_range_bit_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            flip_int_bit(0, 64, 64)
+
+    @given(st.integers(-(2**63), 2**63 - 1), st.integers(0, 63))
+    def test_involution(self, value, bit):
+        once = flip_int_bit(value, bit, 64)
+        assert once != value
+        assert flip_int_bit(once, bit, 64) == value
+
+    @given(st.integers(0, 0))
+    def test_i1_flip(self, _):
+        assert flip_int_bit(0, 0, 1) == -1
+        assert flip_int_bit(-1, 0, 1) == 0
+
+
+class TestFloatFlips:
+    def test_sign_flip_negates(self):
+        assert flip_float_bit(1.5, 63) == -1.5
+
+    def test_exponent_msb_flip_is_huge(self):
+        # 0.5 has exponent MSB clear; flipping it scales by ~2**1024.
+        flipped = flip_float_bit(0.5, 62)
+        assert flipped > 1e300
+        # 1.5 has all lower exponent bits set; flipping the MSB saturates
+        # the exponent field, producing a non-finite value.
+        assert math.isnan(flip_float_bit(1.5, 62))
+
+    def test_mantissa_flip_bounded_by_50_percent(self):
+        """Sect. 4.1: mantissa hits cause at most 50% relative error."""
+        for bit in range(0, 52):
+            err = relative_error(flip_float_bit(1.5, bit), 1.5)
+            assert err <= 0.5
+
+    def test_sign_flip_error_is_200_percent(self):
+        """Sect. 4.1: a sign flip is a 200% relative error."""
+        assert relative_error(flip_float_bit(2.0, 63), 2.0) == pytest.approx(2.0)
+
+    @given(
+        st.floats(allow_nan=False, allow_infinity=False,
+                  min_value=-1e300, max_value=1e300),
+        st.integers(0, 63),
+    )
+    def test_involution(self, value, bit):
+        once = flip_float_bit(value, bit)
+        back = flip_float_bit(once, bit)
+        assert struct.pack("<d", back) == struct.pack("<d", value)
+
+    def test_bit_classes(self):
+        assert float_bit_class(63) == "sign"
+        assert float_bit_class(62) == "exponent"
+        assert float_bit_class(52) == "exponent"
+        assert float_bit_class(51) == "mantissa"
+        assert float_bit_class(0) == "mantissa"
+        with pytest.raises(FaultInjectionError):
+            float_bit_class(64)
+
+
+class TestTypedFlips:
+    def test_flip_typed_int_wraps(self):
+        assert flip_value_bit(0, INT64, 63) == -(2**63)
+
+    def test_flip_typed_float(self):
+        assert flip_value_bit(1.0, F64, 63) == -1.0
+
+    def test_flip_pointer_stays_unsigned(self):
+        flipped = flip_value_bit(0, PTR, 63)
+        assert flipped == 2**63
+
+    def test_flip_i1(self):
+        assert flip_value_bit(0, INT1, 0) in (-1, 1)
+
+
+class TestRelativeError:
+    def test_zero_reference(self):
+        assert relative_error(1.0, 0.0) == math.inf
+        assert relative_error(0.0, 0.0) == 0.0
+
+    def test_ordinary(self):
+        assert relative_error(1.5, 1.0) == pytest.approx(0.5)

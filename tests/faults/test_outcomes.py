@@ -1,0 +1,78 @@
+"""Outcome-classification tests."""
+
+import math
+
+from repro.faults.model import FaultSpec, FaultTarget
+from repro.faults.outcomes import (
+    FaultOutcome, OutcomeCounts, TrialResult, classify,
+)
+from repro.ir.interp import ExecutionResult, ExecutionStatus
+
+
+def _result(status, value=None):
+    return ExecutionResult(status=status, value=value, cycles=1,
+                           instructions=1)
+
+
+class TestClassification:
+    def test_identical_output_is_benign(self):
+        outcome, err = classify(_result(ExecutionStatus.OK, 42), 42)
+        assert outcome is FaultOutcome.BENIGN and err == 0.0
+
+    def test_different_output_is_sdc(self):
+        outcome, _ = classify(_result(ExecutionStatus.OK, 43), 42)
+        assert outcome is FaultOutcome.SDC
+
+    def test_trap_is_crash(self):
+        outcome, _ = classify(_result(ExecutionStatus.TRAP), 42)
+        assert outcome is FaultOutcome.CRASH
+
+    def test_hang(self):
+        outcome, _ = classify(_result(ExecutionStatus.HANG), 42)
+        assert outcome is FaultOutcome.HANG
+
+    def test_detected(self):
+        outcome, _ = classify(_result(ExecutionStatus.DETECTED), 42)
+        assert outcome is FaultOutcome.DETECTED
+
+    def test_tolerance_makes_small_error_benign(self):
+        """The paper's 'acceptable margin of error' tuning knob."""
+        result = _result(ExecutionStatus.OK, 10.04)
+        outcome, err = classify(result, 10.0, sdc_tolerance=0.01)
+        assert outcome is FaultOutcome.BENIGN
+        outcome2, _ = classify(result, 10.0, sdc_tolerance=0.001)
+        assert outcome2 is FaultOutcome.SDC
+
+    def test_nan_equals_nan(self):
+        outcome, _ = classify(
+            _result(ExecutionStatus.OK, math.nan), math.nan
+        )
+        assert outcome is FaultOutcome.BENIGN
+
+
+class TestCounts:
+    def test_rates(self):
+        counts = OutcomeCounts()
+        for outcome in (FaultOutcome.SDC, FaultOutcome.DETECTED,
+                        FaultOutcome.DETECTED, FaultOutcome.BENIGN):
+            counts.record(outcome)
+        assert counts.total == 4
+        assert counts.sdc_rate == 0.25
+        assert counts.detection_rate == 2 / 3
+
+    def test_detection_rate_defaults_to_one_when_no_harm(self):
+        counts = OutcomeCounts()
+        counts.record(FaultOutcome.BENIGN)
+        assert counts.detection_rate == 1.0
+
+    def test_as_dict(self):
+        counts = OutcomeCounts()
+        counts.record(FaultOutcome.CRASH)
+        assert counts.as_dict()["crash"] == 1
+
+
+def test_trial_result_holds_spec():
+    spec = FaultSpec(FaultTarget.REGISTER, 5, "x", 3)
+    trial = TrialResult(spec=spec, outcome=FaultOutcome.SDC, value=1,
+                        rel_error=0.1, cycles=10)
+    assert trial.spec.bit == 3

@@ -1,0 +1,47 @@
+"""Latch-up event model tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults.sel import (
+    DEFAULT_DAMAGE_DEADLINE_S, LatchupEvent, LatchupGenerator,
+)
+
+
+class TestLatchupEvent:
+    def test_current_profile(self):
+        event = LatchupEvent(onset_s=10.0, delta_current_a=0.05)
+        assert event.current_at(5.0) == 0.0
+        assert event.current_at(10.0) == 0.05
+        assert event.current_at(100.0) == 0.05
+        assert event.current_at(100.0, cleared_at=50.0) == 0.0
+        assert event.current_at(40.0, cleared_at=50.0) == 0.05
+
+    def test_destruction_time(self):
+        event = LatchupEvent(onset_s=10.0, delta_current_a=0.05)
+        assert event.destruction_time_s == 10.0 + DEFAULT_DAMAGE_DEADLINE_S
+
+    def test_deadline_is_three_minutes(self):
+        """Sect. 3: the gate is destroyed within ~3 minutes."""
+        assert DEFAULT_DAMAGE_DEADLINE_S == 180.0
+
+
+class TestLatchupGenerator:
+    def test_samples_within_range(self):
+        gen = LatchupGenerator(min_delta_a=0.005, max_delta_a=1.0, seed=1)
+        for _ in range(200):
+            event = gen.sample(onset_s=0.0)
+            assert 0.005 <= event.delta_current_a <= 1.0
+
+    def test_log_uniform_spread(self):
+        """Small (mA-scale) events must be well represented."""
+        gen = LatchupGenerator(seed=2)
+        deltas = [gen.sample(0.0).delta_current_a for _ in range(500)]
+        below_50ma = sum(1 for d in deltas if d < 0.05)
+        assert below_50ma > 100  # log-uniform: ~43% below 50 mA
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ConfigError):
+            LatchupGenerator(min_delta_a=0.0)
+        with pytest.raises(ConfigError):
+            LatchupGenerator(min_delta_a=1.0, max_delta_a=0.5)

@@ -1,0 +1,167 @@
+"""Hardware-model tests: specs, power, sensor, thermal, board, DSP."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, DeviceDestroyed
+from repro.faults.sel import LatchupEvent
+from repro.hw.board import Board
+from repro.hw.coprocessor import DspCoprocessor
+from repro.hw.power import PowerModel, PowerModelParams
+from repro.hw.sensor import CurrentSensor
+from repro.hw.specs import (
+    ENDUROSAT_OBC_SPEC, RASPBERRY_PI_4, SNAPDRAGON_801, comparison_table,
+)
+from repro.hw.thermal import ThermalModel
+
+
+class TestSpecs:
+    def test_table1_values(self):
+        """The Table 1 numbers, verbatim."""
+        assert ENDUROSAT_OBC_SPEC.rad_hard
+        assert ENDUROSAT_OBC_SPEC.clock_hz == 216e6
+        assert ENDUROSAT_OBC_SPEC.cost_usd == 10_000
+        assert not SNAPDRAGON_801.rad_hard
+        assert SNAPDRAGON_801.clock_hz == 2.5e9
+        assert SNAPDRAGON_801.cost_usd == 750
+        assert SNAPDRAGON_801.ram_bytes == 2 * 1024**3
+        assert not SNAPDRAGON_801.ram_ecc
+        assert ENDUROSAT_OBC_SPEC.ram_ecc
+
+    def test_commodity_perf_per_dollar_dominates(self):
+        """The paper's economics: orders of magnitude in perf/$."""
+        ratio = (
+            SNAPDRAGON_801.perf_per_dollar
+            / ENDUROSAT_OBC_SPEC.perf_per_dollar
+        )
+        assert ratio > 100
+
+    def test_comparison_table_renders(self):
+        text = comparison_table()
+        assert "EnduroSat OBC" in text and "Snapdragon 801" in text
+        assert "$10,000" in text and "$750" in text
+
+
+class TestPowerModel:
+    def test_current_rises_with_load(self):
+        model = PowerModel(PowerModelParams(noise_sigma_a=0.0,
+                                            spike_rate_hz=0.0), seed=0)
+        idle = model.current(0.0, [0, 0, 0, 0], 0.0, 0.0)
+        busy = model.current(1.0, [1, 1, 1, 1], 0.5, 0.5)
+        assert busy > idle + 0.5
+
+    def test_latchup_current_added(self):
+        model = PowerModel(PowerModelParams(noise_sigma_a=0.0,
+                                            spike_rate_hz=0.0), seed=0)
+        base = model.current(0.0, [0] * 4, 0.0, 0.0)
+        with_sel = model.current(1.0, [0] * 4, 0.0, 0.0, extra_a=0.005)
+        assert with_sel == pytest.approx(base + 0.005)
+
+    def test_spikes_occur(self):
+        model = PowerModel(PowerModelParams(spike_rate_hz=5.0,
+                                            noise_sigma_a=0.0), seed=1)
+        readings = [model.current(t * 0.1, [0] * 4, 0, 0)
+                    for t in range(200)]
+        assert max(readings) > min(readings) + 0.1  # spikes visible
+
+
+class TestSensor:
+    def test_quantization(self):
+        sensor = CurrentSensor(lsb_a=0.001, noise_sigma_a=0.0, seed=0)
+        reading = sensor.read(0.50037)
+        assert reading == pytest.approx(0.5)
+
+    def test_clipping(self):
+        sensor = CurrentSensor(max_a=2.0, noise_sigma_a=0.0, seed=0)
+        assert sensor.read(10.0) == pytest.approx(2.0)
+        assert sensor.read(-1.0) == 0.0
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ConfigError):
+            CurrentSensor(lsb_a=0.0)
+
+
+class TestThermal:
+    def test_heats_toward_equilibrium(self):
+        model = ThermalModel(t_env_c=10.0, r_th_c_per_w=8.0, tau_s=10.0)
+        for _ in range(100):
+            model.step(1.0, current_a=1.0)  # 5 W
+        assert model.temperature_c == pytest.approx(10 + 5 * 8, abs=1.0)
+
+    def test_cools_when_idle(self):
+        model = ThermalModel(tau_s=5.0)
+        for _ in range(20):
+            model.step(1.0, 2.0)
+        hot = model.temperature_c
+        for _ in range(100):
+            model.step(1.0, 0.0)
+        assert model.temperature_c < hot
+
+
+class TestBoard:
+    def test_telemetry_sample_fields(self):
+        board = Board(seed=1)
+        sample = board.sample(0.0, [1, 0, 0, 0], 0.2, 0.1)
+        assert 0 <= sample.cpu_util <= 1
+        assert sample.current_a > 0
+        assert len(sample.features()) == 4 + 3
+
+    def test_latchup_destroys_unless_cycled(self):
+        board = Board(seed=2)
+        board.inject_latchup(LatchupEvent(onset_s=1.0, delta_current_a=0.1))
+        board.sample(2.0, [0] * 4, 0.1, 0.0)  # fine inside deadline
+        with pytest.raises(DeviceDestroyed):
+            board.sample(200.0, [0] * 4, 0.1, 0.0)
+        assert board.destroyed
+
+    def test_power_cycle_saves_the_board(self):
+        board = Board(seed=3)
+        board.inject_latchup(LatchupEvent(onset_s=1.0, delta_current_a=0.1))
+        board.sample(5.0, [0] * 4, 0.1, 0.0)
+        board.power_cycle(t=30.0)
+        sample = board.sample(400.0, [1] * 4, 0.1, 0.0)
+        assert not board.destroyed
+        assert board.power_cycles == 1
+        assert sample.current_a > 0
+
+    def test_latchup_raises_measured_current(self):
+        quiet = Board(seed=4)
+        latched = Board(seed=4)
+        latched.inject_latchup(
+            LatchupEvent(onset_s=0.0, delta_current_a=0.5)
+        )
+        load = ([0.5] * 4, 0.2, 0.1)
+        a = np.mean([quiet.sample(t * 0.1, *load).current_a
+                     for t in range(50)])
+        b = np.mean([latched.sample(t * 0.1, *load).current_a
+                     for t in range(50)])
+        assert b - a == pytest.approx(0.5, abs=0.1)
+
+    def test_reboot_downtime_drops_load(self):
+        board = Board(seed=5, reboot_downtime_s=10.0)
+        board.power_cycle(0.0)
+        assert board.is_down(5.0)
+        assert not board.is_down(15.0)
+
+
+class TestDsp:
+    def test_budgeting(self):
+        dsp = DspCoprocessor(clock_hz=1e6)
+        dsp.begin_interval(1.0)
+        assert dsp.try_schedule(1000, "secded")
+        assert dsp.busy_cycles > 0
+
+    def test_budget_exhaustion(self):
+        dsp = DspCoprocessor(clock_hz=100.0)
+        dsp.begin_interval(1.0)  # 100 cycles: less than one page
+        assert not dsp.try_schedule(4096, "secded")
+
+    def test_pages_per_interval(self):
+        dsp = DspCoprocessor(clock_hz=600e6)
+        pages = dsp.pages_per_interval(1.0, 4096, "secded")
+        assert pages > 0
+
+    def test_unknown_codec_rejected(self):
+        dsp = DspCoprocessor()
+        with pytest.raises(ConfigError):
+            dsp.verify_cost_cycles(100, "magic")

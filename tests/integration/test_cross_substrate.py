@@ -1,0 +1,69 @@
+"""Cross-substrate validation: the IR interpreter vs the machine emulator.
+
+The same program runs on both substrates (via the code generator); fault
+campaigns on each must tell a qualitatively consistent story, and cycle
+accounting must agree on relative workload weight.
+"""
+
+import pytest
+
+from repro.faults.campaign import Campaign, run_campaign
+from repro.faults.outcomes import FaultOutcome
+from repro.ir.interp import Interpreter
+from repro.machine.codegen import compile_function, run_compiled
+from repro.machine.cpu import Machine, RunOutcome
+from repro.rng import make_rng
+from repro.workloads.irprograms import PROGRAMS, build_program
+
+INT_PROGRAMS = [n for n, s in sorted(PROGRAMS.items()) if not s.fp_heavy]
+
+
+@pytest.mark.parametrize("name", INT_PROGRAMS)
+def test_relative_cost_agreement(name):
+    """Machine step counts and interpreter instruction counts must scale
+    together: a workload that doubles on one substrate doubles on the
+    other (within the lowering's constant factor)."""
+    module = build_program(name)
+    func = module.function(name)
+    spec = PROGRAMS[name]
+    rng = make_rng(3)
+    ratios = []
+    for _ in range(3):
+        args = spec.sample_args(rng)
+        interp = Interpreter(module).run(name, list(args))
+        program, arg_slots = compile_function(func)
+        machine = Machine(program, memory_bytes=1 << 22)
+        for formal, actual in zip(func.args, args):
+            machine.write_word(arg_slots[formal.name], int(actual))
+        assert machine.run(fuel=5_000_000) is RunOutcome.HALTED
+        ratios.append(machine.state.steps / max(1, interp.instructions))
+    # The spill-everything lowering has a roughly constant expansion
+    # factor; it must not vary wildly across inputs of the same program.
+    assert max(ratios) / min(ratios) < 2.0
+
+
+def test_campaign_stories_agree_on_gcd():
+    """Both substrates' campaigns: mostly benign, some harm, nonzero SDC."""
+    module = build_program("gcd")
+    ir_result = run_campaign(
+        Campaign(module=module, func_name="gcd", args=(1071, 462),
+                 n_trials=150),
+        seed=11,
+    )
+    assert ir_result.counts.fraction(FaultOutcome.BENIGN) > 0.3
+    harm = (
+        ir_result.counts.counts[FaultOutcome.SDC]
+        + ir_result.counts.counts[FaultOutcome.CRASH]
+        + ir_result.counts.counts[FaultOutcome.HANG]
+    )
+    assert harm > 0
+
+
+def test_compiled_gcd_handles_edge_inputs():
+    module = build_program("gcd")
+    func = module.function("gcd")
+    for args, expected in [((17, 0), 17), ((1, 1), 1), ((48, 18), 6),
+                           ((270, 192), 6)]:
+        outcome, value = run_compiled(func, list(args))
+        assert outcome is RunOutcome.HALTED
+        assert value == expected

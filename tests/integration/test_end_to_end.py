@@ -1,0 +1,104 @@
+"""Cross-module integration tests: the full pipelines a user would run."""
+
+import pytest
+
+from repro import (
+    PROGRAMS, ProtectedProgram, ProtectionLevel, QuantizedProgram,
+    build_program, rate_function,
+)
+from repro.core.dmr.levels import ALL_LEVELS
+from repro.core.dmr.monitor import validate_block_trace
+from repro.faults.outcomes import FaultOutcome
+from repro.ir.interp import Interpreter
+from repro.ir.parser import parse_module
+from repro.ir.printer import print_module
+
+
+class TestProtectionPipeline:
+    """Build -> instrument -> inject -> classify, across the suite."""
+
+    @pytest.mark.parametrize("name", ["fact", "gcd", "horner"])
+    def test_dmr_levels_tradeoff_shape(self, name):
+        """Higher level => more overhead and (weakly) fewer SDC escapes."""
+        base = build_program(name)
+        args = PROGRAMS[name].default_args
+        overheads = []
+        sdc_counts = []
+        for level in ALL_LEVELS:
+            prog = ProtectedProgram(base, name, level)
+            overheads.append(prog.overhead(args))
+            result = prog.campaign(args, n_trials=100, seed=13)
+            sdc_counts.append(result.counts.counts[FaultOutcome.SDC])
+        assert overheads == sorted(overheads)
+        assert sdc_counts[-1] <= sdc_counts[0]
+        assert sdc_counts[-1] < sdc_counts[0] or sdc_counts[0] == 0
+
+    def test_quantize_and_dmr_compose_on_fp_chain(self):
+        base = build_program("fmul_chain")
+        args = PROGRAMS["fmul_chain"].default_args
+        quant = QuantizedProgram(base, "fmul_chain", k=0)
+        dmr = ProtectedProgram(base, "fmul_chain", ProtectionLevel.FULL_DMR)
+        assert quant.overhead(args) < dmr.overhead(args)
+        q = quant.campaign(args, n_trials=120, seed=3)
+        d = dmr.campaign(args, n_trials=120, seed=3)
+        assert q.counts.counts[FaultOutcome.DETECTED] > 0
+        assert d.counts.counts[FaultOutcome.DETECTED] > 0
+
+    def test_risk_rating_tracks_empirical_worst_error(self):
+        """Programs with higher static ratings show larger worst-case
+        observed output errors under injection (rank agreement)."""
+        names = ["gcd", "fmul_chain"]
+        ratings = []
+        worst_errors = []
+        for name in names:
+            module = build_program(name)
+            ratings.append(rate_function(module.function(name), module).rating)
+            prog = ProtectedProgram(module, name, ProtectionLevel.NONE)
+            result = prog.campaign(
+                PROGRAMS[name].default_args, n_trials=200, seed=17
+            )
+            errors = [t.rel_error for t in result.trials
+                      if t.outcome is FaultOutcome.SDC
+                      and t.rel_error != float("inf")]
+            worst_errors.append(max(errors, default=0.0))
+        assert ratings[1] > ratings[0]
+        assert worst_errors[1] > worst_errors[0]
+
+
+class TestRoundTripPipelines:
+    def test_instrumented_module_survives_text_round_trip(self):
+        """Instrumented IR must remain printable, parseable and runnable."""
+        base = build_program("collatz")
+        prog = ProtectedProgram(base, "collatz", ProtectionLevel.FULL_DMR)
+        text = print_module(prog.module)
+        reparsed = parse_module(text)
+        result = Interpreter(reparsed).run("collatz", [27])
+        assert result.value == 111
+
+    def test_trace_monitor_validates_protected_runs(self):
+        base = build_program("fib")
+        prog = ProtectedProgram(base, "fib", ProtectionLevel.BB_CFI)
+        interp = Interpreter(prog.module, record_trace=True)
+        result = interp.run("fib", [20])
+        assert result.ok
+        verdict = validate_block_trace(prog.module, result.block_trace)
+        assert verdict.ok
+
+
+class TestPublicApi:
+    def test_quickstart_from_docstring(self):
+        import repro
+
+        module = repro.build_program("fact")
+        prog = repro.ProtectedProgram(
+            module, "fact", repro.ProtectionLevel.BB_CFI
+        )
+        assert prog.overhead((12,)) > 1.0
+        counts = prog.campaign((12,), n_trials=30, seed=0).counts
+        assert counts.total == 30
+
+    def test_all_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None

@@ -1,0 +1,115 @@
+"""Tests for the IR builder's type checking and construction."""
+
+import pytest
+
+from repro.errors import IRTypeError
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.ir.instructions import Opcode, Predicate
+from repro.ir.types import F64, INT1, INT64
+
+
+def _fresh():
+    func = Function("f", [("a", INT64), ("x", F64)], INT64)
+    builder = IRBuilder(func)
+    builder.set_block(func.add_block("entry"))
+    return func, builder
+
+
+class TestArithmetic:
+    def test_add_produces_named_value(self):
+        func, b = _fresh()
+        v = b.add(func.args[0], b.i64(1))
+        assert v.opcode is Opcode.ADD
+        assert v.name
+        assert v.type == INT64
+
+    def test_int_op_rejects_float(self):
+        func, b = _fresh()
+        with pytest.raises(IRTypeError):
+            b.add(func.args[1], b.f64(1.0))
+
+    def test_float_op_rejects_int(self):
+        func, b = _fresh()
+        with pytest.raises(IRTypeError):
+            b.fmul(func.args[0], b.i64(2))
+
+    def test_mixed_operand_types_rejected(self):
+        func, b = _fresh()
+        with pytest.raises(IRTypeError):
+            b.add(func.args[0], b.i32(1))
+
+
+class TestControlFlow:
+    def test_br_requires_i1(self):
+        func, b = _fresh()
+        t = func.add_block("t")
+        e = func.add_block("e")
+        with pytest.raises(IRTypeError):
+            b.br(func.args[0], t, e)
+
+    def test_icmp_yields_i1(self):
+        func, b = _fresh()
+        c = b.icmp(Predicate.EQ, func.args[0], b.i64(0))
+        assert c.type == INT1
+
+    def test_no_insertion_block_raises(self):
+        func = Function("g", [], INT64)
+        b = IRBuilder(func)
+        with pytest.raises(IRTypeError):
+            b.ret(b.i64(0))
+
+    def test_terminated_block_rejects_append(self):
+        from repro.errors import IRError
+        func, b = _fresh()
+        b.ret(func.args[0])
+        with pytest.raises(IRError):
+            b.ret(func.args[0])
+
+
+class TestMemoryAndMisc:
+    def test_alloc_load_store_gep(self):
+        func, b = _fresh()
+        ptr = b.alloc(b.i64(4))
+        slot = b.gep(ptr, b.i64(2))
+        b.store(b.i64(7), slot)
+        value = b.load(slot, INT64)
+        assert value.type == INT64
+
+    def test_load_requires_pointer(self):
+        func, b = _fresh()
+        with pytest.raises(IRTypeError):
+            b.load(func.args[0], INT64)
+
+    def test_select_arm_mismatch(self):
+        func, b = _fresh()
+        c = b.icmp(Predicate.EQ, func.args[0], b.i64(0))
+        with pytest.raises(IRTypeError):
+            b.select(c, func.args[0], func.args[1])
+
+    def test_mag_rejects_int_operand(self):
+        func, b = _fresh()
+        with pytest.raises(IRTypeError):
+            b.mag(func.args[0])
+
+    def test_mag_rejects_bad_k(self):
+        func, b = _fresh()
+        with pytest.raises(IRTypeError):
+            b.mag(func.args[1], k=53)
+
+    def test_phi_inserted_at_block_head(self):
+        func, b = _fresh()
+        v = b.add(func.args[0], b.i64(1))
+        phi = b.phi(INT64)
+        assert b.block.instructions[0] is phi
+        assert b.block.instructions[1] is v
+
+    def test_casts(self):
+        func, b = _fresh()
+        f = b.sitofp(func.args[0])
+        assert f.type == F64
+        i = b.fptosi(f)
+        assert i.type == INT64
+        c = b.icmp(Predicate.GT, i, b.i64(0))
+        z = b.zext(c, INT64)
+        assert z.type == INT64

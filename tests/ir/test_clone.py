@@ -1,0 +1,44 @@
+"""Function/module cloning tests."""
+
+from repro.ir.clone import clone_function, clone_module
+from repro.ir.interp import Interpreter
+from repro.ir.printer import print_function, print_module
+from repro.ir.verifier import verify_function, verify_module
+from repro.workloads.irprograms import PROGRAMS, build_suite, build_program
+
+
+def test_clone_prints_identically(counted_loop_module):
+    func = counted_loop_module.function("triangle")
+    copy = clone_function(func)
+    assert print_function(copy) == print_function(func)
+    verify_function(copy)
+
+
+def test_clone_is_deep(counted_loop_module):
+    module = counted_loop_module
+    copy = clone_module(module)
+    copy_func = copy.function("triangle")
+    # Mutating the copy must not affect the original.
+    copy_func.block("loop").phis[0].name = "renamed"
+    original_names = {
+        p.name for p in module.function("triangle").block("loop").phis
+    }
+    assert "renamed" not in original_names
+
+
+def test_clone_executes_identically():
+    for name in ("fact", "collatz", "matmul"):
+        module = build_program(name)
+        copy = clone_module(module)
+        args = list(PROGRAMS[name].default_args)
+        original = Interpreter(module).run(name, args)
+        cloned = Interpreter(copy).run(name, args)
+        assert original.value == cloned.value
+        assert original.cycles == cloned.cycles
+
+
+def test_clone_whole_suite_verifies():
+    module = build_suite()
+    copy = clone_module(module, "copy")
+    verify_module(copy)
+    assert print_module(copy) == print_module(module)

@@ -1,0 +1,76 @@
+"""Cost-model tests: the paper's A53 cycle numbers."""
+
+from repro.ir.builder import IRBuilder
+from repro.ir.costmodel import CORTEX_A53, ENDUROSAT_OBC
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction, Opcode, Predicate
+from repro.ir.types import F64, INT64, VOID
+from repro.ir.values import Constant
+
+
+def _instr(opcode, type_=INT64, n_ops=2, predicate=None, imm=None):
+    ops = [Constant(type_, 1)] * n_ops
+    return Instruction(opcode, type_, ops, predicate=predicate, imm=imm)
+
+
+class TestPaperNumbers:
+    """Sect. 4.1: int <= 2 cycles, FP <= 7, order-of-magnitude 1."""
+
+    def test_int_alu_costs_two(self):
+        assert CORTEX_A53.cost(_instr(Opcode.ADD)) == 2
+        assert CORTEX_A53.cost(_instr(Opcode.XOR)) == 2
+
+    def test_fp_costs_seven(self):
+        assert CORTEX_A53.cost(_instr(Opcode.FMUL, F64)) == 7
+        assert CORTEX_A53.cost(_instr(Opcode.FDIV, F64)) == 7
+
+    def test_magnitude_costs_one(self):
+        mag = Instruction(Opcode.MAG, INT64, [Constant(F64, 1.0)], imm=0)
+        assert CORTEX_A53.cost(mag) == 1
+        sign = Instruction(Opcode.SIGN, INT64, [Constant(F64, 1.0)])
+        assert CORTEX_A53.cost(sign) == 1
+
+    def test_int_division_slower(self):
+        assert CORTEX_A53.cost(_instr(Opcode.SDIV)) > CORTEX_A53.cost(
+            _instr(Opcode.ADD)
+        )
+
+    def test_fcmp_priced_as_fp(self):
+        fcmp = _instr(Opcode.FCMP, F64, predicate=Predicate.LT)
+        icmp = _instr(Opcode.ICMP, INT64, predicate=Predicate.LT)
+        assert CORTEX_A53.cost(fcmp) == CORTEX_A53.fp_alu
+        assert CORTEX_A53.cost(icmp) == CORTEX_A53.int_alu
+
+
+def test_every_opcode_priced():
+    """No opcode may fall through the cost model."""
+    func = Function("f", [("a", INT64), ("x", F64)], INT64)
+    b = IRBuilder(func)
+    b.set_block(func.add_block("entry"))
+    samples = {
+        Opcode.BR: Instruction(
+            Opcode.BR, VOID, [Constant(INT64, 0)],
+        ),
+        Opcode.TRAP: Instruction(Opcode.TRAP, VOID, []),
+        Opcode.PHI: Instruction(Opcode.PHI, INT64, []),
+        Opcode.CALL: Instruction(Opcode.CALL, INT64, [], callee="g"),
+    }
+    for opcode in Opcode:
+        instr = samples.get(opcode)
+        if instr is None:
+            type_ = F64 if opcode.value.startswith("f") else INT64
+            n_ops = 1 if opcode in (
+                Opcode.SITOFP, Opcode.FPTOSI, Opcode.ZEXT, Opcode.TRUNC,
+                Opcode.ALLOC, Opcode.LOAD, Opcode.MAG, Opcode.SIGN,
+                Opcode.RET, Opcode.JMP,
+            ) else 2
+            pred = Predicate.EQ if opcode in (Opcode.ICMP, Opcode.FCMP) else None
+            imm = 0 if opcode is Opcode.MAG else None
+            instr = _instr(opcode, type_, n_ops, pred, imm)
+        assert CORTEX_A53.cost(instr) >= 1
+        assert ENDUROSAT_OBC.cost(instr) >= 1
+
+
+def test_hardened_model_slower_on_fp():
+    fp = _instr(Opcode.FMUL, F64)
+    assert ENDUROSAT_OBC.cost(fp) > CORTEX_A53.cost(fp)

@@ -1,0 +1,162 @@
+"""Property-based fuzzing of the whole IR pipeline.
+
+Hypothesis generates random integer programs (straight-line expression DAGs
+and counted loops with random bodies); every generated program must:
+
+- pass the verifier;
+- survive a print -> parse -> print round trip bit-for-bit;
+- execute deterministically under the interpreter;
+- compute the same value compiled onto the machine emulator;
+- compute the same value after tunable-DMR instrumentation at every level.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dmr import ProtectionLevel, instrument_module
+from repro.core.dmr.levels import ALL_LEVELS
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.ir.instructions import Predicate
+from repro.ir.interp import ExecutionStatus, Interpreter
+from repro.ir.module import Module
+from repro.ir.parser import parse_module
+from repro.ir.printer import print_module
+from repro.ir.types import INT64
+from repro.ir.verifier import verify_module
+from repro.machine.codegen import run_compiled
+from repro.machine.cpu import RunOutcome
+
+_SAFE_BINOPS = ("add", "sub", "mul", "and_", "or_", "xor")
+_PREDICATES = list(Predicate)
+
+
+@st.composite
+def straightline_programs(draw) -> tuple[Module, list[int]]:
+    """A random expression DAG over two arguments, ending in a select."""
+    module = Module("fuzz")
+    func = Function("f", [("a", INT64), ("b", INT64)], INT64)
+    module.add_function(func)
+    b = IRBuilder(func)
+    b.set_block(func.add_block("entry"))
+
+    pool: list = [func.args[0], func.args[1]]
+    n_ops = draw(st.integers(3, 14))
+    for _ in range(n_ops):
+        kind = draw(st.sampled_from(("binop", "const_binop", "select")))
+        if kind == "select":
+            pred = draw(st.sampled_from(_PREDICATES))
+            lhs = pool[draw(st.integers(0, len(pool) - 1))]
+            rhs = pool[draw(st.integers(0, len(pool) - 1))]
+            cond = b.icmp(pred, lhs, rhs)
+            x = pool[draw(st.integers(0, len(pool) - 1))]
+            y = pool[draw(st.integers(0, len(pool) - 1))]
+            pool.append(b.select(cond, x, y))
+            continue
+        op_name = draw(st.sampled_from(_SAFE_BINOPS))
+        lhs = pool[draw(st.integers(0, len(pool) - 1))]
+        if kind == "const_binop":
+            rhs = b.i64(draw(st.integers(-1000, 1000)))
+        else:
+            rhs = pool[draw(st.integers(0, len(pool) - 1))]
+        pool.append(getattr(b, op_name)(lhs, rhs))
+    b.ret(pool[-1])
+
+    args = [draw(st.integers(-10**12, 10**12)) for _ in range(2)]
+    return module, args
+
+
+@st.composite
+def looped_programs(draw) -> tuple[Module, list[int]]:
+    """A counted loop with a random accumulator body."""
+    module = Module("fuzzloop")
+    func = Function("f", [("a", INT64)], INT64)
+    module.add_function(func)
+    b = IRBuilder(func)
+    entry = func.add_block("entry")
+    loop = func.add_block("loop")
+    done = func.add_block("done")
+
+    trip = draw(st.integers(1, 9))
+    b.set_block(entry)
+    b.jmp(loop)
+
+    b.set_block(loop)
+    i = b.phi(INT64, name="i")
+    acc = b.phi(INT64, name="acc")
+    pool: list = [i, acc, func.args[0]]
+    n_ops = draw(st.integers(1, 6))
+    for _ in range(n_ops):
+        op_name = draw(st.sampled_from(_SAFE_BINOPS))
+        lhs = pool[draw(st.integers(0, len(pool) - 1))]
+        rhs = pool[draw(st.integers(0, len(pool) - 1))]
+        pool.append(getattr(b, op_name)(lhs, rhs))
+    acc2 = b.add(acc, pool[-1])
+    i2 = b.add(i, b.i64(1))
+    cond = b.icmp(Predicate.LT, i2, b.i64(trip))
+    b.br(cond, loop, done)
+    i.add_phi_incoming(b.i64(0), entry)
+    i.add_phi_incoming(i2, loop)
+    acc.add_phi_incoming(b.i64(1), entry)
+    acc.add_phi_incoming(acc2, loop)
+
+    b.set_block(done)
+    res = b.phi(INT64, name="res")
+    res.add_phi_incoming(acc2, loop)
+    b.ret(res)
+
+    args = [draw(st.integers(-10**9, 10**9))]
+    return module, args
+
+
+PROGRAMS = st.one_of(straightline_programs(), looped_programs())
+
+
+@settings(max_examples=40, deadline=None)
+@given(PROGRAMS)
+def test_generated_programs_verify(case):
+    module, _args = case
+    verify_module(module)
+
+
+@settings(max_examples=40, deadline=None)
+@given(PROGRAMS)
+def test_print_parse_round_trip(case):
+    module, _args = case
+    text = print_module(module)
+    assert print_module(parse_module(text)) == text
+
+
+@settings(max_examples=40, deadline=None)
+@given(PROGRAMS)
+def test_interpreter_deterministic_and_total(case):
+    module, args = case
+    first = Interpreter(module).run("f", args)
+    second = Interpreter(module).run("f", args)
+    assert first.status is ExecutionStatus.OK
+    assert first.value == second.value
+    assert first.cycles == second.cycles
+
+
+@settings(max_examples=30, deadline=None)
+@given(PROGRAMS)
+def test_codegen_equivalence(case):
+    module, args = case
+    golden = Interpreter(module).run("f", args)
+    outcome, value = run_compiled(module.function("f"), args)
+    assert outcome is RunOutcome.HALTED
+    assert value == golden.value
+
+
+@settings(max_examples=15, deadline=None)
+@given(PROGRAMS, st.sampled_from([lv for lv in ALL_LEVELS
+                                  if lv is not ProtectionLevel.NONE]))
+def test_instrumentation_preserves_random_programs(case, level):
+    module, args = case
+    golden = Interpreter(module).run("f", args)
+    instrumented, _plans = instrument_module(module, level)
+    verify_module(instrumented)
+    protected = Interpreter(instrumented).run("f", args)
+    assert protected.status is ExecutionStatus.OK
+    assert protected.value == golden.value

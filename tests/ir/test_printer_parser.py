@@ -1,0 +1,116 @@
+"""Printer/parser round-trip tests."""
+
+import pytest
+
+from repro.errors import IRParseError
+from repro.ir.parser import parse_module
+from repro.ir.printer import print_module
+from repro.workloads.irprograms import PROGRAMS, build_suite
+
+
+def test_round_trip_fixture(abs_diff_module):
+    text = print_module(abs_diff_module)
+    reparsed = parse_module(text)
+    assert print_module(reparsed) == text
+
+
+def test_round_trip_loop(counted_loop_module):
+    text = print_module(counted_loop_module)
+    assert print_module(parse_module(text)) == text
+
+
+def test_round_trip_whole_workload_suite():
+    """Every registered program must survive print -> parse -> print."""
+    module = build_suite()
+    text = print_module(module)
+    reparsed = parse_module(text)
+    assert print_module(reparsed) == text
+    assert {f.name for f in reparsed} == set(PROGRAMS)
+
+
+def test_parse_rejects_undefined_value():
+    bad = """
+func @f(%a: i64) -> i64 {
+^entry:
+  ret i64 %ghost
+}
+"""
+    with pytest.raises(IRParseError, match="undefined value"):
+        parse_module(bad)
+
+
+def test_parse_rejects_undefined_label():
+    bad = """
+func @f(%a: i64) -> i64 {
+^entry:
+  jmp ^nowhere
+}
+"""
+    with pytest.raises(IRParseError, match="undefined label"):
+        parse_module(bad)
+
+
+def test_parse_rejects_unterminated_function():
+    with pytest.raises(IRParseError, match="unterminated"):
+        parse_module("func @f(%a: i64) -> i64 {\n^entry:\n  ret i64 %a\n")
+
+
+def test_parse_rejects_unknown_opcode():
+    bad = """
+func @f(%a: i64) -> i64 {
+^entry:
+  %x = frobnicate i64 %a, %a
+  ret i64 %x
+}
+"""
+    with pytest.raises(IRParseError, match="unknown opcode"):
+        parse_module(bad)
+
+
+def test_comments_and_blank_lines_ignored():
+    text = """
+; leading comment
+func @f(%a: i64) -> i64 {
+^entry:            ; trailing comment
+  %x = add i64 %a, 1   ; another
+
+  ret i64 %x
+}
+"""
+    module = parse_module(text)
+    assert module.function("f").name == "f"
+
+
+def test_forward_reference_in_phi():
+    text = """
+func @f(%n: i64) -> i64 {
+^entry:
+  jmp ^loop
+^loop:
+  %i = phi i64 [0, ^entry], [%i2, ^loop]
+  %i2 = add i64 %i, 1
+  %c = icmp lt i64 %i2, %n
+  br %c, ^loop, ^done
+^done:
+  ret i64 %i2
+}
+"""
+    module = parse_module(text)
+    from repro.ir.interp import Interpreter
+    result = Interpreter(module).run("f", [5])
+    assert result.value == 5
+
+
+def test_negative_and_float_literals():
+    text = """
+func @f(%x: f64) -> f64 {
+^entry:
+  %a = fmul f64 %x, -2.5
+  %b = fadd f64 %a, 1e-3
+  ret f64 %b
+}
+"""
+    module = parse_module(text)
+    from repro.ir.interp import Interpreter
+    result = Interpreter(module).run("f", [2.0])
+    assert result.value == pytest.approx(-5.0 + 1e-3)

@@ -1,0 +1,65 @@
+"""Tests for IR types: wrapping, ranges, name lookup."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import IRTypeError
+from repro.ir.types import (
+    F64, INT1, INT32, INT64, PTR, VOID, Type, TypeKind, type_from_name,
+)
+
+
+class TestTypeBasics:
+    def test_names_round_trip(self):
+        for t in (INT1, INT32, INT64, F64, PTR, VOID):
+            assert type_from_name(str(t)) == t
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(IRTypeError):
+            type_from_name("i7")
+
+    def test_kind_flags(self):
+        assert INT64.is_int and not INT64.is_float
+        assert F64.is_float and not F64.is_int
+        assert PTR.is_pointer
+        assert VOID.is_void
+
+    def test_signed_range(self):
+        assert INT64.signed_min == -(2**63)
+        assert INT64.signed_max == 2**63 - 1
+        assert INT1.signed_min == -1
+        assert INT1.signed_max == 0
+
+    def test_float_has_no_integer_range(self):
+        with pytest.raises(IRTypeError):
+            _ = F64.signed_min
+
+    def test_wrap_rejects_float_type(self):
+        with pytest.raises(IRTypeError):
+            F64.wrap(3)
+
+
+class TestWrapping:
+    def test_wrap_identity_in_range(self):
+        assert INT64.wrap(42) == 42
+        assert INT64.wrap(-42) == -42
+
+    def test_wrap_overflow(self):
+        assert INT64.wrap(2**63) == -(2**63)
+        assert INT64.wrap(2**64) == 0
+        assert INT32.wrap(2**31) == -(2**31)
+
+    def test_wrap_i1(self):
+        assert INT1.wrap(0) == 0
+        assert INT1.wrap(1) == -1  # two's complement single bit
+        assert INT1.wrap(2) == 0
+
+    @given(st.integers(min_value=-(2**70), max_value=2**70))
+    def test_wrap_is_idempotent_and_in_range(self, value):
+        wrapped = INT64.wrap(value)
+        assert INT64.signed_min <= wrapped <= INT64.signed_max
+        assert INT64.wrap(wrapped) == wrapped
+
+    @given(st.integers(min_value=-(2**70), max_value=2**70))
+    def test_wrap_congruent_mod_2_64(self, value):
+        assert (INT64.wrap(value) - value) % (2**64) == 0

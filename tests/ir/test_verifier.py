@@ -1,0 +1,139 @@
+"""Tests for IR structural verification."""
+
+import pytest
+
+from repro.errors import IRVerificationError
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction, Opcode, Predicate
+from repro.ir.module import Module
+from repro.ir.types import INT1, INT64, VOID
+from repro.ir.values import Constant
+from repro.ir.verifier import verify_function, verify_module
+
+
+def test_valid_fixture_modules_pass(abs_diff_module, counted_loop_module,
+                                     fp_chain_module):
+    verify_module(abs_diff_module)
+    verify_module(counted_loop_module)
+    verify_module(fp_chain_module)
+
+
+def test_unterminated_block_rejected():
+    func = Function("f", [], VOID)
+    func.add_block("entry")
+    with pytest.raises(IRVerificationError, match="terminator"):
+        verify_function(func)
+
+
+def test_empty_function_rejected():
+    func = Function("f", [], VOID)
+    with pytest.raises(IRVerificationError, match="no blocks"):
+        verify_function(func)
+
+
+def test_duplicate_ssa_name_rejected():
+    func = Function("f", [("a", INT64)], INT64)
+    b = IRBuilder(func)
+    b.set_block(func.add_block("entry"))
+    v1 = b.add(func.args[0], b.i64(1), name="x")
+    v2 = b.add(func.args[0], b.i64(2))
+    v2.name = "x"
+    b.ret(v1)
+    with pytest.raises(IRVerificationError, match="defined twice"):
+        verify_function(func)
+
+
+def test_use_before_def_rejected():
+    func = Function("f", [("a", INT64)], INT64)
+    b = IRBuilder(func)
+    entry = func.add_block("entry")
+    b.set_block(entry)
+    # Build out of order by hand: use of %late before its definition.
+    late = Instruction(Opcode.ADD, INT64, [func.args[0], Constant(INT64, 1)],
+                       name="late")
+    use = Instruction(Opcode.ADD, INT64, [late, Constant(INT64, 1)],
+                      name="use")
+    entry.append(use)
+    entry.append(late)
+    entry.append(Instruction(Opcode.RET, VOID, [use]))
+    with pytest.raises(IRVerificationError, match="not dominated"):
+        verify_function(func)
+
+
+def test_def_in_one_arm_used_in_other_rejected(abs_diff_module):
+    func = abs_diff_module.function("abs_diff")
+    lt_block = func.block("lt")
+    ge_block = func.block("ge")
+    lt_value = lt_block.instructions[0]
+    # Make the ge arm return the lt arm's value: no dominance.
+    ge_block.instructions[-1].operands[0] = lt_value
+    with pytest.raises(IRVerificationError, match="not dominated"):
+        verify_function(func)
+
+
+def test_phi_incoming_mismatch_rejected(counted_loop_module):
+    func = counted_loop_module.function("triangle")
+    loop = func.block("loop")
+    phi = loop.phis[0]
+    phi.block_targets = [phi.block_targets[0]]  # drop one incoming edge
+    phi.operands = [phi.operands[0]]
+    with pytest.raises(IRVerificationError, match="incoming"):
+        verify_function(func)
+
+
+def test_ret_type_mismatch_rejected():
+    func = Function("f", [("a", INT64)], INT64)
+    b = IRBuilder(func)
+    b.set_block(func.add_block("entry"))
+    c = b.icmp(Predicate.EQ, func.args[0], b.i64(0))
+    func.entry.append(Instruction(Opcode.RET, VOID, [c]))
+    with pytest.raises(IRVerificationError, match="ret type"):
+        verify_function(func)
+
+
+def test_mid_block_terminator_rejected():
+    func = Function("f", [], VOID)
+    entry = func.add_block("entry")
+    entry.instructions.append(Instruction(Opcode.RET, VOID, []))
+    entry.instructions.append(Instruction(Opcode.RET, VOID, []))
+    with pytest.raises(IRVerificationError, match="mid-block"):
+        verify_function(func)
+
+
+def test_call_arity_checked():
+    module = Module("m")
+    callee = Function("callee", [("x", INT64)], INT64)
+    b = IRBuilder(callee)
+    b.set_block(callee.add_block("entry"))
+    b.ret(callee.args[0])
+    module.add_function(callee)
+
+    caller = Function("caller", [], INT64)
+    b2 = IRBuilder(caller)
+    b2.set_block(caller.add_block("entry"))
+    result = b2.call("callee", [], INT64)  # missing the argument
+    b2.ret(result)
+    module.add_function(caller)
+    with pytest.raises(IRVerificationError, match="args"):
+        verify_module(module)
+
+
+def test_comparison_must_produce_i1():
+    func = Function("f", [("a", INT64)], INT64)
+    entry = func.add_block("entry")
+    bad = Instruction(Opcode.ICMP, INT64, [func.args[0], Constant(INT64, 0)],
+                      name="c", predicate=Predicate.EQ)
+    entry.append(bad)
+    entry.append(Instruction(Opcode.RET, VOID, [bad]))
+    with pytest.raises(IRVerificationError, match="i1"):
+        verify_function(func)
+
+
+def test_trap_takes_no_operands():
+    func = Function("f", [("a", INT64)], INT64)
+    entry = func.add_block("entry")
+    bad = Instruction(Opcode.TRAP, VOID, [func.args[0]])
+    entry.append(bad)
+    with pytest.raises(IRVerificationError, match="trap"):
+        verify_function(func)

@@ -1,0 +1,147 @@
+"""Assembler and CPU tests."""
+
+import pytest
+
+from repro.errors import AssemblerError, MachineHalted, MemoryFault
+from repro.machine.asm import assemble
+from repro.machine.cpu import Machine, RunOutcome
+from repro.machine.isa import LINK_REGISTER, to_signed
+
+
+class TestAssembler:
+    def test_labels_and_data(self):
+        program = assemble("""
+        .data 0x40 7 11
+        start:
+            ld r1, 0x40(r0)
+            halt
+        """)
+        assert program.labels == {"start": 0}
+        assert program.data == {0x40: 7, 0x48: 11}
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError, match="duplicate"):
+            assemble("a:\nnop\na:\nhalt")
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(AssemblerError, match="unknown mnemonic"):
+            assemble("frobnicate r1, r2, r3")
+
+    def test_bad_register_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("add r1, r2, r99")
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(AssemblerError, match="operands"):
+            assemble("add r1, r2")
+
+    def test_branch_to_label(self):
+        program = assemble("""
+            li r1, 0
+        loop:
+            addi r1, r1, 1
+            beq r1, r1, done
+            jmp loop
+        done:
+            halt
+        """)
+        assert program.instructions[2].imm == program.labels["done"]
+
+
+class TestCpu:
+    def test_arithmetic_loop(self):
+        program = assemble("""
+            li r1, 0
+            li r2, 1
+            li r3, 11
+        loop:
+            add r1, r1, r2
+            addi r2, r2, 1
+            blt r2, r3, loop
+            halt
+        """)
+        machine = Machine(program)
+        assert machine.run() is RunOutcome.HALTED
+        assert machine.read_register(1) == 55
+
+    def test_signed_arithmetic(self):
+        program = assemble("""
+            li r1, -7
+            li r2, 2
+            div r3, r1, r2
+            rem r4, r1, r2
+            halt
+        """)
+        machine = Machine(program)
+        machine.run()
+        assert to_signed(machine.read_register(3)) == -3
+        assert to_signed(machine.read_register(4)) == -1
+
+    def test_memory_round_trip(self):
+        program = assemble("""
+            li r1, 0x100
+            li r2, 42
+            st r2, 8(r1)
+            ld r3, 8(r1)
+            halt
+        """)
+        machine = Machine(program)
+        machine.run()
+        assert machine.read_register(3) == 42
+        assert machine.read_word(0x108) == 42
+
+    def test_division_by_zero_traps(self):
+        program = assemble("li r1, 1\nli r2, 0\ndiv r3, r1, r2\nhalt")
+        machine = Machine(program)
+        assert machine.run() is RunOutcome.TRAP
+        assert "zero" in machine.trap_reason
+
+    def test_misaligned_access_traps(self):
+        program = assemble("li r1, 3\nld r2, 0(r1)\nhalt")
+        machine = Machine(program)
+        assert machine.run() is RunOutcome.TRAP
+
+    def test_infinite_loop_exhausts_fuel(self):
+        program = assemble("loop:\njmp loop")
+        machine = Machine(program)
+        assert machine.run(fuel=100) is RunOutcome.FUEL_EXHAUSTED
+        assert machine.state.steps == 100
+
+    def test_jal_jr_subroutine(self):
+        program = assemble("""
+            li r1, 5
+            jal double
+            halt
+        double:
+            add r1, r1, r1
+            jr r14
+        """)
+        machine = Machine(program)
+        assert machine.run() is RunOutcome.HALTED
+        assert machine.read_register(1) == 10
+        assert machine.read_register(LINK_REGISTER) == 2
+
+    def test_step_after_halt_raises(self):
+        machine = Machine(assemble("halt"))
+        machine.run()
+        with pytest.raises(MachineHalted):
+            machine.step()
+
+    def test_cycles_counted(self):
+        machine = Machine(assemble("li r1, 1\nadd r1, r1, r1\nhalt"))
+        machine.run()
+        assert machine.state.cycles == 1 + 2 + 1
+
+    def test_pc_trace(self):
+        machine = Machine(
+            assemble("li r1, 1\nhalt"), record_trace=True
+        )
+        machine.run()
+        assert machine.pc_trace == [0, 1]
+
+    def test_debugger_writes_bypass_cache(self):
+        from repro.machine.cache import CachePlugin
+        machine = Machine(assemble("halt"), cache=CachePlugin())
+        machine.write_word(0x80, 99)
+        assert machine.read_word(0x80) == 99
+        assert machine.cache.hits + machine.cache.misses == 0

@@ -1,0 +1,164 @@
+"""Cache plugin, monitor, GDB port and snapshot tests."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.machine.asm import assemble
+from repro.machine.cache import CacheConfig, CachePlugin
+from repro.machine.cpu import Machine
+from repro.machine.gdbport import GdbPort
+from repro.machine.monitor import Monitor
+from repro.machine.snapshot import restore_snapshot, take_snapshot
+
+
+class TestCachePlugin:
+    def test_miss_then_hit(self):
+        cache = CachePlugin()
+        assert not cache.on_access(0x100)
+        assert cache.on_access(0x108)  # same 64-byte line
+        assert cache.resident(0x100)
+
+    def test_lru_eviction(self):
+        # Tiny cache: 2 sets x 2 ways x 64-byte lines = 256 bytes.
+        cache = CachePlugin(CacheConfig(size_bytes=256, line_bytes=64, ways=2))
+        # Three lines mapping to set 0 (addresses 0, 128, 256).
+        cache.on_access(0)
+        cache.on_access(128)
+        cache.on_access(256)  # evicts line 0 (LRU)
+        assert not cache.resident(0)
+        assert cache.resident(128)
+        assert cache.resident(256)
+
+    def test_lru_refresh_on_touch(self):
+        cache = CachePlugin(CacheConfig(size_bytes=256, line_bytes=64, ways=2))
+        cache.on_access(0)
+        cache.on_access(128)
+        cache.on_access(0)      # refresh line 0
+        cache.on_access(256)    # now evicts 128
+        assert cache.resident(0)
+        assert not cache.resident(128)
+
+    def test_miss_rate(self):
+        cache = CachePlugin()
+        cache.on_access(0)
+        cache.on_access(0)
+        assert cache.miss_rate == 0.5
+
+    def test_resident_addresses_query(self):
+        cache = CachePlugin()
+        cache.on_access(0x200)
+        assert cache.resident_addresses([0x200, 0x8000]) == [0x200]
+
+    def test_geometry_validation(self):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=100, line_bytes=64, ways=2)
+
+
+class TestMonitor:
+    @pytest.fixture
+    def monitor(self):
+        program = assemble("""
+            li r1, 7
+            li r2, 0x100
+            st r1, 0(r2)
+            ld r3, 0(r2)
+            halt
+        """)
+        return Monitor(Machine(program, cache=CachePlugin()))
+
+    def test_info_registers(self, monitor):
+        monitor.execute("step 2")
+        text = monitor.execute("info registers")
+        assert "r1  = 0x0000000000000007" in text
+
+    def test_memory_examine_and_set(self, monitor):
+        monitor.execute("setmem 0x80 0xff")
+        assert "0x00000000000000ff" in monitor.execute("x 0x80")
+
+    def test_flip_commands(self, monitor):
+        monitor.execute("step 1")
+        monitor.execute("flipreg 1 3")
+        text = monitor.execute("info registers")
+        assert "0x000000000000000f" in text  # 7 ^ 8 = 15
+
+    def test_cache_query(self, monitor):
+        monitor.execute("step 4")  # through the store + load
+        text = monitor.execute("cacheq 0x100 0x9000")
+        assert "0x100: cache" in text
+        assert "0x9000: memory" in text
+
+    def test_savevm_loadvm(self, monitor):
+        monitor.execute("step 2")
+        monitor.execute("savevm checkpoint")
+        monitor.execute("step 2")
+        out = monitor.execute("loadvm checkpoint")
+        assert "restored" in out
+        assert monitor.machine.state.pc == 2
+
+    def test_where(self, monitor):
+        assert "li r1, 7" in monitor.execute("where")
+
+    def test_unknown_command_rejected(self, monitor):
+        with pytest.raises(MachineError):
+            monitor.execute("teleport")
+
+    def test_info_cache(self, monitor):
+        monitor.execute("step 4")
+        assert "misses=" in monitor.execute("info cache")
+
+
+class TestGdbPort:
+    def test_breakpoint_flow(self):
+        program = assemble("""
+            li r1, 0
+        loop:
+            addi r1, r1, 1
+            blt r1, r2, loop
+            halt
+        """)
+        machine = Machine(program)
+        machine.write_register(2, 5)
+        gdb = GdbPort(machine)
+        gdb.set_breakpoint(1)
+        assert gdb.cont() == "breakpoint"
+        assert machine.state.pc == 1
+
+    def test_register_bit_flip(self):
+        machine = Machine(assemble("halt"))
+        gdb = GdbPort(machine)
+        gdb.write_register(3, 0b1010)
+        assert gdb.flip_register_bit(3, 0) == 0b1011
+
+    def test_memory_bit_flip(self):
+        machine = Machine(assemble("halt"))
+        gdb = GdbPort(machine)
+        gdb.write_memory(0x40, 0)
+        assert gdb.flip_memory_bit(0x40, 5) == 32
+
+    def test_bad_register_rejected(self):
+        from repro.errors import FaultInjectionError
+        gdb = GdbPort(Machine(assemble("halt")))
+        with pytest.raises(FaultInjectionError):
+            gdb.read_register(99)
+
+
+class TestSnapshot:
+    def test_round_trip(self):
+        program = assemble("""
+            li r1, 1
+            li r1, 2
+            li r1, 3
+            halt
+        """)
+        machine = Machine(program)
+        machine.step()
+        snap = take_snapshot(machine)
+        machine.step()
+        machine.step()
+        assert machine.read_register(1) == 3
+        restore_snapshot(machine, snap)
+        assert machine.read_register(1) == 1
+        assert machine.state.pc == 1
+        machine.run()
+        assert machine.read_register(1) == 3  # re-runs deterministically

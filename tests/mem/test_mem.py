@@ -1,0 +1,165 @@
+"""Paged-memory substrate tests: physical frames, page table, tracker,
+checksum store."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MemError, PageFault
+from repro.mem.checksums import ChecksumStore
+from repro.mem.pagetable import PageTable
+from repro.mem.physical import PhysicalMemory
+from repro.mem.tracker import AccessTracker
+
+
+class TestPhysicalMemory:
+    def test_geometry(self):
+        mem = PhysicalMemory(8, page_size=256)
+        assert mem.total_bytes == 2048
+        assert mem.total_bits == 16384
+
+    def test_page_round_trip(self):
+        mem = PhysicalMemory(4, page_size=64)
+        payload = bytes(range(64))
+        mem.write_page(2, payload)
+        assert mem.read_page(2) == payload
+        assert mem.read_page(1) == b"\0" * 64
+
+    def test_word_round_trip(self):
+        mem = PhysicalMemory(2, page_size=64)
+        mem.write_word(1, 16, 0xDEADBEEFCAFE)
+        assert mem.read_word(1, 16) == 0xDEADBEEFCAFE
+
+    def test_misaligned_word_rejected(self):
+        mem = PhysicalMemory(2, page_size=64)
+        with pytest.raises(MemError):
+            mem.read_word(0, 3)
+
+    def test_flip_bit_round_trip(self):
+        mem = PhysicalMemory(2, page_size=64)
+        page, offset = mem.flip_bit(777)
+        assert page == 777 // (64 * 8)
+        assert mem.read_page(page) != b"\0" * 64
+        mem.flip_bit(777)
+        assert mem.read_page(page) == b"\0" * 64
+
+    def test_out_of_range_page_faults(self):
+        mem = PhysicalMemory(2, page_size=64)
+        with pytest.raises(PageFault):
+            mem.read_page(5)
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(MemError):
+            PhysicalMemory(0)
+
+
+class TestPageTable:
+    def test_map_translate_unmap(self):
+        table = PageTable(4)
+        entry = table.map_page(7)
+        assert table.translate(7) == entry.physical_page
+        table.unmap_page(7)
+        with pytest.raises(PageFault):
+            table.translate(7)
+
+    def test_frames_recycled(self):
+        table = PageTable(2)
+        table.map_page(0)
+        table.map_page(1)
+        with pytest.raises(MemError):
+            table.map_page(2)
+        table.unmap_page(0)
+        table.map_page(2)  # reuses the freed frame
+        assert len(table) == 2
+
+    def test_double_map_rejected(self):
+        table = PageTable(4)
+        table.map_page(1)
+        with pytest.raises(MemError):
+            table.map_page(1)
+
+    def test_dirty_tracking(self):
+        table = PageTable(4)
+        table.map_page(3)
+        assert not table.entry(3).dirty
+        table.mark_dirty(3)
+        assert table.entry(3).dirty
+        table.clear_dirty(3)
+        assert not table.entry(3).dirty
+
+    def test_mapped_pages_sorted(self):
+        table = PageTable(4)
+        for vpn in (3, 1, 2):
+            table.map_page(vpn)
+        assert [vpn for vpn, _ in table.mapped_pages()] == [1, 2, 3]
+
+
+class TestAccessTracker:
+    def test_lru_order(self):
+        tracker = AccessTracker()
+        tracker.record_access(1, t=10.0)
+        tracker.record_access(2, t=20.0)
+        tracker.record_access(3, t=5.0)
+        assert tracker.lru_order([1, 2, 3]) == [3, 1, 2]
+
+    def test_scrub_refreshes_staleness(self):
+        tracker = AccessTracker()
+        tracker.record_access(1, t=10.0)
+        tracker.record_access(2, t=20.0)
+        tracker.record_scrub(1, t=30.0)
+        assert tracker.lru_order([1, 2]) == [2, 1]
+
+    def test_never_touched_pages_come_first(self):
+        tracker = AccessTracker()
+        tracker.record_access(5, t=1.0)
+        order = tracker.lru_order([4, 5])
+        assert order[0] == 4
+
+    def test_markov_prediction(self):
+        tracker = AccessTracker()
+        for _ in range(10):  # strong 1 -> 2 pattern
+            tracker.record_access(1, 0.0)
+            tracker.record_access(2, 0.0)
+        tracker.record_access(1, 0.0)
+        assert tracker.predicted_next(1) == [2]
+
+    def test_prediction_falls_back_to_frequency(self):
+        tracker = AccessTracker()
+        for _ in range(5):
+            tracker.record_access(9, 0.0)
+        tracker.record_access(3, 0.0)
+        predictions = tracker.predicted_next(2)
+        assert 9 in predictions
+
+
+class TestChecksumStore:
+    def test_round_trip_with_correction(self):
+        store = ChecksumStore(4, page_size=64, correction=True)
+        rng = np.random.default_rng(0)
+        page = bytes(rng.integers(0, 256, size=64, dtype=np.uint8))
+        store.checksum_page(0, page)
+        slot = store.get(0)
+        assert len(slot.word_checks) == 8
+
+        # Rebuild + decode every word: must be clean.
+        secded = store.secded
+        for i, checks in enumerate(slot.word_checks):
+            word = int.from_bytes(page[i * 8: i * 8 + 8], "little")
+            result = secded.decode(store.rebuild_codeword(word, checks))
+            assert result.data == word
+
+    def test_detection_only_mode_has_no_word_checks(self):
+        store = ChecksumStore(4, page_size=64, correction=False)
+        store.checksum_page(0, b"\x11" * 64)
+        assert store.get(0).word_checks == []
+        assert store.secded is None
+
+    def test_reserved_region_size(self):
+        with_corr = ChecksumStore(16, page_size=4096, correction=True)
+        crc_only = ChecksumStore(16, page_size=4096, correction=False)
+        assert crc_only.reserved_bytes == 16 * 4
+        assert with_corr.reserved_bytes == 16 * (4 + 512)
+
+    def test_missing_checksum_raises(self):
+        store = ChecksumStore(2, page_size=64)
+        with pytest.raises(MemError):
+            store.get(1)

@@ -1,0 +1,117 @@
+"""Quantized-checker instrumentation tests."""
+
+import pytest
+
+from repro.core.quantize import QuantizedProgram, instrument_quantized
+from repro.faults.model import FaultSpec, FaultTarget
+from repro.faults.seu import RegisterFaultInjector
+from repro.ir.interp import ExecutionStatus, Interpreter
+from repro.ir.verifier import verify_module
+from repro.workloads.irprograms import PROGRAMS, build_program
+
+
+@pytest.fixture(scope="module")
+def chain_module():
+    return build_program("fmul_chain")
+
+
+ARGS = PROGRAMS["fmul_chain"].default_args
+
+
+def _flip(program: QuantizedProgram, register: str, bit: int):
+    injector = RegisterFaultInjector(
+        FaultSpec(FaultTarget.REGISTER, 0, location=register, bit=bit),
+        seed=1,
+    )
+    interp = Interpreter(program.module, step_hook=injector)
+    result = interp.run("fmul_chain", list(ARGS))
+    assert injector.fired
+    return result.status
+
+
+class TestInstrumentation:
+    def test_verifies_and_preserves_output(self, chain_module):
+        instrumented, plan = instrument_quantized(chain_module, "fmul_chain")
+        verify_module(instrumented)
+        base = Interpreter(chain_module).run("fmul_chain", list(ARGS))
+        prot = Interpreter(instrumented).run("fmul_chain", list(ARGS))
+        assert prot.status is ExecutionStatus.OK
+        assert prot.value == base.value
+        assert len(plan.protected) == 7  # all chain ops shadowed
+        assert plan.n_checks == 1
+
+    def test_no_fp_chain_is_a_noop(self, counted_loop_module):
+        instrumented, plan = instrument_quantized(
+            counted_loop_module, "triangle"
+        )
+        assert not plan.protected
+        result = Interpreter(instrumented).run("triangle", [10])
+        assert result.value == 55
+
+    def test_rejects_bad_k(self, chain_module):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            instrument_quantized(chain_module, "fmul_chain", k=99)
+
+
+class TestDetectionByBitClass:
+    """Sect. 4.1's per-bit-class behaviour, made executable."""
+
+    def test_large_exponent_flip_detected(self, chain_module):
+        program = QuantizedProgram(chain_module, "fmul_chain", k=0)
+        assert _flip(program, "fmul2", 60) is ExecutionStatus.DETECTED
+
+    def test_terminal_sign_flip_detected(self, chain_module):
+        program = QuantizedProgram(chain_module, "fmul_chain", k=0)
+        assert _flip(program, "fmul7", 63) is ExecutionStatus.DETECTED
+
+    def test_sign_flip_masked_by_squaring_is_benign(self, chain_module):
+        """x**2 erases an upstream sign flip — no trap, no corruption."""
+        program = QuantizedProgram(chain_module, "fmul_chain", k=0)
+        injector = RegisterFaultInjector(
+            FaultSpec(FaultTarget.REGISTER, 0, location="fmul2", bit=63),
+            seed=1,
+        )
+        interp = Interpreter(program.module, step_hook=injector)
+        result = interp.run("fmul_chain", list(ARGS))
+        golden = Interpreter(chain_module).run("fmul_chain", list(ARGS))
+        assert result.status is ExecutionStatus.OK
+        assert result.value == golden.value
+
+    def test_low_mantissa_flip_ignored_at_k0(self, chain_module):
+        program = QuantizedProgram(chain_module, "fmul_chain", k=0)
+        assert _flip(program, "fmul7", 20) is ExecutionStatus.OK
+
+    def test_k_tuning_catches_mantissa_msb(self, chain_module):
+        at_k0 = QuantizedProgram(chain_module, "fmul_chain", k=0)
+        at_k8 = QuantizedProgram(chain_module, "fmul_chain", k=8)
+        assert _flip(at_k0, "fmul7", 51) is ExecutionStatus.OK
+        assert _flip(at_k8, "fmul7", 51) is ExecutionStatus.DETECTED
+
+    def test_k_tuning_catches_exponent_lsb(self, chain_module):
+        at_k0 = QuantizedProgram(chain_module, "fmul_chain", k=0)
+        at_k4 = QuantizedProgram(chain_module, "fmul_chain", k=4)
+        assert _flip(at_k0, "fmul2", 53) is ExecutionStatus.OK
+        assert _flip(at_k4, "fmul2", 53) is ExecutionStatus.DETECTED
+
+
+class TestCostComparison:
+    def test_cheaper_than_full_dmr(self, chain_module):
+        """The quantized check must undercut FP replication (sect. 4.1)."""
+        from repro.core.dmr import ProtectedProgram, ProtectionLevel
+
+        quant = QuantizedProgram(chain_module, "fmul_chain", k=0)
+        dmr = ProtectedProgram(
+            chain_module, "fmul_chain", ProtectionLevel.FULL_DMR
+        )
+        assert quant.overhead(ARGS) < dmr.overhead(ARGS)
+
+    def test_overhead_independent_of_k(self, chain_module):
+        o0 = QuantizedProgram(chain_module, "fmul_chain", k=0).overhead(ARGS)
+        o8 = QuantizedProgram(chain_module, "fmul_chain", k=8).overhead(ARGS)
+        assert o0 == pytest.approx(o8)
+
+    def test_campaign_runs(self, chain_module):
+        program = QuantizedProgram(chain_module, "fmul_chain", k=0)
+        result = program.campaign(ARGS, n_trials=60, seed=2)
+        assert result.counts.total == 60

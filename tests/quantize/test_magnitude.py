@@ -1,0 +1,49 @@
+"""Magnitude-arithmetic tests for the quantized checker."""
+
+import math
+
+from hypothesis import given, strategies as st
+
+from repro.core.quantize.magnitude import (
+    expected_interval, predicted_magnitude, tolerance_units,
+)
+from repro.ir.interp import magnitude
+
+finite = st.floats(min_value=1e-100, max_value=1e100)
+
+
+class TestPrediction:
+    def test_product_prediction(self):
+        assert predicted_magnitude([4.0, 8.0], []) == 5  # 2 + 3
+
+    def test_quotient_prediction(self):
+        assert predicted_magnitude([16.0], [4.0]) == 2  # 4 - 2
+
+    @given(finite, finite, st.integers(0, 8))
+    def test_observed_product_within_interval(self, a, b, k):
+        lo, hi = expected_interval([a, b], [], k)
+        observed = magnitude(a * b, k)
+        assert lo <= observed <= hi
+
+    @given(finite, finite, finite, st.integers(0, 8))
+    def test_observed_quotient_chain_within_interval(self, a, b, c, k):
+        lo, hi = expected_interval([a, b], [c], k)
+        observed = magnitude(a * b / c, k)
+        assert lo <= observed <= hi
+
+    @given(st.lists(finite, min_size=1, max_size=8))
+    def test_long_chain_within_tolerance(self, leaves):
+        product = math.prod(leaves)
+        if product == 0 or math.isinf(product):
+            return  # under/overflow out of scope for the checker
+        center = predicted_magnitude(leaves, [])
+        tol = tolerance_units(len(leaves))
+        assert abs(magnitude(product) - center) <= tol
+
+
+class TestTolerance:
+    def test_grows_with_leaves(self):
+        assert tolerance_units(2) < tolerance_units(10)
+
+    def test_minimum_positive(self):
+        assert tolerance_units(1) >= 2

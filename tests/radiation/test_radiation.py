@@ -1,0 +1,138 @@
+"""Radiation environment model tests, anchored to the paper's numbers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw.specs import SNAPDRAGON_801
+from repro.radiation.environment import (
+    Environment, LEO_NOMINAL, MARS_SURFACE, SOLAR_STORM,
+)
+from repro.radiation.events import EventGenerator, EventKind
+from repro.radiation.flux import (
+    FluxModel, RAD_HARD_SUPPRESSION, SEU_RATE_SNAPDRAGON_PER_BIT_DAY,
+    expected_upsets, seu_rate_per_bit_day,
+)
+from repro.radiation.orbit import LeoOrbit, OrbitPhase
+from repro.units import SECONDS_PER_SOL, bytes_to_bits, gib
+
+
+class TestFluxCalibration:
+    def test_paper_rate_anchor(self):
+        """Sect. 4: 1.578e-6 per bit per day on the Snapdragon 801."""
+        assert SEU_RATE_SNAPDRAGON_PER_BIT_DAY == 1.578e-6
+
+    def test_daily_upsets_over_2gb(self):
+        """2 GB at the paper's rate: tens of thousands of flips/day."""
+        upsets = expected_upsets(bytes_to_bits(gib(2)), 1.0)
+        assert 20_000 < upsets < 30_000
+
+    def test_rad_hard_suppression(self):
+        commodity = seu_rate_per_bit_day(rad_hard=False)
+        hardened = seu_rate_per_bit_day(rad_hard=True)
+        assert hardened == pytest.approx(commodity * RAD_HARD_SUPPRESSION)
+
+    def test_perseverance_hardened_rate_order_of_magnitude(self):
+        """Sect. 4: a hardened CPU records ~1 correctable SEU per sol.
+
+        Perseverance's RAD750-class computer protects ~256 MB; with the
+        rad-hard suppression the model should land within an order of
+        magnitude of 1 upset/sol.
+        """
+        bits = bytes_to_bits(256 * 2**20)
+        per_sol = (
+            seu_rate_per_bit_day(rad_hard=True)
+            * bits * (SECONDS_PER_SOL / 86400.0)
+        )
+        assert 0.1 < per_sol < 10.0
+
+    def test_multipliers(self):
+        flux = FluxModel()
+        quiet = flux.rate_multiplier(in_saa=False, in_storm=False)
+        saa = flux.rate_multiplier(in_saa=True, in_storm=False)
+        storm = flux.rate_multiplier(in_saa=False, in_storm=True)
+        assert quiet == pytest.approx(1.0)
+        assert saa > 5.0
+        assert storm > 5.0
+
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ConfigError):
+            FluxModel(trapped_fraction=0.9, gcr_fraction=0.5,
+                      solar_fraction=0.1)
+
+
+class TestOrbit:
+    def test_saa_phase_periodicity(self):
+        orbit = LeoOrbit()
+        # The SAA pass sits mid-orbit on every stride-th orbit.
+        mid_first_orbit = orbit.period_s / 2
+        assert orbit.phase_at(mid_first_orbit) is OrbitPhase.SAA
+        mid_second_orbit = orbit.period_s * 1.5
+        assert orbit.phase_at(mid_second_orbit) is OrbitPhase.QUIET
+
+    def test_duty_cycle(self):
+        orbit = LeoOrbit()
+        samples = np.linspace(0, orbit.period_s * 30, 20_000)
+        in_saa = np.mean([
+            orbit.phase_at(t) is OrbitPhase.SAA for t in samples
+        ])
+        assert in_saa == pytest.approx(orbit.saa_duty_cycle, abs=0.01)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ConfigError):
+            LeoOrbit(saa_pass_duration_s=10_000.0)
+
+
+class TestEnvironments:
+    def test_saa_modulates_leo_rate(self):
+        orbit = LEO_NOMINAL.orbit
+        quiet_mult = LEO_NOMINAL.rate_multiplier(0.0)
+        saa_mult = LEO_NOMINAL.rate_multiplier(orbit.period_s / 2)
+        assert saa_mult > quiet_mult * 5
+
+    def test_storm_is_hotter_everywhere(self):
+        assert SOLAR_STORM.rate_multiplier(0.0) > LEO_NOMINAL.rate_multiplier(0.0)
+
+    def test_mars_has_no_saa(self):
+        for t in np.linspace(0, 86400, 50):
+            assert MARS_SURFACE.rate_multiplier(t) == pytest.approx(
+                MARS_SURFACE.rate_multiplier(0.0)
+            )
+
+    def test_device_rate_scales_with_ram(self):
+        small = LEO_NOMINAL.seu_rate_device_per_s(2**20, rad_hard=False)
+        large = LEO_NOMINAL.seu_rate_device_per_s(2**30, rad_hard=False)
+        assert large == pytest.approx(small * 1024)
+
+    def test_snapdragon_daily_events(self):
+        rate = LEO_NOMINAL.seu_rate_device_per_s(
+            SNAPDRAGON_801.ram_bytes, rad_hard=False
+        )
+        assert 20_000 < rate * 86_400 < 30_000
+
+
+class TestEventGenerator:
+    def test_rates_respected(self):
+        gen = EventGenerator(seu_rate_per_s=0.5, sel_rate_per_s=0.01, seed=1)
+        events = gen.events_in(0.0, 10_000.0)
+        n_seu = sum(1 for e in events if e.kind is EventKind.SEU)
+        n_sel = sum(1 for e in events if e.kind is EventKind.SEL)
+        assert n_seu == pytest.approx(5000, rel=0.1)
+        assert n_sel == pytest.approx(100, rel=0.5)
+
+    def test_events_ordered_and_in_range(self):
+        gen = EventGenerator(seu_rate_per_s=1.0, sel_rate_per_s=0.1, seed=2)
+        events = gen.events_in(100.0, 200.0)
+        times = [e.t for e in events]
+        assert times == sorted(times)
+        assert all(100.0 <= t < 200.0 for t in times)
+
+    def test_dram_dominates_targets(self):
+        gen = EventGenerator(seu_rate_per_s=5.0, sel_rate_per_s=0.0, seed=3)
+        events = gen.events_in(0.0, 1000.0)
+        dram = sum(1 for e in events if e.target == "dram")
+        assert dram / len(events) > 0.99
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ConfigError):
+            EventGenerator(seu_rate_per_s=-1.0, sel_rate_per_s=0.0)

@@ -1,0 +1,146 @@
+"""Propagation-rule tests: each rule from sect. 4.2, plus segment logic."""
+
+import pytest
+
+from repro.core.risk import (
+    rate_blocks, rate_function, rate_module, rate_sccs,
+)
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.ir.instructions import Predicate
+from repro.ir.module import Module
+from repro.ir.types import F64, INT64
+from repro.workloads.irprograms import build_program
+
+
+def _straightline(build_body):
+    """Helper: single-block function rating of its returned value."""
+    module = Module("m")
+    func = Function("f", [("a", INT64), ("b", INT64), ("x", F64),
+                          ("y", F64)], INT64)
+    module.add_function(func)
+    b = IRBuilder(func)
+    b.set_block(func.add_block("entry"))
+    build_body(b, func)
+    rating = rate_function(func, module)
+    return rating
+
+
+class TestPaperRules:
+    def test_addition_takes_max(self):
+        def body(b, f):
+            b.ret(b.add(f.args[0], f.args[1]))
+        seg = _straightline(body)
+        assert seg.rating == 64  # max(64, 64)
+
+    def test_multiplication_sums(self):
+        def body(b, f):
+            b.ret(b.mul(f.args[0], f.args[1]))
+        assert _straightline(body).rating == 128  # 64 + 64
+
+    def test_division_sums(self):
+        def body(b, f):
+            b.ret(b.sdiv(f.args[0], f.args[1]))
+        assert _straightline(body).rating == 128
+
+    def test_modulo_takes_first_operand(self):
+        def body(b, f):
+            doubled = b.mul(f.args[0], f.args[1])  # rating 128
+            b.ret(b.srem(doubled, f.args[1]))
+        assert _straightline(body).rating == 128
+
+    def test_modulo_ignores_divisor_rating(self):
+        def body(b, f):
+            big = b.mul(f.args[1], f.args[1])      # rating 128 (divisor)
+            b.ret(b.srem(f.args[0], big))
+        assert _straightline(body).rating == 64
+
+    def test_float_mul_chain(self):
+        module = build_program("fmul_chain")
+        seg = rate_function(module.function("fmul_chain"), module)
+        # Seven chained mul/div operations over 1024-rated inputs.
+        assert seg.rating > 1024
+
+    def test_phi_takes_max(self, abs_diff_module):
+        # abs_diff has no phi; build one: select-like merge via blocks.
+        module = Module("m")
+        func = Function("f", [("a", INT64), ("b", INT64)], INT64)
+        module.add_function(func)
+        b = IRBuilder(func)
+        entry = func.add_block("entry")
+        left = func.add_block("left")
+        right = func.add_block("right")
+        join = func.add_block("join")
+        b.set_block(entry)
+        cond = b.icmp(Predicate.LT, func.args[0], func.args[1])
+        b.br(cond, left, right)
+        b.set_block(left)
+        small = b.add(func.args[0], b.i64(1))       # rating 64
+        b.jmp(join)
+        b.set_block(right)
+        big = b.mul(func.args[0], func.args[1])     # rating 128
+        b.jmp(join)
+        b.set_block(join)
+        phi = b.phi(INT64, name="m")
+        phi.add_phi_incoming(small, left)
+        phi.add_phi_incoming(big, right)
+        b.ret(phi)
+        seg = rate_function(func, module)
+        assert seg.output_ratings["m"] == 128
+
+
+class TestSegments:
+    def test_block_ratings_cover_all_blocks(self, counted_loop_module):
+        func = counted_loop_module.function("triangle")
+        segments = rate_blocks(func)
+        assert {s.block_names[0] for s in segments} == {
+            "entry", "loop", "done"
+        }
+
+    def test_loop_block_hotter_than_entry(self, counted_loop_module):
+        func = counted_loop_module.function("triangle")
+        by_name = {s.block_names[0]: s.rating for s in rate_blocks(func)}
+        assert by_name["loop"] > by_name["entry"]
+
+    def test_scc_ratings(self, counted_loop_module):
+        func = counted_loop_module.function("triangle")
+        segments = rate_sccs(func)
+        assert len(segments) == 3
+        assert max(s.rating for s in segments) >= 64
+
+    def test_function_rating_at_least_hottest_output(
+        self, counted_loop_module
+    ):
+        func = counted_loop_module.function("triangle")
+        seg = rate_function(func)
+        assert seg.rating == max(seg.output_ratings.values())
+
+
+class TestModuleRating:
+    def test_callee_summaries_propagate(self):
+        module = Module("m")
+        callee = Function("square", [("x", INT64)], INT64)
+        module.add_function(callee)
+        b = IRBuilder(callee)
+        b.set_block(callee.add_block("entry"))
+        b.ret(b.mul(callee.args[0], callee.args[0]))  # rating 128
+
+        caller = Function("caller", [("y", INT64)], INT64)
+        module.add_function(caller)
+        b2 = IRBuilder(caller)
+        b2.set_block(caller.add_block("entry"))
+        result = b2.call("square", [caller.args[0]], INT64)
+        b2.ret(result)
+
+        ratings = rate_module(module)
+        assert ratings["square"].rating == 128
+        assert ratings["caller"].rating == 128  # summary flowed through
+
+    def test_whole_suite_rates(self):
+        from repro.workloads.irprograms import build_suite
+        module = build_suite()
+        ratings = rate_module(module)
+        assert set(ratings) == {f.name for f in module}
+        fp_heavy = ratings["fmul_chain"].rating
+        int_prog = ratings["gcd"].rating
+        assert fp_heavy > int_prog  # FP chains carry more worst-case error

@@ -1,0 +1,33 @@
+"""Base-rating tests: the paper's anchors."""
+
+import pytest
+
+from repro.core.risk.rating import base_rating
+from repro.errors import ConfigError
+from repro.ir.types import F64, INT1, INT32, INT64, PTR, VOID
+
+
+def test_int64_rating_is_64():
+    """Sect. 4.2: 'the maximum error of a 64-bit integer type is 2**64,
+    so its error rating is 64'."""
+    assert base_rating(INT64) == 64
+
+
+def test_float64_rating_is_1024():
+    """Sect. 4.2: 'the maximum error of a 64-bit float ... 2**1024, so its
+    error rating is 1024'."""
+    assert base_rating(F64) == 1024
+
+
+def test_narrow_ints():
+    assert base_rating(INT32) == 32
+    assert base_rating(INT1) == 1
+
+
+def test_pointer_rating():
+    assert base_rating(PTR) == 64
+
+
+def test_void_has_no_rating():
+    with pytest.raises(ConfigError):
+        base_rating(VOID)

@@ -1,0 +1,27 @@
+"""Risk-report rendering tests."""
+
+from repro.core.risk.report import analyze, render_report
+from repro.workloads.irprograms import build_program
+
+
+def test_analyze_produces_all_granularities():
+    module = build_program("horner")
+    report = analyze(module.function("horner"), module)
+    assert report.function.rating > 0
+    assert len(report.blocks) == 3
+    assert len(report.sccs) == 3
+
+
+def test_hottest_block_is_the_loop():
+    module = build_program("horner")
+    report = analyze(module.function("horner"), module)
+    assert "loop" in report.hottest_block.block_names
+
+
+def test_render_contains_sections():
+    module = build_program("fact")
+    text = render_report(analyze(module.function("fact"), module))
+    assert "function rating" in text
+    assert "per-SCC" in text
+    assert "per-block" in text
+    assert "@fact" in text

@@ -1,0 +1,101 @@
+"""Scrub policy + kernel module tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.scrubber.kmod import KernelScrubModule
+from repro.core.scrubber.policies import (
+    LruFirstPolicy, PredictedAccessPolicy, RandomPolicy, SequentialPolicy,
+    make_policy,
+)
+from repro.core.scrubber.verifier import VerifyOutcome
+from repro.errors import ConfigError
+from repro.mem.pagetable import PageTable
+from repro.mem.physical import PhysicalMemory
+from repro.mem.tracker import AccessTracker
+
+
+@pytest.fixture
+def kmod():
+    mem = PhysicalMemory(8, page_size=64)
+    mem.fill_random(np.random.default_rng(3))
+    table = PageTable(8)
+    for vpn in range(8):
+        table.map_page(vpn)
+    module = KernelScrubModule(mem, table)
+    module.checksum_all()
+    return module
+
+
+class TestPolicies:
+    def test_sequential_sweeps_round_robin(self):
+        policy = SequentialPolicy()
+        tracker = AccessTracker()
+        mapped = list(range(6))
+        first = policy.next_pages(mapped, 4, tracker)
+        second = policy.next_pages(mapped, 4, tracker)
+        assert first == [0, 1, 2, 3]
+        assert second == [4, 5, 0, 1]
+
+    def test_lru_prioritizes_stalest(self):
+        policy = LruFirstPolicy()
+        tracker = AccessTracker()
+        tracker.record_access(2, 50.0)
+        tracker.record_access(4, 10.0)
+        picked = policy.next_pages([2, 3, 4], 2, tracker)
+        assert picked == [3, 4]  # never-touched, then oldest
+
+    def test_predicted_leads_with_hot_pages(self):
+        policy = PredictedAccessPolicy(predict_fraction=0.5)
+        tracker = AccessTracker()
+        for _ in range(20):
+            tracker.record_access(5, 1.0)
+            tracker.record_access(6, 1.0)
+        picked = policy.next_pages(list(range(8)), 4, tracker)
+        assert 5 in picked[:2] or 6 in picked[:2]
+
+    def test_random_policy_within_mapped(self):
+        policy = RandomPolicy(seed=1)
+        picked = policy.next_pages([3, 5, 7], 2, AccessTracker())
+        assert set(picked) <= {3, 5, 7}
+        assert len(picked) == 2
+
+    def test_budget_respected(self):
+        for name in ("sequential", "lru", "predicted", "random"):
+            policy = make_policy(name, seed=0)
+            picked = policy.next_pages(list(range(10)), 3, AccessTracker())
+            assert len(picked) == 3
+            assert len(set(picked)) == 3  # no duplicates
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            make_policy("psychic")
+
+
+class TestKernelModule:
+    def test_initial_checksum_pass(self, kmod):
+        assert len(kmod.mapped_physical_pages()) == 8
+        assert kmod.reserved_bytes > 0
+
+    def test_scrub_clean_page(self, kmod):
+        result = kmod.scrub_one(kmod.mapped_physical_pages()[0])
+        assert result.outcome is VerifyOutcome.CLEAN
+
+    def test_scrub_corrupted_page_repairs(self, kmod):
+        page = kmod.mapped_physical_pages()[2]
+        original = kmod.memory.read_page(page)
+        kmod.memory.flip_bit(page * 64 * 8 + 7)
+        result = kmod.scrub_one(page)
+        assert result.outcome is VerifyOutcome.CORRECTED
+        assert kmod.memory.read_page(page) == original
+
+    def test_dirty_page_rechecksummed_not_flagged(self, kmod):
+        vpn, entry = kmod.page_table.mapped_pages()[0]
+        phys = entry.physical_page
+        kmod.memory.write_word(phys, 0, 0x1234)
+        kmod.note_write(vpn)
+        result = kmod.scrub_one(phys)
+        assert result.outcome is VerifyOutcome.STALE
+        assert not kmod.page_table.entry(vpn).dirty
+        # The refreshed checksum now matches the new contents.
+        assert kmod.scrub_one(phys).outcome is VerifyOutcome.CLEAN

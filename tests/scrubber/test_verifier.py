@@ -1,0 +1,74 @@
+"""Page-verifier tests: detect, correct, and escalate."""
+
+import numpy as np
+import pytest
+
+from repro.core.scrubber.verifier import PageVerifier, VerifyOutcome
+from repro.mem.checksums import ChecksumStore
+from repro.mem.physical import PhysicalMemory
+
+
+@pytest.fixture
+def setup():
+    mem = PhysicalMemory(4, page_size=128)
+    mem.fill_random(np.random.default_rng(1))
+    store = ChecksumStore(4, page_size=128, correction=True)
+    verifier = PageVerifier(mem, store)
+    for page in range(4):
+        verifier.checksum_page(page)
+    return mem, store, verifier
+
+
+class TestVerify:
+    def test_clean_page(self, setup):
+        _, _, verifier = setup
+        result = verifier.verify_page(0)
+        assert result.outcome is VerifyOutcome.CLEAN
+
+    def test_single_flip_corrected_in_place(self, setup):
+        mem, _, verifier = setup
+        original = mem.read_page(1)
+        mem.flip_bit(128 * 8 + 100)  # bit 100 of page 1
+        assert mem.read_page(1) != original
+        result = verifier.verify_page(1)
+        assert result.outcome is VerifyOutcome.CORRECTED
+        assert len(result.corrected_words) == 1
+        assert mem.read_page(1) == original  # repaired in place
+
+    def test_flips_in_distinct_words_all_corrected(self, setup):
+        mem, _, verifier = setup
+        original = mem.read_page(2)
+        base = 2 * 128 * 8
+        mem.flip_bit(base + 3)        # word 0
+        mem.flip_bit(base + 64 + 5)   # word 1
+        mem.flip_bit(base + 512 + 9)  # word 8
+        result = verifier.verify_page(2)
+        assert result.outcome is VerifyOutcome.CORRECTED
+        assert len(result.corrected_words) == 3
+        assert mem.read_page(2) == original
+
+    def test_double_flip_in_one_word_uncorrectable(self, setup):
+        mem, _, verifier = setup
+        base = 3 * 128 * 8
+        mem.flip_bit(base + 1)
+        mem.flip_bit(base + 9)  # same 64-bit word
+        result = verifier.verify_page(3)
+        assert result.outcome is VerifyOutcome.UNCORRECTABLE
+        assert result.uncorrectable_words
+
+    def test_detection_only_store_flags_without_repair(self):
+        mem = PhysicalMemory(2, page_size=64)
+        mem.fill_random(np.random.default_rng(2))
+        store = ChecksumStore(2, page_size=64, correction=False)
+        verifier = PageVerifier(mem, store)
+        verifier.checksum_page(0)
+        mem.flip_bit(10)
+        result = verifier.verify_page(0)
+        assert result.outcome is VerifyOutcome.UNCORRECTABLE
+
+    def test_page_size_mismatch_rejected(self):
+        from repro.errors import ConfigError
+        mem = PhysicalMemory(2, page_size=64)
+        store = ChecksumStore(2, page_size=128)
+        with pytest.raises(ConfigError):
+            PageVerifier(mem, store)

@@ -1,0 +1,151 @@
+"""SEL pipeline tests: featurizer, daemon, policy, end-to-end trials."""
+
+import numpy as np
+import pytest
+
+from repro.core.sel import (
+    DaemonConfig, Featurizer, SelDaemon, SelTrialConfig,
+    run_detection_trial, train_detector_on_clean_trace,
+)
+from repro.core.sel.experiment import false_alarm_rate
+from repro.core.sel.policy import PowerCycleController
+from repro.detect import (
+    CurrentThresholdDetector, EllipticEnvelopeDetector,
+    ResidualCusumDetector,
+)
+from repro.faults.sel import LatchupEvent
+from repro.hw.board import Board
+
+#: Shorter trial for tests (the bench uses the full default).
+FAST = SelTrialConfig(train_duration_s=120.0, eval_duration_s=150.0,
+                      onset_s=40.0)
+
+
+class TestFeaturizer:
+    def test_row_layout(self):
+        board = Board(seed=1)
+        sample = board.sample(0.0, [1, 0, 0, 0], 0.2, 0.1)
+        featurizer = Featurizer(4)
+        row = featurizer.row(sample)
+        assert len(row) == featurizer.n_columns == 8
+        assert row[-1] == sample.current_a
+
+    def test_matrix(self):
+        board = Board(seed=1)
+        samples = [board.sample(t * 0.1, [0] * 4, 0.1, 0.0)
+                   for t in range(5)]
+        assert Featurizer(4).matrix(samples).shape == (5, 8)
+
+
+class TestDaemon:
+    def test_persistence_filters_isolated_hits(self):
+        """A detector that fires on isolated samples must not alarm."""
+        class FlakyDetector:
+            state = None
+            calls = 0
+
+            def predict(self, rows):
+                self.calls += 1
+                return np.array([self.calls % 5 == 0])  # 1-in-5 hits
+
+        board = Board(seed=2)
+        daemon = SelDaemon(
+            FlakyDetector(), Featurizer(4),
+            DaemonConfig(consecutive_hits=3, warmup_s=0.0),
+        )
+        for t in range(100):
+            daemon.process(board.sample(t * 0.1, [0] * 4, 0.1, 0.0))
+        assert daemon.alarms == []
+
+    def test_sustained_hits_alarm(self):
+        class AlwaysAnomalous:
+            def predict(self, rows):
+                return np.array([True])
+
+        board = Board(seed=2)
+        daemon = SelDaemon(
+            AlwaysAnomalous(), Featurizer(4),
+            DaemonConfig(consecutive_hits=3, warmup_s=0.0),
+        )
+        fired = [daemon.process(board.sample(t * 0.1, [0] * 4, 0.1, 0.0))
+                 for t in range(10)]
+        assert any(fired)
+
+    def test_warmup_suppresses_alarms(self):
+        class AlwaysAnomalous:
+            def predict(self, rows):
+                return np.array([True])
+
+        board = Board(seed=2)
+        daemon = SelDaemon(
+            AlwaysAnomalous(), Featurizer(4),
+            DaemonConfig(consecutive_hits=1, warmup_s=5.0),
+        )
+        daemon.process(board.sample(0.0, [0] * 4, 0.1, 0.0))
+        daemon.process(board.sample(1.0, [0] * 4, 0.1, 0.0))
+        assert daemon.alarms == []
+
+
+class TestPolicy:
+    def test_reboot_and_cooldown(self):
+        board = Board(seed=3)
+        controller = PowerCycleController(board, cooldown_s=60.0)
+        assert controller.on_alarm(10.0)
+        assert not controller.on_alarm(30.0)  # inside cooldown
+        assert controller.on_alarm(100.0)
+        assert board.power_cycles == 2
+
+    def test_false_reboot_counted(self):
+        board = Board(seed=3)
+        controller = PowerCycleController(board)
+        controller.on_alarm(10.0)  # no latch-up active
+        assert controller.false_reboots == 1
+
+    def test_true_reboot_not_false(self):
+        board = Board(seed=3)
+        board.inject_latchup(LatchupEvent(onset_s=0.0, delta_current_a=0.1))
+        board.sample(5.0, [0] * 4, 0.1, 0.0)
+        controller = PowerCycleController(board)
+        controller.on_alarm(10.0)
+        assert controller.false_reboots == 0
+
+
+class TestEndToEnd:
+    def test_residual_cusum_catches_20ma_within_deadline(self):
+        detector = train_detector_on_clean_trace(
+            ResidualCusumDetector(), FAST, seed=11
+        )
+        trial = run_detection_trial(detector, 0.02, FAST, seed=42)
+        assert trial.saved
+        assert trial.latency_s < 60.0
+
+    def test_threshold_misses_20ma(self):
+        detector = train_detector_on_clean_trace(
+            CurrentThresholdDetector(), FAST, seed=11
+        )
+        trial = run_detection_trial(detector, 0.02, FAST, seed=42)
+        assert not trial.saved
+
+    def test_threshold_catches_half_amp(self):
+        detector = train_detector_on_clean_trace(
+            CurrentThresholdDetector(), FAST, seed=11
+        )
+        trial = run_detection_trial(detector, 0.5, FAST, seed=42)
+        assert trial.saved
+
+    def test_zero_false_alarms_on_clean_traces(self):
+        for det in (CurrentThresholdDetector(), ResidualCusumDetector(),
+                    EllipticEnvelopeDetector(seed=3)):
+            trained = train_detector_on_clean_trace(det, FAST, seed=11)
+            assert false_alarm_rate(trained, FAST, seed=77) == 0.0
+
+    def test_window_normalization_mode_runs(self):
+        config = SelTrialConfig(
+            train_duration_s=90.0, eval_duration_s=120.0, onset_s=40.0,
+            daemon=DaemonConfig(use_window_normalization=True),
+        )
+        detector = train_detector_on_clean_trace(
+            ResidualCusumDetector(), config, seed=11
+        )
+        trial = run_detection_trial(detector, 0.1, config, seed=42)
+        assert trial.detected_at_s is None or trial.latency_s >= 0

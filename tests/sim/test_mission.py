@@ -1,0 +1,106 @@
+"""Mission-simulator tests."""
+
+import pytest
+
+from repro.radiation.environment import SOLAR_STORM
+from repro.sim.mission import (
+    MissionConfig, PROTECTED_COMMODITY, RAD_HARD_BASELINE,
+    UNPROTECTED_COMMODITY, run_mission, sweep_profiles,
+)
+from repro.sim.report import MissionReport, render_mission_table
+
+
+class TestMission:
+    def test_reproducible(self):
+        config = MissionConfig(profile=PROTECTED_COMMODITY,
+                               duration_days=60.0)
+        a = run_mission(config, seed=1)
+        b = run_mission(config, seed=1)
+        assert a.seu_events == b.seu_events
+        assert a.sdc_escapes == b.sdc_escapes
+        assert a.uptime_fraction == b.uptime_fraction
+
+    def test_unprotected_commodity_usually_lost_within_a_year(self):
+        losses = 0
+        for seed in range(5):
+            report = run_mission(
+                MissionConfig(profile=UNPROTECTED_COMMODITY,
+                              duration_days=365.0),
+                seed=seed,
+            )
+            losses += bool(report.destroyed)
+        assert losses >= 3
+
+    def test_protected_commodity_survives(self):
+        for seed in range(5):
+            report = run_mission(
+                MissionConfig(profile=PROTECTED_COMMODITY,
+                              duration_days=365.0),
+                seed=seed,
+            )
+            assert not report.destroyed
+            assert report.uptime_fraction > 0.9
+
+    def test_rad_hard_is_safe_but_slow(self):
+        report = run_mission(
+            MissionConfig(profile=RAD_HARD_BASELINE, duration_days=365.0),
+            seed=2,
+        )
+        assert not report.destroyed
+        assert report.sdc_per_day < 1.0
+        assert report.compute_delivered < 0.05  # Table 1 compute gap
+
+    def test_protection_cuts_sdc_rate(self):
+        unprot = run_mission(
+            MissionConfig(profile=UNPROTECTED_COMMODITY,
+                          duration_days=60.0),
+            seed=3,
+        )
+        prot = run_mission(
+            MissionConfig(profile=PROTECTED_COMMODITY, duration_days=60.0),
+            seed=3,
+        )
+        assert prot.sdc_per_day < unprot.sdc_per_day / 10
+
+    def test_storm_environment_is_harsher(self):
+        quiet = run_mission(
+            MissionConfig(profile=PROTECTED_COMMODITY, duration_days=30.0),
+            seed=4,
+        )
+        storm = run_mission(
+            MissionConfig(profile=PROTECTED_COMMODITY,
+                          environment=SOLAR_STORM, duration_days=30.0),
+            seed=4,
+        )
+        assert storm.seu_events > quiet.seu_events * 2
+
+    def test_protected_perf_per_dollar_beats_rad_hard(self):
+        """The paper's economic argument, end to end."""
+        reports = sweep_profiles(
+            [PROTECTED_COMMODITY, RAD_HARD_BASELINE],
+            duration_days=120.0, n_runs=3, seed=5,
+        )
+        protected, rad_hard = reports
+        ppd_protected = protected.compute_delivered / protected.cost_usd
+        ppd_rad_hard = rad_hard.compute_delivered / rad_hard.cost_usd
+        assert ppd_protected > ppd_rad_hard * 20
+
+
+class TestReport:
+    def test_average(self):
+        config = MissionConfig(profile=PROTECTED_COMMODITY,
+                               duration_days=30.0)
+        runs = [run_mission(config, seed=s) for s in range(3)]
+        avg = MissionReport.average(runs)
+        assert avg.profile_name == PROTECTED_COMMODITY.name
+        assert 0.0 <= avg.uptime_fraction <= 1.0
+        assert avg.seu_events > 0
+
+    def test_render_table(self):
+        reports = sweep_profiles(
+            [UNPROTECTED_COMMODITY, PROTECTED_COMMODITY],
+            duration_days=30.0, n_runs=2, seed=6,
+        )
+        text = render_mission_table(reports)
+        assert "commodity-unprotected" in text
+        assert "SDC/day" in text

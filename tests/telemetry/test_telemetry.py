@@ -1,0 +1,96 @@
+"""Telemetry substrate tests: series, windows, sampling, statistics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw.board import Board
+from repro.telemetry.sampler import sample_schedule
+from repro.telemetry.series import TimeSeries
+from repro.telemetry.stats import pearson_correlation
+from repro.telemetry.window import MovingWindow
+from repro.workloads.stress import cpu_memory_stress_schedule
+
+
+class TestTimeSeries:
+    def test_append_and_window(self):
+        series = TimeSeries("current")
+        for t in range(10):
+            series.append(float(t), t * 2.0)
+        assert len(series) == 10
+        assert list(series.window(2.0, 5.0)) == [4.0, 6.0, 8.0]
+
+    def test_non_monotonic_rejected(self):
+        series = TimeSeries("x")
+        series.append(1.0, 0.0)
+        with pytest.raises(ConfigError):
+            series.append(0.5, 0.0)
+
+    def test_resample_zero_order_hold(self):
+        series = TimeSeries("x")
+        series.append(0.0, 1.0)
+        series.append(10.0, 2.0)
+        resampled = series.resample_last(np.array([0.0, 5.0, 10.0, 20.0]))
+        assert list(resampled) == [1.0, 1.0, 2.0, 2.0]
+
+
+class TestMovingWindow:
+    def test_eviction(self):
+        window = MovingWindow(duration_s=5.0)
+        for t in range(10):
+            window.push(float(t), np.array([float(t)]))
+        # Only samples with t in [4, 9] remain (cutoff = 9 - 5).
+        assert len(window) == 6
+
+    def test_full_flag(self):
+        window = MovingWindow(duration_s=10.0)
+        window.push(0.0, np.array([1.0]))
+        assert not window.full
+        window.push(9.5, np.array([1.0]))
+        assert window.full
+
+    def test_median_normalization_cancels_baseline(self):
+        window = MovingWindow(duration_s=30.0)
+        for t in range(20):
+            window.push(float(t), np.array([5.0, 100.0]))
+        window.push(20.0, np.array([5.0, 100.8]))
+        normalized = window.normalized_latest()
+        assert normalized[0] == pytest.approx(0.0)
+        assert normalized[1] == pytest.approx(0.8)
+
+    def test_rejects_bad_duration(self):
+        with pytest.raises(ConfigError):
+            MovingWindow(0.0)
+
+
+class TestSampler:
+    def test_trace_shapes(self):
+        board = Board(seed=1)
+        schedule = cpu_memory_stress_schedule(4)
+        trace = sample_schedule(board, schedule, duration_s=10.0, rate_hz=5)
+        assert len(trace.samples) == 50
+        assert trace.feature_matrix().shape == (50, 7)
+        assert trace.joint_matrix().shape == (50, 8)
+
+    def test_figure1_correlation(self):
+        """Fig. 1's headline: CPU usage correlates ~99.9% with current."""
+        board = Board(seed=1)
+        schedule = cpu_memory_stress_schedule(4)
+        trace = sample_schedule(board, schedule, duration_s=60.0, rate_hz=10)
+        corr = pearson_correlation(trace.cpu_util, trace.current_a)
+        assert corr > 0.98
+
+
+class TestStats:
+    def test_perfect_correlation(self):
+        x = np.arange(50, dtype=float)
+        assert pearson_correlation(x, 3 * x + 1) == pytest.approx(1.0)
+        assert pearson_correlation(x, -x) == pytest.approx(-1.0)
+
+    def test_constant_series_gives_zero(self):
+        x = np.ones(10)
+        assert pearson_correlation(x, np.arange(10.0)) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            pearson_correlation(np.ones(3), np.ones(4))

@@ -1,0 +1,95 @@
+"""Workload-suite tests: every program builds, verifies and runs."""
+
+import pytest
+
+from repro.ir.interp import ExecutionStatus, Interpreter
+from repro.ir.verifier import verify_module
+from repro.rng import make_rng
+from repro.workloads.irprograms import (
+    PROGRAMS, build_program, build_suite, golden_run,
+)
+
+ALL_NAMES = sorted(PROGRAMS)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_program_builds_and_verifies(name):
+    module = build_program(name)
+    verify_module(module)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_golden_run_succeeds(name):
+    result = golden_run(name)
+    assert result.ok, (name, result.trap_reason)
+    assert result.instructions > 0
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_golden_run_deterministic(name):
+    a = golden_run(name)
+    b = golden_run(name)
+    assert a.value == b.value
+    assert a.cycles == b.cycles
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_sampled_args_also_run(name):
+    rng = make_rng(9)
+    spec = PROGRAMS[name]
+    for _ in range(3):
+        args = spec.sample_args(rng)
+        result = golden_run(name, args)
+        assert result.status is ExecutionStatus.OK, (name, args)
+
+
+class TestKnownValues:
+    def test_fact(self):
+        assert golden_run("fact", (5,)).value == 120
+        assert golden_run("fact", (0,)).value == 1
+
+    def test_fib(self):
+        assert golden_run("fib", (10,)).value == 55
+        assert golden_run("fib", (1,)).value == 1
+
+    def test_gcd(self):
+        assert golden_run("gcd", (1071, 462)).value == 21
+        assert golden_run("gcd", (17, 0)).value == 17
+
+    def test_collatz_27(self):
+        assert golden_run("collatz", (27,)).value == 111
+
+    def test_nsqrt(self):
+        assert golden_run("nsqrt", (144.0,)).value == pytest.approx(12.0)
+
+    def test_dot_matches_closed_form(self):
+        n = 16
+        expected = sum((i + 0.5) * (i * 0.25 + 1.0) for i in range(n))
+        assert golden_run("dot", (n,)).value == pytest.approx(expected)
+
+    def test_kalman_converges_to_signal(self):
+        value = golden_run("kalman", (200,)).value
+        assert 9.5 < value < 10.5
+
+    def test_orbit_radius_stays_near_circular(self):
+        r_sq = golden_run("orbit", (1.0, 500)).value
+        assert 0.9 < r_sq < 1.1
+
+    def test_isort_sorted_checksum_is_stable(self):
+        assert golden_run("isort", (24,)).value == golden_run("isort", (24,)).value
+
+
+def test_build_suite_contains_everything():
+    module = build_suite()
+    assert {f.name for f in module} == set(PROGRAMS)
+
+
+def test_build_subset():
+    module = build_suite(["fact", "gcd"])
+    assert {f.name for f in module} == {"fact", "gcd"}
+
+
+def test_categories_cover_paper_mix():
+    categories = {spec.category for spec in PROGRAMS.values()}
+    assert {"int-control", "memory", "fp-kernel", "nav"} <= categories
+    assert any(spec.fp_heavy for spec in PROGRAMS.values())

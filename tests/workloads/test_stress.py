@@ -1,0 +1,66 @@
+"""Stress-schedule tests (the Figure 1 workload)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.stress import (
+    StressPhase, StressSchedule, cpu_memory_stress_schedule,
+)
+
+
+class TestSchedule:
+    def test_phase_lookup(self):
+        phases = [
+            StressPhase(1.0, 1, 0, 0.1),
+            StressPhase(2.0, 2, 1, 0.2),
+        ]
+        sched = StressSchedule(phases, n_cores=4)
+        assert sched.phase_at(0.5).cpu_cores_busy == 1
+        assert sched.phase_at(1.5).cpu_cores_busy == 2
+        assert sched.phase_at(3.5).cpu_cores_busy == 1  # wraps around
+
+    def test_rejects_too_many_cores(self):
+        with pytest.raises(ConfigError):
+            StressSchedule([StressPhase(1.0, 5, 0, 0.1)], n_cores=4)
+
+    def test_rejects_bad_mem_fraction(self):
+        with pytest.raises(ConfigError):
+            StressSchedule([StressPhase(1.0, 1, 0, 1.5)], n_cores=4)
+
+    def test_core_utilizations_shape(self):
+        sched = cpu_memory_stress_schedule(4)
+        utils = sched.core_utilizations(0.0)
+        assert len(utils) == 4
+        assert all(0.0 <= u <= 1.0 for u in utils)
+
+
+class TestFigure1Schedule:
+    def test_cycles_through_all_core_counts(self):
+        sched = cpu_memory_stress_schedule(4, step_s=1.0)
+        counts = {
+            sched.phase_at(t + 0.5).cpu_cores_busy
+            for t in range(int(sched.total_duration_s))
+        }
+        assert counts == {0, 1, 2, 3, 4}
+
+    def test_memory_cycle_is_offset(self):
+        sched = cpu_memory_stress_schedule(4, step_s=1.0, mem_offset_steps=2)
+        diffs = 0
+        for t in range(int(sched.total_duration_s)):
+            phase = sched.phase_at(t + 0.5)
+            if phase.cpu_cores_busy != phase.mem_cores_busy:
+                diffs += 1
+        assert diffs > 0  # the two stressors are not in phase
+
+    def test_total_duration(self):
+        # 0..4 up (5 phases) plus 3..0 down (4 phases) = 9 phases.
+        sched = cpu_memory_stress_schedule(4, step_s=3.0)
+        assert sched.total_duration_s == pytest.approx(3.0 * 9)
+
+    def test_memory_bandwidth_tracks_mem_workers(self):
+        sched = cpu_memory_stress_schedule(4)
+        for t in (0.0, 7.0, 16.0):
+            phase = sched.phase_at(t)
+            assert sched.memory_bandwidth_fraction(t) == pytest.approx(
+                phase.mem_cores_busy / 4
+            )

@@ -7,7 +7,6 @@ relative throughput (encode/decode benchmarks on actual data).
 """
 
 import numpy as np
-import pytest
 
 from benchmarks._util import fmt_table, write_result
 from repro.ecc import BchCode, Crc32Code, SecDedCode

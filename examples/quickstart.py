@@ -8,7 +8,7 @@ mix at each level — the library's core loop in ~30 lines.
 Run:  python examples/quickstart.py
 """
 
-from repro import PROGRAMS, ProtectedProgram, ProtectionLevel, build_program
+from repro import PROGRAMS, ProtectedProgram, build_program
 from repro.core.dmr.levels import ALL_LEVELS
 
 

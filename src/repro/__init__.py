@@ -39,10 +39,18 @@ from repro.faults import (
     Campaign, run_campaign, FaultTarget, FaultOutcome, FaultSpec,
 )
 
+# Recovery & supervision.
+from repro.recover import (
+    AdaptiveConfig, AdaptiveController, CheckpointManager, EscalationLadder,
+    LadderConfig, RecoveryParams, RecoveryRung, Supervisor, SupervisorConfig,
+    run_supervised_campaign,
+)
+
 # Mission-level simulation.
 from repro.sim import (
     MissionConfig, ProtectionProfile, run_mission, render_mission_table,
     UNPROTECTED_COMMODITY, PROTECTED_COMMODITY, RAD_HARD_BASELINE,
+    SUPERVISED_COMMODITY,
 )
 
 __all__ = [
@@ -57,8 +65,13 @@ __all__ = [
     # workloads / faults
     "PROGRAMS", "build_program", "build_suite", "golden_run",
     "Campaign", "run_campaign", "FaultTarget", "FaultOutcome", "FaultSpec",
+    # recovery
+    "AdaptiveConfig", "AdaptiveController", "CheckpointManager",
+    "EscalationLadder", "LadderConfig", "RecoveryParams", "RecoveryRung",
+    "Supervisor", "SupervisorConfig", "run_supervised_campaign",
     # mission
     "MissionConfig", "ProtectionProfile", "run_mission",
     "render_mission_table",
     "UNPROTECTED_COMMODITY", "PROTECTED_COMMODITY", "RAD_HARD_BASELINE",
+    "SUPERVISED_COMMODITY",
 ]

@@ -13,7 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.ir.cfg import successors
-from repro.ir.function import Function
 from repro.ir.module import Module
 from repro.ir.scc import scc_of
 

@@ -22,7 +22,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
 
 from repro.core.quantize.magnitude import tolerance_units
 from repro.errors import ConfigError

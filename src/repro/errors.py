@@ -43,6 +43,14 @@ class FuelExhausted(InterpreterError):
     """Execution exceeded its instruction budget (likely a hang)."""
 
 
+class WatchdogTimeout(FuelExhausted):
+    """A supervisor watchdog expired before the task made progress.
+
+    Subclasses :class:`FuelExhausted` so the interpreter classifies a
+    watchdog bite as a hang; the machine emulator catches it separately.
+    """
+
+
 class MachineError(ReproError):
     """Base class for errors in the machine emulator."""
 
@@ -97,3 +105,11 @@ class ConfigError(ReproError):
 
 class FaultInjectionError(ReproError):
     """A fault could not be injected as specified."""
+
+
+class RecoveryError(ReproError):
+    """The recovery subsystem was misused or could not proceed."""
+
+
+class CheckpointError(RecoveryError):
+    """A checkpoint could not be taken, verified, or restored."""

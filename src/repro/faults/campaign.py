@@ -71,12 +71,8 @@ class CampaignResult:
         return float(np.mean([t.cycles for t in self.trials]))
 
 
-def run_campaign(
-    campaign: Campaign,
-    seed: int | np.random.Generator | None = None,
-) -> CampaignResult:
-    """Execute ``campaign`` and classify every trial."""
-    rng = make_rng(seed)
+def run_golden(campaign: Campaign) -> ExecutionResult:
+    """The campaign's fault-free reference run (validated)."""
     golden_interp = Interpreter(
         campaign.module, cost_model=campaign.cost_model, fuel=campaign.fuel
     )
@@ -88,27 +84,51 @@ def run_campaign(
         )
     if golden.instructions == 0:
         raise FaultInjectionError("golden run executed no instructions")
+    return golden
 
-    # A fault can only lengthen a loop's trip count, not turn a terminating
-    # program into one that needs unbounded fuel to *detect* as hung.  Cap
-    # per-trial fuel at a generous multiple of the golden run so hang trials
-    # don't dominate campaign wall time.
-    trial_fuel = min(campaign.fuel, golden.instructions * 50 + 2_000)
+
+def trial_fuel_for(campaign: Campaign, golden: ExecutionResult) -> int:
+    """Per-trial instruction budget derived from the golden run.
+
+    A fault can only lengthen a loop's trip count, not turn a terminating
+    program into one that needs unbounded fuel to *detect* as hung.  Cap
+    per-trial fuel at a generous multiple of the golden run so hang trials
+    don't dominate campaign wall time.
+    """
+    return min(campaign.fuel, golden.instructions * 50 + 2_000)
+
+
+def make_injector(
+    campaign: Campaign,
+    golden: ExecutionResult,
+    trial_rng: np.random.Generator,
+) -> RegisterFaultInjector | HeapFaultInjector:
+    """Draw one trial's fault (uniform dynamic index) and build its injector."""
+    index = int(trial_rng.integers(golden.instructions))
+    spec = FaultSpec(target=campaign.target, dynamic_index=index)
+    if campaign.target is FaultTarget.REGISTER:
+        return RegisterFaultInjector(spec, seed=trial_rng)
+    if campaign.target is FaultTarget.MEMORY:
+        return HeapFaultInjector(spec, seed=trial_rng)
+    raise FaultInjectionError(
+        f"interpreter campaigns support REGISTER/MEMORY targets, "
+        f"not {campaign.target}"
+    )
+
+
+def run_campaign(
+    campaign: Campaign,
+    seed: int | np.random.Generator | None = None,
+) -> CampaignResult:
+    """Execute ``campaign`` and classify every trial."""
+    rng = make_rng(seed)
+    golden = run_golden(campaign)
+    trial_fuel = trial_fuel_for(campaign, golden)
 
     counts = OutcomeCounts()
     trials: list[TrialResult] = []
     for trial_rng in fork(rng, campaign.n_trials):
-        index = int(trial_rng.integers(golden.instructions))
-        spec = FaultSpec(target=campaign.target, dynamic_index=index)
-        if campaign.target is FaultTarget.REGISTER:
-            injector = RegisterFaultInjector(spec, seed=trial_rng)
-        elif campaign.target is FaultTarget.MEMORY:
-            injector = HeapFaultInjector(spec, seed=trial_rng)
-        else:
-            raise FaultInjectionError(
-                f"interpreter campaigns support REGISTER/MEMORY targets, "
-                f"not {campaign.target}"
-            )
+        injector = make_injector(campaign, golden, trial_rng)
         interp = Interpreter(
             campaign.module,
             cost_model=campaign.cost_model,
@@ -126,7 +146,7 @@ def run_campaign(
         counts.record(outcome)
         trials.append(
             TrialResult(
-                spec=injector.resolved or spec,
+                spec=injector.resolved or injector.spec,
                 outcome=outcome,
                 value=result.value,
                 rel_error=rel_error,

@@ -8,7 +8,7 @@ power-cycled in time or is destroyed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -133,6 +133,54 @@ class Interpreter:
             trap_reason=reason,
         )
 
+    def resume(
+        self,
+        func_name: str,
+        block_name: str,
+        env: dict[str, int | float],
+        heap: list[int | float],
+        cycles: int = 0,
+        instructions: int = 0,
+    ) -> ExecutionResult:
+        """Resume execution from a single-frame checkpoint.
+
+        The checkpoint must have been taken at a *safe point*: the start
+        of a block's body, after the block's phis were applied to ``env``
+        (this is where :class:`repro.recover.checkpoint.CheckpointHook`
+        fires).  Phi evaluation of the resumed block is therefore skipped —
+        re-running phis against a post-phi environment is not idempotent
+        (e.g. a loop-carried swap).  Cycle and instruction counters pick up
+        from the checkpointed values so overhead accounting stays honest.
+        """
+        self.heap = list(heap)
+        self.cycles = cycles
+        self.instructions = instructions
+        self.block_trace = []
+        self.frames = []
+        func = self.module.function(func_name)
+        frame = Frame(func=func, env=dict(env), block=func.block(block_name))
+        self.frames.append(frame)
+        try:
+            try:
+                value = self._run_frame(frame, skip_phis_once=True)
+            finally:
+                self.frames.pop()
+            status, reason = ExecutionStatus.OK, ""
+        except DetectionTrap as exc:
+            value, status, reason = None, ExecutionStatus.DETECTED, str(exc)
+        except TrapError as exc:
+            value, status, reason = None, ExecutionStatus.TRAP, str(exc)
+        except FuelExhausted as exc:
+            value, status, reason = None, ExecutionStatus.HANG, str(exc)
+        return ExecutionResult(
+            status=status,
+            value=value,
+            cycles=self.cycles,
+            instructions=self.instructions,
+            block_trace=self.block_trace,
+            trap_reason=reason,
+        )
+
     #: Heap ceiling in cells (8 MiB-equivalent).  A corrupted allocation
     #: size (e.g. a flipped high bit of an alloc count) must trap like an
     #: out-of-memory kill, not exhaust the host.
@@ -167,17 +215,20 @@ class Interpreter:
         finally:
             self.frames.pop()
 
-    def _run_frame(self, frame: Frame) -> int | float | None:
+    def _run_frame(
+        self, frame: Frame, skip_phis_once: bool = False
+    ) -> int | float | None:
         while True:
             if self.record_trace:
                 self.block_trace.append((frame.func.name, frame.block.name))
-            result = self._run_block(frame)
+            result = self._run_block(frame, skip_phis=skip_phis_once)
+            skip_phis_once = False
             if result is not _CONTINUE:
                 return result
 
-    def _run_block(self, frame: Frame) -> object:
+    def _run_block(self, frame: Frame, skip_phis: bool = False) -> object:
         # Phi nodes evaluate in parallel against the edge just taken.
-        phis = frame.block.phis
+        phis = [] if skip_phis else frame.block.phis
         if phis:
             staged: dict[str, int | float] = {}
             for phi in phis:

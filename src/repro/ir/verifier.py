@@ -23,7 +23,7 @@ from repro.ir.instructions import (
     Opcode,
 )
 from repro.ir.module import Module
-from repro.ir.types import INT1, VOID
+from repro.ir.types import INT1
 from repro.ir.values import Argument, Constant, Value
 
 

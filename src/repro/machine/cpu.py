@@ -6,7 +6,12 @@ import enum
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.errors import InvalidInstruction, MachineHalted, MemoryFault
+from repro.errors import (
+    InvalidInstruction,
+    MachineHalted,
+    MemoryFault,
+    WatchdogTimeout,
+)
 from repro.machine.asm import Program
 from repro.machine.cache import CachePlugin
 from repro.machine.isa import (
@@ -209,11 +214,14 @@ class Machine:
         raise InvalidInstruction(f"unhandled mnemonic {m}")
 
     def run(self, fuel: int = 1_000_000) -> RunOutcome:
-        """Run until halt, trap, or ``fuel`` steps."""
+        """Run until halt, trap, watchdog bite, or ``fuel`` steps."""
         self.trap_reason = ""
         try:
             while not self.state.halted and self.state.steps < fuel:
                 self.step()
+        except WatchdogTimeout as exc:
+            self.trap_reason = str(exc)
+            return RunOutcome.FUEL_EXHAUSTED
         except (MemoryFault, InvalidInstruction) as exc:
             self.trap_reason = str(exc)
             return RunOutcome.TRAP

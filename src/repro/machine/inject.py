@@ -19,7 +19,7 @@ from repro.machine.asm import Program
 from repro.machine.cache import CachePlugin
 from repro.machine.cpu import Machine, RunOutcome
 from repro.machine.gdbport import GdbPort
-from repro.machine.isa import MachInstr, N_REGISTERS, WORD_BYTES
+from repro.machine.isa import MachInstr, N_REGISTERS
 from repro.machine.programs import RESULT_ADDR, load_program
 from repro.rng import fork, make_rng
 

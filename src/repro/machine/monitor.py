@@ -30,6 +30,10 @@ class Monitor:
         cacheq <addr> [...]       which of the addresses are cache-resident
         savevm <name>             take a snapshot
         loadvm <name>             restore a snapshot
+        watchdog arm <budget>     arm a step-budget watchdog
+        watchdog kick [budget]    rearm the watchdog
+        watchdog disarm           remove the watchdog
+        watchdog status           remaining budget and bite count
         step [n]                  single-step n instructions
         where                     current pc and instruction
     """
@@ -38,6 +42,8 @@ class Monitor:
         self.machine = machine
         self.gdb = GdbPort(machine)
         self.snapshots: dict[str, Snapshot] = {}
+        self.watchdog: "MachineWatchdog | None" = None
+        self._base_hook = None
 
     def execute(self, command: str) -> str:
         """Run one command line and return its textual output."""
@@ -117,6 +123,51 @@ class Monitor:
             raise MachineError(f"no snapshot {name!r}")
         restore_snapshot(self.machine, self.snapshots[name])
         return f"snapshot {name!r} restored (pc={self.machine.state.pc})"
+
+    def _cmd_watchdog(self, args: list[str]) -> str:
+        # Imported here: repro.recover pulls in the machine package, so a
+        # module-level import would tie monitor loading to import order.
+        from repro.recover.watchdog import MachineWatchdog
+
+        if not args:
+            raise MachineError("usage: watchdog arm|kick|disarm|status ...")
+        op = args[0]
+        if op not in ("arm", "kick", "disarm", "status"):
+            raise MachineError(f"unknown watchdog subcommand {op!r}")
+        if op == "arm":
+            budget = int(args[1])
+            self.watchdog = MachineWatchdog(budget)
+            self._base_hook = self.machine.step_hook
+            self.machine.step_hook = self._chain_with_watchdog()
+            return f"watchdog armed: budget={budget}"
+        if self.watchdog is None:
+            if op == "status":
+                return "watchdog: disarmed"
+            raise MachineError("watchdog is not armed")
+        if op == "kick":
+            budget = int(args[1]) if len(args) > 1 else None
+            self.watchdog.kick(budget)
+            return f"watchdog kicked: budget={self.watchdog.budget}"
+        if op == "disarm":
+            self.machine.step_hook = self._base_hook
+            self.watchdog = None
+            return "watchdog disarmed"
+        return (
+            f"watchdog: budget={self.watchdog.budget} "
+            f"remaining={self.watchdog.remaining} "
+            f"bites={self.watchdog.bites}"
+        )
+
+    def _chain_with_watchdog(self):
+        base, dog = self._base_hook, self.watchdog
+        if base is None:
+            return dog
+
+        def chained(machine, instr, step_index):
+            base(machine, instr, step_index)
+            dog(machine, instr, step_index)
+
+        return chained
 
     def _cmd_step(self, args: list[str]) -> str:
         count = int(args[0]) if args else 1

@@ -1,0 +1,70 @@
+"""Recovery & supervision: the layer between detection and survival.
+
+The paper's argument is that commodity hardware survives space because
+*software recovers from what it cannot prevent*.  The rest of the library
+detects — DMR traps, the SEL daemon alarms, the fuel budget catches hangs —
+but nothing turned those detections into survivals.  This package does:
+
+- :mod:`repro.recover.checkpoint` — periodic, checksum-verified snapshots
+  of :class:`~repro.machine.cpu.Machine` and
+  :class:`~repro.ir.interp.Interpreter` state, with rollback/resume.
+- :mod:`repro.recover.watchdog` — heartbeat / fuel-based hang detection
+  for both execution substrates.
+- :mod:`repro.recover.ladder` — the escalation ladder (task retry ->
+  rollback -> cold restart -> power cycle) with bounded attempts and
+  exponential backoff, plus the fault-persistence model that decides
+  which rung can clear a given failure.
+- :mod:`repro.recover.supervisor` — supervised fault-injection campaigns:
+  every CRASH/HANG/DETECTED trial is driven through the ladder and the
+  recovery rate, latency, and wasted cycles are measured.
+- :mod:`repro.recover.adaptive` — a controller that escalates DMR level
+  and scrub cadence when the observed fault rate spikes and de-escalates
+  after a quiet period.
+"""
+
+from repro.recover.adaptive import (
+    AdaptiveConfig,
+    AdaptiveController,
+    LevelTransition,
+)
+from repro.recover.checkpoint import (
+    Checkpoint,
+    CheckpointHook,
+    CheckpointManager,
+    checkpoint_machine,
+    restore_machine_checkpoint,
+    resume_from_checkpoint,
+)
+from repro.recover.ladder import (
+    EscalationLadder,
+    FaultPersistence,
+    LadderConfig,
+    PlannedAttempt,
+    RecoveryRung,
+)
+from repro.recover.supervisor import (
+    RecoveryParams,
+    RecoveryRecord,
+    SupervisedCampaignResult,
+    Supervisor,
+    SupervisorConfig,
+    run_supervised_campaign,
+)
+from repro.recover.watchdog import (
+    InterpWatchdog,
+    MachineWatchdog,
+    Watchdog,
+    chain_step_hooks,
+)
+
+__all__ = [
+    "AdaptiveConfig", "AdaptiveController", "LevelTransition",
+    "Checkpoint", "CheckpointHook", "CheckpointManager",
+    "checkpoint_machine", "restore_machine_checkpoint",
+    "resume_from_checkpoint",
+    "EscalationLadder", "FaultPersistence", "LadderConfig",
+    "PlannedAttempt", "RecoveryRung",
+    "RecoveryParams", "RecoveryRecord", "SupervisedCampaignResult",
+    "Supervisor", "SupervisorConfig", "run_supervised_campaign",
+    "InterpWatchdog", "MachineWatchdog", "Watchdog", "chain_step_hooks",
+]

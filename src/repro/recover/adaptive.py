@@ -1,0 +1,153 @@
+"""Adaptive protection: match the protection level to the environment.
+
+Wang et al.'s application-aware tolerance argument (arXiv:2407.11853) cuts
+both ways: paying FULL_DMR overhead through a quiet orbit wastes compute,
+and flying SCC_CFI through a solar storm wastes the spacecraft.  The
+controller watches the observed fault-event rate over a sliding window and
+walks the DMR level up one step each time the rate crosses the escalation
+threshold, stepping back down only after a sustained quiet period
+(hysteresis — a single quiet window during a storm must not strip the
+armor).  The memory scrubber's cadence scales the same way: each level
+step halves the scrub period.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.dmr.levels import ALL_LEVELS, ProtectionLevel
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class AdaptiveConfig:
+    """Controller tuning.
+
+    Attributes:
+        window_s: sliding window over which the fault rate is estimated.
+        escalate_rate_per_s: windowed rate at or above which the
+            controller steps the protection level up.
+        deescalate_rate_per_s: rate below which a window counts as quiet
+            (must be below the escalation threshold: the gap is the
+            hysteresis band).
+        quiet_period_s: continuous quiet time required before stepping
+            the level down.
+        min_level / max_level: clamp on the walk.
+        base_scrub_period_s: scrub cadence at ``min_level``; each level
+            step above it halves the period.
+    """
+
+    window_s: float = 60.0
+    escalate_rate_per_s: float = 0.5
+    deescalate_rate_per_s: float = 0.1
+    quiet_period_s: float = 300.0
+    min_level: ProtectionLevel = ProtectionLevel.SCC_CFI
+    max_level: ProtectionLevel = ProtectionLevel.FULL_DMR
+    base_scrub_period_s: float = 64.0
+
+    def __post_init__(self) -> None:
+        if self.window_s <= 0:
+            raise ConfigError("window must be positive")
+        if self.deescalate_rate_per_s >= self.escalate_rate_per_s:
+            raise ConfigError(
+                "de-escalation rate must be below the escalation rate "
+                "(the gap is the hysteresis band)"
+            )
+        if self.quiet_period_s < 0:
+            raise ConfigError("quiet period must be >= 0")
+        if self.max_level < self.min_level:
+            raise ConfigError("max level below min level")
+        if self.base_scrub_period_s <= 0:
+            raise ConfigError("scrub period must be positive")
+
+
+@dataclass(frozen=True)
+class LevelTransition:
+    """One protection-level change, for telemetry and tests."""
+
+    t: float
+    level: ProtectionLevel
+    rate_per_s: float
+
+
+class AdaptiveController:
+    """Fault-rate-driven DMR level and scrub cadence.
+
+    Feed it fault observations (DMR detections, watchdog bites, scrubber
+    corrections, SEL alarms — anything countable) via :meth:`observe`;
+    read :attr:`level` and :meth:`scrub_period_s` back.  Observations
+    must arrive in nondecreasing time order.
+    """
+
+    def __init__(
+        self,
+        config: AdaptiveConfig = AdaptiveConfig(),
+        initial_level: ProtectionLevel | None = None,
+    ) -> None:
+        self.config = config
+        level = initial_level if initial_level is not None else config.min_level
+        self.level = self._clamp(level)
+        self._events: deque[tuple[float, int]] = deque()
+        self._quiet_since: float | None = None
+        self._last_t = float("-inf")
+        self.transitions: list[LevelTransition] = []
+
+    def _clamp(self, level: ProtectionLevel) -> ProtectionLevel:
+        lo, hi = self.config.min_level, self.config.max_level
+        if level < lo:
+            return lo
+        if hi < level:
+            return hi
+        return level
+
+    def _step(self, delta: int) -> ProtectionLevel:
+        index = ALL_LEVELS.index(self.level) + delta
+        index = max(0, min(len(ALL_LEVELS) - 1, index))
+        return self._clamp(ALL_LEVELS[index])
+
+    def rate_per_s(self, t: float) -> float:
+        """Windowed fault rate at time ``t``."""
+        horizon = t - self.config.window_s
+        while self._events and self._events[0][0] < horizon:
+            self._events.popleft()
+        return sum(n for _, n in self._events) / self.config.window_s
+
+    def observe(self, t: float, n_faults: int = 1) -> ProtectionLevel:
+        """Record ``n_faults`` events at time ``t``; returns the new level.
+
+        Call with ``n_faults=0`` to let time pass (quiet periods only
+        de-escalate when the controller gets a chance to notice them).
+        """
+        if t < self._last_t:
+            raise ConfigError(
+                f"observations must be time-ordered: {t} after {self._last_t}"
+            )
+        self._last_t = t
+        if n_faults > 0:
+            self._events.append((t, n_faults))
+        rate = self.rate_per_s(t)
+
+        if rate >= self.config.escalate_rate_per_s:
+            self._quiet_since = None
+            stepped = self._step(+1)
+            if stepped is not self.level:
+                self.level = stepped
+                self.transitions.append(LevelTransition(t, stepped, rate))
+        elif rate < self.config.deescalate_rate_per_s:
+            if self._quiet_since is None:
+                self._quiet_since = t
+            elif t - self._quiet_since >= self.config.quiet_period_s:
+                stepped = self._step(-1)
+                if stepped is not self.level:
+                    self.level = stepped
+                    self.transitions.append(LevelTransition(t, stepped, rate))
+                self._quiet_since = t  # each further step needs its own quiet
+        else:
+            self._quiet_since = None  # inside the hysteresis band: hold
+        return self.level
+
+    def scrub_period_s(self) -> float:
+        """Scrub cadence at the current level: base halved per step up."""
+        steps = self.level.rank - self.config.min_level.rank
+        return self.config.base_scrub_period_s / (2 ** max(0, steps))

@@ -1,0 +1,179 @@
+"""The escalation ladder: staged recovery with bounded attempts.
+
+Fuchs et al.'s multi-stage fault-tolerance argument (arXiv:1708.06931) is
+that recovery actions form a cost hierarchy — re-issuing a task is cheap,
+rolling back to a checkpoint wastes only the work since the checkpoint, a
+cold restart re-runs everything, and a power cycle adds seconds of outage
+on top.  A supervisor should climb that ladder, not jump to the top: most
+upsets are transient and clear at the first rung.  Each rung gets a
+bounded number of attempts with exponential backoff between them, so a
+persistent fault cannot pin the supervisor in a retry loop.
+
+:class:`FaultPersistence` models *why* a rung can fail: the injected SEU
+may have corrupted state the rung does not reset (a global outside the
+task's write set, the program image, a stuck peripheral latch).  Those
+failure modes live outside the interpreter's reach, so they are drawn
+probabilistically per failure; within an eligible rung the mechanism
+(re-run, checkpoint resume) must still actually produce a correct output.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+class RecoveryRung(enum.Enum):
+    """One stage of the escalation ladder, cheapest first."""
+
+    RETRY = "retry"                # re-issue the task on the live system
+    ROLLBACK = "rollback"          # restore last good checkpoint, resume
+    COLD_RESTART = "cold-restart"  # reboot: reset state, reload image
+    POWER_CYCLE = "power-cycle"    # full power cycle, clears stuck latches
+
+    @property
+    def rank(self) -> int:
+        return _RUNG_RANKS[self]
+
+
+_RUNG_RANKS = {
+    RecoveryRung.RETRY: 0,
+    RecoveryRung.ROLLBACK: 1,
+    RecoveryRung.COLD_RESTART: 2,
+    RecoveryRung.POWER_CYCLE: 3,
+}
+
+#: Rungs in default escalation order.
+DEFAULT_ORDER = (
+    RecoveryRung.RETRY,
+    RecoveryRung.ROLLBACK,
+    RecoveryRung.COLD_RESTART,
+    RecoveryRung.POWER_CYCLE,
+)
+
+
+class FaultPersistence(enum.Enum):
+    """How sticky a failure's root cause is.
+
+    Attributes map each class to the weakest rung that clears it:
+    TRANSIENT clears at any rung, STATE needs at least a rollback to a
+    pre-fault checkpoint, IMAGE needs the program reloaded (cold restart),
+    STUCK needs power removed.
+    """
+
+    TRANSIENT = "transient"
+    STATE = "state"
+    IMAGE = "image"
+    STUCK = "stuck"
+
+    def cleared_by(self, rung: RecoveryRung) -> bool:
+        return rung.rank >= _MIN_CLEARING_RANK[self]
+
+
+_MIN_CLEARING_RANK = {
+    FaultPersistence.TRANSIENT: RecoveryRung.RETRY.rank,
+    FaultPersistence.STATE: RecoveryRung.ROLLBACK.rank,
+    FaultPersistence.IMAGE: RecoveryRung.COLD_RESTART.rank,
+    FaultPersistence.STUCK: RecoveryRung.POWER_CYCLE.rank,
+}
+
+
+@dataclass(frozen=True)
+class PlannedAttempt:
+    """One scheduled recovery attempt.
+
+    Attributes:
+        rung: the ladder stage.
+        attempt: 0-based attempt index within the rung.
+        backoff_s: delay before this attempt (exponential within a rung).
+    """
+
+    rung: RecoveryRung
+    attempt: int
+    backoff_s: float
+
+
+@dataclass(frozen=True)
+class LadderConfig:
+    """Escalation policy.
+
+    Attributes:
+        attempts: max attempts per rung (0 skips the rung entirely).
+        backoff_base_s: delay before the second attempt of any rung.
+        backoff_factor: multiplier per further attempt on the same rung.
+        order: rung sequence; the default follows the cost hierarchy.
+            Long-running tasks with cheap checkpoints may prefer
+            :meth:`rollback_first`.
+    """
+
+    attempts: dict[RecoveryRung, int] = field(
+        default_factory=lambda: {
+            RecoveryRung.RETRY: 1,
+            RecoveryRung.ROLLBACK: 2,
+            RecoveryRung.COLD_RESTART: 2,
+            RecoveryRung.POWER_CYCLE: 1,
+        }
+    )
+    backoff_base_s: float = 0.1
+    backoff_factor: float = 2.0
+    order: tuple[RecoveryRung, ...] = DEFAULT_ORDER
+
+    @staticmethod
+    def rollback_first() -> "LadderConfig":
+        """Prefer checkpoint rollback over full task retry.
+
+        Rolling back wastes only the work done since the checkpoint, so
+        for tasks long relative to their checkpoint interval this order
+        minimizes wasted cycles.
+        """
+        return LadderConfig(order=(
+            RecoveryRung.ROLLBACK,
+            RecoveryRung.RETRY,
+            RecoveryRung.COLD_RESTART,
+            RecoveryRung.POWER_CYCLE,
+        ))
+
+
+class EscalationLadder:
+    """Expands a :class:`LadderConfig` into a bounded attempt schedule."""
+
+    def __init__(self, config: LadderConfig = LadderConfig()) -> None:
+        for rung, n in config.attempts.items():
+            if n < 0:
+                raise ConfigError(
+                    f"attempt count for {rung.value} must be >= 0, got {n}"
+                )
+        if config.backoff_base_s < 0:
+            raise ConfigError("backoff base must be >= 0")
+        if config.backoff_factor < 1.0:
+            raise ConfigError("backoff factor must be >= 1")
+        if len(set(config.order)) != len(config.order):
+            raise ConfigError("ladder order must not repeat rungs")
+        self.config = config
+
+    def plan(self) -> list[PlannedAttempt]:
+        """The full attempt schedule, in execution order.
+
+        The first attempt on each rung is immediate (backoff 0); further
+        attempts on the same rung back off exponentially — the fault may
+        need time to drain (e.g. charge dissipation after an SEU burst).
+        """
+        schedule: list[PlannedAttempt] = []
+        for rung in self.config.order:
+            for attempt in range(self.config.attempts.get(rung, 0)):
+                backoff = 0.0
+                if attempt > 0:
+                    backoff = (
+                        self.config.backoff_base_s
+                        * self.config.backoff_factor ** (attempt - 1)
+                    )
+                schedule.append(PlannedAttempt(
+                    rung=rung, attempt=attempt, backoff_s=backoff,
+                ))
+        return schedule
+
+    @property
+    def max_attempts(self) -> int:
+        return sum(self.config.attempts.get(r, 0) for r in self.config.order)

@@ -12,14 +12,17 @@ from repro.sim.mission import (
     MissionConfig,
     ProtectionProfile,
     run_mission,
+    sweep_profiles,
     UNPROTECTED_COMMODITY,
     PROTECTED_COMMODITY,
     RAD_HARD_BASELINE,
+    SUPERVISED_COMMODITY,
 )
 from repro.sim.report import MissionReport, render_mission_table
 
 __all__ = [
-    "MissionConfig", "ProtectionProfile", "run_mission",
+    "MissionConfig", "ProtectionProfile", "run_mission", "sweep_profiles",
     "UNPROTECTED_COMMODITY", "PROTECTED_COMMODITY", "RAD_HARD_BASELINE",
+    "SUPERVISED_COMMODITY",
     "MissionReport", "render_mission_table",
 ]

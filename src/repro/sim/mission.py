@@ -25,6 +25,7 @@ from repro.faults.outcomes import FaultOutcome
 from repro.hw.specs import ENDUROSAT_OBC_SPEC, SNAPDRAGON_801, SocSpec
 from repro.radiation.environment import Environment, LEO_NOMINAL
 from repro.radiation.events import DEFAULT_TARGET_WEIGHTS
+from repro.recover.supervisor import RecoveryParams
 from repro.rng import make_rng
 from repro.sim.report import MissionReport
 from repro.units import SECONDS_PER_DAY
@@ -55,7 +56,14 @@ class ProtectionProfile:
         sel_min_detectable_a: smallest latch-up delta the detector catches
             (E1: residual-CUSUM reaches 5 mA; naive threshold ~300 mA).
         sel_detect_latency_s: typical alarm latency once detectable.
-        reboot_downtime_s: cost of each power cycle / crash recovery.
+        reboot_downtime_s: cost of each power cycle / crash recovery
+            when no supervisor is flown (the flat legacy charge).
+        recovery: supervisor-derived recovery parameters (measured by a
+            supervised fault-injection campaign, see
+            :func:`repro.recover.run_supervised_campaign`).  When set,
+            each CRASH/HANG/DETECTED compute event is resolved through
+            the supervisor's measured recovery rate and latency instead
+            of the flat ``reboot_downtime_s`` charge.
     """
 
     name: str
@@ -81,6 +89,7 @@ class ProtectionProfile:
     sel_detect_latency_s: float = 16.0
     naive_sel_min_detectable_a: float = 0.3
     reboot_downtime_s: float = 30.0
+    recovery: RecoveryParams | None = None
 
 
 #: Commodity hardware, no software protection: a naive current threshold
@@ -109,6 +118,22 @@ PROTECTED_COMMODITY = ProtectionProfile(
 RAD_HARD_BASELINE = ProtectionProfile(
     name="rad-hard",
     spec=ENDUROSAT_OBC_SPEC,
+)
+
+#: The protected commodity stack with the recovery supervisor flown:
+#: observable compute failures resolve through the supervisor's measured
+#: recovery rate and latency (order-of-magnitude defaults from the
+#: supervised campaigns in ``benchmarks/bench_recovery.py``) instead of a
+#: flat 30 s reboot each.
+SUPERVISED_COMMODITY = replace(
+    PROTECTED_COMMODITY,
+    name="commodity-supervised",
+    recovery=RecoveryParams(
+        mean_downtime_s=0.5,
+        success_frac=0.97,
+        residual_sdc_frac=0.002,
+        unrecovered_downtime_s=30.0,
+    ),
 )
 
 
@@ -179,12 +204,33 @@ def run_mission(
         # Compute-affecting upsets: resolve against the DMR distribution.
         outcome_counts = rng.multinomial(n_compute, probs)
         for outcome, count in zip(outcomes, outcome_counts):
-            report.compute_outcomes[outcome] += int(count)
+            count = int(count)
+            report.compute_outcomes[outcome] += count
             if outcome is FaultOutcome.SDC:
-                report.sdc_escapes += int(count)
+                report.sdc_escapes += count
             if outcome in (FaultOutcome.CRASH, FaultOutcome.HANG,
                            FaultOutcome.DETECTED):
-                downtime_s += int(count) * profile.reboot_downtime_s
+                recovery = profile.recovery
+                if recovery is None:
+                    # No supervisor flown: every observable failure costs
+                    # a full reboot.
+                    downtime_s += count * profile.reboot_downtime_s
+                    continue
+                recovered = int(rng.binomial(count, recovery.success_frac))
+                unrecovered = count - recovered
+                event_downtime = (
+                    recovered * recovery.mean_downtime_s
+                    + unrecovered * recovery.unrecovered_downtime_s
+                )
+                downtime_s += event_downtime
+                report.recovered_events += recovered
+                report.unrecovered_events += unrecovered
+                report.recovery_downtime_s += event_downtime
+                # A recovery that accepted a wrong output is an SDC.
+                residual = int(
+                    rng.binomial(recovered, recovery.residual_sdc_frac)
+                )
+                report.sdc_escapes += residual
 
         # DRAM upsets: hardware ECC, scrubber, or exposed.
         if profile.spec.ram_ecc:
@@ -232,14 +278,16 @@ def run_mission(
 
     alive_s = (t if not destroyed else
                (report.destroyed_at_day or 0.0) * SECONDS_PER_DAY)
-    report.uptime_fraction = max(
-        0.0, (alive_s - downtime_s) / duration_s
-    )
+    # Accumulated downtime can exceed alive time under failure-heavy
+    # profiles (recoveries overlap in real hardware; the charges here are
+    # additive) — useful time is floored at zero, never negative.
+    useful_s = max(0.0, alive_s - downtime_s)
+    report.uptime_fraction = useful_s / duration_s
     # Compute delivered: alive time x throughput / protection overhead,
     # normalized to the commodity spec running unprotected.
     throughput = profile.spec.compute_score / SNAPDRAGON_801.compute_score
     report.compute_delivered = (
-        (alive_s - downtime_s) / duration_s * throughput / profile.dmr_overhead
+        useful_s / duration_s * throughput / profile.dmr_overhead
     )
     report.cost_usd = profile.spec.cost_usd
     return report

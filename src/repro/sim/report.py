@@ -34,6 +34,9 @@ class MissionReport:
     dram_corrected: int = 0
     dram_sdc: int = 0
     sdc_escapes: int = 0
+    recovered_events: int = 0
+    unrecovered_events: int = 0
+    recovery_downtime_s: float = 0.0
     uptime_fraction: float = 1.0
     compute_delivered: float = 0.0
     cost_usd: float = 0.0
@@ -81,6 +84,15 @@ class MissionReport:
         avg.dram_corrected = round(sum(r.dram_corrected for r in reports) / n)
         avg.dram_sdc = round(sum(r.dram_sdc for r in reports) / n)
         avg.sdc_escapes = round(sum(r.sdc_escapes for r in reports) / n)
+        avg.recovered_events = round(
+            sum(r.recovered_events for r in reports) / n
+        )
+        avg.unrecovered_events = round(
+            sum(r.unrecovered_events for r in reports) / n
+        )
+        avg.recovery_downtime_s = float(
+            np.mean([r.recovery_downtime_s for r in reports])
+        )
         avg.uptime_fraction = float(
             np.mean([r.uptime_fraction for r in reports])
         )

@@ -8,7 +8,7 @@ from repro.core.dmr.runtime import (
     placement_overhead_cycles,
 )
 from repro.faults.outcomes import FaultOutcome
-from repro.workloads.irprograms import PROGRAMS, build_program
+from repro.workloads.irprograms import build_program
 
 
 @pytest.fixture(scope="module")

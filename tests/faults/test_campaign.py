@@ -3,7 +3,12 @@
 import pytest
 
 from repro.errors import FaultInjectionError
-from repro.faults.campaign import Campaign, run_campaign
+from repro.faults.campaign import (
+    Campaign,
+    run_campaign,
+    run_golden,
+    trial_fuel_for,
+)
 from repro.faults.model import FaultTarget
 from repro.faults.outcomes import FaultOutcome
 from repro.workloads.irprograms import PROGRAMS, build_program
@@ -30,6 +35,37 @@ class TestCampaigns:
         b = run_campaign(_campaign("gcd", n_trials=40), seed=5)
         assert a.counts.as_dict() == b.counts.as_dict()
         assert [t.outcome for t in a.trials] == [t.outcome for t in b.trials]
+
+    def test_byte_identical_under_seed(self):
+        # Stronger than outcome equality: the resolved specs (target,
+        # dynamic index, register/address, bit) must match field for field.
+        a = run_campaign(_campaign("isort", n_trials=50), seed=11)
+        b = run_campaign(_campaign("isort", n_trials=50), seed=11)
+        assert a.counts.as_dict() == b.counts.as_dict()
+        assert [t.spec for t in a.trials] == [t.spec for t in b.trials]
+        assert [t.value for t in a.trials] == [t.value for t in b.trials]
+        assert [t.cycles for t in a.trials] == [t.cycles for t in b.trials]
+
+    def test_trial_specs_are_resolved(self):
+        # Fired trials record the concrete injection point (location and
+        # bit picked at runtime), not the unresolved template.
+        result = run_campaign(_campaign("fact", n_trials=30), seed=2)
+        resolved = [
+            t.spec for t in result.trials
+            if t.spec.location is not None
+        ]
+        assert resolved
+        for spec in resolved:
+            assert spec.bit is not None
+            assert spec.dynamic_index >= 0
+
+    def test_golden_and_fuel_helpers(self):
+        campaign = _campaign("fib")
+        golden = run_golden(campaign)
+        assert golden.ok
+        assert golden.value == 832040
+        fuel = trial_fuel_for(campaign, golden)
+        assert golden.instructions < fuel <= campaign.fuel
 
     def test_different_seeds_differ(self):
         a = run_campaign(_campaign("fact", n_trials=60), seed=1)

@@ -10,7 +10,7 @@ from repro.hw.coprocessor import DspCoprocessor
 from repro.hw.power import PowerModel, PowerModelParams
 from repro.hw.sensor import CurrentSensor
 from repro.hw.specs import (
-    ENDUROSAT_OBC_SPEC, RASPBERRY_PI_4, SNAPDRAGON_801, comparison_table,
+    ENDUROSAT_OBC_SPEC, SNAPDRAGON_801, comparison_table,
 )
 from repro.hw.thermal import ThermalModel
 

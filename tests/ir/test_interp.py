@@ -2,12 +2,11 @@
 
 import math
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.ir.builder import IRBuilder
 from repro.ir.function import Function
-from repro.ir.instructions import Opcode, Predicate
+from repro.ir.instructions import Opcode
 from repro.ir.interp import (
     ExecutionStatus, Interpreter, MAG_INF, MAG_NAN, MAG_ZERO, magnitude,
 )

@@ -5,7 +5,7 @@ from hypothesis import given, strategies as st
 
 from repro.errors import IRTypeError
 from repro.ir.types import (
-    F64, INT1, INT32, INT64, PTR, VOID, Type, TypeKind, type_from_name,
+    F64, INT1, INT32, INT64, PTR, VOID, type_from_name,
 )
 
 

@@ -7,7 +7,7 @@ from repro.ir.builder import IRBuilder
 from repro.ir.function import Function
 from repro.ir.instructions import Instruction, Opcode, Predicate
 from repro.ir.module import Module
-from repro.ir.types import INT1, INT64, VOID
+from repro.ir.types import INT64, VOID
 from repro.ir.values import Constant
 from repro.ir.verifier import verify_function, verify_module
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import AssemblerError, MachineHalted, MemoryFault
+from repro.errors import AssemblerError, MachineHalted
 from repro.machine.asm import assemble
 from repro.machine.cpu import Machine, RunOutcome
 from repro.machine.isa import LINK_REGISTER, to_signed

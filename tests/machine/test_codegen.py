@@ -45,8 +45,6 @@ def test_compiled_matches_interpreter_on_random_args(name):
 @given(st.integers(-50, 80), st.integers(-50, 80))
 def test_abs_diff_equivalence_property(a, b):
     """Hypothesis: the compiled two-armed branch agrees everywhere."""
-    from tests.conftest import abs_diff_module  # fixture function reuse
-
     module = _abs_diff()
     func = module.function("abs_diff")
     outcome, value = run_compiled(func, [a, b])

@@ -1,0 +1,97 @@
+"""Snapshot/restore roundtrip: architectural state must be exact."""
+
+from repro.machine.asm import assemble
+from repro.machine.cache import CachePlugin
+from repro.machine.cpu import Machine
+from repro.machine.snapshot import restore_snapshot, take_snapshot
+
+PROGRAM = """
+    .data 0x100 7 11 13
+    li   r1, 0
+    li   r2, 0x100
+    li   r3, 0
+    li   r4, 3
+loop:
+    ld   r5, 0(r2)
+    add  r1, r1, r5
+    addi r2, r2, 8
+    addi r3, r3, 1
+    blt  r3, r4, loop
+    st   r1, 0x200(r0)
+    halt
+"""
+
+
+def _machine(**kwargs):
+    return Machine(assemble(PROGRAM), **kwargs)
+
+
+class TestSnapshotRoundtrip:
+    def test_midrun_roundtrip_is_exact(self):
+        machine = _machine()
+        for _ in range(9):
+            machine.step()
+        snap = take_snapshot(machine)
+        regs = list(machine.state.registers)
+        pc = machine.state.pc
+        memory = dict(machine.state.memory)
+        steps = machine.state.steps
+        cycles = machine.state.cycles
+
+        machine.run()  # drive to completion, scrambling live state
+        assert machine.state.halted
+
+        restore_snapshot(machine, snap)
+        assert machine.state.registers == regs
+        assert machine.state.pc == pc
+        assert machine.state.memory == memory
+        assert machine.state.steps == steps
+        assert machine.state.cycles == cycles
+        assert machine.state.halted is False
+
+    def test_restore_is_isolated_from_later_mutation(self):
+        machine = _machine()
+        for _ in range(5):
+            machine.step()
+        snap = take_snapshot(machine)
+        # Mutating the live machine must not reach into the snapshot.
+        machine.write_register(1, 0xDEAD)
+        machine.write_word(0x100, 999)
+        restore_snapshot(machine, snap)
+        assert machine.read_register(1) != 0xDEAD
+        assert machine.read_word(0x100) == 7
+
+    def test_replay_from_snapshot_reconverges(self):
+        reference = _machine()
+        reference.run()
+        final_sum = reference.read_word(0x200)
+        final_cycles = reference.state.cycles
+
+        machine = _machine()
+        for _ in range(7):
+            machine.step()
+        snap = take_snapshot(machine)
+        machine.run()
+        restore_snapshot(machine, snap)
+        machine.run()
+        assert machine.read_word(0x200) == final_sum
+        assert machine.state.cycles == final_cycles
+
+    def test_restore_flushes_cache(self):
+        machine = _machine(cache=CachePlugin())
+        snap = take_snapshot(machine)
+        machine.run()
+        assert machine.cache.hits + machine.cache.misses > 0
+        assert machine.cache.resident_addresses([0x100, 0x108])
+        restore_snapshot(machine, snap)
+        # Residency after restore is unknown, so the model starts cold.
+        assert machine.cache.resident_addresses([0x100, 0x108, 0x200]) == []
+
+    def test_halted_flag_roundtrips(self):
+        machine = _machine()
+        machine.run()
+        snap = take_snapshot(machine)
+        assert snap.halted
+        fresh = _machine()
+        restore_snapshot(fresh, snap)
+        assert fresh.state.halted

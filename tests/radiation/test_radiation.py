@@ -6,7 +6,7 @@ import pytest
 from repro.errors import ConfigError
 from repro.hw.specs import SNAPDRAGON_801
 from repro.radiation.environment import (
-    Environment, LEO_NOMINAL, MARS_SURFACE, SOLAR_STORM,
+    LEO_NOMINAL, MARS_SURFACE, SOLAR_STORM,
 )
 from repro.radiation.events import EventGenerator, EventKind
 from repro.radiation.flux import (

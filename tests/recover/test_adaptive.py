@@ -1,0 +1,136 @@
+"""Adaptive protection controller: escalation, hysteresis, scrub cadence."""
+
+import pytest
+
+from repro.core.dmr.levels import ProtectionLevel
+from repro.errors import ConfigError
+from repro.recover.adaptive import AdaptiveConfig, AdaptiveController
+
+
+def make_controller(**overrides):
+    defaults = dict(
+        window_s=60.0,
+        escalate_rate_per_s=0.2,
+        deescalate_rate_per_s=0.05,
+        quiet_period_s=120.0,
+    )
+    defaults.update(overrides)
+    return AdaptiveController(AdaptiveConfig(**defaults))
+
+
+class TestEscalation:
+    def test_starts_at_min_level(self):
+        ctrl = make_controller()
+        assert ctrl.level is ProtectionLevel.SCC_CFI
+
+    def test_storm_escalates_one_step_per_crossing(self):
+        ctrl = make_controller()
+        # 12 faults in the 60 s window -> 0.2/s: at the threshold.
+        for t in range(0, 60, 5):
+            ctrl.observe(float(t))
+        assert ctrl.level.rank > ProtectionLevel.SCC_CFI.rank
+        assert ctrl.transitions
+        assert ctrl.transitions[0].rate_per_s >= 0.2
+
+    def test_sustained_storm_reaches_max_level(self):
+        ctrl = make_controller()
+        for t in range(0, 600, 2):
+            ctrl.observe(float(t))
+        assert ctrl.level is ProtectionLevel.FULL_DMR
+
+    def test_never_exceeds_max_level(self):
+        ctrl = make_controller(max_level=ProtectionLevel.BB_CFI)
+        for t in range(0, 600, 2):
+            ctrl.observe(float(t))
+        assert ctrl.level is ProtectionLevel.BB_CFI
+
+
+class TestDeescalation:
+    def _stormed(self):
+        ctrl = make_controller()
+        for t in range(0, 300, 2):
+            ctrl.observe(float(t))
+        assert ctrl.level is ProtectionLevel.FULL_DMR
+        return ctrl
+
+    def test_deescalates_after_quiet_period(self):
+        ctrl = self._stormed()
+        for t in range(300, 3000, 30):
+            ctrl.observe(float(t), 0)
+        assert ctrl.level is ProtectionLevel.SCC_CFI
+
+    def test_short_quiet_does_not_deescalate(self):
+        ctrl = self._stormed()
+        # Rate decays below the quiet threshold once the storm leaves the
+        # window, but the quiet period has not elapsed yet.
+        ctrl.observe(400.0, 0)
+        ctrl.observe(460.0, 0)
+        assert ctrl.level is ProtectionLevel.FULL_DMR
+
+    def test_each_step_down_needs_its_own_quiet_period(self):
+        ctrl = self._stormed()
+        start = ctrl.level.rank
+        # One full quiet period: exactly one step down, not a free fall.
+        ctrl.observe(400.0, 0)   # quiet starts (storm aged out of window)
+        ctrl.observe(521.0, 0)   # quiet_period_s later
+        assert ctrl.level.rank == start - 1
+
+    def test_hysteresis_band_holds_level(self):
+        ctrl = make_controller()
+        for t in range(0, 60, 5):
+            ctrl.observe(float(t))
+        level_after_storm = ctrl.level
+        # Once the storm ages out of the window, 0.1/s sits between
+        # deescalate (0.05) and escalate (0.2): the controller must hold,
+        # and the quiet clock must not run.
+        for t in range(130, 1200, 10):
+            ctrl.observe(float(t), 1)
+        assert ctrl.level is level_after_storm
+
+    def test_burst_resets_quiet_clock(self):
+        ctrl = self._stormed()
+        ctrl.observe(400.0, 0)
+        # A fresh burst mid-quiet-period re-arms the storm.
+        for t in range(460, 520, 2):
+            ctrl.observe(float(t))
+        ctrl.observe(521.0, 0)
+        assert ctrl.level is ProtectionLevel.FULL_DMR
+
+
+class TestScrubCadence:
+    def test_scrub_period_halves_per_step(self):
+        ctrl = make_controller(base_scrub_period_s=64.0)
+        assert ctrl.scrub_period_s() == 64.0
+        for t in range(0, 600, 2):
+            ctrl.observe(float(t))
+        steps = ctrl.level.rank - ctrl.config.min_level.rank
+        assert steps > 0
+        assert ctrl.scrub_period_s() == 64.0 / 2**steps
+
+
+class TestValidation:
+    def test_out_of_order_observations_rejected(self):
+        ctrl = make_controller()
+        ctrl.observe(10.0)
+        with pytest.raises(ConfigError):
+            ctrl.observe(5.0)
+
+    def test_inverted_hysteresis_rejected(self):
+        with pytest.raises(ConfigError):
+            AdaptiveConfig(
+                escalate_rate_per_s=0.1, deescalate_rate_per_s=0.2
+            )
+
+    def test_inverted_level_clamp_rejected(self):
+        with pytest.raises(ConfigError):
+            AdaptiveConfig(
+                min_level=ProtectionLevel.FULL_DMR,
+                max_level=ProtectionLevel.SCC_CFI,
+            )
+
+    def test_initial_level_clamped(self):
+        ctrl = AdaptiveController(
+            AdaptiveConfig(min_level=ProtectionLevel.BB_CFI),
+            initial_level=ProtectionLevel.NONE,
+        )
+        assert ctrl.level is ProtectionLevel.BB_CFI

@@ -1,0 +1,112 @@
+"""Escalation ladder planning and fault-persistence semantics."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.recover.ladder import (
+    DEFAULT_ORDER,
+    EscalationLadder,
+    FaultPersistence,
+    LadderConfig,
+    RecoveryRung,
+)
+
+
+class TestRungsAndPersistence:
+    def test_ranks_follow_cost_hierarchy(self):
+        ranks = [r.rank for r in DEFAULT_ORDER]
+        assert ranks == sorted(ranks)
+        assert RecoveryRung.RETRY.rank < RecoveryRung.POWER_CYCLE.rank
+
+    def test_transient_clears_everywhere(self):
+        assert all(
+            FaultPersistence.TRANSIENT.cleared_by(r) for r in RecoveryRung
+        )
+
+    def test_stuck_needs_power_cycle(self):
+        stuck = FaultPersistence.STUCK
+        assert not stuck.cleared_by(RecoveryRung.RETRY)
+        assert not stuck.cleared_by(RecoveryRung.ROLLBACK)
+        assert not stuck.cleared_by(RecoveryRung.COLD_RESTART)
+        assert stuck.cleared_by(RecoveryRung.POWER_CYCLE)
+
+    def test_state_corruption_needs_at_least_rollback(self):
+        state = FaultPersistence.STATE
+        assert not state.cleared_by(RecoveryRung.RETRY)
+        assert state.cleared_by(RecoveryRung.ROLLBACK)
+        assert state.cleared_by(RecoveryRung.COLD_RESTART)
+
+    def test_image_corruption_survives_rollback(self):
+        image = FaultPersistence.IMAGE
+        assert not image.cleared_by(RecoveryRung.ROLLBACK)
+        assert image.cleared_by(RecoveryRung.COLD_RESTART)
+
+
+class TestPlan:
+    def test_default_plan_shape(self):
+        plan = EscalationLadder().plan()
+        assert [a.rung for a in plan] == [
+            RecoveryRung.RETRY,
+            RecoveryRung.ROLLBACK, RecoveryRung.ROLLBACK,
+            RecoveryRung.COLD_RESTART, RecoveryRung.COLD_RESTART,
+            RecoveryRung.POWER_CYCLE,
+        ]
+        assert len(plan) == EscalationLadder().max_attempts
+
+    def test_first_attempt_per_rung_is_immediate(self):
+        for attempt in EscalationLadder().plan():
+            if attempt.attempt == 0:
+                assert attempt.backoff_s == 0.0
+
+    def test_exponential_backoff_within_rung(self):
+        config = LadderConfig(
+            attempts={RecoveryRung.RETRY: 4},
+            backoff_base_s=0.5,
+            backoff_factor=3.0,
+            order=(RecoveryRung.RETRY,),
+        )
+        backoffs = [a.backoff_s for a in EscalationLadder(config).plan()]
+        assert backoffs == [0.0, 0.5, 1.5, 4.5]
+
+    def test_zero_attempts_skips_rung(self):
+        config = LadderConfig(attempts={
+            RecoveryRung.RETRY: 0,
+            RecoveryRung.ROLLBACK: 1,
+            RecoveryRung.COLD_RESTART: 0,
+            RecoveryRung.POWER_CYCLE: 1,
+        })
+        plan = EscalationLadder(config).plan()
+        assert [a.rung for a in plan] == [
+            RecoveryRung.ROLLBACK, RecoveryRung.POWER_CYCLE,
+        ]
+
+    def test_rollback_first_reorders(self):
+        plan = EscalationLadder(LadderConfig.rollback_first()).plan()
+        assert plan[0].rung is RecoveryRung.ROLLBACK
+        assert plan[-1].rung is RecoveryRung.POWER_CYCLE
+
+    def test_plan_is_bounded(self):
+        # The whole point: a persistent fault exhausts the schedule
+        # rather than spinning forever.
+        config = LadderConfig(attempts={r: 3 for r in RecoveryRung})
+        assert len(EscalationLadder(config).plan()) == 12
+
+
+class TestValidation:
+    def test_negative_attempts_rejected(self):
+        with pytest.raises(ConfigError):
+            EscalationLadder(LadderConfig(
+                attempts={RecoveryRung.RETRY: -1}
+            ))
+
+    def test_bad_backoff_rejected(self):
+        with pytest.raises(ConfigError):
+            EscalationLadder(LadderConfig(backoff_base_s=-0.1))
+        with pytest.raises(ConfigError):
+            EscalationLadder(LadderConfig(backoff_factor=0.5))
+
+    def test_repeated_rung_rejected(self):
+        with pytest.raises(ConfigError):
+            EscalationLadder(LadderConfig(
+                order=(RecoveryRung.RETRY, RecoveryRung.RETRY)
+            ))

@@ -1,0 +1,199 @@
+"""Supervised campaign: recovery rate, accounting, and determinism."""
+
+import pytest
+
+from repro.core.dmr import ProtectedProgram, ProtectionLevel
+from repro.errors import ConfigError
+from repro.faults.campaign import Campaign
+from repro.faults.outcomes import FaultOutcome
+from repro.recover.ladder import FaultPersistence, LadderConfig, RecoveryRung
+from repro.recover.supervisor import (
+    RECOVERABLE_OUTCOMES,
+    RecoveryParams,
+    SupervisorConfig,
+    run_supervised_campaign,
+)
+from repro.workloads.irprograms import PROGRAMS, build_program
+
+
+def _campaign(name: str, n_trials: int = 120, protected: bool = False):
+    module = build_program(name)
+    if protected:
+        module = ProtectedProgram(
+            module, name, ProtectionLevel.CFI_DATAFLOW
+        ).module
+    return Campaign(
+        module=module,
+        func_name=name,
+        args=PROGRAMS[name].default_args,
+        n_trials=n_trials,
+    )
+
+
+@pytest.fixture(scope="module")
+def stress_result():
+    # Memory-heavy stress workload with checkpoint storage under SEU fire.
+    config = SupervisorConfig(
+        checkpoint_interval=100,
+        checkpoint_capacity=8,
+        storage_flip_prob=0.02,
+    )
+    return run_supervised_campaign(_campaign("isort"), config, seed=7)
+
+
+class TestSupervisedCampaign:
+    def test_recovery_rate_meets_bar(self, stress_result):
+        res = stress_result
+        assert res.n_failures > 0  # the campaign actually stressed it
+        assert res.recovery_rate >= 0.90
+
+    def test_only_observable_failures_get_records(self, stress_result):
+        for trial, record in zip(stress_result.trials, stress_result.records):
+            if trial.outcome in RECOVERABLE_OUTCOMES:
+                assert record is not None
+                assert record.outcome is trial.outcome
+            else:
+                assert record is None
+
+    def test_recovery_accounting(self, stress_result):
+        golden_cycles = stress_result.golden.cycles
+        for rec in stress_result.failure_records:
+            assert rec.attempts, "every failure must try at least one rung"
+            assert rec.recovery_cycles == sum(
+                a.cycles for a in rec.attempts
+            )
+            assert rec.recovery_latency_s > 0.0
+            if rec.recovered:
+                assert rec.recovered_rung is rec.attempts[-1].rung
+                assert rec.attempts[-1].success
+                # Wasted work excludes the one useful execution.
+                assert rec.wasted_cycles == max(
+                    0,
+                    rec.faulty_cycles + rec.recovery_cycles - golden_cycles,
+                )
+            else:
+                assert rec.recovered_rung is None
+                assert not any(a.success for a in rec.attempts)
+
+    def test_rollback_resumes_report_checkpoint(self, stress_result):
+        rollbacks = [
+            r for r in stress_result.failure_records
+            if r.recovered_rung is RecoveryRung.ROLLBACK
+        ]
+        for rec in rollbacks:
+            assert rec.checkpoints_taken > 0
+            assert rec.checkpoint_resumed_instructions is not None
+            assert rec.checkpoint_resumed_instructions >= 0
+
+    def test_determinism_under_fixed_seed(self, stress_result):
+        config = stress_result.config
+        again = run_supervised_campaign(_campaign("isort"), config, seed=7)
+        assert again.counts.as_dict() == stress_result.counts.as_dict()
+        assert [t.spec for t in again.trials] == [
+            t.spec for t in stress_result.trials
+        ]
+        assert [
+            (r.recovered, r.recovered_rung, r.wasted_cycles)
+            for r in again.failure_records
+        ] == [
+            (r.recovered, r.recovered_rung, r.wasted_cycles)
+            for r in stress_result.failure_records
+        ]
+
+    def test_different_seed_differs(self, stress_result):
+        other = run_supervised_campaign(
+            _campaign("isort"), stress_result.config, seed=8
+        )
+        assert [t.spec for t in other.trials] != [
+            t.spec for t in stress_result.trials
+        ]
+
+    def test_protected_campaign_recovers_detections(self):
+        config = SupervisorConfig(checkpoint_interval=100)
+        res = run_supervised_campaign(
+            _campaign("collatz", n_trials=100, protected=True),
+            config,
+            seed=3,
+        )
+        detected = [
+            r for r in res.failure_records
+            if r.outcome is FaultOutcome.DETECTED
+        ]
+        assert detected, "DMR should convert corruption into detections"
+        assert res.recovery_rate >= 0.90
+
+    def test_recovery_params_distillation(self, stress_result):
+        params = stress_result.recovery_params()
+        assert params.success_frac == stress_result.recovery_rate
+        assert params.mean_downtime_s == stress_result.mean_recovery_latency_s
+        assert (
+            params.unrecovered_downtime_s
+            == stress_result.config.power_cycle_s
+        )
+        assert 0.0 <= params.residual_sdc_frac <= 1.0
+
+    def test_rung_histogram_totals(self, stress_result):
+        hist = stress_result.rung_histogram()
+        assert sum(hist.values()) == stress_result.n_recovered
+
+
+class TestLadderSemanticsEndToEnd:
+    def test_stuck_faults_only_clear_at_power_cycle(self):
+        # Force every failure to be STUCK: the only eligible rung is the
+        # power cycle, so every recovery must land there.
+        config = SupervisorConfig(
+            persistence_probs={FaultPersistence.STUCK: 1.0},
+        )
+        res = run_supervised_campaign(
+            _campaign("fib", n_trials=80), config, seed=5
+        )
+        assert res.n_failures > 0
+        hist = res.rung_histogram()
+        assert hist[RecoveryRung.RETRY] == 0
+        assert hist[RecoveryRung.ROLLBACK] == 0
+        assert hist[RecoveryRung.COLD_RESTART] == 0
+        assert hist[RecoveryRung.POWER_CYCLE] == res.n_recovered
+        # A power cycle charges its outage to the latency bill.
+        for rec in res.failure_records:
+            if rec.recovered:
+                assert rec.recovery_latency_s >= config.power_cycle_s
+
+    def test_ladder_without_power_cycle_cannot_clear_stuck(self):
+        config = SupervisorConfig(
+            persistence_probs={FaultPersistence.STUCK: 1.0},
+            ladder=LadderConfig(attempts={
+                RecoveryRung.RETRY: 1,
+                RecoveryRung.ROLLBACK: 1,
+                RecoveryRung.COLD_RESTART: 1,
+                RecoveryRung.POWER_CYCLE: 0,
+            }),
+        )
+        res = run_supervised_campaign(
+            _campaign("fib", n_trials=60), config, seed=5
+        )
+        assert res.n_failures > 0
+        assert res.n_recovered == 0
+        assert res.recovery_rate == 0.0
+
+
+class TestValidation:
+    def test_bad_margin_rejected(self):
+        with pytest.raises(ConfigError):
+            SupervisorConfig(watchdog_margin=0.5)
+
+    def test_bad_flip_prob_rejected(self):
+        with pytest.raises(ConfigError):
+            SupervisorConfig(storage_flip_prob=1.5)
+
+    def test_persistence_probs_must_sum_to_one(self):
+        with pytest.raises(ConfigError):
+            SupervisorConfig(persistence_probs={
+                FaultPersistence.TRANSIENT: 0.5,
+                FaultPersistence.STUCK: 0.2,
+            })
+
+    def test_recovery_params_validation(self):
+        with pytest.raises(ConfigError):
+            RecoveryParams(success_frac=1.2)
+        with pytest.raises(ConfigError):
+            RecoveryParams(residual_sdc_frac=-0.1)

@@ -1,6 +1,5 @@
 """Propagation-rule tests: each rule from sect. 4.2, plus segment logic."""
 
-import pytest
 
 from repro.core.risk import (
     rate_blocks, rate_function, rate_module, rate_sccs,

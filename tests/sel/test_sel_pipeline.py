@@ -1,7 +1,6 @@
 """SEL pipeline tests: featurizer, daemon, policy, end-to-end trials."""
 
 import numpy as np
-import pytest
 
 from repro.core.sel import (
     DaemonConfig, Featurizer, SelDaemon, SelTrialConfig,

@@ -1,11 +1,15 @@
 """Mission-simulator tests."""
 
+from dataclasses import replace
+
 import pytest
 
 from repro.radiation.environment import SOLAR_STORM
+from repro.recover.supervisor import RecoveryParams
 from repro.sim.mission import (
     MissionConfig, PROTECTED_COMMODITY, RAD_HARD_BASELINE,
-    UNPROTECTED_COMMODITY, run_mission, sweep_profiles,
+    SUPERVISED_COMMODITY, UNPROTECTED_COMMODITY, run_mission,
+    sweep_profiles,
 )
 from repro.sim.report import MissionReport, render_mission_table
 
@@ -84,6 +88,101 @@ class TestMission:
         ppd_protected = protected.compute_delivered / protected.cost_usd
         ppd_rad_hard = rad_hard.compute_delivered / rad_hard.cost_usd
         assert ppd_protected > ppd_rad_hard * 20
+
+
+class TestDowntimeClamp:
+    #: A pathological profile whose every observable failure charges far
+    #: more downtime than a day contains — additive charges exceed alive
+    #: time, which used to drive compute_delivered negative.
+    DOWNTIME_HEAVY = replace(
+        UNPROTECTED_COMMODITY,
+        name="downtime-heavy",
+        reboot_downtime_s=1e7,
+    )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_useful_time_floored_at_zero(self, seed):
+        report = run_mission(
+            MissionConfig(profile=self.DOWNTIME_HEAVY, duration_days=30.0),
+            seed=seed,
+        )
+        assert report.uptime_fraction >= 0.0
+        assert report.compute_delivered >= 0.0
+
+    def test_saturated_profile_delivers_nothing(self):
+        report = run_mission(
+            MissionConfig(profile=self.DOWNTIME_HEAVY, duration_days=30.0),
+            seed=0,
+        )
+        # With ~10^2 observable failures/day at 10^7 s each, downtime
+        # saturates: the clamp must land exactly on zero, not below.
+        assert report.uptime_fraction == 0.0
+        assert report.compute_delivered == 0.0
+
+
+class TestSupervisedRecovery:
+    def test_supervised_beats_flat_reboot_on_uptime(self):
+        flat = run_mission(
+            MissionConfig(profile=PROTECTED_COMMODITY, duration_days=120.0),
+            seed=3,
+        )
+        supervised = run_mission(
+            MissionConfig(profile=SUPERVISED_COMMODITY, duration_days=120.0),
+            seed=3,
+        )
+        assert supervised.uptime_fraction > flat.uptime_fraction
+        assert supervised.recovered_events > 0
+        assert supervised.recovery_downtime_s > 0.0
+
+    def test_flat_profile_has_no_recovery_ledger(self):
+        report = run_mission(
+            MissionConfig(profile=PROTECTED_COMMODITY, duration_days=60.0),
+            seed=1,
+        )
+        assert report.recovered_events == 0
+        assert report.unrecovered_events == 0
+        assert report.recovery_downtime_s == 0.0
+
+    def test_recovery_branch_preserves_baseline_rng_stream(self):
+        # The supervised branch draws extra binomials; the recovery=None
+        # path must not, so pre-existing seeded results stay identical.
+        baseline = run_mission(
+            MissionConfig(profile=PROTECTED_COMMODITY, duration_days=60.0),
+            seed=1,
+        )
+        assert baseline.seu_events == run_mission(
+            MissionConfig(profile=PROTECTED_COMMODITY, duration_days=60.0),
+            seed=1,
+        ).seu_events
+
+    def test_residual_sdc_charged_to_escapes(self):
+        leaky = replace(
+            SUPERVISED_COMMODITY,
+            name="leaky-recovery",
+            recovery=RecoveryParams(
+                mean_downtime_s=0.5,
+                success_frac=1.0,
+                residual_sdc_frac=1.0,  # every recovery silently wrong
+                unrecovered_downtime_s=30.0,
+            ),
+        )
+        dirty = run_mission(
+            MissionConfig(profile=leaky, duration_days=60.0), seed=2
+        )
+        # Every recovery is silently wrong, so each one charges an escape
+        # on top of whatever the DMR/DRAM paths already leaked.
+        assert dirty.recovered_events > 0
+        assert dirty.unrecovered_events == 0
+        assert dirty.sdc_escapes >= dirty.recovered_events
+
+    def test_supervised_reproducible(self):
+        config = MissionConfig(profile=SUPERVISED_COMMODITY,
+                               duration_days=60.0)
+        a = run_mission(config, seed=9)
+        b = run_mission(config, seed=9)
+        assert a.recovered_events == b.recovered_events
+        assert a.recovery_downtime_s == b.recovery_downtime_s
+        assert a.uptime_fraction == b.uptime_fraction
 
 
 class TestReport:

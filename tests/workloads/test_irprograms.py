@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.ir.interp import ExecutionStatus, Interpreter
+from repro.ir.interp import ExecutionStatus
 from repro.ir.verifier import verify_module
 from repro.rng import make_rng
 from repro.workloads.irprograms import (

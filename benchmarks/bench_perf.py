@@ -1,0 +1,247 @@
+"""PERF — the fault-injection engine's performance trajectory.
+
+Measures the three optimizations this layer stacks on the campaign engine
+and writes a machine-readable snapshot to ``BENCH_perf.json`` at the repo
+root (:mod:`repro.perf.report` keeps a bounded history of prior runs, so
+the file records a perf *trajectory* across commits, not a single point):
+
+* interpreter fast path — Minstr/s of :class:`repro.ir.interp.Interpreter`
+  (pre-compiled block closures) vs :class:`repro.ir.refinterp.ReferenceInterpreter`
+  (the original dispatch loop, kept as the differential oracle);
+* campaign throughput — trials/s of the optimized engine (fast path +
+  golden cache + shared per-campaign code cache), serial and at
+  ``REPRO_PERF_WORKERS`` workers, vs the pre-optimization baseline engine
+  (reference interpreter, no caches);
+* parallel determinism — the 4-worker campaign must be **byte-identical**
+  to the serial loop.
+
+Determinism assertions always gate.  Timing numbers are recorded, not
+asserted, unless ``REPRO_PERF_STRICT=1``: wall-clock depends on the host
+(CI runners and 1-CPU sandboxes can't demonstrate parallel scaling), but
+correctness never does.  ``parallel.available_cpus`` is recorded so a
+sub-linear parallel number on a quota-limited host is interpretable.
+
+Budget knobs: ``REPRO_PERF_TRIALS`` (campaign trials per measurement,
+default 300), ``REPRO_PERF_WORKERS`` (default 4), ``REPRO_PERF_REPEAT``
+(timing repetitions, best-of, default 3).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+from benchmarks._util import fmt_table, write_result
+from repro.faults.campaign import (
+    Campaign,
+    make_injector,
+    run_campaign,
+    trial_fuel_for,
+)
+from repro.faults.outcomes import FaultOutcome, OutcomeCounts, TrialResult, classify
+from repro.faults.parallel import run_campaign_parallel
+from repro.ir.interp import Interpreter
+from repro.ir.refinterp import ReferenceInterpreter
+from repro.perf import GOLDEN_CACHE
+from repro.perf.report import write_perf_report
+from repro.rng import fork, make_rng
+from repro.workloads.irprograms import PROGRAMS, build_program
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+REPORT_PATH = REPO_ROOT / "BENCH_perf.json"
+
+N_TRIALS = int(os.environ.get("REPRO_PERF_TRIALS", "300"))
+WORKERS = int(os.environ.get("REPRO_PERF_WORKERS", "4"))
+REPEAT = int(os.environ.get("REPRO_PERF_REPEAT", "3"))
+STRICT = os.environ.get("REPRO_PERF_STRICT") == "1"
+
+INTERP_PROGRAMS = ("isort", "orbit")
+CAMPAIGN_PROGRAM = "isort"
+
+#: Accumulated across tests in this module; the last test writes the report.
+SNAPSHOT: dict = {}
+
+
+def _best_of(fn, repeat: int = REPEAT) -> float:
+    """Best-of-N wall time of ``fn()`` (minimum is the least noisy)."""
+    best = float("inf")
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _baseline_campaign(campaign: Campaign, seed: int) -> OutcomeCounts:
+    """The pre-optimization engine: reference interpreter, no caches.
+
+    Replicates the original serial loop exactly — golden run and every
+    trial on :class:`ReferenceInterpreter`, nothing memoized — as the
+    "before" point of the throughput trajectory.
+    """
+    golden = ReferenceInterpreter(
+        campaign.module, cost_model=campaign.cost_model, fuel=campaign.fuel
+    ).run(campaign.func_name, list(campaign.args))
+    trial_fuel = trial_fuel_for(campaign, golden)
+    counts = OutcomeCounts()
+    for trial_rng in fork(make_rng(seed), campaign.n_trials):
+        injector = make_injector(campaign, golden, trial_rng)
+        result = ReferenceInterpreter(
+            campaign.module,
+            cost_model=campaign.cost_model,
+            fuel=trial_fuel,
+            step_hook=injector,
+        ).run(campaign.func_name, list(campaign.args))
+        outcome, rel_error = classify(
+            result, golden.value, campaign.sdc_tolerance
+        )
+        if not injector.fired:
+            outcome, rel_error = FaultOutcome.BENIGN, 0.0
+        counts.record(
+            TrialResult(
+                spec=injector.resolved or injector.spec,
+                outcome=outcome,
+                value=result.value,
+                rel_error=rel_error,
+                cycles=result.cycles,
+            ).outcome
+        )
+    return counts
+
+
+def test_perf_interpreter_fastpath():
+    per_program = {}
+    for name in INTERP_PROGRAMS:
+        module = build_program(name)
+        args = list(PROGRAMS[name].default_args)
+
+        ref = ReferenceInterpreter(module).run(name, args)
+        code_cache: dict = {}
+        fast = Interpreter(module, code_cache=code_cache).run(name, args)
+        # Exactness gates: the fast path must be cycle- and value-exact.
+        assert fast.value == ref.value or (
+            fast.value != fast.value and ref.value != ref.value
+        )
+        assert fast.instructions == ref.instructions
+        assert fast.cycles == ref.cycles
+        assert fast.status == ref.status
+
+        t_ref = _best_of(
+            lambda m=module, a=args, n=name: ReferenceInterpreter(m).run(n, a)
+        )
+        t_fast = _best_of(
+            lambda m=module, a=args, n=name, c=code_cache: Interpreter(
+                m, code_cache=c
+            ).run(n, a)
+        )
+        per_program[name] = {
+            "instructions": ref.instructions,
+            "reference_minstr_per_s": ref.instructions / t_ref / 1e6,
+            "fast_minstr_per_s": ref.instructions / t_fast / 1e6,
+            "speedup": t_ref / t_fast,
+        }
+
+    speedups = [d["speedup"] for d in per_program.values()]
+    SNAPSHOT["interpreter"] = {
+        "programs": per_program,
+        "min_speedup": min(speedups),
+        "target_speedup": 1.5,
+    }
+    if STRICT:
+        assert min(speedups) >= 1.5
+
+
+def test_perf_campaign_throughput():
+    module = build_program(CAMPAIGN_PROGRAM)
+    campaign = Campaign(
+        module=module,
+        func_name=CAMPAIGN_PROGRAM,
+        args=PROGRAMS[CAMPAIGN_PROGRAM].default_args,
+        n_trials=N_TRIALS,
+    )
+
+    # Determinism gate: parallel output is byte-identical to serial.
+    serial = run_campaign(campaign, seed=1)
+    for workers in (1, WORKERS):
+        par = run_campaign_parallel(campaign, seed=1, workers=workers)
+        assert par.trials == serial.trials, (
+            f"parallel campaign diverged from serial at workers={workers}"
+        )
+        assert par.counts.counts == serial.counts.counts
+
+    GOLDEN_CACHE.clear()
+    t_baseline = _best_of(lambda: _baseline_campaign(campaign, seed=1), 1)
+    t_serial = _best_of(lambda: run_campaign(campaign, seed=1))
+    t_parallel = _best_of(
+        lambda: run_campaign_parallel(campaign, seed=1, workers=WORKERS)
+    )
+
+    baseline_tps = N_TRIALS / t_baseline
+    serial_tps = N_TRIALS / t_serial
+    parallel_tps = N_TRIALS / t_parallel
+    SNAPSHOT["campaign"] = {
+        "program": CAMPAIGN_PROGRAM,
+        "n_trials": N_TRIALS,
+        "baseline_trials_per_s": baseline_tps,
+        "serial_trials_per_s": serial_tps,
+        "parallel_trials_per_s": parallel_tps,
+        "serial_speedup_vs_baseline": serial_tps / baseline_tps,
+        "parallel_speedup_vs_baseline": parallel_tps / baseline_tps,
+        "target_parallel_speedup_vs_baseline": 2.0,
+    }
+    SNAPSHOT["parallel"] = {
+        "workers": WORKERS,
+        "available_cpus": len(os.sched_getaffinity(0))
+        if hasattr(os, "sched_getaffinity")
+        else os.cpu_count(),
+        "deterministic": True,
+        "parallel_vs_serial": serial_tps and parallel_tps / serial_tps,
+        "efficiency_note": (
+            "parallel_vs_serial scales with available_cpus; on a 1-CPU "
+            "host the pool adds IPC overhead without adding compute"
+        ),
+    }
+    SNAPSHOT["golden_cache"] = GOLDEN_CACHE.stats.as_dict()
+    if STRICT:
+        assert parallel_tps >= 2.0 * baseline_tps
+
+
+def test_perf_write_report():
+    assert "interpreter" in SNAPSHOT and "campaign" in SNAPSHOT, (
+        "earlier perf measurements did not run"
+    )
+    report = write_perf_report(REPORT_PATH, SNAPSHOT)
+
+    interp = SNAPSHOT["interpreter"]
+    camp = SNAPSHOT["campaign"]
+    rows = [
+        [
+            name,
+            f"{d['reference_minstr_per_s']:.2f}",
+            f"{d['fast_minstr_per_s']:.2f}",
+            f"{d['speedup']:.2f}x",
+        ]
+        for name, d in interp["programs"].items()
+    ]
+    body = fmt_table(
+        ["program", "ref Minstr/s", "fast Minstr/s", "speedup"], rows
+    )
+    body += "\n\n" + fmt_table(
+        ["engine", "trials/s", "vs baseline"],
+        [
+            ["baseline (ref interp)", f"{camp['baseline_trials_per_s']:.0f}",
+             "1.00x"],
+            ["optimized serial", f"{camp['serial_trials_per_s']:.0f}",
+             f"{camp['serial_speedup_vs_baseline']:.2f}x"],
+            [f"parallel x{SNAPSHOT['parallel']['workers']}",
+             f"{camp['parallel_trials_per_s']:.0f}",
+             f"{camp['parallel_speedup_vs_baseline']:.2f}x"],
+        ],
+    )
+    body += (
+        f"\n\n{camp['n_trials']} trials of {camp['program']}; "
+        f"{SNAPSHOT['parallel']['available_cpus']} CPU(s) available; "
+        f"history depth {len(report.get('history', []))}"
+    )
+    write_result("PERF", "fault-injection engine throughput", body)

@@ -171,6 +171,7 @@ class ProtectedProgram:
         target: FaultTarget = FaultTarget.REGISTER,
         sdc_tolerance: float = 0.0,
         seed: int | None = None,
+        workers: int | None = None,
     ) -> CampaignResult:
         """Fault-injection campaign against the protected program."""
         return run_campaign(
@@ -185,4 +186,5 @@ class ProtectedProgram:
                 cost_model=self.cost_model,
             ),
             seed=seed,
+            workers=workers,
         )

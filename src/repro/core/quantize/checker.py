@@ -340,6 +340,7 @@ class QuantizedProgram:
         target: FaultTarget = FaultTarget.REGISTER,
         sdc_tolerance: float = 0.0,
         seed: int | None = None,
+        workers: int | None = None,
     ) -> CampaignResult:
         return run_campaign(
             Campaign(
@@ -353,4 +354,5 @@ class QuantizedProgram:
                 cost_model=self.cost_model,
             ),
             seed=seed,
+            workers=workers,
         )

@@ -17,6 +17,7 @@ from repro.faults.model import (
 from repro.faults.outcomes import FaultOutcome, TrialResult, OutcomeCounts
 from repro.faults.seu import RegisterFaultInjector, HeapFaultInjector
 from repro.faults.campaign import Campaign, CampaignResult, run_campaign
+from repro.faults.parallel import run_campaign_parallel, run_supervised_campaign_parallel
 from repro.faults.sel import LatchupEvent, LatchupGenerator
 
 __all__ = [
@@ -25,5 +26,6 @@ __all__ = [
     "FaultOutcome", "TrialResult", "OutcomeCounts",
     "RegisterFaultInjector", "HeapFaultInjector",
     "Campaign", "CampaignResult", "run_campaign",
+    "run_campaign_parallel", "run_supervised_campaign_parallel",
     "LatchupEvent", "LatchupGenerator",
 ]

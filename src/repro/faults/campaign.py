@@ -6,6 +6,19 @@ dynamic instruction index, live register (or heap cell) and bit — and
 classifies each outcome.  This reproduces the methodology of the paper's
 QEMU experiments at the granularity it argues is sufficient: faults between
 instructions (sect. 4.2).
+
+Performance plumbing (the ROADMAP's "as fast as the hardware allows"):
+
+* golden runs are served from the process-global
+  :data:`repro.perf.cache.GOLDEN_CACHE`, keyed by a content fingerprint of
+  the printed IR, so sweeps over the same module + args derive the
+  reference run once;
+* every trial of a campaign shares one compiled-block ``code_cache``, so
+  the interpreter lowers each basic block once per campaign instead of
+  once per trial;
+* ``run_campaign(c, seed, workers=n)`` fans trials out across a process
+  pool via :func:`repro.faults.parallel.run_campaign_parallel`, with
+  results byte-identical to the serial loop at any worker count.
 """
 
 from __future__ import annotations
@@ -19,8 +32,9 @@ from repro.faults.model import FaultSpec, FaultTarget
 from repro.faults.outcomes import FaultOutcome, OutcomeCounts, TrialResult, classify
 from repro.faults.seu import HeapFaultInjector, RegisterFaultInjector
 from repro.ir.costmodel import CORTEX_A53, CostModel
-from repro.ir.interp import ExecutionResult, Interpreter
+from repro.ir.interp import ExecutionResult, ExecutionStatus, Interpreter
 from repro.ir.module import Module
+from repro.perf.cache import GOLDEN_CACHE
 from repro.rng import fork, make_rng
 
 
@@ -71,12 +85,34 @@ class CampaignResult:
         return float(np.mean([t.cycles for t in self.trials]))
 
 
-def run_golden(campaign: Campaign) -> ExecutionResult:
-    """The campaign's fault-free reference run (validated)."""
+def run_golden(campaign: Campaign, use_cache: bool = True) -> ExecutionResult:
+    """The campaign's fault-free reference run (validated).
+
+    Served from :data:`repro.perf.cache.GOLDEN_CACHE` when an identical
+    module (by printed-IR fingerprint), entry point, args and cost model
+    were already golden-run with a sufficient fuel budget; pass
+    ``use_cache=False`` to force re-execution.
+    """
+    key = None
+    if use_cache:
+        key = GOLDEN_CACHE.key_for(
+            campaign.module, campaign.func_name, campaign.args,
+            campaign.cost_model,
+        )
+        cached = GOLDEN_CACHE.get(key, fuel=campaign.fuel)
+        if cached is not None:
+            return cached
     golden_interp = Interpreter(
         campaign.module, cost_model=campaign.cost_model, fuel=campaign.fuel
     )
     golden = golden_interp.run(campaign.func_name, list(campaign.args))
+    if golden.status is ExecutionStatus.HANG:
+        raise FaultInjectionError(
+            f"golden run of @{campaign.func_name} exhausted the campaign "
+            f"fuel of {campaign.fuel} before completing — every faulted "
+            f"trial would be classified HANG; raise Campaign.fuel above "
+            f"the program's dynamic instruction count"
+        )
     if not golden.ok:
         raise FaultInjectionError(
             f"golden run of @{campaign.func_name} failed: "
@@ -84,6 +120,8 @@ def run_golden(campaign: Campaign) -> ExecutionResult:
         )
     if golden.instructions == 0:
         raise FaultInjectionError("golden run executed no instructions")
+    if key is not None:
+        GOLDEN_CACHE.put(key, golden)
     return golden
 
 
@@ -94,7 +132,18 @@ def trial_fuel_for(campaign: Campaign, golden: ExecutionResult) -> int:
     program into one that needs unbounded fuel to *detect* as hung.  Cap
     per-trial fuel at a generous multiple of the golden run so hang trials
     don't dominate campaign wall time.
+
+    The campaign's own fuel must cover the golden run: a budget below the
+    golden instruction count would classify every trial as HANG (the
+    fault-free path itself cannot finish), which is a configuration error,
+    not a measurement.
     """
+    if golden.instructions > campaign.fuel:
+        raise FaultInjectionError(
+            f"campaign fuel {campaign.fuel} is below the golden run's "
+            f"{golden.instructions} dynamic instructions — every trial "
+            f"would hang; raise Campaign.fuel"
+        )
     return min(campaign.fuel, golden.instructions * 50 + 2_000)
 
 
@@ -116,41 +165,69 @@ def make_injector(
     )
 
 
+def run_trial(
+    campaign: Campaign,
+    golden: ExecutionResult,
+    trial_fuel: int,
+    trial_rng: np.random.Generator,
+    code_cache: dict | None = None,
+) -> TrialResult:
+    """Execute and classify one faulted trial.
+
+    This is the single trial body shared by the serial loop, the parallel
+    worker pool, and the ``workers=1`` fallback — byte-identical results
+    across all of them follow from sharing this code and the per-trial
+    forked generators.
+    """
+    injector = make_injector(campaign, golden, trial_rng)
+    interp = Interpreter(
+        campaign.module,
+        cost_model=campaign.cost_model,
+        fuel=trial_fuel,
+        step_hook=injector,
+        code_cache=code_cache,
+    )
+    result = interp.run(campaign.func_name, list(campaign.args))
+    outcome, rel_error = classify(
+        result, golden.value, campaign.sdc_tolerance
+    )
+    if not injector.fired:
+        # The fault never landed (e.g. MEMORY target but the program
+        # allocated nothing).  Count it as benign: the particle missed.
+        outcome, rel_error = FaultOutcome.BENIGN, 0.0
+    return TrialResult(
+        spec=injector.resolved or injector.spec,
+        outcome=outcome,
+        value=result.value,
+        rel_error=rel_error,
+        cycles=result.cycles,
+    )
+
+
 def run_campaign(
     campaign: Campaign,
     seed: int | np.random.Generator | None = None,
+    workers: int | None = None,
 ) -> CampaignResult:
-    """Execute ``campaign`` and classify every trial."""
+    """Execute ``campaign`` and classify every trial.
+
+    With ``workers`` > 1, trials fan out across a process pool (see
+    :func:`repro.faults.parallel.run_campaign_parallel`); the result is
+    byte-identical to the serial loop for the same seed.
+    """
+    if workers is not None and workers > 1:
+        from repro.faults.parallel import run_campaign_parallel
+
+        return run_campaign_parallel(campaign, seed=seed, workers=workers)
     rng = make_rng(seed)
     golden = run_golden(campaign)
     trial_fuel = trial_fuel_for(campaign, golden)
 
     counts = OutcomeCounts()
     trials: list[TrialResult] = []
+    code_cache: dict = {}
     for trial_rng in fork(rng, campaign.n_trials):
-        injector = make_injector(campaign, golden, trial_rng)
-        interp = Interpreter(
-            campaign.module,
-            cost_model=campaign.cost_model,
-            fuel=trial_fuel,
-            step_hook=injector,
-        )
-        result = interp.run(campaign.func_name, list(campaign.args))
-        outcome, rel_error = classify(
-            result, golden.value, campaign.sdc_tolerance
-        )
-        if not injector.fired:
-            # The fault never landed (e.g. MEMORY target but the program
-            # allocated nothing).  Count it as benign: the particle missed.
-            outcome, rel_error = FaultOutcome.BENIGN, 0.0
-        counts.record(outcome)
-        trials.append(
-            TrialResult(
-                spec=injector.resolved or injector.spec,
-                outcome=outcome,
-                value=result.value,
-                rel_error=rel_error,
-                cycles=result.cycles,
-            )
-        )
+        trial = run_trial(campaign, golden, trial_fuel, trial_rng, code_cache)
+        counts.record(trial.outcome)
+        trials.append(trial)
     return CampaignResult(golden=golden, counts=counts, trials=trials)

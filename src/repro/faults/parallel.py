@@ -1,0 +1,339 @@
+"""Parallel fault-injection campaigns: multiprocess fan-out of trials.
+
+Campaign trials are embarrassingly parallel — each trial re-executes the
+module with one injected SEU drawn from its own forked generator — so the
+engine here fans them out across a ``multiprocessing`` pool while keeping
+the results **byte-identical** to the serial loop:
+
+* **fork-before-dispatch**: the parent forks the campaign RNG into one
+  child generator per trial with the exact ``repro.rng.fork`` spawn-key
+  scheme the serial loop uses, then ships the pre-forked generators to the
+  workers.  Trial *i* sees the same generator state no matter which worker
+  runs it or how many workers exist.
+* **order-stable merge**: trials are dispatched as contiguous index chunks
+  via ``pool.map``, whose results come back in submission order; outcome
+  counts are re-tallied from the merged trial list in index order.
+* **per-worker warm start**: the module is serialized once in the parent
+  via the IR printer; each worker parses it once in the pool initializer,
+  re-derives and validates the golden run (cross-checking value and
+  instruction count against the parent's), and compiles blocks into a
+  worker-local code cache reused by every trial it executes.
+
+When the pool cannot be created (sandboxes without POSIX semaphores,
+``workers=1``, trivial campaigns) the engine falls back to an in-process
+loop over the same pre-forked generators — still byte-identical.
+
+The same machinery drives supervised campaigns
+(:func:`run_supervised_campaign_parallel`): recovery trials are equally
+independent, each drawing its injector, checkpoint corruption and
+persistence class from its own child generator.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass
+from multiprocessing import get_context
+
+import numpy as np
+
+from repro.errors import FaultInjectionError
+from repro.faults.campaign import (
+    Campaign,
+    CampaignResult,
+    run_golden,
+    run_trial,
+    trial_fuel_for,
+)
+from repro.faults.model import FaultTarget
+from repro.faults.outcomes import OutcomeCounts, TrialResult
+from repro.ir.costmodel import CostModel
+from repro.ir.interp import ExecutionResult
+from repro.ir.parser import parse_module
+from repro.ir.printer import print_module
+from repro.rng import fork, make_rng
+
+#: Trials below this count never amortize pool startup; stay in-process.
+MIN_PARALLEL_TRIALS = 8
+
+
+@dataclass(frozen=True)
+class WireCampaign:
+    """A campaign serialized for worker processes.
+
+    The module travels as printed IR text (its canonical serialization);
+    the golden value and instruction count travel along so each worker can
+    cross-check that its parsed module reproduces the parent's reference
+    run exactly — a print/parse infidelity must fail loudly, not skew the
+    campaign.
+    """
+
+    ir_text: str
+    module_name: str
+    func_name: str
+    args: tuple[int | float, ...]
+    n_trials: int
+    target: FaultTarget
+    sdc_tolerance: float
+    fuel: int
+    cost_model: CostModel
+    golden_value: int | float | None
+    golden_instructions: int
+
+    @classmethod
+    def from_campaign(
+        cls, campaign: Campaign, golden: ExecutionResult
+    ) -> "WireCampaign":
+        return cls(
+            ir_text=print_module(campaign.module),
+            module_name=campaign.module.name,
+            func_name=campaign.func_name,
+            args=tuple(campaign.args),
+            n_trials=campaign.n_trials,
+            target=campaign.target,
+            sdc_tolerance=campaign.sdc_tolerance,
+            fuel=campaign.fuel,
+            cost_model=campaign.cost_model,
+            golden_value=golden.value,
+            golden_instructions=golden.instructions,
+        )
+
+    def to_campaign(self) -> Campaign:
+        return Campaign(
+            module=parse_module(self.ir_text, name=self.module_name),
+            func_name=self.func_name,
+            args=self.args,
+            n_trials=self.n_trials,
+            target=self.target,
+            sdc_tolerance=self.sdc_tolerance,
+            fuel=self.fuel,
+            cost_model=self.cost_model,
+        )
+
+
+def _values_match(a: int | float | None, b: int | float | None) -> bool:
+    if isinstance(a, float) and isinstance(b, float):
+        if math.isnan(a) and math.isnan(b):
+            return True
+    return a == b
+
+
+# -- worker side ---------------------------------------------------------------
+#
+# One warm-started state per worker process, built by the pool initializer
+# and reused by every chunk the worker executes.
+
+_WORKER_STATE: "_WorkerState | None" = None
+
+
+@dataclass
+class _WorkerState:
+    campaign: Campaign
+    golden: ExecutionResult
+    trial_fuel: int
+    code_cache: dict
+    supervisor: object | None  # repro.recover.supervisor.Supervisor
+
+
+def _init_worker(wire: WireCampaign, supervisor_config) -> None:
+    """Pool initializer: parse the module once, validate the golden run."""
+    global _WORKER_STATE
+    campaign = wire.to_campaign()
+    golden = run_golden(campaign)
+    if (
+        not _values_match(golden.value, wire.golden_value)
+        or golden.instructions != wire.golden_instructions
+    ):
+        raise FaultInjectionError(
+            f"parallel warm start diverged for @{wire.func_name}: worker "
+            f"golden (value={golden.value!r}, "
+            f"instructions={golden.instructions}) != parent golden "
+            f"(value={wire.golden_value!r}, "
+            f"instructions={wire.golden_instructions}) — printed-IR "
+            f"round-trip is not faithful for this module"
+        )
+    supervisor = None
+    if supervisor_config is not None:
+        from repro.recover.supervisor import Supervisor
+
+        supervisor = Supervisor(campaign, golden, supervisor_config)
+    _WORKER_STATE = _WorkerState(
+        campaign=campaign,
+        golden=golden,
+        trial_fuel=trial_fuel_for(campaign, golden),
+        code_cache={},
+        supervisor=supervisor,
+    )
+
+
+def _run_trial_chunk(trial_rngs: list[np.random.Generator]) -> list[TrialResult]:
+    state = _WORKER_STATE
+    assert state is not None, "worker used before initialization"
+    return [
+        run_trial(
+            state.campaign, state.golden, state.trial_fuel, rng,
+            state.code_cache,
+        )
+        for rng in trial_rngs
+    ]
+
+
+def _run_supervised_chunk(trial_rngs: list[np.random.Generator]) -> list[tuple]:
+    state = _WORKER_STATE
+    assert state is not None, "worker used before initialization"
+    assert state.supervisor is not None
+    return [state.supervisor.run_trial(rng) for rng in trial_rngs]
+
+
+# -- parent side ---------------------------------------------------------------
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Effective worker count: explicit, or one per available CPU (<=16)."""
+    if workers is not None:
+        if workers < 1:
+            raise FaultInjectionError(
+                f"worker count must be >= 1, got {workers}"
+            )
+        return workers
+    return max(1, min(os.cpu_count() or 1, 16))
+
+
+def _chunk_rngs(
+    trial_rngs: list[np.random.Generator], workers: int, chunk_size: int | None
+) -> list[list[np.random.Generator]]:
+    """Contiguous index chunks (order-stable under ``pool.map``)."""
+    n = len(trial_rngs)
+    if chunk_size is None:
+        # ~4 chunks per worker balances stragglers against IPC overhead.
+        chunk_size = max(1, -(-n // (workers * 4)))
+    return [
+        trial_rngs[i:i + chunk_size] for i in range(0, n, chunk_size)
+    ]
+
+
+def _pool_context():
+    try:
+        return get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX hosts
+        return get_context("spawn")
+
+
+def _map_chunks(
+    wire: WireCampaign,
+    supervisor_config,
+    chunk_fn,
+    chunks: list[list[np.random.Generator]],
+    workers: int,
+) -> list[list] | None:
+    """Run chunks on a worker pool; None when no pool can be created."""
+    try:
+        ctx = _pool_context()
+        pool = ctx.Pool(
+            processes=workers,
+            initializer=_init_worker,
+            initargs=(wire, supervisor_config),
+        )
+    except (OSError, PermissionError, ValueError):
+        return None  # no semaphores / fork blocked: caller falls back
+    with pool:
+        return pool.map(chunk_fn, chunks)
+
+
+def run_campaign_parallel(
+    campaign: Campaign,
+    seed: int | np.random.Generator | None = None,
+    workers: int | None = None,
+    chunk_size: int | None = None,
+) -> CampaignResult:
+    """Execute ``campaign`` on a process pool.
+
+    Byte-identical to ``run_campaign(campaign, seed)`` for every worker
+    count: same ``TrialResult`` sequence, same ``OutcomeCounts``, same
+    golden run.  Falls back to an in-process loop when the pool is
+    unavailable or the campaign is too small to amortize it.
+    """
+    workers = resolve_workers(workers)
+    rng = make_rng(seed)
+    golden = run_golden(campaign)
+    trial_fuel = trial_fuel_for(campaign, golden)
+    trial_rngs = fork(rng, campaign.n_trials)
+
+    trials: list[TrialResult] | None = None
+    if workers > 1 and campaign.n_trials >= MIN_PARALLEL_TRIALS:
+        wire = WireCampaign.from_campaign(campaign, golden)
+        chunks = _chunk_rngs(trial_rngs, workers, chunk_size)
+        chunk_results = _map_chunks(
+            wire, None, _run_trial_chunk, chunks, workers
+        )
+        if chunk_results is not None:
+            trials = [t for chunk in chunk_results for t in chunk]
+    if trials is None:
+        code_cache: dict = {}
+        trials = [
+            run_trial(campaign, golden, trial_fuel, rng_i, code_cache)
+            for rng_i in trial_rngs
+        ]
+
+    counts = OutcomeCounts()
+    for trial in trials:
+        counts.record(trial.outcome)
+    return CampaignResult(golden=golden, counts=counts, trials=trials)
+
+
+def run_supervised_campaign_parallel(
+    campaign: Campaign,
+    config=None,
+    seed: int | np.random.Generator | None = None,
+    workers: int | None = None,
+    chunk_size: int | None = None,
+):
+    """Supervised campaign on a process pool (see ``recover.supervisor``).
+
+    Each trial's injector, checkpoint corruption and persistence draws all
+    come from its pre-forked child generator, so results are byte-identical
+    to ``run_supervised_campaign(campaign, config, seed)`` at any worker
+    count.  Falls back to the in-process supervisor loop when no pool is
+    available.
+    """
+    from repro.recover.supervisor import (
+        SupervisedCampaignResult,
+        Supervisor,
+        SupervisorConfig,
+    )
+
+    if config is None:
+        config = SupervisorConfig()
+    workers = resolve_workers(workers)
+    rng = make_rng(seed)
+    golden = run_golden(campaign)
+    trial_rngs = fork(rng, campaign.n_trials)
+
+    results: list[tuple] | None = None
+    if workers > 1 and campaign.n_trials >= MIN_PARALLEL_TRIALS:
+        wire = WireCampaign.from_campaign(campaign, golden)
+        chunks = _chunk_rngs(trial_rngs, workers, chunk_size)
+        chunk_results = _map_chunks(
+            wire, config, _run_supervised_chunk, chunks, workers
+        )
+        if chunk_results is not None:
+            results = [r for chunk in chunk_results for r in chunk]
+    if results is None:
+        supervisor = Supervisor(campaign, golden, config)
+        results = [supervisor.run_trial(rng_i) for rng_i in trial_rngs]
+
+    counts = OutcomeCounts()
+    trials = []
+    records = []
+    for trial, record in results:
+        counts.record(trial.outcome)
+        trials.append(trial)
+        records.append(record)
+    return SupervisedCampaignResult(
+        golden=golden,
+        counts=counts,
+        trials=trials,
+        records=records,
+        config=config,
+    )

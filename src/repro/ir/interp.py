@@ -7,12 +7,23 @@ trace can be recorded (consumed by the DMR control-flow monitor), and a
 ``step_hook`` fires between instructions so fault injectors can corrupt live
 register state at a precise dynamic instruction index — the same granularity
 the paper's QEMU framework provides (sect. 4.2).
+
+Execution uses a compiled fast path: the first time a basic block runs, its
+instructions are lowered to per-instruction step closures with operand
+accessors, cycle costs, and branch targets resolved once, so the per-step
+loop does no opcode dispatch, no cost-model lookups, and no isinstance
+chains.  Compiled blocks can be shared across interpreter instances via the
+``code_cache`` argument (one cache per module + cost model), which is how
+fault-injection campaigns amortize compilation across hundreds of trials.
+:class:`repro.ir.refinterp.ReferenceInterpreter` keeps the original
+dispatch loop as a differential oracle and perf baseline.
 """
 
 from __future__ import annotations
 
 import enum
 import math
+import operator
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -76,6 +87,42 @@ class Frame:
 StepHook = Callable[["Interpreter", Frame, Instruction, int], None]
 
 
+class _Return:
+    """Control-flow marker: the frame returned ``value``."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int | float | None) -> None:
+        self.value = value
+
+
+#: A compiled step: ``(interp, frame) -> None | _CONTINUE | _Return``.
+#: ``None`` falls through to the next step; ``_CONTINUE`` means a branch was
+#: taken (re-enter the block loop); ``_Return`` carries the frame's result.
+_Step = Callable[["Interpreter", Frame], object]
+
+
+class _BlockCode:
+    """Compiled form of one basic block.
+
+    Attributes:
+        phis: ``(phi, cost, incoming)`` per leading phi, where ``incoming``
+            maps predecessor block (by identity) to an operand accessor.
+        steps: ``(instr, cost, step)`` per body instruction.  The original
+            :class:`Instruction` rides along for step hooks.
+    """
+
+    __slots__ = ("phis", "steps")
+
+    def __init__(
+        self,
+        phis: list[tuple[Instruction, int, dict[BasicBlock, Callable]]],
+        steps: tuple[tuple[Instruction, int, _Step], ...],
+    ) -> None:
+        self.phis = phis
+        self.steps = steps
+
+
 class Interpreter:
     """Executes IR modules.
 
@@ -84,6 +131,12 @@ class Interpreter:
         cost_model: per-instruction cycle charges.
         heap: flat list of 8-byte cells shared by all frames.
         fuel: maximum dynamic instructions before declaring a hang.
+
+    Args:
+        code_cache: optional dict reused across interpreter instances to
+            share compiled blocks.  Callers must only share a cache between
+            interpreters with the same module (not mutated in between) and
+            the same cost model — fault-injection campaigns satisfy both.
     """
 
     def __init__(
@@ -93,6 +146,7 @@ class Interpreter:
         fuel: int = 5_000_000,
         record_trace: bool = False,
         step_hook: StepHook | None = None,
+        code_cache: dict[BasicBlock, _BlockCode] | None = None,
     ) -> None:
         self.module = module
         self.cost_model = cost_model
@@ -104,6 +158,9 @@ class Interpreter:
         self.instructions = 0
         self.block_trace: list[tuple[str, str]] = []
         self.frames: list[Frame] = []
+        self._code: dict[BasicBlock, _BlockCode] = (
+            code_cache if code_cache is not None else {}
+        )
 
     # -- public API -----------------------------------------------------------
 
@@ -223,151 +280,386 @@ class Interpreter:
                 self.block_trace.append((frame.func.name, frame.block.name))
             result = self._run_block(frame, skip_phis=skip_phis_once)
             skip_phis_once = False
-            if result is not _CONTINUE:
-                return result
+            if result is _CONTINUE:
+                continue
+            return result.value  # type: ignore[union-attr]
 
     def _run_block(self, frame: Frame, skip_phis: bool = False) -> object:
+        block = frame.block
+        code = self._code.get(block)
+        if code is None:
+            code = self._compile_block(block)
+
         # Phi nodes evaluate in parallel against the edge just taken.
-        phis = [] if skip_phis else frame.block.phis
-        if phis:
+        if code.phis and not skip_phis:
+            prev = frame.prev_block
             staged: dict[str, int | float] = {}
-            for phi in phis:
-                staged[phi.name] = self._phi_value(frame, phi)
-                self._account(phi)
+            fuel = self.fuel
+            for phi, cost, incoming in code.phis:
+                if prev is None:
+                    raise InterpreterError(
+                        f"phi {phi.ref()} reached without a predecessor edge"
+                    )
+                get = incoming.get(prev)
+                if get is None:
+                    raise TrapError(
+                        f"phi {phi.ref()}: no incoming entry for edge from "
+                        f"^{prev.name} (control-flow corruption?)"
+                    )
+                staged[phi.name] = get(frame.env)
+                self.instructions += 1
+                self.cycles += cost
+                if self.instructions > fuel:
+                    raise FuelExhausted(
+                        f"instruction budget of {fuel} exhausted"
+                    )
             frame.env.update(staged)
 
-        for instr in frame.block.body:
-            if self.step_hook is not None:
-                self.step_hook(self, frame, instr, self.instructions)
-            self._account(instr)
-            op = instr.opcode
-            if op is Opcode.RET:
-                if instr.operands:
-                    return self._value(frame, instr.operands[0])
-                return None
-            if op is Opcode.TRAP:
-                raise DetectionTrap(
-                    f"protection trap in @{frame.func.name}:"
-                    f"^{frame.block.name}"
+        hook = self.step_hook
+        fuel = self.fuel
+        for instr, cost, step in code.steps:
+            if hook is not None:
+                hook(self, frame, instr, self.instructions)
+            self.instructions += 1
+            self.cycles += cost
+            if self.instructions > fuel:
+                raise FuelExhausted(
+                    f"instruction budget of {fuel} exhausted"
                 )
-            if op is Opcode.JMP:
-                self._jump(frame, instr.block_targets[0])
-                return _CONTINUE
-            if op is Opcode.BR:
-                cond = self._value(frame, instr.operands[0])
-                target = instr.block_targets[0 if cond else 1]
-                self._jump(frame, target)
-                return _CONTINUE
-            value = self._evaluate(frame, instr)
-            if instr.defines_value:
-                frame.env[instr.name] = value
+            result = step(self, frame)
+            if result is not None:
+                return result
         raise InterpreterError(
             f"@{frame.func.name}:^{frame.block.name} fell off the end"
         )  # pragma: no cover - verifier guarantees terminators
 
-    def _jump(self, frame: Frame, target: BasicBlock) -> None:
-        frame.prev_block = frame.block
-        frame.block = target
+    # -- block compilation -----------------------------------------------------
 
-    def _account(self, instr: Instruction) -> None:
-        self.instructions += 1
-        self.cycles += self.cost_model.cost(instr)
-        if self.instructions > self.fuel:
-            raise FuelExhausted(
-                f"instruction budget of {self.fuel} exhausted"
-            )
-
-    def _phi_value(self, frame: Frame, phi: Instruction) -> int | float:
-        if frame.prev_block is None:
-            raise InterpreterError(
-                f"phi {phi.ref()} reached without a predecessor edge"
-            )
-        for value, block in phi.phi_incoming():
-            if block is frame.prev_block:
-                return self._value(frame, value)
-        raise TrapError(
-            f"phi {phi.ref()}: no incoming entry for edge from "
-            f"^{frame.prev_block.name} (control-flow corruption?)"
+    def _compile_block(self, block: BasicBlock) -> _BlockCode:
+        cost = self.cost_model.cost
+        phis: list[tuple[Instruction, int, dict[BasicBlock, Callable]]] = []
+        for phi in block.phis:
+            incoming: dict[BasicBlock, Callable] = {}
+            for value, pred in zip(phi.operands, phi.block_targets):
+                # First entry wins, matching the reference lookup order.
+                if pred not in incoming:
+                    incoming[pred] = _operand_getter(value)
+            phis.append((phi, cost(phi), incoming))
+        steps = tuple(
+            (instr, cost(instr), self._compile_step(block, instr))
+            for instr in block.body
         )
+        code = _BlockCode(phis, steps)
+        self._code[block] = code
+        return code
 
-    def _value(self, frame: Frame, value: Value) -> int | float:
-        if isinstance(value, Constant):
-            return value.value
-        if isinstance(value, (Argument, Instruction)):
-            try:
-                return frame.env[value.name]
-            except KeyError:
-                raise TrapError(
-                    f"read of undefined value {value.ref()}"
-                ) from None
-        raise InterpreterError(f"unknown value kind {value!r}")
-
-    # -- per-opcode evaluation ---------------------------------------------------
-
-    def _evaluate(self, frame: Frame, instr: Instruction) -> int | float:
+    def _compile_step(self, block: BasicBlock, instr: Instruction) -> _Step:
         op = instr.opcode
-        get = lambda i: self._value(frame, instr.operands[i])  # noqa: E731
+        ops = instr.operands
+        name = instr.name
+        type_ = instr.type
+
+        if op is Opcode.RET:
+            if ops:
+                get = _operand_getter(ops[0])
+
+                def step_ret(interp: Interpreter, frame: Frame) -> object:
+                    return _Return(get(frame.env))
+
+                return step_ret
+            return lambda interp, frame: _RETURN_NONE
+
+        if op is Opcode.TRAP:
+            func_name = block.parent.name if block.parent else "?"
+            message = f"protection trap in @{func_name}:^{block.name}"
+
+            def step_trap(interp: Interpreter, frame: Frame) -> object:
+                raise DetectionTrap(message)
+
+            return step_trap
+
+        if op is Opcode.JMP:
+            target = instr.block_targets[0]
+
+            def step_jmp(interp: Interpreter, frame: Frame) -> object:
+                frame.prev_block = frame.block
+                frame.block = target
+                return _CONTINUE
+
+            return step_jmp
+
+        if op is Opcode.BR:
+            cond = _operand_getter(ops[0])
+            then_block, else_block = instr.block_targets
+
+            def step_br(interp: Interpreter, frame: Frame) -> object:
+                target = then_block if cond(frame.env) else else_block
+                frame.prev_block = frame.block
+                frame.block = target
+                return _CONTINUE
+
+            return step_br
 
         if op in _INT_ARITH:
-            return _int_arith(op, instr.type, int(get(0)), int(get(1)))
+            a, b = _operand_getter(ops[0]), _operand_getter(ops[1])
+            wrap = type_.wrap
+            if op is Opcode.ADD:
+                def step(interp, frame):
+                    env = frame.env
+                    env[name] = wrap(int(a(env)) + int(b(env)))
+            elif op is Opcode.SUB:
+                def step(interp, frame):
+                    env = frame.env
+                    env[name] = wrap(int(a(env)) - int(b(env)))
+            elif op is Opcode.MUL:
+                def step(interp, frame):
+                    env = frame.env
+                    env[name] = wrap(int(a(env)) * int(b(env)))
+            elif op is Opcode.AND:
+                def step(interp, frame):
+                    env = frame.env
+                    env[name] = wrap(int(a(env)) & int(b(env)))
+            elif op is Opcode.OR:
+                def step(interp, frame):
+                    env = frame.env
+                    env[name] = wrap(int(a(env)) | int(b(env)))
+            elif op is Opcode.XOR:
+                def step(interp, frame):
+                    env = frame.env
+                    env[name] = wrap(int(a(env)) ^ int(b(env)))
+            else:
+                # Divisions and shifts share the reference helper: they are
+                # rare in the workloads and carry trap/masking subtleties.
+                def step(interp, frame, op=op, type_=type_):
+                    env = frame.env
+                    env[name] = _int_arith(
+                        op, type_, int(a(env)), int(b(env))
+                    )
+            return step
+
         if op in _FLOAT_ARITH:
-            return _float_arith(op, float(get(0)), float(get(1)))
+            a, b = _operand_getter(ops[0]), _operand_getter(ops[1])
+            if op is Opcode.FADD:
+                def step(interp, frame):
+                    env = frame.env
+                    env[name] = float(a(env)) + float(b(env))
+            elif op is Opcode.FSUB:
+                def step(interp, frame):
+                    env = frame.env
+                    env[name] = float(a(env)) - float(b(env))
+            elif op is Opcode.FMUL:
+                def step(interp, frame):
+                    env = frame.env
+                    env[name] = float(a(env)) * float(b(env))
+            else:
+                def step(interp, frame):
+                    env = frame.env
+                    env[name] = _float_arith(
+                        Opcode.FDIV, float(a(env)), float(b(env))
+                    )
+            return step
+
         if op is Opcode.ICMP:
             assert instr.predicate is not None
-            return int(_compare(instr.predicate, int(get(0)), int(get(1))))
+            cmp = _PREDICATE_OPS[instr.predicate]
+            a, b = _operand_getter(ops[0]), _operand_getter(ops[1])
+
+            def step_icmp(interp: Interpreter, frame: Frame) -> object:
+                env = frame.env
+                env[name] = int(cmp(int(a(env)), int(b(env))))
+
+            return step_icmp
+
         if op is Opcode.FCMP:
             assert instr.predicate is not None
-            a, b = float(get(0)), float(get(1))
-            if math.isnan(a) or math.isnan(b):
-                return int(instr.predicate is Predicate.NE)
-            return int(_compare(instr.predicate, a, b))
+            cmp = _PREDICATE_OPS[instr.predicate]
+            nan_result = int(instr.predicate is Predicate.NE)
+            a, b = _operand_getter(ops[0]), _operand_getter(ops[1])
+            isnan = math.isnan
+
+            def step_fcmp(interp: Interpreter, frame: Frame) -> object:
+                env = frame.env
+                av, bv = float(a(env)), float(b(env))
+                if isnan(av) or isnan(bv):
+                    env[name] = nan_result
+                else:
+                    env[name] = int(cmp(av, bv))
+
+            return step_fcmp
+
         if op is Opcode.SITOFP:
-            return float(int(get(0)))
+            a = _operand_getter(ops[0])
+
+            def step_sitofp(interp: Interpreter, frame: Frame) -> object:
+                env = frame.env
+                env[name] = float(int(a(env)))
+
+            return step_sitofp
+
         if op is Opcode.FPTOSI:
-            value = float(get(0))
-            if math.isnan(value) or math.isinf(value):
-                raise TrapError(f"fptosi of non-finite value {value}")
-            return instr.type.wrap(int(value))
+            a = _operand_getter(ops[0])
+            wrap = type_.wrap
+
+            def step_fptosi(interp: Interpreter, frame: Frame) -> object:
+                env = frame.env
+                value = float(a(env))
+                if math.isnan(value) or math.isinf(value):
+                    raise TrapError(f"fptosi of non-finite value {value}")
+                env[name] = wrap(int(value))
+
+            return step_fptosi
+
         if op is Opcode.ZEXT:
-            raw = int(get(0)) & ((1 << instr.operands[0].type.bits) - 1)
-            return instr.type.wrap(raw)
+            a = _operand_getter(ops[0])
+            src_mask = (1 << ops[0].type.bits) - 1
+            wrap = type_.wrap
+
+            def step_zext(interp: Interpreter, frame: Frame) -> object:
+                env = frame.env
+                env[name] = wrap(int(a(env)) & src_mask)
+
+            return step_zext
+
         if op is Opcode.TRUNC:
-            return instr.type.wrap(int(get(0)))
+            a = _operand_getter(ops[0])
+            wrap = type_.wrap
+
+            def step_trunc(interp: Interpreter, frame: Frame) -> object:
+                env = frame.env
+                env[name] = wrap(int(a(env)))
+
+            return step_trunc
+
         if op is Opcode.ALLOC:
-            return self.alloc_cells(int(get(0)))
+            a = _operand_getter(ops[0])
+
+            def step_alloc(interp: Interpreter, frame: Frame) -> object:
+                env = frame.env
+                env[name] = interp.alloc_cells(int(a(env)))
+
+            return step_alloc
+
         if op is Opcode.LOAD:
-            return self._load(int(get(0)), instr.type)
+            a = _operand_getter(ops[0])
+            if type_.is_float:
+                def step_load(interp: Interpreter, frame: Frame) -> object:
+                    env = frame.env
+                    address = int(a(env))
+                    heap = interp.heap
+                    if not 0 <= address < len(heap):
+                        raise TrapError(
+                            f"load from invalid address {address}"
+                        )
+                    env[name] = float(heap[address])
+            else:
+                wrap = type_.wrap
+
+                def step_load(interp: Interpreter, frame: Frame) -> object:
+                    env = frame.env
+                    address = int(a(env))
+                    heap = interp.heap
+                    if not 0 <= address < len(heap):
+                        raise TrapError(
+                            f"load from invalid address {address}"
+                        )
+                    env[name] = wrap(int(heap[address]))
+            return step_load
+
         if op is Opcode.STORE:
-            self._store(int(get(1)), get(0))
-            return 0
+            value_get = _operand_getter(ops[0])
+            addr_get = _operand_getter(ops[1])
+
+            def step_store(interp: Interpreter, frame: Frame) -> object:
+                env = frame.env
+                # Address before value: the reference path reads them in
+                # this order, which fixes which trap fires first.
+                address = int(addr_get(env))
+                value = value_get(env)
+                heap = interp.heap
+                if not 0 <= address < len(heap):
+                    raise TrapError(f"store to invalid address {address}")
+                heap[address] = value
+
+            return step_store
+
         if op is Opcode.GEP:
-            return int(get(0)) + int(get(1))
+            a, b = _operand_getter(ops[0]), _operand_getter(ops[1])
+
+            def step_gep(interp: Interpreter, frame: Frame) -> object:
+                env = frame.env
+                env[name] = int(a(env)) + int(b(env))
+
+            return step_gep
+
         if op is Opcode.SELECT:
-            return get(1) if get(0) else get(2)
+            cond = _operand_getter(ops[0])
+            a, b = _operand_getter(ops[1]), _operand_getter(ops[2])
+
+            def step_select(interp: Interpreter, frame: Frame) -> object:
+                env = frame.env
+                env[name] = a(env) if cond(env) else b(env)
+
+            return step_select
+
         if op is Opcode.MAG:
-            return magnitude(float(get(0)), instr.imm or 0)
+            a = _operand_getter(ops[0])
+            k = instr.imm or 0
+
+            def step_mag(interp: Interpreter, frame: Frame) -> object:
+                env = frame.env
+                env[name] = magnitude(float(a(env)), k)
+
+            return step_mag
+
         if op is Opcode.SIGN:
-            return int(math.copysign(1.0, float(get(0))) < 0)
+            a = _operand_getter(ops[0])
+            copysign = math.copysign
+
+            def step_sign(interp: Interpreter, frame: Frame) -> object:
+                env = frame.env
+                env[name] = int(copysign(1.0, float(a(env))) < 0)
+
+            return step_sign
+
         if op is Opcode.CALL:
             assert instr.callee is not None
             callee = self.module.function(instr.callee)
-            args = [self._value(frame, a) for a in instr.operands]
-            result = self._call(callee, args)
-            return 0 if result is None else result
+            getters = [_operand_getter(a) for a in ops]
+            if instr.defines_value:
+                def step_call(interp: Interpreter, frame: Frame) -> object:
+                    env = frame.env
+                    result = interp._call(callee, [g(env) for g in getters])
+                    env[name] = 0 if result is None else result
+            else:
+                def step_call(interp: Interpreter, frame: Frame) -> object:
+                    env = frame.env
+                    interp._call(callee, [g(env) for g in getters])
+            return step_call
+
         raise InterpreterError(f"unhandled opcode {op}")  # pragma: no cover
 
-    def _load(self, address: int, type_: Type) -> int | float:
-        if not 0 <= address < len(self.heap):
-            raise TrapError(f"load from invalid address {address}")
-        raw = self.heap[address]
-        if type_.is_float:
-            return float(raw)
-        return type_.wrap(int(raw))
 
-    def _store(self, address: int, value: int | float) -> None:
-        if not 0 <= address < len(self.heap):
-            raise TrapError(f"store to invalid address {address}")
-        self.heap[address] = value
+def _operand_getter(value: Value) -> Callable[[dict], int | float]:
+    """Compile one operand to an environment accessor."""
+    if isinstance(value, Constant):
+        constant = value.value
+
+        def get_const(env: dict) -> int | float:
+            return constant
+
+        return get_const
+    if isinstance(value, (Argument, Instruction)):
+        name = value.name
+        ref = value.ref()
+
+        def get_named(env: dict) -> int | float:
+            try:
+                return env[name]
+            except KeyError:
+                raise TrapError(f"read of undefined value {ref}") from None
+
+        return get_named
+    raise InterpreterError(f"unknown value kind {value!r}")
 
 
 #: Magnitude of zero: below the smallest subnormal exponent (2**-1074).
@@ -400,12 +692,22 @@ def magnitude(x: float, k: int = 0) -> int:
 
 
 _CONTINUE = object()
+_RETURN_NONE = _Return(None)
 
 _INT_ARITH = frozenset({
     Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.SDIV, Opcode.SREM,
     Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.SHL, Opcode.LSHR, Opcode.ASHR,
 })
 _FLOAT_ARITH = frozenset({Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV})
+
+_PREDICATE_OPS = {
+    Predicate.EQ: operator.eq,
+    Predicate.NE: operator.ne,
+    Predicate.LT: operator.lt,
+    Predicate.LE: operator.le,
+    Predicate.GT: operator.gt,
+    Predicate.GE: operator.ge,
+}
 
 
 def _coerce(type_: Type, value: int | float) -> int | float:

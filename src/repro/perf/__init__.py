@@ -1,0 +1,33 @@
+"""Performance support: golden-run caching and the perf trajectory report.
+
+Campaign wall-clock is the binding constraint on how many fault-injection
+trials, DMR levels and workloads the experiment suite can afford (see
+ROADMAP).  This package holds the cross-cutting perf machinery:
+
+* :mod:`repro.perf.cache` — a process-global golden-run cache keyed by a
+  module fingerprint (hash of the printed IR) + entry function + args +
+  cost model, so multi-level sweeps stop re-deriving identical golden runs;
+* :mod:`repro.perf.report` — the machine-readable ``BENCH_perf.json``
+  writer that gives subsequent PRs a perf trajectory to regress against.
+
+The parallel campaign engine itself lives in :mod:`repro.faults.parallel`.
+"""
+
+from repro.perf.cache import (
+    CacheStats,
+    GOLDEN_CACHE,
+    GoldenRunCache,
+    cost_model_key,
+    module_fingerprint,
+)
+from repro.perf.report import load_perf_report, write_perf_report
+
+__all__ = [
+    "CacheStats",
+    "GOLDEN_CACHE",
+    "GoldenRunCache",
+    "cost_model_key",
+    "module_fingerprint",
+    "load_perf_report",
+    "write_perf_report",
+]

@@ -1,0 +1,54 @@
+"""Machine-readable perf trajectory: ``BENCH_perf.json``.
+
+``benchmarks/bench_perf.py`` measures campaign throughput (serial vs
+parallel), interpreter speed (fast path vs reference loop) and golden-cache
+effectiveness, then writes one snapshot here.  Previous snapshots are kept
+in a bounded ``history`` list so later PRs can regress against the
+trajectory, not just the latest number.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+SCHEMA_VERSION = 1
+
+#: Snapshots retained in the trajectory (newest first).
+MAX_HISTORY = 20
+
+
+def load_perf_report(path: str | Path) -> dict | None:
+    """Read an existing report; None when absent or unparseable."""
+    path = Path(path)
+    if not path.exists():
+        return None
+    try:
+        report = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(report, dict):
+        return None
+    return report
+
+
+def write_perf_report(
+    path: str | Path, snapshot: dict, keep_history: int = MAX_HISTORY
+) -> dict:
+    """Write ``snapshot`` as the current measurement, rolling the old one
+    (minus its history) into ``history``.  Returns the full report."""
+    path = Path(path)
+    previous = load_perf_report(path)
+    history: list[dict] = []
+    if previous is not None:
+        history = [h for h in previous.get("history", []) if isinstance(h, dict)]
+        rolled = {k: v for k, v in previous.items() if k not in ("history", "schema")}
+        if rolled:
+            history.insert(0, rolled)
+    report = {
+        "schema": SCHEMA_VERSION,
+        **snapshot,
+        "history": history[:keep_history],
+    }
+    path.write_text(json.dumps(report, indent=2, sort_keys=False) + "\n")
+    return report

@@ -246,6 +246,7 @@ def resume_from_checkpoint(
     cost_model: CostModel = CORTEX_A53,
     fuel: int = 5_000_000,
     step_hook=None,
+    code_cache: dict | None = None,
 ) -> ExecutionResult:
     """Verify an interpreter checkpoint and resume execution from it."""
     if ckpt.substrate != "interp":
@@ -256,7 +257,8 @@ def resume_from_checkpoint(
         raise CheckpointError("refusing to resume a corrupt checkpoint")
     func_name, block_name, env_items, heap = ckpt.state()
     interp = Interpreter(
-        module, cost_model=cost_model, fuel=fuel, step_hook=step_hook
+        module, cost_model=cost_model, fuel=fuel, step_hook=step_hook,
+        code_cache=code_cache
     )
     return interp.resume(
         func_name,

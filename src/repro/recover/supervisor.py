@@ -286,6 +286,9 @@ class Supervisor:
         self.campaign = campaign
         self.golden = golden
         self.config = config
+        # Compiled blocks shared by every trial, clean re-run and resume
+        # this supervisor drives (one module + one cost model throughout).
+        self.code_cache: dict = {}
         self.ladder = EscalationLadder(config.ladder)
         self.watchdog_budget = max(
             1, int(golden.instructions * config.watchdog_margin)
@@ -316,6 +319,7 @@ class Supervisor:
             cost_model=campaign.cost_model,
             fuel=trial_fuel_for(campaign, golden),
             step_hook=hooks,
+            code_cache=self.code_cache,
         )
         result = interp.run(campaign.func_name, list(campaign.args))
         outcome, rel_error = classify(
@@ -403,6 +407,7 @@ class Supervisor:
             cost_model=self.campaign.cost_model,
             fuel=self.campaign.fuel,
             step_hook=InterpWatchdog(self.watchdog_budget),
+            code_cache=self.code_cache,
         )
         return interp.run(self.campaign.func_name, list(self.campaign.args))
 
@@ -463,6 +468,7 @@ class Supervisor:
             cost_model=self.campaign.cost_model,
             fuel=self.campaign.fuel,
             step_hook=InterpWatchdog(self.watchdog_budget),
+            code_cache=self.code_cache,
         )
         # Resumed counters continue from the checkpoint, so the attempt's
         # own work is the delta; a failed resume still pays what it ran.
@@ -478,12 +484,22 @@ def run_supervised_campaign(
     campaign: Campaign,
     config: SupervisorConfig = SupervisorConfig(),
     seed: int | np.random.Generator | None = None,
+    workers: int | None = None,
 ) -> SupervisedCampaignResult:
     """Execute ``campaign`` with the supervisor in the loop.
 
     Deterministic under a fixed seed: every trial's injector, checkpoint
     corruption, and persistence draw come from one forked child generator.
+    With ``workers`` > 1, trials fan out across a process pool (see
+    :func:`repro.faults.parallel.run_supervised_campaign_parallel`) with
+    byte-identical results.
     """
+    if workers is not None and workers > 1:
+        from repro.faults.parallel import run_supervised_campaign_parallel
+
+        return run_supervised_campaign_parallel(
+            campaign, config=config, seed=seed, workers=workers
+        )
     rng = make_rng(seed)
     golden = run_golden(campaign)
     supervisor = Supervisor(campaign, golden, config)

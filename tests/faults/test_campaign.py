@@ -110,3 +110,28 @@ class TestCampaigns:
     def test_mean_faulty_cycles_positive(self):
         result = run_campaign(_campaign("fact", n_trials=20), seed=0)
         assert result.mean_faulty_cycles > 0
+
+
+class TestFuelConfiguration:
+    def test_tiny_fuel_is_a_loud_config_error(self):
+        # A budget below the golden run's dynamic instruction count would
+        # classify every trial as HANG; that's a configuration error and
+        # must raise, not silently produce a 100%-hang campaign.
+        with pytest.raises(FaultInjectionError, match="fuel"):
+            run_campaign(_campaign("fact", n_trials=5, fuel=10), seed=0)
+
+    def test_trial_fuel_guard_against_stale_golden(self):
+        # trial_fuel_for itself guards the invariant, even when the golden
+        # run was derived under a larger budget than the campaign's.
+        roomy = _campaign("fib")
+        golden = run_golden(roomy, use_cache=False)
+        cramped = _campaign("fib", fuel=golden.instructions - 1)
+        with pytest.raises(FaultInjectionError, match="below the golden"):
+            trial_fuel_for(cramped, golden)
+
+    def test_exact_fuel_is_sufficient(self):
+        # fuel == golden.instructions completes the golden run exactly.
+        campaign = _campaign("fib")
+        golden = run_golden(campaign, use_cache=False)
+        exact = _campaign("fib", fuel=golden.instructions)
+        assert trial_fuel_for(exact, golden) == golden.instructions

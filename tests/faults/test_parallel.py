@@ -1,0 +1,135 @@
+"""Parallel campaign engine: byte-identity with the serial loop.
+
+The acceptance property of :mod:`repro.faults.parallel` is not "roughly
+the same counts" but **byte-identical trial sequences**: same resolved
+fault specs, same faulted values, same cycle counts, same tallies, for
+every worker count — including the ``workers=1`` in-process fallback.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import FaultInjectionError
+from repro.faults.campaign import Campaign, run_campaign, run_golden
+from repro.faults.model import FaultTarget
+from repro.faults.parallel import (
+    MIN_PARALLEL_TRIALS,
+    WireCampaign,
+    resolve_workers,
+    run_campaign_parallel,
+    run_supervised_campaign_parallel,
+)
+from repro.recover.supervisor import SupervisorConfig, run_supervised_campaign
+from repro.workloads.irprograms import PROGRAMS, build_program
+
+
+def _campaign(name, **kwargs):
+    module = build_program(name)
+    return Campaign(
+        module=module,
+        func_name=name,
+        args=PROGRAMS[name].default_args,
+        **kwargs,
+    )
+
+
+def _assert_byte_identical(a, b):
+    assert a.golden.value == b.golden.value or (
+        isinstance(a.golden.value, float) and math.isnan(a.golden.value)
+        and math.isnan(b.golden.value)
+    )
+    assert a.golden.instructions == b.golden.instructions
+    assert a.counts.counts == b.counts.counts
+    assert a.trials == b.trials
+
+
+class TestParallelDeterminism:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_register_target_identical(self, workers):
+        campaign = _campaign("isort", n_trials=40)
+        serial = run_campaign(campaign, seed=7)
+        parallel = run_campaign_parallel(campaign, seed=7, workers=workers)
+        _assert_byte_identical(serial, parallel)
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_memory_target_identical(self, workers):
+        campaign = _campaign(
+            "checksum", n_trials=40, target=FaultTarget.MEMORY
+        )
+        serial = run_campaign(campaign, seed=13)
+        parallel = run_campaign_parallel(campaign, seed=13, workers=workers)
+        _assert_byte_identical(serial, parallel)
+
+    def test_instrumented_module_identical(self):
+        # The wire format round-trips instrumented (DMR) modules too.
+        from repro.core.dmr import ProtectionLevel, instrument_module
+
+        module, _ = instrument_module(
+            build_program("fact"), ProtectionLevel.FULL_DMR
+        )
+        campaign = Campaign(
+            module=module,
+            func_name="fact",
+            args=PROGRAMS["fact"].default_args,
+            n_trials=30,
+        )
+        serial = run_campaign(campaign, seed=3)
+        parallel = run_campaign_parallel(campaign, seed=3, workers=2)
+        _assert_byte_identical(serial, parallel)
+
+    def test_explicit_chunk_size_identical(self):
+        campaign = _campaign("collatz", n_trials=25)
+        serial = run_campaign(campaign, seed=5)
+        for chunk_size in (1, 7, 25, 100):
+            parallel = run_campaign_parallel(
+                campaign, seed=5, workers=2, chunk_size=chunk_size
+            )
+            _assert_byte_identical(serial, parallel)
+
+    def test_run_campaign_workers_kwarg_delegates(self):
+        campaign = _campaign("fib", n_trials=30)
+        serial = run_campaign(campaign, seed=9)
+        threaded = run_campaign(campaign, seed=9, workers=4)
+        _assert_byte_identical(serial, threaded)
+
+    def test_small_campaign_uses_fallback(self):
+        # Below MIN_PARALLEL_TRIALS the pool is skipped entirely, but the
+        # result is still identical to serial.
+        n = MIN_PARALLEL_TRIALS - 1
+        campaign = _campaign("gcd", n_trials=n)
+        serial = run_campaign(campaign, seed=2)
+        parallel = run_campaign_parallel(campaign, seed=2, workers=4)
+        _assert_byte_identical(serial, parallel)
+
+
+class TestSupervisedParallel:
+    def test_supervised_identical_to_serial(self):
+        campaign = _campaign("collatz", n_trials=12)
+        config = SupervisorConfig()
+        serial = run_supervised_campaign(campaign, config, seed=21)
+        parallel = run_supervised_campaign_parallel(
+            campaign, config, seed=21, workers=2
+        )
+        assert serial.counts.counts == parallel.counts.counts
+        assert serial.trials == parallel.trials
+        assert len(serial.records) == len(parallel.records)
+        for a, b in zip(serial.records, parallel.records):
+            assert a == b
+
+
+class TestWireFormat:
+    def test_wire_round_trip_preserves_golden(self):
+        campaign = _campaign("horner", n_trials=10)
+        golden = run_golden(campaign)
+        wire = WireCampaign.from_campaign(campaign, golden)
+        rebuilt = wire.to_campaign()
+        regolden = run_golden(rebuilt, use_cache=False)
+        assert regolden.value == golden.value
+        assert regolden.instructions == golden.instructions
+
+    def test_resolve_workers_validation(self):
+        assert resolve_workers(3) == 3
+        assert resolve_workers(None) >= 1
+        with pytest.raises(FaultInjectionError):
+            resolve_workers(0)

@@ -1,0 +1,179 @@
+"""Golden-run cache: content-addressed keys and fuel-validated hits."""
+
+import pytest
+
+from repro.core.dmr import ProtectionLevel, instrument_module
+from repro.faults.campaign import Campaign, run_golden
+from repro.ir.interp import Interpreter
+from repro.perf.cache import (
+    GOLDEN_CACHE,
+    GoldenRunCache,
+    cost_model_key,
+    module_fingerprint,
+)
+from repro.workloads.irprograms import PROGRAMS, build_program
+
+
+def _campaign(name, module=None, **kwargs):
+    module = module if module is not None else build_program(name)
+    return Campaign(
+        module=module,
+        func_name=name,
+        args=PROGRAMS[name].default_args,
+        **kwargs,
+    )
+
+
+@pytest.fixture
+def cache():
+    cache = GoldenRunCache(maxsize=8)
+    return cache
+
+
+class TestFingerprint:
+    def test_identical_modules_share_fingerprint(self):
+        assert module_fingerprint(build_program("fact")) == module_fingerprint(
+            build_program("fact")
+        )
+
+    def test_different_programs_differ(self):
+        assert module_fingerprint(build_program("fact")) != module_fingerprint(
+            build_program("fib")
+        )
+
+    def test_instrumented_clone_changes_fingerprint(self):
+        # The key property behind cache soundness: instrumenting a module
+        # (a DMR clone) changes its printed IR, hence its fingerprint.
+        original = build_program("fact")
+        protected, _ = instrument_module(
+            original, ProtectionLevel.FULL_DMR
+        )
+        assert module_fingerprint(original) != module_fingerprint(protected)
+
+
+class TestGoldenRunCache:
+    def test_hit_after_put(self, cache):
+        campaign = _campaign("fact")
+        golden = run_golden(campaign, use_cache=False)
+        key = cache.key_for(
+            campaign.module, campaign.func_name, campaign.args,
+            campaign.cost_model,
+        )
+        cache.put(key, golden)
+        hit = cache.get(key, fuel=campaign.fuel)
+        assert hit is not None
+        assert hit.value == golden.value
+        assert cache.stats.hits == 1 and cache.stats.misses == 0
+
+    def test_instrumented_clone_misses_original_entry(self, cache):
+        # Satellite guarantee: a DMR-instrumented clone must never be
+        # served the uninstrumented original's golden run (its instruction
+        # count and duplicated values differ).
+        campaign = _campaign("fact")
+        golden = run_golden(campaign, use_cache=False)
+        key = cache.key_for(
+            campaign.module, campaign.func_name, campaign.args,
+            campaign.cost_model,
+        )
+        cache.put(key, golden)
+
+        protected, _ = instrument_module(
+            campaign.module, ProtectionLevel.FULL_DMR
+        )
+        protected_key = cache.key_for(
+            protected, campaign.func_name, campaign.args,
+            campaign.cost_model,
+        )
+        assert protected_key != key
+        assert cache.get(protected_key, fuel=campaign.fuel) is None
+        assert cache.stats.misses == 1
+
+    def test_fuel_below_recorded_instructions_misses(self, cache):
+        campaign = _campaign("fib")
+        golden = run_golden(campaign, use_cache=False)
+        key = cache.key_for(
+            campaign.module, campaign.func_name, campaign.args,
+            campaign.cost_model,
+        )
+        cache.put(key, golden)
+        assert cache.get(key, fuel=golden.instructions - 1) is None
+        assert cache.get(key, fuel=golden.instructions) is not None
+
+    def test_returned_runs_are_defensive_copies(self, cache):
+        campaign = _campaign("fact")
+        golden = run_golden(campaign, use_cache=False)
+        key = cache.key_for(
+            campaign.module, campaign.func_name, campaign.args,
+            campaign.cost_model,
+        )
+        cache.put(key, golden)
+        first = cache.get(key, fuel=campaign.fuel)
+        first.block_trace.append("tampered")
+        second = cache.get(key, fuel=campaign.fuel)
+        assert "tampered" not in second.block_trace
+
+    def test_lru_eviction_bounded(self):
+        cache = GoldenRunCache(maxsize=2)
+        campaign = _campaign("fact")
+        golden = run_golden(campaign, use_cache=False)
+        for i in range(5):
+            cache.put(("key", i), golden)
+        assert len(cache) == 2
+        assert cache.get(("key", 0), fuel=10**6) is None
+        assert cache.get(("key", 4), fuel=10**6) is not None
+
+    def test_clear_resets_entries_and_stats(self, cache):
+        campaign = _campaign("fact")
+        golden = run_golden(campaign, use_cache=False)
+        key = cache.key_for(
+            campaign.module, campaign.func_name, campaign.args,
+            campaign.cost_model,
+        )
+        cache.put(key, golden)
+        cache.get(key, fuel=campaign.fuel)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.lookups == 0
+
+    def test_rejects_nonpositive_maxsize(self):
+        with pytest.raises(ValueError):
+            GoldenRunCache(maxsize=0)
+
+
+class TestRunGoldenIntegration:
+    def test_run_golden_populates_global_cache(self):
+        GOLDEN_CACHE.clear()
+        campaign = _campaign("collatz")
+        first = run_golden(campaign)
+        again = run_golden(campaign)
+        assert again.value == first.value
+        assert GOLDEN_CACHE.stats.hits >= 1
+
+    def test_cached_run_matches_fresh_interpreter(self):
+        GOLDEN_CACHE.clear()
+        campaign = _campaign("horner")
+        cached = run_golden(campaign)
+        fresh = Interpreter(
+            campaign.module, cost_model=campaign.cost_model,
+            fuel=campaign.fuel,
+        ).run(campaign.func_name, list(campaign.args))
+        assert cached.value == fresh.value
+        assert cached.instructions == fresh.instructions
+        assert cached.cycles == fresh.cycles
+
+    def test_cost_model_key_distinguishes_overrides(self):
+        from repro.ir.costmodel import CORTEX_A53, CostModel
+
+        assert cost_model_key(CORTEX_A53) == cost_model_key(CORTEX_A53)
+        tweaked = CostModel(
+            name=CORTEX_A53.name,
+            int_alu=CORTEX_A53.int_alu + 1,
+            int_div=CORTEX_A53.int_div,
+            fp_alu=CORTEX_A53.fp_alu,
+            magnitude=CORTEX_A53.magnitude,
+            load=CORTEX_A53.load,
+            store=CORTEX_A53.store,
+            branch=CORTEX_A53.branch,
+            call_overhead=CORTEX_A53.call_overhead,
+        )
+        assert cost_model_key(tweaked) != cost_model_key(CORTEX_A53)

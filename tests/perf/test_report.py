@@ -1,0 +1,47 @@
+"""BENCH_perf.json writer: schema, history rolling, bounded depth."""
+
+import json
+
+from repro.perf.report import (
+    MAX_HISTORY,
+    SCHEMA_VERSION,
+    load_perf_report,
+    write_perf_report,
+)
+
+
+def test_first_write_has_empty_history(tmp_path):
+    path = tmp_path / "BENCH_perf.json"
+    report = write_perf_report(path, {"campaign": {"trials_per_s": 100.0}})
+    assert report["schema"] == SCHEMA_VERSION
+    assert report["history"] == []
+    on_disk = json.loads(path.read_text())
+    assert on_disk == report
+
+
+def test_previous_snapshot_rolls_into_history(tmp_path):
+    path = tmp_path / "BENCH_perf.json"
+    write_perf_report(path, {"campaign": {"trials_per_s": 100.0}})
+    report = write_perf_report(path, {"campaign": {"trials_per_s": 120.0}})
+    assert report["campaign"]["trials_per_s"] == 120.0
+    assert len(report["history"]) == 1
+    assert report["history"][0]["campaign"]["trials_per_s"] == 100.0
+    # History entries never nest their own history.
+    assert "history" not in report["history"][0]
+
+
+def test_history_depth_is_bounded(tmp_path):
+    path = tmp_path / "BENCH_perf.json"
+    for i in range(MAX_HISTORY + 5):
+        write_perf_report(path, {"run": i})
+    report = load_perf_report(path)
+    assert len(report["history"]) == MAX_HISTORY
+    # Newest-first: the most recent rolled-out snapshot leads.
+    assert report["history"][0]["run"] == MAX_HISTORY + 3
+
+
+def test_load_missing_or_corrupt_returns_none(tmp_path):
+    assert load_perf_report(tmp_path / "absent.json") is None
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    assert load_perf_report(bad) is None

@@ -41,6 +41,8 @@ from repro.faults.campaign import (
 )
 from repro.faults.outcomes import FaultOutcome, OutcomeCounts, TrialResult, classify
 from repro.faults.parallel import run_campaign_parallel
+from repro.obs.events import InMemorySink, Tracer
+from repro.obs.report import outcome_counts
 from repro.ir.interp import Interpreter
 from repro.ir.refinterp import ReferenceInterpreter
 from repro.perf import GOLDEN_CACHE
@@ -207,6 +209,52 @@ def test_perf_campaign_throughput():
         assert parallel_tps >= 2.0 * baseline_tps
 
 
+def test_perf_observability_overhead():
+    """Tracing must observe, not perturb: byte-identity + bounded cost.
+
+    Two measurements ride the perf snapshot:
+
+    * ``traced_overhead`` — enabled tracing (in-memory sink) vs the
+      untraced serial loop.  The event stream is also replayed through
+      :func:`repro.obs.report.outcome_counts` and must reproduce the
+      engine tally exactly.
+    * the untraced loop itself IS the disabled mode (``tracer=None`` is
+      one pointer test per trial), so the trajectory history in
+      ``BENCH_perf.json`` is the regression gate for disabled overhead.
+    """
+    module = build_program(CAMPAIGN_PROGRAM)
+    campaign = Campaign(
+        module=module,
+        func_name=CAMPAIGN_PROGRAM,
+        args=PROGRAMS[CAMPAIGN_PROGRAM].default_args,
+        n_trials=N_TRIALS,
+    )
+
+    plain = run_campaign(campaign, seed=1)
+    sink = InMemorySink()
+    traced = run_campaign(campaign, seed=1, tracer=Tracer(sink))
+    assert traced.trials == plain.trials, "tracing perturbed the campaign"
+    assert outcome_counts(sink.events) == plain.counts.as_dict(), (
+        "event stream disagrees with the engine tally"
+    )
+
+    t_plain = _best_of(lambda: run_campaign(campaign, seed=1))
+    t_traced = _best_of(
+        lambda: run_campaign(campaign, seed=1, tracer=Tracer(InMemorySink()))
+    )
+    overhead = t_traced / t_plain - 1.0
+    SNAPSHOT["observability"] = {
+        "events_per_campaign": len(sink.events),
+        "traced_overhead": overhead,
+        "target_traced_overhead": 0.25,
+        "deterministic": True,
+    }
+    if STRICT:
+        # Enabled tracing emits ~3 events/trial into a list append; it
+        # must stay a small fraction of the trial's interpreter work.
+        assert overhead < 0.25, f"tracing overhead {overhead:.1%}"
+
+
 def test_perf_write_report():
     assert "interpreter" in SNAPSHOT and "campaign" in SNAPSHOT, (
         "earlier perf measurements did not run"
@@ -239,9 +287,12 @@ def test_perf_write_report():
              f"{camp['parallel_speedup_vs_baseline']:.2f}x"],
         ],
     )
+    obs = SNAPSHOT.get("observability", {})
     body += (
         f"\n\n{camp['n_trials']} trials of {camp['program']}; "
         f"{SNAPSHOT['parallel']['available_cpus']} CPU(s) available; "
-        f"history depth {len(report.get('history', []))}"
+        f"history depth {len(report.get('history', []))}; "
+        f"tracing overhead {obs.get('traced_overhead', 0.0):+.1%} "
+        f"({obs.get('events_per_campaign', 0)} events)"
     )
     write_result("PERF", "fault-injection engine throughput", body)

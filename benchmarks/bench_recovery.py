@@ -11,9 +11,14 @@ flat 30-second-reboot model on uptime.
 
 import pytest
 
-from benchmarks._util import fmt_table, write_result
+from benchmarks._util import RESULTS_DIR, fmt_table, write_result
 from repro.core.dmr import ProtectedProgram, ProtectionLevel
-from repro.faults.campaign import Campaign
+from repro.faults.campaign import Campaign, run_campaign
+from repro.obs.events import JsonlSink, Tracer
+from repro.obs.metrics import Histogram
+from repro.obs.recorder import FlightRecorder
+from repro.obs.report import main as report_main
+from repro.obs.report import outcome_counts, read_trace
 from repro.recover import (
     LadderConfig,
     RecoveryRung,
@@ -166,3 +171,82 @@ def test_e13b_mission_with_measured_recovery(supervised_runs):
     # The supervisor's measured sub-second recoveries beat the flat 30 s
     # reboot charge.
     assert uptimes["commodity-supervised"] >= uptimes["commodity-protected"]
+
+
+def test_e13c_observability(supervised_runs, capsys):
+    """The E13 campaign, traced: the black box must agree with the engine.
+
+    Re-runs the isort/retry-first supervised campaign with the full
+    observability stack attached — JSONL trace, flight recorder, and a
+    hang-heavy unsupervised campaign (fib) through the same recorder —
+    then checks the acceptance criteria: byte-identical results, the
+    trace reproducing ``OutcomeCounts`` exactly through the report CLI's
+    aggregation path, recovery-latency quantiles exposed on the trials,
+    and post-mortem dumps for at least one CRASH and one HANG trial.
+    """
+    untraced = supervised_runs[("isort", "retry-first")]
+    RESULTS_DIR.mkdir(exist_ok=True)
+    trace_path = RESULTS_DIR / "E13_trace.jsonl"
+    recorder = FlightRecorder(capacity=64, max_dumps=64)
+    with Tracer(JsonlSink(trace_path), recorder) as tracer:
+        traced = run_supervised_campaign(
+            _campaign("isort"),
+            untraced.config,
+            seed=SEED,
+            tracer=tracer,
+        )
+        hang_run = run_campaign(
+            Campaign(
+                module=build_program("fib"),
+                func_name="fib",
+                args=PROGRAMS["fib"].default_args,
+                n_trials=N_TRIALS,
+            ),
+            seed=SEED,
+            tracer=tracer,
+        )
+
+    # Tracing observed, it did not perturb.
+    assert traced.counts.as_dict() == untraced.counts.as_dict()
+    assert traced.trials == untraced.trials
+
+    # The JSONL trace alone reproduces both campaigns' aggregate tallies.
+    events = [event for _, event in read_trace(trace_path)]
+    rebuilt = outcome_counts(events)
+    engine = {
+        outcome: traced.counts.as_dict()[outcome]
+        + hang_run.counts.as_dict()[outcome]
+        for outcome in rebuilt
+    }
+    assert rebuilt == engine, "trace disagrees with the engine tally"
+
+    # The report CLI renders it and confirms per-campaign agreement.
+    assert report_main([str(trace_path)]) == 0
+    report_text = capsys.readouterr().out
+    assert "agrees" in report_text and "DISAGREES" not in report_text
+
+    # Recovery latency rides the trial records; histogram the survivors.
+    latency = Histogram()
+    for trial, record in zip(traced.trials, traced.records):
+        if record is not None and record.recovered:
+            latency.record(trial.recovery_latency_s)
+            assert trial.attempt_latencies_s, "attempt latencies missing"
+    assert latency.count == traced.n_recovered
+    quantiles = latency.summary()
+    body = fmt_table(
+        ["metric", "value"],
+        [
+            ["recoveries", str(latency.count)],
+            ["latency p50", f"{quantiles['p50'] * 1e6:.2f} us"],
+            ["latency p90", f"{quantiles['p90'] * 1e6:.2f} us"],
+            ["latency p99", f"{quantiles['p99'] * 1e6:.2f} us"],
+            ["trace events", str(len(events))],
+            ["crash dumps", str(len(recorder.dumps_for("crash")))],
+            ["hang dumps", str(len(recorder.dumps_for("hang")))],
+        ],
+    )
+    write_result("E13c", "traced recovery campaign (observability)", body)
+
+    # The flight recorder caught the failures in the act.
+    assert recorder.dumps_for("crash"), "no CRASH post-mortem dump"
+    assert recorder.dumps_for("hang"), "no HANG post-mortem dump"

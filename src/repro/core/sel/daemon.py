@@ -21,6 +21,7 @@ from repro.core.sel.featurizer import Featurizer
 from repro.detect.base import AnomalyDetector
 from repro.errors import ConfigError
 from repro.hw.board import TelemetrySample
+from repro.obs.events import DetectorDecision, Tracer
 from repro.telemetry.window import MovingWindow
 
 
@@ -54,12 +55,14 @@ class SelDaemon:
         detector: AnomalyDetector,
         featurizer: Featurizer,
         config: DaemonConfig = DaemonConfig(),
+        tracer: Tracer | None = None,
     ) -> None:
         if config.consecutive_hits < 1:
             raise ConfigError("consecutive_hits must be >= 1")
         self.detector = detector
         self.featurizer = featurizer
         self.config = config
+        self.tracer = tracer
         self.window = MovingWindow(config.window_s)
         self.alarms: list[float] = []
         self._hits = 0
@@ -76,19 +79,57 @@ class SelDaemon:
         self.window.push(sample.t, row)
         if self._start_t is None:
             self._start_t = sample.t
+        tracer = self.tracer
         if sample.t - self._start_t < self.config.warmup_s:
+            # The detector is never scored during warmup (stateful
+            # detectors must not accumulate warmup samples), so the
+            # decision record carries a zero score.
+            if tracer is not None:
+                tracer.emit(DetectorDecision(
+                    t=sample.t,
+                    score=0.0,
+                    threshold=self.detector.threshold,
+                    anomalous=False,
+                    hits=self._hits,
+                    window_len=len(self.window),
+                    window_full=self.window.full,
+                    alarm=False,
+                    warming_up=True,
+                ))
             return False
         scored_row = (
             self.window.normalized_latest()
             if self.config.use_window_normalization
             else row
         )
-        anomalous = bool(self.detector.predict(scored_row.reshape(1, -1))[0])
+        if tracer is not None:
+            # Score once and compare against the calibrated threshold —
+            # by definition identical to ``predict`` (one ``score`` call
+            # either way, so stateful detectors advance exactly as in
+            # the untraced path).
+            score = float(self.detector.score(scored_row.reshape(1, -1))[0])
+            anomalous = score > self.detector.threshold
+        else:
+            anomalous = bool(
+                self.detector.predict(scored_row.reshape(1, -1))[0]
+            )
         if anomalous:
             self._hits += 1
         else:
             self._hits = 0
-        if self._hits >= self.config.consecutive_hits:
+        alarm = self._hits >= self.config.consecutive_hits
+        if tracer is not None:
+            tracer.emit(DetectorDecision(
+                t=sample.t,
+                score=score,
+                threshold=self.detector.threshold,
+                anomalous=anomalous,
+                hits=self._hits,
+                window_len=len(self.window),
+                window_full=self.window.full,
+                alarm=alarm,
+            ))
+        if alarm:
             self.alarms.append(sample.t)
             self._hits = 0
             return True

@@ -19,6 +19,14 @@ Performance plumbing (the ROADMAP's "as fast as the hardware allows"):
 * ``run_campaign(c, seed, workers=n)`` fans trials out across a process
   pool via :func:`repro.faults.parallel.run_campaign_parallel`, with
   results byte-identical to the serial loop at any worker count.
+
+Observability (``tracer=``): every stage emits typed events — campaign
+start/end, golden-cache hit/miss, trial start, resolved injection site +
+bit, classified trial end, optionally per-block transitions — through a
+:class:`repro.obs.events.Tracer`.  Tracing only observes: it never draws
+from an RNG or mutates engine state, so traced results are byte-identical
+to untraced ones, and with ``tracer=None`` the cost is one pointer test
+per trial.
 """
 
 from __future__ import annotations
@@ -34,6 +42,16 @@ from repro.faults.seu import HeapFaultInjector, RegisterFaultInjector
 from repro.ir.costmodel import CORTEX_A53, CostModel
 from repro.ir.interp import ExecutionResult, ExecutionStatus, Interpreter
 from repro.ir.module import Module
+from repro.obs.events import (
+    BlockTransition,
+    CampaignEnd,
+    CampaignStart,
+    GoldenCacheLookup,
+    Injection,
+    Tracer,
+    TrialEnd,
+    TrialStart,
+)
 from repro.perf.cache import GOLDEN_CACHE
 from repro.rng import fork, make_rng
 
@@ -85,13 +103,18 @@ class CampaignResult:
         return float(np.mean([t.cycles for t in self.trials]))
 
 
-def run_golden(campaign: Campaign, use_cache: bool = True) -> ExecutionResult:
+def run_golden(
+    campaign: Campaign,
+    use_cache: bool = True,
+    tracer: Tracer | None = None,
+) -> ExecutionResult:
     """The campaign's fault-free reference run (validated).
 
     Served from :data:`repro.perf.cache.GOLDEN_CACHE` when an identical
     module (by printed-IR fingerprint), entry point, args and cost model
     were already golden-run with a sufficient fuel budget; pass
-    ``use_cache=False`` to force re-execution.
+    ``use_cache=False`` to force re-execution.  With a tracer, the cache
+    consultation is recorded as a :class:`GoldenCacheLookup` event.
     """
     key = None
     if use_cache:
@@ -100,6 +123,11 @@ def run_golden(campaign: Campaign, use_cache: bool = True) -> ExecutionResult:
             campaign.cost_model,
         )
         cached = GOLDEN_CACHE.get(key, fuel=campaign.fuel)
+        if tracer is not None:
+            tracer.emit(GoldenCacheLookup(
+                hit=cached is not None,
+                instructions=cached.instructions if cached is not None else 0,
+            ))
         if cached is not None:
             return cached
     golden_interp = Interpreter(
@@ -165,20 +193,63 @@ def make_injector(
     )
 
 
+def emit_trial_events(
+    tracer: Tracer,
+    trial_index: int,
+    trial: TrialResult,
+    fired: bool = True,
+) -> None:
+    """Emit the injection + classification events of one finished trial.
+
+    Shared by the serial loop, the supervisor, and the parallel workers
+    so every execution mode produces the identical per-trial event
+    sequence (the order-stable-merge invariant rests on this).
+    """
+    spec = trial.spec
+    tracer.emit(Injection(
+        trial=trial_index,
+        target=spec.target.value,
+        dynamic_index=spec.dynamic_index,
+        location=spec.location,
+        bit=spec.bit,
+        fired=fired,
+    ))
+    tracer.emit(TrialEnd(
+        trial=trial_index,
+        outcome=trial.outcome.value,
+        cycles=trial.cycles,
+        rel_error=trial.rel_error,
+    ))
+
+
 def run_trial(
     campaign: Campaign,
     golden: ExecutionResult,
     trial_fuel: int,
     trial_rng: np.random.Generator,
     code_cache: dict | None = None,
+    tracer: Tracer | None = None,
+    trial_index: int = 0,
+    trace_blocks: bool = False,
 ) -> TrialResult:
     """Execute and classify one faulted trial.
 
     This is the single trial body shared by the serial loop, the parallel
     worker pool, and the ``workers=1`` fallback — byte-identical results
     across all of them follow from sharing this code and the per-trial
-    forked generators.
+    forked generators.  A tracer adds trial start / injection / end
+    events (and per-block transitions when ``trace_blocks``) without
+    touching the trial's RNG stream.
     """
+    trace_hook = None
+    if tracer is not None:
+        tracer.emit(TrialStart(trial=trial_index))
+        if trace_blocks:
+            emit = tracer.emit
+
+            def trace_hook(func: str, block: str) -> None:
+                emit(BlockTransition(func=func, block=block))
+
     injector = make_injector(campaign, golden, trial_rng)
     interp = Interpreter(
         campaign.module,
@@ -186,6 +257,7 @@ def run_trial(
         fuel=trial_fuel,
         step_hook=injector,
         code_cache=code_cache,
+        trace_hook=trace_hook,
     )
     result = interp.run(campaign.func_name, list(campaign.args))
     outcome, rel_error = classify(
@@ -195,39 +267,86 @@ def run_trial(
         # The fault never landed (e.g. MEMORY target but the program
         # allocated nothing).  Count it as benign: the particle missed.
         outcome, rel_error = FaultOutcome.BENIGN, 0.0
-    return TrialResult(
+    trial = TrialResult(
         spec=injector.resolved or injector.spec,
         outcome=outcome,
         value=result.value,
         rel_error=rel_error,
         cycles=result.cycles,
     )
+    if tracer is not None:
+        emit_trial_events(tracer, trial_index, trial, fired=injector.fired)
+    return trial
+
+
+def emit_campaign_start(
+    tracer: Tracer, campaign: Campaign, supervised: bool = False
+) -> None:
+    tracer.emit(CampaignStart(
+        program=campaign.module.name,
+        func=campaign.func_name,
+        n_trials=campaign.n_trials,
+        target=campaign.target.value,
+        supervised=supervised,
+    ))
+
+
+def emit_campaign_end(
+    tracer: Tracer,
+    campaign: Campaign,
+    golden: ExecutionResult,
+    counts: OutcomeCounts,
+) -> None:
+    tracer.emit(CampaignEnd(
+        program=campaign.module.name,
+        func=campaign.func_name,
+        counts=counts.as_dict(),
+        golden_cycles=golden.cycles,
+        golden_instructions=golden.instructions,
+    ))
 
 
 def run_campaign(
     campaign: Campaign,
     seed: int | np.random.Generator | None = None,
     workers: int | None = None,
+    tracer: Tracer | None = None,
+    trace_blocks: bool = False,
 ) -> CampaignResult:
     """Execute ``campaign`` and classify every trial.
 
     With ``workers`` > 1, trials fan out across a process pool (see
     :func:`repro.faults.parallel.run_campaign_parallel`); the result is
-    byte-identical to the serial loop for the same seed.
+    byte-identical to the serial loop for the same seed, traced or not.
+    A ``tracer`` receives the structured event stream (campaign bounds,
+    cache lookups, per-trial start / injection / end; per-block
+    transitions when ``trace_blocks``); parallel runs merge their
+    workers' per-trial events back in trial order so the traced stream is
+    identical at every worker count.
     """
     if workers is not None and workers > 1:
         from repro.faults.parallel import run_campaign_parallel
 
-        return run_campaign_parallel(campaign, seed=seed, workers=workers)
+        return run_campaign_parallel(
+            campaign, seed=seed, workers=workers, tracer=tracer,
+            trace_blocks=trace_blocks,
+        )
     rng = make_rng(seed)
-    golden = run_golden(campaign)
+    if tracer is not None:
+        emit_campaign_start(tracer, campaign)
+    golden = run_golden(campaign, tracer=tracer)
     trial_fuel = trial_fuel_for(campaign, golden)
 
     counts = OutcomeCounts()
     trials: list[TrialResult] = []
     code_cache: dict = {}
-    for trial_rng in fork(rng, campaign.n_trials):
-        trial = run_trial(campaign, golden, trial_fuel, trial_rng, code_cache)
+    for index, trial_rng in enumerate(fork(rng, campaign.n_trials)):
+        trial = run_trial(
+            campaign, golden, trial_fuel, trial_rng, code_cache,
+            tracer=tracer, trial_index=index, trace_blocks=trace_blocks,
+        )
         counts.record(trial.outcome)
         trials.append(trial)
+    if tracer is not None:
+        emit_campaign_end(tracer, campaign, golden, counts)
     return CampaignResult(golden=golden, counts=counts, trials=trials)

@@ -35,6 +35,10 @@ class TrialResult:
         value: the corrupted run's return value (None on crash/hang).
         rel_error: relative output error for numeric SDC (0 for benign).
         cycles: cycles consumed by the corrupted run.
+        recovery_latency_s: failure-to-recovery wall time charged by the
+            supervisor (0 for unsupervised or non-failing trials).
+        attempt_latencies_s: per-ladder-attempt latency, in attempt order.
+        backoff_charged_s: backoff seconds included in the latency.
     """
 
     spec: FaultSpec
@@ -42,6 +46,9 @@ class TrialResult:
     value: int | float | None
     rel_error: float
     cycles: int
+    recovery_latency_s: float = 0.0
+    attempt_latencies_s: tuple[float, ...] = ()
+    backoff_charged_s: float = 0.0
 
 
 def classify(

@@ -27,6 +27,14 @@ The same machinery drives supervised campaigns
 (:func:`run_supervised_campaign_parallel`): recovery trials are equally
 independent, each drawing its injector, checkpoint corruption and
 persistence class from its own child generator.
+
+**Traced campaigns** stay order-stable too: each worker runs its trials
+against a private in-memory collector, ships the per-trial event batches
+back with the results, and the parent re-emits every batch through its
+own tracer in trial-index order.  Because sequence numbers are stamped
+at (re-)emit time and every execution mode shares the same per-trial
+emission code, the merged event stream is byte-identical to the serial
+one at any worker count.
 """
 
 from __future__ import annotations
@@ -42,6 +50,8 @@ from repro.errors import FaultInjectionError
 from repro.faults.campaign import (
     Campaign,
     CampaignResult,
+    emit_campaign_end,
+    emit_campaign_start,
     run_golden,
     run_trial,
     trial_fuel_for,
@@ -52,6 +62,7 @@ from repro.ir.costmodel import CostModel
 from repro.ir.interp import ExecutionResult
 from repro.ir.parser import parse_module
 from repro.ir.printer import print_module
+from repro.obs.events import Event, InMemorySink, Tracer
 from repro.rng import fork, make_rng
 
 #: Trials below this count never amortize pool startup; stay in-process.
@@ -134,9 +145,12 @@ class _WorkerState:
     trial_fuel: int
     code_cache: dict
     supervisor: object | None  # repro.recover.supervisor.Supervisor
+    trace_blocks: bool = False
 
 
-def _init_worker(wire: WireCampaign, supervisor_config) -> None:
+def _init_worker(
+    wire: WireCampaign, supervisor_config, trace_blocks: bool = False
+) -> None:
     """Pool initializer: parse the module once, validate the golden run."""
     global _WORKER_STATE
     campaign = wire.to_campaign()
@@ -164,6 +178,7 @@ def _init_worker(wire: WireCampaign, supervisor_config) -> None:
         trial_fuel=trial_fuel_for(campaign, golden),
         code_cache={},
         supervisor=supervisor,
+        trace_blocks=trace_blocks,
     )
 
 
@@ -179,11 +194,49 @@ def _run_trial_chunk(trial_rngs: list[np.random.Generator]) -> list[TrialResult]
     ]
 
 
+def _run_trial_chunk_traced(
+    indexed_rngs: list[tuple[int, np.random.Generator]],
+) -> list[tuple[TrialResult, list[Event]]]:
+    """Traced chunk body: each trial's events collected for forwarding.
+
+    Every trial gets a private collector so the parent can re-emit the
+    batches in trial order regardless of which worker ran them.
+    """
+    state = _WORKER_STATE
+    assert state is not None, "worker used before initialization"
+    out: list[tuple[TrialResult, list[Event]]] = []
+    for index, rng in indexed_rngs:
+        sink = InMemorySink()
+        trial = run_trial(
+            state.campaign, state.golden, state.trial_fuel, rng,
+            state.code_cache, tracer=Tracer(sink), trial_index=index,
+            trace_blocks=state.trace_blocks,
+        )
+        out.append((trial, sink.events))
+    return out
+
+
 def _run_supervised_chunk(trial_rngs: list[np.random.Generator]) -> list[tuple]:
     state = _WORKER_STATE
     assert state is not None, "worker used before initialization"
     assert state.supervisor is not None
     return [state.supervisor.run_trial(rng) for rng in trial_rngs]
+
+
+def _run_supervised_chunk_traced(
+    indexed_rngs: list[tuple[int, np.random.Generator]],
+) -> list[tuple]:
+    state = _WORKER_STATE
+    assert state is not None, "worker used before initialization"
+    assert state.supervisor is not None
+    out = []
+    for index, rng in indexed_rngs:
+        sink = InMemorySink()
+        trial, record = state.supervisor.run_trial(
+            rng, tracer=Tracer(sink), trial_index=index,
+        )
+        out.append((trial, record, sink.events))
+    return out
 
 
 # -- parent side ---------------------------------------------------------------
@@ -201,9 +254,13 @@ def resolve_workers(workers: int | None) -> int:
 
 
 def _chunk_rngs(
-    trial_rngs: list[np.random.Generator], workers: int, chunk_size: int | None
-) -> list[list[np.random.Generator]]:
-    """Contiguous index chunks (order-stable under ``pool.map``)."""
+    trial_rngs: list, workers: int, chunk_size: int | None
+) -> list[list]:
+    """Contiguous index chunks (order-stable under ``pool.map``).
+
+    Accepts bare generators (untraced path) or ``(index, generator)``
+    pairs (traced path, where workers need the global trial index).
+    """
     n = len(trial_rngs)
     if chunk_size is None:
         # ~4 chunks per worker balances stragglers against IPC overhead.
@@ -224,8 +281,9 @@ def _map_chunks(
     wire: WireCampaign,
     supervisor_config,
     chunk_fn,
-    chunks: list[list[np.random.Generator]],
+    chunks: list[list],
     workers: int,
+    trace_blocks: bool = False,
 ) -> list[list] | None:
     """Run chunks on a worker pool; None when no pool can be created."""
     try:
@@ -233,7 +291,7 @@ def _map_chunks(
         pool = ctx.Pool(
             processes=workers,
             initializer=_init_worker,
-            initargs=(wire, supervisor_config),
+            initargs=(wire, supervisor_config, trace_blocks),
         )
     except (OSError, PermissionError, ValueError):
         return None  # no semaphores / fork blocked: caller falls back
@@ -246,6 +304,8 @@ def run_campaign_parallel(
     seed: int | np.random.Generator | None = None,
     workers: int | None = None,
     chunk_size: int | None = None,
+    tracer: Tracer | None = None,
+    trace_blocks: bool = False,
 ) -> CampaignResult:
     """Execute ``campaign`` on a process pool.
 
@@ -253,32 +313,57 @@ def run_campaign_parallel(
     count: same ``TrialResult`` sequence, same ``OutcomeCounts``, same
     golden run.  Falls back to an in-process loop when the pool is
     unavailable or the campaign is too small to amortize it.
+
+    With a ``tracer``, workers collect each trial's events and the parent
+    re-emits the batches in trial-index order, reproducing the serial
+    event stream exactly (sequence numbers included).
     """
     workers = resolve_workers(workers)
     rng = make_rng(seed)
-    golden = run_golden(campaign)
+    if tracer is not None:
+        emit_campaign_start(tracer, campaign)
+    golden = run_golden(campaign, tracer=tracer)
     trial_fuel = trial_fuel_for(campaign, golden)
     trial_rngs = fork(rng, campaign.n_trials)
 
     trials: list[TrialResult] | None = None
     if workers > 1 and campaign.n_trials >= MIN_PARALLEL_TRIALS:
         wire = WireCampaign.from_campaign(campaign, golden)
-        chunks = _chunk_rngs(trial_rngs, workers, chunk_size)
-        chunk_results = _map_chunks(
-            wire, None, _run_trial_chunk, chunks, workers
-        )
-        if chunk_results is not None:
-            trials = [t for chunk in chunk_results for t in chunk]
+        if tracer is not None:
+            chunks = _chunk_rngs(
+                list(enumerate(trial_rngs)), workers, chunk_size
+            )
+            chunk_results = _map_chunks(
+                wire, None, _run_trial_chunk_traced, chunks, workers,
+                trace_blocks=trace_blocks,
+            )
+            if chunk_results is not None:
+                trials = []
+                for trial, events in (p for c in chunk_results for p in c):
+                    trials.append(trial)
+                    tracer.emit_all(events)
+        else:
+            chunks = _chunk_rngs(trial_rngs, workers, chunk_size)
+            chunk_results = _map_chunks(
+                wire, None, _run_trial_chunk, chunks, workers
+            )
+            if chunk_results is not None:
+                trials = [t for chunk in chunk_results for t in chunk]
     if trials is None:
         code_cache: dict = {}
         trials = [
-            run_trial(campaign, golden, trial_fuel, rng_i, code_cache)
-            for rng_i in trial_rngs
+            run_trial(
+                campaign, golden, trial_fuel, rng_i, code_cache,
+                tracer=tracer, trial_index=index, trace_blocks=trace_blocks,
+            )
+            for index, rng_i in enumerate(trial_rngs)
         ]
 
     counts = OutcomeCounts()
     for trial in trials:
         counts.record(trial.outcome)
+    if tracer is not None:
+        emit_campaign_end(tracer, campaign, golden, counts)
     return CampaignResult(golden=golden, counts=counts, trials=trials)
 
 
@@ -288,6 +373,7 @@ def run_supervised_campaign_parallel(
     seed: int | np.random.Generator | None = None,
     workers: int | None = None,
     chunk_size: int | None = None,
+    tracer: Tracer | None = None,
 ):
     """Supervised campaign on a process pool (see ``recover.supervisor``).
 
@@ -295,7 +381,8 @@ def run_supervised_campaign_parallel(
     come from its pre-forked child generator, so results are byte-identical
     to ``run_supervised_campaign(campaign, config, seed)`` at any worker
     count.  Falls back to the in-process supervisor loop when no pool is
-    available.
+    available.  Traced runs forward worker events exactly like
+    :func:`run_campaign_parallel`.
     """
     from repro.recover.supervisor import (
         SupervisedCampaignResult,
@@ -307,21 +394,41 @@ def run_supervised_campaign_parallel(
         config = SupervisorConfig()
     workers = resolve_workers(workers)
     rng = make_rng(seed)
-    golden = run_golden(campaign)
+    if tracer is not None:
+        emit_campaign_start(tracer, campaign, supervised=True)
+    golden = run_golden(campaign, tracer=tracer)
     trial_rngs = fork(rng, campaign.n_trials)
 
     results: list[tuple] | None = None
     if workers > 1 and campaign.n_trials >= MIN_PARALLEL_TRIALS:
         wire = WireCampaign.from_campaign(campaign, golden)
-        chunks = _chunk_rngs(trial_rngs, workers, chunk_size)
-        chunk_results = _map_chunks(
-            wire, config, _run_supervised_chunk, chunks, workers
-        )
-        if chunk_results is not None:
-            results = [r for chunk in chunk_results for r in chunk]
+        if tracer is not None:
+            chunks = _chunk_rngs(
+                list(enumerate(trial_rngs)), workers, chunk_size
+            )
+            chunk_results = _map_chunks(
+                wire, config, _run_supervised_chunk_traced, chunks, workers
+            )
+            if chunk_results is not None:
+                results = []
+                for trial, record, events in (
+                    r for chunk in chunk_results for r in chunk
+                ):
+                    results.append((trial, record))
+                    tracer.emit_all(events)
+        else:
+            chunks = _chunk_rngs(trial_rngs, workers, chunk_size)
+            chunk_results = _map_chunks(
+                wire, config, _run_supervised_chunk, chunks, workers
+            )
+            if chunk_results is not None:
+                results = [r for chunk in chunk_results for r in chunk]
     if results is None:
         supervisor = Supervisor(campaign, golden, config)
-        results = [supervisor.run_trial(rng_i) for rng_i in trial_rngs]
+        results = [
+            supervisor.run_trial(rng_i, tracer=tracer, trial_index=index)
+            for index, rng_i in enumerate(trial_rngs)
+        ]
 
     counts = OutcomeCounts()
     trials = []
@@ -330,6 +437,8 @@ def run_supervised_campaign_parallel(
         counts.record(trial.outcome)
         trials.append(trial)
         records.append(record)
+    if tracer is not None:
+        emit_campaign_end(tracer, campaign, golden, counts)
     return SupervisedCampaignResult(
         golden=golden,
         counts=counts,

@@ -137,6 +137,10 @@ class Interpreter:
             share compiled blocks.  Callers must only share a cache between
             interpreters with the same module (not mutated in between) and
             the same cost model — fault-injection campaigns satisfy both.
+        trace_hook: optional ``(func_name, block_name)`` callback fired on
+            every block entry (the observability layer's block-transition
+            tracing).  Costs one attribute read per block when None, so
+            the compiled fast path is preserved in disabled mode.
     """
 
     def __init__(
@@ -147,12 +151,14 @@ class Interpreter:
         record_trace: bool = False,
         step_hook: StepHook | None = None,
         code_cache: dict[BasicBlock, _BlockCode] | None = None,
+        trace_hook: Callable[[str, str], None] | None = None,
     ) -> None:
         self.module = module
         self.cost_model = cost_model
         self.fuel = fuel
         self.record_trace = record_trace
         self.step_hook = step_hook
+        self.trace_hook = trace_hook
         self.heap: list[int | float] = []
         self.cycles = 0
         self.instructions = 0
@@ -275,9 +281,12 @@ class Interpreter:
     def _run_frame(
         self, frame: Frame, skip_phis_once: bool = False
     ) -> int | float | None:
+        trace_hook = self.trace_hook
         while True:
             if self.record_trace:
                 self.block_trace.append((frame.func.name, frame.block.name))
+            if trace_hook is not None:
+                trace_hook(frame.func.name, frame.block.name)
             result = self._run_block(frame, skip_phis=skip_phis_once)
             skip_phis_once = False
             if result is _CONTINUE:

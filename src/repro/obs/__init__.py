@@ -1,0 +1,86 @@
+"""Structured observability: events, flight recorder, metrics, reports.
+
+The paper's premise is that commodity computers survive space only when
+software can *see* faults as they happen.  This package is the seeing:
+
+- :mod:`repro.obs.events` — a low-overhead event bus.  Typed events
+  (trial start/end, injection site+bit, checkpoint taken, watchdog fire,
+  ladder rung climbed, detector decision, golden-cache hit/miss) flow
+  through a :class:`Tracer` into pluggable sinks: in-memory, JSONL file,
+  and the flight recorder.
+- :mod:`repro.obs.recorder` — a bounded :class:`FlightRecorder` ring
+  buffer that survives simulated power cycles and snapshots a post-mortem
+  dump when a trial ends in CRASH or HANG.
+- :mod:`repro.obs.metrics` — a registry of counters / gauges /
+  histograms, either updated directly or derived from the event stream
+  via :class:`MetricsSink`.
+- :mod:`repro.obs.report` — ``python -m repro.obs.report trace.jsonl``
+  renders campaign timelines, outcome breakdowns by injection site, and
+  detector decision summaries from a JSONL trace.
+
+The contract every instrumentation point obeys: **zero overhead when
+disabled** (a single ``tracer is None`` test on the non-hot path, one
+attribute read per basic block on the interpreter's hot path) and
+**determinism when enabled** — campaign results stay byte-identical to
+the untraced engine, serial or parallel, because events only observe;
+they never touch an RNG or mutate engine state.
+"""
+
+from repro.obs.events import (
+    BlockTransition,
+    CampaignEnd,
+    CampaignStart,
+    CheckpointTaken,
+    DetectorDecision,
+    Event,
+    GoldenCacheLookup,
+    InMemorySink,
+    Injection,
+    JsonlSink,
+    LadderAttemptEvent,
+    MissionDay,
+    MissionSel,
+    RecoveryDone,
+    Tracer,
+    TrialEnd,
+    TrialStart,
+    WatchdogFire,
+    event_from_dict,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSink,
+)
+from repro.obs.recorder import FlightRecorder, PostMortemDump
+
+__all__ = [
+    "BlockTransition",
+    "CampaignEnd",
+    "CampaignStart",
+    "CheckpointTaken",
+    "Counter",
+    "DetectorDecision",
+    "Event",
+    "FlightRecorder",
+    "Gauge",
+    "GoldenCacheLookup",
+    "Histogram",
+    "InMemorySink",
+    "Injection",
+    "JsonlSink",
+    "LadderAttemptEvent",
+    "MetricsRegistry",
+    "MetricsSink",
+    "MissionDay",
+    "MissionSel",
+    "PostMortemDump",
+    "RecoveryDone",
+    "Tracer",
+    "TrialEnd",
+    "TrialStart",
+    "WatchdogFire",
+    "event_from_dict",
+]

@@ -1,0 +1,221 @@
+"""Counters, gauges and histograms for the campaign engine.
+
+A :class:`MetricsRegistry` is a flat namespace of named instruments,
+snapshotted per campaign into a plain dict (JSON-ready, the same shape
+``BENCH_perf.json`` uses).  Two ways to populate it:
+
+- instrumentation sites update instruments directly (e.g. the perf
+  benchmark sets ``interp.minstr_per_s``);
+- a :class:`MetricsSink` attached to a :class:`~repro.obs.events.Tracer`
+  derives the standard engine metrics from the event stream — trial
+  outcomes, recovery latency, ladder-rung distribution, golden-cache hit
+  rate, checkpoint and watchdog activity — so the aggregate numbers are
+  *provably* reconstructible from the per-event evidence (the same
+  property the report CLI checks against ``OutcomeCounts``).
+
+Histograms store raw observations up to a bound and summarize with
+exact percentiles; past the bound they keep every value's contribution
+to count/sum but subsample the percentile reservoir deterministically
+(every k-th observation), so memory stays bounded on million-trial
+campaigns without a stochastic sampler breaking reproducibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.obs.events import (
+    BlockTransition,
+    CheckpointTaken,
+    DetectorDecision,
+    Event,
+    GoldenCacheLookup,
+    LadderAttemptEvent,
+    RecoveryDone,
+    TrialEnd,
+    WatchdogFire,
+)
+
+
+@dataclass
+class Counter:
+    """Monotonic event count."""
+
+    value: int = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ConfigError(f"counter increment must be >= 0, got {n}")
+        self.value += n
+
+
+@dataclass
+class Gauge:
+    """Last-write-wins measurement."""
+
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Bounded-memory distribution of observations.
+
+    Attributes:
+        count: observations recorded.
+        total: sum of all observations.
+    """
+
+    def __init__(self, max_samples: int = 4096) -> None:
+        if max_samples < 1:
+            raise ConfigError(
+                f"histogram max_samples must be >= 1, got {max_samples}"
+            )
+        self.max_samples = max_samples
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._samples: list[float] = []
+        self._stride = 1
+
+    def record(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        # Deterministic decimation: when the reservoir fills, keep every
+        # other retained sample and double the stride.  No RNG involved.
+        if (self.count - 1) % self._stride == 0:
+            self._samples.append(value)
+            if len(self._samples) > self.max_samples:
+                self._samples = self._samples[::2]
+                self._stride *= 2
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile over the retained reservoir."""
+        if not 0.0 <= q <= 100.0:
+            raise ConfigError(f"percentile must be in [0, 100], got {q}")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def summary(self) -> dict[str, float]:
+        if not self.count:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+
+@dataclass
+class MetricsRegistry:
+    """Named instruments with get-or-create accessors."""
+
+    counters: dict[str, Counter] = field(default_factory=dict)
+    gauges: dict[str, Gauge] = field(default_factory=dict)
+    histograms: dict[str, Histogram] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        instrument = self.counters.get(name)
+        if instrument is None:
+            instrument = self.counters[name] = Counter()
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self.gauges.get(name)
+        if instrument is None:
+            instrument = self.gauges[name] = Gauge()
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self.histograms.get(name)
+        if instrument is None:
+            instrument = self.histograms[name] = Histogram()
+        return instrument
+
+    def snapshot(self) -> dict:
+        """JSON-ready snapshot of every instrument (sorted by name)."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self.counters.items())
+            },
+            "gauges": {
+                name: g.value for name, g in sorted(self.gauges.items())
+            },
+            "histograms": {
+                name: h.summary()
+                for name, h in sorted(self.histograms.items())
+            },
+        }
+
+
+class MetricsSink:
+    """Event sink that folds the stream into a :class:`MetricsRegistry`.
+
+    The standard engine metrics it derives:
+
+    - ``trials.<outcome>`` — trial outcome tallies (matches
+      ``OutcomeCounts`` exactly);
+    - ``recovery.latency_s`` histogram + ``recovery.rung.<rung>`` /
+      ``recovery.failed`` counters — the ladder's yield and cost;
+    - ``ladder.attempts.<rung>`` — attempts spent per rung;
+    - ``golden_cache.hits`` / ``golden_cache.misses``;
+    - ``checkpoints.taken``, ``watchdog.fires``, ``interp.blocks``;
+    - ``detector.samples`` / ``detector.alarms`` and the
+      ``detector.score`` histogram.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+
+    def write(self, event: Event, seq: int) -> None:
+        reg = self.registry
+        if isinstance(event, TrialEnd):
+            reg.counter(f"trials.{event.outcome}").inc()
+        elif isinstance(event, LadderAttemptEvent):
+            reg.counter(f"ladder.attempts.{event.rung}").inc()
+        elif isinstance(event, RecoveryDone):
+            if event.recovered:
+                reg.counter(f"recovery.rung.{event.rung}").inc()
+                reg.histogram("recovery.latency_s").record(event.latency_s)
+            else:
+                reg.counter("recovery.failed").inc()
+            reg.histogram("recovery.wasted_cycles").record(
+                event.wasted_cycles
+            )
+        elif isinstance(event, GoldenCacheLookup):
+            reg.counter(
+                "golden_cache.hits" if event.hit else "golden_cache.misses"
+            ).inc()
+        elif isinstance(event, CheckpointTaken):
+            reg.counter("checkpoints.taken").inc()
+        elif isinstance(event, WatchdogFire):
+            reg.counter("watchdog.fires").inc()
+        elif isinstance(event, BlockTransition):
+            reg.counter("interp.blocks").inc()
+        elif isinstance(event, DetectorDecision):
+            reg.counter("detector.samples").inc()
+            reg.histogram("detector.score").record(event.score)
+            if event.alarm:
+                reg.counter("detector.alarms").inc()
+
+    def close(self) -> None:  # pragma: no cover - nothing to release
+        pass

@@ -1,0 +1,163 @@
+"""The flight recorder: a bounded ring buffer that outlives the crash.
+
+Flight software keeps its last moments in battery-backed or non-volatile
+memory so a post-mortem can explain a reboot nobody watched.  The
+:class:`FlightRecorder` models that discipline for the campaign engine:
+it is an event sink holding the most recent ``capacity`` events, and it
+**survives simulated power cycles** — when the escalation ladder reaches
+its POWER_CYCLE rung the recorder notes the outage and keeps its
+contents, exactly like an MRAM-backed trace buffer would.
+
+When a trial ends in CRASH or HANG the recorder snapshots a
+:class:`PostMortemDump`: the terminal event plus the ring's contents at
+that moment, i.e. the evidence trail leading into the failure.  Dumps
+are retained (bounded) on the recorder and rendered by
+:meth:`PostMortemDump.render` for triage.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.obs.events import Event, LadderAttemptEvent, TrialEnd
+
+#: Trial outcomes that trigger an automatic post-mortem dump.
+DUMP_OUTCOMES = frozenset({"crash", "hang"})
+
+
+@dataclass(frozen=True)
+class PostMortemDump:
+    """One snapshot of the ring buffer at a terminal event.
+
+    Attributes:
+        reason: why the dump was taken ("crash" / "hang").
+        trial: trial index of the terminal event.
+        seq: bus sequence number of the terminal event.
+        events: ring contents at dump time, oldest first (``(seq, event)``).
+        dropped: events evicted from the ring before the dump (lifetime
+            total — how much history the bound cost us).
+        power_cycles_survived: power cycles the ring lived through.
+    """
+
+    reason: str
+    trial: int
+    seq: int
+    events: tuple[tuple[int, Event], ...]
+    dropped: int = 0
+    power_cycles_survived: int = 0
+
+    def render(self) -> str:
+        """Human-readable post-mortem: the evidence trail, then verdict."""
+        lines = [
+            f"=== FLIGHT RECORDER DUMP: {reason_label(self.reason)} "
+            f"(trial {self.trial}, seq {self.seq}) ===",
+            f"ring: {len(self.events)} events retained, "
+            f"{self.dropped} older events dropped, "
+            f"{self.power_cycles_survived} power cycle(s) survived",
+        ]
+        for seq, event in self.events:
+            detail = ", ".join(
+                f"{k}={v!r}" for k, v in event.to_dict().items()
+                if k != "kind"
+            )
+            lines.append(f"  [{seq:6d}] {event.kind:<18} {detail}")
+        return "\n".join(lines)
+
+
+def reason_label(reason: str) -> str:
+    return {"crash": "CRASH", "hang": "HANG"}.get(reason, reason.upper())
+
+
+class FlightRecorder:
+    """Bounded ring-buffer sink with automatic post-mortem dumps.
+
+    Attributes:
+        capacity: events retained in the ring.
+        dumps: post-mortem dumps taken (bounded at ``max_dumps``).
+        dropped: lifetime count of events evicted by the bound.
+        power_cycles: POWER_CYCLE rungs observed (the ring survives each).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        max_dumps: int = 16,
+        auto_dump: bool = True,
+    ) -> None:
+        if capacity < 1:
+            raise ConfigError(
+                f"flight recorder capacity must be >= 1, got {capacity}"
+            )
+        if max_dumps < 1:
+            raise ConfigError(
+                f"flight recorder max_dumps must be >= 1, got {max_dumps}"
+            )
+        self.capacity = capacity
+        self.max_dumps = max_dumps
+        self.auto_dump = auto_dump
+        self.dumps: list[PostMortemDump] = []
+        self.dropped = 0
+        self.power_cycles = 0
+        self._ring: deque[tuple[int, Event]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    @property
+    def events(self) -> list[Event]:
+        """Current ring contents, oldest first."""
+        return [event for _, event in self._ring]
+
+    def write(self, event: Event, seq: int) -> None:
+        """Sink interface: record the event, react to terminal ones."""
+        self._ring.append((seq, event))
+        if len(self._ring) > self.capacity:
+            self._ring.popleft()
+            self.dropped += 1
+        if (
+            isinstance(event, LadderAttemptEvent)
+            and event.rung == "power-cycle"
+        ):
+            # The outage resets the computer, not the recorder: modeled
+            # non-volatile trace memory keeps its contents.
+            self.power_cycles += 1
+        if (
+            self.auto_dump
+            and isinstance(event, TrialEnd)
+            and event.outcome in DUMP_OUTCOMES
+        ):
+            self.dump(reason=event.outcome, trial=event.trial, seq=seq)
+
+    def dump(self, reason: str, trial: int = -1, seq: int = -1) -> PostMortemDump:
+        """Snapshot the ring now; retains and returns the dump."""
+        dump = PostMortemDump(
+            reason=reason,
+            trial=trial,
+            seq=seq,
+            events=tuple(self._ring),
+            dropped=self.dropped,
+            power_cycles_survived=self.power_cycles,
+        )
+        if len(self.dumps) < self.max_dumps:
+            self.dumps.append(dump)
+        return dump
+
+    def dumps_for(self, reason: str) -> list[PostMortemDump]:
+        """Retained dumps with the given reason ("crash" / "hang")."""
+        return [d for d in self.dumps if d.reason == reason]
+
+    def power_cycle(self) -> None:
+        """Explicit power-cycle notification (outside a traced ladder)."""
+        self.power_cycles += 1
+
+    def clear(self) -> None:
+        """Erase the ring and dumps (ground-commanded wipe)."""
+        self._ring.clear()
+        self.dumps = []
+        self.dropped = 0
+        self.power_cycles = 0
+
+    def close(self) -> None:  # pragma: no cover - nothing to release
+        pass

@@ -1,0 +1,426 @@
+"""Trace triage CLI: ``python -m repro.obs.report trace.jsonl``.
+
+Reads a JSONL event trace written by :class:`repro.obs.events.JsonlSink`
+and renders what a flight engineer asks first:
+
+- a **campaign timeline** — one glyph per trial in index order
+  (``.`` benign, ``S`` SDC, ``C`` crash, ``H`` hang, ``D`` detected,
+  ``R`` appended when the supervisor recovered it);
+- **outcome breakdowns by injection site** — which registers / heap
+  cells turn flips into crashes vs silence;
+- **recovery accounting** — rate, rung distribution, latency quantiles;
+- **detector decision summaries** — samples scored, alarms raised,
+  score/threshold statistics per decision record.
+
+The aggregation path is the same the acceptance criterion checks:
+:func:`outcome_counts` rebuilds a campaign's ``OutcomeCounts`` purely
+from per-trial events, and must agree exactly with the engine's own
+tally.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ConfigError
+from repro.obs.events import (
+    CampaignEnd,
+    CampaignStart,
+    DetectorDecision,
+    Event,
+    GoldenCacheLookup,
+    Injection,
+    LadderAttemptEvent,
+    RecoveryDone,
+    TrialEnd,
+    event_from_dict,
+)
+from repro.obs.metrics import Histogram
+
+#: Timeline glyph per outcome.
+OUTCOME_GLYPHS = {
+    "benign": ".",
+    "sdc": "S",
+    "crash": "C",
+    "hang": "H",
+    "detected": "D",
+}
+#: Canonical outcome order (mirrors FaultOutcome declaration order).
+OUTCOME_ORDER = ("benign", "sdc", "crash", "hang", "detected")
+
+
+def read_trace(path: str | Path) -> list[tuple[int, Event]]:
+    """Parse a JSONL trace into ``(seq, event)`` pairs, in file order."""
+    pairs: list[tuple[int, Event]] = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ConfigError(
+                    f"{path}:{lineno}: unparseable trace line: {exc}"
+                ) from exc
+            pairs.append((int(record.get("seq", lineno - 1)),
+                          event_from_dict(record)))
+    return pairs
+
+
+def outcome_counts(events: list[Event]) -> dict[str, int]:
+    """Rebuild the aggregate outcome tally from per-trial events.
+
+    Returns the same ``{outcome: count}`` dict shape as
+    :meth:`repro.faults.outcomes.OutcomeCounts.as_dict`, every outcome
+    present (zero when unseen).
+    """
+    counts = {outcome: 0 for outcome in OUTCOME_ORDER}
+    for event in events:
+        if isinstance(event, TrialEnd):
+            counts[event.outcome] = counts.get(event.outcome, 0) + 1
+    return counts
+
+
+@dataclass
+class CampaignSummary:
+    """Everything the report renders about one campaign segment."""
+
+    program: str = "?"
+    func: str = "?"
+    n_trials: int = 0
+    target: str = "?"
+    supervised: bool = False
+    outcomes: dict[str, int] = field(default_factory=dict)
+    declared_counts: dict[str, int] | None = None
+    trial_outcomes: dict[int, str] = field(default_factory=dict)
+    recovered_trials: set[int] = field(default_factory=set)
+    site_outcomes: dict[str, dict[str, int]] = field(default_factory=dict)
+    rung_wins: dict[str, int] = field(default_factory=dict)
+    ladder_attempts: dict[str, int] = field(default_factory=dict)
+    recovery_latency: Histogram = field(default_factory=Histogram)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    checkpoints: int = 0
+    watchdog_fires: int = 0
+
+    @property
+    def n_failures(self) -> int:
+        return len(
+            [t for t, o in self.trial_outcomes.items()
+             if o in ("crash", "hang", "detected")]
+        )
+
+    @property
+    def recovery_rate(self) -> float:
+        failures = self.n_failures
+        if failures == 0:
+            return 1.0
+        return len(self.recovered_trials) / failures
+
+
+@dataclass
+class TraceSummary:
+    """Parsed view of one whole trace file."""
+
+    campaigns: list[CampaignSummary] = field(default_factory=list)
+    detector_decisions: list[DetectorDecision] = field(default_factory=list)
+    n_events: int = 0
+
+
+def _site_label(event: Injection) -> str:
+    if not event.fired:
+        return "(missed)"
+    if event.target == "memory":
+        return f"heap[{event.location}]"
+    return str(event.location)
+
+
+def summarize(events: list[Event]) -> TraceSummary:
+    """Fold an event stream into per-campaign and detector summaries."""
+    summary = TraceSummary(n_events=len(events))
+    current: CampaignSummary | None = None
+    pending_site: dict[int, str] = {}
+
+    def ensure_campaign() -> CampaignSummary:
+        # Traces written without explicit campaign-start markers (e.g. a
+        # bare supervisor loop) still aggregate into one segment.
+        nonlocal current
+        if current is None:
+            current = CampaignSummary()
+            summary.campaigns.append(current)
+        return current
+
+    for event in events:
+        if isinstance(event, CampaignStart):
+            current = CampaignSummary(
+                program=event.program,
+                func=event.func,
+                n_trials=event.n_trials,
+                target=event.target,
+                supervised=event.supervised,
+            )
+            summary.campaigns.append(current)
+            pending_site = {}
+        elif isinstance(event, CampaignEnd):
+            ensure_campaign().declared_counts = dict(event.counts)
+            current = None
+        elif isinstance(event, Injection):
+            # The injection precedes its trial-end; remember the site so
+            # the outcome can be attributed to it.
+            pending_site[event.trial] = _site_label(event)
+        elif isinstance(event, TrialEnd):
+            campaign = ensure_campaign()
+            campaign.outcomes[event.outcome] = (
+                campaign.outcomes.get(event.outcome, 0) + 1
+            )
+            campaign.trial_outcomes[event.trial] = event.outcome
+            site = pending_site.pop(event.trial, None)
+            if site is not None:
+                per_site = campaign.site_outcomes.setdefault(site, {})
+                per_site[event.outcome] = per_site.get(event.outcome, 0) + 1
+        elif isinstance(event, RecoveryDone):
+            campaign = ensure_campaign()
+            if event.recovered:
+                campaign.recovered_trials.add(event.trial)
+                campaign.rung_wins[event.rung or "?"] = (
+                    campaign.rung_wins.get(event.rung or "?", 0) + 1
+                )
+                campaign.recovery_latency.record(event.latency_s)
+        elif isinstance(event, LadderAttemptEvent):
+            campaign = ensure_campaign()
+            campaign.ladder_attempts[event.rung] = (
+                campaign.ladder_attempts.get(event.rung, 0) + 1
+            )
+        elif isinstance(event, GoldenCacheLookup):
+            campaign = ensure_campaign()
+            if event.hit:
+                campaign.cache_hits += 1
+            else:
+                campaign.cache_misses += 1
+        elif isinstance(event, DetectorDecision):
+            summary.detector_decisions.append(event)
+        elif event.kind == "checkpoint":
+            ensure_campaign().checkpoints += 1
+        elif event.kind == "watchdog-fire":
+            ensure_campaign().watchdog_fires += 1
+    return summary
+
+
+# -- rendering -----------------------------------------------------------------
+
+
+def _timeline(campaign: CampaignSummary, width: int = 72) -> list[str]:
+    if not campaign.trial_outcomes:
+        return ["  (no trial events)"]
+    glyphs = []
+    for trial in sorted(campaign.trial_outcomes):
+        glyph = OUTCOME_GLYPHS.get(campaign.trial_outcomes[trial], "?")
+        if trial in campaign.recovered_trials:
+            glyph = glyph.lower() if glyph != "." else glyph
+        glyphs.append(glyph)
+    text = "".join(glyphs)
+    return [
+        f"  [{i:5d}] {text[i:i + width]}"
+        for i in range(0, len(text), width)
+    ]
+
+
+def _fmt_counts(counts: dict[str, int]) -> str:
+    total = sum(counts.values())
+    parts = []
+    for outcome in OUTCOME_ORDER:
+        n = counts.get(outcome, 0)
+        if n or outcome in counts:
+            frac = n / total if total else 0.0
+            parts.append(f"{outcome}={n} ({frac:.1%})")
+    return ", ".join(parts) or "(none)"
+
+
+def render_campaign(campaign: CampaignSummary, index: int) -> str:
+    lines = [
+        f"-- campaign {index}: @{campaign.func} ({campaign.program}) "
+        f"target={campaign.target} trials={campaign.n_trials}"
+        + (" [supervised]" if campaign.supervised else ""),
+        f"  outcomes: {_fmt_counts(campaign.outcomes)}",
+    ]
+    if campaign.declared_counts is not None:
+        agreement = (
+            "agrees"
+            if all(
+                campaign.declared_counts.get(o, 0) == campaign.outcomes.get(o, 0)
+                for o in OUTCOME_ORDER
+            )
+            else "DISAGREES"
+        )
+        lines.append(
+            f"  engine tally: {_fmt_counts(campaign.declared_counts)} "
+            f"[{agreement} with per-trial events]"
+        )
+    lines.append("  timeline (lowercase = recovered):")
+    lines.extend(_timeline(campaign))
+
+    harmful = []
+    for site, per_site in campaign.site_outcomes.items():
+        bad = sum(
+            per_site.get(o, 0) for o in ("sdc", "crash", "hang", "detected")
+        )
+        total = sum(per_site.values())
+        if total:
+            harmful.append((bad / total, bad, total, site, per_site))
+    harmful.sort(reverse=True)
+    if harmful:
+        lines.append("  injection sites by harm (top 10):")
+        for frac, bad, total, site, per_site in harmful[:10]:
+            lines.append(
+                f"    {site:<16} {bad}/{total} harmful ({frac:.0%}): "
+                f"{_fmt_counts(per_site)}"
+            )
+
+    if campaign.supervised or campaign.rung_wins or campaign.ladder_attempts:
+        lines.append(
+            f"  recovery: {len(campaign.recovered_trials)}/"
+            f"{campaign.n_failures} observable failures recovered "
+            f"({campaign.recovery_rate:.1%})"
+        )
+        if campaign.ladder_attempts:
+            attempts = ", ".join(
+                f"{rung}={n}"
+                for rung, n in sorted(campaign.ladder_attempts.items())
+            )
+            wins = ", ".join(
+                f"{rung}={n}"
+                for rung, n in sorted(campaign.rung_wins.items())
+            ) or "none"
+            lines.append(f"    ladder attempts: {attempts}")
+            lines.append(f"    winning rungs:   {wins}")
+        if campaign.recovery_latency.count:
+            s = campaign.recovery_latency.summary()
+            lines.append(
+                f"    latency_s: mean={s['mean']:.3e} p50={s['p50']:.3e} "
+                f"p90={s['p90']:.3e} max={s['max']:.3e}"
+            )
+    if campaign.cache_hits or campaign.cache_misses:
+        lines.append(
+            f"  golden cache: {campaign.cache_hits} hit(s), "
+            f"{campaign.cache_misses} miss(es)"
+        )
+    if campaign.checkpoints or campaign.watchdog_fires:
+        lines.append(
+            f"  checkpoints taken: {campaign.checkpoints}; "
+            f"watchdog fires: {campaign.watchdog_fires}"
+        )
+    return "\n".join(lines)
+
+
+def render_detector(decisions: list[DetectorDecision]) -> str:
+    scored = [d for d in decisions if not d.warming_up]
+    alarms = [d for d in decisions if d.alarm]
+    lines = [
+        "-- detector decisions",
+        f"  samples: {len(decisions)} ({len(scored)} scored, "
+        f"{len(decisions) - len(scored)} in warmup)",
+        f"  alarms: {len(alarms)}"
+        + (
+            " at t=" + ", ".join(f"{d.t:.2f}s" for d in alarms[:8])
+            + ("..." if len(alarms) > 8 else "")
+            if alarms
+            else ""
+        ),
+    ]
+    if scored:
+        hist = Histogram()
+        for d in scored:
+            hist.record(d.score)
+        s = hist.summary()
+        threshold = scored[-1].threshold
+        lines.append(
+            f"  score: mean={s['mean']:.4g} p50={s['p50']:.4g} "
+            f"p90={s['p90']:.4g} max={s['max']:.4g} "
+            f"(threshold {threshold:.4g})"
+        )
+        anomalous = sum(d.anomalous for d in scored)
+        lines.append(
+            f"  anomalous samples: {anomalous}/{len(scored)} "
+            f"({anomalous / len(scored):.1%})"
+        )
+    return "\n".join(lines)
+
+
+def render(summary: TraceSummary, source: str = "") -> str:
+    header = "== repro.obs trace report =="
+    if source:
+        header += f" {source}"
+    lines = [header, f"{summary.n_events} events"]
+    for index, campaign in enumerate(summary.campaigns):
+        lines.append("")
+        lines.append(render_campaign(campaign, index))
+    if summary.detector_decisions:
+        lines.append("")
+        lines.append(render_detector(summary.detector_decisions))
+    return "\n".join(lines)
+
+
+def summary_as_dict(summary: TraceSummary) -> dict:
+    """Machine-readable form of the summary (for --json)."""
+    return {
+        "n_events": summary.n_events,
+        "campaigns": [
+            {
+                "program": c.program,
+                "func": c.func,
+                "n_trials": c.n_trials,
+                "target": c.target,
+                "supervised": c.supervised,
+                "outcomes": {
+                    o: c.outcomes.get(o, 0) for o in OUTCOME_ORDER
+                },
+                "recovery_rate": c.recovery_rate,
+                "rung_wins": dict(sorted(c.rung_wins.items())),
+                "recovery_latency_s": c.recovery_latency.summary(),
+                "golden_cache": {
+                    "hits": c.cache_hits, "misses": c.cache_misses,
+                },
+                "checkpoints": c.checkpoints,
+                "watchdog_fires": c.watchdog_fires,
+            }
+            for c in summary.campaigns
+        ],
+        "detector": {
+            "samples": len(summary.detector_decisions),
+            "alarms": sum(d.alarm for d in summary.detector_decisions),
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Render a campaign/recovery/detector trace for triage.",
+    )
+    parser.add_argument("trace", help="JSONL trace file (JsonlSink output)")
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable summary instead of text",
+    )
+    args = parser.parse_args(argv)
+    try:
+        events = [event for _, event in read_trace(args.trace)]
+    except OSError as exc:
+        print(f"error: cannot read trace {args.trace!r}: {exc}",
+              file=sys.stderr)
+        return 1
+    summary = summarize(events)
+    if args.json:
+        print(json.dumps(summary_as_dict(summary), indent=2))
+    else:
+        print(render(summary, source=args.trace))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI smoke
+    sys.exit(main())

@@ -36,14 +36,29 @@ def write_perf_report(
     path: str | Path, snapshot: dict, keep_history: int = MAX_HISTORY
 ) -> dict:
     """Write ``snapshot`` as the current measurement, rolling the old one
-    (minus its history) into ``history``.  Returns the full report."""
+    into ``history``.  Returns the full report.
+
+    History is append-only and bounded: the previous snapshot (minus its
+    own ``history``) is prepended, every retained entry carries the
+    ``schema`` version it was written under (entries predating schema
+    stamps are backfilled with version 1), and the list is truncated to
+    ``keep_history`` newest-first.
+    """
     path = Path(path)
     previous = load_perf_report(path)
     history: list[dict] = []
     if previous is not None:
-        history = [h for h in previous.get("history", []) if isinstance(h, dict)]
-        rolled = {k: v for k, v in previous.items() if k not in ("history", "schema")}
-        if rolled:
+        history = [
+            {"schema": 1, **h} if "schema" not in h else h
+            for h in previous.get("history", [])
+            if isinstance(h, dict)
+        ]
+        rolled = {
+            "schema": previous.get("schema", 1),
+            **{k: v for k, v in previous.items()
+               if k not in ("history", "schema")},
+        }
+        if len(rolled) > 1:
             history.insert(0, rolled)
     report = {
         "schema": SCHEMA_VERSION,

@@ -33,6 +33,7 @@ from repro.ir.interp import ExecutionResult, Frame, Interpreter
 from repro.ir.module import Module
 from repro.machine.cpu import Machine
 from repro.machine.snapshot import restore_snapshot, take_snapshot
+from repro.obs.events import CheckpointTaken, Tracer
 
 
 @dataclass(frozen=True)
@@ -202,13 +203,21 @@ class CheckpointHook:
     re-enter execution exactly there, skipping the already-applied phis.
     """
 
-    def __init__(self, manager: CheckpointManager, interval: int = 200) -> None:
+    def __init__(
+        self,
+        manager: CheckpointManager,
+        interval: int = 200,
+        tracer: Tracer | None = None,
+        trial_index: int = 0,
+    ) -> None:
         if interval < 1:
             raise CheckpointError(
                 f"checkpoint interval must be >= 1, got {interval}"
             )
         self.manager = manager
         self.interval = interval
+        self.tracer = tracer
+        self.trial_index = trial_index
         self._next_at = interval
 
     def __call__(
@@ -238,6 +247,13 @@ class CheckpointHook:
             substrate="interp",
         )
         self._next_at = dynamic_index + self.interval
+        if self.tracer is not None:
+            self.tracer.emit(CheckpointTaken(
+                trial=self.trial_index,
+                instructions=interp.instructions,
+                cycles=interp.cycles,
+                taken=self.manager.taken,
+            ))
 
 
 def resume_from_checkpoint(

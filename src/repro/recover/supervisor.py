@@ -26,13 +26,16 @@ them into :mod:`repro.sim.mission`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.errors import ConfigError
 from repro.faults.campaign import (
     Campaign,
+    emit_campaign_end,
+    emit_campaign_start,
+    emit_trial_events,
     make_injector,
     run_golden,
     trial_fuel_for,
@@ -54,6 +57,13 @@ from repro.recover.ladder import (
     FaultPersistence,
     LadderConfig,
     RecoveryRung,
+)
+from repro.obs.events import (
+    LadderAttemptEvent,
+    RecoveryDone,
+    Tracer,
+    TrialStart,
+    WatchdogFire,
 )
 from repro.recover.watchdog import InterpWatchdog, chain_step_hooks
 from repro.rng import fork, make_rng
@@ -129,6 +139,8 @@ class AttemptRecord:
         success: delivered the golden output.
         cycles: compute spent by the attempt (mechanism + penalties).
         backoff_s: delay charged before the attempt.
+        latency_s: full latency of the attempt — backoff, outage and
+            compute at the configured clock.
     """
 
     rung: RecoveryRung
@@ -136,6 +148,7 @@ class AttemptRecord:
     success: bool
     cycles: int
     backoff_s: float
+    latency_s: float = 0.0
 
 
 @dataclass
@@ -303,16 +316,31 @@ class Supervisor:
     # -- trial execution -------------------------------------------------------
 
     def run_trial(
-        self, trial_rng: np.random.Generator
+        self,
+        trial_rng: np.random.Generator,
+        tracer: Tracer | None = None,
+        trial_index: int = 0,
     ) -> tuple[TrialResult, RecoveryRecord | None]:
-        """One supervised trial: inject, classify, recover if observable."""
+        """One supervised trial: inject, classify, recover if observable.
+
+        With a tracer, the trial emits the same start / injection / end
+        events as an unsupervised trial, interleaved with checkpoint and
+        watchdog events during execution and followed by one
+        ladder-attempt event per rung climbed plus the recovery verdict.
+        """
+        if tracer is not None:
+            tracer.emit(TrialStart(trial=trial_index))
         campaign, golden = self.campaign, self.golden
         injector = make_injector(campaign, golden, trial_rng)
         manager = CheckpointManager(self.config.checkpoint_capacity)
+        watchdog = InterpWatchdog(self.watchdog_budget)
         hooks = chain_step_hooks(
             injector,
-            CheckpointHook(manager, self.config.checkpoint_interval),
-            InterpWatchdog(self.watchdog_budget),
+            CheckpointHook(
+                manager, self.config.checkpoint_interval,
+                tracer=tracer, trial_index=trial_index,
+            ),
+            watchdog,
         )
         interp = Interpreter(
             campaign.module,
@@ -322,6 +350,10 @@ class Supervisor:
             code_cache=self.code_cache,
         )
         result = interp.run(campaign.func_name, list(campaign.args))
+        if tracer is not None and watchdog.bites > 0:
+            tracer.emit(WatchdogFire(
+                trial=trial_index, budget=watchdog.budget
+            ))
         outcome, rel_error = classify(
             result, golden.value, campaign.sdc_tolerance
         )
@@ -334,9 +366,23 @@ class Supervisor:
             rel_error=rel_error,
             cycles=result.cycles,
         )
+        if tracer is not None:
+            emit_trial_events(tracer, trial_index, trial, fired=injector.fired)
         if outcome not in RECOVERABLE_OUTCOMES:
             return trial, None
-        return trial, self.recover(outcome, result, manager, trial_rng)
+        record = self.recover(
+            outcome, result, manager, trial_rng,
+            tracer=tracer, trial_index=trial_index,
+        )
+        trial = replace(
+            trial,
+            recovery_latency_s=record.recovery_latency_s,
+            attempt_latencies_s=tuple(
+                a.latency_s for a in record.attempts
+            ),
+            backoff_charged_s=sum(a.backoff_s for a in record.attempts),
+        )
+        return trial, record
 
     # -- recovery --------------------------------------------------------------
 
@@ -346,6 +392,8 @@ class Supervisor:
         failed: ExecutionResult,
         manager: CheckpointManager,
         rng: np.random.Generator,
+        tracer: Tracer | None = None,
+        trial_index: int = 0,
     ) -> RecoveryRecord:
         """Climb the escalation ladder until a correct output or exhaustion."""
         cfg = self.config
@@ -377,17 +425,29 @@ class Supervisor:
                     planned.rung, persistence
                 )
                 resumed_at = None
+            attempt_latency_s = (
+                planned.backoff_s + outage_s + cycles / cfg.clock_hz
+            )
             record.attempts.append(AttemptRecord(
                 rung=planned.rung,
                 attempt=planned.attempt,
                 success=success,
                 cycles=cycles,
                 backoff_s=planned.backoff_s,
+                latency_s=attempt_latency_s,
             ))
             record.recovery_cycles += cycles
-            record.recovery_latency_s += (
-                planned.backoff_s + outage_s + cycles / cfg.clock_hz
-            )
+            record.recovery_latency_s += attempt_latency_s
+            if tracer is not None:
+                tracer.emit(LadderAttemptEvent(
+                    trial=trial_index,
+                    rung=planned.rung.value,
+                    attempt=planned.attempt,
+                    success=success,
+                    cycles=cycles,
+                    backoff_s=planned.backoff_s,
+                    latency_s=attempt_latency_s,
+                ))
             if success:
                 record.recovered = True
                 record.recovered_rung = planned.rung
@@ -398,6 +458,20 @@ class Supervisor:
             record.wasted_cycles = max(0, total - self.golden.cycles)
         else:
             record.wasted_cycles = total
+        if tracer is not None:
+            tracer.emit(RecoveryDone(
+                trial=trial_index,
+                outcome=outcome.value,
+                recovered=record.recovered,
+                rung=(
+                    record.recovered_rung.value
+                    if record.recovered_rung is not None else None
+                ),
+                attempts=len(record.attempts),
+                latency_s=record.recovery_latency_s,
+                wasted_cycles=record.wasted_cycles,
+                persistence=record.persistence.value,
+            ))
         return record
 
     def _clean_run(self) -> ExecutionResult:
@@ -485,6 +559,7 @@ def run_supervised_campaign(
     config: SupervisorConfig = SupervisorConfig(),
     seed: int | np.random.Generator | None = None,
     workers: int | None = None,
+    tracer: Tracer | None = None,
 ) -> SupervisedCampaignResult:
     """Execute ``campaign`` with the supervisor in the loop.
 
@@ -492,25 +567,33 @@ def run_supervised_campaign(
     corruption, and persistence draw come from one forked child generator.
     With ``workers`` > 1, trials fan out across a process pool (see
     :func:`repro.faults.parallel.run_supervised_campaign_parallel`) with
-    byte-identical results.
+    byte-identical results, traced or not (worker event batches are
+    merged back in trial order).
     """
     if workers is not None and workers > 1:
         from repro.faults.parallel import run_supervised_campaign_parallel
 
         return run_supervised_campaign_parallel(
-            campaign, config=config, seed=seed, workers=workers
+            campaign, config=config, seed=seed, workers=workers,
+            tracer=tracer,
         )
     rng = make_rng(seed)
-    golden = run_golden(campaign)
+    if tracer is not None:
+        emit_campaign_start(tracer, campaign, supervised=True)
+    golden = run_golden(campaign, tracer=tracer)
     supervisor = Supervisor(campaign, golden, config)
     counts = OutcomeCounts()
     trials: list[TrialResult] = []
     records: list[RecoveryRecord | None] = []
-    for trial_rng in fork(rng, campaign.n_trials):
-        trial, record = supervisor.run_trial(trial_rng)
+    for index, trial_rng in enumerate(fork(rng, campaign.n_trials)):
+        trial, record = supervisor.run_trial(
+            trial_rng, tracer=tracer, trial_index=index
+        )
         counts.record(trial.outcome)
         trials.append(trial)
         records.append(record)
+    if tracer is not None:
+        emit_campaign_end(tracer, campaign, golden, counts)
     return SupervisedCampaignResult(
         golden=golden,
         counts=counts,

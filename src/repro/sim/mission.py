@@ -24,6 +24,7 @@ from repro.core.dmr.levels import ProtectionLevel
 from repro.faults.outcomes import FaultOutcome
 from repro.hw.specs import ENDUROSAT_OBC_SPEC, SNAPDRAGON_801, SocSpec
 from repro.radiation.environment import Environment, LEO_NOMINAL
+from repro.obs.events import MissionDay, MissionSel, Tracer
 from repro.radiation.events import DEFAULT_TARGET_WEIGHTS
 from repro.recover.supervisor import RecoveryParams
 from repro.rng import make_rng
@@ -157,8 +158,14 @@ class MissionConfig:
 def run_mission(
     config: MissionConfig,
     seed: int | np.random.Generator | None = None,
+    tracer: Tracer | None = None,
 ) -> MissionReport:
-    """Simulate one mission; returns the aggregated report."""
+    """Simulate one mission; returns the aggregated report.
+
+    A ``tracer`` receives one :class:`MissionDay` event per resolved
+    day-chunk and one :class:`MissionSel` event per latch-up; emission
+    never touches the RNG, so traced missions reproduce untraced ones.
+    """
     rng = make_rng(seed)
     profile = config.profile
     env = config.environment
@@ -196,6 +203,8 @@ def run_mission(
         t_end = min(t + chunk_s, duration_s)
         dt = t_end - t
         multiplier = env.rate_multiplier(t)
+        chunk_downtime_s = 0.0
+        chunk_failures = 0
 
         n_seu = int(rng.poisson(seu_rate * multiplier * dt))
         report.seu_events += n_seu
@@ -210,11 +219,12 @@ def run_mission(
                 report.sdc_escapes += count
             if outcome in (FaultOutcome.CRASH, FaultOutcome.HANG,
                            FaultOutcome.DETECTED):
+                chunk_failures += count
                 recovery = profile.recovery
                 if recovery is None:
                     # No supervisor flown: every observable failure costs
                     # a full reboot.
-                    downtime_s += count * profile.reboot_downtime_s
+                    chunk_downtime_s += count * profile.reboot_downtime_s
                     continue
                 recovered = int(rng.binomial(count, recovery.success_frac))
                 unrecovered = count - recovered
@@ -222,7 +232,7 @@ def run_mission(
                     recovered * recovery.mean_downtime_s
                     + unrecovered * recovery.unrecovered_downtime_s
                 )
-                downtime_s += event_downtime
+                chunk_downtime_s += event_downtime
                 report.recovered_events += recovered
                 report.unrecovered_events += unrecovered
                 report.recovery_downtime_s += event_downtime
@@ -260,11 +270,12 @@ def run_mission(
             )
             # Latch-up severity drawn log-uniform over [5 mA, 1 A].
             delta = float(np.exp(rng.uniform(np.log(0.005), np.log(1.0))))
+            detected = profile.spec.rad_hard or delta >= threshold
             if profile.spec.rad_hard:
                 report.sel_survived += 1  # latch-up immune by design
             elif delta >= threshold:
                 report.sel_survived += 1
-                downtime_s += (
+                chunk_downtime_s += (
                     profile.sel_detect_latency_s + profile.reboot_downtime_s
                 )
             else:
@@ -273,7 +284,23 @@ def run_mission(
                 report.destroyed_at_day = (
                     t + float(rng.uniform(0.0, dt))
                 ) / SECONDS_PER_DAY
+            if tracer is not None:
+                tracer.emit(MissionSel(
+                    day=t / SECONDS_PER_DAY,
+                    delta_a=delta,
+                    detected=detected,
+                    destroyed=destroyed,
+                ))
+            if destroyed:
                 break
+        downtime_s += chunk_downtime_s
+        if tracer is not None:
+            tracer.emit(MissionDay(
+                day=t_end / SECONDS_PER_DAY,
+                seu_events=n_seu,
+                compute_failures=chunk_failures,
+                downtime_s=chunk_downtime_s,
+            ))
         t = t_end
 
     alive_s = (t if not destroyed else

@@ -1,0 +1,129 @@
+"""Metrics tests: instruments, deterministic histograms, event folding."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.events import (
+    GoldenCacheLookup,
+    LadderAttemptEvent,
+    RecoveryDone,
+    Tracer,
+    TrialEnd,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSink,
+)
+
+
+class TestInstruments:
+    def test_counter(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ConfigError):
+            c.inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        g = Gauge()
+        g.set(1.5)
+        g.set(2.5)
+        assert g.value == 2.5
+
+    def test_histogram_exact_when_small(self):
+        h = Histogram()
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            h.record(v)
+        assert h.count == 4
+        assert h.mean == 2.5
+        assert h.min == 1.0 and h.max == 4.0
+        assert h.percentile(50) in (2.0, 3.0)
+
+    def test_histogram_bounded_memory_keeps_exact_aggregates(self):
+        h = Histogram(max_samples=16)
+        for v in range(1000):
+            h.record(float(v))
+        assert h.count == 1000
+        assert h.total == sum(range(1000))
+        assert h.min == 0.0 and h.max == 999.0
+        assert len(h._samples) <= 16
+
+    def test_histogram_decimation_is_deterministic(self):
+        def build():
+            h = Histogram(max_samples=8)
+            for v in range(100):
+                h.record(float(v))
+            return h.summary()
+
+        assert build() == build()
+
+    def test_histogram_validation(self):
+        with pytest.raises(ConfigError):
+            Histogram(max_samples=0)
+        with pytest.raises(ConfigError):
+            Histogram().percentile(101)
+
+    def test_empty_histogram_summary(self):
+        assert Histogram().summary() == {"count": 0}
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+
+    def test_snapshot_is_json_ready_and_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("z").inc()
+        reg.counter("a").inc(2)
+        reg.gauge("speed").set(1.25)
+        reg.histogram("lat").record(0.5)
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["a", "z"]
+        assert snap["counters"] == {"a": 2, "z": 1}
+        assert snap["gauges"] == {"speed": 1.25}
+        assert snap["histograms"]["lat"]["count"] == 1
+
+
+class TestMetricsSink:
+    def test_folds_engine_events(self):
+        sink = MetricsSink()
+        tracer = Tracer(sink)
+        tracer.emit(GoldenCacheLookup(hit=False, instructions=0))
+        tracer.emit(GoldenCacheLookup(hit=True, instructions=100))
+        tracer.emit(TrialEnd(trial=0, outcome="benign", cycles=10))
+        tracer.emit(TrialEnd(trial=1, outcome="crash", cycles=12))
+        tracer.emit(LadderAttemptEvent(
+            trial=1, rung="retry", attempt=0, success=True, cycles=9,
+            backoff_s=0.0, latency_s=9e-9,
+        ))
+        tracer.emit(RecoveryDone(
+            trial=1, outcome="crash", recovered=True, rung="retry",
+            attempts=1, latency_s=9e-9, wasted_cycles=12,
+            persistence="transient",
+        ))
+        snap = sink.registry.snapshot()
+        assert snap["counters"]["trials.benign"] == 1
+        assert snap["counters"]["trials.crash"] == 1
+        assert snap["counters"]["golden_cache.hits"] == 1
+        assert snap["counters"]["golden_cache.misses"] == 1
+        assert snap["counters"]["ladder.attempts.retry"] == 1
+        assert snap["counters"]["recovery.rung.retry"] == 1
+        assert snap["histograms"]["recovery.latency_s"]["count"] == 1
+
+    def test_failed_recovery_counts_separately(self):
+        sink = MetricsSink()
+        Tracer(sink).emit(RecoveryDone(
+            trial=0, outcome="hang", recovered=False, rung=None,
+            attempts=4, latency_s=1.0, wasted_cycles=999,
+            persistence="stuck",
+        ))
+        snap = sink.registry.snapshot()
+        assert snap["counters"]["recovery.failed"] == 1
+        assert "recovery.latency_s" not in snap["histograms"]

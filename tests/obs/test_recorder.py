@@ -1,0 +1,116 @@
+"""Flight-recorder tests: bounded ring, power-cycle survival, dumps."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.events import (
+    LadderAttemptEvent,
+    Tracer,
+    TrialEnd,
+    TrialStart,
+)
+from repro.obs.recorder import FlightRecorder, PostMortemDump
+
+
+def _end(trial, outcome):
+    return TrialEnd(trial=trial, outcome=outcome, cycles=100)
+
+
+class TestRing:
+    def test_capacity_bound_and_dropped_count(self):
+        recorder = FlightRecorder(capacity=3)
+        tracer = Tracer(recorder)
+        for i in range(10):
+            tracer.emit(TrialStart(trial=i))
+        assert len(recorder) == 3
+        assert recorder.dropped == 7
+        assert [e.trial for e in recorder.events] == [7, 8, 9]
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigError):
+            FlightRecorder(capacity=0)
+        with pytest.raises(ConfigError):
+            FlightRecorder(max_dumps=0)
+
+    def test_clear_wipes_everything(self):
+        recorder = FlightRecorder(capacity=2)
+        tracer = Tracer(recorder)
+        for i in range(4):
+            tracer.emit(_end(i, "crash"))
+        recorder.clear()
+        assert len(recorder) == 0
+        assert recorder.dumps == []
+        assert recorder.dropped == 0
+
+
+class TestPowerCycleSurvival:
+    def test_ring_survives_power_cycle(self):
+        """A POWER_CYCLE rung resets the computer, not the recorder."""
+        recorder = FlightRecorder(capacity=8)
+        tracer = Tracer(recorder)
+        tracer.emit(TrialStart(trial=0))
+        tracer.emit(LadderAttemptEvent(
+            trial=0, rung="power-cycle", attempt=0, success=True,
+            cycles=50_000, backoff_s=0.1, latency_s=30.1,
+        ))
+        assert recorder.power_cycles == 1
+        # Everything from before the outage is still in the ring.
+        assert recorder.events[0] == TrialStart(trial=0)
+
+    def test_dump_records_survived_cycles(self):
+        recorder = FlightRecorder()
+        recorder.power_cycle()
+        recorder.power_cycle()
+        dump = recorder.dump(reason="manual")
+        assert dump.power_cycles_survived == 2
+
+
+class TestPostMortemDumps:
+    def test_auto_dump_on_crash_and_hang_only(self):
+        recorder = FlightRecorder()
+        tracer = Tracer(recorder)
+        for i, outcome in enumerate(
+            ["benign", "crash", "sdc", "hang", "detected"]
+        ):
+            tracer.emit(_end(i, outcome))
+        assert [d.reason for d in recorder.dumps] == ["crash", "hang"]
+        assert [d.trial for d in recorder.dumps] == [1, 3]
+        assert recorder.dumps_for("crash")[0].trial == 1
+        assert recorder.dumps_for("hang")[0].trial == 3
+
+    def test_dump_captures_evidence_trail(self):
+        recorder = FlightRecorder(capacity=4)
+        tracer = Tracer(recorder)
+        tracer.emit(TrialStart(trial=7))
+        tracer.emit(_end(7, "crash"))
+        dump = recorder.dumps[0]
+        assert dump.events[-1][1].outcome == "crash"
+        assert dump.events[0][1] == TrialStart(trial=7)
+        assert dump.seq == 1
+
+    def test_dump_count_is_bounded(self):
+        recorder = FlightRecorder(max_dumps=2)
+        tracer = Tracer(recorder)
+        for i in range(5):
+            tracer.emit(_end(i, "crash"))
+        assert len(recorder.dumps) == 2
+
+    def test_auto_dump_can_be_disabled(self):
+        recorder = FlightRecorder(auto_dump=False)
+        Tracer(recorder).emit(_end(0, "crash"))
+        assert recorder.dumps == []
+
+    def test_render_is_human_readable(self):
+        recorder = FlightRecorder()
+        tracer = Tracer(recorder)
+        tracer.emit(TrialStart(trial=3))
+        tracer.emit(_end(3, "hang"))
+        text = recorder.dumps[0].render()
+        assert "FLIGHT RECORDER DUMP: HANG" in text
+        assert "trial 3" in text
+        assert "trial-start" in text
+
+    def test_dump_is_immutable(self):
+        dump = PostMortemDump(reason="crash", trial=0, seq=0, events=())
+        with pytest.raises(AttributeError):
+            dump.reason = "hang"

@@ -1,0 +1,138 @@
+"""Edge cases and property tests for telemetry statistics and windows.
+
+The Pearson helper backs the paper's Figure 1 headline number, and the
+moving window backs the SEL daemon's spike normalization — both sit in
+the detection hot path, so their boundary behavior (constant series,
+degenerate lengths, samples landing exactly on the eviction cutoff) is
+pinned down here.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.telemetry.stats import pearson_correlation
+from repro.telemetry.window import MovingWindow
+
+
+class TestPearsonEdgeCases:
+    def test_constant_series_is_zero_not_nan(self):
+        """A flat series has zero variance; the helper defines r = 0."""
+        x = np.full(10, 3.5)
+        y = np.arange(10, dtype=float)
+        assert pearson_correlation(x, y) == 0.0
+        assert pearson_correlation(y, x) == 0.0
+        assert pearson_correlation(x, x) == 0.0
+
+    def test_length_one_rejected(self):
+        with pytest.raises(ConfigError):
+            pearson_correlation(np.array([1.0]), np.array([2.0]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            pearson_correlation(np.array([]), np.array([]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            pearson_correlation(np.arange(3.0), np.arange(4.0))
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(ConfigError):
+            pearson_correlation(np.ones((2, 2)), np.ones((2, 2)))
+
+    def test_nan_propagates(self):
+        """A NaN sample poisons the statistic rather than being dropped —
+        silently ignoring telemetry gaps would overstate correlation."""
+        x = np.array([1.0, float("nan"), 3.0])
+        y = np.array([1.0, 2.0, 3.0])
+        assert math.isnan(pearson_correlation(x, y))
+
+    def test_perfect_correlation(self):
+        x = np.arange(20, dtype=float)
+        assert pearson_correlation(x, 2 * x + 5) == pytest.approx(1.0)
+        assert pearson_correlation(x, -3 * x + 1) == pytest.approx(-1.0)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6),
+            min_size=2,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bounded_and_symmetric(self, values):
+        """|r| <= 1 (up to rounding) and r(x, y) == r(y, x)."""
+        x = np.array(values)
+        y = np.arange(len(values), dtype=float)
+        r = pearson_correlation(x, y)
+        assert -1.0 - 1e-9 <= r <= 1.0 + 1e-9
+        assert pearson_correlation(y, x) == pytest.approx(r, nan_ok=True)
+
+
+class TestMovingWindowBoundaries:
+    def test_sample_exactly_at_cutoff_is_retained(self):
+        """Eviction uses a strict ``< cutoff``: a sample aged exactly
+        ``duration_s`` is still part of the window."""
+        window = MovingWindow(duration_s=5.0)
+        window.push(0.0, np.array([1.0]))
+        window.push(5.0, np.array([2.0]))
+        assert len(window) == 2
+
+    def test_sample_just_past_cutoff_is_evicted(self):
+        window = MovingWindow(duration_s=5.0)
+        window.push(0.0, np.array([1.0]))
+        window.push(5.0 + 1e-9, np.array([2.0]))
+        assert len(window) == 1
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=1000),
+            min_size=1,
+            max_size=60,
+            unique=True,
+        ),
+        st.integers(min_value=1, max_value=100),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_window_content_matches_cutoff_predicate(
+        self, times, duration
+    ):
+        """After pushing monotonically, the window holds exactly the
+        samples with ``t >= t_last - duration`` (integer times keep the
+        boundary arithmetic exact)."""
+        times = sorted(times)
+        window = MovingWindow(duration_s=float(duration))
+        for t in times:
+            window.push(float(t), np.array([float(t)]))
+        cutoff = times[-1] - duration
+        expected = [t for t in times if t >= cutoff]
+        assert len(window) == len(expected)
+        if expected:
+            assert window.matrix()[:, 0].tolist() == [
+                float(t) for t in expected
+            ]
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=500),
+            min_size=2,
+            max_size=40,
+            unique=True,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_full_iff_span_covers_90_percent(self, times):
+        times = sorted(times)
+        duration = 50.0
+        window = MovingWindow(duration_s=duration)
+        for t in times:
+            window.push(float(t), np.array([1.0]))
+        retained = [t for t in times if t >= times[-1] - duration]
+        span = retained[-1] - retained[0]
+        assert window.full == (
+            len(retained) >= 2 and span >= 0.9 * duration
+        )

@@ -1,0 +1,64 @@
+"""Static analysis over the IR: dataflow framework, vulnerability
+scoring, and the protection-coverage linter.
+
+- :mod:`repro.analysis.dataflow` — generic iterative forward/backward
+  solver (worklist, reverse-postorder seeding, meet-over-lattice).
+- :mod:`repro.analysis.liveness` / :mod:`repro.analysis.reaching` — the
+  canonical backward and forward clients.
+- :mod:`repro.analysis.vulnerability` — ACE-style static SEU scoring of
+  every register.
+- :mod:`repro.analysis.linter` / :mod:`repro.analysis.rules` — the
+  protection-coverage linter and its rule catalog.
+- CLIs: ``python -m repro.analysis.lint`` and
+  ``python -m repro.analysis.rank``.
+"""
+
+from repro.analysis.dataflow import (
+    DataflowAnalysis,
+    DataflowResult,
+    Direction,
+    is_fixpoint,
+    solve,
+)
+from repro.analysis.linter import (
+    gate,
+    lint_function,
+    lint_module,
+    worst_severity,
+)
+from repro.analysis.liveness import LiveInfo, live_ranges, liveness
+from repro.analysis.reaching import ReachingInfo, reaching_definitions
+from repro.analysis.rules import RULES, Finding, LintRule, Severity
+from repro.analysis.vulnerability import (
+    CLASS_WEIGHTS,
+    SiteScore,
+    VulnerabilityReport,
+    analyze_function,
+    analyze_module,
+)
+
+__all__ = [
+    "CLASS_WEIGHTS",
+    "RULES",
+    "DataflowAnalysis",
+    "DataflowResult",
+    "Direction",
+    "Finding",
+    "LintRule",
+    "LiveInfo",
+    "ReachingInfo",
+    "Severity",
+    "SiteScore",
+    "VulnerabilityReport",
+    "analyze_function",
+    "analyze_module",
+    "gate",
+    "is_fixpoint",
+    "lint_function",
+    "lint_module",
+    "live_ranges",
+    "liveness",
+    "reaching_definitions",
+    "solve",
+    "worst_severity",
+]

@@ -1,0 +1,192 @@
+"""Generic iterative dataflow framework over the IR.
+
+A dataflow *analysis* pairs a lattice of facts (here: any values with a
+``meet`` the analysis defines, typically frozensets under union) with a
+per-block transfer function.  The solver runs the classic worklist
+algorithm to the maximum fixpoint, seeding the worklist in reverse
+postorder for forward problems (and reversed RPO for backward problems)
+so that acyclic regions converge in one sweep and loops in a handful.
+
+Phi nodes are handled on CFG *edges*: an analysis may override
+:meth:`DataflowAnalysis.edge_fact` to adjust the fact flowing across one
+specific edge (liveness uses this to materialize a phi's incoming value
+only on the predecessor edge it arrives from — the textbook treatment of
+SSA liveness).
+
+Unreachable blocks are analyzed too (with no predecessor contribution),
+matching :func:`repro.ir.cfg.reverse_postorder`, which appends them after
+the reachable region; the protection-coverage linter relies on every
+block having a fact.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Generic, TypeVar
+
+from repro.ir.block import BasicBlock
+from repro.ir.cfg import predecessors, reverse_postorder, successors
+from repro.ir.function import Function
+
+F = TypeVar("F")
+
+
+class Direction(enum.Enum):
+    """Which way facts propagate along CFG edges."""
+
+    FORWARD = "forward"
+    BACKWARD = "backward"
+
+
+class DataflowAnalysis(Generic[F]):
+    """One dataflow problem: lattice + transfer + direction.
+
+    Subclasses set :attr:`direction` and implement the four hooks.  Facts
+    must be immutable (the solver compares with ``==`` and caches them).
+    """
+
+    direction: Direction = Direction.FORWARD
+
+    def boundary(self, func: Function) -> F:
+        """Fact at the CFG boundary (entry for forward, exits for backward)."""
+        raise NotImplementedError
+
+    def initial(self, func: Function) -> F:
+        """Optimistic starting fact for every non-boundary block (top)."""
+        raise NotImplementedError
+
+    def meet(self, a: F, b: F) -> F:
+        """Combine facts arriving over multiple edges."""
+        raise NotImplementedError
+
+    def transfer(self, block: BasicBlock, fact: F) -> F:
+        """Push a fact through one whole block.
+
+        Forward problems receive the block-entry fact and return the
+        block-exit fact; backward problems the reverse.
+        """
+        raise NotImplementedError
+
+    def edge_fact(self, src: BasicBlock, dst: BasicBlock, fact: F) -> F:
+        """Adjust ``fact`` as it crosses the ``src -> dst`` edge.
+
+        For forward problems ``fact`` is ``out[src]`` flowing into ``dst``;
+        for backward problems it is ``in[dst]`` flowing back into ``src``.
+        The default is the identity.
+        """
+        return fact
+
+
+@dataclass
+class DataflowResult(Generic[F]):
+    """Converged facts of one analysis over one function.
+
+    Attributes:
+        in_facts: fact at each block's entry, by block name.
+        out_facts: fact at each block's exit, by block name.
+        iterations: worklist pops until convergence (diagnostics).
+    """
+
+    in_facts: dict[str, F] = field(default_factory=dict)
+    out_facts: dict[str, F] = field(default_factory=dict)
+    iterations: int = 0
+
+
+def solve(func: Function, analysis: DataflowAnalysis[F]) -> DataflowResult[F]:
+    """Run ``analysis`` over ``func`` to its maximum fixpoint."""
+    rpo = reverse_postorder(func)
+    forward = analysis.direction is Direction.FORWARD
+    order = rpo if forward else list(reversed(rpo))
+    preds = {b.name: predecessors(func, b) for b in func.blocks}
+    succs = {b.name: successors(b) for b in func.blocks}
+    by_name = {b.name: b for b in func.blocks}
+
+    result: DataflowResult[F] = DataflowResult()
+    boundary = analysis.boundary(func)
+    for block in func.blocks:
+        result.in_facts[block.name] = analysis.initial(func)
+        result.out_facts[block.name] = analysis.initial(func)
+
+    worklist: deque[str] = deque(b.name for b in order)
+    queued = set(worklist)
+    while worklist:
+        name = worklist.popleft()
+        queued.discard(name)
+        block = by_name[name]
+        result.iterations += 1
+
+        if forward:
+            sources = preds[name]
+            incoming = boundary if block is func.entry else None
+            for src in sources:
+                edge = analysis.edge_fact(src, block, result.out_facts[src.name])
+                incoming = edge if incoming is None else analysis.meet(incoming, edge)
+            if incoming is None:  # unreachable block: no edge contributes
+                incoming = analysis.initial(func)
+            result.in_facts[name] = incoming
+            outgoing = analysis.transfer(block, incoming)
+            if outgoing != result.out_facts[name]:
+                result.out_facts[name] = outgoing
+                for succ in succs[name]:
+                    if succ.name not in queued:
+                        worklist.append(succ.name)
+                        queued.add(succ.name)
+        else:
+            targets = succs[name]
+            incoming = boundary if not targets else None
+            for dst in targets:
+                edge = analysis.edge_fact(block, dst, result.in_facts[dst.name])
+                incoming = edge if incoming is None else analysis.meet(incoming, edge)
+            if incoming is None:
+                incoming = analysis.initial(func)
+            result.out_facts[name] = incoming
+            entry_fact = analysis.transfer(block, incoming)
+            if entry_fact != result.in_facts[name]:
+                result.in_facts[name] = entry_fact
+                for pred in preds[name]:
+                    if pred.name not in queued:
+                        worklist.append(pred.name)
+                        queued.add(pred.name)
+    return result
+
+
+def is_fixpoint(
+    func: Function, analysis: DataflowAnalysis[F], result: DataflowResult[F]
+) -> bool:
+    """Whether ``result`` is stable under one more full sweep.
+
+    Used by the property tests: a converged solution must be idempotent —
+    re-applying every edge meet and block transfer reproduces it exactly.
+    """
+    preds = {b.name: predecessors(func, b) for b in func.blocks}
+    succs = {b.name: successors(b) for b in func.blocks}
+    boundary = analysis.boundary(func)
+    forward = analysis.direction is Direction.FORWARD
+    for block in func.blocks:
+        name = block.name
+        if forward:
+            incoming = boundary if block is func.entry else None
+            for src in preds[name]:
+                edge = analysis.edge_fact(src, block, result.out_facts[src.name])
+                incoming = edge if incoming is None else analysis.meet(incoming, edge)
+            if incoming is None:
+                incoming = analysis.initial(func)
+            if incoming != result.in_facts[name]:
+                return False
+            if analysis.transfer(block, incoming) != result.out_facts[name]:
+                return False
+        else:
+            targets = succs[name]
+            incoming = boundary if not targets else None
+            for dst in targets:
+                edge = analysis.edge_fact(block, dst, result.in_facts[dst.name])
+                incoming = edge if incoming is None else analysis.meet(incoming, edge)
+            if incoming is None:
+                incoming = analysis.initial(func)
+            if incoming != result.out_facts[name]:
+                return False
+            if analysis.transfer(block, incoming) != result.in_facts[name]:
+                return False
+    return True

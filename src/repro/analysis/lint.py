@@ -1,0 +1,155 @@
+"""Protection-coverage lint CLI.
+
+Instruments workload programs at a protection level, then lints the
+instrumented module against the plans the instrumentation claimed to
+apply::
+
+    python -m repro.analysis.lint fact
+    python -m repro.analysis.lint all --level all --json
+    python -m repro.analysis.lint matmul --level full-dmr --fail-on error
+
+Exit status is non-zero when any finding at or above the ``--fail-on``
+threshold (default: warning) was emitted — that is the CI gate: a
+correctly instrumented module lints clean.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis.linter import lint_module
+from repro.analysis.rules import RULES, Finding, Severity
+from repro.core.dmr.instrument import instrument_module
+from repro.core.dmr.levels import ALL_LEVELS, ProtectionLevel
+from repro.workloads.irprograms import PROGRAMS, build_program
+
+_LEVELS_BY_VALUE = {level.value: level for level in ProtectionLevel}
+
+
+def _parse_levels(text: str) -> list[ProtectionLevel]:
+    if text == "all":
+        return list(ALL_LEVELS)
+    if text not in _LEVELS_BY_VALUE:
+        known = ", ".join(sorted(_LEVELS_BY_VALUE))
+        raise SystemExit(f"unknown level {text!r} (choose from: {known}, all)")
+    return [_LEVELS_BY_VALUE[text]]
+
+
+def _parse_programs(text: str) -> list[str]:
+    if text == "all":
+        return sorted(PROGRAMS)
+    if text not in PROGRAMS:
+        known = ", ".join(sorted(PROGRAMS))
+        raise SystemExit(f"unknown program {text!r} (choose from: {known}, all)")
+    return [text]
+
+
+def _finding_json(finding: Finding) -> dict:
+    return {
+        "rule": finding.rule.id,
+        "severity": finding.severity.value,
+        "func": finding.func,
+        "block": finding.block,
+        "where": finding.where,
+        "message": finding.message,
+    }
+
+
+def lint_program(
+    name: str, level: ProtectionLevel
+) -> list[Finding]:
+    """Build, instrument and lint one workload program."""
+    module = build_program(name)
+    instrumented, plans = instrument_module(module, level)
+    return lint_module(instrumented, plans)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="lint DMR-instrumented workload programs for "
+                    "protection-coverage gaps",
+    )
+    parser.add_argument(
+        "program", nargs="?", default="all",
+        help="workload program name, or 'all' (default)",
+    )
+    parser.add_argument(
+        "--level", default="all",
+        help="protection level value (e.g. bb-cfi), or 'all' (default)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit a machine-readable JSON report on stdout",
+    )
+    parser.add_argument(
+        "--fail-on", default="warning",
+        choices=["error", "warning", "hint", "none"],
+        help="minimum severity that makes the exit status non-zero "
+             "(default: warning)",
+    )
+    parser.add_argument(
+        "--rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.rules:
+        for rule in RULES.values():
+            print(f"{rule.id} [{rule.severity.value}] {rule.summary}")
+            print(f"    fix: {rule.fix_hint}")
+        return 0
+
+    programs = _parse_programs(args.program)
+    levels = _parse_levels(args.level)
+
+    runs = []
+    gate_count = 0
+    total = 0
+    threshold = (
+        None if args.fail_on == "none" else Severity(args.fail_on)
+    )
+    for name in programs:
+        for level in levels:
+            findings = lint_program(name, level)
+            total += len(findings)
+            if threshold is not None:
+                gate_count += sum(
+                    1 for f in findings
+                    if f.severity.rank >= threshold.rank
+                )
+            runs.append((name, level, findings))
+
+    if args.as_json:
+        report = {
+            "fail_on": args.fail_on,
+            "total_findings": total,
+            "gating_findings": gate_count,
+            "runs": [
+                {
+                    "program": name,
+                    "level": level.value,
+                    "findings": [_finding_json(f) for f in findings],
+                }
+                for name, level, findings in runs
+            ],
+        }
+        json.dump(report, sys.stdout, indent=2)
+        print()
+    else:
+        for name, level, findings in runs:
+            status = "clean" if not findings else f"{len(findings)} finding(s)"
+            print(f"{name} @ {level.value}: {status}")
+            for finding in findings:
+                print(f"  {finding.format()}")
+        print(
+            f"{total} finding(s) across {len(runs)} run(s); "
+            f"{gate_count} at/above --fail-on={args.fail_on}"
+        )
+    return 1 if gate_count else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,360 @@
+"""Protection-coverage linter.
+
+Statically verifies that a DMR-instrumented module actually delivers the
+coverage its :class:`~repro.core.dmr.critical.CriticalPlan` promised —
+the oracle that previously required a full fault-injection campaign:
+
+- **DMR001** every planned-critical instruction has a replica;
+- **DMR002** replicas never consume their original's operands when a
+  replica of that operand exists (no single point of failure: one flip
+  corrupting both chains would never diverge at a check);
+- **DMR003** every guarded ``br``/``ret``/``store`` is dominated by a
+  compare-and-trap check of each (primary, replica) pair — a check that
+  can be bypassed, or that runs after the guarded use, detects nothing;
+- **DMR004** critical slices that stop at call boundaries are reported
+  as uncoverable from this function (instrument the callee).
+
+Plus general IR hygiene independent of any plan: unreachable blocks
+(**IR001**), dead results (**IR002**), and unchecked float multiply /
+divide chains reaching a return that quantized checking could shadow
+(**IR003**, a hint).
+
+The contract the acceptance tests pin down: on every workload program at
+every protection level, a faithfully instrumented module produces **zero
+error/warning findings**, and each seeded coverage-gap mutant is caught.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules import (
+    CALL_BOUNDARY,
+    CHECK_NOT_DOMINATING,
+    DEAD_BLOCK,
+    DEAD_VALUE,
+    MISSING_REPLICA,
+    SHARED_OPERAND,
+    UNCHECKED_FP_CHAIN,
+    Finding,
+    Severity,
+)
+from repro.core.dmr.critical import CriticalPlan
+from repro.core.dmr.instrument import _DUP_SUFFIX
+from repro.ir.block import BasicBlock
+from repro.ir.cfg import reachable_blocks
+from repro.ir.dominators import DominatorTree
+from repro.ir.function import Function
+from repro.ir.instructions import COMPARISONS, Instruction, Opcode, Predicate
+from repro.ir.module import Module
+from repro.ir.usedef import UseDefInfo, backward_slice
+from repro.ir.values import Constant
+
+_CHAIN_OPS = frozenset({Opcode.FMUL, Opcode.FDIV})
+
+
+def _positions(func: Function) -> dict[int, tuple[BasicBlock, int]]:
+    return {
+        id(instr): (block, index)
+        for block in func.blocks
+        for index, instr in enumerate(block.instructions)
+    }
+
+
+def _replica_map(
+    func: Function, plan: CriticalPlan
+) -> dict[int, Instruction | None]:
+    """primary-id -> replica instruction (None when missing)."""
+    by_name = {
+        instr.name: instr for instr in func.instructions() if instr.name
+    }
+    replicas: dict[int, Instruction | None] = {}
+    for primary_id, primary in plan.duplicate.items():
+        candidate = by_name.get(primary.name + _DUP_SUFFIX)
+        if candidate is not None and candidate.opcode is primary.opcode:
+            replicas[primary_id] = candidate
+        else:
+            replicas[primary_id] = None
+    return replicas
+
+
+class _FunctionLinter:
+    """Shared per-function state for all rules."""
+
+    def __init__(self, func: Function, plan: CriticalPlan | None) -> None:
+        self.func = func
+        self.plan = plan
+        self.findings: list[Finding] = []
+        self.usedef = UseDefInfo(func)
+        self.reachable = reachable_blocks(func)
+        self.positions = _positions(func)
+        self.replicas = _replica_map(func, plan) if plan is not None else {}
+
+    def report(self, rule, block: str, where: str, message: str) -> None:
+        self.findings.append(Finding(
+            rule=rule, func=self.func.name, block=block, where=where,
+            message=message,
+        ))
+
+    # -- DMR coverage rules -------------------------------------------------
+
+    def check_replicas_present(self) -> None:
+        assert self.plan is not None
+        for primary in self.plan.duplicate.values():
+            if self.replicas.get(id(primary)) is None:
+                block = primary.parent.name if primary.parent else ""
+                self.report(
+                    MISSING_REPLICA, block, primary.ref(),
+                    f"critical {primary.opcode.value} {primary.ref()} has "
+                    f"no {primary.name + _DUP_SUFFIX} replica",
+                )
+
+    def check_replica_operands(self) -> None:
+        assert self.plan is not None
+        for primary in self.plan.duplicate.values():
+            replica = self.replicas.get(id(primary))
+            if replica is None:
+                continue  # DMR001's finding
+            block = replica.parent.name if replica.parent else ""
+            if len(replica.operands) != len(primary.operands):
+                self.report(
+                    SHARED_OPERAND, block, replica.ref(),
+                    f"replica {replica.ref()} has "
+                    f"{len(replica.operands)} operands; original has "
+                    f"{len(primary.operands)}",
+                )
+                continue
+            for index, (p_op, r_op) in enumerate(
+                zip(primary.operands, replica.operands)
+            ):
+                if not isinstance(p_op, Instruction):
+                    continue
+                op_replica = self.replicas.get(id(p_op))
+                if op_replica is None:
+                    continue  # operand was not duplicated (or DMR001 fires)
+                if r_op is p_op:
+                    self.report(
+                        SHARED_OPERAND, block, replica.ref(),
+                        f"replica {replica.ref()} operand {index} is the "
+                        f"original {p_op.ref()} although replica "
+                        f"{op_replica.ref()} exists — one flip corrupts "
+                        f"both chains",
+                    )
+
+    def _guards(self) -> list[Instruction]:
+        """br instructions that can reach a trap (detect) block."""
+        detect = {
+            b.name
+            for b in self.func.blocks
+            if b.is_terminated and b.terminator.opcode is Opcode.TRAP
+        }
+        return [
+            b.terminator
+            for b in self.func.blocks
+            if b.is_terminated
+            and b.terminator.opcode is Opcode.BR
+            and any(t.name in detect for t in b.terminator.block_targets)
+        ]
+
+    def _dominates(self, guard: Instruction, use: Instruction) -> bool:
+        g_block, g_index = self.positions[id(guard)]
+        u_block, u_index = self.positions[id(use)]
+        if g_block is u_block:
+            return g_index < u_index
+        if (g_block.name not in self.reachable
+                or u_block.name not in self.reachable):
+            return False
+        domtree = self._domtree
+        if domtree is None:
+            domtree = self._domtree = DominatorTree(self.func)
+        return domtree.dominates(g_block, u_block)
+
+    _domtree: DominatorTree | None = None
+
+    def check_guard_dominance(self) -> None:
+        assert self.plan is not None
+        guards = self._guards()
+        guard_deps = {
+            id(g): {id(i) for i in backward_slice([g.operands[0]])}
+            for g in guards
+        }
+        # NE-compare index: {frozenset of operand ids: [cmp, ...]}.
+        cmp_index: dict[frozenset, list[Instruction]] = {}
+        for instr in self.func.instructions():
+            if instr.opcode in COMPARISONS and instr.predicate is Predicate.NE:
+                key = frozenset(id(op) for op in instr.operands)
+                cmp_index.setdefault(key, []).append(instr)
+
+        checkpoints = (
+            [(c, "br") for c in self.plan.check_branches]
+            + [(c, "ret") for c in self.plan.check_returns]
+            + [(c, "store") for c in self.plan.check_stores]
+        )
+        for checkpoint, kind in checkpoints:
+            block = (
+                checkpoint.parent.name if checkpoint.parent is not None else ""
+            )
+            for value in checkpoint.operands:
+                if not isinstance(value, Instruction):
+                    continue
+                replica = self.replicas.get(id(value))
+                if replica is None:
+                    continue  # not duplicated, or DMR001 already fired
+                key = frozenset({id(value), id(replica)})
+                compares = cmp_index.get(key, [])
+                dominated = False
+                checked_somewhere = False
+                for cmp in compares:
+                    for guard in guards:
+                        if id(cmp) not in guard_deps[id(guard)]:
+                            continue
+                        checked_somewhere = True
+                        if self._dominates(guard, checkpoint):
+                            dominated = True
+                            break
+                    if dominated:
+                        break
+                if dominated:
+                    continue
+                if checked_somewhere:
+                    message = (
+                        f"check of {value.ref()} vs {replica.ref()} does "
+                        f"not dominate the guarded {kind} — a path reaches "
+                        f"the {kind} without passing the check"
+                    )
+                else:
+                    message = (
+                        f"guarded {kind} consumes duplicated {value.ref()} "
+                        f"but no compare-and-trap check of {value.ref()} vs "
+                        f"{replica.ref()} exists"
+                    )
+                self.report(CHECK_NOT_DOMINATING, block, value.ref(), message)
+
+    def check_call_boundaries(self) -> None:
+        assert self.plan is not None
+        for call in self.plan.call_boundaries:
+            block = call.parent.name if call.parent is not None else ""
+            callee = call.callee or "?"
+            self.report(
+                CALL_BOUNDARY, block, call.ref(),
+                f"critical slice stops at call to @{callee}; its result "
+                f"{call.ref()} cannot be replicated here",
+            )
+
+    # -- hygiene rules ------------------------------------------------------
+
+    def check_dead_blocks(self) -> None:
+        for block in self.func.blocks:
+            if block.name not in self.reachable:
+                self.report(
+                    DEAD_BLOCK, block.name, f"^{block.name}",
+                    f"block ^{block.name} is unreachable from the entry",
+                )
+
+    def check_dead_values(self) -> None:
+        for instr in self.func.instructions():
+            if not self.usedef.is_dead(instr):
+                continue
+            if instr.name.endswith(_DUP_SUFFIX):
+                continue  # replica coverage is DMR001/DMR002's concern
+            block = instr.parent.name if instr.parent is not None else ""
+            self.report(
+                DEAD_VALUE, block, instr.ref(),
+                f"{instr.opcode.value} {instr.ref()} defines a value "
+                f"nothing uses",
+            )
+
+    def check_fp_chains(self) -> None:
+        """Flag ret-feeding fmul/fdiv chains with no protection at all."""
+        roots = [
+            term.operands[0]
+            for block in self.func.blocks
+            if block.is_terminated
+            for term in [block.terminator]
+            if term.opcode is Opcode.RET and term.operands
+            and isinstance(term.operands[0], Instruction)
+            and term.operands[0].opcode in _CHAIN_OPS
+        ]
+        if not roots:
+            return
+        by_name = {i.name: i for i in self.func.instructions() if i.name}
+        observed = {
+            id(op)
+            for instr in self.func.instructions()
+            if instr.opcode is Opcode.MAG
+            for op in instr.operands
+            if not isinstance(op, Constant)
+        }
+        for root in roots:
+            chain: list[Instruction] = []
+            stack: list[Instruction] = [root]
+            seen: set[int] = set()
+            while stack:
+                instr = stack.pop()
+                if id(instr) in seen:
+                    continue
+                seen.add(id(instr))
+                chain.append(instr)
+                stack.extend(
+                    op for op in instr.operands
+                    if isinstance(op, Instruction) and op.opcode in _CHAIN_OPS
+                )
+            duplicated = all(
+                by_name.get(i.name + _DUP_SUFFIX) is not None for i in chain
+            )
+            quantized = id(root) in observed
+            if duplicated or quantized:
+                continue
+            block = root.parent.name if root.parent is not None else ""
+            self.report(
+                UNCHECKED_FP_CHAIN, block, root.ref(),
+                f"{len(chain)}-op fmul/fdiv chain ending at {root.ref()} "
+                f"reaches a return with neither DMR replicas nor a "
+                f"quantized shadow",
+            )
+
+    # -- driver -------------------------------------------------------------
+
+    def run(self) -> list[Finding]:
+        if self.plan is not None:
+            self.check_replicas_present()
+            self.check_replica_operands()
+            self.check_guard_dominance()
+            self.check_call_boundaries()
+        self.check_dead_blocks()
+        self.check_dead_values()
+        self.check_fp_chains()
+        return self.findings
+
+
+def lint_function(
+    func: Function, plan: CriticalPlan | None = None
+) -> list[Finding]:
+    """Lint one function, against ``plan`` when it was DMR-instrumented."""
+    return _FunctionLinter(func, plan).run()
+
+
+def lint_module(
+    module: Module, plans: dict[str, CriticalPlan] | None = None
+) -> list[Finding]:
+    """Lint every function of ``module``.
+
+    ``plans`` is the per-function map returned by
+    :func:`repro.core.dmr.instrument.instrument_module`; without it only
+    the plan-independent hygiene rules run.
+    """
+    findings: list[Finding] = []
+    for func in module:
+        plan = plans.get(func.name) if plans is not None else None
+        findings.extend(lint_function(func, plan))
+    return findings
+
+
+def worst_severity(findings: list[Finding]) -> Severity | None:
+    """The most severe class present in ``findings`` (None when empty)."""
+    if not findings:
+        return None
+    return max((f.severity for f in findings), key=lambda s: s.rank)
+
+
+def gate(findings: list[Finding], fail_on: Severity) -> bool:
+    """True when ``findings`` should fail a gate at the given threshold."""
+    return any(f.severity.rank >= fail_on.rank for f in findings)

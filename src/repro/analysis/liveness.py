@@ -1,0 +1,139 @@
+"""Liveness analysis and cost-weighted live ranges.
+
+Backward may-analysis over SSA value *names* (register fault injection
+addresses registers by name, so names are the right granularity): a value
+is live at a point if some path from that point uses it before redefining
+it — in SSA, simply "uses it".
+
+Phi semantics follow the textbook SSA treatment: a phi's incoming value
+is a use *on the predecessor edge* it arrives from, and the phi's own
+result is defined at the head of its block.  :class:`LivenessAnalysis`
+implements that with the framework's ``edge_fact`` hook, so a loop-carried
+value is live around the whole loop body but a phi operand is never live
+on the edges it does not arrive from.
+
+:func:`live_ranges` turns liveness into the *live window* the ACE-style
+vulnerability analysis needs: for every value name, the number of model
+cycles (per :class:`repro.ir.costmodel.CostModel`) during which the value
+sits exposed in a live register.  Each block is charged once — the static
+window deliberately ignores loop trip counts, the same single-visit
+policy as :mod:`repro.core.risk.propagate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.dataflow import (
+    DataflowAnalysis,
+    DataflowResult,
+    Direction,
+    solve,
+)
+from repro.ir.block import BasicBlock
+from repro.ir.costmodel import CORTEX_A53, CostModel
+from repro.ir.function import Function
+from repro.ir.values import Constant
+
+
+def _use_names(instr) -> list[str]:
+    """Names of the non-constant operands of one instruction."""
+    return [op.name for op in instr.operands if not isinstance(op, Constant)]
+
+
+class LivenessAnalysis(DataflowAnalysis[frozenset]):
+    """Backward liveness over value names."""
+
+    direction = Direction.BACKWARD
+
+    def boundary(self, func: Function) -> frozenset:
+        return frozenset()
+
+    def initial(self, func: Function) -> frozenset:
+        return frozenset()
+
+    def meet(self, a: frozenset, b: frozenset) -> frozenset:
+        return a | b
+
+    def transfer(self, block: BasicBlock, fact: frozenset) -> frozenset:
+        live = set(fact)
+        for instr in reversed(block.instructions):
+            if instr.defines_value:
+                live.discard(instr.name)
+            if not instr.is_phi:  # phi uses live on predecessor edges only
+                live.update(_use_names(instr))
+        return frozenset(live)
+
+    def edge_fact(
+        self, src: BasicBlock, dst: BasicBlock, fact: frozenset
+    ) -> frozenset:
+        incoming = {
+            value.name
+            for phi in dst.phis
+            for value, pred in phi.phi_incoming()
+            if pred is src and not isinstance(value, Constant)
+        }
+        if not incoming:
+            return fact
+        return fact | incoming
+
+
+@dataclass
+class LiveInfo:
+    """Converged liveness of one function.
+
+    Attributes:
+        func: the analyzed function.
+        live_in: value names live at each block's entry (after phi defs).
+        live_out: value names live at each block's exit.
+        iterations: solver worklist pops (diagnostics).
+    """
+
+    func: Function
+    live_in: dict[str, frozenset]
+    live_out: dict[str, frozenset]
+    iterations: int
+
+
+def liveness(func: Function) -> LiveInfo:
+    """Compute liveness for ``func``."""
+    result: DataflowResult[frozenset] = solve(func, LivenessAnalysis())
+    return LiveInfo(
+        func=func,
+        live_in=result.in_facts,
+        live_out=result.out_facts,
+        iterations=result.iterations,
+    )
+
+
+def live_ranges(
+    func: Function,
+    cost_model: CostModel = CORTEX_A53,
+    info: LiveInfo | None = None,
+) -> dict[str, int]:
+    """Cost-weighted live window of every value name, in model cycles.
+
+    Walking each block backward from its ``live_out`` set, every live
+    name is charged the cycle cost of each instruction it stays live
+    across.  A value charges nothing at its own definition (the window
+    opens after the def writes back) and is charged through its last use
+    in the block.  Names never live anywhere (dead results) map to 0.
+    """
+    if info is None:
+        info = liveness(func)
+    windows: dict[str, int] = {arg.name: 0 for arg in func.args}
+    for instr in func.instructions():
+        if instr.defines_value:
+            windows[instr.name] = 0
+    for block in func.blocks:
+        live = set(info.live_out[block.name])
+        for instr in reversed(block.instructions):
+            if instr.defines_value:
+                live.discard(instr.name)
+            if not instr.is_phi:
+                live.update(_use_names(instr))
+            cost = cost_model.cost(instr)
+            for name in live:
+                if name in windows:
+                    windows[name] += cost
+    return windows

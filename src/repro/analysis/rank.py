@@ -1,0 +1,102 @@
+"""Static vulnerability ranking CLI.
+
+Scores every register of a workload program with the ACE-style static
+analysis and prints the ranking, most-vulnerable first::
+
+    python -m repro.analysis.rank fact
+    python -m repro.analysis.rank matmul --top 10 --json
+
+This is the same ranking :func:`repro.faults.campaign.rank_sites` feeds
+to fault-injection campaigns, and the one E14 validates against
+empirical per-site harm.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis.vulnerability import SiteScore, analyze_function
+from repro.ir.costmodel import CORTEX_A53, ENDUROSAT_OBC
+from repro.workloads.irprograms import PROGRAMS, build_program
+
+_COST_MODELS = {"cortex-a53": CORTEX_A53, "endurosat-obc": ENDUROSAT_OBC}
+
+
+def _site_json(site: SiteScore) -> dict:
+    return {
+        "name": site.name,
+        "func": site.func,
+        "block": site.block,
+        "opcode": site.opcode,
+        "live_cycles": site.live_cycles,
+        "fanout": site.fanout,
+        "criticality": site.criticality,
+        "score": site.score,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.rank",
+        description="rank a program's registers by static SEU "
+                    "vulnerability",
+    )
+    parser.add_argument("program", help="workload program name")
+    parser.add_argument(
+        "--top", type=int, default=0,
+        help="print only the N most vulnerable sites (0 = all)",
+    )
+    parser.add_argument(
+        "--cost-model", default="cortex-a53", choices=sorted(_COST_MODELS),
+        help="latency model weighting the live windows",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit a machine-readable JSON report on stdout",
+    )
+    args = parser.parse_args(argv)
+
+    if args.program not in PROGRAMS:
+        known = ", ".join(sorted(PROGRAMS))
+        raise SystemExit(
+            f"unknown program {args.program!r} (choose from: {known})"
+        )
+    module = build_program(args.program)
+    func = module.function(args.program)
+    report = analyze_function(func, _COST_MODELS[args.cost_model])
+    ranked = report.ranked()
+    if args.top > 0:
+        ranked = ranked[: args.top]
+
+    if args.as_json:
+        json.dump(
+            {
+                "program": args.program,
+                "func": func.name,
+                "cost_model": args.cost_model,
+                "sites": [_site_json(s) for s in ranked],
+            },
+            sys.stdout,
+            indent=2,
+        )
+        print()
+        return 0
+
+    width = max((len(s.name) for s in ranked), default=4)
+    print(
+        f"{'site':<{width}}  {'score':>10}  {'class':<8}"
+        f"  {'live':>6}  {'fanout':>6}  opcode"
+    )
+    for site in ranked:
+        print(
+            f"{site.name:<{width}}  {site.score:>10.1f}  "
+            f"{site.criticality:<8}  {site.live_cycles:>6}  "
+            f"{site.fanout:>6}  {site.opcode}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

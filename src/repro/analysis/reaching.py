@@ -1,0 +1,68 @@
+"""Reaching definitions over the SSA IR.
+
+Forward may-analysis: a definition (an SSA name) reaches a program point
+if some CFG path from its defining instruction arrives there.  In SSA
+there is exactly one definition per name, so the interesting output is
+*which* names are available where — the linter's dominance checks and the
+vulnerability analysis' exposure windows both build on it, and it doubles
+as the canonical forward client of the dataflow framework.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.dataflow import (
+    DataflowAnalysis,
+    DataflowResult,
+    Direction,
+    solve,
+)
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+
+
+class ReachingDefsAnalysis(DataflowAnalysis[frozenset]):
+    """Forward union analysis over defined value names."""
+
+    direction = Direction.FORWARD
+
+    def boundary(self, func: Function) -> frozenset:
+        return frozenset(arg.name for arg in func.args)
+
+    def initial(self, func: Function) -> frozenset:
+        return frozenset()
+
+    def meet(self, a: frozenset, b: frozenset) -> frozenset:
+        return a | b
+
+    def transfer(self, block: BasicBlock, fact: frozenset) -> frozenset:
+        defs = {i.name for i in block.instructions if i.defines_value}
+        if not defs:
+            return fact
+        return fact | defs
+
+
+@dataclass
+class ReachingInfo:
+    """Converged reaching-definition facts of one function."""
+
+    func: Function
+    reach_in: dict[str, frozenset]
+    reach_out: dict[str, frozenset]
+    iterations: int
+
+    def reaches(self, name: str, block: BasicBlock) -> bool:
+        """Whether definition ``name`` may reach the entry of ``block``."""
+        return name in self.reach_in[block.name]
+
+
+def reaching_definitions(func: Function) -> ReachingInfo:
+    """Compute reaching definitions for ``func``."""
+    result: DataflowResult[frozenset] = solve(func, ReachingDefsAnalysis())
+    return ReachingInfo(
+        func=func,
+        reach_in=result.in_facts,
+        reach_out=result.out_facts,
+        iterations=result.iterations,
+    )

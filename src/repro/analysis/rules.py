@@ -1,0 +1,162 @@
+"""Lint rule registry: rule metadata, severities, findings.
+
+Every check the protection-coverage linter can emit is declared once as a
+:class:`LintRule` — id, severity, one-line summary, and a fix hint — and
+registered in :data:`RULES`.  The linter then reports :class:`Finding`
+instances that reference their rule, so the CLI, tests and the CI gate
+all agree on what a rule means and how severe it is.
+
+Severity policy:
+
+- ``ERROR`` — the instrumentation violated its own :class:`CriticalPlan`
+  contract (a coverage gap an SEU can slip through).  Always gates.
+- ``WARNING`` — structural hygiene the protection passes should not
+  leave behind (dead blocks, dead results, uncoverable call boundaries).
+  Gates by default.
+- ``HINT`` — a protection *opportunity* (e.g. an unchecked FP chain that
+  quantized checking could cover).  Never gates; surfaced for humans.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; ordered for ``--fail-on`` thresholds."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    HINT = "hint"
+
+    @property
+    def rank(self) -> int:
+        return _RANKS[self]
+
+
+_RANKS = {Severity.ERROR: 2, Severity.WARNING: 1, Severity.HINT: 0}
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """One registered linter rule.
+
+    Attributes:
+        id: stable identifier (``DMR001``, ``IR002``, ...).
+        severity: gate class of every finding this rule emits.
+        summary: one-line description of what the rule checks.
+        fix_hint: what to do about a finding.
+    """
+
+    id: str
+    severity: Severity
+    summary: str
+    fix_hint: str
+
+
+#: All registered rules by id.
+RULES: dict[str, LintRule] = {}
+
+
+def register(rule: LintRule) -> LintRule:
+    if rule.id in RULES:
+        raise ValueError(f"duplicate lint rule id {rule.id}")
+    RULES[rule.id] = rule
+    return rule
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one program point.
+
+    Attributes:
+        rule: the violated rule.
+        func: function name (no leading ``@``).
+        block: block name (no leading ``^``; "" for function-level).
+        where: value/instruction reference the finding anchors to.
+        message: specific explanation for this site.
+    """
+
+    rule: LintRule
+    func: str
+    block: str
+    where: str
+    message: str
+
+    @property
+    def severity(self) -> Severity:
+        return self.rule.severity
+
+    def format(self) -> str:
+        location = f"@{self.func}"
+        if self.block:
+            location += f":^{self.block}"
+        return (
+            f"{self.rule.id} [{self.severity.value}] {location}: "
+            f"{self.message}"
+        )
+
+
+# -- the rule catalog ----------------------------------------------------------
+
+MISSING_REPLICA = register(LintRule(
+    id="DMR001",
+    severity=Severity.ERROR,
+    summary="critical instruction in the plan has no replica",
+    fix_hint="re-run the instrumentation pass; every instruction in "
+             "CriticalPlan.duplicate must have a '<name>.dup' twin of the "
+             "same opcode",
+))
+
+SHARED_OPERAND = register(LintRule(
+    id="DMR002",
+    severity=Severity.ERROR,
+    summary="replica consumes its original's operand (single point of "
+            "failure)",
+    fix_hint="rewire the replica to consume the operand's replica so a "
+             "flip in either chain diverges at the next check",
+))
+
+CHECK_NOT_DOMINATING = register(LintRule(
+    id="DMR003",
+    severity=Severity.ERROR,
+    summary="guarded br/ret/store is not dominated by its compare-and-trap "
+            "check",
+    fix_hint="the primary/replica comparison must execute on every path "
+             "before the guarded instruction; move the check or remove the "
+             "bypassing edge",
+))
+
+CALL_BOUNDARY = register(LintRule(
+    id="DMR004",
+    severity=Severity.WARNING,
+    summary="critical slice stops at a call boundary (callee not covered)",
+    fix_hint="instrument the callee at the same protection level; a replica "
+             "of the call result cannot be derived inside this function",
+))
+
+DEAD_BLOCK = register(LintRule(
+    id="IR001",
+    severity=Severity.WARNING,
+    summary="block is unreachable from the entry",
+    fix_hint="delete the block or restore the edge that reached it; "
+             "unreachable code is unscrubbed attack surface",
+))
+
+DEAD_VALUE = register(LintRule(
+    id="IR002",
+    severity=Severity.WARNING,
+    summary="instruction result feeds nothing",
+    fix_hint="delete the instruction (dead results waste cycles and widen "
+             "the live-register surface SEUs can strike)",
+))
+
+UNCHECKED_FP_CHAIN = register(LintRule(
+    id="IR003",
+    severity=Severity.HINT,
+    summary="float multiply/divide chain reaches a return unchecked",
+    fix_hint="quantized checking (repro.core.quantize) shadows fmul/fdiv "
+             "chains for ~1 integer cycle per op; DMR duplication also "
+             "covers it at higher cost",
+))

@@ -31,6 +31,11 @@ class CriticalPlan:
         check_returns: ``ret`` instructions whose value is compared.
         check_stores: ``store`` instructions whose value and address are
             compared (FULL_DMR only).
+        call_boundaries: ``call`` instructions the critical slice stopped
+            at — their results feed critical values but cannot be
+            replicated inside this function (the callee must be
+            instrumented instead), so the coverage linter reports each
+            one as an explicit hole rather than letting it pass silently.
     """
 
     level: ProtectionLevel
@@ -38,6 +43,7 @@ class CriticalPlan:
     check_branches: list[Instruction] = field(default_factory=list)
     check_returns: list[Instruction] = field(default_factory=list)
     check_stores: list[Instruction] = field(default_factory=list)
+    call_boundaries: list[Instruction] = field(default_factory=list)
 
     @property
     def n_duplicated(self) -> int:
@@ -126,8 +132,13 @@ def critical_plan(func: Function, level: ProtectionLevel) -> CriticalPlan:
                 plan.duplicate[id(instr)] = instr
             if instr.opcode is Opcode.STORE:
                 plan.check_stores.append(instr)
+            elif instr.opcode is Opcode.CALL:
+                plan.call_boundaries.append(instr)
     else:
-        for instr in backward_slice(roots):
+        sliced = backward_slice(
+            roots, stop_at_calls=True, boundaries=plan.call_boundaries
+        )
+        for instr in sliced:
             if _sliceable(instr):
                 plan.duplicate[id(instr)] = instr
     return plan

@@ -11,7 +11,7 @@ from collections import defaultdict
 from typing import Iterable
 
 from repro.ir.function import Function
-from repro.ir.instructions import Instruction
+from repro.ir.instructions import Instruction, Opcode
 from repro.ir.values import Argument, Constant, Value
 
 
@@ -46,13 +46,27 @@ class UseDefInfo:
         return instr.defines_value and not self._users.get(instr)
 
 
-def backward_slice(roots: Iterable[Value]) -> list[Instruction]:
+def backward_slice(
+    roots: Iterable[Value],
+    *,
+    stop_at_calls: bool = False,
+    boundaries: list[Instruction] | None = None,
+) -> list[Instruction]:
     """All instructions transitively feeding the ``roots`` values.
 
     Traverses use-def edges in reverse from each root.  Arguments and
     constants terminate the walk.  The result is deduplicated and returned
     in a deterministic order (by discovery), with the defining instructions
     of the roots included when the roots are instruction results.
+
+    With ``stop_at_calls`` the walk also terminates at ``call``
+    instructions: the call itself is kept in the slice (its result is part
+    of the dependence chain) but its operands are not traversed — the
+    callee's computation cannot be replicated from the caller, so pulling
+    the call's arguments into the slice would only replicate values whose
+    replicas feed nothing.  Every call so encountered is appended to
+    ``boundaries`` (when given), in discovery order, so clients can report
+    the coverage hole instead of silently absorbing it.
     """
     seen: set[int] = set()
     ordered: list[Instruction] = []
@@ -67,6 +81,10 @@ def backward_slice(roots: Iterable[Value]) -> list[Instruction]:
             continue
         seen.add(id(value))
         ordered.append(value)
+        if stop_at_calls and value.opcode is Opcode.CALL:
+            if boundaries is not None:
+                boundaries.append(value)
+            continue
         stack.extend(value.operands)
     ordered.reverse()
     return ordered

@@ -223,6 +223,23 @@ def _check_instruction_types(
 def _check_phis(func: Function) -> None:
     reachable = reachable_blocks(func)
     for block in func.blocks:
+        for phi in block.phis:
+            where = f"@{func.name}:^{block.name}: phi {phi.ref()}"
+            # Structural invariants hold everywhere, unreachable blocks
+            # included — a malformed phi there corrupts printing, cloning
+            # and any analysis that walks all blocks.
+            if len(phi.operands) != len(phi.block_targets):
+                raise IRVerificationError(
+                    f"{where} has {len(phi.operands)} values for "
+                    f"{len(phi.block_targets)} incoming blocks"
+                )
+            names = [b.name for b in phi.block_targets]
+            duplicates = {n for n in names if names.count(n) > 1}
+            if duplicates:
+                raise IRVerificationError(
+                    f"{where} lists predecessor(s) "
+                    f"{sorted(duplicates)} more than once"
+                )
         if block.name not in reachable:
             continue
         preds = {

@@ -211,6 +211,31 @@ def summarize(events: list[Event]) -> TraceSummary:
     return summary
 
 
+#: Outcomes counted as harmful when ranking injection sites.
+HARMFUL_OUTCOMES = ("sdc", "crash", "hang", "detected")
+
+
+def site_harm(
+    site_outcomes: dict[str, dict[str, int]],
+) -> list[tuple[float, int, int, str, dict[str, int]]]:
+    """Rank injection sites by empirical harm, worst first.
+
+    Returns ``(harm_fraction, n_harmful, n_trials, site, per_site)``
+    tuples sorted most-harmful first.  Harm counts every non-benign
+    outcome — a flip the checker caught still perturbed execution.  This
+    is the empirical ordering E14 correlates against the static
+    vulnerability ranking, and the one the campaign report renders.
+    """
+    ranked = []
+    for site, per_site in site_outcomes.items():
+        bad = sum(per_site.get(o, 0) for o in HARMFUL_OUTCOMES)
+        total = sum(per_site.values())
+        if total:
+            ranked.append((bad / total, bad, total, site, per_site))
+    ranked.sort(reverse=True)
+    return ranked
+
+
 # -- rendering -----------------------------------------------------------------
 
 
@@ -264,15 +289,7 @@ def render_campaign(campaign: CampaignSummary, index: int) -> str:
     lines.append("  timeline (lowercase = recovered):")
     lines.extend(_timeline(campaign))
 
-    harmful = []
-    for site, per_site in campaign.site_outcomes.items():
-        bad = sum(
-            per_site.get(o, 0) for o in ("sdc", "crash", "hang", "detected")
-        )
-        total = sum(per_site.values())
-        if total:
-            harmful.append((bad / total, bad, total, site, per_site))
-    harmful.sort(reverse=True)
+    harmful = site_harm(campaign.site_outcomes)
     if harmful:
         lines.append("  injection sites by harm (top 10):")
         for frac, bad, total, site, per_site in harmful[:10]:

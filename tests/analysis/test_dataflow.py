@@ -1,0 +1,154 @@
+"""Dataflow framework tests: solver, liveness, reaching definitions."""
+
+from repro.analysis.dataflow import is_fixpoint, solve
+from repro.analysis.liveness import LivenessAnalysis, live_ranges, liveness
+from repro.analysis.reaching import ReachingDefsAnalysis, reaching_definitions
+from repro.ir.builder import IRBuilder
+from repro.ir.costmodel import CORTEX_A53, ENDUROSAT_OBC
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.types import INT64
+
+
+class TestLiveness:
+    def test_branchy_function(self, abs_diff_module):
+        func = abs_diff_module.function("abs_diff")
+        info = liveness(func)
+        # Both arguments are used in both arms.
+        assert info.live_in["entry"] == frozenset({"a", "b"})
+        assert info.live_out["entry"] == frozenset({"a", "b"})
+        # Nothing survives past the returns.
+        assert info.live_out["lt"] == frozenset()
+        assert info.live_out["ge"] == frozenset()
+        # The branch condition dies at the branch.
+        cond = func.block("entry").instructions[0].name
+        assert cond not in info.live_in["lt"]
+        assert cond not in info.live_in["ge"]
+
+    def test_loop_carried_values(self, counted_loop_module):
+        func = counted_loop_module.function("triangle")
+        loop = func.block("loop")
+        # Names of the backedge values: each phi's loop-incoming operand.
+        carried = {
+            value.name
+            for phi in loop.phis
+            for value, pred in phi.phi_incoming()
+            if pred is loop
+        }
+        info = liveness(func)
+        # The bound is consulted by the latch every iteration.
+        assert "n" in info.live_in["loop"]
+        # Phi results are defined at the head of their block, not live in.
+        assert "i" not in info.live_in["loop"]
+        assert "acc" not in info.live_in["loop"]
+        # The next-iteration values flow around the backedge (phi uses
+        # materialize on the predecessor edge, not inside the block).
+        assert carried <= info.live_out["loop"]
+
+    def test_phi_incoming_not_live_on_other_edges(self, counted_loop_module):
+        func = counted_loop_module.function("triangle")
+        done = func.block("done")
+        loop = func.block("loop")
+        from_loop = {
+            value.name
+            for phi in done.phis
+            for value, pred in phi.phi_incoming()
+            if pred is loop
+        }
+        info = liveness(func)
+        # Those values arrive at ^done's phi only from ^loop; the entry
+        # edge carries different incoming values, so they are dead there.
+        assert from_loop
+        assert not (from_loop & info.live_out["entry"])
+
+    def test_unreachable_block_still_analyzed(self):
+        func = Function("f", [("a", INT64)], INT64)
+        b = IRBuilder(func)
+        b.set_block(func.add_block("entry"))
+        b.ret(func.args[0])
+        b.set_block(func.add_block("limbo"))
+        dead = b.add(func.args[0], b.i64(1))
+        b.ret(dead)
+        info = liveness(func)
+        assert "limbo" in info.live_in
+        assert "a" in info.live_in["limbo"]
+
+    def test_solution_is_fixpoint(self, counted_loop_module):
+        func = counted_loop_module.function("triangle")
+        analysis = LivenessAnalysis()
+        result = solve(func, analysis)
+        assert result.iterations > 0
+        assert is_fixpoint(func, analysis, result)
+
+
+class TestLiveRanges:
+    def test_used_values_have_positive_windows(self, counted_loop_module):
+        func = counted_loop_module.function("triangle")
+        windows = live_ranges(func)
+        assert windows["n"] > 0
+        assert windows["i"] > 0
+
+    def test_every_definition_has_a_window(self, abs_diff_module):
+        func = abs_diff_module.function("abs_diff")
+        windows = live_ranges(func)
+        names = {a.name for a in func.args} | {
+            i.name for i in func.instructions() if i.defines_value
+        }
+        assert set(windows) == names
+        assert all(w >= 0 for w in windows.values())
+
+    def test_windows_scale_with_cost_model(self, fp_chain_module):
+        func = fp_chain_module.function("scale")
+        fast = live_ranges(func, CORTEX_A53)
+        slow = live_ranges(func, ENDUROSAT_OBC)
+        # The OBC model's FP ops are slower, so no window shrinks and the
+        # argument (live across the whole chain) sits exposed longer.
+        assert all(slow[name] >= fast[name] for name in fast)
+        assert slow["x"] > fast["x"]
+
+
+class TestReachingDefinitions:
+    def test_args_reach_everywhere(self, counted_loop_module):
+        func = counted_loop_module.function("triangle")
+        info = reaching_definitions(func)
+        for block in func.blocks:
+            assert "n" in info.reach_in[block.name]
+
+    def test_loop_defs_reach_exit(self, counted_loop_module):
+        func = counted_loop_module.function("triangle")
+        info = reaching_definitions(func)
+        done = func.block("done")
+        loop_defs = {
+            i.name for i in func.block("loop").instructions
+            if i.defines_value
+        }
+        assert loop_defs
+        assert all(info.reaches(name, done) for name in loop_defs)
+
+    def test_later_defs_do_not_reach_entry(self, counted_loop_module):
+        func = counted_loop_module.function("triangle")
+        info = reaching_definitions(func)
+        loop_defs = {
+            i.name for i in func.block("loop").instructions
+            if i.defines_value
+        }
+        assert not (loop_defs & info.reach_in["entry"])
+
+    def test_solution_is_fixpoint(self, abs_diff_module):
+        func = abs_diff_module.function("abs_diff")
+        analysis = ReachingDefsAnalysis()
+        result = solve(func, analysis)
+        assert is_fixpoint(func, analysis, result)
+
+
+class TestSolver:
+    def test_single_block_converges_in_one_pop(self):
+        module = Module("m")
+        func = Function("f", [("a", INT64)], INT64)
+        module.add_function(func)
+        b = IRBuilder(func)
+        b.set_block(func.add_block("entry"))
+        b.ret(b.add(func.args[0], b.i64(1)))
+        result = solve(func, LivenessAnalysis())
+        assert result.iterations == 1
+        assert result.in_facts["entry"] == frozenset({"a"})

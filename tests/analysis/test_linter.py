@@ -1,0 +1,243 @@
+"""Protection-coverage linter tests: zero false positives on faithful
+instrumentation, and every seeded coverage-gap mutant caught."""
+
+import pytest
+
+from repro.analysis.lint import lint_program
+from repro.analysis.linter import gate, lint_function, lint_module, worst_severity
+from repro.analysis.rules import RULES, Severity
+from repro.core.dmr.instrument import _DUP_SUFFIX, instrument_module
+from repro.core.dmr.levels import ALL_LEVELS, ProtectionLevel
+from repro.ir.builder import IRBuilder
+from repro.ir.cfg import predecessors
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.module import Module
+from repro.ir.types import INT64
+from repro.workloads.irprograms import PROGRAMS, build_program
+
+
+def _instrumented(name: str, level: ProtectionLevel):
+    module = build_program(name)
+    instrumented, plans = instrument_module(module, level)
+    return instrumented, plans
+
+
+def _replica_pairs(func, plan):
+    by_name = {i.name: i for i in func.instructions() if i.name}
+    return [
+        (primary, by_name[primary.name + _DUP_SUFFIX])
+        for primary in plan.duplicate.values()
+        if primary.name + _DUP_SUFFIX in by_name
+    ]
+
+
+class TestZeroFalsePositives:
+    """The acceptance criterion: correct instrumentation lints clean."""
+
+    @pytest.mark.parametrize("level", ALL_LEVELS, ids=lambda lv: lv.value)
+    def test_all_programs_clean_at_level(self, level):
+        for name in sorted(PROGRAMS):
+            findings = lint_program(name, level)
+            gating = [
+                f for f in findings if f.severity is not Severity.HINT
+            ]
+            assert not gating, (
+                f"{name} @ {level.value}: "
+                + "; ".join(f.format() for f in gating)
+            )
+
+    def test_uninstrumented_modules_have_no_plan_findings(self):
+        for name in ("fact", "matmul", "kalman"):
+            module = build_program(name)
+            findings = lint_module(module)
+            assert all(f.rule.id.startswith("IR") for f in findings)
+
+
+class TestMissingReplicaMutant:
+    def test_removed_replica_caught(self):
+        instrumented, plans = _instrumented(
+            "fact", ProtectionLevel.BB_CFI
+        )
+        func = instrumented.function("fact")
+        plan = plans["fact"]
+        pairs = _replica_pairs(func, plan)
+        primary, replica = next(
+            (p, r) for p, r in pairs if not p.is_phi
+        )
+        # Seeded gap: drop the replica, rewire its uses to the primary.
+        for user in func.instructions():
+            user.replace_operand(replica, primary)
+        replica.parent.instructions.remove(replica)
+        findings = lint_function(func, plan)
+        hits = [f for f in findings if f.rule.id == "DMR001"]
+        assert len(hits) == 1
+        assert primary.name in hits[0].message
+        assert worst_severity(findings) is Severity.ERROR
+        assert gate(findings, Severity.ERROR)
+
+
+class TestSharedOperandMutant:
+    def test_replica_consuming_original_caught(self):
+        instrumented, plans = _instrumented(
+            "fact", ProtectionLevel.CFI_DATAFLOW
+        )
+        func = instrumented.function("fact")
+        plan = plans["fact"]
+        # Find a duplicated instruction whose operand was duplicated too.
+        target = None
+        for primary in plan.duplicate.values():
+            for index, op in enumerate(primary.operands):
+                if isinstance(op, Instruction) and id(op) in plan.duplicate:
+                    target = (primary, index, op)
+                    break
+            if target:
+                break
+        assert target is not None
+        primary, index, op = target
+        by_name = {i.name: i for i in func.instructions() if i.name}
+        replica = by_name[primary.name + _DUP_SUFFIX]
+        # Seeded gap: point the replica chain back at the original.
+        replica.operands[index] = op
+        findings = lint_function(func, plan)
+        hits = [f for f in findings if f.rule.id == "DMR002"]
+        assert len(hits) == 1
+        assert replica.name in hits[0].message
+        assert not any(f.rule.id == "DMR001" for f in findings)
+
+
+class TestCheckBypassMutant:
+    def test_edge_bypassing_check_caught(self):
+        instrumented, plans = _instrumented(
+            "fact", ProtectionLevel.CFI_DATAFLOW
+        )
+        func = instrumented.function("fact")
+        plan = plans["fact"]
+        detect = {
+            b.name for b in func.blocks
+            if b.is_terminated and b.terminator.opcode is Opcode.TRAP
+        }
+        # A guard block with predecessors whose bypass we can seed.
+        mutated = False
+        for block in func.blocks:
+            if not block.is_terminated:
+                continue
+            term = block.terminator
+            if term.opcode is not Opcode.BR:
+                continue
+            if not any(t.name in detect for t in term.block_targets):
+                continue
+            preds = predecessors(func, block)
+            if not preds:
+                continue
+            cont = next(
+                t for t in term.block_targets if t.name not in detect
+            )
+            pred_term = preds[0].terminator
+            for i, t in enumerate(pred_term.block_targets):
+                if t is block:
+                    pred_term.block_targets[i] = cont
+                    mutated = True
+                    break
+            if mutated:
+                break
+        assert mutated
+        findings = lint_function(func, plan)
+        assert any(f.rule.id == "DMR003" for f in findings)
+
+    def test_retargeted_compare_caught(self):
+        instrumented, plans = _instrumented(
+            "gcd", ProtectionLevel.BB_CFI
+        )
+        func = instrumented.function("gcd")
+        plan = plans["gcd"]
+        # Degrade one check: compare a value against itself instead of
+        # against its replica.  The guard still exists but verifies
+        # nothing about the pair.
+        pairs = _replica_pairs(func, plan)
+        mutated = False
+        for instr in func.instructions():
+            if not instr.is_comparison:
+                continue
+            for primary, replica in pairs:
+                if (
+                    len(instr.operands) == 2
+                    and instr.operands[0] is primary
+                    and instr.operands[1] is replica
+                ):
+                    instr.operands[1] = primary
+                    mutated = True
+                    break
+            if mutated:
+                break
+        assert mutated
+        findings = lint_function(func, plan)
+        assert any(f.rule.id == "DMR003" for f in findings)
+
+
+class TestHygieneRules:
+    def test_dead_block_reported(self):
+        module = Module("m")
+        func = Function("f", [("a", INT64)], INT64)
+        module.add_function(func)
+        b = IRBuilder(func)
+        b.set_block(func.add_block("entry"))
+        b.ret(func.args[0])
+        b.set_block(func.add_block("limbo"))
+        b.ret(func.args[0])
+        findings = lint_function(func)
+        assert any(
+            f.rule.id == "IR001" and f.block == "limbo" for f in findings
+        )
+
+    def test_dead_value_reported(self):
+        module = Module("m")
+        func = Function("f", [("a", INT64)], INT64)
+        module.add_function(func)
+        b = IRBuilder(func)
+        b.set_block(func.add_block("entry"))
+        b.add(func.args[0], b.i64(3), name="unused")
+        b.ret(func.args[0])
+        findings = lint_function(func)
+        assert any(
+            f.rule.id == "IR002" and "unused" in f.message
+            for f in findings
+        )
+
+    def test_unchecked_fp_chain_is_hint_only(self, fp_chain_module):
+        func = fp_chain_module.function("scale")
+        findings = lint_function(func)
+        fp = [f for f in findings if f.rule.id == "IR003"]
+        assert len(fp) == 1
+        assert fp[0].severity is Severity.HINT
+        assert not gate(findings, Severity.WARNING)
+
+    def test_fp_chain_silenced_by_dmr(self, fp_chain_module):
+        instrumented, plans = instrument_module(
+            fp_chain_module, ProtectionLevel.CFI_DATAFLOW
+        )
+        findings = lint_module(instrumented, plans)
+        assert not any(f.rule.id == "IR003" for f in findings)
+
+
+class TestRuleCatalog:
+    def test_rule_ids_well_formed(self):
+        for rule_id, rule in RULES.items():
+            assert rule.id == rule_id
+            assert rule.summary and rule.fix_hint
+
+    def test_finding_format_mentions_rule_and_location(self):
+        module = Module("m")
+        func = Function("f", [("a", INT64)], INT64)
+        module.add_function(func)
+        b = IRBuilder(func)
+        b.set_block(func.add_block("entry"))
+        b.add(func.args[0], b.i64(3), name="unused")
+        b.ret(func.args[0])
+        findings = lint_function(func)
+        assert findings
+        for finding in findings:
+            text = finding.format()
+            assert finding.rule.id in text
+            assert "@f" in text
+            assert finding.severity.value in text

@@ -1,0 +1,91 @@
+"""Property tests for the dataflow framework and vulnerability scoring.
+
+Reuses the random-program generators from the IR pipeline fuzzer:
+
+- a converged dataflow solution is a true fixpoint (idempotent under one
+  more full sweep of meets and transfers);
+- vulnerability scores are non-negative everywhere;
+- adding a use of a value never lowers that value's score (monotonicity —
+  the ranking can only promote a value that becomes more connected).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.dataflow import is_fixpoint, solve
+from repro.analysis.liveness import LivenessAnalysis
+from repro.analysis.reaching import ReachingDefsAnalysis
+from repro.analysis.vulnerability import analyze_function
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.types import INT64
+from tests.ir.test_fuzz_pipeline import looped_programs, straightline_programs
+
+PROGRAMS = st.one_of(straightline_programs(), looped_programs())
+
+
+@settings(max_examples=30, deadline=None)
+@given(PROGRAMS)
+def test_liveness_solution_is_fixpoint(case):
+    module, _args = case
+    func = module.function("f")
+    analysis = LivenessAnalysis()
+    result = solve(func, analysis)
+    assert is_fixpoint(func, analysis, result)
+
+
+@settings(max_examples=30, deadline=None)
+@given(PROGRAMS)
+def test_reaching_solution_is_fixpoint(case):
+    module, _args = case
+    func = module.function("f")
+    analysis = ReachingDefsAnalysis()
+    result = solve(func, analysis)
+    assert is_fixpoint(func, analysis, result)
+
+
+@settings(max_examples=30, deadline=None)
+@given(PROGRAMS)
+def test_solver_is_deterministic(case):
+    module, _args = case
+    func = module.function("f")
+    first = solve(func, LivenessAnalysis())
+    second = solve(func, LivenessAnalysis())
+    assert first.in_facts == second.in_facts
+    assert first.out_facts == second.out_facts
+
+
+@settings(max_examples=30, deadline=None)
+@given(PROGRAMS)
+def test_vulnerability_scores_non_negative(case):
+    module, _args = case
+    func = module.function("f")
+    report = analyze_function(func)
+    for site in report.sites.values():
+        assert site.score >= 0.0
+        assert site.live_cycles >= 0
+        assert site.fanout >= 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(PROGRAMS, st.integers(0, 10_000))
+def test_score_monotone_under_adding_a_use(case, pick):
+    module, _args = case
+    func = module.function("f")
+    candidates = list(func.args) + [
+        i for i in func.instructions()
+        if i.defines_value and i.type is INT64
+    ]
+    value = candidates[pick % len(candidates)]
+    before = analyze_function(func).score_of(value.name)
+
+    # Add one more (dead) use of the value just before a return.
+    ret_block = next(
+        b for b in func.blocks
+        if b.is_terminated and b.terminator.opcode is Opcode.RET
+    )
+    extra = Instruction(Opcode.ADD, INT64, [value, value], name="extra.use")
+    ret_block.insert(len(ret_block.instructions) - 1, extra)
+
+    after = analyze_function(func).score_of(value.name)
+    assert after >= before

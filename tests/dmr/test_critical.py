@@ -4,7 +4,43 @@ from repro.core.dmr.critical import (
     branch_conditions, critical_plan, return_values, scc_exit_branches,
 )
 from repro.core.dmr.levels import ProtectionLevel
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.ir.instructions import Predicate
+from repro.ir.module import Module
+from repro.ir.types import INT64
+from repro.ir.usedef import backward_slice
+from repro.ir.verifier import verify_module
 from repro.workloads.irprograms import build_program
+
+
+def _caller_module() -> Module:
+    """@wrap(n): branches on square(n) + 1, so the critical slice of the
+    branch condition crosses a call boundary."""
+    module = Module("callbound")
+    callee = Function("square", [("x", INT64)], INT64)
+    module.add_function(callee)
+    b = IRBuilder(callee)
+    b.set_block(callee.add_block("entry"))
+    b.ret(b.mul(callee.args[0], callee.args[0]))
+
+    caller = Function("wrap", [("n", INT64)], INT64)
+    module.add_function(caller)
+    b2 = IRBuilder(caller)
+    entry = caller.add_block("entry")
+    big = caller.add_block("big")
+    small = caller.add_block("small")
+    b2.set_block(entry)
+    sq = b2.call("square", [caller.args[0]], INT64, name="sq")
+    shifted = b2.add(sq, b2.i64(1), name="shifted")
+    cond = b2.icmp(Predicate.GT, shifted, b2.i64(100))
+    b2.br(cond, big, small)
+    b2.set_block(big)
+    b2.ret(b2.i64(1))
+    b2.set_block(small)
+    b2.ret(b2.i64(0))
+    verify_module(module)
+    return module
 
 
 class TestExtraction:
@@ -66,3 +102,46 @@ class TestPlans:
         func = build_program("checksum").function("checksum")
         plan = critical_plan(func, ProtectionLevel.FULL_DMR)
         assert plan.check_stores
+
+
+class TestCallBoundaries:
+    def test_slice_stops_at_calls(self):
+        func = _caller_module().function("wrap")
+        cond = branch_conditions(func)[0][1]
+        boundaries: list = []
+        sliced = backward_slice(
+            [cond], stop_at_calls=True, boundaries=boundaries
+        )
+        names = {i.name for i in sliced}
+        # The call result is part of the chain, but the walk stops there.
+        assert "sq" in names
+        assert "shifted" in names
+        assert len(boundaries) == 1
+        assert boundaries[0].callee == "square"
+
+    def test_default_slice_behavior_unchanged(self):
+        func = _caller_module().function("wrap")
+        cond = branch_conditions(func)[0][1]
+        sliced = backward_slice([cond])
+        assert "sq" in {i.name for i in sliced}
+
+    def test_plan_records_call_boundaries(self):
+        func = _caller_module().function("wrap")
+        plan = critical_plan(func, ProtectionLevel.BB_CFI)
+        assert len(plan.call_boundaries) == 1
+        assert plan.call_boundaries[0].callee == "square"
+        # The call itself is never in the duplicate set.
+        assert all(
+            i.opcode.value != "call" for i in plan.duplicate.values()
+        )
+
+    def test_full_dmr_records_all_calls(self):
+        func = _caller_module().function("wrap")
+        plan = critical_plan(func, ProtectionLevel.FULL_DMR)
+        assert [c.callee for c in plan.call_boundaries] == ["square"]
+
+    def test_no_calls_no_boundaries(self):
+        for name in ("fact", "matmul"):
+            func = build_program(name).function(name)
+            for level in (ProtectionLevel.BB_CFI, ProtectionLevel.FULL_DMR):
+                assert not critical_plan(func, level).call_boundaries

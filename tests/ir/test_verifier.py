@@ -82,6 +82,59 @@ def test_phi_incoming_mismatch_rejected(counted_loop_module):
         verify_function(func)
 
 
+def test_phi_duplicate_predecessor_rejected(counted_loop_module):
+    func = counted_loop_module.function("triangle")
+    loop = func.block("loop")
+    phi = loop.phis[0]
+    # List the entry predecessor twice.  The old set-based comparison
+    # collapsed duplicates ({entry, entry, loop} == {entry, loop}) and
+    # let this malformed phi through.
+    phi.add_phi_incoming(phi.operands[0], func.block("entry"))
+    with pytest.raises(IRVerificationError, match="more than once"):
+        verify_function(func)
+
+
+def test_phi_operand_target_length_mismatch_rejected(counted_loop_module):
+    func = counted_loop_module.function("triangle")
+    phi = func.block("loop").phis[0]
+    phi.operands.append(phi.operands[0])  # value without an incoming block
+    with pytest.raises(IRVerificationError, match="incoming blocks"):
+        verify_function(func)
+
+
+def test_unreachable_block_phi_structure_still_checked():
+    # Unreachable blocks were skipped entirely by the phi checker; a
+    # structurally broken phi there must still be rejected (printing,
+    # cloning and the analyses all walk unreachable blocks too).
+    func = Function("f", [("a", INT64)], INT64)
+    b = IRBuilder(func)
+    b.set_block(func.add_block("entry"))
+    b.ret(func.args[0])
+    limbo = func.add_block("limbo")
+    bad_phi = Instruction(
+        Opcode.PHI, INT64, [Constant(INT64, 1)], name="ghost"
+    )
+    limbo.append(bad_phi)  # one value, zero incoming blocks
+    limbo.append(Instruction(Opcode.RET, VOID, [bad_phi]))
+    with pytest.raises(IRVerificationError, match="incoming blocks"):
+        verify_function(func)
+
+
+def test_unreachable_block_duplicate_pred_rejected(counted_loop_module):
+    func = counted_loop_module.function("triangle")
+    entry = func.block("entry")
+    limbo = func.add_block("limbo")
+    ghost = Instruction(
+        Opcode.PHI, INT64,
+        [Constant(INT64, 1), Constant(INT64, 2)],
+        name="ghost", block_targets=[entry, entry],
+    )
+    limbo.append(ghost)
+    limbo.append(Instruction(Opcode.RET, VOID, [ghost]))
+    with pytest.raises(IRVerificationError, match="more than once"):
+        verify_function(func)
+
+
 def test_ret_type_mismatch_rejected():
     func = Function("f", [("a", INT64)], INT64)
     b = IRBuilder(func)

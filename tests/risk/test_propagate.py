@@ -2,7 +2,7 @@
 
 
 from repro.core.risk import (
-    rate_blocks, rate_function, rate_module, rate_sccs,
+    rate_blocks, rate_function, rate_module, rate_sccs, rate_segment,
 )
 from repro.ir.builder import IRBuilder
 from repro.ir.function import Function
@@ -143,3 +143,72 @@ class TestModuleRating:
         fp_heavy = ratings["fmul_chain"].rating
         int_prog = ratings["gcd"].rating
         assert fp_heavy > int_prog  # FP chains carry more worst-case error
+
+
+class TestEdgeCases:
+    def test_single_block_function(self):
+        module = Module("m")
+        func = Function("f", [("a", INT64)], INT64)
+        module.add_function(func)
+        b = IRBuilder(func)
+        b.set_block(func.add_block("entry"))
+        b.ret(b.mul(func.args[0], func.args[0]))
+
+        seg = rate_function(func, module)
+        assert seg.rating == 128
+        assert seg.block_names == ("entry",)
+
+        per_block = rate_blocks(func, module)
+        assert len(per_block) == 1
+        assert per_block[0].rating == seg.rating
+
+        sccs = rate_sccs(func, module)
+        assert len(sccs) == 1
+        assert sccs[0].rating == seg.rating
+
+    def test_constant_return_rates_zero(self):
+        module = Module("m")
+        func = Function("f", [], INT64)
+        module.add_function(func)
+        b = IRBuilder(func)
+        b.set_block(func.add_block("entry"))
+        b.ret(b.i64(42))
+        assert rate_function(func, module).rating == 0
+
+    def test_unreachable_block_function(self):
+        # reverse_postorder appends unreachable blocks after the reachable
+        # region, so their values still get rated rather than crashing
+        # the single-visit sweep.
+        module = Module("m")
+        func = Function("f", [("a", INT64)], INT64)
+        module.add_function(func)
+        b = IRBuilder(func)
+        b.set_block(func.add_block("entry"))
+        b.ret(b.add(func.args[0], b.i64(1)))
+        b.set_block(func.add_block("limbo"))
+        dead = b.mul(func.args[0], func.args[0], name="deadmul")
+        b.ret(dead)
+
+        seg = rate_function(func, module)
+        assert "deadmul" in seg.value_ratings
+        assert seg.value_ratings["deadmul"] == 128
+        # The unreachable ret still counts as a segment output.
+        assert seg.rating == 128
+
+        per_block = rate_blocks(func, module)
+        by_label = {s.label: s for s in per_block}
+        assert "@f:^limbo" in by_label
+        assert by_label["@f:^limbo"].rating == 128
+
+    def test_unreachable_only_segment(self):
+        module = Module("m")
+        func = Function("f", [("a", INT64)], INT64)
+        module.add_function(func)
+        b = IRBuilder(func)
+        b.set_block(func.add_block("entry"))
+        b.ret(func.args[0])
+        limbo = func.add_block("limbo")
+        b.set_block(limbo)
+        b.ret(b.mul(func.args[0], func.args[0]))
+        seg = rate_segment(func, [limbo], "limbo-only", module)
+        assert seg.rating == 128

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Fleet monitoring: one shared detector supervising sixteen boards.
+
+A constellation operator doesn't run one flight computer — it runs a
+fleet.  This example trains a single residual-CUSUM detector on clean
+telemetry, then multiplexes sixteen simulated boards through it with
+``SelFleetService``: per-board alarm persistence, per-board power-cycle
+escalation, and quarantine for boards whose current sensor drops out.
+One board suffers a 5 mA latch-up mid-run; one board loses its sensor
+for half a minute.
+
+Run:  python examples/fleet_monitoring.py
+"""
+
+from repro.core.sel import (
+    FleetMember, SelFleetService, SelTrialConfig,
+    train_detector_on_clean_trace,
+)
+from repro.detect import FleetConfig, ResidualCusumDetector
+from repro.faults.sel import LatchupEvent
+from repro.hw.board import Board
+from repro.hw.specs import RASPBERRY_PI_4
+from repro.obs import FleetDecision, InMemorySink, MetricsSink, Tracer
+from repro.obs.report import render_fleet
+from repro.workloads.stress import cpu_memory_stress_schedule
+
+N_BOARDS = 16
+LATCHED, DROPPED = 7, 12
+
+
+def main() -> None:
+    print("training the shared detector on 2 min of clean telemetry...")
+    detector = train_detector_on_clean_trace(
+        ResidualCusumDetector(h_sigma=40.0),
+        SelTrialConfig(train_duration_s=120.0),
+        seed=11,
+    )
+
+    members = [
+        FleetMember(
+            board_id=f"board-{b:02d}",
+            board=Board(spec=RASPBERRY_PI_4, seed=200 + b),
+            schedule=cpu_memory_stress_schedule(RASPBERRY_PI_4.n_cores),
+        )
+        for b in range(N_BOARDS)
+    ]
+    members[LATCHED].board.inject_latchup(
+        LatchupEvent(onset_s=40.0, delta_current_a=0.005)
+    )
+    members[DROPPED].board.sensor.fail_between(60.0, 90.0)
+
+    sink, metrics = InMemorySink(), MetricsSink()
+    service = SelFleetService(
+        detector, members, FleetConfig(),
+        tracer=Tracer(sink, metrics), metrics=metrics.registry,
+    )
+    print(f"running {N_BOARDS} boards for 3 min at 10 Hz "
+          f"(latch-up on board-{LATCHED:02d}, "
+          f"sensor dropout on board-{DROPPED:02d})...\n")
+    service.run(duration_s=180.0, rate_hz=10.0)
+
+    decisions = [e for e in sink.events if isinstance(e, FleetDecision)]
+    print(render_fleet(decisions))
+    snap = metrics.registry.snapshot()
+    lat = snap["histograms"]["fleet.score_latency_s"]
+    # The latency values themselves are wall-clock (vary run to run);
+    # the deterministic counters show the metrics wiring end to end.
+    print(f"\nscoring latency histogram: {lat['count']} ticks recorded; "
+          f"{snap['counters']['fleet.samples_scored']} samples scored, "
+          f"{snap['counters']['fleet.alarms']} alarm decisions")
+    for member in members:
+        if member.board.power_cycles:
+            print(f"power-cycled: {member.board_id} "
+                  f"(destroyed={member.board.destroyed})")
+    print(
+        "\nOne shared fitted detector scores the whole fleet per tick"
+        "\n(bitwise identical to per-board daemons); only the latched"
+        "\nboard reboots, and the dropped-out board is quarantined"
+        "\ninstead of raising false alarms on NaN readings."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -26,7 +26,7 @@ from repro.core.dmr import ProtectedProgram, ProtectionLevel, instrument_module
 from repro.core.quantize import QuantizedProgram, instrument_quantized
 from repro.core.risk import rate_function, rate_blocks, rate_sccs, rate_module
 from repro.core.sel import (
-    SelDaemon, DaemonConfig, SelTrialConfig,
+    SelDaemon, DaemonConfig, SelTrialConfig, SelFleetService, FleetMember,
     run_detection_trial, train_detector_on_clean_trace,
 )
 from repro.core.scrubber import (
@@ -62,6 +62,7 @@ __all__ = [
     "QuantizedProgram", "instrument_quantized",
     "rate_function", "rate_blocks", "rate_sccs", "rate_module",
     "SelDaemon", "DaemonConfig", "SelTrialConfig",
+    "SelFleetService", "FleetMember",
     "run_detection_trial", "train_detector_on_clean_trace",
     "ScrubSimConfig", "run_scrub_simulation", "KernelScrubModule",
     # workloads / faults

@@ -16,8 +16,14 @@ from repro.core.sel.experiment import (
     run_detection_trial,
     train_detector_on_clean_trace,
 )
+from repro.core.sel.fleet import (
+    FleetMember,
+    FleetTickResult,
+    SelFleetService,
+)
 
 __all__ = [
     "Featurizer", "SelDaemon", "DaemonConfig", "PowerCycleController",
     "SelTrialConfig", "run_detection_trial", "train_detector_on_clean_trace",
+    "FleetMember", "FleetTickResult", "SelFleetService",
 ]

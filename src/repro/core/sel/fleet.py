@@ -1,0 +1,194 @@
+"""Fleet-scale SEL detection service.
+
+One ground-side (or bus-controller-side) service watches a *fleet* of
+commodity boards — a CubeSat constellation, or the many compute nodes of
+one large spacecraft — instead of running one scoring daemon per board.
+Per tick it samples every board, featurizes the rows, scores them in one
+batched pass through a shared fitted detector
+(:class:`repro.detect.FleetScorer`), and routes each board's alarms into
+that board's own power-cycle controller.  Boards whose current sensor
+drops out are quarantined instead of alarming the whole fleet.
+
+Every tick emits one :class:`repro.obs.events.FleetDecision`, so the
+board-level outcome (who power-cycled, when) is reconstructible from the
+trace alone — ``repro.obs.report.fleet_outcome`` is the replay.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.sel.featurizer import Featurizer
+from repro.core.sel.policy import PowerCycleController
+from repro.detect.base import AnomalyDetector
+from repro.detect.fleet import FleetConfig, FleetScorer, FleetStep
+from repro.errors import ConfigError, DeviceDestroyed
+from repro.hw.board import Board
+from repro.obs.events import FleetDecision, Tracer
+from repro.obs.metrics import MetricsRegistry
+from repro.telemetry.sampler import sample_fleet_tick
+from repro.workloads.stress import StressSchedule
+
+
+@dataclass
+class FleetMember:
+    """One board under fleet supervision.
+
+    Attributes:
+        board_id: unique id within the fleet.
+        board: the simulated hardware.
+        schedule: the workload it runs.
+        controller: its power-cycle policy (per board, so one board's
+            cooldown never blocks another board's reboot).
+        dead: set when the board is destroyed (sampling stops).
+    """
+
+    board_id: str
+    board: Board
+    schedule: StressSchedule
+    controller: PowerCycleController = None  # type: ignore[assignment]
+    dead: bool = False
+
+    def __post_init__(self) -> None:
+        if self.controller is None:
+            self.controller = PowerCycleController(board=self.board)
+
+
+@dataclass
+class FleetTickResult:
+    """What happened during one service tick.
+
+    Attributes:
+        step: the raw scorer output.
+        rebooted: ids of boards power-cycled this tick.
+        dead: ids of boards found destroyed this tick.
+    """
+
+    step: FleetStep
+    rebooted: list[str] = field(default_factory=list)
+    dead: list[str] = field(default_factory=list)
+
+
+class SelFleetService:
+    """Batched SEL detection across a fleet of boards.
+
+    Attributes:
+        members: supervised boards, index-aligned with scorer rows.
+        scorer: the shared batched scorer.
+        metrics: optional registry; scoring latency lands in the
+            ``fleet.score_latency_s`` histogram (wall-clock measurement
+            stays out of the event trace, which is clock-free).
+    """
+
+    def __init__(
+        self,
+        detector: AnomalyDetector,
+        members: list[FleetMember],
+        config: FleetConfig = FleetConfig(),
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if not members:
+            raise ConfigError("fleet service needs at least one member")
+        n_cores = members[0].board.spec.n_cores
+        if any(m.board.spec.n_cores != n_cores for m in members):
+            raise ConfigError("fleet members must share a core count")
+        self.members = members
+        self.featurizer = Featurizer(n_cores=n_cores)
+        self.scorer = FleetScorer(
+            detector, [m.board_id for m in members], config
+        )
+        self.tracer = tracer
+        self.metrics = metrics
+
+    @property
+    def board_ids(self) -> list[str]:
+        return [m.board_id for m in self.members]
+
+    def member(self, board_id: str) -> FleetMember:
+        for member in self.members:
+            if member.board_id == board_id:
+                return member
+        raise ConfigError(f"unknown board id {board_id!r}")
+
+    def _sample_rows(self, t: float) -> tuple[np.ndarray, list[str]]:
+        """One featurized row per board; destroyed boards go NaN."""
+        rows = np.full(
+            (len(self.members), self.featurizer.n_columns), np.nan
+        )
+        newly_dead: list[str] = []
+        for i, member in enumerate(self.members):
+            if member.dead:
+                continue
+            try:
+                samples = sample_fleet_tick(
+                    [member.board], [member.schedule], t
+                )
+            except DeviceDestroyed:
+                member.dead = True
+                newly_dead.append(member.board_id)
+                continue
+            rows[i] = self.featurizer.row(samples[0])
+        return rows, newly_dead
+
+    def tick(self, t: float) -> FleetTickResult:
+        """Sample, score and respond for the whole fleet at time ``t``."""
+        rows, newly_dead = self._sample_rows(t)
+        started = time.perf_counter()
+        step = self.scorer.step(t, rows)
+        elapsed = time.perf_counter() - started
+        if self.metrics is not None:
+            self.metrics.histogram("fleet.score_latency_s").record(elapsed)
+        rebooted: list[str] = []
+        for index in step.alarms:
+            member = self.members[index]
+            if member.controller.on_alarm(t):
+                rebooted.append(member.board_id)
+        if self.tracer is not None:
+            finite = step.scores[np.isfinite(step.scores)]
+            self.tracer.emit(
+                FleetDecision(
+                    t=t,
+                    n_boards=len(self.members),
+                    n_scored=step.n_scored,
+                    n_anomalous=int(step.anomalous.sum()),
+                    alarms=",".join(
+                        self.members[i].board_id for i in step.alarms
+                    ),
+                    quarantined=",".join(
+                        self.members[i].board_id for i in step.quarantined
+                    ),
+                    released=",".join(
+                        self.members[i].board_id for i in step.released
+                    ),
+                    max_score=float(finite.max()) if len(finite) else 0.0,
+                    warming_up=step.warming_up,
+                )
+            )
+        return FleetTickResult(step=step, rebooted=rebooted, dead=newly_dead)
+
+    def run(
+        self,
+        duration_s: float,
+        rate_hz: float = 10.0,
+        t_start: float = 0.0,
+    ) -> list[FleetTickResult]:
+        """Tick the fleet at ``rate_hz`` for ``duration_s`` seconds."""
+        if rate_hz <= 0 or duration_s <= 0:
+            raise ConfigError("duration and rate must be positive")
+        results = []
+        for i in range(int(duration_s * rate_hz)):
+            results.append(self.tick(t_start + i / rate_hz))
+        return results
+
+    def alarm_times(self) -> dict[str, list[float]]:
+        """Per-board alarm times (the live counterpart of the trace
+        replay in :func:`repro.obs.report.fleet_outcome`)."""
+        return {
+            state.board_id: list(state.alarms)
+            for state in self.scorer.boards
+            if state.alarms
+        }

@@ -9,6 +9,11 @@ Two families:
   residual model of expected current, and an elliptic envelope (robust
   Mahalanobis gate over a FAST-MCD covariance estimate, implemented from
   scratch; the paper cites sklearn's EllipticEnvelope).
+
+Fleet-scale operation layers on top: :class:`OnlineRefit` keeps a fitted
+detector fresh against slow drift, :class:`EnsembleDetector` votes several
+detectors into one score, and :class:`FleetScorer` multiplexes N boards
+through one shared fitted detector via the ``step_streams`` fast path.
 """
 
 from repro.detect.base import AnomalyDetector, FittedState
@@ -23,6 +28,11 @@ from repro.detect.rescusum import ResidualCusumDetector
 from repro.detect.evaluate import (
     roc_curve, roc_auc, DetectionTrial, detection_latency,
 )
+from repro.detect.online import OnlineRefit
+from repro.detect.fleet import (
+    EnsembleDetector, FleetConfig, FleetScorer, FleetStep,
+    BoardScoringState, auc_weights,
+)
 
 __all__ = [
     "AnomalyDetector", "FittedState",
@@ -31,4 +41,7 @@ __all__ = [
     "EllipticEnvelopeDetector", "EwmaDetector", "CusumDetector",
     "ResidualCusumDetector",
     "roc_curve", "roc_auc", "DetectionTrial", "detection_latency",
+    "OnlineRefit",
+    "EnsembleDetector", "FleetConfig", "FleetScorer", "FleetStep",
+    "BoardScoringState", "auc_weights",
 ]

@@ -41,12 +41,34 @@ class CusumDetector(AnomalyDetector):
         self.reset()
 
     def _score(self, rows: np.ndarray) -> np.ndarray:
+        # Standardization is vectorized; the clipped accumulation is the
+        # only sequential part (and must stay a scalar loop to keep the
+        # bitwise batch-equals-per-sample contract).
+        zs = (rows[:, -1] - self._mean) / self._sigma
         scores = np.empty(len(rows))
-        for i, row in enumerate(rows):
-            z = (row[-1] - self._mean) / self._sigma
-            self._s = max(0.0, self._s + z - self.k_sigma)
-            scores[i] = self._s
+        s = self._s
+        k = self.k_sigma
+        for i, z in enumerate(zs.tolist()):
+            s = max(0.0, s + z - k)
+            scores[i] = s
+        self._s = s
         return scores
+
+    def score_batch(self, rows: np.ndarray) -> np.ndarray:
+        """Sequential recursion with vectorized per-row preparation."""
+        return self.score(rows)
+
+    def make_stream_state(self, n_streams: int) -> np.ndarray:
+        """One CUSUM accumulator per stream (board)."""
+        return np.zeros(n_streams)
+
+    def step_streams(self, rows, state):
+        """Advance every stream's CUSUM by one sample, elementwise."""
+        self._require_fitted()
+        rows = np.atleast_2d(np.asarray(rows, dtype=float))
+        zs = (rows[:, -1] - self._mean) / self._sigma
+        state = np.maximum(0.0, state + zs - self.k_sigma)
+        return state.copy(), state
 
     @property
     def threshold(self) -> float:

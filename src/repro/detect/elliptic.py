@@ -78,6 +78,15 @@ class EllipticEnvelopeDetector(AnomalyDetector):
         assert self._mcd is not None
         return self._mcd.mahalanobis_sq(rows)
 
+    def score_batch(self, rows: np.ndarray) -> np.ndarray:
+        """Vectorized: one batched Mahalanobis pass for all rows.
+
+        The fixed-order column reduction in ``McdResult.mahalanobis_sq``
+        is batch-size invariant, so batched scores are bitwise equal to
+        per-sample scoring.
+        """
+        return self.score(rows)
+
     @property
     def threshold(self) -> float:
         return self._threshold

@@ -12,10 +12,15 @@ from repro.errors import ConfigError
 def roc_curve(
     scores: np.ndarray, labels: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """(fpr, tpr, thresholds) over all score cutoffs.
+    """(fpr, tpr, thresholds) over all distinct score cutoffs.
 
     ``labels`` are 1 for anomalous samples.  Thresholds descend; a sample
-    is flagged when its score strictly exceeds the threshold.
+    is flagged when its score strictly exceeds the threshold.  Tied
+    scores share one operating point (the whole tie group enters the
+    confusion matrix together): no threshold can split a tie, so walking
+    the curve through per-sample points inside a tie group fabricates
+    unreachable operating points — and biases the AUC of tied scores
+    away from the Mann-Whitney value.
     """
     scores = np.asarray(scores, dtype=float)
     labels = np.asarray(labels, dtype=int)
@@ -26,12 +31,16 @@ def roc_curve(
     if n_pos == 0 or n_neg == 0:
         raise ConfigError("need both positive and negative samples")
     order = np.argsort(-scores, kind="stable")
+    sorted_scores = scores[order]
     sorted_labels = labels[order]
     tp = np.cumsum(sorted_labels)
     fp = np.cumsum(1 - sorted_labels)
-    tpr = np.concatenate([[0.0], tp / n_pos])
-    fpr = np.concatenate([[0.0], fp / n_neg])
-    thresholds = np.concatenate([[np.inf], scores[order]])
+    last = np.concatenate(
+        [np.nonzero(np.diff(sorted_scores))[0], [len(sorted_scores) - 1]]
+    )
+    tpr = np.concatenate([[0.0], tp[last] / n_pos])
+    fpr = np.concatenate([[0.0], fp[last] / n_neg])
+    thresholds = np.concatenate([[np.inf], sorted_scores[last]])
     return fpr, tpr, thresholds
 
 

@@ -40,15 +40,41 @@ class EwmaDetector(AnomalyDetector):
         self._sigma = float(max(current.std(), 1e-9))
         self.reset()
 
-    def _score(self, rows: np.ndarray) -> np.ndarray:
+    def _ewma_sigma(self) -> float:
         # Steady-state EWMA std of iid input is sigma * sqrt(a / (2 - a)).
-        ewma_sigma = self._sigma * np.sqrt(self.alpha / (2.0 - self.alpha))
+        return self._sigma * np.sqrt(self.alpha / (2.0 - self.alpha))
+
+    def _score(self, rows: np.ndarray) -> np.ndarray:
+        # Deviations are computed in one vectorized pass; only the EWMA
+        # recursion itself runs as a scalar loop (it is inherently
+        # sequential, and reassociating it would break the bitwise
+        # batch-equals-per-sample contract).
+        ewma_sigma = self._ewma_sigma()
+        deviations = rows[:, -1] - self._mean
         scores = np.empty(len(rows))
-        for i, row in enumerate(rows):
-            deviation = row[-1] - self._mean
-            self._ewma = self.alpha * deviation + (1 - self.alpha) * self._ewma
-            scores[i] = abs(self._ewma) / ewma_sigma
+        ewma = self._ewma
+        alpha = self.alpha
+        for i, deviation in enumerate(deviations.tolist()):
+            ewma = alpha * deviation + (1 - alpha) * ewma
+            scores[i] = abs(ewma) / ewma_sigma
+        self._ewma = ewma
         return scores
+
+    def score_batch(self, rows: np.ndarray) -> np.ndarray:
+        """Sequential recursion with vectorized per-row preparation."""
+        return self.score(rows)
+
+    def make_stream_state(self, n_streams: int) -> np.ndarray:
+        """One EWMA accumulator per stream (board)."""
+        return np.zeros(n_streams)
+
+    def step_streams(self, rows, state):
+        """Advance every stream's EWMA by one sample, elementwise."""
+        self._require_fitted()
+        rows = np.atleast_2d(np.asarray(rows, dtype=float))
+        deviations = rows[:, -1] - self._mean
+        state = self.alpha * deviations + (1 - self.alpha) * state
+        return np.abs(state) / self._ewma_sigma(), state
 
     @property
     def threshold(self) -> float:

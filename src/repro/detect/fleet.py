@@ -1,0 +1,415 @@
+"""Fleet-scale scoring: ensemble voting and multi-board multiplexing.
+
+One ground-side service scores telemetry from a *fleet* of boards, not
+one daemon per board.  Two pieces:
+
+- :class:`EnsembleDetector` combines several detectors behind the
+  standard :class:`~repro.detect.base.AnomalyDetector` interface.  Member
+  scores live on wildly different scales (amperes above a ceiling,
+  sigmas, chi-square distances), so each member is normalized against its
+  own clean-score distribution such that its calibrated threshold maps to
+  1.0; votes are then combined **weighted** (weighted mean of normalized
+  scores, alarm above 1.0) or by **majority** (weighted fraction of
+  members past their own threshold, alarm above 0.5).
+- :class:`FleetScorer` multiplexes N boards through one shared fitted
+  detector using the batched ``step_streams`` fast path, with per-board
+  alarm persistence and per-board **quarantine** on sensor dropout
+  (non-finite telemetry rows) so one failed sensor degrades one board's
+  coverage instead of raising a fleet-wide alarm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.detect.base import AnomalyDetector, FittedState
+from repro.detect.evaluate import roc_auc
+from repro.errors import ConfigError, DetectorError
+
+#: Recognized ensemble voting modes.
+VOTE_MODES = ("weighted", "majority")
+
+
+def _reset_if_stateful(detector: AnomalyDetector) -> None:
+    reset = getattr(detector, "reset", None)
+    if callable(reset):
+        reset()
+
+
+class EnsembleDetector(AnomalyDetector):
+    """Votes several detectors into one anomaly score.
+
+    Attributes:
+        members: the member detectors (share training rows).
+        vote: "weighted" or "majority".
+        weights: per-member weights (normalized to sum to 1).
+    """
+
+    def __init__(
+        self,
+        members: list[AnomalyDetector],
+        vote: str = "weighted",
+        weights: list[float] | None = None,
+    ) -> None:
+        super().__init__()
+        if not members:
+            raise ConfigError("ensemble needs at least one member")
+        if vote not in VOTE_MODES:
+            raise ConfigError(f"unknown vote mode {vote!r}")
+        if weights is None:
+            weights = [1.0] * len(members)
+        if len(weights) != len(members):
+            raise ConfigError("one weight per member required")
+        if any(w < 0 for w in weights) or sum(weights) <= 0:
+            raise ConfigError("weights must be non-negative with positive sum")
+        total = float(sum(weights))
+        self.members = list(members)
+        self.vote = vote
+        self.weights = [w / total for w in weights]
+        self._centers = [0.0] * len(members)
+        self._scales = [1.0] * len(members)
+
+    @classmethod
+    def from_fitted(
+        cls,
+        members: list[AnomalyDetector],
+        clean_rows: np.ndarray,
+        vote: str = "weighted",
+        weights: list[float] | None = None,
+    ) -> "EnsembleDetector":
+        """Wrap already-fitted members; calibrates normalization only."""
+        ensemble = cls(members, vote=vote, weights=weights)
+        for member in members:
+            if member.state is not FittedState.FITTED:
+                raise DetectorError("from_fitted requires fitted members")
+        ensemble._calibrate(
+            np.atleast_2d(np.asarray(clean_rows, dtype=float))
+        )
+        ensemble.state = FittedState.FITTED
+        return ensemble
+
+    def _calibrate(self, rows: np.ndarray) -> None:
+        """Per-member normalization: clean median -> 0, threshold -> 1."""
+        for i, member in enumerate(self.members):
+            scores = member.score_batch(rows)
+            _reset_if_stateful(member)
+            center = float(np.median(scores))
+            span = member.threshold - center
+            if span <= 0:
+                # Threshold at/below the clean median (degenerate member):
+                # fall back to a robust scale so scores stay finite.
+                mad = float(np.median(np.abs(scores - center)))
+                span = max(mad * 1.4826, 1e-9)
+            self._centers[i] = center
+            self._scales[i] = span
+
+    def _fit(self, rows: np.ndarray) -> None:
+        for member in self.members:
+            member.fit(rows)
+        self._calibrate(rows)
+
+    def _normalized(self, index: int, raw: np.ndarray) -> np.ndarray:
+        return (raw - self._centers[index]) / self._scales[index]
+
+    def _combine(self, member_scores: list[np.ndarray]) -> np.ndarray:
+        combined = np.zeros_like(member_scores[0], dtype=float)
+        for i, raw in enumerate(member_scores):
+            normalized = self._normalized(i, raw)
+            if self.vote == "majority":
+                combined += self.weights[i] * (normalized > 1.0)
+            else:
+                combined += self.weights[i] * normalized
+        return combined
+
+    def _score(self, rows: np.ndarray) -> np.ndarray:
+        return self._combine([m.score(rows) for m in self.members])
+
+    def score_batch(self, rows: np.ndarray) -> np.ndarray:
+        """Vectorized: every member's batched fast path, combined once."""
+        self._require_fitted()
+        rows = np.atleast_2d(np.asarray(rows, dtype=float))
+        if rows.size == 0:
+            return np.empty(0)
+        return self._combine([m.score_batch(rows) for m in self.members])
+
+    @property
+    def threshold(self) -> float:
+        return 0.5 if self.vote == "majority" else 1.0
+
+    def reset(self) -> None:
+        """Reset every stateful member (start of a new trace)."""
+        for member in self.members:
+            _reset_if_stateful(member)
+
+    def make_stream_state(self, n_streams: int) -> list:
+        """Per-member stream states (stateless members contribute None)."""
+        return [m.make_stream_state(n_streams) for m in self.members]
+
+    def step_streams(self, rows, state):
+        """Advance every member on every stream; combine the votes."""
+        self._require_fitted()
+        rows = np.atleast_2d(np.asarray(rows, dtype=float))
+        member_scores = []
+        new_state = []
+        for member, member_state in zip(self.members, state):
+            scores, member_state = member.step_streams(rows, member_state)
+            member_scores.append(scores)
+            new_state.append(member_state)
+        return self._combine(member_scores), new_state
+
+
+def auc_weights(
+    members: list[AnomalyDetector],
+    clean_rows: np.ndarray,
+    anomalous_rows: np.ndarray,
+    sharpness: float = 4.0,
+) -> list[float]:
+    """Validation-calibrated ensemble weights from per-member ROC-AUC.
+
+    Scores each *fitted* member on labeled validation rows and weights it
+    by ``max(auc - 0.5, 0) ** sharpness``: members near chance contribute
+    nothing, and a clearly dominant member dominates the vote — which is
+    what lets the ensemble match its best member when the others only add
+    noise.  Falls back to equal weights when every member is at chance.
+    """
+    clean_rows = np.atleast_2d(np.asarray(clean_rows, dtype=float))
+    anomalous_rows = np.atleast_2d(np.asarray(anomalous_rows, dtype=float))
+    rows = np.vstack([clean_rows, anomalous_rows])
+    labels = np.concatenate(
+        [np.zeros(len(clean_rows), int), np.ones(len(anomalous_rows), int)]
+    )
+    weights = []
+    for member in members:
+        _reset_if_stateful(member)
+        scores = member.score_batch(rows)
+        _reset_if_stateful(member)
+        weights.append(max(roc_auc(scores, labels) - 0.5, 0.0) ** sharpness)
+    if sum(weights) <= 0:
+        return [1.0] * len(members)
+    return weights
+
+
+# -- fleet multiplexing --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Fleet scoring policy.
+
+    Attributes:
+        consecutive_hits: anomalous samples required before a board alarms
+            (same spike filter as the single-board daemon).
+        warmup_s: time before any board may be scored.
+        quarantine_after: consecutive non-finite rows before a board is
+            quarantined (scored no more, alarms suppressed).
+        release_after: consecutive finite rows before a quarantined board
+            rejoins scoring.
+    """
+
+    consecutive_hits: int = 8
+    warmup_s: float = 5.0
+    quarantine_after: int = 3
+    release_after: int = 50
+
+    def __post_init__(self) -> None:
+        if self.consecutive_hits < 1:
+            raise ConfigError("consecutive_hits must be >= 1")
+        if self.quarantine_after < 1 or self.release_after < 1:
+            raise ConfigError("quarantine streaks must be >= 1")
+
+
+@dataclass
+class BoardScoringState:
+    """Per-board alarm/quarantine bookkeeping inside the fleet scorer."""
+
+    board_id: str
+    hits: int = 0
+    quarantined: bool = False
+    bad_streak: int = 0
+    good_streak: int = 0
+    alarms: list[float] = field(default_factory=list)
+    samples_scored: int = 0
+    samples_dropped: int = 0
+
+
+@dataclass
+class FleetStep:
+    """Result of scoring one fleet tick.
+
+    Attributes:
+        t: tick time.
+        scores: per-board scores (NaN for unscored boards).
+        anomalous: per-board anomaly flags.
+        alarms: indices of boards whose alarm fired this tick.
+        quarantined: indices newly quarantined this tick.
+        released: indices released from quarantine this tick.
+        warming_up: whether the fleet is still inside warmup.
+    """
+
+    t: float
+    scores: np.ndarray
+    anomalous: np.ndarray
+    alarms: list[int]
+    quarantined: list[int]
+    released: list[int]
+    warming_up: bool = False
+
+    @property
+    def n_scored(self) -> int:
+        return int(np.isfinite(self.scores).sum())
+
+
+def _state_select(state, idx: np.ndarray):
+    if state is None:
+        return None
+    if isinstance(state, np.ndarray):
+        return state[idx]
+    return [_state_select(s, idx) for s in state]
+
+
+def _state_assign(state, idx: np.ndarray, sub) -> None:
+    if state is None:
+        return
+    if isinstance(state, np.ndarray):
+        state[idx] = sub
+        return
+    for child, new_child in zip(state, sub):
+        _state_assign(child, idx, new_child)
+
+
+class FleetScorer:
+    """Scores N telemetry streams through one shared fitted detector.
+
+    Each board keeps its own alarm persistence counter, quarantine state
+    and (for sequential detectors) scoring state, but the trained model —
+    coefficients, covariance, thresholds — is shared, so a fleet costs
+    one fitted detector plus O(n_boards) scalars.  Every board evolves
+    exactly as it would under a dedicated single-board daemon; the fleet
+    pipeline test pins that equivalence down.
+
+    Attributes:
+        detector: shared fitted detector.
+        boards: per-board bookkeeping, index-aligned with score rows.
+    """
+
+    def __init__(
+        self,
+        detector: AnomalyDetector,
+        board_ids: list[str],
+        config: FleetConfig = FleetConfig(),
+    ) -> None:
+        if detector.state is not FittedState.FITTED:
+            raise DetectorError("fleet scorer needs a fitted detector")
+        if not board_ids:
+            raise ConfigError("fleet needs at least one board")
+        if len(set(board_ids)) != len(board_ids):
+            raise ConfigError("board ids must be unique")
+        self.detector = detector
+        self.config = config
+        self.boards = [BoardScoringState(board_id=b) for b in board_ids]
+        self._stream_state = detector.make_stream_state(len(board_ids))
+        self._start_t: float | None = None
+
+    @property
+    def n_boards(self) -> int:
+        return len(self.boards)
+
+    def board(self, board_id: str) -> BoardScoringState:
+        for state in self.boards:
+            if state.board_id == board_id:
+                return state
+        raise ConfigError(f"unknown board id {board_id!r}")
+
+    def _update_quarantine(
+        self, finite: np.ndarray
+    ) -> tuple[list[int], list[int]]:
+        newly_quarantined: list[int] = []
+        released: list[int] = []
+        config = self.config
+        for i, board in enumerate(self.boards):
+            if not finite[i]:
+                board.bad_streak += 1
+                board.good_streak = 0
+                board.hits = 0
+                board.samples_dropped += 1
+                if (
+                    not board.quarantined
+                    and board.bad_streak >= config.quarantine_after
+                ):
+                    board.quarantined = True
+                    newly_quarantined.append(i)
+            else:
+                board.bad_streak = 0
+                board.good_streak += 1
+                if (
+                    board.quarantined
+                    and board.good_streak >= config.release_after
+                ):
+                    board.quarantined = False
+                    released.append(i)
+        return newly_quarantined, released
+
+    def step(self, t: float, rows: np.ndarray) -> FleetStep:
+        """Score one row per board at time ``t``.
+
+        ``rows`` is an (n_boards, d) matrix; a row with any non-finite
+        entry counts as a sensor dropout for that board.
+        """
+        rows = np.atleast_2d(np.asarray(rows, dtype=float))
+        if rows.shape[0] != self.n_boards:
+            raise ConfigError(
+                f"expected {self.n_boards} rows, got {rows.shape[0]}"
+            )
+        if self._start_t is None:
+            self._start_t = t
+        finite = np.isfinite(rows).all(axis=1)
+        newly_quarantined, released = self._update_quarantine(finite)
+        scores = np.full(self.n_boards, np.nan)
+        anomalous = np.zeros(self.n_boards, dtype=bool)
+        warming_up = (t - self._start_t) < self.config.warmup_s
+        alarms: list[int] = []
+        if not warming_up:
+            scoreable = finite & np.array(
+                [not b.quarantined for b in self.boards]
+            )
+            idx = np.nonzero(scoreable)[0]
+            if len(idx):
+                sub_state = _state_select(self._stream_state, idx)
+                sub_scores, sub_state = self.detector.step_streams(
+                    rows[idx], sub_state
+                )
+                _state_assign(self._stream_state, idx, sub_state)
+                scores[idx] = sub_scores
+                flags = sub_scores > self.detector.threshold
+                anomalous[idx] = flags
+                for pos, i in enumerate(idx.tolist()):
+                    board = self.boards[i]
+                    board.samples_scored += 1
+                    if flags[pos]:
+                        board.hits += 1
+                    else:
+                        board.hits = 0
+                    if board.hits >= self.config.consecutive_hits:
+                        board.alarms.append(t)
+                        board.hits = 0
+                        alarms.append(i)
+        return FleetStep(
+            t=t,
+            scores=scores,
+            anomalous=anomalous,
+            alarms=alarms,
+            quarantined=newly_quarantined,
+            released=released,
+            warming_up=warming_up,
+        )
+
+    def reset(self) -> None:
+        """Clear all per-board state (new trace); keeps the detector."""
+        self.boards = [
+            BoardScoringState(board_id=b.board_id) for b in self.boards
+        ]
+        self._stream_state = self.detector.make_stream_state(self.n_boards)
+        self._start_t = None
+        _reset_if_stateful(self.detector)

@@ -36,9 +36,22 @@ class McdResult:
     support: np.ndarray
 
     def mahalanobis_sq(self, rows: np.ndarray) -> np.ndarray:
-        """Squared Mahalanobis distance of each row."""
+        """Squared Mahalanobis distance of each row.
+
+        Computed with elementwise column operations in a fixed order, so
+        the result for any row is bitwise independent of how many rows
+        share the batch (einsum/BLAS pick batch-size-dependent reduction
+        strategies) — the property the batched scoring contract relies on.
+        """
         centered = np.atleast_2d(rows) - self.location
-        return np.einsum("ij,jk,ik->i", centered, self.precision, centered)
+        n, d = centered.shape
+        total = np.zeros(n)
+        for j in range(d):
+            inner = np.zeros(n)
+            for k in range(d):
+                inner += self.precision[j, k] * centered[:, k]
+            total += centered[:, j] * inner
+        return total
 
 
 def _c_step(

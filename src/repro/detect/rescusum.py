@@ -56,15 +56,43 @@ class ResidualCusumDetector(AnomalyDetector):
         self.reset()
 
     def _score(self, rows: np.ndarray) -> np.ndarray:
+        # Model prediction and standardization are vectorized; only the
+        # clipped accumulation runs sequentially (scalar loop, to keep
+        # the bitwise batch-equals-per-sample contract).
         expected = self._model.expected_current(rows)
         sigma = self._model.residual_sigma_a
+        zs = (rows[:, -1] - expected) / sigma
         scores = np.empty(len(rows))
-        for i, row in enumerate(rows):
-            z = (row[-1] - expected[i]) / sigma
-            z = min(z, self.clip_sigma)
-            self._s = max(0.0, self._s + z - self.k_sigma)
-            scores[i] = self._s
+        s = self._s
+        k, clip = self.k_sigma, self.clip_sigma
+        for i, z in enumerate(zs.tolist()):
+            z = min(z, clip)
+            s = max(0.0, s + z - k)
+            scores[i] = s
+        self._s = s
         return scores
+
+    def score_batch(self, rows: np.ndarray) -> np.ndarray:
+        """Sequential recursion with vectorized residual preparation."""
+        return self.score(rows)
+
+    def partial_fit(self, rows: np.ndarray, forgetting: float = 1.0) -> None:
+        """Warm-started update of the underlying linear current model."""
+        self._model.partial_fit(rows, forgetting=forgetting)
+
+    def make_stream_state(self, n_streams: int) -> np.ndarray:
+        """One CUSUM accumulator per stream (board)."""
+        return np.zeros(n_streams)
+
+    def step_streams(self, rows, state):
+        """Advance every stream's residual CUSUM by one sample."""
+        self._require_fitted()
+        rows = np.atleast_2d(np.asarray(rows, dtype=float))
+        expected = self._model.expected_current(rows)
+        zs = (rows[:, -1] - expected) / self._model.residual_sigma_a
+        zs = np.minimum(zs, self.clip_sigma)
+        state = np.maximum(0.0, state + zs - self.k_sigma)
+        return state.copy(), state
 
     @property
     def threshold(self) -> float:

@@ -191,5 +191,5 @@ class Board:
             mem_bandwidth=mem_bandwidth,
             cache_miss_rate=max(0.0, min(1.0, miss)),
             temperature_c=self.thermal.temperature_c,
-            current_a=self.sensor.read(true_current),
+            current_a=self.sensor.read(true_current, t=t),
         )

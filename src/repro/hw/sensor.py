@@ -39,9 +39,32 @@ class CurrentSensor:
         self.max_a = max_a
         self.sample_rate_hz = sample_rate_hz
         self.rng = make_rng(seed)
+        self._dropouts: list[tuple[float, float]] = []
 
-    def read(self, true_current_a: float) -> float:
-        """One sensor reading of ``true_current_a``."""
+    def fail_between(self, t_start: float, t_end: float) -> None:
+        """Schedule a dropout: reads in [t_start, t_end) return NaN.
+
+        Models an I2C bus hang or a rad-induced sensor upset — the chip
+        stops answering, the driver times out and reports no reading.
+        """
+        if t_end <= t_start:
+            raise ConfigError("dropout interval must have positive length")
+        self._dropouts.append((t_start, t_end))
+
+    def is_failed(self, t: float) -> bool:
+        """Whether a scheduled dropout covers time ``t``."""
+        return any(t0 <= t < t1 for t0, t1 in self._dropouts)
+
+    def read(self, true_current_a: float, t: float | None = None) -> float:
+        """One sensor reading of ``true_current_a``.
+
+        ``t`` gates scheduled dropouts; callers that never schedule any
+        can omit it.  The noise draw happens before the dropout check so
+        the RNG stream — and every reading outside the dropout — is
+        identical with and without a scheduled failure.
+        """
         noisy = true_current_a + float(self.rng.normal(0.0, self.noise_sigma_a))
+        if t is not None and self.is_failed(t):
+            return float("nan")
         clipped = min(max(noisy, 0.0), self.max_a)
         return round(clipped / self.lsb_a) * self.lsb_a

@@ -33,6 +33,7 @@ from repro.obs.events import (
     CheckpointTaken,
     DetectorDecision,
     Event,
+    FleetDecision,
     GoldenCacheLookup,
     InMemorySink,
     Injection,
@@ -64,6 +65,7 @@ __all__ = [
     "Counter",
     "DetectorDecision",
     "Event",
+    "FleetDecision",
     "FlightRecorder",
     "Gauge",
     "GoldenCacheLookup",

@@ -236,6 +236,43 @@ class DetectorDecision(Event):
 
 
 @dataclass(frozen=True)
+class FleetDecision(Event):
+    """One fleet scoring tick (all boards, one batched decision).
+
+    Board lists are comma-joined id strings ("" when empty) so the event
+    keeps JSON-scalar fields and stays groupable with cheap string ops.
+
+    Attributes:
+        t: simulated tick time.
+        n_boards: fleet size.
+        n_scored: boards actually scored this tick (finite telemetry,
+            not quarantined, past warmup).
+        n_anomalous: boards whose score exceeded the threshold.
+        alarms: ids of boards whose persistent alarm fired this tick.
+        quarantined: ids newly quarantined this tick.
+        released: ids released from quarantine this tick.
+        max_score: largest score among scored boards (0.0 if none).
+        warming_up: whether the fleet is still inside warmup.
+    """
+
+    kind: ClassVar[str] = "fleet-decision"
+
+    t: float
+    n_boards: int
+    n_scored: int
+    n_anomalous: int
+    alarms: str
+    quarantined: str
+    released: str
+    max_score: float
+    warming_up: bool = False
+
+    def alarm_ids(self) -> list[str]:
+        """Alarming board ids as a list (inverse of the comma join)."""
+        return self.alarms.split(",") if self.alarms else []
+
+
+@dataclass(frozen=True)
 class BlockTransition(Event):
     """The interpreter entered a basic block (hot; enable deliberately)."""
 

@@ -30,6 +30,7 @@ from repro.obs.events import (
     CheckpointTaken,
     DetectorDecision,
     Event,
+    FleetDecision,
     GoldenCacheLookup,
     LadderAttemptEvent,
     RecoveryDone,
@@ -180,7 +181,10 @@ class MetricsSink:
     - ``golden_cache.hits`` / ``golden_cache.misses``;
     - ``checkpoints.taken``, ``watchdog.fires``, ``interp.blocks``;
     - ``detector.samples`` / ``detector.alarms`` and the
-      ``detector.score`` histogram.
+      ``detector.score`` histogram;
+    - ``fleet.ticks`` / ``fleet.samples_scored`` / ``fleet.alarms`` /
+      ``fleet.quarantines`` / ``fleet.releases`` counters and the
+      ``fleet.max_score`` histogram (per-tick alarm rate evidence).
     """
 
     def __init__(self, registry: MetricsRegistry | None = None) -> None:
@@ -216,6 +220,20 @@ class MetricsSink:
             reg.histogram("detector.score").record(event.score)
             if event.alarm:
                 reg.counter("detector.alarms").inc()
+        elif isinstance(event, FleetDecision):
+            reg.counter("fleet.ticks").inc()
+            reg.counter("fleet.samples_scored").inc(event.n_scored)
+            reg.counter("fleet.alarms").inc(len(event.alarm_ids()))
+            if event.quarantined:
+                reg.counter("fleet.quarantines").inc(
+                    len(event.quarantined.split(","))
+                )
+            if event.released:
+                reg.counter("fleet.releases").inc(
+                    len(event.released.split(","))
+                )
+            if event.n_scored:
+                reg.histogram("fleet.max_score").record(event.max_score)
 
     def close(self) -> None:  # pragma: no cover - nothing to release
         pass

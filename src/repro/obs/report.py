@@ -32,6 +32,7 @@ from repro.obs.events import (
     CampaignStart,
     DetectorDecision,
     Event,
+    FleetDecision,
     GoldenCacheLookup,
     Injection,
     LadderAttemptEvent,
@@ -129,6 +130,7 @@ class TraceSummary:
 
     campaigns: list[CampaignSummary] = field(default_factory=list)
     detector_decisions: list[DetectorDecision] = field(default_factory=list)
+    fleet_decisions: list[FleetDecision] = field(default_factory=list)
     n_events: int = 0
 
 
@@ -204,6 +206,8 @@ def summarize(events: list[Event]) -> TraceSummary:
                 campaign.cache_misses += 1
         elif isinstance(event, DetectorDecision):
             summary.detector_decisions.append(event)
+        elif isinstance(event, FleetDecision):
+            summary.fleet_decisions.append(event)
         elif event.kind == "checkpoint":
             ensure_campaign().checkpoints += 1
         elif event.kind == "watchdog-fire":
@@ -368,6 +372,61 @@ def render_detector(decisions: list[DetectorDecision]) -> str:
     return "\n".join(lines)
 
 
+def fleet_outcome(events: list[Event]) -> dict[str, list[float]]:
+    """Replay a fleet decision stream into per-board alarm times.
+
+    The inverse of the fleet service's own bookkeeping: feed it the
+    traced :class:`FleetDecision` events and it reconstructs which board
+    alarmed when — the acceptance check asserts this replay agrees
+    exactly with the live ``FleetScorer`` board state.
+    """
+    alarms: dict[str, list[float]] = {}
+    for event in events:
+        if isinstance(event, FleetDecision):
+            for board_id in event.alarm_ids():
+                alarms.setdefault(board_id, []).append(event.t)
+    return alarms
+
+
+def render_fleet(decisions: list[FleetDecision]) -> str:
+    scored_ticks = [d for d in decisions if not d.warming_up]
+    alarms = fleet_outcome(list(decisions))
+    quarantined = sorted(
+        {b for d in decisions if d.quarantined for b in d.quarantined.split(",")}
+    )
+    n_boards = decisions[-1].n_boards if decisions else 0
+    lines = [
+        "-- fleet decisions",
+        f"  ticks: {len(decisions)} ({len(scored_ticks)} scored, "
+        f"{len(decisions) - len(scored_ticks)} in warmup) "
+        f"over {n_boards} boards",
+    ]
+    if alarms:
+        for board_id in sorted(alarms):
+            times = alarms[board_id]
+            head = ", ".join(f"{t:.2f}s" for t in times[:6])
+            lines.append(
+                f"  alarms {board_id}: {len(times)} at t={head}"
+                + ("..." if len(times) > 6 else "")
+            )
+    else:
+        lines.append("  alarms: none")
+    if quarantined:
+        lines.append(f"  quarantined boards: {', '.join(quarantined)}")
+    if scored_ticks:
+        hist = Histogram()
+        for d in scored_ticks:
+            if d.n_scored:
+                hist.record(d.max_score)
+        if hist.count:
+            s = hist.summary()
+            lines.append(
+                f"  max-score per tick: mean={s['mean']:.4g} "
+                f"p50={s['p50']:.4g} p90={s['p90']:.4g} max={s['max']:.4g}"
+            )
+    return "\n".join(lines)
+
+
 def render(summary: TraceSummary, source: str = "") -> str:
     header = "== repro.obs trace report =="
     if source:
@@ -379,6 +438,9 @@ def render(summary: TraceSummary, source: str = "") -> str:
     if summary.detector_decisions:
         lines.append("")
         lines.append(render_detector(summary.detector_decisions))
+    if summary.fleet_decisions:
+        lines.append("")
+        lines.append(render_fleet(summary.fleet_decisions))
     return "\n".join(lines)
 
 
@@ -410,6 +472,15 @@ def summary_as_dict(summary: TraceSummary) -> dict:
         "detector": {
             "samples": len(summary.detector_decisions),
             "alarms": sum(d.alarm for d in summary.detector_decisions),
+        },
+        "fleet": {
+            "ticks": len(summary.fleet_decisions),
+            "alarms": {
+                board: times
+                for board, times in sorted(
+                    fleet_outcome(list(summary.fleet_decisions)).items()
+                )
+            },
         },
     }
 

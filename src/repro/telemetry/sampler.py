@@ -45,6 +45,28 @@ class SampledTrace:
         return np.column_stack([self.feature_matrix(), self.current_a])
 
 
+def sample_fleet_tick(
+    boards: list[Board],
+    schedules: list[StressSchedule],
+    t: float,
+) -> list[TelemetrySample]:
+    """Sample every board in a fleet at the same instant ``t``.
+
+    Boards run their own schedules (typically the same workload with
+    per-board RNG seeds), so the tick is one row per board — the shape
+    the fleet scorer consumes.
+    """
+    return [
+        board.sample(
+            t,
+            core_utils=schedule.core_utilizations(t),
+            mem_fraction=schedule.memory_fraction(t),
+            mem_bandwidth=schedule.memory_bandwidth_fraction(t),
+        )
+        for board, schedule in zip(boards, schedules)
+    ]
+
+
 def sample_schedule(
     board: Board,
     schedule: StressSchedule,

@@ -83,6 +83,83 @@ class TestRoc:
             roc_curve(np.array([1.0, 2.0]), np.array([1, 1]))
 
 
+class TestRocEdgeCases:
+    def test_all_clean_labels_rejected_not_nan(self):
+        """Single-class input is a typed error, never a silent NaN AUC."""
+        with pytest.raises(ConfigError):
+            roc_auc(np.array([0.1, 0.9, 0.5]), np.array([0, 0, 0]))
+
+    def test_all_anomalous_labels_rejected_not_nan(self):
+        with pytest.raises(ConfigError):
+            roc_auc(np.array([0.1, 0.9, 0.5]), np.array([1, 1, 1]))
+
+    def test_tied_scores_across_classes_score_half(self):
+        """A score that cannot rank the classes has AUC 1/2, not 1.
+
+        The per-sample cumsum walk used to fabricate an operating point
+        *inside* the tie group (flagging the positive but not the
+        negative at the same score), reporting a perfect AUC for a
+        completely uninformative detector.
+        """
+        assert roc_auc(
+            np.array([0.5, 0.5]), np.array([1, 0])
+        ) == pytest.approx(0.5)
+        assert roc_auc(
+            np.full(40, 3.0), np.r_[np.ones(20, int), np.zeros(20, int)]
+        ) == pytest.approx(0.5)
+
+    def test_tied_scores_match_mann_whitney(self):
+        """AUC equals the Mann-Whitney U statistic under heavy ties."""
+        from scipy import stats
+
+        rng = make_rng(5)
+        scores = rng.integers(0, 4, 300).astype(float)
+        labels = (rng.random(300) < 0.4).astype(int)
+        u = stats.mannwhitneyu(
+            scores[labels == 1], scores[labels == 0]
+        ).statistic
+        expected = u / (labels.sum() * (len(labels) - labels.sum()))
+        assert roc_auc(scores, labels) == pytest.approx(expected)
+
+    def test_tied_thresholds_deduplicated(self):
+        scores = np.array([0.9, 0.5, 0.5, 0.5, 0.1])
+        labels = np.array([1, 1, 0, 0, 0])
+        fpr, tpr, thresholds = roc_curve(scores, labels)
+        finite = thresholds[np.isfinite(thresholds)]
+        assert len(np.unique(finite)) == len(finite)
+        assert np.all(np.diff(fpr) >= 0) and np.all(np.diff(tpr) >= 0)
+
+    def test_single_sample_per_class(self):
+        """The smallest legal input: one clean + one anomalous sample."""
+        auc = roc_auc(np.array([0.2, 0.8]), np.array([0, 1]))
+        assert auc == pytest.approx(1.0)
+        auc = roc_auc(np.array([0.8, 0.2]), np.array([0, 1]))
+        assert auc == pytest.approx(0.0)
+
+    def test_tpr_at_fpr_with_ties(self):
+        scores = np.array([0.5, 0.5, 0.5, 0.9])
+        labels = np.array([0, 0, 1, 1])
+        # The only operating points are "flag nothing", "flag 0.9" and
+        # "flag everything": at fpr=0 the best tpr is 1/2.
+        assert tpr_at_fpr(scores, labels, 0.0) == pytest.approx(0.5)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            roc_curve(np.array([1.0, 2.0]), np.array([1, 0, 1]))
+
+
+class TestDetectionLatencyEdgeCases:
+    def test_no_alarms_at_all(self):
+        """An empty alarm list is a miss (None), not a crash or NaN."""
+        assert detection_latency(np.array([]), 40.0) is None
+
+    def test_alarm_exactly_at_onset(self):
+        assert detection_latency(np.array([40.0]), 40.0) == 40.0
+
+    def test_alarms_only_before_onset(self):
+        assert detection_latency(np.array([1.0, 39.9]), 40.0) is None
+
+
 class TestDetectionTrial:
     def test_latency_and_saved(self):
         trial = DetectionTrial(

@@ -80,6 +80,37 @@ class TestSensor:
         with pytest.raises(ConfigError):
             CurrentSensor(lsb_a=0.0)
 
+    def test_dropout_returns_nan_inside_interval(self):
+        sensor = CurrentSensor(noise_sigma_a=0.0, seed=0)
+        sensor.fail_between(10.0, 20.0)
+        assert sensor.read(0.5, t=9.9) == pytest.approx(0.5)
+        assert np.isnan(sensor.read(0.5, t=10.0))
+        assert np.isnan(sensor.read(0.5, t=19.9))
+        assert sensor.read(0.5, t=20.0) == pytest.approx(0.5)
+
+    def test_dropout_without_time_is_ignored(self):
+        sensor = CurrentSensor(noise_sigma_a=0.0, seed=0)
+        sensor.fail_between(0.0, 100.0)
+        assert sensor.read(0.5) == pytest.approx(0.5)
+
+    def test_dropout_keeps_rng_stream_aligned(self):
+        """Readings outside the dropout are bit-identical with and
+        without a scheduled failure (the noise draw happens first)."""
+        plain = CurrentSensor(seed=42)
+        failing = CurrentSensor(seed=42)
+        failing.fail_between(1.0, 2.0)
+        for i in range(40):
+            t = i * 0.1
+            a, b = plain.read(0.7, t=t), failing.read(0.7, t=t)
+            if 1.0 <= t < 2.0:
+                assert np.isnan(b)
+            else:
+                assert a == b
+
+    def test_bad_dropout_interval_rejected(self):
+        with pytest.raises(ConfigError):
+            CurrentSensor(seed=0).fail_between(5.0, 5.0)
+
 
 class TestThermal:
     def test_heats_toward_equilibrium(self):

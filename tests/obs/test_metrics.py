@@ -4,6 +4,7 @@ import pytest
 
 from repro.errors import ConfigError
 from repro.obs.events import (
+    FleetDecision,
     GoldenCacheLookup,
     LadderAttemptEvent,
     RecoveryDone,
@@ -116,6 +117,30 @@ class TestMetricsSink:
         assert snap["counters"]["ladder.attempts.retry"] == 1
         assert snap["counters"]["recovery.rung.retry"] == 1
         assert snap["histograms"]["recovery.latency_s"]["count"] == 1
+
+    def test_folds_fleet_decisions(self):
+        sink = MetricsSink()
+        tracer = Tracer(sink)
+        tracer.emit(FleetDecision(
+            t=0.0, n_boards=4, n_scored=0, n_anomalous=0, alarms="",
+            quarantined="", released="", max_score=0.0, warming_up=True,
+        ))
+        tracer.emit(FleetDecision(
+            t=6.0, n_boards=4, n_scored=4, n_anomalous=1, alarms="b2",
+            quarantined="", released="", max_score=17.5,
+        ))
+        tracer.emit(FleetDecision(
+            t=6.1, n_boards=4, n_scored=3, n_anomalous=0, alarms="",
+            quarantined="b0,b1", released="b3", max_score=2.0,
+        ))
+        snap = sink.registry.snapshot()
+        assert snap["counters"]["fleet.ticks"] == 3
+        assert snap["counters"]["fleet.samples_scored"] == 7
+        assert snap["counters"]["fleet.alarms"] == 1
+        assert snap["counters"]["fleet.quarantines"] == 2
+        assert snap["counters"]["fleet.releases"] == 1
+        assert snap["histograms"]["fleet.max_score"]["count"] == 2
+        assert snap["histograms"]["fleet.max_score"]["max"] == 17.5
 
     def test_failed_recovery_counts_separately(self):
         sink = MetricsSink()

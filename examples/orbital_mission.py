@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Orbital mission: one day of environment-driven, phase-adaptive flight.
+
+Builds a LEO environment timeline with SAA passes and a forced solar
+particle event, walks the phase-adaptive degradation controller through
+it (checkpoints, scrub-cadence changes, workload shedding — all traced),
+then compares the adaptive policy against every static protection level
+on useful compute per joule.
+
+Run:  python examples/orbital_mission.py
+"""
+
+from repro.obs import InMemorySink, Tracer
+from repro.radiation.orbit import LeoOrbit
+from repro.radiation.schedule import EnvironmentTimeline, SpeModel
+from repro.sim.scenario import ScenarioConfig, run_scenario, sweep_policies
+from repro.units import SECONDS_PER_HOUR
+
+DURATION_S = 8.0 * SECONDS_PER_HOUR
+SPE_ONSET_S = 4.0 * SECONDS_PER_HOUR
+
+
+def build_timeline() -> EnvironmentTimeline:
+    return EnvironmentTimeline(
+        orbit=LeoOrbit(),
+        spe=SpeModel(
+            onset_rate_per_day=0.0,        # deterministic demo storm...
+            forced_onsets=(SPE_ONSET_S,),  # ...four hours in
+            peak_storm_scale=50.0,
+            decay_tau_s=1800.0,
+        ),
+        seed=1,
+        name="leo-demo",
+    )
+
+
+def main() -> None:
+    timeline = build_timeline()
+
+    print("=== forecast ===")
+    profile = timeline.phase_profile(0.0, DURATION_S, "register")
+    for phase, seconds in profile.seconds.items():
+        print(f"  {phase.value:>5}: {seconds / 60:7.1f} min "
+              f"({profile.occupancy(phase):5.1%})")
+    print(f"  mean register-upset multiplier: "
+          f"{profile.mean_multiplier:.2f}x quiet sun "
+          f"(peak {profile.peak_multiplier:.1f}x)")
+
+    print("\n=== adaptive flight log ===")
+    sink = InMemorySink()
+    report = run_scenario(
+        ScenarioConfig(timeline=timeline, duration_s=DURATION_S),
+        tracer=Tracer(sink),
+    )
+    for event in sink.events:
+        t_min = event.t / 60.0
+        if event.kind == "phase-transition":
+            extra = " + checkpoint" if event.checkpoint else ""
+            print(f"  t={t_min:6.1f} min  {event.previous:>5} -> "
+                  f"{event.phase:<5} scrub={event.scrub_period_s:.0f}s "
+                  f"detector x{event.detector_threshold_scale:.2f}{extra}")
+        else:
+            verb = "shed" if event.kind == "workload-shed" else "restored"
+            print(f"  t={t_min:6.1f} min  {verb} {event.workload} "
+                  f"({event.criticality})")
+
+    print("\n=== policy economics (same timeline, exactly paired) ===")
+    results = sweep_policies(timeline, duration_s=DURATION_S)
+    adaptive_cpj = results["adaptive"].useful_compute_per_joule
+    for name, r in sorted(
+        results.items(), key=lambda kv: kv[1].useful_compute_per_joule
+    ):
+        survived = "yes" if r.critical_survived_spe else "NO"
+        marker = "  <-- " if name == "adaptive" else ""
+        print(f"  {name:<20} {r.useful_compute_per_joule:.4f} "
+              f"compute-s/J   critical survived SPE: {survived}{marker}")
+
+    worst = min(
+        adaptive_cpj / r.useful_compute_per_joule - 1.0
+        for n, r in results.items() if n != "adaptive"
+    )
+    shed = {w.name: w.shed_s for w in report.workloads if w.shed_s}
+    print(
+        f"\nThe storm sheds {', '.join(shed)} for "
+        f"{max(shed.values()) / 60:.0f} min while critical work rides"
+        f"\nthrough at full DMR: the adaptive walk beats the best static"
+        f"\nlevel by {worst:+.1%} on useful compute per joule, and no"
+        f"\nsingle static level survives the storm *and* wins the quiet"
+        f"\ncruise."
+    )
+
+
+if __name__ == "__main__":
+    main()

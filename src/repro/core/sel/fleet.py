@@ -26,11 +26,29 @@ from repro.core.sel.policy import PowerCycleController
 from repro.detect.base import AnomalyDetector
 from repro.detect.fleet import FleetConfig, FleetScorer, FleetStep
 from repro.errors import ConfigError, DeviceDestroyed
+from repro.faults.sel import LatchupGenerator
 from repro.hw.board import Board
-from repro.obs.events import FleetDecision, Tracer
+from repro.obs.events import FleetDecision, PhaseTransition, Tracer
 from repro.obs.metrics import MetricsRegistry
+from repro.radiation.schedule import (
+    EnvironmentTimeline,
+    MissionPhase,
+    sample_arrivals,
+)
+from repro.rng import make_rng
 from repro.telemetry.sampler import sample_fleet_tick
+from repro.units import SECONDS_PER_DAY
 from repro.workloads.stress import StressSchedule
+
+#: Default fleet detector threshold scale per mission phase: tighten as
+#: the flux (and so the SEL arrival rate) rises.  Matches the
+#: ``detector_threshold_scale`` column of
+#: :data:`repro.recover.adaptive.DEFAULT_PHASE_POLICIES`.
+DEFAULT_PHASE_THRESHOLD_SCALES: dict[MissionPhase, float] = {
+    MissionPhase.QUIET: 1.0,
+    MissionPhase.SAA: 0.9,
+    MissionPhase.SPE: 0.75,
+}
 
 
 @dataclass
@@ -90,12 +108,18 @@ class SelFleetService:
         config: FleetConfig = FleetConfig(),
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        timeline: EnvironmentTimeline | None = None,
+        sel_rate_per_board_day: float = 0.05,
+        timeline_seed: int = 0,
+        threshold_scales: dict[MissionPhase, float] | None = None,
     ) -> None:
         if not members:
             raise ConfigError("fleet service needs at least one member")
         n_cores = members[0].board.spec.n_cores
         if any(m.board.spec.n_cores != n_cores for m in members):
             raise ConfigError("fleet members must share a core count")
+        if sel_rate_per_board_day < 0:
+            raise ConfigError("SEL rate must be >= 0")
         self.members = members
         self.featurizer = Featurizer(n_cores=n_cores)
         self.scorer = FleetScorer(
@@ -103,6 +127,64 @@ class SelFleetService:
         )
         self.tracer = tracer
         self.metrics = metrics
+        self.timeline = timeline
+        self.sel_rate_per_board_day = sel_rate_per_board_day
+        self.timeline_seed = timeline_seed
+        self.threshold_scales = dict(
+            threshold_scales
+            if threshold_scales is not None
+            else DEFAULT_PHASE_THRESHOLD_SCALES
+        )
+        self._phase: MissionPhase | None = None
+
+    def schedule_timeline_latchups(
+        self, t0: float, t1: float
+    ) -> dict[str, list[float]]:
+        """Inject timeline-driven latch-ups over ``[t0, t1)`` fleet-wide.
+
+        Each board gets its own thinned non-homogeneous Poisson arrival
+        stream (board-subsystem sensitivity, so SPE phases dominate) and
+        its own log-uniform severity draws, all forked deterministically
+        from ``timeline_seed`` in member order — the schedule is a pure
+        function of (timeline, seed, window, member order).  Returns the
+        onset times per board id.
+        """
+        if self.timeline is None:
+            raise ConfigError("no timeline attached to this fleet service")
+        base_rate = self.sel_rate_per_board_day / SECONDS_PER_DAY
+        master = make_rng(self.timeline_seed)
+        onsets: dict[str, list[float]] = {}
+        for member, child in zip(
+            self.members, master.spawn(len(self.members))
+        ):
+            arrivals = sample_arrivals(
+                self.timeline, t0, t1, base_rate, child, subsystem="board"
+            )
+            generator = LatchupGenerator(seed=child)
+            times = [float(t) for t in arrivals]
+            for onset in times:
+                member.board.inject_latchup(generator.sample(onset))
+            onsets[member.board_id] = times
+        return onsets
+
+    def _apply_phase(self, t: float) -> None:
+        """Follow the timeline's phase; tighten the detector as flux rises."""
+        phase = self.timeline.phase_at(t)
+        if phase is self._phase:
+            return
+        previous = self._phase
+        self._phase = phase
+        scale = self.threshold_scales.get(phase, 1.0)
+        self.scorer.set_threshold_scale(scale)
+        if self.tracer is not None and previous is not None:
+            self.tracer.emit(
+                PhaseTransition(
+                    t=t,
+                    previous=previous.value,
+                    phase=phase.value,
+                    detector_threshold_scale=scale,
+                )
+            )
 
     @property
     def board_ids(self) -> list[str]:
@@ -136,6 +218,8 @@ class SelFleetService:
 
     def tick(self, t: float) -> FleetTickResult:
         """Sample, score and respond for the whole fleet at time ``t``."""
+        if self.timeline is not None:
+            self._apply_phase(t)
         rows, newly_dead = self._sample_rows(t)
         started = time.perf_counter()
         step = self.scorer.step(t, rows)
@@ -175,10 +259,20 @@ class SelFleetService:
         duration_s: float,
         rate_hz: float = 10.0,
         t_start: float = 0.0,
+        inject_latchups: bool = True,
     ) -> list[FleetTickResult]:
-        """Tick the fleet at ``rate_hz`` for ``duration_s`` seconds."""
+        """Tick the fleet at ``rate_hz`` for ``duration_s`` seconds.
+
+        With a timeline attached, the run first schedules the window's
+        timeline-driven latch-ups across the fleet (disable with
+        ``inject_latchups=False`` when the caller injects its own), and
+        each tick follows the mission phase, tightening the detector
+        threshold through SAA passes and solar particle events.
+        """
         if rate_hz <= 0 or duration_s <= 0:
             raise ConfigError("duration and rate must be positive")
+        if self.timeline is not None and inject_latchups:
+            self.schedule_timeline_latchups(t_start, t_start + duration_s)
         results = []
         for i in range(int(duration_s * rate_hz)):
             results.append(self.tick(t_start + i / rate_hz))

@@ -311,6 +311,24 @@ class FleetScorer:
         self.boards = [BoardScoringState(board_id=b) for b in board_ids]
         self._stream_state = detector.make_stream_state(len(board_ids))
         self._start_t: float | None = None
+        self._threshold_scale = 1.0
+
+    @property
+    def threshold_scale(self) -> float:
+        """Scale on the shared detector threshold (< 1 tightens)."""
+        return self._threshold_scale
+
+    def set_threshold_scale(self, scale: float) -> None:
+        """Tighten (< 1) or relax (> 1) alarming fleet-wide.
+
+        The phase-adaptive degradation controller drives this on phase
+        boundaries: an elevated-flux phase lowers the bar so small
+        latch-ups alarm sooner, at the cost of more false positives —
+        an acceptable trade while the SEL arrival rate is itself up.
+        """
+        if not np.isfinite(scale) or scale <= 0:
+            raise ConfigError(f"threshold scale must be positive, got {scale}")
+        self._threshold_scale = float(scale)
 
     @property
     def n_boards(self) -> int:
@@ -382,7 +400,7 @@ class FleetScorer:
                 )
                 _state_assign(self._stream_state, idx, sub_state)
                 scores[idx] = sub_scores
-                flags = sub_scores > self.detector.threshold
+                flags = sub_scores > self.detector.threshold * self._threshold_scale
                 anomalous[idx] = flags
                 for pos, i in enumerate(idx.tolist()):
                     board = self.boards[i]
@@ -412,4 +430,5 @@ class FleetScorer:
         ]
         self._stream_state = self.detector.make_stream_state(self.n_boards)
         self._start_t = None
+        self._threshold_scale = 1.0
         _reset_if_stateful(self.detector)

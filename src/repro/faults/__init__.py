@@ -16,8 +16,18 @@ from repro.faults.model import (
 )
 from repro.faults.outcomes import FaultOutcome, TrialResult, OutcomeCounts
 from repro.faults.seu import RegisterFaultInjector, HeapFaultInjector
-from repro.faults.campaign import Campaign, CampaignResult, run_campaign
-from repro.faults.parallel import run_campaign_parallel, run_supervised_campaign_parallel
+from repro.faults.campaign import (
+    Campaign,
+    CampaignResult,
+    TimelineCampaignResult,
+    run_campaign,
+    run_timeline_campaign,
+)
+from repro.faults.parallel import (
+    run_campaign_parallel,
+    run_supervised_campaign_parallel,
+    run_timeline_campaign_parallel,
+)
 from repro.faults.sel import LatchupEvent, LatchupGenerator
 
 __all__ = [
@@ -26,6 +36,8 @@ __all__ = [
     "FaultOutcome", "TrialResult", "OutcomeCounts",
     "RegisterFaultInjector", "HeapFaultInjector",
     "Campaign", "CampaignResult", "run_campaign",
+    "TimelineCampaignResult", "run_timeline_campaign",
     "run_campaign_parallel", "run_supervised_campaign_parallel",
+    "run_timeline_campaign_parallel",
     "LatchupEvent", "LatchupGenerator",
 ]

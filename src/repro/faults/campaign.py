@@ -31,7 +31,7 @@ per trial.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -325,6 +325,104 @@ def emit_campaign_end(
         golden_cycles=golden.cycles,
         golden_instructions=golden.instructions,
     ))
+
+
+@dataclass
+class TimelineCampaignResult:
+    """A campaign whose trial count and timing came from a timeline.
+
+    Attributes:
+        result: the underlying classified campaign.
+        arrivals: fault arrival times (mission seconds), one per trial,
+            index-aligned with ``result.trials``.
+        phases: the mission phase each arrival landed in (same order).
+        window: the ``(t0, t1)`` mission window that was simulated.
+        expected_trials: analytic expectation of the arrival count
+            (``rate × ∫ multiplier dt``) — what the Poisson draw was
+            aimed at.
+    """
+
+    result: CampaignResult
+    arrivals: np.ndarray
+    phases: list
+    window: tuple[float, float]
+    expected_trials: float
+
+    def trials_in_phase(self, phase) -> list[TrialResult]:
+        """The trial records whose arrivals landed in ``phase``."""
+        return [
+            trial
+            for trial, p in zip(self.result.trials, self.phases)
+            if p is phase
+        ]
+
+
+def sample_trial_arrivals(
+    timeline,
+    t0: float,
+    t1: float,
+    arrival_rate_per_s: float,
+    rng: np.random.Generator,
+    subsystem: str = "register",
+) -> np.ndarray:
+    """Draw one campaign's fault arrival times from a timeline.
+
+    Thin wrapper over :func:`repro.radiation.schedule.sample_arrivals`
+    (non-homogeneous Poisson thinning) kept here so both the serial and
+    parallel engines draw arrivals through the same entry point — the
+    draw happens once, in the parent, *before* per-trial generators are
+    forked, which is what keeps serial and parallel timeline campaigns
+    byte-identical.
+    """
+    from repro.radiation.schedule import sample_arrivals
+
+    return sample_arrivals(
+        timeline, t0, t1, arrival_rate_per_s, rng, subsystem
+    )
+
+
+def run_timeline_campaign(
+    campaign: Campaign,
+    timeline,
+    t0: float,
+    t1: float,
+    arrival_rate_per_s: float,
+    seed: int | np.random.Generator | None = None,
+    workers: int | None = None,
+    tracer: Tracer | None = None,
+    trace_blocks: bool = False,
+    subsystem: str = "register",
+) -> TimelineCampaignResult:
+    """Run a campaign whose faults arrive per an environment timeline.
+
+    Instead of a flat ``campaign.n_trials``, the trial count and times
+    come from non-homogeneous Poisson thinning of the timeline's
+    ``subsystem`` multiplier over ``[t0, t1)``: SAA passes and solar
+    particle events concentrate trials exactly where the environment
+    concentrates upsets.  The arrival draw consumes the master generator
+    first; the per-trial generators are then forked from the same
+    generator exactly as in :func:`run_campaign`, so for a fixed seed the
+    result is byte-identical at any worker count (the property the
+    E16 gate asserts).
+    """
+    rng = make_rng(seed)
+    arrivals = sample_trial_arrivals(
+        timeline, t0, t1, arrival_rate_per_s, rng, subsystem
+    )
+    expected = timeline.expected_events(arrival_rate_per_s, t0, t1, subsystem)
+    timed = replace(campaign, n_trials=len(arrivals))
+    result = run_campaign(
+        timed, seed=rng, workers=workers, tracer=tracer,
+        trace_blocks=trace_blocks,
+    )
+    phases = [timeline.phase_at(float(t)) for t in arrivals]
+    return TimelineCampaignResult(
+        result=result,
+        arrivals=arrivals,
+        phases=phases,
+        window=(t0, t1),
+        expected_trials=expected,
+    )
 
 
 def run_campaign(

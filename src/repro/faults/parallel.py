@@ -28,6 +28,12 @@ The same machinery drives supervised campaigns
 independent, each drawing its injector, checkpoint corruption and
 persistence class from its own child generator.
 
+**Timeline campaigns** (:func:`run_timeline_campaign_parallel`) stay
+byte-identical too, by construction: the non-homogeneous Poisson arrival
+draw consumes the master generator *in the parent*, before the per-trial
+generators are forked, so the trial count, the arrival times and every
+child generator's state are fixed before any worker exists.
+
 **Traced campaigns** stay order-stable too: each worker runs its trials
 against a private in-memory collector, ships the per-trial event batches
 back with the results, and the parent re-emits every batch through its
@@ -365,6 +371,35 @@ def run_campaign_parallel(
     if tracer is not None:
         emit_campaign_end(tracer, campaign, golden, counts)
     return CampaignResult(golden=golden, counts=counts, trials=trials)
+
+
+def run_timeline_campaign_parallel(
+    campaign: Campaign,
+    timeline,
+    t0: float,
+    t1: float,
+    arrival_rate_per_s: float,
+    seed: int | np.random.Generator | None = None,
+    workers: int | None = None,
+    tracer: Tracer | None = None,
+    subsystem: str = "register",
+):
+    """Timeline-driven campaign on a process pool.
+
+    Convenience mirror of :func:`run_supervised_campaign_parallel` for
+    :func:`repro.faults.campaign.run_timeline_campaign`: resolves the
+    worker count (one per CPU by default) and fans the thinned trials
+    out.  Byte-identical to the serial timeline campaign for the same
+    seed — the arrival draw happens in the parent before the per-trial
+    fork, so the E16 serial==parallel gate holds by construction.
+    """
+    from repro.faults.campaign import run_timeline_campaign
+
+    return run_timeline_campaign(
+        campaign, timeline, t0, t1, arrival_rate_per_s,
+        seed=seed, workers=resolve_workers(workers), tracer=tracer,
+        subsystem=subsystem,
+    )
 
 
 def run_supervised_campaign_parallel(

@@ -41,11 +41,14 @@ from repro.obs.events import (
     LadderAttemptEvent,
     MissionDay,
     MissionSel,
+    PhaseTransition,
     RecoveryDone,
     Tracer,
     TrialEnd,
     TrialStart,
     WatchdogFire,
+    WorkloadRestored,
+    WorkloadShed,
     event_from_dict,
 )
 from repro.obs.metrics import (
@@ -78,11 +81,14 @@ __all__ = [
     "MetricsSink",
     "MissionDay",
     "MissionSel",
+    "PhaseTransition",
     "PostMortemDump",
     "RecoveryDone",
     "Tracer",
     "TrialEnd",
     "TrialStart",
     "WatchdogFire",
+    "WorkloadRestored",
+    "WorkloadShed",
     "event_from_dict",
 ]

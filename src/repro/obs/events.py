@@ -283,6 +283,58 @@ class BlockTransition(Event):
 
 
 @dataclass(frozen=True)
+class PhaseTransition(Event):
+    """The mission entered a new radiation phase.
+
+    Emitted by the phase-adaptive degradation controller when the
+    environment timeline crosses a phase boundary (QUIET → SAA entry,
+    SPE onset, decay back to quiet).
+
+    Attributes:
+        t: simulated time of the transition.
+        previous: phase being left.
+        phase: phase being entered.
+        checkpoint: whether a pre-emptive checkpoint was commanded.
+        scrub_period_s: memory-scrub cadence after the transition.
+        detector_threshold_scale: fleet detector threshold scale after
+            the transition (< 1 means tightened).
+    """
+
+    kind: ClassVar[str] = "phase-transition"
+
+    t: float
+    previous: str
+    phase: str
+    checkpoint: bool = False
+    scrub_period_s: float = 0.0
+    detector_threshold_scale: float = 1.0
+
+
+@dataclass(frozen=True)
+class WorkloadShed(Event):
+    """A workload was shed to concentrate protection budget."""
+
+    kind: ClassVar[str] = "workload-shed"
+
+    t: float
+    workload: str
+    criticality: str
+    phase: str
+
+
+@dataclass(frozen=True)
+class WorkloadRestored(Event):
+    """A previously shed workload was restored after phase decay."""
+
+    kind: ClassVar[str] = "workload-restored"
+
+    t: float
+    workload: str
+    criticality: str
+    phase: str
+
+
+@dataclass(frozen=True)
 class MissionDay(Event):
     """One day-chunk of the mission simulator resolved in bulk."""
 

@@ -19,10 +19,23 @@ from repro.radiation.flux import (
 from repro.radiation.orbit import OrbitPhase, LeoOrbit
 from repro.radiation.events import EventGenerator, RadiationEvent, EventKind
 from repro.radiation.environment import Environment, LEO_NOMINAL, MARS_SURFACE, SOLAR_STORM
+from repro.radiation.schedule import (
+    DEFAULT_SENSITIVITY,
+    EnvironmentTimeline,
+    MissionPhase,
+    PhaseProfile,
+    PhaseSegment,
+    SpeModel,
+    SubsystemSensitivity,
+    sample_arrivals,
+)
 
 __all__ = [
     "SEU_RATE_SNAPDRAGON_PER_BIT_DAY", "FluxModel", "seu_rate_per_bit_day",
     "OrbitPhase", "LeoOrbit",
     "EventGenerator", "RadiationEvent", "EventKind",
     "Environment", "LEO_NOMINAL", "MARS_SURFACE", "SOLAR_STORM",
+    "EnvironmentTimeline", "MissionPhase", "SpeModel",
+    "SubsystemSensitivity", "PhaseProfile", "PhaseSegment",
+    "DEFAULT_SENSITIVITY", "sample_arrivals",
 ]

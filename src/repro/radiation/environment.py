@@ -2,11 +2,31 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from repro.radiation.flux import FluxModel, seu_rate_per_bit_second
 from repro.radiation.orbit import LeoOrbit, OrbitPhase
 from repro.units import bytes_to_bits
+
+_STORM_FLAG_WARNED = False
+
+
+def _warn_storm_flag() -> None:
+    """One-shot deprecation notice for the static storm flag."""
+    global _STORM_FLAG_WARNED
+    if _STORM_FLAG_WARNED:
+        return
+    _STORM_FLAG_WARNED = True
+    warnings.warn(
+        "Environment.storm_active is deprecated: a static boolean models "
+        "a solar particle event as eternal and rate-flat.  Build an "
+        "EnvironmentTimeline instead (Environment.timeline() keeps the "
+        "old constant-storm behavior; pass spe=SpeModel(...) for "
+        "stochastic onset and exponential decay).",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass(frozen=True)
@@ -17,7 +37,10 @@ class Environment:
         name: human label.
         flux: source mix and modulation factors.
         orbit: SAA geometry (None for deep space / planetary surface).
-        storm_active: whether a solar particle event is in progress.
+        storm_active: **deprecated** — whether a solar particle event is
+            permanently in progress.  Kept as a back-compat shim for the
+            ``SOLAR_STORM`` preset and existing callers; new code should
+            derive storm activity from :meth:`timeline`.
         sel_rate_per_device_day: latch-ups per device per day (commercial
             SmallSat experience: order 1e-2..1e-1 per day in LEO for
             unhardened parts; higher in storms).
@@ -31,6 +54,8 @@ class Environment:
 
     def rate_multiplier(self, t: float) -> float:
         """Instantaneous SEU-rate multiplier at mission time ``t``."""
+        if self.storm_active:
+            _warn_storm_flag()
         in_saa = (
             self.orbit is not None
             and self.orbit.phase_at(t) is OrbitPhase.SAA
@@ -45,6 +70,32 @@ class Environment:
             rad_hard=rad_hard, multiplier=self.rate_multiplier(t)
         )
         return per_bit * bytes_to_bits(ram_bytes)
+
+    def timeline(
+        self,
+        seed: int = 0,
+        spe=None,
+        sensitivity=None,
+    ):
+        """An :class:`~repro.radiation.schedule.EnvironmentTimeline` view.
+
+        The deprecated ``storm_active`` flag maps to a constant-storm
+        timeline (the solar term held at the flux model's full
+        ``storm_multiplier``), so ``SOLAR_STORM.timeline()`` reproduces
+        the legacy behavior exactly; pass ``spe=SpeModel(...)`` to model
+        storms as stochastic onsets with exponential decay instead.
+        """
+        from repro.radiation.schedule import EnvironmentTimeline
+
+        return EnvironmentTimeline(
+            orbit=self.orbit,
+            flux=self.flux,
+            spe=spe,
+            seed=seed,
+            sensitivity=sensitivity,
+            constant_storm=self.storm_active,
+            name=self.name,
+        )
 
 
 #: Nominal LEO: quiet sun, periodic SAA passes.

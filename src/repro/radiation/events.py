@@ -47,6 +47,16 @@ DEFAULT_TARGET_WEIGHTS = {
     "register": 1.0e-4,
 }
 
+#: Which timeline subsystem modulates each event target: DRAM and cache
+#: follow the large-array ("ram") sensitivity, register-file upsets the
+#: flip-flop one, latch-ups the whole-board one.
+TARGET_SUBSYSTEM = {
+    "dram": "ram",
+    "cache": "ram",
+    "register": "register",
+    "board": "board",
+}
+
 
 class EventGenerator:
     """Draws SEU/SEL event streams over an interval.
@@ -94,5 +104,37 @@ class EventGenerator:
         for _ in range(n_sel):
             t = t_start + self.rng.uniform(0.0, duration)
             events.append(RadiationEvent(EventKind.SEL, t, "board"))
+        events.sort(key=lambda e: e.t)
+        return events
+
+    def events_in_timeline(
+        self, t_start: float, t_end: float, timeline
+    ) -> list[RadiationEvent]:
+        """Timeline-modulated events in ``[t_start, t_end)``, time-ordered.
+
+        Each target category is an independent non-homogeneous Poisson
+        process thinned against its own subsystem's multiplier (register
+        upsets surge harder in an SPE than DRAM ones; latch-ups hardest),
+        replacing :meth:`events_in`'s single flat ``rate_multiplier``.
+        Targets are processed in a fixed order, so a given generator seed
+        yields one reproducible stream for a given timeline.
+        """
+        from repro.radiation.schedule import sample_arrivals
+
+        if t_end < t_start:
+            raise ConfigError("interval end precedes start")
+        events: list[RadiationEvent] = []
+        for i, target in enumerate(self._targets):
+            rate = self.seu_rate_per_s * float(self._probs[i])
+            subsystem = TARGET_SUBSYSTEM.get(target, "ram")
+            for t in sample_arrivals(
+                timeline, t_start, t_end, rate, self.rng, subsystem
+            ):
+                events.append(RadiationEvent(EventKind.SEU, float(t), target))
+        for t in sample_arrivals(
+            timeline, t_start, t_end, self.sel_rate_per_s, self.rng,
+            TARGET_SUBSYSTEM["board"],
+        ):
+            events.append(RadiationEvent(EventKind.SEL, float(t), "board"))
         events.sort(key=lambda e: e.t)
         return events

@@ -54,9 +54,30 @@ class FluxModel:
 
     def rate_multiplier(self, in_saa: bool, in_storm: bool) -> float:
         """Current rate as a multiple of the quiet-orbit baseline."""
-        trapped = self.trapped_fraction * (self.saa_multiplier if in_saa else 1.0)
-        solar = self.solar_fraction * (self.storm_multiplier if in_storm else 1.0)
-        return trapped + self.gcr_fraction + solar
+        return self.rate_multiplier_scaled(
+            saa_factor=self.saa_multiplier if in_saa else 1.0,
+            storm_factor=self.storm_multiplier if in_storm else 1.0,
+        )
+
+    def rate_multiplier_scaled(
+        self, saa_factor: float = 1.0, storm_factor: float = 1.0
+    ) -> float:
+        """Rate multiplier with continuous source-term enhancements.
+
+        The boolean :meth:`rate_multiplier` is the special case where the
+        factors are either 1 or the full configured multipliers; the
+        timeline needs the continuum — a decaying storm enhances the
+        solar term by a factor that slides from ``storm_multiplier`` back
+        to 1, and subsystem sensitivities scale the enhancements
+        per target.
+        """
+        if saa_factor < 0 or storm_factor < 0:
+            raise ConfigError("enhancement factors must be >= 0")
+        return (
+            self.trapped_fraction * saa_factor
+            + self.gcr_fraction
+            + self.solar_fraction * storm_factor
+        )
 
 
 def seu_rate_per_bit_day(

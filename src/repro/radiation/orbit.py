@@ -46,7 +46,13 @@ class LeoOrbit:
             raise ConfigError("SAA stride must be >= 1")
 
     def orbit_number(self, t: float) -> int:
-        """Which orbit (0-based) contains time ``t``."""
+        """Which orbit (0-based) contains time ``t``.
+
+        Mission time starts at zero; a negative ``t`` would silently
+        index a nonexistent "orbit -1", so it is rejected loudly.
+        """
+        if t < 0:
+            raise ConfigError(f"mission time must be >= 0, got {t}")
         return int(t // self.period_s)
 
     def phase_at(self, t: float) -> OrbitPhase:
@@ -60,6 +66,31 @@ class LeoOrbit:
         if start <= offset < start + self.saa_pass_duration_s:
             return OrbitPhase.SAA
         return OrbitPhase.QUIET
+
+    def saa_windows(self, t0: float, t1: float) -> list[tuple[float, float]]:
+        """SAA pass intervals overlapping ``[t0, t1)``, clipped to it.
+
+        The geometric counterpart of :meth:`phase_at`: every returned
+        ``(start, end)`` satisfies ``phase_at(t) is SAA`` exactly for
+        ``start <= t < end``.
+        """
+        if t0 < 0:
+            raise ConfigError(f"mission time must be >= 0, got {t0}")
+        if t1 < t0:
+            raise ConfigError(f"window end {t1} precedes start {t0}")
+        windows: list[tuple[float, float]] = []
+        mid_offset = (self.period_s - self.saa_pass_duration_s) / 2.0
+        first_orbit = int(t0 // self.period_s)
+        first_orbit -= first_orbit % self.saa_orbit_stride
+        orbit = first_orbit
+        while orbit * self.period_s < t1:
+            if orbit >= 0:
+                start = orbit * self.period_s + mid_offset
+                end = start + self.saa_pass_duration_s
+                if end > t0 and start < t1:
+                    windows.append((max(start, t0), min(end, t1)))
+            orbit += self.saa_orbit_stride
+        return windows
 
     @property
     def saa_duty_cycle(self) -> float:

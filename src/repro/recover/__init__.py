@@ -23,9 +23,15 @@ but nothing turned those detections into survivals.  This package does:
 """
 
 from repro.recover.adaptive import (
+    DEFAULT_PHASE_POLICIES,
     AdaptiveConfig,
     AdaptiveController,
     LevelTransition,
+    ManagedWorkload,
+    PhaseActions,
+    PhaseAdaptiveController,
+    PhasePolicy,
+    WorkloadCriticality,
 )
 from repro.recover.checkpoint import (
     Checkpoint,
@@ -59,6 +65,8 @@ from repro.recover.watchdog import (
 
 __all__ = [
     "AdaptiveConfig", "AdaptiveController", "LevelTransition",
+    "DEFAULT_PHASE_POLICIES", "ManagedWorkload", "PhaseActions",
+    "PhaseAdaptiveController", "PhasePolicy", "WorkloadCriticality",
     "Checkpoint", "CheckpointHook", "CheckpointManager",
     "checkpoint_machine", "restore_machine_checkpoint",
     "resume_from_checkpoint",

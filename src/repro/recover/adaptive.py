@@ -13,11 +13,15 @@ step halves the scrub period.
 
 from __future__ import annotations
 
+import enum
 from collections import deque
 from dataclasses import dataclass
+from typing import Mapping
 
 from repro.core.dmr.levels import ALL_LEVELS, ProtectionLevel
 from repro.errors import ConfigError
+from repro.obs.events import PhaseTransition, WorkloadRestored, WorkloadShed
+from repro.radiation.schedule import MissionPhase
 
 
 @dataclass(frozen=True)
@@ -151,3 +155,292 @@ class AdaptiveController:
         """Scrub cadence at the current level: base halved per step up."""
         steps = self.level.rank - self.config.min_level.rank
         return self.config.base_scrub_period_s / (2 ** max(0, steps))
+
+
+# -- phase-adaptive degradation ------------------------------------------------
+
+
+class WorkloadCriticality(enum.Enum):
+    """How much a workload matters when the environment turns hostile.
+
+    LOW workloads (opportunistic science, background compression) are the
+    first to be shed during a solar particle event; CRITICAL workloads
+    (attitude control, command & data handling) are never shed and get
+    the strongest protection the policy table allows.
+    """
+
+    LOW = "low"
+    NORMAL = "normal"
+    CRITICAL = "critical"
+
+    @property
+    def rank(self) -> int:
+        return _CRITICALITY_ORDER.index(self)
+
+    def __lt__(self, other: "WorkloadCriticality") -> bool:
+        if not isinstance(other, WorkloadCriticality):
+            return NotImplemented
+        return self.rank < other.rank
+
+
+_CRITICALITY_ORDER = (
+    WorkloadCriticality.LOW,
+    WorkloadCriticality.NORMAL,
+    WorkloadCriticality.CRITICAL,
+)
+
+
+@dataclass(frozen=True)
+class PhasePolicy:
+    """What one mission phase demands of the protection stack.
+
+    Attributes:
+        levels: protection level per workload criticality class.
+        scrub_period_scale: multiplier on the base scrub period
+            (< 1 scrubs faster).
+        checkpoint_on_entry: take a pre-emptive checkpoint when the
+            mission enters this phase (SAA passes and SPE onsets are
+            forecastable moments to bank state before flux rises).
+        shed_below: shed workloads whose criticality is strictly below
+            this class while the phase lasts (None sheds nothing).
+        detector_threshold_scale: scale on the fleet SEL detector
+            threshold (< 1 tightens detection while flux is elevated).
+    """
+
+    levels: Mapping[WorkloadCriticality, ProtectionLevel]
+    scrub_period_scale: float = 1.0
+    checkpoint_on_entry: bool = False
+    shed_below: WorkloadCriticality | None = None
+    detector_threshold_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        missing = [c for c in WorkloadCriticality if c not in self.levels]
+        if missing:
+            raise ConfigError(
+                f"policy must map every criticality class; missing {missing}"
+            )
+        if self.scrub_period_scale <= 0:
+            raise ConfigError("scrub period scale must be positive")
+        if self.detector_threshold_scale <= 0:
+            raise ConfigError("detector threshold scale must be positive")
+
+    def level_for(self, criticality: WorkloadCriticality) -> ProtectionLevel:
+        return self.levels[criticality]
+
+    def sheds(self, criticality: WorkloadCriticality) -> bool:
+        return self.shed_below is not None and criticality < self.shed_below
+
+
+#: The paper-informed default table.  Quiet orbit runs light (control-flow
+#: checking only) and keeps full compute; SAA passes pre-checkpoint, scrub
+#: 4x faster, and armor normal and critical work with full DMR (at SAA
+#: flux the partial levels mostly produce rework, so only duplication
+#: pays); a solar particle event sheds low-criticality workloads,
+#: escalates everything that still runs to full DMR, scrubs 8x faster,
+#: and tightens the fleet detector.
+DEFAULT_PHASE_POLICIES: dict[MissionPhase, PhasePolicy] = {
+    MissionPhase.QUIET: PhasePolicy(
+        levels={
+            WorkloadCriticality.LOW: ProtectionLevel.SCC_CFI,
+            WorkloadCriticality.NORMAL: ProtectionLevel.SCC_CFI,
+            WorkloadCriticality.CRITICAL: ProtectionLevel.CFI_DATAFLOW,
+        },
+    ),
+    MissionPhase.SAA: PhasePolicy(
+        levels={
+            WorkloadCriticality.LOW: ProtectionLevel.CFI_DATAFLOW,
+            WorkloadCriticality.NORMAL: ProtectionLevel.FULL_DMR,
+            WorkloadCriticality.CRITICAL: ProtectionLevel.FULL_DMR,
+        },
+        scrub_period_scale=0.25,
+        checkpoint_on_entry=True,
+        detector_threshold_scale=0.9,
+    ),
+    MissionPhase.SPE: PhasePolicy(
+        levels={
+            WorkloadCriticality.LOW: ProtectionLevel.FULL_DMR,
+            WorkloadCriticality.NORMAL: ProtectionLevel.FULL_DMR,
+            WorkloadCriticality.CRITICAL: ProtectionLevel.FULL_DMR,
+        },
+        scrub_period_scale=0.125,
+        checkpoint_on_entry=True,
+        shed_below=WorkloadCriticality.NORMAL,
+        detector_threshold_scale=0.75,
+    ),
+}
+
+
+@dataclass
+class ManagedWorkload:
+    """One workload under the controller's authority."""
+
+    name: str
+    criticality: WorkloadCriticality
+    shed: bool = False
+
+
+@dataclass(frozen=True)
+class PhaseActions:
+    """What one :meth:`PhaseAdaptiveController.advance` call decided."""
+
+    t: float
+    phase: MissionPhase
+    changed: bool
+    checkpoint: bool
+    shed: tuple[str, ...] = ()
+    restored: tuple[str, ...] = ()
+    scrub_period_s: float = 0.0
+    detector_threshold_scale: float = 1.0
+
+
+class PhaseAdaptiveController:
+    """Environment-driven graceful degradation.
+
+    Where :class:`AdaptiveController` reacts to the *observed* fault rate,
+    this controller acts on the *forecast*: the mission phase from an
+    :class:`~repro.radiation.schedule.EnvironmentTimeline`.  On each phase
+    boundary it applies the matching :class:`PhasePolicy` — pre-emptive
+    checkpoint, scrub cadence, workload shedding, detector tightening —
+    and emits :class:`~repro.obs.events.PhaseTransition` /
+    :class:`~repro.obs.events.WorkloadShed` /
+    :class:`~repro.obs.events.WorkloadRestored` events through the tracer.
+
+    An optional reactive :class:`AdaptiveController` can ride along; the
+    effective protection level for a workload is then the max of the
+    phase policy's level and the reactive controller's level, so a storm
+    the timeline did not forecast still escalates the armor.
+    """
+
+    def __init__(
+        self,
+        workloads: list[ManagedWorkload],
+        policies: Mapping[MissionPhase, PhasePolicy] | None = None,
+        base_scrub_period_s: float = 64.0,
+        tracer=None,
+        reactive: AdaptiveController | None = None,
+    ) -> None:
+        if base_scrub_period_s <= 0:
+            raise ConfigError("scrub period must be positive")
+        names = [w.name for w in workloads]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate workload names in {names}")
+        self.workloads = {w.name: w for w in workloads}
+        self.policies = dict(policies if policies is not None else DEFAULT_PHASE_POLICIES)
+        missing = [p for p in MissionPhase if p not in self.policies]
+        if missing:
+            raise ConfigError(f"policy table missing phases {missing}")
+        self.base_scrub_period_s = base_scrub_period_s
+        self.tracer = tracer
+        self.reactive = reactive
+        self.phase = MissionPhase.QUIET
+        self.actions: list[PhaseActions] = []
+        self._last_t = float("-inf")
+
+    @property
+    def policy(self) -> PhasePolicy:
+        """The policy in force for the current phase."""
+        return self.policies[self.phase]
+
+    def scrub_period_s(self) -> float:
+        """Scrub cadence under the current phase policy."""
+        return self.base_scrub_period_s * self.policy.scrub_period_scale
+
+    def detector_threshold_scale(self) -> float:
+        """Fleet detector threshold scale under the current phase policy."""
+        return self.policy.detector_threshold_scale
+
+    def level_for(self, name: str) -> ProtectionLevel:
+        """Effective protection level for a workload (phase ∨ reactive)."""
+        workload = self.workloads.get(name)
+        if workload is None:
+            raise ConfigError(f"unknown workload {name!r}")
+        level = self.policy.level_for(workload.criticality)
+        if self.reactive is not None and level < self.reactive.level:
+            level = self.reactive.level
+        return level
+
+    def active_workloads(self) -> list[str]:
+        """Names of workloads currently running (not shed)."""
+        return [w.name for w in self.workloads.values() if not w.shed]
+
+    def observe(self, t: float, n_faults: int = 1) -> None:
+        """Forward a fault observation to the reactive controller."""
+        if self.reactive is not None:
+            self.reactive.observe(t, n_faults)
+
+    def advance(self, t: float, phase: MissionPhase) -> PhaseActions:
+        """Tell the controller the mission phase at time ``t``.
+
+        Idempotent within a phase: repeated calls with the same phase
+        return ``changed=False`` actions and emit nothing.
+        """
+        if t < self._last_t:
+            raise ConfigError(
+                f"phase updates must be time-ordered: {t} after {self._last_t}"
+            )
+        self._last_t = t
+        if phase is self.phase:
+            return PhaseActions(
+                t=t,
+                phase=phase,
+                changed=False,
+                checkpoint=False,
+                scrub_period_s=self.scrub_period_s(),
+                detector_threshold_scale=self.detector_threshold_scale(),
+            )
+
+        previous = self.phase
+        self.phase = phase
+        policy = self.policies[phase]
+        shed: list[str] = []
+        restored: list[str] = []
+        for workload in self.workloads.values():
+            should_shed = policy.sheds(workload.criticality)
+            if should_shed and not workload.shed:
+                workload.shed = True
+                shed.append(workload.name)
+            elif workload.shed and not should_shed:
+                workload.shed = False
+                restored.append(workload.name)
+
+        actions = PhaseActions(
+            t=t,
+            phase=phase,
+            changed=True,
+            checkpoint=policy.checkpoint_on_entry,
+            shed=tuple(shed),
+            restored=tuple(restored),
+            scrub_period_s=self.scrub_period_s(),
+            detector_threshold_scale=self.detector_threshold_scale(),
+        )
+        self.actions.append(actions)
+        if self.tracer is not None:
+            self.tracer.emit(
+                PhaseTransition(
+                    t=t,
+                    previous=previous.value,
+                    phase=phase.value,
+                    checkpoint=actions.checkpoint,
+                    scrub_period_s=actions.scrub_period_s,
+                    detector_threshold_scale=actions.detector_threshold_scale,
+                )
+            )
+            for name in shed:
+                self.tracer.emit(
+                    WorkloadShed(
+                        t=t,
+                        workload=name,
+                        criticality=self.workloads[name].criticality.value,
+                        phase=phase.value,
+                    )
+                )
+            for name in restored:
+                self.tracer.emit(
+                    WorkloadRestored(
+                        t=t,
+                        workload=name,
+                        criticality=self.workloads[name].criticality.value,
+                        phase=phase.value,
+                    )
+                )
+        return actions

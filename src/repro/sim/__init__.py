@@ -19,10 +19,24 @@ from repro.sim.mission import (
     SUPERVISED_COMMODITY,
 )
 from repro.sim.report import MissionReport, render_mission_table
+from repro.sim.scenario import (
+    DEFAULT_WORKLOADS,
+    LEVEL_MODELS,
+    LevelModel,
+    ScenarioConfig,
+    ScenarioReport,
+    ScenarioWorkload,
+    WorkloadReport,
+    run_scenario,
+    sweep_policies,
+)
 
 __all__ = [
     "MissionConfig", "ProtectionProfile", "run_mission", "sweep_profiles",
     "UNPROTECTED_COMMODITY", "PROTECTED_COMMODITY", "RAD_HARD_BASELINE",
     "SUPERVISED_COMMODITY",
     "MissionReport", "render_mission_table",
+    "DEFAULT_WORKLOADS", "LEVEL_MODELS", "LevelModel",
+    "ScenarioConfig", "ScenarioReport", "ScenarioWorkload",
+    "WorkloadReport", "run_scenario", "sweep_policies",
 ]

@@ -26,6 +26,7 @@ from repro.hw.specs import ENDUROSAT_OBC_SPEC, SNAPDRAGON_801, SocSpec
 from repro.radiation.environment import Environment, LEO_NOMINAL
 from repro.obs.events import MissionDay, MissionSel, Tracer
 from repro.radiation.events import DEFAULT_TARGET_WEIGHTS
+from repro.radiation.schedule import EnvironmentTimeline
 from repro.recover.supervisor import RecoveryParams
 from repro.rng import make_rng
 from repro.sim.report import MissionReport
@@ -146,13 +147,18 @@ class MissionConfig:
         profile: hardware + protection configuration.
         environment: radiation environment.
         duration_days: mission length.
-        compute_fraction: fraction of state that is live compute context
-            (registers/cache whose upsets hit running jobs).
+        timeline: optional :class:`~repro.radiation.schedule.EnvironmentTimeline`.
+            When set, each day-chunk's SEU rate uses the timeline's exact
+            mean RAM multiplier over the chunk (SAA passes and SPE decay
+            integrated in closed form) and the SEL rate uses the board
+            sensitivity's mean multiplier, instead of the legacy
+            start-of-chunk point sample from ``environment``.
     """
 
     profile: ProtectionProfile
     environment: Environment = LEO_NOMINAL
     duration_days: float = 365.0
+    timeline: EnvironmentTimeline | None = None
 
 
 def run_mission(
@@ -199,14 +205,19 @@ def run_mission(
     t = 0.0
     downtime_s = 0.0
     destroyed = False
+    timeline = config.timeline
     while t < duration_s and not destroyed:
         t_end = min(t + chunk_s, duration_s)
         dt = t_end - t
-        multiplier = env.rate_multiplier(t)
+        if timeline is not None:
+            seu_multiplier = timeline.phase_profile(t, t_end, "ram").mean_multiplier
+            sel_multiplier = timeline.phase_profile(t, t_end, "board").mean_multiplier
+        else:
+            seu_multiplier = sel_multiplier = env.rate_multiplier(t)
         chunk_downtime_s = 0.0
         chunk_failures = 0
 
-        n_seu = int(rng.poisson(seu_rate * multiplier * dt))
+        n_seu = int(rng.poisson(seu_rate * seu_multiplier * dt))
         report.seu_events += n_seu
         n_dram, n_compute = rng.multinomial(n_seu, target_probs)
 
@@ -260,7 +271,7 @@ def run_mission(
             report.sdc_escapes += consumed
 
         # Latch-ups: individually resolved.
-        n_sel = int(rng.poisson(sel_rate * multiplier * dt))
+        n_sel = int(rng.poisson(sel_rate * sel_multiplier * dt))
         for _ in range(n_sel):
             report.sel_events += 1
             threshold = (

@@ -12,6 +12,7 @@ KIB = 1024
 MIB = 1024 * KIB
 GIB = 1024 * MIB
 
+SECONDS_PER_HOUR = 3_600.0
 SECONDS_PER_DAY = 86_400.0
 #: One Martian sol in seconds (24 h 39 m 35 s), used by the Perseverance
 #: SEU-rate calibration in the paper (sect. 4).

@@ -1,0 +1,316 @@
+"""Environment timeline: phases, closed-form integrals, thinning."""
+
+import math
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.radiation.environment import LEO_NOMINAL, SOLAR_STORM
+from repro.radiation.flux import FluxModel
+from repro.radiation.orbit import LeoOrbit, OrbitPhase
+from repro.radiation.schedule import (
+    EnvironmentTimeline,
+    MissionPhase,
+    SpeModel,
+    SubsystemSensitivity,
+    sample_arrivals,
+)
+from repro.rng import make_rng
+
+
+def forced_spe(onsets, peak=50.0, tau=1800.0):
+    """An SPE process with deterministic onsets only."""
+    return SpeModel(
+        onset_rate_per_day=0.0,
+        forced_onsets=tuple(onsets),
+        peak_storm_scale=peak,
+        decay_tau_s=tau,
+    )
+
+
+class TestSpeModel:
+    def test_active_duration_closed_form(self):
+        spe = forced_spe((), peak=50.0, tau=1800.0)
+        expected = 1800.0 * math.log(49.0 / (spe.active_scale - 1.0))
+        assert spe.active_duration_s == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SpeModel(onset_rate_per_day=-1.0)
+        with pytest.raises(ConfigError):
+            SpeModel(decay_tau_s=0.0)
+        with pytest.raises(ConfigError):
+            SpeModel(peak_storm_scale=1.5, active_scale=2.0)
+        with pytest.raises(ConfigError):
+            SpeModel(forced_onsets=(-10.0,))
+
+    def test_sensitivity_validation(self):
+        with pytest.raises(ConfigError):
+            SubsystemSensitivity(saa=-0.1)
+
+
+class TestPhaseLabels:
+    def test_quiet_orbit_without_spe(self):
+        timeline = EnvironmentTimeline(orbit=LeoOrbit())
+        assert timeline.phase_at(0.0) is MissionPhase.QUIET
+
+    def test_saa_matches_orbit_geometry(self):
+        orbit = LeoOrbit()
+        timeline = EnvironmentTimeline(orbit=orbit)
+        mid_pass = orbit.period_s / 2.0
+        assert orbit.phase_at(mid_pass) is OrbitPhase.SAA
+        assert timeline.phase_at(mid_pass) is MissionPhase.SAA
+
+    def test_spe_dominates_saa(self):
+        orbit = LeoOrbit()
+        mid_pass = orbit.period_s / 2.0
+        timeline = EnvironmentTimeline(
+            orbit=orbit, spe=forced_spe((mid_pass - 60.0,))
+        )
+        assert timeline.phase_at(mid_pass) is MissionPhase.SPE
+
+    def test_spe_decays_back_to_quiet(self):
+        spe = forced_spe((100.0,))
+        timeline = EnvironmentTimeline(orbit=None, spe=spe)
+        assert timeline.phase_at(50.0) is MissionPhase.QUIET
+        assert timeline.phase_at(100.0) is MissionPhase.SPE
+        after = 100.0 + spe.active_duration_s + 1.0
+        assert timeline.phase_at(after) is MissionPhase.QUIET
+
+    def test_spe_interval_endpoint_is_exact(self):
+        spe = forced_spe((0.0,))
+        timeline = EnvironmentTimeline(orbit=None, spe=spe)
+        (start, end), = timeline.spe_intervals(0.0, 1e6)
+        assert start == 0.0
+        assert end == pytest.approx(spe.active_duration_s)
+        assert timeline.phase_at(end - 1e-3) is MissionPhase.SPE
+        assert timeline.phase_at(end + 1e-3) is MissionPhase.QUIET
+
+    def test_overlapping_events_stack(self):
+        spe = forced_spe((0.0, 600.0))
+        timeline = EnvironmentTimeline(orbit=None, spe=spe)
+        intervals = timeline.spe_intervals(0.0, 1e6)
+        assert len(intervals) == 1
+        # The second onset inherits the first's residual weight, so the
+        # merged interval outlasts a lone event started at 600 s.
+        assert intervals[0][1] > 600.0 + spe.active_duration_s
+
+    def test_negative_time_rejected(self):
+        timeline = EnvironmentTimeline(orbit=LeoOrbit())
+        with pytest.raises(ConfigError):
+            timeline.phase_at(-1.0)
+        with pytest.raises(ConfigError):
+            timeline.multiplier_at(-1.0)
+        with pytest.raises(ConfigError):
+            timeline.phase_profile(-5.0, 10.0)
+        with pytest.raises(ConfigError):
+            timeline.phase_profile(10.0, 5.0)
+
+    def test_live_generator_seed_rejected(self):
+        with pytest.raises(ConfigError):
+            EnvironmentTimeline(seed=make_rng(0))
+
+    def test_unknown_subsystem_rejected(self):
+        timeline = EnvironmentTimeline(orbit=LeoOrbit())
+        with pytest.raises(ConfigError, match="unknown subsystem"):
+            timeline.multiplier_at(0.0, "antenna")
+
+
+class TestOrbitNegativeTime:
+    """Regression: negative mission time must fail loudly, not index
+    a nonexistent "orbit -1" (it used to truncate toward zero)."""
+
+    def test_orbit_number_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            LeoOrbit().orbit_number(-0.5)
+
+    def test_phase_at_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            LeoOrbit().phase_at(-1e-9)
+
+
+class TestMultipliers:
+    def test_quiet_multiplier_is_one(self):
+        timeline = EnvironmentTimeline(orbit=LeoOrbit())
+        assert timeline.multiplier_at(0.0, "ram") == pytest.approx(1.0)
+
+    def test_saa_sensitivity_ordering(self):
+        orbit = LeoOrbit()
+        timeline = EnvironmentTimeline(orbit=orbit)
+        mid_pass = orbit.period_s / 2.0
+        ram = timeline.multiplier_at(mid_pass, "ram")
+        register = timeline.multiplier_at(mid_pass, "register")
+        sensor = timeline.multiplier_at(mid_pass, "sensor")
+        # Default sensitivities: sensor (1.2) > ram (1.0) > register (0.7).
+        assert sensor > ram > register > 1.0
+
+    def test_storm_sensitivity_ordering(self):
+        timeline = EnvironmentTimeline(orbit=None, spe=forced_spe((0.0,)))
+        ram = timeline.multiplier_at(1.0, "ram")
+        board = timeline.multiplier_at(1.0, "board")
+        assert board > ram > 1.0
+
+    def test_storm_scale_decays_exponentially(self):
+        tau = 1800.0
+        timeline = EnvironmentTimeline(
+            orbit=None, spe=forced_spe((0.0,), peak=50.0, tau=tau)
+        )
+        assert timeline.storm_scale_at(0.0) == pytest.approx(50.0)
+        assert timeline.storm_scale_at(tau) == pytest.approx(
+            1.0 + 49.0 * math.exp(-1.0)
+        )
+
+
+class TestPhaseProfile:
+    def test_occupancy_partitions_window(self):
+        orbit = LeoOrbit()
+        timeline = EnvironmentTimeline(
+            orbit=orbit, spe=forced_spe((orbit.period_s,))
+        )
+        window = orbit.period_s * orbit.saa_orbit_stride * 4
+        profile = timeline.phase_profile(0.0, window)
+        assert sum(profile.seconds.values()) == pytest.approx(window)
+        for phase in MissionPhase:
+            assert profile.seconds[phase] > 0.0
+
+    def test_quiet_integral_is_duration(self):
+        timeline = EnvironmentTimeline(orbit=None)
+        profile = timeline.phase_profile(0.0, 500.0)
+        assert profile.integral == pytest.approx(500.0)
+        assert profile.mean_multiplier == pytest.approx(1.0)
+        assert profile.peak_multiplier == pytest.approx(1.0)
+
+    def test_integral_matches_quadrature(self):
+        """The closed-form integral agrees with brute-force quadrature."""
+        orbit = LeoOrbit()
+        timeline = EnvironmentTimeline(
+            orbit=orbit, spe=forced_spe((2_000.0,))
+        )
+        t0, t1 = 0.0, 10_000.0
+        profile = timeline.phase_profile(t0, t1, "register")
+        ts = np.linspace(t0, t1, 200_001)
+        values = [timeline.multiplier_at(t, "register") for t in ts]
+        numeric = float(np.trapezoid(values, ts))
+        assert profile.integral == pytest.approx(numeric, rel=1e-3)
+
+    def test_peak_multiplier_bounds_samples(self):
+        orbit = LeoOrbit()
+        timeline = EnvironmentTimeline(
+            orbit=orbit, spe=forced_spe((orbit.period_s / 2.0,))
+        )
+        t0, t1 = 0.0, 20_000.0
+        peak = timeline.max_multiplier(t0, t1, "register")
+        for t in np.linspace(t0, t1 - 1e-6, 2_000):
+            assert timeline.multiplier_at(t, "register") <= peak + 1e-9
+
+    def test_expected_events_scales_with_rate(self):
+        timeline = EnvironmentTimeline(orbit=LeoOrbit())
+        one = timeline.expected_events(1.0, 0.0, 5_000.0)
+        ten = timeline.expected_events(10.0, 0.0, 5_000.0)
+        assert ten == pytest.approx(10.0 * one)
+        with pytest.raises(ConfigError):
+            timeline.expected_events(-1.0, 0.0, 10.0)
+
+
+class TestOnsetDeterminism:
+    def test_query_order_cannot_change_schedule(self):
+        spe = SpeModel(onset_rate_per_day=5.0)
+        a = EnvironmentTimeline(orbit=None, spe=spe, seed=42)
+        b = EnvironmentTimeline(orbit=None, spe=spe, seed=42)
+        week = 7 * 86_400.0
+        # a queries late block first, b queries in natural order.
+        late_a = a.onsets_in(week, 2 * week)
+        early_a = a.onsets_in(0.0, week)
+        early_b = b.onsets_in(0.0, week)
+        late_b = b.onsets_in(week, 2 * week)
+        assert early_a == early_b
+        assert late_a == late_b
+
+    def test_seed_changes_schedule(self):
+        spe = SpeModel(onset_rate_per_day=5.0)
+        a = EnvironmentTimeline(orbit=None, spe=spe, seed=1)
+        b = EnvironmentTimeline(orbit=None, spe=spe, seed=2)
+        week = 7 * 86_400.0
+        assert a.onsets_in(0.0, 4 * week) != b.onsets_in(0.0, 4 * week)
+
+    def test_forced_onsets_always_present(self):
+        timeline = EnvironmentTimeline(
+            orbit=None, spe=forced_spe((123.0, 456.0))
+        )
+        assert timeline.onsets_in(0.0, 1_000.0) == [123.0, 456.0]
+
+
+class TestSampleArrivals:
+    def test_zero_rate_or_window_is_empty(self):
+        timeline = EnvironmentTimeline(orbit=LeoOrbit())
+        assert sample_arrivals(
+            timeline, 0.0, 100.0, 0.0, make_rng(0)
+        ).size == 0
+        assert sample_arrivals(
+            timeline, 50.0, 50.0, 1.0, make_rng(0)
+        ).size == 0
+
+    def test_arrivals_sorted_and_in_window(self):
+        timeline = EnvironmentTimeline(orbit=LeoOrbit())
+        arrivals = sample_arrivals(
+            timeline, 100.0, 5_000.0, 0.05, make_rng(3)
+        )
+        assert np.all(np.diff(arrivals) >= 0.0)
+        assert np.all((arrivals >= 100.0) & (arrivals < 5_000.0))
+
+    def test_storm_concentrates_arrivals(self):
+        spe = forced_spe((5_000.0,), peak=50.0, tau=1800.0)
+        timeline = EnvironmentTimeline(orbit=None, spe=spe)
+        arrivals = sample_arrivals(
+            timeline, 0.0, 10_000.0, 0.01, make_rng(7), "register"
+        )
+        storm = np.mean(arrivals >= 5_000.0)
+        assert storm > 2.0 / 3.0
+
+
+class TestEnvironmentBridge:
+    def test_timeline_inherits_name(self):
+        assert LEO_NOMINAL.timeline().name == LEO_NOMINAL.name
+
+    def test_constant_storm_reproduces_legacy_multiplier(self):
+        """SOLAR_STORM.timeline() == the deprecated flag's flat rate."""
+        timeline = SOLAR_STORM.timeline()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = SOLAR_STORM.rate_multiplier(0.0)
+        assert timeline.multiplier_at(0.0, "ram") == pytest.approx(legacy)
+        assert timeline.phase_at(0.0) is MissionPhase.SPE
+
+    def test_storm_active_warns_once(self):
+        import repro.radiation.environment as env_mod
+
+        old = env_mod._STORM_FLAG_WARNED
+        env_mod._STORM_FLAG_WARNED = False
+        try:
+            with pytest.warns(DeprecationWarning, match="storm_active"):
+                SOLAR_STORM.rate_multiplier(0.0)
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", DeprecationWarning)
+                SOLAR_STORM.rate_multiplier(0.0)  # second call is silent
+        finally:
+            env_mod._STORM_FLAG_WARNED = old
+
+    def test_quiet_environment_timeline_matches_static(self):
+        timeline = LEO_NOMINAL.timeline()
+        orbit = LEO_NOMINAL.orbit
+        for t in (0.0, orbit.period_s / 2.0, orbit.period_s * 1.25):
+            assert timeline.multiplier_at(t, "ram") == pytest.approx(
+                LEO_NOMINAL.rate_multiplier(t)
+            )
+
+
+class TestFluxScaledMultiplier:
+    def test_scaled_composes_fractions(self):
+        flux = FluxModel()
+        assert flux.rate_multiplier_scaled(1.0, 1.0) == pytest.approx(1.0)
+        boosted = flux.rate_multiplier_scaled(flux.saa_multiplier, 1.0)
+        assert boosted == pytest.approx(
+            flux.rate_multiplier(in_saa=True, in_storm=False)
+        )

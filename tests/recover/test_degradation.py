@@ -1,0 +1,193 @@
+"""Phase-adaptive graceful degradation (the E16 policy layer)."""
+
+import pytest
+
+from repro.core.dmr.levels import ProtectionLevel
+from repro.errors import ConfigError
+from repro.obs import InMemorySink, Tracer
+from repro.radiation.schedule import (
+    EnvironmentTimeline,
+    MissionPhase,
+    SpeModel,
+)
+from repro.recover.adaptive import (
+    DEFAULT_PHASE_POLICIES,
+    AdaptiveConfig,
+    AdaptiveController,
+    ManagedWorkload,
+    PhaseAdaptiveController,
+    PhasePolicy,
+    WorkloadCriticality,
+)
+from repro.sim.scenario import ScenarioConfig, run_scenario
+from repro.units import SECONDS_PER_HOUR
+
+
+def workloads():
+    return [
+        ManagedWorkload("adcs", WorkloadCriticality.CRITICAL),
+        ManagedWorkload("imaging", WorkloadCriticality.NORMAL),
+        ManagedWorkload("compress", WorkloadCriticality.LOW),
+    ]
+
+
+class TestPhasePolicy:
+    def test_default_table_covers_all_phases(self):
+        assert set(DEFAULT_PHASE_POLICIES) == set(MissionPhase)
+
+    def test_policy_requires_every_criticality(self):
+        with pytest.raises(ConfigError, match="missing"):
+            PhasePolicy(
+                levels={WorkloadCriticality.LOW: ProtectionLevel.NONE}
+            )
+
+    def test_spe_policy_sheds_low_only(self):
+        policy = DEFAULT_PHASE_POLICIES[MissionPhase.SPE]
+        assert policy.sheds(WorkloadCriticality.LOW)
+        assert not policy.sheds(WorkloadCriticality.NORMAL)
+        assert not policy.sheds(WorkloadCriticality.CRITICAL)
+
+    def test_escalation_monotone_in_phase(self):
+        """Each criticality's armor never weakens as the phase worsens."""
+        for crit in WorkloadCriticality:
+            quiet = DEFAULT_PHASE_POLICIES[MissionPhase.QUIET].level_for(crit)
+            saa = DEFAULT_PHASE_POLICIES[MissionPhase.SAA].level_for(crit)
+            spe = DEFAULT_PHASE_POLICIES[MissionPhase.SPE].level_for(crit)
+            assert quiet.rank <= saa.rank <= spe.rank
+
+
+class TestPhaseAdaptiveController:
+    def test_full_storm_cycle(self):
+        sink = InMemorySink()
+        controller = PhaseAdaptiveController(
+            workloads(), tracer=Tracer(sink)
+        )
+        assert controller.advance(0.0, MissionPhase.QUIET).changed is False
+
+        saa = controller.advance(100.0, MissionPhase.SAA)
+        assert saa.changed and saa.checkpoint
+        assert saa.scrub_period_s == pytest.approx(64.0 * 0.25)
+        assert controller.level_for("adcs") is ProtectionLevel.FULL_DMR
+
+        spe = controller.advance(200.0, MissionPhase.SPE)
+        assert spe.shed == ("compress",)
+        assert controller.active_workloads() == ["adcs", "imaging"]
+        assert controller.detector_threshold_scale() == pytest.approx(0.75)
+        for name in ("adcs", "imaging"):
+            assert controller.level_for(name) is ProtectionLevel.FULL_DMR
+
+        quiet = controller.advance(5_000.0, MissionPhase.QUIET)
+        assert quiet.restored == ("compress",)
+        assert controller.active_workloads() == [
+            "adcs", "imaging", "compress"
+        ]
+
+        kinds = [e.kind for e in sink.events]
+        assert kinds == [
+            "phase-transition",            # -> SAA
+            "phase-transition",            # -> SPE
+            "workload-shed",               # compress
+            "phase-transition",            # -> QUIET
+            "workload-restored",           # compress
+        ]
+
+    def test_advance_is_idempotent_within_phase(self):
+        sink = InMemorySink()
+        controller = PhaseAdaptiveController(
+            workloads(), tracer=Tracer(sink)
+        )
+        controller.advance(0.0, MissionPhase.SAA)
+        repeat = controller.advance(10.0, MissionPhase.SAA)
+        assert repeat.changed is False
+        assert len([e for e in sink.events
+                    if e.kind == "phase-transition"]) == 1
+
+    def test_time_order_enforced(self):
+        controller = PhaseAdaptiveController(workloads())
+        controller.advance(100.0, MissionPhase.SAA)
+        with pytest.raises(ConfigError, match="time-ordered"):
+            controller.advance(50.0, MissionPhase.QUIET)
+
+    def test_unknown_workload_rejected(self):
+        controller = PhaseAdaptiveController(workloads())
+        with pytest.raises(ConfigError, match="unknown workload"):
+            controller.level_for("nonexistent")
+
+    def test_duplicate_workloads_rejected(self):
+        with pytest.raises(ConfigError, match="duplicate"):
+            PhaseAdaptiveController([
+                ManagedWorkload("a", WorkloadCriticality.LOW),
+                ManagedWorkload("a", WorkloadCriticality.LOW),
+            ])
+
+    def test_incomplete_policy_table_rejected(self):
+        with pytest.raises(ConfigError, match="missing phases"):
+            PhaseAdaptiveController(
+                workloads(),
+                policies={
+                    MissionPhase.QUIET:
+                        DEFAULT_PHASE_POLICIES[MissionPhase.QUIET]
+                },
+            )
+
+    def test_reactive_controller_escalates_past_quiet_policy(self):
+        """A storm the forecast missed still raises the armor."""
+        reactive = AdaptiveController(
+            AdaptiveConfig(window_s=10.0, escalate_rate_per_s=1.0)
+        )
+        controller = PhaseAdaptiveController(
+            workloads(), reactive=reactive
+        )
+        controller.advance(0.0, MissionPhase.QUIET)
+        baseline = controller.level_for("compress")
+        for i in range(400):
+            controller.observe(float(i) * 0.01, 1)
+        assert controller.level_for("compress") > baseline
+
+
+class TestSpeSurvival:
+    """ISSUE gate: the critical workload survives a full SPE."""
+
+    def _timeline(self):
+        return EnvironmentTimeline(
+            spe=SpeModel(
+                onset_rate_per_day=0.0,
+                forced_onsets=(2.0 * SECONDS_PER_HOUR,),
+                peak_storm_scale=50.0,
+                decay_tau_s=1800.0,
+            ),
+            seed=1,
+            name="degradation-test",
+        )
+
+    def test_adaptive_survives_full_spe(self):
+        report = run_scenario(ScenarioConfig(
+            timeline=self._timeline(),
+            policy="adaptive",
+            duration_s=6.0 * SECONDS_PER_HOUR,
+        ))
+        spe_s = report.phase_seconds[MissionPhase.SPE.value]
+        assert spe_s > 0.0, "scenario must actually contain the storm"
+        assert report.critical_survived_spe
+        assert report.critical_spe_sdc_events == 0.0
+
+    def test_unprotected_does_not_survive(self):
+        report = run_scenario(ScenarioConfig(
+            timeline=self._timeline(),
+            policy=ProtectionLevel.NONE,
+            duration_s=6.0 * SECONDS_PER_HOUR,
+        ))
+        assert not report.critical_survived_spe
+
+    def test_shedding_saves_energy_during_storm(self):
+        adaptive = run_scenario(ScenarioConfig(
+            timeline=self._timeline(),
+            policy="adaptive",
+            duration_s=6.0 * SECONDS_PER_HOUR,
+        ))
+        static = run_scenario(ScenarioConfig(
+            timeline=self._timeline(),
+            policy=ProtectionLevel.FULL_DMR,
+            duration_s=6.0 * SECONDS_PER_HOUR,
+        ))
+        assert adaptive.energy_j < static.energy_j

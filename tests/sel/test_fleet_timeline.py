@@ -1,0 +1,153 @@
+"""Timeline-driven fleet supervision: deterministic latch-up schedules,
+phase-following detector thresholds, traced transitions."""
+
+import pytest
+
+from repro.core.sel import (
+    FleetMember, SelFleetService, SelTrialConfig,
+    train_detector_on_clean_trace,
+)
+from repro.core.sel.fleet import DEFAULT_PHASE_THRESHOLD_SCALES
+from repro.detect import FleetConfig, ResidualCusumDetector
+from repro.errors import ConfigError
+from repro.hw.board import Board
+from repro.hw.specs import RASPBERRY_PI_4
+from repro.obs import InMemorySink, Tracer
+from repro.radiation.schedule import (
+    EnvironmentTimeline,
+    MissionPhase,
+    SpeModel,
+)
+from repro.workloads.stress import cpu_memory_stress_schedule
+
+N_BOARDS = 6
+
+
+def _members(seed0=200):
+    return [
+        FleetMember(
+            board_id=f"board-{b:02d}",
+            board=Board(spec=RASPBERRY_PI_4, seed=seed0 + b),
+            schedule=cpu_memory_stress_schedule(RASPBERRY_PI_4.n_cores),
+        )
+        for b in range(N_BOARDS)
+    ]
+
+
+def _detector():
+    return train_detector_on_clean_trace(
+        ResidualCusumDetector(h_sigma=40.0),
+        SelTrialConfig(train_duration_s=120.0),
+        seed=11,
+    )
+
+
+def _storm_timeline(onset_s=20.0):
+    return EnvironmentTimeline(
+        spe=SpeModel(
+            onset_rate_per_day=0.0,
+            forced_onsets=(onset_s,),
+            peak_storm_scale=50.0,
+            decay_tau_s=1800.0,
+        ),
+        seed=3,
+        name="fleet-storm",
+    )
+
+
+def _service(members, timeline, **kwargs):
+    return SelFleetService(
+        _detector(), members, FleetConfig(),
+        timeline=timeline, **kwargs,
+    )
+
+
+class TestTimelineLatchupSchedule:
+    def test_schedule_is_seed_deterministic(self):
+        # Accelerated rate so the window reliably contains arrivals.
+        kwargs = dict(sel_rate_per_board_day=500.0, timeline_seed=7)
+        a = _service(_members(), _storm_timeline(), **kwargs)
+        b = _service(_members(seed0=400), _storm_timeline(), **kwargs)
+        onsets_a = a.schedule_timeline_latchups(0.0, 3_600.0)
+        onsets_b = b.schedule_timeline_latchups(0.0, 3_600.0)
+        assert onsets_a == onsets_b
+        assert sum(len(v) for v in onsets_a.values()) > 0
+
+    def test_different_seed_different_schedule(self):
+        a = _service(
+            _members(), _storm_timeline(),
+            sel_rate_per_board_day=500.0, timeline_seed=1,
+        )
+        b = _service(
+            _members(), _storm_timeline(),
+            sel_rate_per_board_day=500.0, timeline_seed=2,
+        )
+        assert a.schedule_timeline_latchups(0.0, 3_600.0) != (
+            b.schedule_timeline_latchups(0.0, 3_600.0)
+        )
+
+    def test_storm_concentrates_latchups(self):
+        service = _service(
+            _members(), _storm_timeline(onset_s=1_800.0),
+            sel_rate_per_board_day=500.0, timeline_seed=7,
+        )
+        onsets = service.schedule_timeline_latchups(0.0, 3_600.0)
+        times = [t for board in onsets.values() for t in board]
+        storm = sum(1 for t in times if t >= 1_800.0)
+        assert storm > len(times) / 2
+
+    def test_requires_timeline(self):
+        service = SelFleetService(_detector(), _members(), FleetConfig())
+        with pytest.raises(ConfigError, match="no timeline"):
+            service.schedule_timeline_latchups(0.0, 100.0)
+
+
+class TestPhaseFollowing:
+    def test_threshold_tightens_on_spe_entry(self):
+        sink = InMemorySink()
+        service = _service(
+            _members(), _storm_timeline(onset_s=20.0),
+            tracer=Tracer(sink),
+        )
+        service.run(duration_s=40.0, rate_hz=1.0, inject_latchups=False)
+        expected = DEFAULT_PHASE_THRESHOLD_SCALES[MissionPhase.SPE]
+        assert service.scorer.threshold_scale == pytest.approx(expected)
+
+        transitions = [
+            e for e in sink.events if e.kind == "phase-transition"
+        ]
+        assert len(transitions) == 1
+        assert transitions[0].previous == MissionPhase.QUIET.value
+        assert transitions[0].phase == MissionPhase.SPE.value
+        assert transitions[0].detector_threshold_scale == pytest.approx(
+            expected
+        )
+
+    def test_quiet_timeline_keeps_default_threshold(self):
+        service = _service(
+            _members(), EnvironmentTimeline(name="deep-space"),
+        )
+        service.run(duration_s=10.0, rate_hz=1.0, inject_latchups=False)
+        assert service.scorer.threshold_scale == pytest.approx(1.0)
+
+    def test_custom_threshold_scales(self):
+        service = _service(
+            _members(), _storm_timeline(onset_s=5.0),
+            threshold_scales={
+                MissionPhase.QUIET: 1.0,
+                MissionPhase.SAA: 0.8,
+                MissionPhase.SPE: 0.5,
+            },
+        )
+        service.run(duration_s=10.0, rate_hz=1.0, inject_latchups=False)
+        assert service.scorer.threshold_scale == pytest.approx(0.5)
+
+    def test_scorer_scale_validation_and_reset(self):
+        service = _service(_members(), _storm_timeline())
+        with pytest.raises(ConfigError):
+            service.scorer.set_threshold_scale(0.0)
+        with pytest.raises(ConfigError):
+            service.scorer.set_threshold_scale(float("nan"))
+        service.scorer.set_threshold_scale(0.5)
+        service.scorer.reset()
+        assert service.scorer.threshold_scale == pytest.approx(1.0)

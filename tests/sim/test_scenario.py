@@ -1,0 +1,222 @@
+"""Scenario simulator: determinism, economics, policy dominance."""
+
+import pytest
+
+from repro.core.dmr.levels import ALL_LEVELS, ProtectionLevel
+from repro.errors import ConfigError
+from repro.faults.outcomes import FaultOutcome
+from repro.obs import InMemorySink, Tracer
+from repro.radiation.schedule import (
+    EnvironmentTimeline,
+    MissionPhase,
+    SpeModel,
+)
+from repro.recover.adaptive import WorkloadCriticality
+from repro.sim.scenario import (
+    DEFAULT_WORKLOADS,
+    LEVEL_MODELS,
+    LevelModel,
+    ScenarioConfig,
+    ScenarioWorkload,
+    run_scenario,
+    sweep_policies,
+)
+from repro.units import SECONDS_PER_HOUR
+
+
+def storm_timeline(onset_hours=2.0, seed=1):
+    from repro.radiation.orbit import LeoOrbit
+
+    return EnvironmentTimeline(
+        orbit=LeoOrbit(),
+        spe=SpeModel(
+            onset_rate_per_day=0.0,
+            forced_onsets=(onset_hours * SECONDS_PER_HOUR,),
+            peak_storm_scale=50.0,
+            decay_tau_s=1800.0,
+        ),
+        seed=seed,
+        name="test-storm",
+    )
+
+
+class TestLevelModels:
+    def test_ladder_is_complete(self):
+        assert set(LEVEL_MODELS) == set(ALL_LEVELS)
+
+    def test_stronger_levels_trade_sdc_for_overhead(self):
+        ordered = [LEVEL_MODELS[lv] for lv in ALL_LEVELS]
+        sdc = [m.p(FaultOutcome.SDC) for m in ordered]
+        overhead = [m.overhead for m in ordered]
+        assert sdc == sorted(sdc, reverse=True)
+        assert overhead == sorted(overhead)
+
+    def test_full_dmr_has_zero_sdc(self):
+        assert LEVEL_MODELS[ProtectionLevel.FULL_DMR].p(
+            FaultOutcome.SDC
+        ) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            LevelModel(overhead=0.5, outcome_probs={FaultOutcome.BENIGN: 1.0})
+        with pytest.raises(ConfigError):
+            LevelModel(overhead=1.0, outcome_probs={FaultOutcome.BENIGN: 0.9})
+
+
+class TestConfigValidation:
+    def test_share_must_be_positive_fraction(self):
+        with pytest.raises(ConfigError):
+            ScenarioWorkload("x", WorkloadCriticality.LOW, 0.0)
+        with pytest.raises(ConfigError):
+            ScenarioWorkload("x", WorkloadCriticality.LOW, 1.5)
+
+    def test_shares_must_fit_one_cpu(self):
+        with pytest.raises(ConfigError, match="shares sum"):
+            ScenarioConfig(
+                timeline=storm_timeline(),
+                workloads=(
+                    ScenarioWorkload("a", WorkloadCriticality.LOW, 0.6),
+                    ScenarioWorkload("b", WorkloadCriticality.LOW, 0.6),
+                ),
+            )
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigError, match="duplicate"):
+            ScenarioConfig(
+                timeline=storm_timeline(),
+                workloads=(
+                    ScenarioWorkload("a", WorkloadCriticality.LOW, 0.1),
+                    ScenarioWorkload("a", WorkloadCriticality.LOW, 0.1),
+                ),
+            )
+
+    def test_unknown_policy_string_rejected(self):
+        with pytest.raises(ConfigError, match="adaptive"):
+            ScenarioConfig(timeline=storm_timeline(), policy="maximal")
+
+    def test_policy_name(self):
+        static = ScenarioConfig(
+            timeline=storm_timeline(), policy=ProtectionLevel.FULL_DMR
+        )
+        assert static.policy_name == "static-full-dmr"
+        adaptive = ScenarioConfig(timeline=storm_timeline())
+        assert adaptive.policy_name == "adaptive"
+
+
+class TestDeterminism:
+    def test_same_config_same_report(self):
+        config = ScenarioConfig(
+            timeline=storm_timeline(), duration_s=4.0 * SECONDS_PER_HOUR
+        )
+        a, b = run_scenario(config), run_scenario(config)
+        assert a.useful_compute_s == b.useful_compute_s
+        assert a.energy_j == b.energy_j
+        assert a.sdc_events == b.sdc_events
+        assert a.phase_seconds == b.phase_seconds
+        assert [w.__dict__ for w in a.workloads] == [
+            w.__dict__ for w in b.workloads
+        ]
+
+    def test_phase_seconds_partition_duration(self):
+        config = ScenarioConfig(
+            timeline=storm_timeline(), duration_s=4.0 * SECONDS_PER_HOUR
+        )
+        report = run_scenario(config)
+        assert sum(report.phase_seconds.values()) == pytest.approx(
+            config.duration_s
+        )
+
+
+class TestScenarioMechanics:
+    def test_adaptive_sheds_during_storm(self):
+        report = run_scenario(ScenarioConfig(
+            timeline=storm_timeline(), duration_s=4.0 * SECONDS_PER_HOUR
+        ))
+        shed = {w.name: w.shed_s for w in report.workloads}
+        assert shed["compress"] > 0.0
+        assert shed["adcs"] == 0.0
+        assert shed["imaging"] == 0.0
+
+    def test_traced_run_emits_phase_transitions(self):
+        sink = InMemorySink()
+        run_scenario(
+            ScenarioConfig(
+                timeline=storm_timeline(),
+                duration_s=4.0 * SECONDS_PER_HOUR,
+            ),
+            tracer=Tracer(sink),
+        )
+        kinds = {e.kind for e in sink.events}
+        assert "phase-transition" in kinds
+        assert "workload-shed" in kinds
+
+    def test_static_policy_never_sheds(self):
+        report = run_scenario(ScenarioConfig(
+            timeline=storm_timeline(),
+            policy=ProtectionLevel.NONE,
+            duration_s=4.0 * SECONDS_PER_HOUR,
+        ))
+        assert all(w.shed_s == 0.0 for w in report.workloads)
+
+    def test_storm_multiplies_upsets(self):
+        quiet = run_scenario(ScenarioConfig(
+            timeline=EnvironmentTimeline(name="quiet"),
+            policy=ProtectionLevel.NONE,
+            duration_s=4.0 * SECONDS_PER_HOUR,
+        ))
+        stormy = run_scenario(ScenarioConfig(
+            timeline=storm_timeline(),
+            policy=ProtectionLevel.NONE,
+            duration_s=4.0 * SECONDS_PER_HOUR,
+        ))
+        assert stormy.sdc_events > 2.0 * quiet.sdc_events
+
+
+class TestPolicyDominance:
+    def test_adaptive_beats_every_static_through_a_storm(self):
+        results = sweep_policies(
+            storm_timeline(), duration_s=6.0 * SECONDS_PER_HOUR
+        )
+        adaptive = results["adaptive"]
+        for name, report in results.items():
+            if name == "adaptive":
+                continue
+            assert (
+                adaptive.useful_compute_per_joule
+                > report.useful_compute_per_joule
+            ), f"adaptive lost to {name}"
+
+    def test_sweep_covers_every_policy(self):
+        results = sweep_policies(
+            storm_timeline(), duration_s=1.0 * SECONDS_PER_HOUR
+        )
+        assert set(results) == {
+            "static-none", "static-scc-cfi", "static-bb-cfi",
+            "static-cfi+dataflow", "static-full-dmr", "adaptive",
+        }
+
+    def test_survival_discriminates(self):
+        results = sweep_policies(
+            storm_timeline(), duration_s=6.0 * SECONDS_PER_HOUR
+        )
+        assert results["adaptive"].critical_survived_spe
+        assert results["static-full-dmr"].critical_survived_spe
+        assert not results["static-none"].critical_survived_spe
+        assert not results["static-scc-cfi"].critical_survived_spe
+
+    def test_survival_vacuously_true_without_storm(self):
+        report = run_scenario(ScenarioConfig(
+            timeline=EnvironmentTimeline(name="deep-space"),
+            policy=ProtectionLevel.NONE,
+            duration_s=1.0 * SECONDS_PER_HOUR,
+        ))
+        assert MissionPhase.SPE.value not in report.phase_seconds or (
+            report.phase_seconds[MissionPhase.SPE.value] == 0.0
+        )
+        assert report.critical_survived_spe
+
+
+class TestWorkloadMix:
+    def test_default_mix_has_one_critical(self):
+        criticalities = [w.criticality for w in DEFAULT_WORKLOADS]
+        assert criticalities.count(WorkloadCriticality.CRITICAL) == 1

@@ -28,6 +28,7 @@ from repro.faults.parallel import (
     run_supervised_campaign_parallel,
     run_timeline_campaign_parallel,
 )
+from repro.faults.lockstep import run_campaign_lockstep
 from repro.faults.sel import LatchupEvent, LatchupGenerator
 
 __all__ = [
@@ -38,6 +39,6 @@ __all__ = [
     "Campaign", "CampaignResult", "run_campaign",
     "TimelineCampaignResult", "run_timeline_campaign",
     "run_campaign_parallel", "run_supervised_campaign_parallel",
-    "run_timeline_campaign_parallel",
+    "run_timeline_campaign_parallel", "run_campaign_lockstep",
     "LatchupEvent", "LatchupGenerator",
 ]

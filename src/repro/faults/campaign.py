@@ -279,8 +279,29 @@ def run_trial(
         step_hook=injector,
         code_cache=code_cache,
         trace_hook=trace_hook,
+        # Both SEU injectors are pure no-ops before their drawn dynamic
+        # index and after firing, so the interpreter may run batched
+        # superblocks outside the live injection window.
+        hook_index=injector.spec.dynamic_index,
     )
     result = interp.run(campaign.func_name, list(campaign.args))
+    trial = classify_trial(campaign, golden, injector, result)
+    if tracer is not None:
+        emit_trial_events(tracer, trial_index, trial, fired=injector.fired)
+    return trial
+
+
+def classify_trial(
+    campaign: Campaign,
+    golden: ExecutionResult,
+    injector: RegisterFaultInjector | HeapFaultInjector,
+    result: ExecutionResult,
+) -> TrialResult:
+    """Build the :class:`TrialResult` of one finished faulted execution.
+
+    Shared by :func:`run_trial` and the lockstep engine so every
+    execution mode classifies identically.
+    """
     outcome, rel_error = classify(
         result, golden.value, campaign.sdc_tolerance
     )
@@ -288,16 +309,13 @@ def run_trial(
         # The fault never landed (e.g. MEMORY target but the program
         # allocated nothing).  Count it as benign: the particle missed.
         outcome, rel_error = FaultOutcome.BENIGN, 0.0
-    trial = TrialResult(
+    return TrialResult(
         spec=injector.resolved or injector.spec,
         outcome=outcome,
         value=result.value,
         rel_error=rel_error,
         cycles=result.cycles,
     )
-    if tracer is not None:
-        emit_trial_events(tracer, trial_index, trial, fired=injector.fired)
-    return trial
 
 
 def emit_campaign_start(

@@ -1,0 +1,141 @@
+"""Lockstep fault-injection campaigns: batched trials, identical results.
+
+:func:`run_campaign_lockstep` classifies the same trials as
+:func:`repro.faults.campaign.run_campaign` — byte-identical for the same
+seed — but advances a batch of trials together through the shared
+compiled superblocks (:mod:`repro.ir.lockstep`) instead of running them
+one after another.  Determinism rests on the same two pillars as the
+parallel engine:
+
+* **fork-before-batch**: the per-trial generators are forked from the
+  campaign RNG with the exact spawn-key scheme of the serial loop, and
+  each injector only ever draws from its own generator, so the
+  interleaving of lane advances cannot perturb any trial's randomness;
+* **per-lane isolation**: every lane owns its environment, heap and
+  counters; lanes share only immutable compiled code.
+
+Traced campaigns run the lanes with ``record_trace`` on and re-emit each
+trial's events post-hoc in trial-index order (trial start, per-block
+transitions rebuilt from the lane's ``block_trace`` when requested,
+injection, classified end) — the identical stream the serial traced loop
+produces, because the serial loop's events are per-trial contiguous too.
+
+With ``workers > 1`` the batch fans out across the persistent warm pool
+(:mod:`repro.faults.parallel`), each worker running its chunk in
+lockstep — still byte-identical at every worker count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.faults.campaign import (
+    Campaign,
+    CampaignResult,
+    classify_trial,
+    emit_campaign_end,
+    emit_campaign_start,
+    emit_trial_events,
+    make_injector,
+    run_golden,
+    trial_fuel_for,
+)
+from repro.faults.outcomes import OutcomeCounts, TrialResult
+from repro.ir.interp import ExecutionResult
+from repro.ir.lockstep import run_lockstep, start_lane
+from repro.obs.events import BlockTransition, Tracer, TrialStart
+from repro.rng import fork, make_rng
+
+#: Lanes advanced together per batch.  Bounds peak memory (each lane holds
+#: a live environment + heap) while keeping block groups well-populated.
+DEFAULT_BATCH = 32
+
+
+def run_lockstep_trials(
+    campaign: Campaign,
+    golden: ExecutionResult,
+    trial_fuel: int,
+    trial_rngs: list[np.random.Generator],
+    code_cache: dict,
+    batch: int = DEFAULT_BATCH,
+    record_trace: bool = False,
+) -> list[tuple[TrialResult, bool, list[tuple[str, str]]]]:
+    """Run ``trial_rngs``'s trials in lockstep batches.
+
+    Returns ``(trial, fired, block_trace)`` per trial in index order —
+    the trial record, whether its injector fired, and the executed-block
+    trace (empty unless ``record_trace``).  Shared by the serial lockstep
+    campaign and the parallel workers' lockstep chunks.
+    """
+    out: list[tuple[TrialResult, bool, list[tuple[str, str]]]] = []
+    for lo in range(0, len(trial_rngs), batch):
+        chunk = trial_rngs[lo:lo + batch]
+        injectors = [make_injector(campaign, golden, rng) for rng in chunk]
+        lanes = [
+            start_lane(
+                campaign.module,
+                campaign.func_name,
+                list(campaign.args),
+                cost_model=campaign.cost_model,
+                fuel=trial_fuel,
+                step_hook=injector,
+                hook_index=injector.spec.dynamic_index,
+                code_cache=code_cache,
+                record_trace=record_trace,
+            )
+            for injector in injectors
+        ]
+        for injector, result in zip(injectors, run_lockstep(lanes)):
+            trial = classify_trial(campaign, golden, injector, result)
+            out.append((trial, injector.fired, result.block_trace))
+    return out
+
+
+def run_campaign_lockstep(
+    campaign: Campaign,
+    seed: int | np.random.Generator | None = None,
+    workers: int | None = None,
+    batch: int = DEFAULT_BATCH,
+    tracer: Tracer | None = None,
+    trace_blocks: bool = False,
+) -> CampaignResult:
+    """Execute ``campaign`` with batched lockstep trials.
+
+    Byte-identical to ``run_campaign(campaign, seed)`` — same
+    ``TrialResult`` sequence, counts and golden run — and, when traced,
+    the identical event stream.  ``workers > 1`` additionally fans
+    lockstep chunks across the warm process pool.
+    """
+    if workers is not None and workers > 1:
+        from repro.faults.parallel import run_campaign_parallel
+
+        return run_campaign_parallel(
+            campaign, seed=seed, workers=workers, tracer=tracer,
+            trace_blocks=trace_blocks, lockstep=True, lockstep_batch=batch,
+        )
+    rng = make_rng(seed)
+    if tracer is not None:
+        emit_campaign_start(tracer, campaign)
+    golden = run_golden(campaign, tracer=tracer)
+    trial_fuel = trial_fuel_for(campaign, golden)
+    trial_rngs = fork(rng, campaign.n_trials)
+
+    code_cache: dict = {}
+    rows = run_lockstep_trials(
+        campaign, golden, trial_fuel, trial_rngs, code_cache, batch=batch,
+        record_trace=tracer is not None and trace_blocks,
+    )
+
+    counts = OutcomeCounts()
+    trials: list[TrialResult] = []
+    for index, (trial, fired, block_trace) in enumerate(rows):
+        counts.record(trial.outcome)
+        trials.append(trial)
+        if tracer is not None:
+            tracer.emit(TrialStart(trial=index))
+            for func_name, block_name in block_trace:
+                tracer.emit(BlockTransition(func=func_name, block=block_name))
+            emit_trial_events(tracer, index, trial, fired=fired)
+    if tracer is not None:
+        emit_campaign_end(tracer, campaign, golden, counts)
+    return CampaignResult(golden=golden, counts=counts, trials=trials)

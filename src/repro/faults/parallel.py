@@ -1,9 +1,9 @@
-"""Parallel fault-injection campaigns: multiprocess fan-out of trials.
+"""Parallel fault-injection campaigns: warm worker pools, shared-memory results.
 
 Campaign trials are embarrassingly parallel — each trial re-executes the
 module with one injected SEU drawn from its own forked generator — so the
-engine here fans them out across a ``multiprocessing`` pool while keeping
-the results **byte-identical** to the serial loop:
+engine here fans them out across a process pool while keeping the results
+**byte-identical** to the serial loop:
 
 * **fork-before-dispatch**: the parent forks the campaign RNG into one
   child generator per trial with the exact ``repro.rng.fork`` spawn-key
@@ -19,6 +19,21 @@ the results **byte-identical** to the serial loop:
   instruction count against the parent's), and compiles blocks into a
   worker-local code cache reused by every trial it executes.
 
+The pool itself is **persistent** (:data:`repro.perf.pool.POOL_REGISTRY`):
+it is forked and warm-started once per campaign *shape* — module
+fingerprint, entry + args, cost model, fuel, supervisor config, worker
+count — and stays alive across campaigns, so repeat campaigns skip fork,
+re-parse, golden re-validation and block compilation entirely and pay
+only queue traffic.  Untraced unsupervised results return through a
+preallocated shared-memory buffer of fixed-width records
+(:data:`repro.perf.pool.TRIAL_DTYPE`) written in place at each trial's
+global index — no per-trial pickling — with a pickled per-trial override
+escape hatch for values a fixed-width row cannot carry (integers beyond
+int64, unknown sites).  Chunk sizes adapt to the CPUs actually available
+(:func:`available_cpus`), not the requested worker count, so
+oversubscribed pools on small hosts stop producing straggler-heavy tiny
+chunks.
+
 When the pool cannot be created (sandboxes without POSIX semaphores,
 ``workers=1``, trivial campaigns) the engine falls back to an in-process
 loop over the same pre-forked generators — still byte-identical.
@@ -26,7 +41,14 @@ loop over the same pre-forked generators — still byte-identical.
 The same machinery drives supervised campaigns
 (:func:`run_supervised_campaign_parallel`): recovery trials are equally
 independent, each drawing its injector, checkpoint corruption and
-persistence class from its own child generator.
+persistence class from its own child generator.  Their richer results
+(attempt records) stay on the pickled return path.
+
+**Lockstep campaigns** (``lockstep=True``, see
+:mod:`repro.faults.lockstep`) run each worker's chunk as a batch of
+lanes advancing through shared compiled superblocks; classification is
+byte-identical to the per-trial loop, so serial, parallel, and lockstep
+campaigns all agree at every worker count.
 
 **Timeline campaigns** (:func:`run_timeline_campaign_parallel`) stay
 byte-identical too, by construction: the non-homogeneous Poisson arrival
@@ -47,8 +69,7 @@ from __future__ import annotations
 
 import math
 import os
-from dataclasses import dataclass
-from multiprocessing import get_context
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -69,10 +90,34 @@ from repro.ir.interp import ExecutionResult
 from repro.ir.parser import parse_module
 from repro.ir.printer import print_module
 from repro.obs.events import Event, InMemorySink, Tracer
+from repro.perf.cache import cost_model_key
+from repro.perf.pool import (
+    POOL_REGISTRY,
+    TrialBuffer,
+    WarmPool,
+    chunk_offsets,
+    decode_trial,
+    encode_trial,
+    site_table,
+)
 from repro.rng import fork, make_rng
 
 #: Trials below this count never amortize pool startup; stay in-process.
 MIN_PARALLEL_TRIALS = 8
+
+
+def available_cpus() -> int:
+    """CPUs actually usable by this process (affinity-aware).
+
+    ``os.cpu_count()`` reports the host; a containerized or
+    ``taskset``-restricted process may own far fewer.  Chunk sizing and
+    default worker counts key off this so a 16-worker request on a
+    2-CPU host is treated as 2-way parallelism, not 16.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
 
 
 @dataclass(frozen=True)
@@ -139,7 +184,8 @@ def _values_match(a: int | float | None, b: int | float | None) -> bool:
 # -- worker side ---------------------------------------------------------------
 #
 # One warm-started state per worker process, built by the pool initializer
-# and reused by every chunk the worker executes.
+# and reused by every chunk the worker executes — across campaigns, for as
+# long as the pool lives in the registry.
 
 _WORKER_STATE: "_WorkerState | None" = None
 
@@ -150,13 +196,11 @@ class _WorkerState:
     golden: ExecutionResult
     trial_fuel: int
     code_cache: dict
+    site_index: dict[str, int]
     supervisor: object | None  # repro.recover.supervisor.Supervisor
-    trace_blocks: bool = False
 
 
-def _init_worker(
-    wire: WireCampaign, supervisor_config, trace_blocks: bool = False
-) -> None:
+def _init_worker(wire: WireCampaign, supervisor_config) -> None:
     """Pool initializer: parse the module once, validate the golden run."""
     global _WORKER_STATE
     campaign = wire.to_campaign()
@@ -183,14 +227,27 @@ def _init_worker(
         golden=golden,
         trial_fuel=trial_fuel_for(campaign, golden),
         code_cache={},
+        site_index={
+            name: i for i, name in enumerate(site_table(campaign.module))
+        },
         supervisor=supervisor,
-        trace_blocks=trace_blocks,
     )
 
 
-def _run_trial_chunk(trial_rngs: list[np.random.Generator]) -> list[TrialResult]:
+def _worker_trials(
+    trial_rngs: list[np.random.Generator], lockstep: bool, batch: int
+) -> list[TrialResult]:
+    """One chunk's trials via the per-trial loop or the lockstep engine."""
     state = _WORKER_STATE
     assert state is not None, "worker used before initialization"
+    if lockstep:
+        from repro.faults.lockstep import run_lockstep_trials
+
+        rows = run_lockstep_trials(
+            state.campaign, state.golden, state.trial_fuel, trial_rngs,
+            state.code_cache, batch=batch,
+        )
+        return [trial for trial, _fired, _trace in rows]
     return [
         run_trial(
             state.campaign, state.golden, state.trial_fuel, rng,
@@ -200,23 +257,74 @@ def _run_trial_chunk(trial_rngs: list[np.random.Generator]) -> list[TrialResult]
     ]
 
 
-def _run_trial_chunk_traced(
-    indexed_rngs: list[tuple[int, np.random.Generator]],
-) -> list[tuple[TrialResult, list[Event]]]:
+def _run_trial_chunk(payload: tuple) -> list[TrialResult]:
+    """Pickled-return chunk body (fallback when shared memory is absent)."""
+    trial_rngs, lockstep, batch = payload
+    return _worker_trials(trial_rngs, lockstep, batch)
+
+
+def _run_trial_chunk_shm(payload: tuple) -> list[tuple[int, TrialResult]]:
+    """Shared-memory chunk body: results written in place at global indices.
+
+    Returns only the trials the fixed-width row could not carry, as
+    ``(global_index, trial)`` overrides.
+    """
+    shm_name, offset, trial_rngs, lockstep, batch = payload
+    state = _WORKER_STATE
+    assert state is not None, "worker used before initialization"
+    trials = _worker_trials(trial_rngs, lockstep, batch)
+    buffer = TrialBuffer.attach(shm_name, offset + len(trials))
+    overrides: list[tuple[int, TrialResult]] = []
+    try:
+        rows = buffer.array
+        site_index = state.site_index
+        for i, trial in enumerate(trials):
+            if not encode_trial(rows[offset + i], trial, site_index):
+                overrides.append((offset + i, trial))
+    finally:
+        buffer.close()
+    return overrides
+
+
+def _run_trial_chunk_traced(payload: tuple) -> list[tuple[TrialResult, list[Event]]]:
     """Traced chunk body: each trial's events collected for forwarding.
 
     Every trial gets a private collector so the parent can re-emit the
     batches in trial order regardless of which worker ran them.
     """
+    indexed_rngs, trace_blocks, lockstep, batch = payload
     state = _WORKER_STATE
     assert state is not None, "worker used before initialization"
-    out: list[tuple[TrialResult, list[Event]]] = []
+    if lockstep:
+        from repro.faults.lockstep import run_lockstep_trials
+
+        from repro.faults.campaign import emit_trial_events
+        from repro.obs.events import BlockTransition, TrialStart
+
+        rows = run_lockstep_trials(
+            state.campaign, state.golden, state.trial_fuel,
+            [rng for _i, rng in indexed_rngs], state.code_cache,
+            batch=batch, record_trace=trace_blocks,
+        )
+        out: list[tuple[TrialResult, list[Event]]] = []
+        for (index, _rng), (trial, fired, block_trace) in zip(
+            indexed_rngs, rows
+        ):
+            sink = InMemorySink()
+            tracer = Tracer(sink)
+            tracer.emit(TrialStart(trial=index))
+            for func_name, block_name in block_trace:
+                tracer.emit(BlockTransition(func=func_name, block=block_name))
+            emit_trial_events(tracer, index, trial, fired=fired)
+            out.append((trial, sink.events))
+        return out
+    out = []
     for index, rng in indexed_rngs:
         sink = InMemorySink()
         trial = run_trial(
             state.campaign, state.golden, state.trial_fuel, rng,
             state.code_cache, tracer=Tracer(sink), trial_index=index,
-            trace_blocks=state.trace_blocks,
+            trace_blocks=trace_blocks,
         )
         out.append((trial, sink.events))
     return out
@@ -256,7 +364,7 @@ def resolve_workers(workers: int | None) -> int:
                 f"worker count must be >= 1, got {workers}"
             )
         return workers
-    return max(1, min(os.cpu_count() or 1, 16))
+    return max(1, min(available_cpus(), 16))
 
 
 def _chunk_rngs(
@@ -266,43 +374,101 @@ def _chunk_rngs(
 
     Accepts bare generators (untraced path) or ``(index, generator)``
     pairs (traced path, where workers need the global trial index).
+    Sizing keys off the *effective* parallelism — the smaller of the
+    requested worker count and the CPUs actually available — so an
+    oversubscribed pool on a small host gets fewer, larger chunks
+    instead of straggler-heavy slivers.
     """
     n = len(trial_rngs)
     if chunk_size is None:
-        # ~4 chunks per worker balances stragglers against IPC overhead.
-        chunk_size = max(1, -(-n // (workers * 4)))
+        # ~4 chunks per effective worker balances stragglers against IPC.
+        effective = max(1, min(workers, available_cpus()))
+        chunk_size = max(1, -(-n // (effective * 4)))
     return [
         trial_rngs[i:i + chunk_size] for i in range(0, n, chunk_size)
     ]
 
 
-def _pool_context():
-    try:
-        return get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX hosts
-        return get_context("spawn")
+def _pool_key(
+    wire: WireCampaign, supervisor_config, workers: int
+) -> tuple:
+    """Registry key: everything the worker warm-start depends on.
+
+    ``n_trials`` is normalized out — a pool warmed for 60 trials serves
+    a 6000-trial campaign of the same shape unchanged.
+    """
+    return (
+        wire.ir_text,
+        wire.module_name,
+        wire.func_name,
+        wire.args,
+        wire.target.value,
+        wire.sdc_tolerance,
+        wire.fuel,
+        cost_model_key(wire.cost_model),
+        repr(supervisor_config),
+        workers,
+    )
 
 
-def _map_chunks(
-    wire: WireCampaign,
-    supervisor_config,
-    chunk_fn,
-    chunks: list[list],
-    workers: int,
-    trace_blocks: bool = False,
-) -> list[list] | None:
-    """Run chunks on a worker pool; None when no pool can be created."""
+def _get_pool(
+    wire: WireCampaign, supervisor_config, workers: int
+) -> WarmPool | None:
+    """Fetch (or fork + warm-start) the persistent pool for this shape."""
+    wire = replace(wire, n_trials=0)
+    return POOL_REGISTRY.get(
+        _pool_key(wire, supervisor_config, workers),
+        workers,
+        _init_worker,
+        (wire, supervisor_config),
+    )
+
+
+def _pool_map(pool: WarmPool, chunk_fn, chunks: list) -> list:
+    """Dispatch chunks on a warm pool; a failing pool is evicted first.
+
+    Worker-side errors (warm-start divergence, trial bugs) surface here;
+    the broken pool must not stay registered or every later campaign of
+    the same shape would re-hit the corpse.
+    """
     try:
-        ctx = _pool_context()
-        pool = ctx.Pool(
-            processes=workers,
-            initializer=_init_worker,
-            initargs=(wire, supervisor_config, trace_blocks),
-        )
-    except (OSError, PermissionError, ValueError):
-        return None  # no semaphores / fork blocked: caller falls back
-    with pool:
         return pool.map(chunk_fn, chunks)
+    except BaseException:
+        POOL_REGISTRY.discard(pool)
+        raise
+
+
+def _trials_via_shm(
+    pool: WarmPool,
+    campaign: Campaign,
+    chunks: list[list],
+    lockstep: bool,
+    batch: int,
+) -> list[TrialResult] | None:
+    """Untraced fan-out through the shared-memory result buffer.
+
+    None when shared memory is unavailable on this host (caller falls
+    back to pickled returns).
+    """
+    n = sum(len(c) for c in chunks)
+    buffer = TrialBuffer.create(n)
+    if buffer is None:
+        return None
+    try:
+        payloads = [
+            (buffer.name, offset, chunk, lockstep, batch)
+            for offset, chunk in zip(chunk_offsets(chunks), chunks)
+        ]
+        override_lists = _pool_map(pool, _run_trial_chunk_shm, payloads)
+        sites = site_table(campaign.module)
+        trials = [decode_trial(buffer.array[i], sites) for i in range(n)]
+        for overrides in override_lists:
+            for index, trial in overrides:
+                trials[index] = trial
+        return trials
+    finally:
+        buffer.close()
+        buffer.unlink()
 
 
 def run_campaign_parallel(
@@ -312,17 +478,21 @@ def run_campaign_parallel(
     chunk_size: int | None = None,
     tracer: Tracer | None = None,
     trace_blocks: bool = False,
+    lockstep: bool = False,
+    lockstep_batch: int = 32,
 ) -> CampaignResult:
-    """Execute ``campaign`` on a process pool.
+    """Execute ``campaign`` on the persistent warm pool.
 
     Byte-identical to ``run_campaign(campaign, seed)`` for every worker
     count: same ``TrialResult`` sequence, same ``OutcomeCounts``, same
     golden run.  Falls back to an in-process loop when the pool is
-    unavailable or the campaign is too small to amortize it.
+    unavailable or the campaign is too small to amortize dispatch.
 
     With a ``tracer``, workers collect each trial's events and the parent
     re-emits the batches in trial-index order, reproducing the serial
-    event stream exactly (sequence numbers included).
+    event stream exactly (sequence numbers included).  ``lockstep=True``
+    runs each worker's chunk through the batched lockstep engine —
+    results unchanged.
     """
     workers = resolve_workers(workers)
     rng = make_rng(seed)
@@ -335,35 +505,62 @@ def run_campaign_parallel(
     trials: list[TrialResult] | None = None
     if workers > 1 and campaign.n_trials >= MIN_PARALLEL_TRIALS:
         wire = WireCampaign.from_campaign(campaign, golden)
-        if tracer is not None:
+        pool = _get_pool(wire, None, workers)
+        if pool is not None and tracer is not None:
             chunks = _chunk_rngs(
                 list(enumerate(trial_rngs)), workers, chunk_size
             )
-            chunk_results = _map_chunks(
-                wire, None, _run_trial_chunk_traced, chunks, workers,
-                trace_blocks=trace_blocks,
-            )
-            if chunk_results is not None:
-                trials = []
-                for trial, events in (p for c in chunk_results for p in c):
-                    trials.append(trial)
-                    tracer.emit_all(events)
-        else:
+            payloads = [
+                (chunk, trace_blocks, lockstep, lockstep_batch)
+                for chunk in chunks
+            ]
+            chunk_results = _pool_map(pool, _run_trial_chunk_traced, payloads)
+            trials = []
+            for trial, events in (p for c in chunk_results for p in c):
+                trials.append(trial)
+                tracer.emit_all(events)
+        elif pool is not None:
             chunks = _chunk_rngs(trial_rngs, workers, chunk_size)
-            chunk_results = _map_chunks(
-                wire, None, _run_trial_chunk, chunks, workers
+            trials = _trials_via_shm(
+                pool, campaign, chunks, lockstep, lockstep_batch
             )
-            if chunk_results is not None:
+            if trials is None:
+                payloads = [
+                    (chunk, lockstep, lockstep_batch) for chunk in chunks
+                ]
+                chunk_results = _pool_map(pool, _run_trial_chunk, payloads)
                 trials = [t for chunk in chunk_results for t in chunk]
     if trials is None:
         code_cache: dict = {}
-        trials = [
-            run_trial(
-                campaign, golden, trial_fuel, rng_i, code_cache,
-                tracer=tracer, trial_index=index, trace_blocks=trace_blocks,
+        if lockstep:
+            from repro.faults.campaign import emit_trial_events
+            from repro.faults.lockstep import run_lockstep_trials
+            from repro.obs.events import BlockTransition, TrialStart
+
+            rows = run_lockstep_trials(
+                campaign, golden, trial_fuel, trial_rngs, code_cache,
+                batch=lockstep_batch,
+                record_trace=tracer is not None and trace_blocks,
             )
-            for index, rng_i in enumerate(trial_rngs)
-        ]
+            trials = []
+            for index, (trial, fired, block_trace) in enumerate(rows):
+                trials.append(trial)
+                if tracer is not None:
+                    tracer.emit(TrialStart(trial=index))
+                    for func_name, block_name in block_trace:
+                        tracer.emit(
+                            BlockTransition(func=func_name, block=block_name)
+                        )
+                    emit_trial_events(tracer, index, trial, fired=fired)
+        else:
+            trials = [
+                run_trial(
+                    campaign, golden, trial_fuel, rng_i, code_cache,
+                    tracer=tracer, trial_index=index,
+                    trace_blocks=trace_blocks,
+                )
+                for index, rng_i in enumerate(trial_rngs)
+            ]
 
     counts = OutcomeCounts()
     for trial in trials:
@@ -410,14 +607,16 @@ def run_supervised_campaign_parallel(
     chunk_size: int | None = None,
     tracer: Tracer | None = None,
 ):
-    """Supervised campaign on a process pool (see ``recover.supervisor``).
+    """Supervised campaign on the warm pool (see ``recover.supervisor``).
 
     Each trial's injector, checkpoint corruption and persistence draws all
     come from its pre-forked child generator, so results are byte-identical
     to ``run_supervised_campaign(campaign, config, seed)`` at any worker
     count.  Falls back to the in-process supervisor loop when no pool is
     available.  Traced runs forward worker events exactly like
-    :func:`run_campaign_parallel`.
+    :func:`run_campaign_parallel`.  Supervised results carry attempt
+    records, so they stay on the pickled return path; the pool itself is
+    still persistent (keyed by the supervisor config).
     """
     from repro.recover.supervisor import (
         SupervisedCampaignResult,
@@ -437,27 +636,24 @@ def run_supervised_campaign_parallel(
     results: list[tuple] | None = None
     if workers > 1 and campaign.n_trials >= MIN_PARALLEL_TRIALS:
         wire = WireCampaign.from_campaign(campaign, golden)
-        if tracer is not None:
+        pool = _get_pool(wire, config, workers)
+        if pool is not None and tracer is not None:
             chunks = _chunk_rngs(
                 list(enumerate(trial_rngs)), workers, chunk_size
             )
-            chunk_results = _map_chunks(
-                wire, config, _run_supervised_chunk_traced, chunks, workers
+            chunk_results = _pool_map(
+                pool, _run_supervised_chunk_traced, chunks
             )
-            if chunk_results is not None:
-                results = []
-                for trial, record, events in (
-                    r for chunk in chunk_results for r in chunk
-                ):
-                    results.append((trial, record))
-                    tracer.emit_all(events)
-        else:
+            results = []
+            for trial, record, events in (
+                r for chunk in chunk_results for r in chunk
+            ):
+                results.append((trial, record))
+                tracer.emit_all(events)
+        elif pool is not None:
             chunks = _chunk_rngs(trial_rngs, workers, chunk_size)
-            chunk_results = _map_chunks(
-                wire, config, _run_supervised_chunk, chunks, workers
-            )
-            if chunk_results is not None:
-                results = [r for chunk in chunk_results for r in chunk]
+            chunk_results = _pool_map(pool, _run_supervised_chunk, chunks)
+            results = [r for chunk in chunk_results for r in chunk]
     if results is None:
         supervisor = Supervisor(campaign, golden, config)
         results = [

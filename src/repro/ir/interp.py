@@ -15,8 +15,37 @@ loop does no opcode dispatch, no cost-model lookups, and no isinstance
 chains.  Compiled blocks can be shared across interpreter instances via the
 ``code_cache`` argument (one cache per module + cost model), which is how
 fault-injection campaigns amortize compilation across hundreds of trials.
-:class:`repro.ir.refinterp.ReferenceInterpreter` keeps the original
-dispatch loop as a differential oracle and perf baseline.
+
+On top of per-block compilation sit two further tiers:
+
+* **batched block execution** — when no step hook, trace hook or trace
+  recording is active for a block, its steps run in a bare loop with the
+  instruction/cycle counters and the fuel check hoisted out (one fuel
+  precheck per block, counters added in bulk).  Exactness is preserved:
+  a mid-block trap re-charges exactly the instructions executed up to and
+  including the trapping one (prefix-summed cycle tables), and a block
+  that could cross the fuel ceiling falls back to the per-step loop so
+  HANG trips at the identical dynamic instruction.
+* **superblock compilation** — chains of blocks linked by unconditional
+  jumps into single-predecessor, phi-free successors are fused into one
+  flat step sequence, so straight-line regions spanning several blocks
+  pay one dispatch, one fuel precheck and one counter update.  Formation
+  rules: the chain extends from a head block across ``jmp`` terminators
+  only, each appended block must have exactly one predecessor, no phis,
+  not be the function entry, not already be in the chain, and contain no
+  calls (calls re-enter the interpreter and must see exact counters).
+
+Fault-injection trials keep the batched tiers almost everywhere via the
+``hook_index`` contract: a ``step_hook`` whose observable effects are
+confined to dynamic indices ``>= hook_index`` until its ``fired`` property
+turns True (both SEU injectors satisfy this) lets the interpreter skip
+hook dispatch for every (super)block that ends before the window opens
+and for everything after the hook has fired — the hook is called for
+every instruction inside the live window, exactly like the reference
+semantics.  :class:`repro.ir.refinterp.ReferenceInterpreter` keeps the
+original dispatch loop as a differential oracle and perf baseline, and
+:mod:`repro.ir.lockstep` advances many faulted trials through these same
+compiled superblocks in lockstep.
 """
 
 from __future__ import annotations
@@ -110,17 +139,77 @@ class _BlockCode:
             maps predecessor block (by identity) to an operand accessor.
         steps: ``(instr, cost, step)`` per body instruction.  The original
             :class:`Instruction` rides along for step hooks.
+        has_call: whether any body instruction is a call.  Calls re-enter
+            the interpreter, which must observe exact counters, so blocks
+            with calls never run in batched mode.
     """
 
-    __slots__ = ("phis", "steps")
+    __slots__ = ("phis", "steps", "has_call")
 
     def __init__(
         self,
         phis: list[tuple[Instruction, int, dict[BasicBlock, Callable]]],
         steps: tuple[tuple[Instruction, int, _Step], ...],
+        has_call: bool,
     ) -> None:
         self.phis = phis
         self.steps = steps
+        self.has_call = has_call
+
+
+class _SuperCode:
+    """Compiled form of one superblock: a fused chain of basic blocks.
+
+    The chain starts at ``head`` and extends across unconditional jumps
+    into phi-free single-predecessor successors.  ``body`` is the flat
+    bare-step sequence of every chain member (intermediate ``jmp``
+    terminators included — they keep ``frame.block``/``prev_block``
+    honest and cost cycles like any instruction); ``term`` is the final
+    block's terminator step.
+
+    Exact accounting data for batched execution:
+
+    * ``phi_prefix[j]`` — cycles of the head's first ``j`` phis;
+    * ``body_prefix[k]`` — cycles of the first ``k`` body steps;
+    * ``weight`` — total dynamic instructions (phis + body + terminator);
+    * ``total_cycles`` — total cycles of a full pass through the chain;
+    * ``fast_ok`` — False when the head block contains a call (the chain
+      never *extends* into call blocks, but a call in the head itself
+      means this superblock must always run on the per-step path).
+    """
+
+    __slots__ = (
+        "head", "blocks", "phis", "n_phis", "phi_prefix", "body",
+        "body_prefix", "term", "weight", "total_cycles", "fast_ok",
+    )
+
+    def __init__(
+        self,
+        head: BasicBlock,
+        blocks: tuple[BasicBlock, ...],
+        phis: list[tuple[Instruction, int, dict[BasicBlock, Callable]]],
+        body: tuple[_Step, ...],
+        body_prefix: tuple[int, ...],
+        term: _Step,
+        term_cost: int,
+        fast_ok: bool,
+    ) -> None:
+        self.head = head
+        self.blocks = blocks
+        self.phis = phis
+        self.n_phis = len(phis)
+        prefix = [0]
+        for _phi, cost, _incoming in phis:
+            prefix.append(prefix[-1] + cost)
+        self.phi_prefix = tuple(prefix)
+        self.body = body
+        self.body_prefix = body_prefix
+        self.term = term
+        self.weight = self.n_phis + len(body) + 1
+        self.total_cycles = (
+            self.phi_prefix[-1] + body_prefix[-1] + term_cost
+        )
+        self.fast_ok = fast_ok
 
 
 class Interpreter:
@@ -141,6 +230,15 @@ class Interpreter:
             every block entry (the observability layer's block-transition
             tracing).  Costs one attribute read per block when None, so
             the compiled fast path is preserved in disabled mode.
+        hook_index: quiescence contract for ``step_hook``: the hook is a
+            pure no-op for every dynamic instruction index below
+            ``hook_index`` and, once its ``fired`` property is True, for
+            every index after.  With this promise the interpreter skips
+            hook dispatch outside the live window and runs batched
+            (super)blocks there; inside the window the hook is called for
+            every instruction, exactly like the reference loop.  Leave
+            None for hooks without the contract (checkpoints, watchdogs)
+            — they are then called on every instruction.
     """
 
     def __init__(
@@ -152,6 +250,7 @@ class Interpreter:
         step_hook: StepHook | None = None,
         code_cache: dict[BasicBlock, _BlockCode] | None = None,
         trace_hook: Callable[[str, str], None] | None = None,
+        hook_index: int | None = None,
     ) -> None:
         self.module = module
         self.cost_model = cost_model
@@ -159,14 +258,27 @@ class Interpreter:
         self.record_trace = record_trace
         self.step_hook = step_hook
         self.trace_hook = trace_hook
+        self.hook_index = hook_index
         self.heap: list[int | float] = []
         self.cycles = 0
         self.instructions = 0
         self.block_trace: list[tuple[str, str]] = []
         self.frames: list[Frame] = []
-        self._code: dict[BasicBlock, _BlockCode] = (
+        self._code: dict = (
             code_cache if code_cache is not None else {}
         )
+        # Superblocks and predecessor counts live in nested maps under
+        # reserved string keys so a shared ``code_cache`` carries all
+        # three compilation tiers (block lookups stay keyed by the
+        # BasicBlock itself, with no per-dispatch tuple allocation).
+        supers = self._code.get("__supers__")
+        if supers is None:
+            supers = self._code["__supers__"] = {}
+        self._supers: dict[BasicBlock, _SuperCode] = supers
+        preds = self._code.get("__preds__")
+        if preds is None:
+            preds = self._code["__preds__"] = {}
+        self._preds: dict[Function, dict[BasicBlock, int]] = preds
 
     # -- public API -----------------------------------------------------------
 
@@ -282,6 +394,34 @@ class Interpreter:
         self, frame: Frame, skip_phis_once: bool = False
     ) -> int | float | None:
         trace_hook = self.trace_hook
+        plain = not self.record_trace and trace_hook is None
+        if plain and not skip_phis_once:
+            # Hot path: no per-block observability, so whole superblocks
+            # can run batched (counter updates and fuel checks hoisted).
+            if self.step_hook is None:
+                # Hottest path (golden runs): dispatch inlined, no hook
+                # checks at all.
+                supers = self._supers
+                fuel = self.fuel
+                run_super = self._run_super
+                run_block = self._run_block
+                while True:
+                    sb = supers.get(frame.block)
+                    if sb is None:
+                        sb = self._compile_super(frame.block)
+                    if sb.fast_ok and self.instructions + sb.weight <= fuel:
+                        result = run_super(frame, sb)
+                    else:
+                        result = run_block(frame)
+                    if result is _CONTINUE:
+                        continue
+                    return result.value  # type: ignore[union-attr]
+            advance = self._advance_plain
+            while True:
+                result = advance(frame)
+                if result is _CONTINUE:
+                    continue
+                return result.value  # type: ignore[union-attr]
         while True:
             if self.record_trace:
                 self.block_trace.append((frame.func.name, frame.block.name))
@@ -292,6 +432,100 @@ class Interpreter:
             if result is _CONTINUE:
                 continue
             return result.value  # type: ignore[union-attr]
+
+    def _advance_plain(self, frame: Frame, sb: _SuperCode | None = None):
+        """Execute one superblock (or one exact block) of ``frame``.
+
+        Returns ``_CONTINUE`` or a ``_Return`` like the step closures.
+        Chooses the batched superblock runner when the fuel ceiling
+        cannot be crossed and the step hook is provably quiescent for
+        the superblock's whole span; otherwise runs one block on the
+        exact per-step path.  Callers must guarantee that per-block
+        tracing is disabled (``record_trace`` off, no ``trace_hook``).
+        """
+        if sb is None or sb.head is not frame.block:
+            block = frame.block
+            sb = self._supers.get(block)
+            if sb is None:
+                sb = self._compile_super(block)
+        if sb.fast_ok and self.instructions + sb.weight <= self.fuel:
+            hook = self.step_hook
+            if hook is None or (
+                self.hook_index is not None
+                and (hook.fired
+                     or self.instructions + sb.weight <= self.hook_index)
+            ):
+                return self._run_super(frame, sb)
+        return self._run_block(frame)
+
+    def _run_super(self, frame: Frame, sb: _SuperCode) -> object:
+        """Batched execution of one superblock (no hooks, fuel prefits).
+
+        Counters are charged in bulk after the chain completes; a step
+        that traps is re-charged exactly: the reference loop increments
+        counters *before* executing a step (so a trapping instruction is
+        counted) but evaluates a phi's incoming operand before counting
+        it (so a trapping phi read is not).
+        """
+        env = frame.env
+        phis = sb.phis
+        if phis:
+            prev = frame.prev_block
+            if sb.n_phis == 1:
+                # One phi needs no parallel staging; a trapping incoming
+                # read charges nothing, same as j == 0 below.
+                phi, _cost, incoming = phis[0]
+                if prev is None:
+                    raise InterpreterError(
+                        f"phi {phi.ref()} reached without a "
+                        f"predecessor edge"
+                    )
+                get = incoming.get(prev)
+                if get is None:
+                    raise TrapError(
+                        f"phi {phi.ref()}: no incoming entry for edge "
+                        f"from ^{prev.name} (control-flow corruption?)"
+                    )
+                env[phi.name] = get(env)
+                return self._run_super_body(frame, sb)
+            staged: dict[str, int | float] = {}
+            j = 0
+            try:
+                for phi, _cost, incoming in phis:
+                    if prev is None:
+                        raise InterpreterError(
+                            f"phi {phi.ref()} reached without a "
+                            f"predecessor edge"
+                        )
+                    get = incoming.get(prev)
+                    if get is None:
+                        raise TrapError(
+                            f"phi {phi.ref()}: no incoming entry for edge "
+                            f"from ^{prev.name} (control-flow corruption?)"
+                        )
+                    staged[phi.name] = get(env)
+                    j += 1
+            except BaseException:
+                self.instructions += j
+                self.cycles += sb.phi_prefix[j]
+                raise
+            env.update(staged)
+        return self._run_super_body(frame, sb)
+
+    def _run_super_body(self, frame: Frame, sb: _SuperCode) -> object:
+        """Run a superblock's flat body + terminator, phis already applied."""
+        i = 0
+        try:
+            for step in sb.body:
+                step(self, frame)
+                i += 1
+        except BaseException:
+            self.instructions += sb.n_phis + i + 1
+            self.cycles += sb.phi_prefix[-1] + sb.body_prefix[i + 1]
+            raise
+        self.instructions += sb.weight
+        self.cycles += sb.total_cycles
+        return sb.term(self, frame)
 
     def _run_block(self, frame: Frame, skip_phis: bool = False) -> object:
         block = frame.block
@@ -358,9 +592,90 @@ class Interpreter:
             (instr, cost(instr), self._compile_step(block, instr))
             for instr in block.body
         )
-        code = _BlockCode(phis, steps)
+        has_call = any(
+            instr.opcode is Opcode.CALL for instr in block.body
+        )
+        code = _BlockCode(phis, steps, has_call)
         self._code[block] = code
         return code
+
+    # -- superblock formation --------------------------------------------------
+
+    def _pred_counts(self, func: Function) -> dict[BasicBlock, int]:
+        """Predecessor-edge counts per block, cached per function."""
+        counts = self._preds.get(func)
+        if counts is None:
+            counts = {block: 0 for block in func.blocks}
+            for block in func.blocks:
+                if block.is_terminated:
+                    for target in block.terminator.block_targets:
+                        counts[target] = counts.get(target, 0) + 1
+            self._preds[func] = counts
+        return counts
+
+    def _compile_super(self, head: BasicBlock) -> _SuperCode:
+        """Fuse the jmp-chain starting at ``head`` into one superblock.
+
+        Formation rules (see module docstring): extend across ``jmp``
+        terminators into successors that have exactly one predecessor,
+        no phis, no calls, are not the function entry and are not
+        already part of the chain.
+        """
+        func = head.parent
+        assert func is not None
+        preds = self._pred_counts(func)
+        chain = [head]
+        seen = {head}
+        current = head
+        while True:
+            code = self._code.get(current)
+            if code is None:
+                code = self._compile_block(current)
+            term = current.terminator
+            if term.opcode is not Opcode.JMP:
+                break
+            target = term.block_targets[0]
+            if (
+                target in seen
+                or target is func.entry
+                or preds.get(target, 0) != 1
+                or target.phis
+            ):
+                break
+            target_code = self._code.get(target)
+            if target_code is None:
+                target_code = self._compile_block(target)
+            if target_code.has_call:
+                break
+            chain.append(target)
+            seen.add(target)
+            current = target
+
+        head_code = self._code[head]
+        body: list[_Step] = []
+        prefix = [0]
+        for block in chain:
+            code = self._code[block]
+            # All but the final block contribute every step (their jmp
+            # terminators included); the final block keeps its terminator
+            # out of the flat body so its result is returned.
+            last = code.steps[:-1] if block is chain[-1] else code.steps
+            for _instr, cost, step in last:
+                body.append(step)
+                prefix.append(prefix[-1] + cost)
+        _term_instr, term_cost, term_step = self._code[chain[-1]].steps[-1]
+        sb = _SuperCode(
+            head=head,
+            blocks=tuple(chain),
+            phis=head_code.phis,
+            body=tuple(body),
+            body_prefix=tuple(prefix),
+            term=term_step,
+            term_cost=term_cost,
+            fast_ok=not head_code.has_call,
+        )
+        self._supers[head] = sb
+        return sb
 
     def _compile_step(self, block: BasicBlock, instr: Instruction) -> _Step:
         op = instr.opcode
@@ -411,31 +726,41 @@ class Interpreter:
 
         if op in _INT_ARITH:
             a, b = _operand_getter(ops[0]), _operand_getter(ops[1])
-            wrap = type_.wrap
+            # Wrapping is inlined with the type's mask/max/span captured
+            # at compile time: ``Type.wrap`` re-derives them through
+            # property lookups on every call, which dominates the hot
+            # loop.  Semantics are identical (two's-complement reduce).
+            mask, smax, span = _wrap_params(type_)
             if op is Opcode.ADD:
                 def step(interp, frame):
                     env = frame.env
-                    env[name] = wrap(int(a(env)) + int(b(env)))
+                    v = (int(a(env)) + int(b(env))) & mask
+                    env[name] = v - span if v > smax else v
             elif op is Opcode.SUB:
                 def step(interp, frame):
                     env = frame.env
-                    env[name] = wrap(int(a(env)) - int(b(env)))
+                    v = (int(a(env)) - int(b(env))) & mask
+                    env[name] = v - span if v > smax else v
             elif op is Opcode.MUL:
                 def step(interp, frame):
                     env = frame.env
-                    env[name] = wrap(int(a(env)) * int(b(env)))
+                    v = (int(a(env)) * int(b(env))) & mask
+                    env[name] = v - span if v > smax else v
             elif op is Opcode.AND:
                 def step(interp, frame):
                     env = frame.env
-                    env[name] = wrap(int(a(env)) & int(b(env)))
+                    v = (int(a(env)) & int(b(env))) & mask
+                    env[name] = v - span if v > smax else v
             elif op is Opcode.OR:
                 def step(interp, frame):
                     env = frame.env
-                    env[name] = wrap(int(a(env)) | int(b(env)))
+                    v = (int(a(env)) | int(b(env))) & mask
+                    env[name] = v - span if v > smax else v
             elif op is Opcode.XOR:
                 def step(interp, frame):
                     env = frame.env
-                    env[name] = wrap(int(a(env)) ^ int(b(env)))
+                    v = (int(a(env)) ^ int(b(env))) & mask
+                    env[name] = v - span if v > smax else v
             else:
                 # Divisions and shifts share the reference helper: they are
                 # rare in the workloads and carry trap/masking subtleties.
@@ -507,35 +832,38 @@ class Interpreter:
 
         if op is Opcode.FPTOSI:
             a = _operand_getter(ops[0])
-            wrap = type_.wrap
+            mask, smax, span = _wrap_params(type_)
 
             def step_fptosi(interp: Interpreter, frame: Frame) -> object:
                 env = frame.env
                 value = float(a(env))
                 if math.isnan(value) or math.isinf(value):
                     raise TrapError(f"fptosi of non-finite value {value}")
-                env[name] = wrap(int(value))
+                v = int(value) & mask
+                env[name] = v - span if v > smax else v
 
             return step_fptosi
 
         if op is Opcode.ZEXT:
             a = _operand_getter(ops[0])
             src_mask = (1 << ops[0].type.bits) - 1
-            wrap = type_.wrap
+            mask, smax, span = _wrap_params(type_)
 
             def step_zext(interp: Interpreter, frame: Frame) -> object:
                 env = frame.env
-                env[name] = wrap(int(a(env)) & src_mask)
+                v = int(a(env)) & src_mask & mask
+                env[name] = v - span if v > smax else v
 
             return step_zext
 
         if op is Opcode.TRUNC:
             a = _operand_getter(ops[0])
-            wrap = type_.wrap
+            mask, smax, span = _wrap_params(type_)
 
             def step_trunc(interp: Interpreter, frame: Frame) -> object:
                 env = frame.env
-                env[name] = wrap(int(a(env)))
+                v = int(a(env)) & mask
+                env[name] = v - span if v > smax else v
 
             return step_trunc
 
@@ -561,7 +889,7 @@ class Interpreter:
                         )
                     env[name] = float(heap[address])
             else:
-                wrap = type_.wrap
+                mask, smax, span = _wrap_params(type_)
 
                 def step_load(interp: Interpreter, frame: Frame) -> object:
                     env = frame.env
@@ -571,7 +899,8 @@ class Interpreter:
                         raise TrapError(
                             f"load from invalid address {address}"
                         )
-                    env[name] = wrap(int(heap[address]))
+                    v = int(heap[address]) & mask
+                    env[name] = v - span if v > smax else v
             return step_load
 
         if op is Opcode.STORE:
@@ -646,6 +975,12 @@ class Interpreter:
             return step_call
 
         raise InterpreterError(f"unhandled opcode {op}")  # pragma: no cover
+
+
+def _wrap_params(type_: Type) -> tuple[int, int, int]:
+    """``(mask, signed_max, span)`` for inlined two's-complement wrapping."""
+    bits = type_.bits
+    return (1 << bits) - 1, (1 << (bits - 1)) - 1, 1 << bits
 
 
 def _operand_getter(value: Value) -> Callable[[dict], int | float]:

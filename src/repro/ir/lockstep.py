@@ -1,0 +1,179 @@
+"""Lockstep batched-trial execution: N runs advancing through shared code.
+
+A fault-injection campaign executes the *same* program hundreds of times,
+differing only in one injected bit flip per run.  The lockstep engine
+exploits that: it keeps N trials ("lanes") in flight at once and advances
+them superblock by superblock, grouping lanes that sit on the same basic
+block so one compiled-superblock lookup serves the whole group.  Each lane
+is a full :class:`~repro.ir.interp.Interpreter` with its own register
+arena (SSA environment), heap, counters and step hook, so lanes interact
+only through the shared read-only compiled code — the same batch-vs-loop
+bitwise-equivalence discipline the detector layer proves for
+``score_batch``: running a batch of lanes yields byte-identical
+:class:`ExecutionResult`s to running each trial alone.
+
+The per-lane step is :meth:`Interpreter._advance_plain` — exactly the
+advance the single-trial fast path makes — so equivalence is structural,
+not re-proved per opcode.  Lanes whose interpreter has ``record_trace``
+set take the exact per-block path instead and accumulate ``block_trace``
+for post-hoc per-trial event emission (the traced campaign contract).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import (
+    DetectionTrap,
+    FuelExhausted,
+    InterpreterError,
+    TrapError,
+)
+from repro.ir.costmodel import CORTEX_A53, CostModel
+from repro.ir.interp import (
+    _CONTINUE,
+    ExecutionResult,
+    ExecutionStatus,
+    Frame,
+    Interpreter,
+    StepHook,
+    _coerce,
+)
+from repro.ir.module import Module
+
+
+class Lane:
+    """One in-flight trial: an interpreter plus its root frame.
+
+    ``result`` is None while the lane is running and the final
+    :class:`ExecutionResult` once it finished (by return, trap, detection
+    or fuel exhaustion).
+    """
+
+    __slots__ = ("interp", "frame", "result")
+
+    def __init__(self, interp: Interpreter, frame: Frame) -> None:
+        self.interp = interp
+        self.frame = frame
+        self.result: ExecutionResult | None = None
+
+    @property
+    def done(self) -> bool:
+        return self.result is not None
+
+    def advance(self, sb=None) -> bool:
+        """Advance this lane by one (super)block; True when it finished.
+
+        ``sb`` is an optional pre-looked-up superblock for the lane's
+        current block (the scheduler shares one lookup across a group);
+        a stale hint is re-resolved, never trusted.  Mirrors exactly one
+        iteration of the dispatch loop in ``Interpreter._run_frame``,
+        including the traced per-block path when ``record_trace`` is on.
+        """
+        interp = self.interp
+        frame = self.frame
+        try:
+            if interp.record_trace:
+                interp.block_trace.append((frame.func.name, frame.block.name))
+                step = interp._run_block(frame)
+            else:
+                step = interp._advance_plain(frame, sb)
+        except DetectionTrap as exc:
+            self._finish(ExecutionStatus.DETECTED, None, str(exc))
+            return True
+        except TrapError as exc:
+            self._finish(ExecutionStatus.TRAP, None, str(exc))
+            return True
+        except FuelExhausted as exc:
+            self._finish(ExecutionStatus.HANG, None, str(exc))
+            return True
+        if step is _CONTINUE:
+            return False
+        self._finish(ExecutionStatus.OK, step.value, "")
+        return True
+
+    def _finish(
+        self,
+        status: ExecutionStatus,
+        value: int | float | None,
+        reason: str,
+    ) -> None:
+        interp = self.interp
+        interp.frames.pop()
+        self.result = ExecutionResult(
+            status=status,
+            value=value,
+            cycles=interp.cycles,
+            instructions=interp.instructions,
+            block_trace=interp.block_trace,
+            trap_reason=reason,
+        )
+
+
+def start_lane(
+    module: Module,
+    func_name: str,
+    args: Sequence[int | float],
+    cost_model: CostModel = CORTEX_A53,
+    fuel: int = 5_000_000,
+    step_hook: StepHook | None = None,
+    hook_index: int | None = None,
+    code_cache: dict | None = None,
+    record_trace: bool = False,
+) -> Lane:
+    """Set up one lane, poised at its entry block.
+
+    Replicates the prologue of ``Interpreter.run`` + ``_call`` (argument
+    count check, typed coercion into the root environment) so a lane that
+    is advanced to completion produces the byte-identical
+    :class:`ExecutionResult` a standalone ``run`` would.  Lanes meant to
+    run in the same lockstep group must share ``module`` and
+    ``code_cache`` so compiled (super)blocks are derived once.
+    """
+    interp = Interpreter(
+        module,
+        cost_model=cost_model,
+        fuel=fuel,
+        record_trace=record_trace,
+        step_hook=step_hook,
+        code_cache=code_cache,
+        hook_index=hook_index,
+    )
+    func = module.function(func_name)
+    if len(args) != len(func.args):
+        raise InterpreterError(
+            f"@{func.name} expects {len(func.args)} args, got {len(args)}"
+        )
+    env: dict[str, int | float] = {}
+    for formal, actual in zip(func.args, args):
+        env[formal.name] = _coerce(formal.type, actual)
+    frame = Frame(func=func, env=env, block=func.entry)
+    interp.frames.append(frame)
+    return Lane(interp, frame)
+
+
+def run_lockstep(lanes: Sequence[Lane]) -> list[ExecutionResult]:
+    """Advance every lane to completion, grouped by current block.
+
+    Per round, lanes sitting on the same basic block share a single
+    superblock lookup/compilation; each then advances independently
+    (control flow may diverge mid-round — a faulted branch sends its lane
+    down another path, and it simply lands in a different group next
+    round).  Results are returned in lane order.
+    """
+    active = [lane for lane in lanes if not lane.done]
+    while active:
+        groups: dict = {}
+        for lane in active:
+            groups.setdefault(lane.frame.block, []).append(lane)
+        survivors: list[Lane] = []
+        for block, group in groups.items():
+            lead = group[0].interp
+            sb = lead._supers.get(block)
+            if sb is None:
+                sb = lead._compile_super(block)
+            for lane in group:
+                if not lane.advance(sb):
+                    survivors.append(lane)
+        active = survivors
+    return [lane.result for lane in lanes]  # type: ignore[misc]

@@ -53,6 +53,7 @@ from repro.obs.events import (
 )
 from repro.obs.metrics import (
     Counter,
+    ENGINE_METRICS,
     Gauge,
     Histogram,
     MetricsRegistry,
@@ -67,6 +68,7 @@ __all__ = [
     "CheckpointTaken",
     "Counter",
     "DetectorDecision",
+    "ENGINE_METRICS",
     "Event",
     "FleetDecision",
     "FlightRecorder",

@@ -168,6 +168,15 @@ class MetricsRegistry:
         }
 
 
+#: Process-global registry for always-on engine gauges and counters that
+#: have no event stream to derive from: golden-cache hits/misses
+#: (:mod:`repro.perf.cache`) and warm-pool lifecycle stats
+#: (:mod:`repro.perf.pool` — pools created/reused, workers alive, chunks
+#: dispatched).  ``python -m repro.perf.report`` surfaces its snapshot;
+#: tests may ``clear()`` sections of it via the owning module's helpers.
+ENGINE_METRICS = MetricsRegistry()
+
+
 class MetricsSink:
     """Event sink that folds the stream into a :class:`MetricsRegistry`.
 

@@ -1,4 +1,4 @@
-"""Performance support: golden-run caching and the perf trajectory report.
+"""Performance support: golden-run caching, warm pools, the perf report.
 
 Campaign wall-clock is the binding constraint on how many fault-injection
 trials, DMR levels and workloads the experiment suite can afford (see
@@ -7,8 +7,12 @@ ROADMAP).  This package holds the cross-cutting perf machinery:
 * :mod:`repro.perf.cache` — a process-global golden-run cache keyed by a
   module fingerprint (hash of the printed IR) + entry function + args +
   cost model, so multi-level sweeps stop re-deriving identical golden runs;
+* :mod:`repro.perf.pool` — the persistent warm worker-pool registry and
+  the shared-memory trial-result buffers used by the parallel campaign
+  engine, so repeat campaigns skip fork/parse/golden-validate entirely;
 * :mod:`repro.perf.report` — the machine-readable ``BENCH_perf.json``
-  writer that gives subsequent PRs a perf trajectory to regress against.
+  writer that gives subsequent PRs a perf trajectory to regress against,
+  plus the ``python -m repro.perf.report`` summary CLI.
 
 The parallel campaign engine itself lives in :mod:`repro.faults.parallel`.
 """
@@ -20,7 +24,22 @@ from repro.perf.cache import (
     cost_model_key,
     module_fingerprint,
 )
-from repro.perf.report import load_perf_report, write_perf_report
+from repro.perf.pool import (
+    POOL_REGISTRY,
+    PoolRegistry,
+    TRIAL_DTYPE,
+    TrialBuffer,
+    WarmPool,
+    adaptive_chunk_size,
+    decode_trial,
+    encode_trial,
+    site_table,
+)
+from repro.perf.report import (
+    format_report,
+    load_perf_report,
+    write_perf_report,
+)
 
 __all__ = [
     "CacheStats",
@@ -28,6 +47,16 @@ __all__ = [
     "GoldenRunCache",
     "cost_model_key",
     "module_fingerprint",
+    "POOL_REGISTRY",
+    "PoolRegistry",
+    "TRIAL_DTYPE",
+    "TrialBuffer",
+    "WarmPool",
+    "adaptive_chunk_size",
+    "decode_trial",
+    "encode_trial",
+    "site_table",
+    "format_report",
     "load_perf_report",
     "write_perf_report",
 ]

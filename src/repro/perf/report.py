@@ -5,6 +5,12 @@ parallel), interpreter speed (fast path vs reference loop) and golden-cache
 effectiveness, then writes one snapshot here.  Previous snapshots are kept
 in a bounded ``history`` list so later PRs can regress against the
 trajectory, not just the latest number.
+
+``python -m repro.perf.report [path]`` prints a human summary of the
+report — headline numbers, the trajectory of ``min_speedup`` and
+``parallel_vs_serial`` across history, and the live
+:data:`~repro.obs.metrics.ENGINE_METRICS` snapshot (golden-cache and
+warm-pool sections).
 """
 
 from __future__ import annotations
@@ -67,3 +73,92 @@ def write_perf_report(
     }
     path.write_text(json.dumps(report, indent=2, sort_keys=False) + "\n")
     return report
+
+
+# -- CLI -----------------------------------------------------------------------
+
+_HEADLINES = (
+    ("min_speedup", "fast-path speedup vs reference (min)", "x"),
+    ("target_speedup", "fast-path speedup target", "x"),
+    ("parallel_vs_serial", "parallel vs serial throughput", "x"),
+    ("lockstep_vs_serial", "lockstep vs serial throughput", "x"),
+    ("serial_trials_per_s", "serial campaign throughput", " trials/s"),
+    ("parallel_trials_per_s", "parallel campaign throughput", " trials/s"),
+    ("available_cpus", "CPUs available to the bench run", ""),
+    ("workers", "workers used by the bench run", ""),
+)
+
+
+def _headline(snapshot: dict, key: str):
+    """Find ``key`` at the top level or inside any dict-valued section."""
+    if key in snapshot:
+        return snapshot[key]
+    for section in snapshot.values():
+        if isinstance(section, dict) and key in section:
+            return section[key]
+    return None
+
+
+def format_report(report: dict | None, registry_snapshot: dict) -> str:
+    """Render a report + engine-metrics snapshot as the CLI's text."""
+    lines: list[str] = []
+    if report is None:
+        lines.append("no perf report found (run benchmarks/bench_perf.py)")
+    else:
+        lines.append(
+            f"perf report (schema {report.get('schema', '?')}, "
+            f"{len(report.get('history', []))} history entries)"
+        )
+        for key, label, unit in _HEADLINES:
+            value = _headline(report, key)
+            if value is not None:
+                shown = f"{value:.2f}" if isinstance(value, float) else value
+                lines.append(f"  {label}: {shown}{unit}")
+        history = [
+            h for h in report.get("history", []) if isinstance(h, dict)
+        ]
+        for key in ("min_speedup", "parallel_vs_serial"):
+            trail = [
+                v for v in (
+                    _headline(snap, key) for snap in [report] + history
+                ) if v is not None
+            ]
+            if len(trail) > 1:
+                shown = " <- ".join(f"{v:.2f}" for v in trail[:8])
+                lines.append(f"  {key} trajectory (newest first): {shown}")
+    for section in ("golden_cache", "warm_pool"):
+        rows = {
+            name: value
+            for kind in ("counters", "gauges")
+            for name, value in registry_snapshot.get(kind, {}).items()
+            if name.startswith(section + ".")
+        }
+        lines.append(f"engine metrics: {section}")
+        if rows:
+            for name, value in sorted(rows.items()):
+                lines.append(f"  {name.split('.', 1)[1]}: {value}")
+        else:
+            lines.append("  (no activity this process)")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    from repro.obs.metrics import ENGINE_METRICS
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf.report",
+        description="Summarize BENCH_perf.json and live engine metrics.",
+    )
+    parser.add_argument(
+        "path", nargs="?", default="BENCH_perf.json",
+        help="perf report to summarize (default: ./BENCH_perf.json)",
+    )
+    opts = parser.parse_args(argv)
+    print(format_report(load_perf_report(opts.path), ENGINE_METRICS.snapshot()))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI smoke test
+    raise SystemExit(main())

@@ -1,0 +1,138 @@
+"""Lockstep campaigns must be byte-identical to the serial loop.
+
+``run_campaign_lockstep`` batches trials through shared superblocks and
+(with ``workers > 1``) fans lockstep chunks across the warm pool; every
+mode must produce the exact ``TrialResult`` sequence, counts, golden run
+and — when traced — event stream of ``run_campaign``.
+"""
+
+import pytest
+
+from repro.faults import (
+    Campaign,
+    FaultTarget,
+    run_campaign,
+    run_campaign_lockstep,
+)
+from repro.obs.events import InMemorySink, Tracer
+from repro.workloads.irprograms import PROGRAMS, build_program
+
+
+def _campaign(name="isort", n_trials=24, target=FaultTarget.REGISTER):
+    return Campaign(
+        module=build_program(name),
+        func_name=name,
+        args=list(PROGRAMS[name].default_args),
+        n_trials=n_trials,
+        target=target,
+    )
+
+
+class TestSerialLockstepByteIdentity:
+    @pytest.mark.parametrize("name", ["isort", "orbit", "checksum"])
+    def test_trials_match_serial_campaign(self, name):
+        serial = run_campaign(_campaign(name), seed=7)
+        lockstep = run_campaign_lockstep(_campaign(name), seed=7)
+        assert lockstep.golden.value == serial.golden.value
+        assert lockstep.counts.counts == serial.counts.counts
+        assert lockstep.trials == serial.trials
+
+    def test_memory_target_matches(self):
+        serial = run_campaign(
+            _campaign("checksum", target=FaultTarget.MEMORY), seed=3
+        )
+        lockstep = run_campaign_lockstep(
+            _campaign("checksum", target=FaultTarget.MEMORY), seed=3
+        )
+        assert lockstep.trials == serial.trials
+
+    @pytest.mark.parametrize("batch", [1, 3, 32, 100])
+    def test_batch_size_never_changes_results(self, batch):
+        baseline = run_campaign(_campaign(), seed=11)
+        batched = run_campaign_lockstep(_campaign(), seed=11, batch=batch)
+        assert batched.trials == baseline.trials
+
+    def test_traced_event_stream_is_identical(self):
+        serial_sink, lockstep_sink = InMemorySink(), InMemorySink()
+        serial = run_campaign(
+            _campaign(n_trials=12), seed=5, tracer=Tracer(serial_sink),
+            trace_blocks=True,
+        )
+        lockstep = run_campaign_lockstep(
+            _campaign(n_trials=12), seed=5, tracer=Tracer(lockstep_sink),
+            trace_blocks=True,
+        )
+        assert lockstep.trials == serial.trials
+        assert [e.to_dict() for e in lockstep_sink.events] == [
+            e.to_dict() for e in serial_sink.events
+        ]
+
+    def test_traced_without_blocks_is_identical(self):
+        serial_sink, lockstep_sink = InMemorySink(), InMemorySink()
+        run_campaign(_campaign(n_trials=10), seed=6, tracer=Tracer(serial_sink))
+        run_campaign_lockstep(
+            _campaign(n_trials=10), seed=6, tracer=Tracer(lockstep_sink)
+        )
+        assert [e.to_dict() for e in lockstep_sink.events] == [
+            e.to_dict() for e in serial_sink.events
+        ]
+
+
+class TestParallelLockstepByteIdentity:
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_workers_never_change_results(self, workers):
+        serial = run_campaign(_campaign(), seed=17)
+        parallel = run_campaign_lockstep(
+            _campaign(), seed=17, workers=workers
+        )
+        assert parallel.golden.value == serial.golden.value
+        assert parallel.counts.counts == serial.counts.counts
+        assert parallel.trials == serial.trials
+
+    def test_traced_parallel_matches_serial_stream(self):
+        serial_sink, parallel_sink = InMemorySink(), InMemorySink()
+        run_campaign(
+            _campaign(n_trials=16), seed=9, tracer=Tracer(serial_sink)
+        )
+        run_campaign_lockstep(
+            _campaign(n_trials=16), seed=9, workers=2,
+            tracer=Tracer(parallel_sink),
+        )
+        assert [e.to_dict() for e in parallel_sink.events] == [
+            e.to_dict() for e in serial_sink.events
+        ]
+
+
+class TestPoolUnavailableFallback:
+    def test_traced_fallback_stream_has_no_duplicate_events(self, monkeypatch):
+        # When no pool can be created, the parallel entry point must run
+        # the lockstep trials in-process WITHOUT re-emitting the campaign
+        # prologue (a delegation bug would double CampaignStart + golden
+        # events).
+        import repro.faults.parallel as par
+
+        monkeypatch.setattr(
+            par.POOL_REGISTRY, "get", lambda *a, **k: None
+        )
+        serial_sink, fallback_sink = InMemorySink(), InMemorySink()
+        run_campaign(
+            _campaign(n_trials=10), seed=4, tracer=Tracer(serial_sink)
+        )
+        result = run_campaign_lockstep(
+            _campaign(n_trials=10), seed=4, workers=2,
+            tracer=Tracer(fallback_sink),
+        )
+        assert [e.to_dict() for e in fallback_sink.events] == [
+            e.to_dict() for e in serial_sink.events
+        ]
+        assert result.trials == run_campaign(_campaign(n_trials=10), seed=4).trials
+
+    def test_untraced_fallback_byte_identical(self, monkeypatch):
+        import repro.faults.parallel as par
+
+        monkeypatch.setattr(
+            par.POOL_REGISTRY, "get", lambda *a, **k: None
+        )
+        serial = run_campaign(_campaign(), seed=8)
+        fallback = run_campaign_lockstep(_campaign(), seed=8, workers=4)
+        assert fallback.trials == serial.trials

@@ -1,0 +1,158 @@
+"""Lockstep lanes: batched trials must equal standalone interpreter runs.
+
+:mod:`repro.ir.lockstep` advances many trials together through shared
+compiled superblocks.  Whatever the batch composition or advance
+interleaving, each lane's final :class:`ExecutionResult` must be
+byte-identical to running the same program + injector standalone.
+"""
+
+import math
+
+import pytest
+
+from repro.faults.model import FaultSpec, FaultTarget
+from repro.faults.seu import RegisterFaultInjector
+from repro.ir.interp import Interpreter
+from repro.ir.lockstep import Lane, run_lockstep, start_lane
+from repro.rng import fork, make_rng
+from repro.workloads.irprograms import PROGRAMS, build_program
+
+
+def _values_equal(a, b):
+    if isinstance(a, float) and isinstance(b, float):
+        if math.isnan(a) and math.isnan(b):
+            return True
+    return a == b
+
+
+def _assert_same_execution(lane_result, solo):
+    assert lane_result.status == solo.status
+    assert _values_equal(lane_result.value, solo.value)
+    assert lane_result.instructions == solo.instructions
+    assert lane_result.cycles == solo.cycles
+    assert lane_result.trap_reason == solo.trap_reason
+
+
+def _make_injector(golden_instructions: int, rng):
+    index = int(rng.integers(golden_instructions))
+    spec = FaultSpec(target=FaultTarget.REGISTER, dynamic_index=index)
+    return RegisterFaultInjector(spec, seed=rng)
+
+
+class TestCleanLanes:
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    def test_single_lane_equals_solo_run(self, name):
+        module = build_program(name)
+        args = list(PROGRAMS[name].default_args)
+        solo = Interpreter(module).run(name, args)
+        lane = start_lane(module, name, args)
+        (result,) = run_lockstep([lane])
+        _assert_same_execution(result, solo)
+
+    def test_mixed_program_batch(self):
+        # Heterogeneous lanes (different entry modules) in one batch.
+        names = ["fact", "isort", "collatz", "orbit"]
+        solos, lanes = [], []
+        for name in names:
+            module = build_program(name)
+            args = list(PROGRAMS[name].default_args)
+            solos.append(Interpreter(module).run(name, args))
+            lanes.append(start_lane(module, name, args))
+        for result, solo in zip(run_lockstep(lanes), solos):
+            _assert_same_execution(result, solo)
+
+    def test_lanes_share_code_cache(self):
+        module = build_program("isort")
+        args = list(PROGRAMS["isort"].default_args)
+        cache: dict = {}
+        lanes = [
+            start_lane(module, "isort", args, code_cache=cache)
+            for _ in range(4)
+        ]
+        results = run_lockstep(lanes)
+        assert len({r.value for r in results}) == 1
+        assert cache  # compiled blocks landed in the shared cache
+
+
+class TestFaultedLanes:
+    @pytest.mark.parametrize("name", ["isort", "orbit", "fact"])
+    def test_faulted_batch_equals_solo_runs(self, name):
+        module = build_program(name)
+        args = list(PROGRAMS[name].default_args)
+        golden = Interpreter(module).run(name, args)
+        fuel = golden.instructions * 50 + 2_000
+        rngs = fork(make_rng(99), 16)
+
+        solos = []
+        for rng in rngs:
+            injector = _make_injector(golden.instructions, make_rng(rng))
+            solos.append(Interpreter(
+                module, fuel=fuel, step_hook=injector,
+                hook_index=injector.spec.dynamic_index,
+            ).run(name, args))
+
+        rngs = fork(make_rng(99), 16)
+        lanes = []
+        for rng in rngs:
+            injector = _make_injector(golden.instructions, make_rng(rng))
+            lanes.append(start_lane(
+                module, name, args, fuel=fuel, step_hook=injector,
+                hook_index=injector.spec.dynamic_index,
+            ))
+        for result, solo in zip(run_lockstep(lanes), solos):
+            _assert_same_execution(result, solo)
+
+    def test_traced_lanes_record_identical_block_traces(self):
+        module = build_program("isort")
+        args = list(PROGRAMS["isort"].default_args)
+        golden = Interpreter(module).run("isort", args)
+        fuel = golden.instructions * 50 + 2_000
+        rngs = fork(make_rng(5), 6)
+
+        solos = []
+        for rng in rngs:
+            injector = _make_injector(golden.instructions, make_rng(rng))
+            solos.append(Interpreter(
+                module, fuel=fuel, step_hook=injector, record_trace=True,
+            ).run("isort", args))
+
+        rngs = fork(make_rng(5), 6)
+        lanes = []
+        for rng in rngs:
+            injector = _make_injector(golden.instructions, make_rng(rng))
+            lanes.append(start_lane(
+                module, "isort", args, fuel=fuel, step_hook=injector,
+                record_trace=True,
+            ))
+        for result, solo in zip(run_lockstep(lanes), solos):
+            _assert_same_execution(result, solo)
+            assert result.block_trace == solo.block_trace
+
+
+class TestLaneMechanics:
+    def test_lane_is_reported_finished_exactly_once(self):
+        module = build_program("fact")
+        args = list(PROGRAMS["fact"].default_args)
+        lane = start_lane(module, "fact", args)
+        steps = 0
+        while not lane.advance():
+            steps += 1
+            assert steps < 10_000
+        assert lane.result is not None
+
+    def test_bad_argument_count_raises_immediately(self):
+        from repro.errors import InterpreterError
+
+        module = build_program("fact")
+        with pytest.raises(InterpreterError):
+            start_lane(module, "fact", [1, 2, 3])
+
+    def test_run_lockstep_empty_batch(self):
+        assert run_lockstep([]) == []
+
+    def test_lane_slots(self):
+        module = build_program("fact")
+        lane = start_lane(module, "fact", list(PROGRAMS["fact"].default_args))
+        assert isinstance(lane, Lane)
+        with pytest.raises(AttributeError):
+            lane.extra = 1

@@ -1,0 +1,208 @@
+"""Superblock compilation: formation rules and counter exactness.
+
+The batched tier of :class:`repro.ir.interp.Interpreter` fuses
+single-predecessor ``jmp`` chains into superblocks and charges fuel and
+cycles in bulk.  These tests pin the formation rules (where chains may
+and may not extend) and prove the bulk accounting is *exact* against
+:class:`repro.ir.refinterp.ReferenceInterpreter` — same instruction
+count, cycle count, fuel-exhaustion point and trap position on every
+workload, with and without step hooks in the loop.
+"""
+
+import math
+
+import pytest
+
+from repro.faults.model import FaultSpec, FaultTarget
+from repro.faults.seu import RegisterFaultInjector
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.ir.instructions import Predicate
+from repro.ir.interp import Interpreter
+from repro.ir.module import Module
+from repro.ir.refinterp import ReferenceInterpreter
+from repro.ir.types import INT64
+from repro.rng import make_rng
+from repro.workloads.irprograms import PROGRAMS, build_program
+
+
+def _values_equal(a, b):
+    if isinstance(a, float) and isinstance(b, float):
+        if math.isnan(a) and math.isnan(b):
+            return True
+    return a == b
+
+
+def _assert_same_execution(fast, ref):
+    assert fast.status == ref.status
+    assert _values_equal(fast.value, ref.value), (fast.value, ref.value)
+    assert fast.instructions == ref.instructions
+    assert fast.cycles == ref.cycles
+    assert fast.trap_reason == ref.trap_reason
+
+
+def _chain_module(n_links: int = 4) -> Module:
+    """entry -> b1 -> ... -> bN, a pure jmp chain (one fusable superblock)."""
+    module = Module("chain")
+    func = Function("f", [("a", INT64)], INT64)
+    module.add_function(func)
+    b = IRBuilder(func)
+    blocks = [func.add_block("entry")]
+    blocks += [func.add_block(f"b{i}") for i in range(1, n_links + 1)]
+    value = func.args[0]
+    for i, block in enumerate(blocks):
+        b.set_block(block)
+        value = b.add(value, b.i64(i + 1))
+        if block is blocks[-1]:
+            b.ret(value)
+        else:
+            b.jmp(blocks[i + 1])
+    return module
+
+
+class TestFormationRules:
+    def _supers(self, interp: Interpreter, func_name: str = "f"):
+        func = interp.module.function(func_name)
+        sb = interp._compile_super(func.entry)
+        return sb
+
+    def test_jmp_chain_fuses_from_entry(self):
+        module = _chain_module(4)
+        interp = Interpreter(module)
+        assert interp.run("f", [5]).status.value == "ok"
+        sb = self._supers(interp)
+        assert [blk.name for blk in sb.blocks] == [
+            "entry", "b1", "b2", "b3", "b4",
+        ]
+
+    def test_chain_stops_at_phi_blocks(self):
+        # counted_loop: entry jmps to a phi-carrying loop header; the
+        # header must stay a superblock head of its own.
+        module = build_program("fact")
+        interp = Interpreter(module)
+        interp.run("fact", list(PROGRAMS["fact"].default_args))
+        func = module.function("fact")
+        sb = interp._compile_super(func.entry)
+        assert all(not blk.phis for blk in sb.blocks[1:])
+
+    def test_chain_never_enters_multi_predecessor_block(self):
+        module = build_program("collatz")
+        interp = Interpreter(module)
+        interp.run("collatz", list(PROGRAMS["collatz"].default_args))
+        func = module.function("collatz")
+        preds = interp._pred_counts(func)
+        for head in list(interp._supers):
+            sb = interp._supers[head]
+            for blk in sb.blocks[1:]:
+                assert preds.get(blk, 0) == 1, blk.name
+
+    def test_call_blocks_are_not_batched(self):
+        # leaf: g(x) = x + 1; caller: a jmp chain whose middle block calls g.
+        module = Module("callmod")
+        leaf = Function("g", [("x", INT64)], INT64)
+        module.add_function(leaf)
+        lb = IRBuilder(leaf)
+        lb.set_block(leaf.add_block("entry"))
+        lb.ret(lb.add(leaf.args[0], lb.i64(1)))
+
+        func = Function("f", [("a", INT64)], INT64)
+        module.add_function(func)
+        b = IRBuilder(func)
+        entry = func.add_block("entry")
+        mid = func.add_block("mid")
+        tail = func.add_block("tail")
+        b.set_block(entry)
+        x = b.add(func.args[0], b.i64(2))
+        b.jmp(mid)
+        b.set_block(mid)
+        y = b.call("g", [x], INT64)
+        b.jmp(tail)
+        b.set_block(tail)
+        b.ret(b.add(y, x))
+
+        interp = Interpreter(module)
+        result = interp.run("f", [5])
+        assert result.value == 5 + 2 + 1 + 5 + 2
+        saw_call_block = False
+        for sb in interp._supers.values():
+            codes = [interp._compile_block(blk) for blk in sb.blocks]
+            if any(code.has_call for code in codes):
+                saw_call_block = True
+                assert not sb.fast_ok
+            # Chains never *extend into* a call block: calls only ever
+            # appear in the head.
+            assert all(not code.has_call for code in codes[1:])
+        assert saw_call_block
+
+    def test_superblock_weight_matches_block_sum(self):
+        module = _chain_module(3)
+        interp = Interpreter(module)
+        result = interp.run("f", [1])
+        sb = self._supers(interp)
+        # One compiled superblock spanning the whole function: its weight
+        # must equal the run's entire dynamic instruction count.
+        assert sb.weight == result.instructions
+
+
+class TestCounterExactness:
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    def test_batched_matches_reference(self, name):
+        module = build_program(name)
+        args = list(PROGRAMS[name].default_args)
+        fast = Interpreter(module).run(name, args)
+        ref = ReferenceInterpreter(module).run(name, args)
+        _assert_same_execution(fast, ref)
+
+    @pytest.mark.parametrize("name", ["isort", "orbit", "collatz"])
+    def test_fuel_exhaustion_inside_superblock_is_exact(self, name):
+        module = build_program(name)
+        args = list(PROGRAMS[name].default_args)
+        total = ReferenceInterpreter(module).run(name, args).instructions
+        # Sweep budgets that land mid-superblock; HANG must trip at the
+        # same dynamic instruction either way.
+        for fuel in (1, 2, 3, 5, total // 3, total - 1):
+            fast = Interpreter(module, fuel=fuel).run(name, args)
+            ref = ReferenceInterpreter(module, fuel=fuel).run(name, args)
+            _assert_same_execution(fast, ref)
+            assert fast.status.value == "hang"
+
+    @pytest.mark.parametrize("name", ["isort", "orbit"])
+    @pytest.mark.parametrize("seed", [11, 12, 13])
+    def test_hook_window_batching_matches_reference(self, name, seed):
+        # hook_index lets blocks before the injection window run batched;
+        # the trajectory must still match the unbatched reference exactly.
+        module = build_program(name)
+        args = list(PROGRAMS[name].default_args)
+        golden = ReferenceInterpreter(module).run(name, args)
+        index = int(make_rng(seed).integers(golden.instructions))
+        spec = FaultSpec(target=FaultTarget.REGISTER, dynamic_index=index)
+        fuel = golden.instructions * 50 + 2_000
+
+        fast = Interpreter(
+            module, fuel=fuel,
+            step_hook=RegisterFaultInjector(spec, seed=make_rng(seed)),
+            hook_index=index,
+        ).run(name, args)
+        ref = ReferenceInterpreter(
+            module, fuel=fuel,
+            step_hook=RegisterFaultInjector(spec, seed=make_rng(seed)),
+        ).run(name, args)
+        _assert_same_execution(fast, ref)
+
+    def test_division_trap_inside_chain_is_exact(self):
+        module = Module("trap")
+        func = Function("f", [("a", INT64)], INT64)
+        module.add_function(func)
+        b = IRBuilder(func)
+        entry = func.add_block("entry")
+        body = func.add_block("body")
+        b.set_block(entry)
+        x = b.add(func.args[0], b.i64(1))
+        b.jmp(body)
+        b.set_block(body)
+        y = b.sdiv(x, func.args[0])  # traps when a == 0
+        b.ret(y)
+        for arg in (0, 7):
+            fast = Interpreter(module).run("f", [arg])
+            ref = ReferenceInterpreter(module).run("f", [arg])
+            _assert_same_execution(fast, ref)

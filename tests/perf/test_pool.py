@@ -1,0 +1,240 @@
+"""Warm-pool registry, trial codec and shared-memory buffers."""
+
+import math
+
+import numpy as np
+import pytest
+
+import repro.perf.pool as pool_mod
+from repro.faults.model import FaultSpec, FaultTarget
+from repro.faults.outcomes import FaultOutcome, TrialResult
+from repro.obs.metrics import ENGINE_METRICS
+from repro.perf.pool import (
+    PoolRegistry,
+    TRIAL_DTYPE,
+    TrialBuffer,
+    adaptive_chunk_size,
+    chunk_offsets,
+    decode_trial,
+    encode_trial,
+    site_table,
+)
+from repro.workloads.irprograms import build_program
+
+
+class _FakePool:
+    def __init__(self, **kwargs):
+        self.kwargs = kwargs
+        self.terminated = False
+
+    def map(self, fn, chunks):
+        return [fn(c) for c in chunks]
+
+    def terminate(self):
+        self.terminated = True
+
+    def join(self):
+        pass
+
+
+class _FakeContext:
+    def Pool(self, processes, initializer, initargs):
+        return _FakePool(
+            processes=processes, initializer=initializer, initargs=initargs
+        )
+
+
+@pytest.fixture
+def registry(monkeypatch):
+    monkeypatch.setattr(pool_mod, "_pool_context", lambda: _FakeContext())
+    return PoolRegistry(max_pools=2)
+
+
+class TestPoolRegistry:
+    def test_same_key_reuses_pool(self, registry):
+        first = registry.get(("k1",), 2, None, ())
+        second = registry.get(("k1",), 2, None, ())
+        assert first is second
+        assert len(registry) == 1
+
+    def test_reuse_and_create_metrics(self, registry):
+        created = ENGINE_METRICS.counter("warm_pool.created").value
+        reused = ENGINE_METRICS.counter("warm_pool.reused").value
+        registry.get(("k1",), 2, None, ())
+        registry.get(("k1",), 2, None, ())
+        assert ENGINE_METRICS.counter("warm_pool.created").value == created + 1
+        assert ENGINE_METRICS.counter("warm_pool.reused").value == reused + 1
+
+    def test_lru_eviction_terminates_oldest(self, registry):
+        p1 = registry.get(("k1",), 1, None, ())
+        registry.get(("k2",), 1, None, ())
+        registry.get(("k1",), 1, None, ())  # refresh k1
+        registry.get(("k3",), 1, None, ())  # evicts k2 (LRU), not k1
+        assert len(registry) == 2
+        assert registry.get(("k1",), 1, None, ()) is p1
+        evicted = registry.get(("k2",), 1, None, ())
+        assert evicted is not None and evicted is not p1
+
+    def test_discard_removes_and_terminates(self, registry):
+        pool = registry.get(("k1",), 2, None, ())
+        registry.discard(pool)
+        assert len(registry) == 0
+        assert pool.pool.terminated
+
+    def test_clear_empties_registry(self, registry):
+        registry.get(("k1",), 1, None, ())
+        registry.get(("k2",), 1, None, ())
+        registry.clear()
+        assert len(registry) == 0
+        assert ENGINE_METRICS.gauge("warm_pool.workers_alive").value == 0
+
+    def test_failed_creation_returns_none(self, registry, monkeypatch):
+        class _Broken:
+            def Pool(self, **kwargs):
+                raise OSError("no semaphores here")
+
+        monkeypatch.setattr(pool_mod, "_pool_context", lambda: _Broken())
+        assert registry.get(("k1",), 2, None, ()) is None
+
+    def test_max_pools_validated(self):
+        with pytest.raises(ValueError):
+            PoolRegistry(max_pools=0)
+
+
+def _trial(**overrides):
+    base = dict(
+        spec=FaultSpec(
+            target=FaultTarget.REGISTER, dynamic_index=123,
+            location="v7", bit=13,
+        ),
+        outcome=FaultOutcome.SDC,
+        value=42,
+        rel_error=0.5,
+        cycles=9001,
+    )
+    base.update(overrides)
+    return TrialResult(**base)
+
+
+class TestTrialCodec:
+    SITES = ["a", "b", "v7"]
+
+    def _round_trip(self, trial):
+        row = np.zeros(1, dtype=TRIAL_DTYPE)[0]
+        site_index = {name: i for i, name in enumerate(self.SITES)}
+        assert encode_trial(row, trial, site_index)
+        return decode_trial(row, self.SITES)
+
+    def test_register_trial_round_trips(self):
+        trial = _trial()
+        assert self._round_trip(trial) == trial
+
+    def test_memory_trial_with_address_location(self):
+        trial = _trial(spec=FaultSpec(
+            target=FaultTarget.MEMORY, dynamic_index=7, location=100, bit=3,
+        ))
+        assert self._round_trip(trial) == trial
+
+    def test_none_fields_round_trip(self):
+        trial = _trial(
+            spec=FaultSpec(target=FaultTarget.REGISTER, dynamic_index=0),
+            value=None, outcome=FaultOutcome.HANG,
+        )
+        assert self._round_trip(trial) == trial
+
+    def test_float_value_round_trips(self):
+        trial = _trial(value=math.pi, outcome=FaultOutcome.BENIGN)
+        assert self._round_trip(trial) == trial
+
+    def test_nan_and_inf_round_trip(self):
+        for value in (math.nan, math.inf, -math.inf):
+            decoded = self._round_trip(_trial(value=value))
+            if math.isnan(value):
+                assert math.isnan(decoded.value)
+            else:
+                assert decoded.value == value
+
+    def test_inf_rel_error_round_trips(self):
+        decoded = self._round_trip(_trial(rel_error=math.inf))
+        assert decoded.rel_error == math.inf
+
+    def test_every_outcome_and_target_round_trips(self):
+        for outcome in FaultOutcome:
+            for target in FaultTarget:
+                trial = _trial(
+                    spec=FaultSpec(target=target, dynamic_index=1),
+                    outcome=outcome,
+                )
+                assert self._round_trip(trial) == trial
+
+    def test_int64_overflow_needs_override(self):
+        row = np.zeros(1, dtype=TRIAL_DTYPE)[0]
+        assert not encode_trial(row, _trial(value=1 << 63), {"v7": 2})
+
+    def test_unknown_site_needs_override(self):
+        row = np.zeros(1, dtype=TRIAL_DTYPE)[0]
+        trial = _trial(spec=FaultSpec(
+            target=FaultTarget.REGISTER, dynamic_index=1, location="ghost",
+        ))
+        assert not encode_trial(row, trial, {"v7": 2})
+
+    def test_int64_boundaries_round_trip(self):
+        for value in (-(1 << 63), (1 << 63) - 1):
+            assert self._round_trip(_trial(value=value)).value == value
+
+
+class TestSiteTable:
+    def test_table_is_sorted_and_stable_across_round_trip(self):
+        from repro.ir.parser import parse_module
+        from repro.ir.printer import print_module
+
+        module = build_program("isort")
+        table = site_table(module)
+        assert table == sorted(table)
+        reparsed = parse_module(print_module(module), name=module.name)
+        assert site_table(reparsed) == table
+
+    def test_table_covers_args(self):
+        module = build_program("fact")
+        args = [a.name for a in module.function("fact").args]
+        assert set(args) <= set(site_table(module))
+
+
+class TestTrialBuffer:
+    def test_create_attach_round_trip(self):
+        buffer = TrialBuffer.create(4)
+        if buffer is None:
+            pytest.skip("shared memory unavailable on this host")
+        try:
+            trial = _trial(spec=FaultSpec(
+                target=FaultTarget.MEMORY, dynamic_index=5, location=9, bit=1,
+            ))
+            assert encode_trial(buffer.array[2], trial, {})
+            attached = TrialBuffer.attach(buffer.name, 4)
+            decoded = decode_trial(attached.array[2], [])
+            attached.close()
+            assert decoded == trial
+        finally:
+            buffer.close()
+            buffer.unlink()
+
+    def test_zero_trials_buffer(self):
+        buffer = TrialBuffer.create(0)
+        if buffer is None:
+            pytest.skip("shared memory unavailable on this host")
+        assert len(buffer.array) == 0
+        buffer.close()
+        buffer.unlink()
+
+
+class TestChunkHelpers:
+    def test_chunk_offsets(self):
+        assert chunk_offsets([[1, 2], [3], [], [4, 5, 6]]) == [0, 2, 3, 3]
+
+    def test_adaptive_chunk_size_targets_four_per_worker(self):
+        assert adaptive_chunk_size(100, 5) == 5
+        assert adaptive_chunk_size(7, 4) == 1
+        assert adaptive_chunk_size(1000, 1) == 250
+
+    def test_adaptive_chunk_size_never_zero(self):
+        assert adaptive_chunk_size(0, 8) == 1

@@ -45,3 +45,49 @@ def test_load_missing_or_corrupt_returns_none(tmp_path):
     bad = tmp_path / "bad.json"
     bad.write_text("{not json")
     assert load_perf_report(bad) is None
+
+
+def test_format_report_summarizes_headlines_and_metrics(tmp_path):
+    from repro.perf.report import format_report
+
+    report = {
+        "schema": 1,
+        "min_speedup": 9.5,
+        "parallel_vs_serial": 1.2,
+        "available_cpus": 4,
+        "history": [{"schema": 1, "min_speedup": 7.3}],
+    }
+    snapshot = {
+        "counters": {"golden_cache.hits": 3, "warm_pool.created": 1},
+        "gauges": {"warm_pool.workers_alive": 2.0},
+        "histograms": {},
+    }
+    text = format_report(report, snapshot)
+    assert "9.50x" in text
+    assert "min_speedup trajectory" in text
+    assert "9.50 <- 7.30" in text
+    assert "hits: 3" in text
+    assert "workers_alive: 2.0" in text
+
+
+def test_format_report_handles_missing_report():
+    from repro.perf.report import format_report
+
+    text = format_report(None, {"counters": {}, "gauges": {}})
+    assert "no perf report" in text
+
+
+def test_report_cli_smoke(tmp_path):
+    import json
+    import subprocess
+    import sys
+
+    path = tmp_path / "BENCH_perf.json"
+    path.write_text(json.dumps({"schema": 1, "min_speedup": 8.0}))
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.perf.report", str(path)],
+        capture_output=True, text=True,
+    )
+    assert proc.returncode == 0
+    assert "8.00x" in proc.stdout
+    assert "golden_cache" in proc.stdout

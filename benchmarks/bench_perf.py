@@ -51,8 +51,10 @@ from repro.faults.outcomes import FaultOutcome, OutcomeCounts, TrialResult, clas
 from repro.faults.lockstep import run_campaign_lockstep
 from repro.faults.parallel import available_cpus, run_campaign_parallel
 from repro.obs.events import InMemorySink, Tracer
+from repro.obs.export import export_snapshot, snapshot_section
 from repro.obs.metrics import ENGINE_METRICS
 from repro.obs.report import outcome_counts
+from repro.obs.spans import SpanEnd, SpanStart, campaign_root
 from repro.ir.interp import Interpreter
 from repro.ir.refinterp import ReferenceInterpreter
 from repro.perf import GOLDEN_CACHE
@@ -225,14 +227,10 @@ def test_perf_campaign_throughput():
         "lockstep_vs_serial": lockstep_tps / serial_tps,
         "target_parallel_speedup_vs_baseline": 2.0,
     }
-    warm_pool = {
-        name.split(".", 1)[1]: counter.value
-        for name, counter in ENGINE_METRICS.counters.items()
-        if name.startswith("warm_pool.")
-    }
-    warm_pool["workers_alive"] = ENGINE_METRICS.gauge(
-        "warm_pool.workers_alive"
-    ).value
+    # Warm-pool stats come through the versioned snapshot schema — the
+    # same shape ``python -m repro.perf.report`` consumes — instead of
+    # reaching into registry dicts.
+    warm_pool = snapshot_section(export_snapshot(ENGINE_METRICS), "warm_pool")
     SNAPSHOT["parallel"] = {
         "workers": WORKERS,
         "available_cpus": cpus,
@@ -284,21 +282,52 @@ def test_perf_observability_overhead():
         "event stream disagrees with the engine tally"
     )
 
+    # Span tracing rides the same budget: causal ids are hash-derived
+    # (clock-free), so the traced campaign stays byte-identical and the
+    # span stream is well-formed — one campaign root plus one closed
+    # span per trial.
+    span_sink = InMemorySink()
+    span_traced = run_campaign(
+        campaign, seed=1, tracer=Tracer(span_sink), trace_spans=True
+    )
+    assert span_traced.trials == plain.trials, (
+        "span tracing perturbed the campaign"
+    )
+    starts = [e for e in span_sink.events if isinstance(e, SpanStart)]
+    ends = [e for e in span_sink.events if isinstance(e, SpanEnd)]
+    assert len(starts) == len(ends) == N_TRIALS + 1
+    assert starts[0].span == campaign_root(
+        CAMPAIGN_PROGRAM, CAMPAIGN_PROGRAM, 1, N_TRIALS
+    )
+
     t_plain = _best_of(lambda: run_campaign(campaign, seed=1))
     t_traced = _best_of(
         lambda: run_campaign(campaign, seed=1, tracer=Tracer(InMemorySink()))
     )
+    t_span = _best_of(
+        lambda: run_campaign(
+            campaign, seed=1, tracer=Tracer(InMemorySink()), trace_spans=True
+        )
+    )
     overhead = t_traced / t_plain - 1.0
+    span_overhead = t_span / t_plain - 1.0
     SNAPSHOT["observability"] = {
         "events_per_campaign": len(sink.events),
+        "span_events_per_campaign": len(span_sink.events),
         "traced_overhead": overhead,
+        "span_traced_overhead": span_overhead,
         "target_traced_overhead": 0.25,
         "deterministic": True,
     }
     if STRICT:
         # Enabled tracing emits ~3 events/trial into a list append; it
-        # must stay a small fraction of the trial's interpreter work.
+        # must stay a small fraction of the trial's interpreter work —
+        # and span tracing (two extra events/trial, one blake2b each)
+        # shares the same 25% budget.
         assert overhead < 0.25, f"tracing overhead {overhead:.1%}"
+        assert span_overhead < 0.25, (
+            f"span tracing overhead {span_overhead:.1%}"
+        )
 
 
 def test_perf_write_report():
@@ -341,6 +370,8 @@ def test_perf_write_report():
         f"{SNAPSHOT['parallel']['available_cpus']} CPU(s) available; "
         f"history depth {len(report.get('history', []))}; "
         f"tracing overhead {obs.get('traced_overhead', 0.0):+.1%} "
-        f"({obs.get('events_per_campaign', 0)} events)"
+        f"({obs.get('events_per_campaign', 0)} events), "
+        f"span-traced {obs.get('span_traced_overhead', 0.0):+.1%} "
+        f"({obs.get('span_events_per_campaign', 0)} events)"
     )
     write_result("PERF", "fault-injection engine throughput", body)

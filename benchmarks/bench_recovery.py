@@ -9,16 +9,19 @@ and a mission flown with the supervisor's measured parameters beats the
 flat 30-second-reboot model on uptime.
 """
 
+import time
+
 import pytest
 
 from benchmarks._util import RESULTS_DIR, fmt_table, write_result
 from repro.core.dmr import ProtectedProgram, ProtectionLevel
 from repro.faults.campaign import Campaign, run_campaign
-from repro.obs.events import JsonlSink, Tracer
+from repro.obs.events import InMemorySink, JsonlSink, Tracer
 from repro.obs.metrics import Histogram
 from repro.obs.recorder import FlightRecorder
 from repro.obs.report import main as report_main
 from repro.obs.report import outcome_counts, read_trace
+from repro.obs.spans import SpanEnd, SpanStart, campaign_root
 from repro.recover import (
     LadderConfig,
     RecoveryRung,
@@ -194,6 +197,7 @@ def test_e13c_observability(supervised_runs, capsys):
             untraced.config,
             seed=SEED,
             tracer=tracer,
+            trace_spans=True,
         )
         hang_run = run_campaign(
             Campaign(
@@ -204,6 +208,7 @@ def test_e13c_observability(supervised_runs, capsys):
             ),
             seed=SEED,
             tracer=tracer,
+            trace_spans=True,
         )
 
     # Tracing observed, it did not perturb.
@@ -219,6 +224,42 @@ def test_e13c_observability(supervised_runs, capsys):
         for outcome in rebuilt
     }
     assert rebuilt == engine, "trace disagrees with the engine tally"
+
+    # The causal span stream in the same trace is well-formed: one root
+    # per campaign (ids re-derivable from campaign identity alone), one
+    # trial span per trial, and every opened span closed.
+    starts = [e for e in events if isinstance(e, SpanStart)]
+    ends = [e for e in events if isinstance(e, SpanEnd)]
+    assert len(starts) == len(ends), "unclosed spans in the trace"
+    roots = {s.span for s in starts if s.name == "campaign"}
+    assert roots == {
+        campaign_root("isort", "isort", SEED, N_TRIALS),
+        campaign_root("fib", "fib", SEED, N_TRIALS),
+    }
+    n_trial_spans = sum(1 for s in starts if s.name == "trial")
+    assert n_trial_spans == 2 * N_TRIALS
+
+    # Span tracing shares E13's 25% observability budget: ids are
+    # hash-derived (no clock reads on the campaign path), so the fully
+    # span-traced supervised run must stay within 25% of the untraced
+    # wall time.  Best-of-2 to keep shared-runner noise out of the gate.
+    def _timed(**kwargs):
+        best = float("inf")
+        for _ in range(2):
+            t0 = time.perf_counter()
+            run_supervised_campaign(
+                _campaign("isort"), untraced.config, seed=SEED, **kwargs
+            )
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    t_plain = _timed()
+    t_span = _timed(tracer=Tracer(InMemorySink()), trace_spans=True)
+    span_overhead = t_span / t_plain - 1.0
+    assert span_overhead < 0.25, (
+        f"span-traced supervised campaign overhead {span_overhead:.1%} "
+        "exceeds the 25% observability budget"
+    )
 
     # The report CLI renders it and confirms per-campaign agreement.
     assert report_main([str(trace_path)]) == 0
@@ -241,6 +282,8 @@ def test_e13c_observability(supervised_runs, capsys):
             ["latency p90", f"{quantiles['p90'] * 1e6:.2f} us"],
             ["latency p99", f"{quantiles['p99'] * 1e6:.2f} us"],
             ["trace events", str(len(events))],
+            ["span pairs", str(len(starts))],
+            ["span overhead", f"{span_overhead:+.1%} (budget 25%)"],
             ["crash dumps", str(len(recorder.dumps_for("crash")))],
             ["hang dumps", str(len(recorder.dumps_for("hang")))],
         ],

@@ -28,8 +28,17 @@ from repro.detect.fleet import FleetConfig, FleetScorer, FleetStep
 from repro.errors import ConfigError, DeviceDestroyed
 from repro.faults.sel import LatchupGenerator
 from repro.hw.board import Board
+from repro.obs.aggregate import latency_histogram
 from repro.obs.events import FleetDecision, PhaseTransition, Tracer
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import (
+    ROOT,
+    SpanEnd,
+    SpanStart,
+    fleet_root,
+    profile_stage,
+    span_id,
+)
 from repro.radiation.schedule import (
     EnvironmentTimeline,
     MissionPhase,
@@ -97,8 +106,15 @@ class SelFleetService:
         members: supervised boards, index-aligned with scorer rows.
         scorer: the shared batched scorer.
         metrics: optional registry; scoring latency lands in the
-            ``fleet.score_latency_s`` histogram (wall-clock measurement
-            stays out of the event trace, which is clock-free).
+            ``fleet.score_latency_s`` fixed-bucket histogram (wall-clock
+            measurement stays out of the event trace, which is
+            clock-free; the fixed buckets make per-shard registries
+            mergeable).
+        trace_spans: when set (and a tracer is attached), emit the
+            deterministic span skeleton — a ``fleet`` root, one ``tick``
+            span per tick, and a ``power-cycle`` child span per reboot.
+            Span ids derive from (timeline_seed, fleet size, tick index)
+            only, never the clock.
     """
 
     def __init__(
@@ -112,6 +128,7 @@ class SelFleetService:
         sel_rate_per_board_day: float = 0.05,
         timeline_seed: int = 0,
         threshold_scales: dict[MissionPhase, float] | None = None,
+        trace_spans: bool = False,
     ) -> None:
         if not members:
             raise ConfigError("fleet service needs at least one member")
@@ -136,6 +153,10 @@ class SelFleetService:
             else DEFAULT_PHASE_THRESHOLD_SCALES
         )
         self._phase: MissionPhase | None = None
+        self.trace_spans = trace_spans
+        self.span_root = fleet_root(len(members), timeline_seed)
+        self._tick_index = 0
+        self._root_open = False
 
     def schedule_timeline_latchups(
         self, t0: float, t1: float
@@ -216,20 +237,60 @@ class SelFleetService:
             rows[i] = self.featurizer.row(samples[0])
         return rows, newly_dead
 
+    def _record_latency(self, elapsed: float) -> None:
+        hist = self.metrics.histograms.get("fleet.score_latency_s")
+        if hist is None:
+            hist = latency_histogram()
+            self.metrics.histograms["fleet.score_latency_s"] = hist
+        hist.record(elapsed)
+
     def tick(self, t: float) -> FleetTickResult:
         """Sample, score and respond for the whole fleet at time ``t``."""
+        spans = self.tracer is not None and self.trace_spans
+        if spans and not self._root_open:
+            self.tracer.emit(
+                SpanStart(
+                    span=self.span_root, parent=ROOT, name="fleet",
+                    index=self.timeline_seed,
+                    detail=f"{len(self.members)} boards",
+                )
+            )
+            self._root_open = True
+        tick_span = ""
+        if spans:
+            tick_span = span_id(self.span_root, "tick", self._tick_index)
+            self.tracer.emit(
+                SpanStart(
+                    span=tick_span, parent=self.span_root, name="tick",
+                    index=self._tick_index,
+                )
+            )
+        self._tick_index += 1
         if self.timeline is not None:
             self._apply_phase(t)
         rows, newly_dead = self._sample_rows(t)
         started = time.perf_counter()
-        step = self.scorer.step(t, rows)
+        with profile_stage("score"):
+            step = self.scorer.step(t, rows)
         elapsed = time.perf_counter() - started
         if self.metrics is not None:
-            self.metrics.histogram("fleet.score_latency_s").record(elapsed)
+            self._record_latency(elapsed)
         rebooted: list[str] = []
         for index in step.alarms:
             member = self.members[index]
             if member.controller.on_alarm(t):
+                if spans:
+                    cycle_span = span_id(
+                        tick_span, "power-cycle", len(rebooted)
+                    )
+                    self.tracer.emit(
+                        SpanStart(
+                            span=cycle_span, parent=tick_span,
+                            name="power-cycle", index=len(rebooted),
+                            detail=member.board_id,
+                        )
+                    )
+                    self.tracer.emit(SpanEnd(span=cycle_span))
                 rebooted.append(member.board_id)
         if self.tracer is not None:
             finite = step.scores[np.isfinite(step.scores)]
@@ -252,7 +313,27 @@ class SelFleetService:
                     warming_up=step.warming_up,
                 )
             )
+        if spans:
+            self.tracer.emit(
+                SpanEnd(
+                    span=tick_span,
+                    status="warmup" if step.warming_up else "ok",
+                    count=step.n_scored,
+                )
+            )
         return FleetTickResult(step=step, rebooted=rebooted, dead=newly_dead)
+
+    def close_spans(self) -> None:
+        """End the fleet root span (idempotent; ``run`` calls it)."""
+        if (
+            self.tracer is not None
+            and self.trace_spans
+            and self._root_open
+        ):
+            self.tracer.emit(
+                SpanEnd(span=self.span_root, count=self._tick_index)
+            )
+            self._root_open = False
 
     def run(
         self,
@@ -276,7 +357,17 @@ class SelFleetService:
         results = []
         for i in range(int(duration_s * rate_hz)):
             results.append(self.tick(t_start + i / rate_hz))
+        self.close_spans()
         return results
+
+    def health_snapshot(self) -> dict:
+        """Scorer health rollup plus the service's latency summary."""
+        snap = self.scorer.health_snapshot()
+        if self.metrics is not None:
+            hist = self.metrics.histograms.get("fleet.score_latency_s")
+            if hist is not None and hist.count:
+                snap["histograms"]["fleet.score_latency_s"] = hist.summary()
+        return snap
 
     def alarm_times(self) -> dict[str, list[float]]:
         """Per-board alarm times (the live counterpart of the trace

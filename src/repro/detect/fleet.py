@@ -27,6 +27,7 @@ import numpy as np
 from repro.detect.base import AnomalyDetector, FittedState
 from repro.detect.evaluate import roc_auc
 from repro.errors import ConfigError, DetectorError
+from repro.obs.aggregate import SCORE_BOUNDS, Rollup
 
 #: Recognized ensemble voting modes.
 VOTE_MODES = ("weighted", "majority")
@@ -292,6 +293,13 @@ class FleetScorer:
     Attributes:
         detector: shared fitted detector.
         boards: per-board bookkeeping, index-aligned with score rows.
+        health: mergeable rollup (:class:`repro.obs.aggregate.Rollup`) of
+            per-board and fleet-wide scoring activity.  Every entry is
+            additive over boards — counters per board, fixed-bucket score
+            histogram — so scorers sharding one fleet's boards merge
+            their health rollups into *exactly* the rollup one scorer
+            over the whole fleet would hold (the sharded mission-control
+            property).
     """
 
     def __init__(
@@ -309,6 +317,7 @@ class FleetScorer:
         self.detector = detector
         self.config = config
         self.boards = [BoardScoringState(board_id=b) for b in board_ids]
+        self.health = Rollup()
         self._stream_state = detector.make_stream_state(len(board_ids))
         self._start_t: float | None = None
         self._threshold_scale = 1.0
@@ -405,14 +414,30 @@ class FleetScorer:
                 for pos, i in enumerate(idx.tolist()):
                     board = self.boards[i]
                     board.samples_scored += 1
+                    self.health.inc("fleet.scored")
+                    self.health.inc(f"board.{board.board_id}.scored")
+                    self.health.observe(
+                        "fleet.score", float(sub_scores[pos]),
+                        bounds=SCORE_BOUNDS,
+                    )
                     if flags[pos]:
                         board.hits += 1
+                        self.health.inc("fleet.anomalous")
                     else:
                         board.hits = 0
                     if board.hits >= self.config.consecutive_hits:
                         board.alarms.append(t)
                         board.hits = 0
                         alarms.append(i)
+                        self.health.inc("fleet.alarms")
+                        self.health.inc(f"board.{board.board_id}.alarms")
+        for i in newly_quarantined:
+            self.health.inc("fleet.quarantines")
+            self.health.inc(f"board.{self.boards[i].board_id}.quarantines")
+        for i in released:
+            self.health.inc("fleet.releases")
+            self.health.inc(f"board.{self.boards[i].board_id}.releases")
+        self.health.inc("fleet.dropped", int((~finite).sum()))
         return FleetStep(
             t=t,
             scores=scores,
@@ -423,11 +448,16 @@ class FleetScorer:
             warming_up=warming_up,
         )
 
+    def health_snapshot(self) -> dict:
+        """JSON-friendly view of the health rollup."""
+        return self.health.snapshot()
+
     def reset(self) -> None:
         """Clear all per-board state (new trace); keeps the detector."""
         self.boards = [
             BoardScoringState(board_id=b.board_id) for b in self.boards
         ]
+        self.health = Rollup()
         self._stream_state = self.detector.make_stream_state(self.n_boards)
         self._start_t = None
         self._threshold_scale = 1.0

@@ -52,6 +52,7 @@ from repro.obs.events import (
     TrialEnd,
     TrialStart,
 )
+from repro.obs.spans import ROOT, SpanEnd, SpanStart, campaign_root, span_id
 from repro.perf.cache import GOLDEN_CACHE
 from repro.rng import fork, make_rng
 
@@ -214,6 +215,60 @@ def make_injector(
     )
 
 
+def begin_campaign_span(
+    tracer: Tracer,
+    campaign: Campaign,
+    seed: int | np.random.Generator | None,
+) -> str:
+    """Open the campaign's root span; returns its deterministic id.
+
+    Called before :func:`emit_campaign_start` so the campaign lifecycle
+    events themselves are attributed to the span.  The id is a pure
+    function of the campaign identity and the integer seed (see
+    :func:`repro.obs.spans.campaign_root`), so every execution mode —
+    serial, parallel at any worker count, lockstep — derives the same
+    root and emits the same span events.
+    """
+    root = campaign_root(
+        campaign.module.name, campaign.func_name, seed, campaign.n_trials
+    )
+    tracer.emit(SpanStart(
+        span=root,
+        parent=ROOT,
+        name="campaign",
+        index=seed if isinstance(seed, int) else 0,
+        detail=f"{campaign.module.name}:@{campaign.func_name}",
+    ))
+    return root
+
+
+def end_campaign_span(
+    tracer: Tracer, span_root: str, campaign: Campaign
+) -> None:
+    """Close the campaign's root span (after :func:`emit_campaign_end`)."""
+    tracer.emit(SpanEnd(
+        span=span_root, status="ok", count=campaign.n_trials
+    ))
+
+
+def begin_trial_span(tracer: Tracer, span_root: str, index: int) -> str:
+    """Open trial ``index``'s span under the campaign root."""
+    span = span_id(span_root, "trial", index)
+    tracer.emit(SpanStart(
+        span=span, parent=span_root, name="trial", index=index
+    ))
+    return span
+
+
+def end_trial_span(
+    tracer: Tracer, span: str, trial: TrialResult
+) -> None:
+    """Close a trial span with the classified outcome and cycle cost."""
+    tracer.emit(SpanEnd(
+        span=span, status=trial.outcome.value, cycles=trial.cycles
+    ))
+
+
 def emit_trial_events(
     tracer: Tracer,
     trial_index: int,
@@ -252,6 +307,7 @@ def run_trial(
     tracer: Tracer | None = None,
     trial_index: int = 0,
     trace_blocks: bool = False,
+    span_root: str = "",
 ) -> TrialResult:
     """Execute and classify one faulted trial.
 
@@ -260,10 +316,15 @@ def run_trial(
     across all of them follow from sharing this code and the per-trial
     forked generators.  A tracer adds trial start / injection / end
     events (and per-block transitions when ``trace_blocks``) without
-    touching the trial's RNG stream.
+    touching the trial's RNG stream.  With a ``span_root``, the trial's
+    events are additionally bracketed by a deterministic trial span
+    (id derived from root + index, never from any clock).
     """
     trace_hook = None
+    trial_span = ""
     if tracer is not None:
+        if span_root:
+            trial_span = begin_trial_span(tracer, span_root, trial_index)
         tracer.emit(TrialStart(trial=trial_index))
         if trace_blocks:
             emit = tracer.emit
@@ -288,7 +349,38 @@ def run_trial(
     trial = classify_trial(campaign, golden, injector, result)
     if tracer is not None:
         emit_trial_events(tracer, trial_index, trial, fired=injector.fired)
+        if trial_span:
+            end_trial_span(tracer, trial_span, trial)
     return trial
+
+
+def emit_lockstep_trial(
+    tracer: Tracer,
+    index: int,
+    trial: TrialResult,
+    fired: bool,
+    block_trace: list[tuple[str, str]],
+    span_root: str = "",
+) -> None:
+    """Re-emit one lockstep trial's events post-hoc, in per-trial order.
+
+    The lockstep engines classify whole batches before any event can be
+    emitted, then replay each trial's stream — start, block transitions,
+    injection, classified end, bracketed by the trial span when a
+    ``span_root`` is given — exactly as the per-trial loop would have.
+    Shared by the serial lockstep campaign, the parallel in-process
+    fallback and the traced worker chunks, so all three re-emission
+    sites stay byte-identical by construction.
+    """
+    trial_span = ""
+    if span_root:
+        trial_span = begin_trial_span(tracer, span_root, index)
+    tracer.emit(TrialStart(trial=index))
+    for func_name, block_name in block_trace:
+        tracer.emit(BlockTransition(func=func_name, block=block_name))
+    emit_trial_events(tracer, index, trial, fired=fired)
+    if trial_span:
+        end_trial_span(tracer, trial_span, trial)
 
 
 def classify_trial(
@@ -409,6 +501,7 @@ def run_timeline_campaign(
     workers: int | None = None,
     tracer: Tracer | None = None,
     trace_blocks: bool = False,
+    trace_spans: bool = False,
     subsystem: str = "register",
 ) -> TimelineCampaignResult:
     """Run a campaign whose faults arrive per an environment timeline.
@@ -431,7 +524,7 @@ def run_timeline_campaign(
     timed = replace(campaign, n_trials=len(arrivals))
     result = run_campaign(
         timed, seed=rng, workers=workers, tracer=tracer,
-        trace_blocks=trace_blocks,
+        trace_blocks=trace_blocks, trace_spans=trace_spans,
     )
     phases = [timeline.phase_at(float(t)) for t in arrivals]
     return TimelineCampaignResult(
@@ -449,6 +542,7 @@ def run_campaign(
     workers: int | None = None,
     tracer: Tracer | None = None,
     trace_blocks: bool = False,
+    trace_spans: bool = False,
 ) -> CampaignResult:
     """Execute ``campaign`` and classify every trial.
 
@@ -459,15 +553,21 @@ def run_campaign(
     cache lookups, per-trial start / injection / end; per-block
     transitions when ``trace_blocks``); parallel runs merge their
     workers' per-trial events back in trial order so the traced stream is
-    identical at every worker count.
+    identical at every worker count.  ``trace_spans`` additionally
+    brackets the campaign and every trial with deterministic causal
+    spans (:mod:`repro.obs.spans`) — still byte-identical across modes,
+    because span ids derive from seed + index, never from a clock.
     """
     if workers is not None and workers > 1:
         from repro.faults.parallel import run_campaign_parallel
 
         return run_campaign_parallel(
             campaign, seed=seed, workers=workers, tracer=tracer,
-            trace_blocks=trace_blocks,
+            trace_blocks=trace_blocks, trace_spans=trace_spans,
         )
+    span_root = ""
+    if tracer is not None and trace_spans:
+        span_root = begin_campaign_span(tracer, campaign, seed)
     rng = make_rng(seed)
     if tracer is not None:
         emit_campaign_start(tracer, campaign)
@@ -481,9 +581,12 @@ def run_campaign(
         trial = run_trial(
             campaign, golden, trial_fuel, trial_rng, code_cache,
             tracer=tracer, trial_index=index, trace_blocks=trace_blocks,
+            span_root=span_root,
         )
         counts.record(trial.outcome)
         trials.append(trial)
     if tracer is not None:
         emit_campaign_end(tracer, campaign, golden, counts)
+        if span_root:
+            end_campaign_span(tracer, span_root, campaign)
     return CampaignResult(golden=golden, counts=counts, trials=trials)

@@ -32,10 +32,12 @@ import numpy as np
 from repro.faults.campaign import (
     Campaign,
     CampaignResult,
+    begin_campaign_span,
     classify_trial,
     emit_campaign_end,
     emit_campaign_start,
-    emit_trial_events,
+    emit_lockstep_trial,
+    end_campaign_span,
     make_injector,
     run_golden,
     trial_fuel_for,
@@ -43,7 +45,7 @@ from repro.faults.campaign import (
 from repro.faults.outcomes import OutcomeCounts, TrialResult
 from repro.ir.interp import ExecutionResult
 from repro.ir.lockstep import run_lockstep, start_lane
-from repro.obs.events import BlockTransition, Tracer, TrialStart
+from repro.obs.events import Tracer
 from repro.rng import fork, make_rng
 
 #: Lanes advanced together per batch.  Bounds peak memory (each lane holds
@@ -98,21 +100,27 @@ def run_campaign_lockstep(
     batch: int = DEFAULT_BATCH,
     tracer: Tracer | None = None,
     trace_blocks: bool = False,
+    trace_spans: bool = False,
 ) -> CampaignResult:
     """Execute ``campaign`` with batched lockstep trials.
 
     Byte-identical to ``run_campaign(campaign, seed)`` — same
     ``TrialResult`` sequence, counts and golden run — and, when traced,
-    the identical event stream.  ``workers > 1`` additionally fans
-    lockstep chunks across the warm process pool.
+    the identical event stream (spans included under ``trace_spans``).
+    ``workers > 1`` additionally fans lockstep chunks across the warm
+    process pool.
     """
     if workers is not None and workers > 1:
         from repro.faults.parallel import run_campaign_parallel
 
         return run_campaign_parallel(
             campaign, seed=seed, workers=workers, tracer=tracer,
-            trace_blocks=trace_blocks, lockstep=True, lockstep_batch=batch,
+            trace_blocks=trace_blocks, trace_spans=trace_spans,
+            lockstep=True, lockstep_batch=batch,
         )
+    span_root = ""
+    if tracer is not None and trace_spans:
+        span_root = begin_campaign_span(tracer, campaign, seed)
     rng = make_rng(seed)
     if tracer is not None:
         emit_campaign_start(tracer, campaign)
@@ -132,10 +140,12 @@ def run_campaign_lockstep(
         counts.record(trial.outcome)
         trials.append(trial)
         if tracer is not None:
-            tracer.emit(TrialStart(trial=index))
-            for func_name, block_name in block_trace:
-                tracer.emit(BlockTransition(func=func_name, block=block_name))
-            emit_trial_events(tracer, index, trial, fired=fired)
+            emit_lockstep_trial(
+                tracer, index, trial, fired, block_trace,
+                span_root=span_root,
+            )
     if tracer is not None:
         emit_campaign_end(tracer, campaign, golden, counts)
+        if span_root:
+            end_campaign_span(tracer, span_root, campaign)
     return CampaignResult(golden=golden, counts=counts, trials=trials)

@@ -77,8 +77,11 @@ from repro.errors import FaultInjectionError
 from repro.faults.campaign import (
     Campaign,
     CampaignResult,
+    begin_campaign_span,
     emit_campaign_end,
     emit_campaign_start,
+    emit_lockstep_trial,
+    end_campaign_span,
     run_golden,
     run_trial,
     trial_fuel_for,
@@ -90,6 +93,7 @@ from repro.ir.interp import ExecutionResult
 from repro.ir.parser import parse_module
 from repro.ir.printer import print_module
 from repro.obs.events import Event, InMemorySink, Tracer
+from repro.obs.spans import profile_stage
 from repro.perf.cache import cost_model_key
 from repro.perf.pool import (
     POOL_REGISTRY,
@@ -290,16 +294,15 @@ def _run_trial_chunk_traced(payload: tuple) -> list[tuple[TrialResult, list[Even
     """Traced chunk body: each trial's events collected for forwarding.
 
     Every trial gets a private collector so the parent can re-emit the
-    batches in trial order regardless of which worker ran them.
+    batches in trial order regardless of which worker ran them.  With a
+    ``span_root``, each trial's batch is bracketed by its deterministic
+    trial span — the worker derives the exact id the serial loop would.
     """
-    indexed_rngs, trace_blocks, lockstep, batch = payload
+    indexed_rngs, trace_blocks, lockstep, batch, span_root = payload
     state = _WORKER_STATE
     assert state is not None, "worker used before initialization"
     if lockstep:
         from repro.faults.lockstep import run_lockstep_trials
-
-        from repro.faults.campaign import emit_trial_events
-        from repro.obs.events import BlockTransition, TrialStart
 
         rows = run_lockstep_trials(
             state.campaign, state.golden, state.trial_fuel,
@@ -311,11 +314,10 @@ def _run_trial_chunk_traced(payload: tuple) -> list[tuple[TrialResult, list[Even
             indexed_rngs, rows
         ):
             sink = InMemorySink()
-            tracer = Tracer(sink)
-            tracer.emit(TrialStart(trial=index))
-            for func_name, block_name in block_trace:
-                tracer.emit(BlockTransition(func=func_name, block=block_name))
-            emit_trial_events(tracer, index, trial, fired=fired)
+            emit_lockstep_trial(
+                Tracer(sink), index, trial, fired, block_trace,
+                span_root=span_root,
+            )
             out.append((trial, sink.events))
         return out
     out = []
@@ -324,7 +326,7 @@ def _run_trial_chunk_traced(payload: tuple) -> list[tuple[TrialResult, list[Even
         trial = run_trial(
             state.campaign, state.golden, state.trial_fuel, rng,
             state.code_cache, tracer=Tracer(sink), trial_index=index,
-            trace_blocks=trace_blocks,
+            trace_blocks=trace_blocks, span_root=span_root,
         )
         out.append((trial, sink.events))
     return out
@@ -337,9 +339,8 @@ def _run_supervised_chunk(trial_rngs: list[np.random.Generator]) -> list[tuple]:
     return [state.supervisor.run_trial(rng) for rng in trial_rngs]
 
 
-def _run_supervised_chunk_traced(
-    indexed_rngs: list[tuple[int, np.random.Generator]],
-) -> list[tuple]:
+def _run_supervised_chunk_traced(payload: tuple) -> list[tuple]:
+    indexed_rngs, span_root = payload
     state = _WORKER_STATE
     assert state is not None, "worker used before initialization"
     assert state.supervisor is not None
@@ -348,6 +349,7 @@ def _run_supervised_chunk_traced(
         sink = InMemorySink()
         trial, record = state.supervisor.run_trial(
             rng, tracer=Tracer(sink), trial_index=index,
+            span_root=span_root,
         )
         out.append((trial, record, sink.events))
     return out
@@ -478,6 +480,7 @@ def run_campaign_parallel(
     chunk_size: int | None = None,
     tracer: Tracer | None = None,
     trace_blocks: bool = False,
+    trace_spans: bool = False,
     lockstep: bool = False,
     lockstep_batch: int = 32,
 ) -> CampaignResult:
@@ -490,11 +493,18 @@ def run_campaign_parallel(
 
     With a ``tracer``, workers collect each trial's events and the parent
     re-emits the batches in trial-index order, reproducing the serial
-    event stream exactly (sequence numbers included).  ``lockstep=True``
-    runs each worker's chunk through the batched lockstep engine —
-    results unchanged.
+    event stream exactly (sequence numbers included) — including the
+    deterministic causal spans under ``trace_spans``, whose ids workers
+    derive from the shipped root + trial index.  ``lockstep=True`` runs
+    each worker's chunk through the batched lockstep engine — results
+    unchanged.  Engine stages (pool fork, chunk dispatch, result merge)
+    are profiled into :data:`~repro.obs.metrics.ENGINE_METRICS` — never
+    into the campaign trace, which stays clock-free.
     """
     workers = resolve_workers(workers)
+    span_root = ""
+    if tracer is not None and trace_spans:
+        span_root = begin_campaign_span(tracer, campaign, seed)
     rng = make_rng(seed)
     if tracer is not None:
         emit_campaign_start(tracer, campaign)
@@ -505,37 +515,44 @@ def run_campaign_parallel(
     trials: list[TrialResult] | None = None
     if workers > 1 and campaign.n_trials >= MIN_PARALLEL_TRIALS:
         wire = WireCampaign.from_campaign(campaign, golden)
-        pool = _get_pool(wire, None, workers)
+        with profile_stage("fork"):
+            pool = _get_pool(wire, None, workers)
         if pool is not None and tracer is not None:
             chunks = _chunk_rngs(
                 list(enumerate(trial_rngs)), workers, chunk_size
             )
             payloads = [
-                (chunk, trace_blocks, lockstep, lockstep_batch)
+                (chunk, trace_blocks, lockstep, lockstep_batch, span_root)
                 for chunk in chunks
             ]
-            chunk_results = _pool_map(pool, _run_trial_chunk_traced, payloads)
+            with profile_stage("dispatch"):
+                chunk_results = _pool_map(
+                    pool, _run_trial_chunk_traced, payloads
+                )
             trials = []
-            for trial, events in (p for c in chunk_results for p in c):
-                trials.append(trial)
-                tracer.emit_all(events)
+            with profile_stage("merge"):
+                for trial, events in (p for c in chunk_results for p in c):
+                    trials.append(trial)
+                    tracer.emit_all(events)
         elif pool is not None:
             chunks = _chunk_rngs(trial_rngs, workers, chunk_size)
-            trials = _trials_via_shm(
-                pool, campaign, chunks, lockstep, lockstep_batch
-            )
+            with profile_stage("dispatch"):
+                trials = _trials_via_shm(
+                    pool, campaign, chunks, lockstep, lockstep_batch
+                )
             if trials is None:
                 payloads = [
                     (chunk, lockstep, lockstep_batch) for chunk in chunks
                 ]
-                chunk_results = _pool_map(pool, _run_trial_chunk, payloads)
+                with profile_stage("dispatch"):
+                    chunk_results = _pool_map(
+                        pool, _run_trial_chunk, payloads
+                    )
                 trials = [t for chunk in chunk_results for t in chunk]
     if trials is None:
         code_cache: dict = {}
         if lockstep:
-            from repro.faults.campaign import emit_trial_events
             from repro.faults.lockstep import run_lockstep_trials
-            from repro.obs.events import BlockTransition, TrialStart
 
             rows = run_lockstep_trials(
                 campaign, golden, trial_fuel, trial_rngs, code_cache,
@@ -546,18 +563,16 @@ def run_campaign_parallel(
             for index, (trial, fired, block_trace) in enumerate(rows):
                 trials.append(trial)
                 if tracer is not None:
-                    tracer.emit(TrialStart(trial=index))
-                    for func_name, block_name in block_trace:
-                        tracer.emit(
-                            BlockTransition(func=func_name, block=block_name)
-                        )
-                    emit_trial_events(tracer, index, trial, fired=fired)
+                    emit_lockstep_trial(
+                        tracer, index, trial, fired, block_trace,
+                        span_root=span_root,
+                    )
         else:
             trials = [
                 run_trial(
                     campaign, golden, trial_fuel, rng_i, code_cache,
                     tracer=tracer, trial_index=index,
-                    trace_blocks=trace_blocks,
+                    trace_blocks=trace_blocks, span_root=span_root,
                 )
                 for index, rng_i in enumerate(trial_rngs)
             ]
@@ -567,6 +582,8 @@ def run_campaign_parallel(
         counts.record(trial.outcome)
     if tracer is not None:
         emit_campaign_end(tracer, campaign, golden, counts)
+        if span_root:
+            end_campaign_span(tracer, span_root, campaign)
     return CampaignResult(golden=golden, counts=counts, trials=trials)
 
 
@@ -606,6 +623,7 @@ def run_supervised_campaign_parallel(
     workers: int | None = None,
     chunk_size: int | None = None,
     tracer: Tracer | None = None,
+    trace_spans: bool = False,
 ):
     """Supervised campaign on the warm pool (see ``recover.supervisor``).
 
@@ -627,6 +645,9 @@ def run_supervised_campaign_parallel(
     if config is None:
         config = SupervisorConfig()
     workers = resolve_workers(workers)
+    span_root = ""
+    if tracer is not None and trace_spans:
+        span_root = begin_campaign_span(tracer, campaign, seed)
     rng = make_rng(seed)
     if tracer is not None:
         emit_campaign_start(tracer, campaign, supervised=True)
@@ -636,28 +657,38 @@ def run_supervised_campaign_parallel(
     results: list[tuple] | None = None
     if workers > 1 and campaign.n_trials >= MIN_PARALLEL_TRIALS:
         wire = WireCampaign.from_campaign(campaign, golden)
-        pool = _get_pool(wire, config, workers)
+        with profile_stage("fork"):
+            pool = _get_pool(wire, config, workers)
         if pool is not None and tracer is not None:
             chunks = _chunk_rngs(
                 list(enumerate(trial_rngs)), workers, chunk_size
             )
-            chunk_results = _pool_map(
-                pool, _run_supervised_chunk_traced, chunks
-            )
+            payloads = [(chunk, span_root) for chunk in chunks]
+            with profile_stage("dispatch"):
+                chunk_results = _pool_map(
+                    pool, _run_supervised_chunk_traced, payloads
+                )
             results = []
-            for trial, record, events in (
-                r for chunk in chunk_results for r in chunk
-            ):
-                results.append((trial, record))
-                tracer.emit_all(events)
+            with profile_stage("merge"):
+                for trial, record, events in (
+                    r for chunk in chunk_results for r in chunk
+                ):
+                    results.append((trial, record))
+                    tracer.emit_all(events)
         elif pool is not None:
             chunks = _chunk_rngs(trial_rngs, workers, chunk_size)
-            chunk_results = _pool_map(pool, _run_supervised_chunk, chunks)
+            with profile_stage("dispatch"):
+                chunk_results = _pool_map(
+                    pool, _run_supervised_chunk, chunks
+                )
             results = [r for chunk in chunk_results for r in chunk]
     if results is None:
         supervisor = Supervisor(campaign, golden, config)
         results = [
-            supervisor.run_trial(rng_i, tracer=tracer, trial_index=index)
+            supervisor.run_trial(
+                rng_i, tracer=tracer, trial_index=index,
+                span_root=span_root,
+            )
             for index, rng_i in enumerate(trial_rngs)
         ]
 
@@ -670,6 +701,8 @@ def run_supervised_campaign_parallel(
         records.append(record)
     if tracer is not None:
         emit_campaign_end(tracer, campaign, golden, counts)
+        if span_root:
+            end_campaign_span(tracer, span_root, campaign)
     return SupervisedCampaignResult(
         golden=golden,
         counts=counts,

@@ -17,6 +17,18 @@ software can *see* faults as they happen.  This package is the seeing:
 - :mod:`repro.obs.report` — ``python -m repro.obs.report trace.jsonl``
   renders campaign timelines, outcome breakdowns by injection site, and
   detector decision summaries from a JSONL trace.
+- :mod:`repro.obs.spans` — deterministic causal spans
+  (campaign → trial → attempt, fleet → tick → power-cycle) with
+  clock-free ids derived from (parent, name, index), plus the
+  engine-stage profiler.
+- :mod:`repro.obs.aggregate` — streaming windowed rollups over exact
+  fixed-bucket histograms; per-shard aggregates merge *exactly* equal to
+  global aggregation.
+- :mod:`repro.obs.query` — ``python -m repro.obs.query trace.jsonl``:
+  indexed filters, span-tree reconstruction and latency percentiles
+  over a JSONL trace.
+- :mod:`repro.obs.export` — ``python -m repro.obs.export``: Prometheus
+  text exposition and versioned JSON snapshots of any registry.
 
 The contract every instrumentation point obeys: **zero overhead when
 disabled** (a single ``tracer is None`` test on the non-hot path, one
@@ -51,6 +63,20 @@ from repro.obs.events import (
     WorkloadShed,
     event_from_dict,
 )
+from repro.obs.aggregate import (
+    BoardHealth,
+    Rollup,
+    StreamAggregator,
+    aggregate_events,
+    fleet_board_health,
+    merge_aggregates,
+)
+from repro.obs.export import (
+    export_snapshot,
+    load_snapshot,
+    snapshot_section,
+    to_prometheus,
+)
 from repro.obs.metrics import (
     Counter,
     ENGINE_METRICS,
@@ -60,9 +86,21 @@ from repro.obs.metrics import (
     MetricsSink,
 )
 from repro.obs.recorder import FlightRecorder, PostMortemDump
+from repro.obs.spans import (
+    SpanEnd,
+    SpanScope,
+    SpanStart,
+    StageProfiler,
+    campaign_root,
+    fleet_root,
+    profile_stage,
+    set_profiling_tracer,
+    span_id,
+)
 
 __all__ = [
     "BlockTransition",
+    "BoardHealth",
     "CampaignEnd",
     "CampaignStart",
     "CheckpointTaken",
@@ -86,11 +124,29 @@ __all__ = [
     "PhaseTransition",
     "PostMortemDump",
     "RecoveryDone",
+    "Rollup",
+    "SpanEnd",
+    "SpanScope",
+    "SpanStart",
+    "StageProfiler",
+    "StreamAggregator",
     "Tracer",
     "TrialEnd",
     "TrialStart",
     "WatchdogFire",
     "WorkloadRestored",
     "WorkloadShed",
+    "aggregate_events",
+    "campaign_root",
     "event_from_dict",
+    "export_snapshot",
+    "fleet_board_health",
+    "fleet_root",
+    "load_snapshot",
+    "merge_aggregates",
+    "profile_stage",
+    "set_profiling_tracer",
+    "snapshot_section",
+    "span_id",
+    "to_prometheus",
 ]

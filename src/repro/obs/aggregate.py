@@ -1,0 +1,370 @@
+"""Streaming, windowed, *exactly mergeable* rollups of event streams.
+
+The sharded mission-control service needs one property above all: **a
+shard's aggregate must merge losslessly**.  If N workers each fold their
+slice of the telemetry into a rollup, the merged rollups must equal —
+exactly, not approximately — the rollup one process would have computed
+over the whole stream.  Otherwise sharding changes the numbers and the
+fleet dashboard can't be trusted.
+
+Everything here is therefore a commutative monoid fold:
+
+- counters are integers (addition is associative and commutative);
+- histograms are fixed-bucket :class:`~repro.obs.metrics.Histogram`\\ s
+  whose bucket counts are integers and whose sums are exact rationals
+  (floats are dyadic rationals, so ``Fraction`` accumulates them without
+  rounding — float addition in stream order would *not* commute);
+- each event contributes independently of its neighbours (no cross-event
+  state), so any partition of the stream — by shard, by worker, by time
+  — folds to the same aggregate.
+
+:func:`aggregate_events` is the fold, :meth:`StreamAggregator.merge` is
+the monoid operation, and the hypothesis property test asserts
+``merge(shards) == global`` for *random* partitions.
+
+Windowing: events that carry a simulated time ``t`` additionally land in
+a fixed-width window keyed by ``floor(t / window_s)``; untimed events
+(per-trial records) land only in the total rollup.  Window keys are pure
+functions of the event, so windowed rollups merge exactly too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.obs.events import (
+    DetectorDecision,
+    Event,
+    FleetDecision,
+    LadderAttemptEvent,
+    RecoveryDone,
+    TrialEnd,
+)
+from repro.obs.metrics import Histogram
+
+# -- canonical bucket layouts --------------------------------------------------
+#
+# Fixed bucket bounds are part of the merge contract: two shards can only
+# merge when they bucketized identically, so the canonical layouts live
+# here, derived deterministically (pure arithmetic, no host state).
+
+
+def log_bounds(
+    lo: float, hi: float, per_decade: int = 3
+) -> tuple[float, ...]:
+    """Log-spaced bucket upper bounds covering ``[lo, hi]``.
+
+    ``per_decade`` bounds per factor of 10, always including ``lo`` and
+    reaching at least ``hi``.  Pure function of its arguments, so every
+    shard derives bit-identical bounds.
+    """
+    if lo <= 0 or hi <= lo:
+        raise ConfigError(f"need 0 < lo < hi, got lo={lo}, hi={hi}")
+    if per_decade < 1:
+        raise ConfigError(f"per_decade must be >= 1, got {per_decade}")
+    bounds = []
+    k = 0
+    while True:
+        edge = lo * 10.0 ** (k / per_decade)
+        bounds.append(edge)
+        if edge >= hi:
+            break
+        k += 1
+    return tuple(bounds)
+
+
+def linear_bounds(lo: float, hi: float, n: int) -> tuple[float, ...]:
+    """``n`` evenly spaced bucket upper bounds from ``lo`` to ``hi``."""
+    if n < 1:
+        raise ConfigError(f"need at least one bucket, got {n}")
+    if hi <= lo:
+        raise ConfigError(f"need lo < hi, got lo={lo}, hi={hi}")
+    step = (hi - lo) / n
+    return tuple(lo + step * (i + 1) for i in range(n))
+
+
+#: Recovery / decision latency buckets: 1 µs .. ~100 s, 3 per decade.
+LATENCY_BOUNDS = log_bounds(1e-6, 100.0, per_decade=3)
+#: Detector score buckets (normalized scores cluster near threshold 1).
+SCORE_BOUNDS = linear_bounds(0.0, 8.0, 64)
+#: Trial cycle-cost buckets: 10 .. 1e9 cycles.
+CYCLE_BOUNDS = log_bounds(10.0, 1e9, per_decade=3)
+
+
+def latency_histogram() -> Histogram:
+    """A fresh fixed-bucket latency histogram (canonical bounds)."""
+    return Histogram(buckets=LATENCY_BOUNDS)
+
+
+def score_histogram() -> Histogram:
+    """A fresh fixed-bucket detector-score histogram."""
+    return Histogram(buckets=SCORE_BOUNDS)
+
+
+# -- rollups -------------------------------------------------------------------
+
+
+@dataclass
+class Rollup:
+    """One mergeable bundle of counters and fixed-bucket histograms."""
+
+    counters: dict[str, int] = field(default_factory=dict)
+    histograms: dict[str, Histogram] = field(default_factory=dict)
+
+    def inc(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def observe(self, name: str, value: float, bounds: tuple) -> None:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram(buckets=bounds)
+        hist.record(value)
+
+    def merge(self, other: "Rollup") -> None:
+        """Fold ``other`` in; exact for any shard partition."""
+        for name, n in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + n
+        for name, hist in other.histograms.items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                mine = self.histograms[name] = Histogram(buckets=hist.bounds)
+            mine.merge(hist)
+
+    def merge_key(self) -> tuple:
+        """Canonical order-free state, for exact equality checks."""
+        return (
+            tuple(sorted(self.counters.items())),
+            tuple(sorted(
+                (name, h.merge_key()) for name, h in self.histograms.items()
+            )),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Rollup):
+            return NotImplemented
+        return self.merge_key() == other.merge_key()
+
+    def snapshot(self) -> dict:
+        """JSON-ready snapshot (same shape as a metrics registry)."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "histograms": {
+                name: h.summary()
+                for name, h in sorted(self.histograms.items())
+            },
+        }
+
+
+class StreamAggregator:
+    """Fold an event stream into mergeable total + windowed rollups.
+
+    Per-event contributions (each independent of stream position):
+
+    - ``events.<kind>`` counter for every event;
+    - :class:`TrialEnd` → ``trials.<outcome>`` counters and the
+      ``trial.cycles`` histogram;
+    - :class:`LadderAttemptEvent` → ``ladder.attempts.<rung>`` counters
+      and the ``recovery.attempt_latency_s`` histogram;
+    - :class:`RecoveryDone` → ``recovery.recovered`` / ``recovery.failed``
+      counters and the ``recovery.latency_s`` histogram;
+    - :class:`DetectorDecision` → ``detector.samples`` / ``detector.alarms``
+      counters and the ``detector.score`` histogram;
+    - :class:`FleetDecision` → fleet tick/scored/anomalous/alarm counters,
+      per-board ``board.<id>.alarms`` / ``board.<id>.quarantines`` /
+      ``board.<id>.releases`` counters, and the ``fleet.max_score``
+      histogram.
+
+    Events carrying a simulated time ``t`` also fold into the window
+    ``floor(t / window_s)`` when a window width is configured.
+    """
+
+    def __init__(self, window_s: float | None = None) -> None:
+        if window_s is not None and window_s <= 0:
+            raise ConfigError(f"window_s must be positive, got {window_s}")
+        self.window_s = window_s
+        self.total = Rollup()
+        self.windows: dict[int, Rollup] = {}
+
+    def _targets(self, event: Event) -> list[Rollup]:
+        targets = [self.total]
+        t = getattr(event, "t", None)
+        if self.window_s is not None and t is not None:
+            key = int(float(t) // self.window_s)
+            window = self.windows.get(key)
+            if window is None:
+                window = self.windows[key] = Rollup()
+            targets.append(window)
+        return targets
+
+    def observe(self, event: Event) -> None:
+        """Fold one event in (position-independent by construction)."""
+        for rollup in self._targets(event):
+            self._fold(rollup, event)
+
+    def observe_all(self, events) -> None:
+        for event in events:
+            self.observe(event)
+
+    @staticmethod
+    def _fold(rollup: Rollup, event: Event) -> None:
+        rollup.inc(f"events.{event.kind}")
+        if isinstance(event, TrialEnd):
+            rollup.inc(f"trials.{event.outcome}")
+            rollup.observe("trial.cycles", event.cycles, CYCLE_BOUNDS)
+        elif isinstance(event, LadderAttemptEvent):
+            rollup.inc(f"ladder.attempts.{event.rung}")
+            rollup.observe(
+                "recovery.attempt_latency_s", event.latency_s, LATENCY_BOUNDS
+            )
+        elif isinstance(event, RecoveryDone):
+            rollup.inc(
+                "recovery.recovered" if event.recovered else "recovery.failed"
+            )
+            rollup.observe(
+                "recovery.latency_s", event.latency_s, LATENCY_BOUNDS
+            )
+        elif isinstance(event, DetectorDecision):
+            rollup.inc("detector.samples")
+            if event.alarm:
+                rollup.inc("detector.alarms")
+            rollup.observe("detector.score", event.score, SCORE_BOUNDS)
+        elif isinstance(event, FleetDecision):
+            rollup.inc("fleet.ticks")
+            rollup.inc("fleet.scored", event.n_scored)
+            rollup.inc("fleet.anomalous", event.n_anomalous)
+            alarm_ids = event.alarm_ids()
+            rollup.inc("fleet.alarms", len(alarm_ids))
+            for board_id in alarm_ids:
+                rollup.inc(f"board.{board_id}.alarms")
+            if event.quarantined:
+                for board_id in event.quarantined.split(","):
+                    rollup.inc(f"board.{board_id}.quarantines")
+            if event.released:
+                for board_id in event.released.split(","):
+                    rollup.inc(f"board.{board_id}.releases")
+            if event.n_scored:
+                rollup.observe(
+                    "fleet.max_score", event.max_score, SCORE_BOUNDS
+                )
+
+    def merge(self, other: "StreamAggregator") -> None:
+        """The monoid operation: fold another shard's aggregate in."""
+        if self.window_s != other.window_s:
+            raise ConfigError(
+                f"cannot merge aggregators with different windows: "
+                f"{self.window_s} != {other.window_s}"
+            )
+        self.total.merge(other.total)
+        for key, window in other.windows.items():
+            mine = self.windows.get(key)
+            if mine is None:
+                self.windows[key] = window
+            else:
+                mine.merge(window)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StreamAggregator):
+            return NotImplemented
+        return (
+            self.window_s == other.window_s
+            and self.total == other.total
+            and set(self.windows) == set(other.windows)
+            and all(self.windows[k] == other.windows[k] for k in self.windows)
+        )
+
+    def snapshot(self) -> dict:
+        """JSON-ready snapshot: the total plus every window in order."""
+        return {
+            "window_s": self.window_s,
+            "total": self.total.snapshot(),
+            "windows": {
+                str(key): self.windows[key].snapshot()
+                for key in sorted(self.windows)
+            },
+        }
+
+
+def aggregate_events(
+    events, window_s: float | None = None
+) -> StreamAggregator:
+    """Fold ``events`` into a fresh aggregator (the canonical fold)."""
+    agg = StreamAggregator(window_s=window_s)
+    agg.observe_all(events)
+    return agg
+
+
+def merge_aggregates(shards) -> StreamAggregator:
+    """Merge per-shard aggregators; exactly equals the global fold."""
+    shards = list(shards)
+    if not shards:
+        return StreamAggregator()
+    merged = StreamAggregator(window_s=shards[0].window_s)
+    for shard in shards:
+        merged.merge(shard)
+    return merged
+
+
+# -- fleet health --------------------------------------------------------------
+
+
+@dataclass
+class BoardHealth:
+    """Per-board rollup rebuilt from a FleetDecision stream.
+
+    ``ticks_scored`` counts non-warmup ticks where the board was not
+    quarantined — the denominator of the alarm rate the fleet report
+    renders.  (A board that went quarantined mid-trace contributes only
+    its healthy ticks.)
+    """
+
+    board_id: str
+    alarms: int = 0
+    quarantines: int = 0
+    releases: int = 0
+    ticks_scored: int = 0
+
+    @property
+    def alarm_rate(self) -> float:
+        return self.alarms / self.ticks_scored if self.ticks_scored else 0.0
+
+
+def fleet_board_health(decisions) -> dict[str, BoardHealth]:
+    """Replay a FleetDecision stream into per-board health rollups.
+
+    Unlike the monoid aggregates above this is an *ordered* replay —
+    quarantine membership is interval state, so the denominator needs
+    the stream in emission order (which a single trace always has).
+    """
+    health: dict[str, BoardHealth] = {}
+    quarantined: set[str] = set()
+    known: set[str] = set()
+
+    def board(board_id: str) -> BoardHealth:
+        state = health.get(board_id)
+        if state is None:
+            state = health[board_id] = BoardHealth(board_id=board_id)
+        return state
+
+    for event in decisions:
+        if not isinstance(event, FleetDecision):
+            continue
+        if event.quarantined:
+            for board_id in event.quarantined.split(","):
+                quarantined.add(board_id)
+                board(board_id).quarantines += 1
+                known.add(board_id)
+        if event.released:
+            for board_id in event.released.split(","):
+                quarantined.discard(board_id)
+                board(board_id).releases += 1
+                known.add(board_id)
+        for board_id in event.alarm_ids():
+            board(board_id).alarms += 1
+            known.add(board_id)
+        if not event.warming_up and event.n_scored:
+            if known:
+                for board_id in known:
+                    if board_id not in quarantined:
+                        board(board_id).ticks_scored += 1
+    return health

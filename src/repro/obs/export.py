@@ -1,0 +1,268 @@
+"""Metrics export: Prometheus text exposition and versioned JSON snapshots.
+
+Two consumers need the same numbers in different shapes: a scrape
+endpoint wants the Prometheus text format, and the repo's own CLIs
+(``python -m repro.perf.report``, benchmarks) want a stable JSON schema
+instead of poking at registry internals.  This module is the one place
+both shapes are produced:
+
+- :func:`export_snapshot` — a :class:`~repro.obs.metrics.MetricsRegistry`
+  as a versioned JSON document (``schema`` = :data:`SNAPSHOT_SCHEMA`);
+  :func:`load_snapshot` validates the version on the way back in, and
+  :func:`snapshot_section` gives consumers prefix-scoped access
+  (``snapshot_section(snap, "warm_pool")`` → ``{"created": 2, ...}``)
+  so no CLI ever dict-pokes a raw registry again.
+- :func:`to_prometheus` — the text exposition format: counters and
+  gauges verbatim, fixed-bucket histograms as true Prometheus
+  ``histogram`` series (cumulative ``_bucket{le=...}`` + ``_sum`` +
+  ``_count``), reservoir histograms as ``summary`` quantiles.
+
+The CLI exports either a live trace (replayed through
+:class:`~repro.obs.metrics.MetricsSink`) or a previously written JSON
+snapshot::
+
+    python -m repro.obs.export --from-trace trace.jsonl
+    python -m repro.obs.export --from-trace trace.jsonl --format json
+    python -m repro.obs.export --from-snapshot metrics.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from fractions import Fraction
+
+from repro.errors import ConfigError
+from repro.obs.metrics import Histogram, MetricsRegistry, MetricsSink
+
+#: Version tag stamped on every exported snapshot; bump on shape change.
+SNAPSHOT_SCHEMA = "repro.metrics/v1"
+
+#: Prometheus summary quantiles emitted for reservoir histograms.
+SUMMARY_QUANTILES = ((0.5, 50), (0.9, 90), (0.99, 99))
+
+
+# -- JSON snapshot -------------------------------------------------------------
+
+
+def export_snapshot(registry: MetricsRegistry) -> dict:
+    """Versioned JSON-ready snapshot of every instrument in ``registry``.
+
+    The body is exactly :meth:`MetricsRegistry.snapshot` plus the
+    ``schema`` tag and, for fixed-bucket histograms, the per-bucket
+    counts (``bounds`` / ``bucket_counts``) that a plain summary drops —
+    so an exported snapshot is loss-free for the mergeable mode.
+    """
+    body = registry.snapshot()
+    for name, hist in registry.histograms.items():
+        if hist.bucketed and hist.count:
+            body["histograms"][name] = {
+                **body["histograms"][name],
+                "bounds": list(hist.bounds),
+                "bucket_counts": list(hist.bucket_counts),
+                "nonfinite": hist.nonfinite,
+                # The exact rational sum, as "p/q" — floats are dyadic
+                # rationals, so this round-trips without rounding and a
+                # restored histogram merge-compares equal to the original.
+                "exact_total": str(hist._exact_total),
+            }
+    return {"schema": SNAPSHOT_SCHEMA, **body}
+
+
+def load_snapshot(document: dict) -> dict:
+    """Validate a snapshot document's schema tag and return it."""
+    schema = document.get("schema")
+    if schema != SNAPSHOT_SCHEMA:
+        raise ConfigError(
+            f"unsupported metrics snapshot schema {schema!r} "
+            f"(expected {SNAPSHOT_SCHEMA!r})"
+        )
+    for key in ("counters", "gauges", "histograms"):
+        if not isinstance(document.get(key), dict):
+            raise ConfigError(f"snapshot missing {key!r} section")
+    return document
+
+
+def snapshot_section(snapshot: dict, prefix: str) -> dict:
+    """Prefix-scoped view of a snapshot's counters and gauges.
+
+    ``snapshot_section(snap, "warm_pool")`` returns
+    ``{"created": ..., "reused": ..., ...}`` — the shared accessor every
+    CLI uses instead of reaching into registry dicts with hardcoded
+    dotted names.  Histogram summaries are included under their suffix
+    too (values are dicts, trivially distinguishable).
+    """
+    dotted = prefix + "."
+    section: dict = {}
+    for source in ("counters", "gauges", "histograms"):
+        for name, value in snapshot.get(source, {}).items():
+            if name.startswith(dotted):
+                section[name[len(dotted):]] = value
+    return section
+
+
+# -- Prometheus text exposition ------------------------------------------------
+
+
+def _metric_name(name: str, namespace: str) -> str:
+    safe = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+    return f"{namespace}_{safe}" if namespace else safe
+
+
+def _fmt(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _histogram_lines(name: str, hist: Histogram) -> list[str]:
+    if hist.bucketed:
+        lines = [f"# TYPE {name} histogram"]
+        cumulative = 0
+        for bound, count in zip(hist.bounds, hist.bucket_counts):
+            cumulative += count
+            lines.append(
+                f'{name}_bucket{{le="{_fmt(bound)}"}} {cumulative}'
+            )
+        cumulative += hist.bucket_counts[-1]
+        lines.append(f'{name}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{name}_sum {_fmt(hist.total)}")
+        lines.append(f"{name}_count {hist.count}")
+        return lines
+    lines = [f"# TYPE {name} summary"]
+    for quantile, q in SUMMARY_QUANTILES:
+        lines.append(
+            f'{name}{{quantile="{quantile}"}} {_fmt(hist.percentile(q))}'
+        )
+    lines.append(f"{name}_sum {_fmt(hist.total)}")
+    lines.append(f"{name}_count {hist.count}")
+    return lines
+
+
+def to_prometheus(registry: MetricsRegistry, namespace: str = "repro") -> str:
+    """Render a registry in the Prometheus text exposition format.
+
+    Counters and gauges map directly; fixed-bucket histograms become
+    real ``histogram`` series with cumulative ``le`` buckets (exact, the
+    scrape-side sum of shards equals the global series); reservoir
+    histograms become ``summary`` quantiles, which Prometheus documents
+    as non-aggregatable — matching their actual semantics here.
+    """
+    lines: list[str] = []
+    for name, counter in sorted(registry.counters.items()):
+        metric = _metric_name(name, namespace)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {counter.value}")
+    for name, gauge in sorted(registry.gauges.items()):
+        metric = _metric_name(name, namespace)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(gauge.value)}")
+    for name, hist in sorted(registry.histograms.items()):
+        lines.extend(_histogram_lines(_metric_name(name, namespace), hist))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- sources -------------------------------------------------------------------
+
+
+def registry_from_trace(path) -> MetricsRegistry:
+    """Replay a JSONL trace through a MetricsSink into a fresh registry."""
+    from repro.obs.report import read_trace
+
+    sink = MetricsSink()
+    for seq, event in read_trace(path):
+        sink.write(event, seq)
+    return sink.registry
+
+
+def registry_from_snapshot(document: dict) -> MetricsRegistry:
+    """Rebuild a registry from a snapshot (loss-free for bucket mode).
+
+    Counters and gauges restore exactly.  Fixed-bucket histograms
+    restore bucket counts and extrema from the exported per-bucket data;
+    reservoir histograms cannot be rebuilt from a summary and come back
+    as empty instruments (their summaries are still in the document).
+    """
+    document = load_snapshot(document)
+    registry = MetricsRegistry()
+    for name, value in document["counters"].items():
+        registry.counter(name).inc(int(value))
+    for name, value in document["gauges"].items():
+        registry.gauge(name).set(float(value))
+    for name, summary in document["histograms"].items():
+        bounds = summary.get("bounds")
+        if not bounds:
+            registry.histogram(name)
+            continue
+        hist = Histogram(buckets=bounds)
+        hist.bucket_counts = list(summary["bucket_counts"])
+        hist.count = int(summary["count"])
+        hist.nonfinite = int(summary.get("nonfinite", 0))
+        hist.min = float(summary["min"])
+        hist.max = float(summary["max"])
+        exact = summary.get("exact_total")
+        if exact is not None:
+            hist._exact_total = Fraction(exact)
+        else:
+            hist._exact_total = Fraction(float(summary["mean"]) * hist.count)
+        hist.total = float(hist._exact_total)
+        registry.histograms[name] = hist
+    return registry
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.export",
+        description="Export metrics as Prometheus text or a JSON snapshot.",
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--from-trace", metavar="TRACE",
+        help="derive metrics from a JSONL event trace",
+    )
+    source.add_argument(
+        "--from-snapshot", metavar="JSON",
+        help="load a previously exported JSON snapshot",
+    )
+    parser.add_argument(
+        "--format", choices=("prometheus", "json"), default="prometheus",
+        help="output format (default: prometheus text exposition)",
+    )
+    parser.add_argument(
+        "--namespace", default="repro",
+        help="metric name prefix for prometheus output",
+    )
+    args = parser.parse_args(argv)
+    try:
+        if args.from_trace:
+            registry = registry_from_trace(args.from_trace)
+        else:
+            with open(args.from_snapshot, "r", encoding="utf-8") as fh:
+                registry = registry_from_snapshot(json.load(fh))
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot load metrics source: {exc}", file=sys.stderr)
+        return 1
+    if args.format == "json":
+        print(json.dumps(export_snapshot(registry), indent=2))
+    else:
+        sys.stdout.write(to_prometheus(registry, namespace=args.namespace))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI smoke
+    try:
+        code = main()
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe mid-render; not an error.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 0
+    sys.exit(code)

@@ -13,16 +13,30 @@ snapshotted per campaign into a plain dict (JSON-ready, the same shape
   *provably* reconstructible from the per-event evidence (the same
   property the report CLI checks against ``OutcomeCounts``).
 
-Histograms store raw observations up to a bound and summarize with
-exact percentiles; past the bound they keep every value's contribution
-to count/sum but subsample the percentile reservoir deterministically
-(every k-th observation), so memory stays bounded on million-trial
-campaigns without a stochastic sampler breaking reproducibility.
+Histograms come in two modes:
+
+- **reservoir** (default): raw observations are stored up to a bound and
+  percentiles are exact; past the bound every value still contributes to
+  count/sum but the percentile reservoir is subsampled deterministically
+  (every k-th observation), so memory stays bounded on million-trial
+  campaigns without a stochastic sampler breaking reproducibility.  The
+  degradation is *explicit*: ``summary()`` carries a ``truncated`` flag.
+- **fixed-bucket** (``buckets=``): observations land in predeclared
+  buckets.  Counts are integers and the running sum is kept as an exact
+  rational, so two histograms over disjoint shards of a stream
+  :meth:`~Histogram.merge` into *exactly* the histogram of the combined
+  stream — the property :mod:`repro.obs.aggregate` builds its
+  shard-mergeable rollups on.  Percentiles resolve to bucket upper
+  bounds (clamped to the observed min/max), never degrading with volume.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
+from fractions import Fraction
+from math import isfinite
+from typing import Sequence
 
 from repro.errors import ConfigError
 from repro.obs.events import (
@@ -64,12 +78,25 @@ class Gauge:
 class Histogram:
     """Bounded-memory distribution of observations.
 
+    With ``buckets`` (a strictly increasing sequence of upper bounds),
+    the histogram runs in exact fixed-bucket mode: every observation
+    increments one integer bucket count (the last implicit bucket is
+    +inf overflow), the sum is tracked as an exact rational, and two
+    histograms with the same bounds merge exactly.  Non-finite
+    observations are tallied in ``nonfinite`` and excluded from the
+    buckets, sum and extrema so aggregates stay meaningful.
+
     Attributes:
         count: observations recorded.
         total: sum of all observations.
+        nonfinite: non-finite observations seen (bucket mode only).
     """
 
-    def __init__(self, max_samples: int = 4096) -> None:
+    def __init__(
+        self,
+        max_samples: int = 4096,
+        buckets: Sequence[float] | None = None,
+    ) -> None:
         if max_samples < 1:
             raise ConfigError(
                 f"histogram max_samples must be >= 1, got {max_samples}"
@@ -79,11 +106,46 @@ class Histogram:
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self.nonfinite = 0
         self._samples: list[float] = []
         self._stride = 1
+        self.bounds: tuple[float, ...] | None = None
+        self.bucket_counts: list[int] | None = None
+        self._exact_total = Fraction(0)
+        if buckets is not None:
+            bounds = tuple(float(b) for b in buckets)
+            if not bounds:
+                raise ConfigError("bucket bounds must be non-empty")
+            if any(not isfinite(b) for b in bounds):
+                raise ConfigError("bucket bounds must be finite")
+            if any(b >= c for b, c in zip(bounds, bounds[1:])):
+                raise ConfigError(
+                    f"bucket bounds must be strictly increasing: {bounds}"
+                )
+            self.bounds = bounds
+            # One count per bound ("value <= bound") plus +inf overflow.
+            self.bucket_counts = [0] * (len(bounds) + 1)
+
+    @property
+    def bucketed(self) -> bool:
+        """True in exact fixed-bucket mode, False in reservoir mode."""
+        return self.bounds is not None
 
     def record(self, value: float) -> None:
         value = float(value)
+        if self.bucket_counts is not None:
+            if not isfinite(value):
+                self.nonfinite += 1
+                return
+            self.count += 1
+            self.total += value
+            self._exact_total += Fraction(value)
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            self.bucket_counts[bisect_left(self.bounds, value)] += 1
+            return
         self.count += 1
         self.total += value
         if value < self.min:
@@ -99,13 +161,88 @@ class Histogram:
                 self._stride *= 2
 
     @property
+    def truncated(self) -> bool:
+        """True when percentiles no longer see every observation.
+
+        Bucket mode never truncates (every observation is counted at
+        bucket resolution); the reservoir starts decimating — and says
+        so — once more than ``max_samples`` values have arrived.
+        """
+        if self.bucket_counts is not None:
+            return False
+        return self._stride > 1
+
+    @property
     def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
+        if not self.count:
+            return 0.0
+        if self.bucket_counts is not None:
+            return float(self._exact_total / self.count)
+        return self.total / self.count
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other`` into this histogram (fixed-bucket mode only).
+
+        Exactness contract: for any partition of a stream into shards,
+        recording each shard into its own histogram and merging gives
+        bucket counts, count, sum, min and max *identical* to recording
+        the whole stream into one histogram — integer bucket counts and
+        rational sums are associative and commutative, floats summed in
+        stream order are not.
+        """
+        if self.bucket_counts is None or other.bucket_counts is None:
+            raise ConfigError(
+                "merge requires both histograms in fixed-bucket mode"
+            )
+        if self.bounds != other.bounds:
+            raise ConfigError(
+                f"cannot merge histograms with different bucket bounds: "
+                f"{self.bounds} != {other.bounds}"
+            )
+        self.count += other.count
+        self.nonfinite += other.nonfinite
+        self._exact_total += other._exact_total
+        self.total = float(self._exact_total)
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        for i, n in enumerate(other.bucket_counts):
+            self.bucket_counts[i] += n
+
+    def merge_key(self) -> tuple:
+        """Everything merge-equality compares (exact, order-free state)."""
+        if self.bucket_counts is not None:
+            return (
+                self.bounds, tuple(self.bucket_counts), self.count,
+                self._exact_total, self.min, self.max, self.nonfinite,
+            )
+        return (None, tuple(self._samples), self.count, self.total,
+                self.min, self.max)
 
     def percentile(self, q: float) -> float:
-        """Nearest-rank percentile over the retained reservoir."""
+        """Nearest-rank percentile.
+
+        Reservoir mode resolves over the retained samples; bucket mode
+        resolves to the upper bound of the bucket holding the rank,
+        clamped to the observed ``[min, max]`` so single-bucket streams
+        stay sane.  Bucket resolution never degrades with volume.
+        """
         if not 0.0 <= q <= 100.0:
             raise ConfigError(f"percentile must be in [0, 100], got {q}")
+        if self.bucket_counts is not None:
+            if not self.count:
+                return 0.0
+            rank = min(
+                self.count - 1, int(round(q / 100.0 * (self.count - 1)))
+            )
+            seen = 0
+            for i, n in enumerate(self.bucket_counts):
+                seen += n
+                if rank < seen:
+                    edge = (
+                        self.bounds[i] if i < len(self.bounds) else self.max
+                    )
+                    return min(max(edge, self.min), self.max)
+            return self.max  # pragma: no cover - counts always reach count
         if not self._samples:
             return 0.0
         ordered = sorted(self._samples)
@@ -123,6 +260,7 @@ class Histogram:
             "p50": self.percentile(50),
             "p90": self.percentile(90),
             "p99": self.percentile(99),
+            "truncated": self.truncated,
         }
 
 

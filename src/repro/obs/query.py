@@ -1,0 +1,432 @@
+"""Indexed query engine over JSONL traces: ``python -m repro.obs.query``.
+
+A trace is append-only evidence; answering "which trials on board b-3
+alarmed between t=40s and t=80s, and how long did their recoveries
+take?" by re-scanning the whole event list per question does not scale
+to the mission-control service the ROADMAP aims at.  This module builds
+a :class:`TraceIndex` once — events partitioned by kind, by trial and by
+board, span pairs resolved into a causal tree — and answers every
+question from the index:
+
+- :meth:`TraceIndex.filter` — compose kind / trial / board / span /
+  time-window / seq-range predicates over indexed candidates;
+- :meth:`TraceIndex.span_tree` — reconstruct the causal
+  campaign → trial → attempt hierarchy from :class:`~repro.obs.spans.SpanStart`
+  / :class:`~repro.obs.spans.SpanEnd` pairs, with every non-span event
+  attributed to its innermost enclosing span;
+- :meth:`TraceIndex.latency_percentiles` — recovery / attempt latency
+  quantiles through the exact fixed-bucket histograms of
+  :mod:`repro.obs.aggregate` (never the degrading reservoir).
+
+The CLI mirrors the API::
+
+    python -m repro.obs.query trace.jsonl --kind trial-end --trial 7
+    python -m repro.obs.query trace.jsonl --board b-3 --t-min 40 --t-max 80
+    python -m repro.obs.query trace.jsonl --tree
+    python -m repro.obs.query trace.jsonl --percentiles --json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+
+from repro.obs.aggregate import aggregate_events
+from repro.obs.events import Event, FleetDecision
+from repro.obs.report import read_trace
+from repro.obs.spans import SpanEnd, SpanStart
+
+#: Latency histograms the percentile query surfaces, in render order.
+LATENCY_METRICS = (
+    "recovery.latency_s",
+    "recovery.attempt_latency_s",
+)
+
+
+@dataclass
+class SpanNode:
+    """One reconstructed span with its children and attributed events."""
+
+    span: str
+    parent: str
+    name: str
+    index: int
+    detail: str = ""
+    status: str = ""
+    cycles: int = 0
+    count: int = 0
+    start_seq: int = -1
+    end_seq: int = -1
+    children: list["SpanNode"] = field(default_factory=list)
+    events: list[tuple[int, Event]] = field(default_factory=list)
+
+    @property
+    def closed(self) -> bool:
+        return self.end_seq >= 0
+
+    def walk(self):
+        """Yield this node and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def as_dict(self) -> dict:
+        return {
+            "span": self.span,
+            "parent": self.parent,
+            "name": self.name,
+            "index": self.index,
+            "detail": self.detail,
+            "status": self.status,
+            "cycles": self.cycles,
+            "count": self.count,
+            "n_events": len(self.events),
+            "children": [child.as_dict() for child in self.children],
+        }
+
+
+def _board_ids(event: Event) -> set[str]:
+    """Board ids an event mentions (FleetDecision membership strings)."""
+    if not isinstance(event, FleetDecision):
+        return set()
+    ids = set(event.alarm_ids())
+    if event.quarantined:
+        ids.update(event.quarantined.split(","))
+    if event.released:
+        ids.update(event.released.split(","))
+    return ids
+
+
+class TraceIndex:
+    """Event stream indexed by kind, trial, board and span.
+
+    Built once from ``(seq, event)`` pairs (the shape
+    :func:`~repro.obs.report.read_trace` returns); every query method
+    resolves against the narrowest index first and only then applies the
+    remaining predicates, so filters never rescan the full stream.
+    """
+
+    def __init__(self, pairs: list[tuple[int, Event]]) -> None:
+        self.pairs = list(pairs)
+        self.by_kind: dict[str, list[tuple[int, Event]]] = {}
+        self.by_trial: dict[int, list[tuple[int, Event]]] = {}
+        self.by_board: dict[str, list[tuple[int, Event]]] = {}
+        self._roots: list[SpanNode] | None = None
+        self._nodes: dict[str, SpanNode] = {}
+        for seq, event in self.pairs:
+            self.by_kind.setdefault(event.kind, []).append((seq, event))
+            trial = getattr(event, "trial", None)
+            if trial is not None:
+                self.by_trial.setdefault(int(trial), []).append((seq, event))
+            for board_id in _board_ids(event):
+                self.by_board.setdefault(board_id, []).append((seq, event))
+
+    @classmethod
+    def from_events(cls, events) -> "TraceIndex":
+        """Index a bare event list (seq = list position)."""
+        return cls(list(enumerate(events)))
+
+    @classmethod
+    def from_file(cls, path) -> "TraceIndex":
+        return cls(read_trace(path))
+
+    @property
+    def events(self) -> list[Event]:
+        return [event for _, event in self.pairs]
+
+    def kinds(self) -> dict[str, int]:
+        """Event count per kind (the trace's shape at a glance)."""
+        return {
+            kind: len(pairs) for kind, pairs in sorted(self.by_kind.items())
+        }
+
+    # -- filtering -------------------------------------------------------------
+
+    def filter(
+        self,
+        kinds=None,
+        trial: int | None = None,
+        board: str | None = None,
+        span: str | None = None,
+        t_min: float | None = None,
+        t_max: float | None = None,
+        seq_min: int | None = None,
+        seq_max: int | None = None,
+    ) -> list[tuple[int, Event]]:
+        """Indexed conjunction of predicates, results in trace order.
+
+        ``span`` restricts to events attributed to that span or any
+        descendant (span start/end pairs included).  Time-window
+        predicates apply to events carrying a simulated time ``t``;
+        events without one never match a time-bounded query.
+        """
+        # Start from the narrowest applicable index.
+        if trial is not None:
+            candidates = self.by_trial.get(trial, [])
+        elif board is not None:
+            candidates = self.by_board.get(board, [])
+        elif kinds is not None and len(kinds) == 1:
+            candidates = self.by_kind.get(next(iter(kinds)), [])
+        else:
+            candidates = self.pairs
+
+        kind_set = set(kinds) if kinds is not None else None
+        span_seqs = self._span_seqs(span) if span is not None else None
+
+        out = []
+        for seq, event in candidates:
+            if kind_set is not None and event.kind not in kind_set:
+                continue
+            if trial is not None and getattr(event, "trial", None) != trial:
+                continue
+            if board is not None and board not in _board_ids(event):
+                continue
+            if span_seqs is not None and seq not in span_seqs:
+                continue
+            if seq_min is not None and seq < seq_min:
+                continue
+            if seq_max is not None and seq > seq_max:
+                continue
+            if t_min is not None or t_max is not None:
+                t = getattr(event, "t", None)
+                if t is None:
+                    continue
+                if t_min is not None and t < t_min:
+                    continue
+                if t_max is not None and t > t_max:
+                    continue
+            out.append((seq, event))
+        return out
+
+    def _span_seqs(self, span: str) -> set[int]:
+        node = self.span(span)
+        if node is None:
+            return set()
+        seqs: set[int] = set()
+        for sub in node.walk():
+            if sub.start_seq >= 0:
+                seqs.add(sub.start_seq)
+            if sub.end_seq >= 0:
+                seqs.add(sub.end_seq)
+            seqs.update(seq for seq, _ in sub.events)
+        return seqs
+
+    # -- span tree -------------------------------------------------------------
+
+    def span_tree(self) -> list[SpanNode]:
+        """Reconstruct the causal span forest (roots in trace order).
+
+        Span starts open nodes, parented by their explicit ``parent``
+        id; span ends close them and record status / cycles / count.
+        Every non-span event between a span's start and end is
+        attributed to the innermost open span, so walking the tree
+        recovers exactly which injections, decisions and recoveries
+        happened *inside* which trial of which campaign.
+        """
+        if self._roots is not None:
+            return self._roots
+        roots: list[SpanNode] = []
+        nodes: dict[str, SpanNode] = {}
+        stack: list[SpanNode] = []
+        for seq, event in self.pairs:
+            if isinstance(event, SpanStart):
+                node = SpanNode(
+                    span=event.span, parent=event.parent, name=event.name,
+                    index=event.index, detail=event.detail, start_seq=seq,
+                )
+                nodes[event.span] = node
+                parent = nodes.get(event.parent)
+                if parent is not None:
+                    parent.children.append(node)
+                else:
+                    roots.append(node)
+                stack.append(node)
+            elif isinstance(event, SpanEnd):
+                node = nodes.get(event.span)
+                if node is not None:
+                    node.status = event.status
+                    node.cycles = event.cycles
+                    node.count = event.count
+                    node.end_seq = seq
+                # Well-nested streams close the top of the stack; a
+                # truncated trace may close out of order — unwind to the
+                # matching frame so attribution stays sane.
+                while stack and stack[-1].span != event.span:
+                    stack.pop()
+                if stack:
+                    stack.pop()
+            elif stack:
+                stack[-1].events.append((seq, event))
+        self._roots = roots
+        self._nodes = nodes
+        return roots
+
+    def span(self, span_id: str) -> SpanNode | None:
+        """Look up one span node by (possibly abbreviated) id."""
+        self.span_tree()
+        node = self._nodes.get(span_id)
+        if node is not None:
+            return node
+        matches = [
+            n for sid, n in self._nodes.items() if sid.startswith(span_id)
+        ]
+        return matches[0] if len(matches) == 1 else None
+
+    # -- aggregates ------------------------------------------------------------
+
+    def aggregate(self, window_s: float | None = None):
+        """Fold the indexed stream through :mod:`repro.obs.aggregate`."""
+        return aggregate_events(self.events, window_s=window_s)
+
+    def latency_percentiles(self) -> dict[str, dict]:
+        """Exact-bucket latency summaries (recovery + ladder attempts)."""
+        rollup = self.aggregate().total
+        return {
+            name: rollup.histograms[name].summary()
+            for name in LATENCY_METRICS
+            if name in rollup.histograms
+        }
+
+
+# -- rendering -----------------------------------------------------------------
+
+
+def render_span_tree(roots: list[SpanNode], max_events: int = 0) -> str:
+    """Indented text rendering of a span forest."""
+    if not roots:
+        return "(no spans in trace)"
+    lines: list[str] = []
+
+    def visit(node: SpanNode, depth: int) -> None:
+        pad = "  " * depth
+        status = node.status or ("open" if not node.closed else "ok")
+        suffix = f" [{len(node.events)} events]" if node.events else ""
+        detail = f" {node.detail}" if node.detail else ""
+        lines.append(
+            f"{pad}{node.name}#{node.index} {node.span}{detail} "
+            f"status={status}"
+            + (f" cycles={node.cycles}" if node.cycles else "")
+            + (f" count={node.count}" if node.count else "")
+            + suffix
+        )
+        for seq, event in node.events[:max_events]:
+            lines.append(f"{pad}  · seq={seq} {event.kind}")
+        for child in node.children:
+            visit(child, depth + 1)
+
+    for root in roots:
+        visit(root, 0)
+    return "\n".join(lines)
+
+
+def render_events(pairs: list[tuple[int, Event]], limit: int = 0) -> str:
+    shown = pairs[:limit] if limit else pairs
+    lines = [
+        f"seq={seq} {json.dumps(event.to_dict(), sort_keys=True)}"
+        for seq, event in shown
+    ]
+    if limit and len(pairs) > limit:
+        lines.append(f"... ({len(pairs) - limit} more)")
+    return "\n".join(lines) if lines else "(no matching events)"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.query",
+        description="Query a JSONL event trace: filter, span tree, "
+        "latency percentiles.",
+    )
+    parser.add_argument("trace", help="JSONL trace file (JsonlSink output)")
+    parser.add_argument(
+        "--kind", action="append", dest="kinds", metavar="KIND",
+        help="keep only this event kind (repeatable)",
+    )
+    parser.add_argument("--trial", type=int, help="keep one trial's events")
+    parser.add_argument("--board", help="keep events mentioning this board")
+    parser.add_argument(
+        "--span", help="keep events inside this span id (prefix ok)"
+    )
+    parser.add_argument("--t-min", type=float, help="window start (sim s)")
+    parser.add_argument("--t-max", type=float, help="window end (sim s)")
+    parser.add_argument(
+        "--tree", action="store_true",
+        help="render the reconstructed span tree instead of events",
+    )
+    parser.add_argument(
+        "--percentiles", action="store_true",
+        help="render exact-bucket latency percentiles instead of events",
+    )
+    parser.add_argument(
+        "--kinds-summary", action="store_true",
+        help="render event counts per kind instead of events",
+    )
+    parser.add_argument(
+        "--limit", type=int, default=0, help="cap rendered event lines"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    args = parser.parse_args(argv)
+    try:
+        index = TraceIndex.from_file(args.trace)
+    except OSError as exc:
+        print(f"error: cannot read trace {args.trace!r}: {exc}",
+              file=sys.stderr)
+        return 1
+
+    if args.tree:
+        roots = index.span_tree()
+        if args.json:
+            print(json.dumps([r.as_dict() for r in roots], indent=2))
+        else:
+            print(render_span_tree(roots))
+        return 0
+    if args.percentiles:
+        summaries = index.latency_percentiles()
+        if args.json:
+            print(json.dumps(summaries, indent=2))
+        else:
+            if not summaries:
+                print("(no latency observations in trace)")
+            for name, s in summaries.items():
+                print(
+                    f"{name}: count={s['count']} p50={s['p50']:.3e} "
+                    f"p90={s['p90']:.3e} p99={s['p99']:.3e} "
+                    f"max={s['max']:.3e}"
+                )
+        return 0
+    if args.kinds_summary:
+        counts = index.kinds()
+        if args.json:
+            print(json.dumps(counts, indent=2))
+        else:
+            for kind, n in counts.items():
+                print(f"{kind}: {n}")
+        return 0
+
+    pairs = index.filter(
+        kinds=args.kinds, trial=args.trial, board=args.board,
+        span=args.span, t_min=args.t_min, t_max=args.t_max,
+    )
+    if args.json:
+        print(json.dumps(
+            [{"seq": seq, **event.to_dict()} for seq, event in pairs],
+            indent=2,
+        ))
+    else:
+        print(render_events(pairs, limit=args.limit))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI smoke
+    try:
+        code = main()
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe mid-render; not an error.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 0
+    sys.exit(code)

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.errors import ConfigError
+from repro.obs.aggregate import aggregate_events, fleet_board_health
 from repro.obs.events import (
     CampaignEnd,
     CampaignStart,
@@ -388,19 +389,47 @@ def fleet_outcome(events: list[Event]) -> dict[str, list[float]]:
     return alarms
 
 
-def render_fleet(decisions: list[FleetDecision]) -> str:
+def render_fleet(
+    decisions: list[FleetDecision],
+    latency: dict | None = None,
+) -> str:
+    """Render the fleet section of a trace report.
+
+    Fleet-wide stats come from the mergeable aggregation layer
+    (:func:`repro.obs.aggregate.aggregate_events`), the per-board table
+    from the :func:`repro.obs.aggregate.fleet_board_health` replay.
+    ``latency`` is an optional ``fleet.score_latency_s`` histogram
+    summary (e.g. from a ``--metrics`` export snapshot); wall-clock
+    never lives in the trace itself.
+    """
     scored_ticks = [d for d in decisions if not d.warming_up]
-    alarms = fleet_outcome(list(decisions))
-    quarantined = sorted(
-        {b for d in decisions if d.quarantined for b in d.quarantined.split(",")}
-    )
     n_boards = decisions[-1].n_boards if decisions else 0
+    rollup = aggregate_events(list(decisions)).total
     lines = [
         "-- fleet decisions",
         f"  ticks: {len(decisions)} ({len(scored_ticks)} scored, "
         f"{len(decisions) - len(scored_ticks)} in warmup) "
         f"over {n_boards} boards",
     ]
+    if latency and latency.get("count"):
+        lines.append(
+            f"  decision latency: p50={latency['p50']:.3e}s "
+            f"p99={latency['p99']:.3e}s "
+            f"(n={int(latency['count'])})"
+        )
+    health = fleet_board_health(list(decisions))
+    if health:
+        lines.append(
+            "  board        alarms  quarantines  releases  "
+            "ticks-scored  alarm-rate"
+        )
+        for board in (health[b] for b in sorted(health)):
+            lines.append(
+                f"  {board.board_id:<12} {board.alarms:>6} "
+                f"{board.quarantines:>11}  {board.releases:>8}  "
+                f"{board.ticks_scored:>12}  {board.alarm_rate:>9.2%}"
+            )
+    alarms = fleet_outcome(list(decisions))
     if alarms:
         for board_id in sorted(alarms):
             times = alarms[board_id]
@@ -411,23 +440,21 @@ def render_fleet(decisions: list[FleetDecision]) -> str:
             )
     else:
         lines.append("  alarms: none")
-    if quarantined:
-        lines.append(f"  quarantined boards: {', '.join(quarantined)}")
-    if scored_ticks:
-        hist = Histogram()
-        for d in scored_ticks:
-            if d.n_scored:
-                hist.record(d.max_score)
-        if hist.count:
-            s = hist.summary()
-            lines.append(
-                f"  max-score per tick: mean={s['mean']:.4g} "
-                f"p50={s['p50']:.4g} p90={s['p90']:.4g} max={s['max']:.4g}"
-            )
+    hist = rollup.histograms.get("fleet.max_score")
+    if hist is not None and hist.count:
+        s = hist.summary()
+        lines.append(
+            f"  max-score per tick: mean={s['mean']:.4g} "
+            f"p50={s['p50']:.4g} p90={s['p90']:.4g} max={s['max']:.4g}"
+        )
     return "\n".join(lines)
 
 
-def render(summary: TraceSummary, source: str = "") -> str:
+def render(
+    summary: TraceSummary,
+    source: str = "",
+    fleet_latency: dict | None = None,
+) -> str:
     header = "== repro.obs trace report =="
     if source:
         header += f" {source}"
@@ -440,12 +467,14 @@ def render(summary: TraceSummary, source: str = "") -> str:
         lines.append(render_detector(summary.detector_decisions))
     if summary.fleet_decisions:
         lines.append("")
-        lines.append(render_fleet(summary.fleet_decisions))
+        lines.append(render_fleet(summary.fleet_decisions,
+                                  latency=fleet_latency))
     return "\n".join(lines)
 
 
 def summary_as_dict(summary: TraceSummary) -> dict:
     """Machine-readable form of the summary (for --json)."""
+    board_health = fleet_board_health(summary.fleet_decisions)
     return {
         "n_events": summary.n_events,
         "campaigns": [
@@ -481,6 +510,16 @@ def summary_as_dict(summary: TraceSummary) -> dict:
                     fleet_outcome(list(summary.fleet_decisions)).items()
                 )
             },
+            "board_health": {
+                board_id: {
+                    "alarms": h.alarms,
+                    "quarantines": h.quarantines,
+                    "releases": h.releases,
+                    "ticks_scored": h.ticks_scored,
+                    "alarm_rate": h.alarm_rate,
+                }
+                for board_id, h in sorted(board_health.items())
+            },
         },
     }
 
@@ -495,6 +534,11 @@ def main(argv: list[str] | None = None) -> int:
         "--json", action="store_true",
         help="emit the machine-readable summary instead of text",
     )
+    parser.add_argument(
+        "--metrics", metavar="SNAPSHOT",
+        help="metrics snapshot JSON (repro.obs.export) supplying the "
+        "fleet decision-latency column",
+    )
     args = parser.parse_args(argv)
     try:
         events = [event for _, event in read_trace(args.trace)]
@@ -502,13 +546,33 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: cannot read trace {args.trace!r}: {exc}",
               file=sys.stderr)
         return 1
+    fleet_latency = None
+    if args.metrics:
+        from repro.obs.export import load_snapshot
+
+        try:
+            with open(args.metrics, encoding="utf-8") as fh:
+                snapshot = load_snapshot(json.load(fh))
+        except (OSError, json.JSONDecodeError, ConfigError) as exc:
+            print(f"error: cannot read metrics {args.metrics!r}: {exc}",
+                  file=sys.stderr)
+            return 1
+        fleet_latency = snapshot["histograms"].get("fleet.score_latency_s")
     summary = summarize(events)
     if args.json:
         print(json.dumps(summary_as_dict(summary), indent=2))
     else:
-        print(render(summary, source=args.trace))
+        print(render(summary, source=args.trace, fleet_latency=fleet_latency))
     return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via CLI smoke
-    sys.exit(main())
+    try:
+        code = main()
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe mid-render; not an error.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 0
+    sys.exit(code)

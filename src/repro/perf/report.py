@@ -100,7 +100,15 @@ def _headline(snapshot: dict, key: str):
 
 
 def format_report(report: dict | None, registry_snapshot: dict) -> str:
-    """Render a report + engine-metrics snapshot as the CLI's text."""
+    """Render a report + engine-metrics snapshot as the CLI's text.
+
+    ``registry_snapshot`` is a versioned export snapshot
+    (:func:`repro.obs.export.export_snapshot`); sections are read
+    through :func:`repro.obs.export.snapshot_section` rather than by
+    poking the registry's internal dict layout.
+    """
+    from repro.obs.export import snapshot_section
+
     lines: list[str] = []
     if report is None:
         lines.append("no perf report found (run benchmarks/bench_perf.py)")
@@ -126,17 +134,21 @@ def format_report(report: dict | None, registry_snapshot: dict) -> str:
             if len(trail) > 1:
                 shown = " <- ".join(f"{v:.2f}" for v in trail[:8])
                 lines.append(f"  {key} trajectory (newest first): {shown}")
-    for section in ("golden_cache", "warm_pool"):
-        rows = {
-            name: value
-            for kind in ("counters", "gauges")
-            for name, value in registry_snapshot.get(kind, {}).items()
-            if name.startswith(section + ".")
-        }
+    for section in ("golden_cache", "warm_pool", "engine"):
+        rows = snapshot_section(registry_snapshot, section)
         lines.append(f"engine metrics: {section}")
         if rows:
             for name, value in sorted(rows.items()):
-                lines.append(f"  {name.split('.', 1)[1]}: {value}")
+                if isinstance(value, dict):
+                    # Histogram summary: show the load-bearing quantiles.
+                    shown = ", ".join(
+                        f"{k}={value[k]:.3g}"
+                        for k in ("count", "p50", "p99", "max")
+                        if k in value
+                    )
+                    lines.append(f"  {name}: {shown}")
+                else:
+                    lines.append(f"  {name}: {value}")
         else:
             lines.append("  (no activity this process)")
     return "\n".join(lines)
@@ -145,6 +157,7 @@ def format_report(report: dict | None, registry_snapshot: dict) -> str:
 def main(argv: list[str] | None = None) -> int:
     import argparse
 
+    from repro.obs.export import export_snapshot
     from repro.obs.metrics import ENGINE_METRICS
 
     parser = argparse.ArgumentParser(
@@ -156,7 +169,9 @@ def main(argv: list[str] | None = None) -> int:
         help="perf report to summarize (default: ./BENCH_perf.json)",
     )
     opts = parser.parse_args(argv)
-    print(format_report(load_perf_report(opts.path), ENGINE_METRICS.snapshot()))
+    print(format_report(
+        load_perf_report(opts.path), export_snapshot(ENGINE_METRICS)
+    ))
     return 0
 
 

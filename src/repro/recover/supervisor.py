@@ -33,9 +33,13 @@ import numpy as np
 from repro.errors import ConfigError
 from repro.faults.campaign import (
     Campaign,
+    begin_campaign_span,
+    begin_trial_span,
     emit_campaign_end,
     emit_campaign_start,
     emit_trial_events,
+    end_campaign_span,
+    end_trial_span,
     make_injector,
     run_golden,
     trial_fuel_for,
@@ -65,6 +69,7 @@ from repro.obs.events import (
     TrialStart,
     WatchdogFire,
 )
+from repro.obs.spans import SpanEnd, SpanStart, span_id
 from repro.recover.watchdog import InterpWatchdog, chain_step_hooks
 from repro.rng import fork, make_rng
 
@@ -320,6 +325,7 @@ class Supervisor:
         trial_rng: np.random.Generator,
         tracer: Tracer | None = None,
         trial_index: int = 0,
+        span_root: str = "",
     ) -> tuple[TrialResult, RecoveryRecord | None]:
         """One supervised trial: inject, classify, recover if observable.
 
@@ -327,8 +333,15 @@ class Supervisor:
         events as an unsupervised trial, interleaved with checkpoint and
         watchdog events during execution and followed by one
         ladder-attempt event per rung climbed plus the recovery verdict.
+        A ``span_root`` additionally brackets the trial with its
+        deterministic span and each ladder attempt with a child span —
+        derived ids only, so supervised traces merge byte-identically
+        across worker counts too.
         """
+        trial_span = ""
         if tracer is not None:
+            if span_root:
+                trial_span = begin_trial_span(tracer, span_root, trial_index)
             tracer.emit(TrialStart(trial=trial_index))
         campaign, golden = self.campaign, self.golden
         injector = make_injector(campaign, golden, trial_rng)
@@ -369,10 +382,12 @@ class Supervisor:
         if tracer is not None:
             emit_trial_events(tracer, trial_index, trial, fired=injector.fired)
         if outcome not in RECOVERABLE_OUTCOMES:
+            if tracer is not None and trial_span:
+                end_trial_span(tracer, trial_span, trial)
             return trial, None
         record = self.recover(
             outcome, result, manager, trial_rng,
-            tracer=tracer, trial_index=trial_index,
+            tracer=tracer, trial_index=trial_index, span=trial_span,
         )
         trial = replace(
             trial,
@@ -382,6 +397,8 @@ class Supervisor:
             ),
             backoff_charged_s=sum(a.backoff_s for a in record.attempts),
         )
+        if tracer is not None and trial_span:
+            end_trial_span(tracer, trial_span, trial)
         return trial, record
 
     # -- recovery --------------------------------------------------------------
@@ -394,8 +411,15 @@ class Supervisor:
         rng: np.random.Generator,
         tracer: Tracer | None = None,
         trial_index: int = 0,
+        span: str = "",
     ) -> RecoveryRecord:
-        """Climb the escalation ladder until a correct output or exhaustion."""
+        """Climb the escalation ladder until a correct output or exhaustion.
+
+        With a trial ``span``, each ladder attempt is bracketed by a
+        deterministic child span (``attempt`` #k under the trial) so the
+        causal chain campaign → trial → attempt is reconstructible from
+        the trace alone.
+        """
         cfg = self.config
         # Storage SEUs strike retained checkpoints while they sit in RAM.
         if cfg.storage_flip_prob > 0.0:
@@ -439,6 +463,14 @@ class Supervisor:
             record.recovery_cycles += cycles
             record.recovery_latency_s += attempt_latency_s
             if tracer is not None:
+                attempt_span = ""
+                if span:
+                    attempt_index = len(record.attempts) - 1
+                    attempt_span = span_id(span, "attempt", attempt_index)
+                    tracer.emit(SpanStart(
+                        span=attempt_span, parent=span, name="attempt",
+                        index=attempt_index, detail=planned.rung.value,
+                    ))
                 tracer.emit(LadderAttemptEvent(
                     trial=trial_index,
                     rung=planned.rung.value,
@@ -448,6 +480,12 @@ class Supervisor:
                     backoff_s=planned.backoff_s,
                     latency_s=attempt_latency_s,
                 ))
+                if attempt_span:
+                    tracer.emit(SpanEnd(
+                        span=attempt_span,
+                        status="ok" if success else "failed",
+                        cycles=cycles,
+                    ))
             if success:
                 record.recovered = True
                 record.recovered_rung = planned.rung
@@ -560,6 +598,7 @@ def run_supervised_campaign(
     seed: int | np.random.Generator | None = None,
     workers: int | None = None,
     tracer: Tracer | None = None,
+    trace_spans: bool = False,
 ) -> SupervisedCampaignResult:
     """Execute ``campaign`` with the supervisor in the loop.
 
@@ -568,15 +607,19 @@ def run_supervised_campaign(
     With ``workers`` > 1, trials fan out across a process pool (see
     :func:`repro.faults.parallel.run_supervised_campaign_parallel`) with
     byte-identical results, traced or not (worker event batches are
-    merged back in trial order).
+    merged back in trial order; ``trace_spans`` adds the deterministic
+    campaign → trial → attempt span hierarchy).
     """
     if workers is not None and workers > 1:
         from repro.faults.parallel import run_supervised_campaign_parallel
 
         return run_supervised_campaign_parallel(
             campaign, config=config, seed=seed, workers=workers,
-            tracer=tracer,
+            tracer=tracer, trace_spans=trace_spans,
         )
+    span_root = ""
+    if tracer is not None and trace_spans:
+        span_root = begin_campaign_span(tracer, campaign, seed)
     rng = make_rng(seed)
     if tracer is not None:
         emit_campaign_start(tracer, campaign, supervised=True)
@@ -587,13 +630,16 @@ def run_supervised_campaign(
     records: list[RecoveryRecord | None] = []
     for index, trial_rng in enumerate(fork(rng, campaign.n_trials)):
         trial, record = supervisor.run_trial(
-            trial_rng, tracer=tracer, trial_index=index
+            trial_rng, tracer=tracer, trial_index=index,
+            span_root=span_root,
         )
         counts.record(trial.outcome)
         trials.append(trial)
         records.append(record)
     if tracer is not None:
         emit_campaign_end(tracer, campaign, golden, counts)
+        if span_root:
+            end_campaign_span(tracer, span_root, campaign)
     return SupervisedCampaignResult(
         golden=golden,
         counts=counts,

@@ -1,0 +1,107 @@
+"""FleetScorer health rollup: per-board counters, shard-merge equality.
+
+The health rollup only records entries additive over boards, so scorers
+sharding one fleet's boards merge their rollups into exactly the rollup
+a single whole-fleet scorer holds.
+"""
+
+import numpy as np
+
+from repro.detect import (
+    CurrentThresholdDetector,
+    FleetConfig,
+    FleetScorer,
+    ResidualCusumDetector,
+)
+from repro.obs.aggregate import Rollup
+from repro.rng import make_rng
+
+
+def _rows(n=400, d=4, seed=0):
+    rng = make_rng(seed)
+    load = rng.random((n, d - 1))
+    current = 0.5 + 0.2 * load.mean(axis=1) + rng.normal(0, 0.005, n)
+    return np.column_stack([load, current])
+
+
+def _board_stream(board, n, hot=False, nan_from=None):
+    rows = _rows(n=n, seed=100 + sum(map(ord, board)) % 50)
+    if hot:
+        rows[:, -1] += 0.5
+    if nan_from is not None:
+        rows[nan_from:, -1] = np.nan
+    return rows
+
+
+class TestHealthRollup:
+    def test_counters_accumulate(self):
+        detector = CurrentThresholdDetector().fit(_rows(seed=20))
+        scorer = FleetScorer(
+            detector, ["a", "b"],
+            FleetConfig(warmup_s=0.0, consecutive_hits=2),
+        )
+        a = _board_stream("a", 6, hot=True)
+        b = _board_stream("b", 6)
+        for t in range(6):
+            scorer.step(float(t), np.stack([a[t], b[t]]))
+        health = scorer.health
+        assert health.counters["fleet.scored"] == 12
+        assert health.counters["board.a.scored"] == 6
+        # Hot board alarms every consecutive_hits ticks.
+        assert health.counters["board.a.alarms"] == 3
+        assert "board.b.alarms" not in health.counters
+        assert health.counters["fleet.alarms"] == 3
+        assert health.histograms["fleet.score"].count == 12
+        assert scorer.health_snapshot()["counters"]["fleet.scored"] == 12
+
+    def test_quarantine_and_drop_counters(self):
+        detector = ResidualCusumDetector(h_sigma=40.0).fit(_rows(seed=20))
+        scorer = FleetScorer(
+            detector, ["a"],
+            FleetConfig(warmup_s=0.0, quarantine_after=2, release_after=2),
+        )
+        stream = _board_stream("a", 10)
+        for t in range(10):
+            row = stream[t:t + 1].copy()
+            if 2 <= t < 5:
+                row[0, -1] = np.nan
+            scorer.step(float(t), row)
+        health = scorer.health
+        assert health.counters["board.a.quarantines"] == 1
+        assert health.counters["board.a.releases"] == 1
+        assert health.counters["fleet.dropped"] == 3
+
+    def test_sharded_health_merges_to_whole_fleet(self):
+        """Board-sharded scorers' health == one whole-fleet scorer's."""
+        boards = ["b-0", "b-1", "b-2", "b-3"]
+        streams = {
+            b: _board_stream(b, 8, hot=(i % 2 == 0))
+            for i, b in enumerate(boards)
+        }
+        config = FleetConfig(warmup_s=0.0, consecutive_hits=2)
+
+        def run(ids):
+            detector = CurrentThresholdDetector().fit(_rows(seed=20))
+            scorer = FleetScorer(detector, list(ids), config)
+            for t in range(8):
+                scorer.step(
+                    float(t), np.stack([streams[b][t] for b in ids])
+                )
+            return scorer.health
+
+        whole = run(boards)
+        merged = Rollup()
+        merged.merge(run(boards[:2]))
+        merged.merge(run(boards[2:]))
+        assert merged == whole
+
+    def test_reset_clears_health(self):
+        detector = CurrentThresholdDetector().fit(_rows(seed=20))
+        scorer = FleetScorer(
+            detector, ["a"], FleetConfig(warmup_s=0.0)
+        )
+        scorer.step(0.0, _board_stream("a", 1))
+        assert scorer.health.counters
+        scorer.reset()
+        assert scorer.health.counters == {}
+        assert scorer.health.histograms == {}

@@ -1,0 +1,276 @@
+"""Aggregation tests: the merge-equality contract, windows, board health.
+
+The property that matters: for ANY partition of an event stream into
+shards, merging the per-shard aggregates equals the global fold exactly
+— checked here with hypothesis over random event streams and random
+partitions.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.obs.aggregate import (
+    CYCLE_BOUNDS,
+    LATENCY_BOUNDS,
+    SCORE_BOUNDS,
+    BoardHealth,
+    Rollup,
+    StreamAggregator,
+    aggregate_events,
+    fleet_board_health,
+    latency_histogram,
+    linear_bounds,
+    log_bounds,
+    merge_aggregates,
+)
+from repro.obs.events import (
+    DetectorDecision,
+    FleetDecision,
+    LadderAttemptEvent,
+    RecoveryDone,
+    TrialEnd,
+)
+
+OUTCOMES = ("benign", "sdc", "crash", "hang", "detected")
+RUNGS = ("retry", "restore", "restart")
+BOARDS = ("b-0", "b-1", "b-2")
+
+
+# -- event stream strategy -----------------------------------------------------
+
+_floats = st.floats(
+    min_value=0.0, max_value=1e4, allow_nan=False, allow_infinity=False
+)
+
+_trial_end = st.builds(
+    TrialEnd,
+    trial=st.integers(0, 500),
+    outcome=st.sampled_from(OUTCOMES),
+    cycles=st.integers(0, 10**9),
+    rel_error=_floats,
+)
+_ladder = st.builds(
+    LadderAttemptEvent,
+    trial=st.integers(0, 500),
+    rung=st.sampled_from(RUNGS),
+    attempt=st.integers(0, 5),
+    success=st.booleans(),
+    cycles=st.integers(0, 10**6),
+    backoff_s=_floats,
+    latency_s=_floats,
+)
+_recovery = st.builds(
+    RecoveryDone,
+    trial=st.integers(0, 500),
+    outcome=st.sampled_from(OUTCOMES),
+    recovered=st.booleans(),
+    rung=st.sampled_from(RUNGS),
+    attempts=st.integers(0, 5),
+    latency_s=_floats,
+    wasted_cycles=st.integers(0, 10**6),
+    persistence=st.sampled_from(("transient", "persistent")),
+)
+_detector = st.builds(
+    DetectorDecision,
+    t=_floats,
+    score=_floats,
+    threshold=_floats,
+    anomalous=st.booleans(),
+    hits=st.integers(0, 20),
+    window_len=st.integers(0, 64),
+    window_full=st.booleans(),
+    alarm=st.booleans(),
+    warming_up=st.booleans(),
+)
+
+
+def _ids(draw_from):
+    return st.sets(st.sampled_from(draw_from), max_size=len(draw_from)).map(
+        lambda s: ",".join(sorted(s))
+    )
+
+
+_fleet = st.builds(
+    FleetDecision,
+    t=_floats,
+    n_boards=st.just(len(BOARDS)),
+    n_scored=st.integers(0, len(BOARDS)),
+    n_anomalous=st.integers(0, len(BOARDS)),
+    alarms=_ids(BOARDS),
+    quarantined=_ids(BOARDS),
+    released=_ids(BOARDS),
+    max_score=_floats,
+    warming_up=st.booleans(),
+)
+
+_events = st.lists(
+    st.one_of(_trial_end, _ladder, _recovery, _detector, _fleet),
+    max_size=60,
+)
+
+
+@st.composite
+def _partitioned_stream(draw):
+    """An event stream plus a random partition of it into shards."""
+    events = draw(_events)
+    n_shards = draw(st.integers(1, 5))
+    assignment = draw(
+        st.lists(
+            st.integers(0, n_shards - 1),
+            min_size=len(events), max_size=len(events),
+        )
+    )
+    shards = [[] for _ in range(n_shards)]
+    for event, shard in zip(events, assignment):
+        shards[shard].append(event)
+    return events, shards
+
+
+class TestMergeEquality:
+    @given(_partitioned_stream())
+    @settings(max_examples=80, deadline=None)
+    def test_sharded_merge_equals_global(self, case):
+        events, shards = case
+        merged = merge_aggregates(
+            aggregate_events(shard) for shard in shards
+        )
+        assert merged == aggregate_events(events)
+
+    @given(_partitioned_stream())
+    @settings(max_examples=40, deadline=None)
+    def test_windowed_sharded_merge_equals_global(self, case):
+        events, shards = case
+        merged = merge_aggregates(
+            aggregate_events(shard, window_s=10.0) for shard in shards
+        )
+        assert merged == aggregate_events(events, window_s=10.0)
+
+    @given(_events)
+    @settings(max_examples=40, deadline=None)
+    def test_fold_is_order_independent(self, events):
+        assert aggregate_events(events) == aggregate_events(
+            list(reversed(events))
+        )
+
+    def test_merge_rejects_mismatched_windows(self):
+        a = StreamAggregator(window_s=1.0)
+        b = StreamAggregator(window_s=2.0)
+        with pytest.raises(ConfigError):
+            a.merge(b)
+
+    def test_empty_merge_is_empty(self):
+        merged = merge_aggregates([])
+        assert merged == StreamAggregator()
+
+
+class TestRollup:
+    def test_counters_and_histograms_fold(self):
+        events = [
+            TrialEnd(trial=0, outcome="sdc", cycles=100, rel_error=0.5),
+            TrialEnd(trial=1, outcome="benign", cycles=200, rel_error=0.0),
+            RecoveryDone(
+                trial=0, outcome="sdc", recovered=True, rung="retry",
+                attempts=1, latency_s=0.01, wasted_cycles=5,
+                persistence="transient",
+            ),
+        ]
+        total = aggregate_events(events).total
+        assert total.counters["trials.sdc"] == 1
+        assert total.counters["trials.benign"] == 1
+        assert total.counters["recovery.recovered"] == 1
+        assert total.histograms["trial.cycles"].count == 2
+        assert total.histograms["recovery.latency_s"].count == 1
+
+    def test_windowing_keys_on_simulated_time(self):
+        decisions = [
+            DetectorDecision(
+                t=t, score=0.5, threshold=1.0, anomalous=False, hits=0,
+                window_len=8, window_full=True, alarm=False,
+            )
+            for t in (0.5, 9.9, 10.1, 25.0)
+        ]
+        agg = aggregate_events(decisions, window_s=10.0)
+        assert sorted(agg.windows) == [0, 1, 2]
+        assert agg.windows[0].counters["detector.samples"] == 2
+        assert agg.windows[1].counters["detector.samples"] == 1
+        assert agg.total.counters["detector.samples"] == 4
+
+    def test_snapshot_shape(self):
+        rollup = Rollup()
+        rollup.inc("a")
+        rollup.observe("lat", 0.1, LATENCY_BOUNDS)
+        snap = rollup.snapshot()
+        assert snap["counters"] == {"a": 1}
+        assert snap["histograms"]["lat"]["count"] == 1
+
+
+class TestBounds:
+    def test_log_bounds_cover_range(self):
+        bounds = log_bounds(1e-6, 100.0, per_decade=3)
+        assert bounds[0] == 1e-6
+        assert bounds[-1] >= 100.0
+        assert list(bounds) == sorted(bounds)
+
+    def test_linear_bounds(self):
+        bounds = linear_bounds(0.0, 8.0, 4)
+        assert bounds == (2.0, 4.0, 6.0, 8.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            log_bounds(0.0, 1.0)
+        with pytest.raises(ConfigError):
+            log_bounds(2.0, 1.0)
+        with pytest.raises(ConfigError):
+            linear_bounds(1.0, 1.0, 4)
+        with pytest.raises(ConfigError):
+            linear_bounds(0.0, 1.0, 0)
+
+    def test_canonical_layouts_are_stable(self):
+        # Part of the merge contract: shards derive identical bounds.
+        assert LATENCY_BOUNDS == log_bounds(1e-6, 100.0, per_decade=3)
+        assert SCORE_BOUNDS == linear_bounds(0.0, 8.0, 64)
+        assert CYCLE_BOUNDS == log_bounds(10.0, 1e9, per_decade=3)
+        assert latency_histogram().bounds == LATENCY_BOUNDS
+
+
+class TestBoardHealth:
+    def _decision(self, t, **kwargs):
+        base = dict(
+            t=t, n_boards=2, n_scored=2, n_anomalous=0, alarms="",
+            quarantined="", released="", max_score=0.0, warming_up=False,
+        )
+        base.update(kwargs)
+        return FleetDecision(**base)
+
+    def test_alarm_rate_denominator_excludes_quarantine(self):
+        decisions = [
+            self._decision(0.0, alarms="b-0"),
+            self._decision(1.0, quarantined="b-1"),
+            self._decision(2.0),
+            self._decision(3.0, released="b-1"),
+            self._decision(4.0),
+        ]
+        health = fleet_board_health(decisions)
+        b0, b1 = health["b-0"], health["b-1"]
+        assert b0.alarms == 1
+        # b-0 known from t=0: scored on every non-warmup tick.
+        assert b0.ticks_scored == 5
+        # b-1 quarantined for ticks 1-2, back for 3-4.
+        assert b1.quarantines == 1 and b1.releases == 1
+        assert b1.ticks_scored == 2
+        assert b0.alarm_rate == pytest.approx(1 / 5)
+        assert b1.alarm_rate == 0.0
+
+    def test_warmup_ticks_do_not_count(self):
+        decisions = [
+            self._decision(0.0, alarms="b-0", warming_up=True),
+            self._decision(1.0),
+        ]
+        health = fleet_board_health(decisions)
+        assert health["b-0"].ticks_scored == 1
+
+    def test_empty_stream(self):
+        assert fleet_board_health([]) == {}
+        assert BoardHealth(board_id="x").alarm_rate == 0.0

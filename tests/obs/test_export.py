@@ -1,0 +1,158 @@
+"""Export tests: snapshot schema round-trip, Prometheus exposition, CLI."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.aggregate import LATENCY_BOUNDS
+from repro.obs.events import JsonlSink, Tracer, TrialEnd, TrialStart
+from repro.obs.export import (
+    SNAPSHOT_SCHEMA,
+    export_snapshot,
+    load_snapshot,
+    main,
+    registry_from_snapshot,
+    registry_from_trace,
+    snapshot_section,
+    to_prometheus,
+)
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+def _registry():
+    registry = MetricsRegistry()
+    registry.counter("warm_pool.created").inc(2)
+    registry.counter("warm_pool.reused").inc(7)
+    registry.gauge("warm_pool.workers").set(4.0)
+    hist = Histogram(buckets=LATENCY_BOUNDS)
+    for v in (0.001, 0.01, 0.1, 1.0):
+        hist.record(v)
+    registry.histograms["fleet.score_latency_s"] = hist
+    reservoir = registry.histogram("engine.stage.fork_s")
+    reservoir.record(0.25)
+    return registry
+
+
+class TestSnapshot:
+    def test_schema_tag_and_sections(self):
+        snap = export_snapshot(_registry())
+        assert snap["schema"] == SNAPSHOT_SCHEMA
+        assert snap["counters"]["warm_pool.created"] == 2
+        assert snap["gauges"]["warm_pool.workers"] == 4.0
+        bucketed = snap["histograms"]["fleet.score_latency_s"]
+        assert bucketed["bounds"] == list(LATENCY_BOUNDS)
+        assert sum(bucketed["bucket_counts"]) == 4
+        # Reservoir histograms carry a summary but no bucket data.
+        assert "bounds" not in snap["histograms"]["engine.stage.fork_s"]
+
+    def test_snapshot_is_json_serializable(self):
+        json.dumps(export_snapshot(_registry()))
+
+    def test_load_rejects_wrong_schema(self):
+        with pytest.raises(ConfigError):
+            load_snapshot({"schema": "other/v9"})
+        with pytest.raises(ConfigError):
+            load_snapshot({"schema": SNAPSHOT_SCHEMA, "counters": {}})
+
+    def test_section_access(self):
+        snap = export_snapshot(_registry())
+        pool = snapshot_section(snap, "warm_pool")
+        assert pool["created"] == 2
+        assert pool["reused"] == 7
+        assert pool["workers"] == 4.0
+        fleet = snapshot_section(snap, "fleet")
+        assert fleet["score_latency_s"]["count"] == 4
+        assert snapshot_section(snap, "absent") == {}
+
+    def test_round_trip_restores_bucketed_histograms(self):
+        original = _registry()
+        document = json.loads(json.dumps(export_snapshot(original)))
+        restored = registry_from_snapshot(document)
+        assert restored.counter("warm_pool.created").value == 2
+        assert restored.gauge("warm_pool.workers").value == 4.0
+        a = original.histograms["fleet.score_latency_s"]
+        b = restored.histograms["fleet.score_latency_s"]
+        assert b.bucketed
+        assert a.merge_key() == b.merge_key()
+        assert b.percentile(50) == a.percentile(50)
+        # Reservoirs come back empty (summary-only in the document).
+        assert restored.histograms["engine.stage.fork_s"].count == 0
+
+
+class TestPrometheus:
+    def test_counters_and_gauges(self):
+        text = to_prometheus(_registry())
+        assert "# TYPE repro_warm_pool_created counter" in text
+        assert "repro_warm_pool_created 2" in text
+        assert "# TYPE repro_warm_pool_workers gauge" in text
+        assert "repro_warm_pool_workers 4" in text
+
+    def test_bucketed_histogram_series(self):
+        text = to_prometheus(_registry())
+        assert "# TYPE repro_fleet_score_latency_s histogram" in text
+        assert 'repro_fleet_score_latency_s_bucket{le="+Inf"} 4' in text
+        assert "repro_fleet_score_latency_s_count 4" in text
+        # Cumulative buckets are monotone.
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("repro_fleet_score_latency_s_bucket")
+        ]
+        assert counts == sorted(counts)
+
+    def test_reservoir_becomes_summary(self):
+        text = to_prometheus(_registry())
+        assert "# TYPE repro_engine_stage_fork_s summary" in text
+        assert 'repro_engine_stage_fork_s{quantile="0.5"}' in text
+
+    def test_namespace_and_sanitization(self):
+        registry = MetricsRegistry()
+        registry.counter("a.b-c").inc()
+        text = to_prometheus(registry, namespace="ns")
+        assert "ns_a_b_c 1" in text
+        bare = to_prometheus(registry, namespace="")
+        assert "a_b_c 1" in bare
+
+    def test_empty_registry(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+
+
+class TestTraceSource:
+    def _trace(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(path) as sink:
+            tracer = Tracer(sink)
+            for i in range(3):
+                tracer.emit(TrialStart(trial=i))
+                tracer.emit(TrialEnd(
+                    trial=i, outcome="sdc" if i else "benign",
+                    cycles=100 + i, rel_error=0.0,
+                ))
+        return path
+
+    def test_registry_from_trace(self, tmp_path):
+        registry = registry_from_trace(self._trace(tmp_path))
+        assert registry.counter("trials.sdc").value == 2
+        assert registry.counter("trials.benign").value == 1
+
+    def test_cli_prometheus(self, tmp_path, capsys):
+        path = self._trace(tmp_path)
+        assert main(["--from-trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "repro_trials_sdc 2" in out
+
+    def test_cli_json_then_snapshot_round_trip(self, tmp_path, capsys):
+        path = self._trace(tmp_path)
+        assert main(["--from-trace", str(path), "--format", "json"]) == 0
+        document = capsys.readouterr().out
+        snap_path = tmp_path / "metrics.json"
+        snap_path.write_text(document)
+        assert json.loads(document)["schema"] == SNAPSHOT_SCHEMA
+        assert main(["--from-snapshot", str(snap_path)]) == 0
+        out = capsys.readouterr().out
+        assert "repro_trials_sdc 2" in out
+
+    def test_cli_missing_source(self, tmp_path, capsys):
+        assert main(["--from-trace", str(tmp_path / "absent.jsonl")]) == 1
+        assert "cannot load" in capsys.readouterr().err

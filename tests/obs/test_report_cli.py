@@ -1,0 +1,87 @@
+"""Report CLI: text/JSON rendering, --metrics snapshot, error paths."""
+
+import json
+
+import pytest
+
+from repro.faults.campaign import Campaign
+from repro.obs.aggregate import LATENCY_BOUNDS
+from repro.obs.events import FleetDecision, JsonlSink, Tracer
+from repro.obs.export import SNAPSHOT_SCHEMA, export_snapshot
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.report import main
+from repro.recover import run_supervised_campaign
+from repro.workloads.irprograms import PROGRAMS, build_program
+
+N_TRIALS = 40
+SEED = 3
+
+
+@pytest.fixture(scope="module")
+def supervised_trace(tmp_path_factory):
+    path = tmp_path_factory.mktemp("trace") / "supervised.jsonl"
+    campaign = Campaign(
+        module=build_program("isort"),
+        func_name="isort",
+        args=PROGRAMS["isort"].default_args,
+        n_trials=N_TRIALS,
+    )
+    with Tracer(JsonlSink(path)) as tracer:
+        run_supervised_campaign(campaign, seed=SEED, tracer=tracer)
+        # A handful of fleet decisions so the fleet section renders too.
+        for t in range(4):
+            tracer.emit(FleetDecision(
+                t=float(t), n_boards=2, n_scored=2, n_anomalous=0,
+                alarms="board-a" if t == 2 else "",
+                quarantined="", released="", max_score=0.5,
+                warming_up=False,
+            ))
+    return path
+
+
+def _latency_snapshot(tmp_path) -> str:
+    registry = MetricsRegistry()
+    hist = Histogram(buckets=LATENCY_BOUNDS)
+    for v in (0.001, 0.002, 0.004):
+        hist.record(v)
+    registry.histograms["fleet.score_latency_s"] = hist
+    path = tmp_path / "metrics.json"
+    path.write_text(json.dumps(export_snapshot(registry)))
+    return str(path)
+
+
+class TestReportCli:
+    def test_text_report(self, supervised_trace, capsys):
+        assert main([str(supervised_trace)]) == 0
+        out = capsys.readouterr().out
+        assert "[supervised]" in out
+        assert "agrees" in out and "DISAGREES" not in out
+        assert "recovery:" in out
+        assert "-- fleet decisions" in out
+        assert "alarm-rate" in out
+
+    def test_json_report(self, supervised_trace, capsys):
+        assert main([str(supervised_trace), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["campaigns"][0]["supervised"] is True
+        assert sum(doc["campaigns"][0]["outcomes"].values()) == N_TRIALS
+        assert doc["fleet"]["board_health"]["board-a"]["alarms"] == 1
+
+    def test_metrics_snapshot_supplies_latency(
+        self, supervised_trace, tmp_path, capsys
+    ):
+        snap = _latency_snapshot(tmp_path)
+        assert main([str(supervised_trace), "--metrics", snap]) == 0
+        out = capsys.readouterr().out
+        assert "decision latency: p50=" in out
+
+    def test_missing_trace(self, tmp_path, capsys):
+        assert main([str(tmp_path / "absent.jsonl")]) == 1
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_bad_metrics_snapshot(self, supervised_trace, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "other/v0"}))
+        assert main([str(supervised_trace), "--metrics", str(bad)]) == 1
+        assert "cannot read metrics" in capsys.readouterr().err
+        assert SNAPSHOT_SCHEMA  # the expected schema is what we rejected

@@ -7,12 +7,25 @@ scoring, and the protection-coverage linter.
   canonical backward and forward clients.
 - :mod:`repro.analysis.vulnerability` — ACE-style static SEU scoring of
   every register.
+- :mod:`repro.analysis.bitclass` — bit-level known-bits / demanded-bits
+  abstract domains.
+- :mod:`repro.analysis.masking` — sound per-(site, bit) fault-masking
+  classification with AVF upper bounds.
+- :mod:`repro.analysis.protect_verify` — translation validation of the
+  DMR protection transforms.
 - :mod:`repro.analysis.linter` / :mod:`repro.analysis.rules` — the
   protection-coverage linter and its rule catalog.
-- CLIs: ``python -m repro.analysis.lint`` and
-  ``python -m repro.analysis.rank``.
+- CLIs: ``python -m repro.analysis.lint``,
+  ``python -m repro.analysis.rank`` and
+  ``python -m repro.analysis.verify``.
 """
 
+from repro.analysis.bitclass import (
+    KnownBits,
+    KnownBitsAnalysis,
+    demanded_bits,
+    known_bits,
+)
 from repro.analysis.dataflow import (
     DataflowAnalysis,
     DataflowResult,
@@ -27,8 +40,28 @@ from repro.analysis.linter import (
     worst_severity,
 )
 from repro.analysis.liveness import LiveInfo, live_ranges, liveness
+from repro.analysis.masking import (
+    EXACT_BENIGN,
+    PROVEN_BENIGN,
+    FunctionMasking,
+    MaskClass,
+    MaskingReport,
+    analyze_masking,
+)
+from repro.analysis.protect_verify import (
+    VerifyFinding,
+    VerifyResult,
+    verify_protection,
+)
 from repro.analysis.reaching import ReachingInfo, reaching_definitions
-from repro.analysis.rules import RULES, Finding, LintRule, Severity
+from repro.analysis.rules import (
+    RULES,
+    Finding,
+    LintRule,
+    Severity,
+    rule_descriptor,
+    sarif_log,
+)
 from repro.analysis.vulnerability import (
     CLASS_WEIGHTS,
     SiteScore,
@@ -39,26 +72,41 @@ from repro.analysis.vulnerability import (
 
 __all__ = [
     "CLASS_WEIGHTS",
+    "EXACT_BENIGN",
+    "PROVEN_BENIGN",
     "RULES",
     "DataflowAnalysis",
     "DataflowResult",
     "Direction",
     "Finding",
+    "FunctionMasking",
+    "KnownBits",
+    "KnownBitsAnalysis",
     "LintRule",
     "LiveInfo",
+    "MaskClass",
+    "MaskingReport",
     "ReachingInfo",
     "Severity",
     "SiteScore",
+    "VerifyFinding",
+    "VerifyResult",
     "VulnerabilityReport",
     "analyze_function",
+    "analyze_masking",
     "analyze_module",
+    "demanded_bits",
     "gate",
     "is_fixpoint",
+    "known_bits",
     "lint_function",
     "lint_module",
     "live_ranges",
     "liveness",
     "reaching_definitions",
+    "rule_descriptor",
+    "sarif_log",
     "solve",
+    "verify_protection",
     "worst_severity",
 ]

@@ -1,0 +1,569 @@
+"""Bit-level abstract domains: known bits (value range / parity) + demanded bits.
+
+Two complementary per-bit analyses feed the fault-masking prover
+(:mod:`repro.analysis.masking`):
+
+* **Known bits** (:class:`KnownBitsAnalysis`) — a forward dataflow domain
+  over the framework of :mod:`repro.analysis.dataflow`.  Each integer SSA
+  value maps to a :class:`KnownBits` fact recording which bits are
+  provably 0 / provably 1 in *every* fault-free execution.  Constants,
+  logical ops (``and``/``or``/``xor``), constant shifts, low-bit carry
+  propagation through ``add``/``sub``/``mul`` and cast masking are
+  modelled; everything else falls to ⊤ (nothing known).  The unsigned /
+  signed value range and the parity (bit 0) of a value fall out of the
+  same fact — see :meth:`KnownBits.signed_range` and
+  :meth:`KnownBits.parity`.
+
+* **Demanded bits** (:func:`demanded_bits`) — a backward fixpoint over
+  the SSA use-def graph computing, per value, the mask of result bits
+  that can possibly influence any observable (return value, branch
+  direction, memory traffic, call arguments, trap behavior).  A flip of
+  a bit *outside* a value's demanded mask provably changes no observable:
+  every user consumes the corrupted value through an operation that masks
+  the bit out again.  Only *literal-constant* sibling operands refine the
+  propagation (``and x, 0xff`` demands just the low byte of ``x``) — a
+  named sibling could itself sit downstream of the flipped value, so its
+  known bits may not survive the fault; literals cannot be corrupted.
+  The one use of :class:`KnownBits` here is sound for the same reason:
+  the ``icmp``-range refinement consults only the *flipped value's own*
+  abstraction, which holds for its fault-free pre-flip content.
+
+Soundness contract (inductive, used by the masking prover): if every
+operand of an instruction differs from its golden value only in bits
+outside its demanded mask, the instruction's result differs only in bits
+outside *its* demanded mask.  Sinks (ret / br / store / call / trapping
+ops) demand every bit, so the conclusion propagates to "no observable
+changes".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.dataflow import DataflowAnalysis, Direction, solve
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction, Opcode, Predicate
+from repro.ir.values import Constant, Value
+
+
+def _mask(width: int) -> int:
+    return (1 << width) - 1
+
+
+def _signed(pattern: int, width: int) -> int:
+    pattern &= _mask(width)
+    if pattern >> (width - 1):
+        return pattern - (1 << width)
+    return pattern
+
+
+def mask_up_to_msb(demand: int) -> int:
+    """All bit positions at or below the highest set bit of ``demand``.
+
+    Carry/borrow chains in ``add``/``sub``/``mul`` propagate strictly
+    upward, so a demanded result bit *b* can only be influenced by
+    operand bits ≤ *b*.
+    """
+    if demand == 0:
+        return 0
+    return (1 << demand.bit_length()) - 1
+
+
+@dataclass(frozen=True)
+class KnownBits:
+    """Which bits of one integer value are compile-time known.
+
+    Attributes:
+        width: logical bit width of the value.
+        zeros: mask of bits provably 0.
+        ones: mask of bits provably 1 (disjoint from ``zeros``).
+    """
+
+    width: int
+    zeros: int
+    ones: int
+
+    def __post_init__(self) -> None:
+        if self.zeros & self.ones:
+            raise ValueError("contradictory known bits")
+
+    @classmethod
+    def top(cls, width: int) -> "KnownBits":
+        return cls(width, 0, 0)
+
+    @classmethod
+    def from_pattern(cls, pattern: int, width: int) -> "KnownBits":
+        pattern &= _mask(width)
+        return cls(width, _mask(width) & ~pattern, pattern)
+
+    @classmethod
+    def from_constant(cls, constant: Constant) -> "KnownBits":
+        width = constant.type.bits
+        return cls.from_pattern(int(constant.value), width)
+
+    @property
+    def known(self) -> int:
+        return self.zeros | self.ones
+
+    @property
+    def is_top(self) -> bool:
+        return self.known == 0
+
+    @property
+    def is_constant(self) -> bool:
+        return self.known == _mask(self.width)
+
+    @property
+    def parity(self) -> int | None:
+        """0/1 when bit 0 is known (the value's parity), else None."""
+        if self.zeros & 1:
+            return 0
+        if self.ones & 1:
+            return 1
+        return None
+
+    def join(self, other: "KnownBits") -> "KnownBits":
+        """Least upper bound: keep only agreement (CFG-merge meet)."""
+        if self.width != other.width:
+            raise ValueError("width mismatch in KnownBits.join")
+        return KnownBits(
+            self.width, self.zeros & other.zeros, self.ones & other.ones
+        )
+
+    def signed_range(self) -> tuple[int, int]:
+        """Tight signed [lo, hi] interval containing every concretization."""
+        unknown = _mask(self.width) & ~self.known
+        sign = 1 << (self.width - 1) if self.width > 1 else 1
+        lo = self.ones | (unknown & sign)
+        hi = self.ones | (unknown & ~sign)
+        return _signed(lo, self.width), _signed(hi, self.width)
+
+
+# -- known-bits transfer functions ---------------------------------------------
+
+
+def _kb_and(a: KnownBits, b: KnownBits) -> KnownBits:
+    return KnownBits(a.width, a.zeros | b.zeros, a.ones & b.ones)
+
+
+def _kb_or(a: KnownBits, b: KnownBits) -> KnownBits:
+    return KnownBits(a.width, a.zeros & b.zeros, a.ones | b.ones)
+
+
+def _kb_xor(a: KnownBits, b: KnownBits) -> KnownBits:
+    ones = (a.ones & b.zeros) | (a.zeros & b.ones)
+    zeros = (a.zeros & b.zeros) | (a.ones & b.ones)
+    return KnownBits(a.width, zeros, ones)
+
+
+def _trailing_known(a: KnownBits, b: KnownBits) -> int:
+    """Number of consecutive low bits known in both operands."""
+    known = a.known & b.known
+    count = 0
+    while count < a.width and (known >> count) & 1:
+        count += 1
+    return count
+
+
+def _kb_addsub(a: KnownBits, b: KnownBits, sub: bool) -> KnownBits:
+    width = a.width
+    t = _trailing_known(a, b)
+    if t == 0:
+        return KnownBits.top(width)
+    low = _mask(t)
+    value = (a.ones - b.ones) if sub else (a.ones + b.ones)
+    value &= low
+    return KnownBits(width, low & ~value, value)
+
+
+def _kb_mul(a: KnownBits, b: KnownBits) -> KnownBits:
+    width = a.width
+    # Low bits of a product depend only on equally-low bits of both
+    # factors, so the jointly-known low window is exact.
+    t = _trailing_known(a, b)
+    zeros = 0
+    ones = 0
+    if t:
+        low = _mask(t)
+        value = (a.ones * b.ones) & low
+        zeros |= low & ~value
+        ones |= value
+    # Trailing known zeros add: tz(x*y) >= tz(x) + tz(y).
+    tz_a = _trailing_known(KnownBits(a.width, a.zeros, 0), KnownBits(a.width, a.zeros, 0))
+    tz_b = _trailing_known(KnownBits(b.width, b.zeros, 0), KnownBits(b.width, b.zeros, 0))
+    tz = min(tz_a + tz_b, width)
+    zeros |= _mask(tz) & ~ones
+    return KnownBits(width, zeros, ones)
+
+
+def _kb_shift(op: Opcode, a: KnownBits, amount: KnownBits) -> KnownBits:
+    width = a.width
+    if not amount.is_constant:
+        return KnownBits.top(width)
+    s = amount.ones & (width - 1)
+    if op is Opcode.SHL:
+        ones = (a.ones << s) & _mask(width)
+        zeros = ((a.zeros << s) & _mask(width)) | _mask(s)
+        return KnownBits(width, zeros, ones)
+    if op is Opcode.LSHR:
+        high = (_mask(s) << (width - s)) & _mask(width) if s else 0
+        return KnownBits(width, (a.zeros >> s) | high, a.ones >> s)
+    # ASHR: the vacated top bits replicate the sign bit.
+    sign = 1 << (width - 1)
+    keep = _mask(width - s) if s else _mask(width)
+    fill = _mask(width) & ~keep
+    if a.zeros & sign:
+        return KnownBits(width, (a.zeros >> s) | fill, a.ones >> s)
+    if a.ones & sign:
+        return KnownBits(width, (a.zeros >> s) & keep, (a.ones >> s) | fill)
+    return KnownBits(width, (a.zeros >> s) & keep, (a.ones >> s) & keep)
+
+
+def _kb_icmp(instr: Instruction, a: KnownBits, b: KnownBits) -> KnownBits:
+    if a.is_constant and b.is_constant:
+        va = _signed(a.ones, a.width)
+        vb = _signed(b.ones, b.width)
+        result = {
+            Predicate.EQ: va == vb,
+            Predicate.NE: va != vb,
+            Predicate.LT: va < vb,
+            Predicate.LE: va <= vb,
+            Predicate.GT: va > vb,
+            Predicate.GE: va >= vb,
+        }[instr.predicate]
+        return KnownBits.from_pattern(int(result), 1)
+    disagree = (a.ones & b.zeros) | (a.zeros & b.ones)
+    if disagree and instr.predicate in (Predicate.EQ, Predicate.NE):
+        return KnownBits.from_pattern(
+            int(instr.predicate is Predicate.NE), 1
+        )
+    return KnownBits.top(1)
+
+
+def transfer_instruction(
+    instr: Instruction, lookup
+) -> KnownBits | None:
+    """Known bits of ``instr``'s result given an operand-fact ``lookup``.
+
+    Returns None for results the domain does not track (floats, pointers,
+    void).  ``lookup(value)`` must return a :class:`KnownBits` for integer
+    operands (⊤ when nothing is known).
+    """
+    if not instr.defines_value or not instr.type.is_int:
+        return None
+    width = instr.type.bits
+    op = instr.opcode
+    if op in (Opcode.AND, Opcode.OR, Opcode.XOR):
+        a, b = lookup(instr.operands[0]), lookup(instr.operands[1])
+        return {Opcode.AND: _kb_and, Opcode.OR: _kb_or, Opcode.XOR: _kb_xor}[
+            op
+        ](a, b)
+    if op in (Opcode.ADD, Opcode.SUB):
+        a, b = lookup(instr.operands[0]), lookup(instr.operands[1])
+        return _kb_addsub(a, b, sub=op is Opcode.SUB)
+    if op is Opcode.MUL:
+        return _kb_mul(lookup(instr.operands[0]), lookup(instr.operands[1]))
+    if op in (Opcode.SHL, Opcode.LSHR, Opcode.ASHR):
+        return _kb_shift(
+            op, lookup(instr.operands[0]), lookup(instr.operands[1])
+        )
+    if op is Opcode.TRUNC:
+        a = lookup(instr.operands[0])
+        return KnownBits(width, a.zeros & _mask(width), a.ones & _mask(width))
+    if op is Opcode.ZEXT:
+        a = lookup(instr.operands[0])
+        src_mask = _mask(a.width)
+        return KnownBits(
+            width,
+            (a.zeros & src_mask) | (_mask(width) & ~src_mask),
+            a.ones & src_mask,
+        )
+    if op is Opcode.ICMP:
+        a, b = lookup(instr.operands[0]), lookup(instr.operands[1])
+        if a is None or b is None:  # float-typed compare routed to FCMP
+            return KnownBits.top(1)
+        return _kb_icmp(instr, a, b)
+    if op is Opcode.SELECT:
+        cond = lookup(instr.operands[0])
+        then = lookup(instr.operands[1])
+        other = lookup(instr.operands[2])
+        if cond.is_constant:
+            return then if cond.ones & 1 else other
+        return then.join(other)
+    # sdiv/srem/loads/calls/fptosi/mag/...: nothing modelled.
+    return KnownBits.top(width)
+
+
+class KnownBitsAnalysis(DataflowAnalysis[dict]):
+    """Forward known-bits over integer SSA values.
+
+    Facts are mappings ``name -> KnownBits`` holding only *informative*
+    entries (⊤ entries are dropped, so equal information compares equal);
+    a missing name means ⊤.  Phi results are bound on the incoming edges
+    via :meth:`edge_fact`, exactly like SSA liveness handles phi uses.
+    """
+
+    direction = Direction.FORWARD
+
+    def boundary(self, func: Function) -> dict:
+        return {}
+
+    def initial(self, func: Function) -> dict:
+        return {}
+
+    def meet(self, a: dict, b: dict) -> dict:
+        merged: dict[str, KnownBits] = {}
+        for name in a.keys() & b.keys():
+            joined = a[name].join(b[name])
+            if not joined.is_top:
+                merged[name] = joined
+        return merged
+
+    def _lookup(self, fact: dict, value: Value) -> KnownBits | None:
+        if isinstance(value, Constant):
+            if not value.type.is_int:
+                return None
+            return KnownBits.from_constant(value)
+        if not value.type.is_int:
+            return None
+        kb = fact.get(value.name)
+        if kb is None:
+            return KnownBits.top(value.type.bits)
+        return kb
+
+    def transfer(self, block: BasicBlock, fact: dict) -> dict:
+        out = dict(fact)
+        for instr in block.body:
+            if not instr.defines_value:
+                continue
+            kb = transfer_instruction(instr, lambda v: self._lookup(out, v))
+            if kb is not None and not kb.is_top:
+                out[instr.name] = kb
+            else:
+                out.pop(instr.name, None)
+        return out
+
+    def edge_fact(self, src: BasicBlock, dst: BasicBlock, fact: dict) -> dict:
+        out = None
+        for phi in dst.phis:
+            if not phi.type.is_int:
+                continue
+            for value, pred in phi.phi_incoming():
+                if pred is not src:
+                    continue
+                kb = self._lookup(fact, value)
+                if kb is not None and not kb.is_top:
+                    if out is None:
+                        out = dict(fact)
+                    out[phi.name] = kb
+        return fact if out is None else out
+
+
+def known_bits(func: Function) -> dict[str, KnownBits]:
+    """Flow-insensitive known-bits summary: one fact per integer value.
+
+    Each SSA value is immutable, so the fact at its definition holds
+    wherever the value exists; phi facts are read at their block's entry.
+    Names absent from the result are ⊤ (or not integer-typed).
+    """
+    result = solve(func, KnownBitsAnalysis())
+    summary: dict[str, KnownBits] = {}
+    for block in func.blocks:
+        in_fact = result.in_facts[block.name]
+        out_fact = result.out_facts[block.name]
+        for phi in block.phis:
+            kb = in_fact.get(phi.name)
+            if kb is not None and not kb.is_top:
+                summary[phi.name] = kb
+        for instr in block.body:
+            if instr.defines_value:
+                kb = out_fact.get(instr.name)
+                if kb is not None and not kb.is_top:
+                    summary[instr.name] = kb
+    return summary
+
+
+# -- demanded bits -------------------------------------------------------------
+
+#: Opcodes whose named operands are always fully demanded: they reach
+#: memory, control flow or calls, or can trap on operand values.
+_FULL_DEMAND = frozenset({
+    Opcode.SDIV, Opcode.SREM, Opcode.FADD, Opcode.FSUB, Opcode.FMUL,
+    Opcode.FDIV, Opcode.FCMP, Opcode.SITOFP, Opcode.FPTOSI,
+    Opcode.ALLOC, Opcode.LOAD, Opcode.STORE, Opcode.GEP,
+    Opcode.RET, Opcode.CALL, Opcode.MAG, Opcode.SIGN, Opcode.BR,
+})
+
+
+def _icmp_insensitive_bits(
+    kb: KnownBits, predicate: Predicate, constant: int, flipped_side_right: bool
+) -> int:
+    """Mask of bits of the compared value whose flips provably cannot
+    change the predicate outcome, given the value's own known bits.
+
+    ``constant`` is the literal the value is compared against (signed);
+    ``flipped_side_right`` is True for ``icmp C, x`` (the value on the
+    right), which mirrors the ordering predicates.
+
+    The returned mask is *jointly* safe: flipping any subset of its bits
+    at once leaves the predicate unchanged.  This matters because the
+    result feeds the demanded-bits invariant, under which a downstream
+    value may differ from its golden content in several non-demanded
+    bits simultaneously — individually-safe bits whose deltas add up to
+    cross the comparison threshold would be unsound.
+    """
+    if flipped_side_right:
+        predicate = {
+            Predicate.LT: Predicate.GT, Predicate.GT: Predicate.LT,
+            Predicate.LE: Predicate.GE, Predicate.GE: Predicate.LE,
+            Predicate.EQ: Predicate.EQ, Predicate.NE: Predicate.NE,
+        }[predicate]
+    width = kb.width
+    lo, hi = kb.signed_range()
+    sign = width - 1
+    c = constant
+
+    def same_side(shift_lo: int, shift_hi: int) -> bool:
+        """Whether [lo+shift_lo, hi+shift_hi] ∪ [lo, hi] is decided."""
+        lo2, hi2 = lo + shift_lo, hi + shift_hi
+        if predicate is Predicate.LT:
+            return (hi < c and hi2 < c) or (lo >= c and lo2 >= c)
+        if predicate is Predicate.LE:
+            return (hi <= c and hi2 <= c) or (lo > c and lo2 > c)
+        if predicate is Predicate.GT:
+            return (lo > c and lo2 > c) or (hi <= c and hi2 <= c)
+        if predicate is Predicate.GE:
+            return (lo >= c and lo2 >= c) or (hi < c and hi2 < c)
+        # EQ / NE: safe only when the literal is outside both hulls.
+        return (c < lo or c > hi) and (c < lo2 or c > hi2)
+
+    insensitive = 0
+    acc_lo = 0  # accumulated worst-case negative delta over chosen bits
+    acc_hi = 0  # accumulated worst-case positive delta
+    # High bits first: they decide feasibility, low bits then usually fit.
+    for bit in range(width - 1, -1, -1):
+        if not kb.known & (1 << bit):
+            # Unknown bit: the concretization set is closed under this
+            # flip, so it contributes no delta at all.
+            delta = 0
+        elif bit == sign:
+            delta = -(1 << sign) if kb.zeros & (1 << bit) else (1 << sign)
+        else:
+            delta = (1 << bit) if kb.zeros & (1 << bit) else -(1 << bit)
+        new_lo = acc_lo + min(delta, 0)
+        new_hi = acc_hi + max(delta, 0)
+        if same_side(new_lo, new_hi):
+            insensitive |= 1 << bit
+            acc_lo, acc_hi = new_lo, new_hi
+    return insensitive
+
+
+def _operand_demand(
+    instr: Instruction,
+    index: int,
+    operand: Value,
+    result_demand: int,
+    known: dict[str, KnownBits],
+) -> int:
+    """Bits of ``operand`` demanded through position ``index`` of ``instr``."""
+    width = operand.type.bits if operand.type.is_int else 64
+    full = _mask(width)
+    op = instr.opcode
+    if op in _FULL_DEMAND:
+        return full
+    if op is Opcode.ICMP:
+        sibling = instr.operands[1 - index]
+        if isinstance(sibling, Constant) and operand.type.is_int:
+            kb = known.get(operand.name, KnownBits.top(width))
+            insensitive = _icmp_insensitive_bits(
+                kb, instr.predicate, int(sibling.value),
+                flipped_side_right=(index == 1),
+            )
+            return full & ~insensitive
+        return full
+    if op in (Opcode.JMP, Opcode.TRAP):
+        return 0
+    if op is Opcode.PHI:
+        return result_demand
+    if op is Opcode.SELECT:
+        return full if index == 0 else result_demand
+    if op is Opcode.AND:
+        sibling = instr.operands[1 - index]
+        if isinstance(sibling, Constant):
+            return result_demand & (int(sibling.value) & full)
+        return result_demand
+    if op is Opcode.OR:
+        sibling = instr.operands[1 - index]
+        if isinstance(sibling, Constant):
+            return result_demand & ~(int(sibling.value) & full)
+        return result_demand
+    if op is Opcode.XOR:
+        return result_demand
+    if op in (Opcode.ADD, Opcode.SUB, Opcode.MUL):
+        return mask_up_to_msb(result_demand)
+    if op in (Opcode.SHL, Opcode.LSHR, Opcode.ASHR):
+        if index == 1:
+            # The interpreter masks shift amounts with (width - 1).
+            return width - 1
+        amount = instr.operands[1]
+        if isinstance(amount, Constant):
+            s = int(amount.value) & (width - 1)
+            if op is Opcode.SHL:
+                return (result_demand >> s) & full
+            shifted = (result_demand << s) & full
+            if op is Opcode.ASHR and s:
+                replicated = full & ~_mask(width - s)
+                if result_demand & replicated:
+                    shifted |= 1 << (width - 1)
+            return shifted
+        if op is Opcode.SHL:
+            return mask_up_to_msb(result_demand)
+        return full if result_demand else 0
+    if op is Opcode.TRUNC:
+        return result_demand & full
+    if op is Opcode.ZEXT:
+        return result_demand & full
+    return full
+
+
+def demanded_bits(
+    func: Function, known: dict[str, KnownBits] | None = None
+) -> dict[str, int]:
+    """Demanded-bit mask of every integer SSA value of ``func``.
+
+    A bit outside ``demanded[name]`` provably cannot influence any
+    observable of the function, under single-fault corruption of that
+    value alone (see module docstring for the inductive argument).
+    Float- and pointer-typed values are omitted — every bit of those is
+    treated as demanded by callers.
+    """
+    if known is None:
+        known = known_bits(func)
+    widths: dict[str, int] = {
+        arg.name: arg.type.bits for arg in func.args if arg.type.is_int
+    }
+    for instr in func.instructions():
+        if instr.defines_value and instr.type.is_int:
+            widths[instr.name] = instr.type.bits
+    demanded = {name: 0 for name in widths}
+
+    changed = True
+    while changed:
+        changed = False
+        for instr in func.instructions():
+            result_demand = demanded.get(instr.name, 0)
+            for index, operand in enumerate(instr.operands):
+                if isinstance(operand, Constant):
+                    continue
+                name = operand.name
+                if name not in demanded:
+                    continue
+                contribution = _operand_demand(
+                    instr, index, operand, result_demand, known
+                )
+                merged = demanded[name] | (contribution & _mask(widths[name]))
+                if merged != demanded[name]:
+                    demanded[name] = merged
+                    changed = True
+    return demanded

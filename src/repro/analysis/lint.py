@@ -20,7 +20,13 @@ import json
 import sys
 
 from repro.analysis.linter import lint_module
-from repro.analysis.rules import RULES, Finding, Severity
+from repro.analysis.rules import (
+    RULES,
+    Finding,
+    Severity,
+    rule_descriptor,
+    sarif_log,
+)
 from repro.core.dmr.instrument import instrument_module
 from repro.core.dmr.levels import ALL_LEVELS, ProtectionLevel
 from repro.workloads.irprograms import PROGRAMS, build_program
@@ -85,6 +91,10 @@ def main(argv: list[str] | None = None) -> int:
         help="emit a machine-readable JSON report on stdout",
     )
     parser.add_argument(
+        "--sarif", action="store_true", dest="as_sarif",
+        help="emit a SARIF 2.1.0 log on stdout (overrides --json)",
+    )
+    parser.add_argument(
         "--fail-on", default="warning",
         choices=["error", "warning", "hint", "none"],
         help="minimum severity that makes the exit status non-zero "
@@ -122,7 +132,22 @@ def main(argv: list[str] | None = None) -> int:
                 )
             runs.append((name, level, findings))
 
-    if args.as_json:
+    if args.as_sarif:
+        log = sarif_log(
+            "repro-lint",
+            [rule_descriptor(rule) for rule in RULES.values()],
+            [
+                {
+                    **f.to_sarif(),
+                    "properties": {"program": name, "level": level.value},
+                }
+                for name, level, findings in runs
+                for f in findings
+            ],
+        )
+        json.dump(log, sys.stdout, indent=2)
+        print()
+    elif args.as_json:
         report = {
             "fail_on": args.fail_on,
             "total_findings": total,
@@ -151,5 +176,13 @@ def main(argv: list[str] | None = None) -> int:
     return 1 if gate_count else 0
 
 
-if __name__ == "__main__":
-    raise SystemExit(main())
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI smoke
+    try:
+        code = main()
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe mid-render; not an error.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 0
+    sys.exit(code)

@@ -1,0 +1,414 @@
+"""Translation validation of the DMR protection transforms.
+
+For each :class:`~repro.core.dmr.levels.ProtectionLevel`, checks that the
+instrumented module is semantics-preserving in the zero-fault world — the
+protected program must behave exactly like the original, modulo the extra
+(cost-model-visible) replica/check work:
+
+* **Replica isomorphism** — every ``*.dup`` value recomputes its primary:
+  same opcode/type/predicate/immediate, operands positionally equal up to
+  the ``.dup`` renaming, never the primary itself, and only side-effect-
+  free opcodes (duplicating an ``alloc``/``call``/``store`` would change
+  observable state even without faults).
+* **Check fabric well-formedness** — every ``dmr.ne*`` is an NE compare
+  of a verified (primary, replica) pair; every ``dmr.or*`` only combines
+  check results; every guard branch sends mismatch=true into a trap-only
+  detect block and false into the split continuation, and the check
+  dominates its guard trivially (same block, by construction here, but
+  verified rather than assumed).
+* **Residual isomorphism** — deleting replicas, checks, or-chains, guard
+  branches and detect blocks from the protected function, and collapsing
+  each split-continuation chain back into its head block, must reproduce
+  the original function instruction-for-instruction (names, opcodes,
+  operands, phi incomings, branch targets).
+* **Cost-model-only dynamic delta** — executing both modules with zero
+  faults yields bit-identical return values and statuses; the protected
+  run may only spend *more* instructions and cycles.
+
+Run over every workload × level by ``python -m repro.analysis.verify``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.masking import _replica_isomorphic
+from repro.core.dmr.critical import _NEVER_DUPLICATE
+from repro.core.dmr.instrument import _DUP_SUFFIX, instrument_module
+from repro.core.dmr.levels import ProtectionLevel
+from repro.ir.block import BasicBlock
+from repro.ir.costmodel import CORTEX_A53, CostModel
+from repro.ir.function import Function
+from repro.ir.instructions import COMPARISONS, Instruction, Opcode, Predicate
+from repro.ir.interp import ExecutionStatus, Interpreter
+from repro.ir.module import Module
+from repro.ir.values import Constant, Value
+
+_CHECK_PREFIX = "dmr.ne"
+_OR_PREFIX = "dmr.or"
+
+
+@dataclass(frozen=True)
+class VerifyFinding:
+    """One way the protected module deviates from the contract."""
+
+    func: str
+    kind: str
+    detail: str
+
+
+@dataclass
+class VerifyResult:
+    """Outcome of validating one module × level combination."""
+
+    module: str
+    level: ProtectionLevel
+    findings: list[VerifyFinding] = field(default_factory=list)
+    #: per-function structural and dynamic metrics.
+    metrics: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def equivalent(self) -> bool:
+        return not self.findings
+
+    def as_dict(self) -> dict:
+        return {
+            "module": self.module,
+            "level": self.level.value,
+            "equivalent": self.equivalent,
+            "findings": [
+                {"func": f.func, "kind": f.kind, "detail": f.detail}
+                for f in self.findings
+            ],
+            "metrics": self.metrics,
+        }
+
+
+def _is_detect_block(block: BasicBlock) -> bool:
+    return (
+        len(block.instructions) == 1
+        and block.instructions[0].opcode is Opcode.TRAP
+    )
+
+
+class _FunctionValidator:
+    """Validates one protected function against its original."""
+
+    def __init__(self, original: Function, protected: Function) -> None:
+        self.original = original
+        self.protected = protected
+        self.findings: list[VerifyFinding] = []
+        self.by_name = {
+            i.name: i for i in protected.instructions() if i.name
+        }
+        self.detect = {
+            b.name for b in protected.blocks if _is_detect_block(b)
+        }
+        self.replicas = [
+            i for i in protected.instructions()
+            if i.name.endswith(_DUP_SUFFIX)
+        ]
+        self.checks = [
+            i for i in protected.instructions()
+            if i.name.startswith(_CHECK_PREFIX)
+        ]
+        self.ors = [
+            i for i in protected.instructions()
+            if i.name.startswith(_OR_PREFIX)
+        ]
+        self.guards = [
+            b.terminator for b in protected.blocks
+            if b.is_terminated
+            and b.terminator.opcode is Opcode.BR
+            and any(t.name in self.detect for t in b.terminator.block_targets)
+        ]
+        self._scaffold_ids = (
+            {id(i) for i in self.replicas}
+            | {id(i) for i in self.checks}
+            | {id(i) for i in self.ors}
+            | {id(g) for g in self.guards}
+        )
+
+    def report(self, kind: str, detail: str) -> None:
+        self.findings.append(
+            VerifyFinding(func=self.original.name, kind=kind, detail=detail)
+        )
+
+    # -- replica isomorphism ------------------------------------------------
+
+    def check_replicas(self) -> None:
+        for replica in self.replicas:
+            primary_name = replica.name[: -len(_DUP_SUFFIX)]
+            primary = self.by_name.get(primary_name)
+            if primary is None:
+                self.report(
+                    "orphan-replica",
+                    f"{replica.ref()} has no primary {primary_name}",
+                )
+                continue
+            if replica.opcode in _NEVER_DUPLICATE or replica.is_terminator:
+                self.report(
+                    "side-effecting-replica",
+                    f"{replica.ref()} duplicates a "
+                    f"{replica.opcode.value}, which is not effect-free",
+                )
+                continue
+            if not _replica_isomorphic(primary, replica):
+                self.report(
+                    "replica-mismatch",
+                    f"{replica.ref()} does not recompute "
+                    f"{primary.ref()} from parallel operands",
+                )
+
+    # -- check fabric -------------------------------------------------------
+
+    def check_fabric(self) -> None:
+        for check in self.checks:
+            ok = (
+                check.opcode in COMPARISONS
+                and check.predicate is Predicate.NE
+                and len(check.operands) == 2
+                and not isinstance(check.operands[0], Constant)
+                and not isinstance(check.operands[1], Constant)
+                and check.operands[1].name
+                == check.operands[0].name + _DUP_SUFFIX
+            )
+            if not ok:
+                self.report(
+                    "malformed-check",
+                    f"{check.ref()} is not an NE compare of a "
+                    f"(primary, replica) pair",
+                )
+        check_like = {id(i) for i in self.checks} | {id(i) for i in self.ors}
+        for or_instr in self.ors:
+            if or_instr.opcode is not Opcode.OR or any(
+                not isinstance(op, Instruction) or id(op) not in check_like
+                for op in or_instr.operands
+            ):
+                self.report(
+                    "malformed-or-chain",
+                    f"{or_instr.ref()} combines non-check values",
+                )
+        for guard in self.guards:
+            block = guard.parent
+            cond = guard.operands[0] if guard.operands else None
+            cond_ok = (
+                isinstance(cond, Instruction)
+                and id(cond) in check_like
+                and cond.parent is block
+            )
+            shape_ok = (
+                len(guard.block_targets) == 2
+                and guard.block_targets[0].name in self.detect
+                and guard.block_targets[1].name not in self.detect
+            )
+            if not (cond_ok and shape_ok):
+                where = block.name if block is not None else "?"
+                self.report(
+                    "malformed-guard",
+                    f"guard br in ^{where} must test a same-block check "
+                    f"and target [detect, continuation]",
+                )
+
+    # -- residual isomorphism -----------------------------------------------
+
+    def _origin_map(self) -> dict[str, str] | None:
+        """protected block name -> original block name (split collapse)."""
+        original_names = {b.name for b in self.original.blocks}
+        origin: dict[str, str] = {}
+        for block in self.protected.blocks:
+            if block.name in original_names:
+                origin[block.name] = block.name
+        changed = True
+        while changed:
+            changed = False
+            for block in self.protected.blocks:
+                if block.name not in origin or not block.is_terminated:
+                    continue
+                term = block.terminator
+                if term in self.guards:
+                    cont = term.block_targets[1]
+                    if cont.name not in origin:
+                        origin[cont.name] = origin[block.name]
+                        changed = True
+        unknown = [
+            b.name for b in self.protected.blocks
+            if b.name not in origin and b.name not in self.detect
+        ]
+        if unknown:
+            self.report(
+                "unmapped-blocks",
+                f"blocks {unknown} are neither original, split "
+                f"continuations, nor detect blocks",
+            )
+            return None
+        return origin
+
+    def _residual_chain(
+        self, head: BasicBlock
+    ) -> list[Instruction] | None:
+        """Non-scaffold instructions of ``head`` and its split tail."""
+        out: list[Instruction] = []
+        block: BasicBlock | None = head
+        seen: set[int] = set()
+        while block is not None:
+            if id(block) in seen:  # guard-br cycle: malformed
+                return None
+            seen.add(id(block))
+            tail: BasicBlock | None = None
+            for instr in block.instructions:
+                if id(instr) in self._scaffold_ids:
+                    if instr in self.guards:
+                        tail = instr.block_targets[1]
+                    continue
+                out.append(instr)
+            block = tail
+        return out
+
+    def _operand_equal(self, a: Value, b: Value) -> bool:
+        if isinstance(a, Constant) or isinstance(b, Constant):
+            return a == b
+        return a.name == b.name
+
+    def _instr_equal(
+        self, orig: Instruction, prot: Instruction, origin: dict[str, str]
+    ) -> str | None:
+        if orig.name != prot.name:
+            return f"expected {orig.ref()}, found {prot.ref()}"
+        if (orig.opcode is not prot.opcode or orig.type != prot.type
+                or orig.predicate is not prot.predicate
+                or orig.imm != prot.imm or orig.callee != prot.callee):
+            return f"{prot.ref()} changed operation or attributes"
+        if len(orig.operands) != len(prot.operands) or any(
+            not self._operand_equal(a, b)
+            for a, b in zip(orig.operands, prot.operands)
+        ):
+            return f"{prot.ref()} changed operands"
+        orig_targets = [t.name for t in orig.block_targets]
+        prot_targets = [origin.get(t.name) for t in prot.block_targets]
+        if orig_targets != prot_targets:
+            return (
+                f"{prot.ref()} targets {prot_targets}, "
+                f"original had {orig_targets}"
+            )
+        return None
+
+    def check_residual(self) -> None:
+        origin = self._origin_map()
+        if origin is None:
+            return
+        if [a.name for a in self.original.args] != [
+            a.name for a in self.protected.args
+        ]:
+            self.report("signature-changed", "argument lists differ")
+            return
+        protected_heads = {b.name: b for b in self.protected.blocks}
+        for block in self.original.blocks:
+            head = protected_heads.get(block.name)
+            if head is None:
+                self.report(
+                    "missing-block", f"original ^{block.name} disappeared"
+                )
+                continue
+            chain = self._residual_chain(head)
+            if chain is None:
+                self.report(
+                    "guard-cycle", f"split chain of ^{block.name} loops"
+                )
+                continue
+            if len(chain) != len(block.instructions):
+                self.report(
+                    "residual-size",
+                    f"^{block.name}: original has "
+                    f"{len(block.instructions)} instructions, residual "
+                    f"has {len(chain)}",
+                )
+                continue
+            for orig, prot in zip(block.instructions, chain):
+                problem = self._instr_equal(orig, prot, origin)
+                if problem is not None:
+                    self.report("residual-mismatch", problem)
+
+    def run(self) -> dict[str, float]:
+        self.check_replicas()
+        self.check_fabric()
+        self.check_residual()
+        return {
+            "replicas": float(len(self.replicas)),
+            "checks": float(len(self.checks)),
+            "guards": float(len(self.guards)),
+        }
+
+
+def verify_protection(
+    module: Module,
+    level: ProtectionLevel,
+    func_name: str | None = None,
+    args: tuple[int | float, ...] | None = None,
+    cost_model: CostModel = CORTEX_A53,
+    fuel: int = 5_000_000,
+) -> VerifyResult:
+    """Instrument ``module`` at ``level`` and validate the translation.
+
+    Structural validation covers every function; when ``func_name`` and
+    ``args`` are given, the zero-fault dynamic check runs that entry
+    point on both modules and compares results bit-for-bit.
+    """
+    protected, _plans = instrument_module(module, level)
+    result = VerifyResult(module=module.name, level=level)
+
+    for original in module:
+        validator = _FunctionValidator(
+            original, protected.function(original.name)
+        )
+        metrics = validator.run()
+        if level is ProtectionLevel.NONE and (
+            validator.replicas or validator.checks or validator.guards
+        ):
+            validator.report(
+                "unexpected-scaffold",
+                "protection level none must not add replicas or checks",
+            )
+        result.findings.extend(validator.findings)
+        result.metrics[original.name] = metrics
+
+    if func_name is not None and args is not None:
+        base = Interpreter(module, cost_model=cost_model, fuel=fuel).run(
+            func_name, list(args)
+        )
+        prot = Interpreter(protected, cost_model=cost_model, fuel=fuel).run(
+            func_name, list(args)
+        )
+        fm = result.metrics.setdefault(func_name, {})
+        fm["base_cycles"] = float(base.cycles)
+        fm["protected_cycles"] = float(prot.cycles)
+        fm["base_instructions"] = float(base.instructions)
+        fm["protected_instructions"] = float(prot.instructions)
+        if base.status is not prot.status:
+            result.findings.append(VerifyFinding(
+                func_name, "status-diverged",
+                f"original {base.status.value}, "
+                f"protected {prot.status.value}",
+            ))
+        elif base.status is ExecutionStatus.OK:
+            same = (
+                base.value == prot.value
+                or (isinstance(base.value, float)
+                    and isinstance(prot.value, float)
+                    and base.value != base.value
+                    and prot.value != prot.value)
+            )
+            if not same:
+                result.findings.append(VerifyFinding(
+                    func_name, "value-diverged",
+                    f"original returned {base.value!r}, "
+                    f"protected returned {prot.value!r}",
+                ))
+            if (prot.cycles < base.cycles
+                    or prot.instructions < base.instructions):
+                result.findings.append(VerifyFinding(
+                    func_name, "cost-shrunk",
+                    "protected run spent fewer cycles/instructions "
+                    "than the original — the delta must be pure overhead",
+                ))
+    return result

@@ -17,6 +17,7 @@ import argparse
 import json
 import sys
 
+from repro.analysis.rules import sarif_log
 from repro.analysis.vulnerability import SiteScore, analyze_function
 from repro.ir.costmodel import CORTEX_A53, ENDUROSAT_OBC
 from repro.workloads.irprograms import PROGRAMS, build_program
@@ -56,6 +57,10 @@ def main(argv: list[str] | None = None) -> int:
         "--json", action="store_true", dest="as_json",
         help="emit a machine-readable JSON report on stdout",
     )
+    parser.add_argument(
+        "--sarif", action="store_true", dest="as_sarif",
+        help="emit a SARIF 2.1.0 log on stdout (overrides --json)",
+    )
     args = parser.parse_args(argv)
 
     if args.program not in PROGRAMS:
@@ -69,6 +74,45 @@ def main(argv: list[str] | None = None) -> int:
     ranked = report.ranked()
     if args.top > 0:
         ranked = ranked[: args.top]
+
+    if args.as_sarif:
+        rule = {
+            "id": "RANK001",
+            "shortDescription": {
+                "text": "register ranked by static SEU vulnerability",
+            },
+            "defaultConfiguration": {"level": "note"},
+        }
+        results = [
+            {
+                "ruleId": "RANK001",
+                "level": "note",
+                "message": {
+                    "text": f"{site.name} scores {site.score:.1f} "
+                            f"({site.criticality}, {site.opcode})",
+                },
+                "locations": [{
+                    "logicalLocations": [{
+                        "fullyQualifiedName":
+                            f"@{site.func}:^{site.block} {site.name}",
+                        "kind": "function",
+                    }],
+                }],
+                "properties": {
+                    "rank": index,
+                    "score": site.score,
+                    "live_cycles": site.live_cycles,
+                    "fanout": site.fanout,
+                    "criticality": site.criticality,
+                },
+            }
+            for index, site in enumerate(ranked)
+        ]
+        json.dump(
+            sarif_log("repro-rank", [rule], results), sys.stdout, indent=2
+        )
+        print()
+        return 0
 
     if args.as_json:
         json.dump(
@@ -98,5 +142,13 @@ def main(argv: list[str] | None = None) -> int:
     return 0
 
 
-if __name__ == "__main__":
-    raise SystemExit(main())
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI smoke
+    try:
+        code = main()
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe mid-render; not an error.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 0
+    sys.exit(code)

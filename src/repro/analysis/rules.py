@@ -34,8 +34,20 @@ class Severity(enum.Enum):
     def rank(self) -> int:
         return _RANKS[self]
 
+    @property
+    def sarif_level(self) -> str:
+        """The SARIF 2.1.0 result level this severity maps to."""
+        return _SARIF_LEVELS[self]
+
 
 _RANKS = {Severity.ERROR: 2, Severity.WARNING: 1, Severity.HINT: 0}
+
+#: SARIF 2.1.0 result levels corresponding to each severity.
+_SARIF_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.HINT: "note",
+}
 
 
 @dataclass(frozen=True)
@@ -96,6 +108,53 @@ class Finding:
             f"{self.rule.id} [{self.severity.value}] {location}: "
             f"{self.message}"
         )
+
+    def to_sarif(self) -> dict:
+        """This finding as a SARIF 2.1.0 ``result`` object."""
+        qualified = f"@{self.func}"
+        if self.block:
+            qualified += f":^{self.block}"
+        if self.where:
+            qualified += f" {self.where}"
+        return {
+            "ruleId": self.rule.id,
+            "level": self.severity.sarif_level,
+            "message": {"text": self.message},
+            "locations": [{
+                "logicalLocations": [{
+                    "fullyQualifiedName": qualified,
+                    "kind": "function",
+                }],
+            }],
+        }
+
+
+def sarif_log(tool_name: str, rules: list[dict], results: list[dict]) -> dict:
+    """Assemble a minimal SARIF 2.1.0 log for one analysis run.
+
+    ``rules`` are ``reportingDescriptor`` objects (see
+    :func:`rule_descriptor`), ``results`` are ``result`` objects such as
+    :meth:`Finding.to_sarif` produces.  Shared by the lint and rank CLIs
+    so both emit the same envelope.
+    """
+    return {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {"name": tool_name, "rules": rules}},
+            "results": results,
+        }],
+    }
+
+
+def rule_descriptor(rule: LintRule) -> dict:
+    """A :class:`LintRule` as a SARIF ``reportingDescriptor``."""
+    return {
+        "id": rule.id,
+        "shortDescription": {"text": rule.summary},
+        "help": {"text": rule.fix_hint},
+        "defaultConfiguration": {"level": rule.severity.sarif_level},
+    }
 
 
 # -- the rule catalog ----------------------------------------------------------

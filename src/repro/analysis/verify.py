@@ -1,0 +1,133 @@
+"""Translation-validation CLI for the DMR protection transforms.
+
+Instruments workload programs at each protection level and validates
+that the transform is semantics-preserving (replica isomorphism, check
+fabric well-formedness, residual isomorphism, zero-fault dynamic
+equality — see :mod:`repro.analysis.protect_verify`)::
+
+    python -m repro.analysis.verify fact
+    python -m repro.analysis.verify all --level all --json
+
+Exit status is non-zero when any workload × level combination fails to
+validate — that is the CI gate: every protection transform must be
+provably equivalent under zero faults.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis.protect_verify import VerifyResult, verify_protection
+from repro.core.dmr.levels import ALL_LEVELS, ProtectionLevel
+from repro.workloads.irprograms import PROGRAMS, build_program
+
+_LEVELS_BY_VALUE = {level.value: level for level in ProtectionLevel}
+
+
+def _parse_levels(text: str) -> list[ProtectionLevel]:
+    if text == "all":
+        return list(ALL_LEVELS)
+    if text not in _LEVELS_BY_VALUE:
+        known = ", ".join(sorted(_LEVELS_BY_VALUE))
+        raise SystemExit(f"unknown level {text!r} (choose from: {known}, all)")
+    return [_LEVELS_BY_VALUE[text]]
+
+
+def _parse_programs(text: str) -> list[str]:
+    if text == "all":
+        return sorted(PROGRAMS)
+    if text not in PROGRAMS:
+        known = ", ".join(sorted(PROGRAMS))
+        raise SystemExit(f"unknown program {text!r} (choose from: {known}, all)")
+    return [text]
+
+
+def verify_program(name: str, level: ProtectionLevel) -> VerifyResult:
+    """Build one workload and validate its instrumentation at ``level``."""
+    spec = PROGRAMS[name]
+    module = build_program(name)
+    return verify_protection(
+        module, level, func_name=spec.name, args=spec.default_args
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.verify",
+        description="validate that DMR protection transforms preserve "
+                    "zero-fault semantics",
+    )
+    parser.add_argument(
+        "program", nargs="?", default="all",
+        help="workload program name, or 'all' (default)",
+    )
+    parser.add_argument(
+        "--level", default="all",
+        help="protection level value (e.g. full-dmr), or 'all' (default)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit a machine-readable JSON report on stdout",
+    )
+    args = parser.parse_args(argv)
+
+    programs = _parse_programs(args.program)
+    levels = _parse_levels(args.level)
+
+    results: list[tuple[str, VerifyResult]] = []
+    failures = 0
+    for name in programs:
+        for level in levels:
+            result = verify_program(name, level)
+            if not result.equivalent:
+                failures += 1
+            results.append((name, result))
+
+    if args.as_json:
+        json.dump(
+            {
+                "failures": failures,
+                "runs": [
+                    {"program": name, **result.as_dict()}
+                    for name, result in results
+                ],
+            },
+            sys.stdout,
+            indent=2,
+        )
+        print()
+    else:
+        for name, result in results:
+            func = PROGRAMS[name].name
+            metrics = result.metrics.get(func, {})
+            if result.equivalent:
+                print(
+                    f"{name} @ {result.level.value}: equivalent "
+                    f"(replicas={int(metrics.get('replicas', 0))}, "
+                    f"checks={int(metrics.get('checks', 0))}, "
+                    f"cycles {int(metrics.get('base_cycles', 0))} -> "
+                    f"{int(metrics.get('protected_cycles', 0))})"
+                )
+            else:
+                print(f"{name} @ {result.level.value}: NOT EQUIVALENT")
+                for finding in result.findings:
+                    print(
+                        f"  [{finding.kind}] @{finding.func}: "
+                        f"{finding.detail}"
+                    )
+        print(f"{failures} non-equivalent run(s) of {len(results)}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI smoke
+    try:
+        code = main()
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe mid-render; not an error.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 0
+    sys.exit(code)

@@ -19,8 +19,12 @@ from repro.faults.seu import RegisterFaultInjector, HeapFaultInjector
 from repro.faults.campaign import (
     Campaign,
     CampaignResult,
+    PlannedTrial,
+    PrunedTrials,
     TimelineCampaignResult,
+    prune_masked_trials,
     run_campaign,
+    run_campaign_pruned,
     run_timeline_campaign,
 )
 from repro.faults.parallel import (
@@ -37,6 +41,8 @@ __all__ = [
     "FaultOutcome", "TrialResult", "OutcomeCounts",
     "RegisterFaultInjector", "HeapFaultInjector",
     "Campaign", "CampaignResult", "run_campaign",
+    "PlannedTrial", "PrunedTrials",
+    "prune_masked_trials", "run_campaign_pruned",
     "TimelineCampaignResult", "run_timeline_campaign",
     "run_campaign_parallel", "run_supervised_campaign_parallel",
     "run_timeline_campaign_parallel", "run_campaign_lockstep",

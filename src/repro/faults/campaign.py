@@ -38,10 +38,11 @@ import numpy as np
 from repro.errors import FaultInjectionError
 from repro.faults.model import FaultSpec, FaultTarget
 from repro.faults.outcomes import FaultOutcome, OutcomeCounts, TrialResult, classify
-from repro.faults.seu import HeapFaultInjector, RegisterFaultInjector
+from repro.faults.seu import HeapFaultInjector, RegisterFaultInjector, _value_types
 from repro.ir.costmodel import CORTEX_A53, CostModel
 from repro.ir.interp import ExecutionResult, ExecutionStatus, Interpreter
 from repro.ir.module import Module
+from repro.ir.types import F64, INT64, injectable_width
 from repro.obs.events import (
     BlockTransition,
     CampaignEnd,
@@ -274,6 +275,7 @@ def emit_trial_events(
     trial_index: int,
     trial: TrialResult,
     fired: bool = True,
+    pruned: bool = False,
 ) -> None:
     """Emit the injection + classification events of one finished trial.
 
@@ -289,6 +291,7 @@ def emit_trial_events(
         location=spec.location,
         bit=spec.bit,
         fired=fired,
+        pruned=pruned,
     ))
     tracer.emit(TrialEnd(
         trial=trial_index,
@@ -302,12 +305,13 @@ def run_trial(
     campaign: Campaign,
     golden: ExecutionResult,
     trial_fuel: int,
-    trial_rng: np.random.Generator,
+    trial_rng: np.random.Generator | None,
     code_cache: dict | None = None,
     tracer: Tracer | None = None,
     trial_index: int = 0,
     trace_blocks: bool = False,
     span_root: str = "",
+    injector: RegisterFaultInjector | HeapFaultInjector | None = None,
 ) -> TrialResult:
     """Execute and classify one faulted trial.
 
@@ -319,6 +323,10 @@ def run_trial(
     touching the trial's RNG stream.  With a ``span_root``, the trial's
     events are additionally bracketed by a deterministic trial span
     (id derived from root + index, never from any clock).
+
+    Pruned campaigns pass a pre-built ``injector`` whose spec is fully
+    resolved (location and bit fixed by the planning replay); the trial
+    then draws nothing and ``trial_rng`` may be None.
     """
     trace_hook = None
     trial_span = ""
@@ -332,7 +340,8 @@ def run_trial(
             def trace_hook(func: str, block: str) -> None:
                 emit(BlockTransition(func=func, block=block))
 
-    injector = make_injector(campaign, golden, trial_rng)
+    if injector is None:
+        injector = make_injector(campaign, golden, trial_rng)
     interp = Interpreter(
         campaign.module,
         cost_model=campaign.cost_model,
@@ -585,6 +594,372 @@ def run_campaign(
         )
         counts.record(trial.outcome)
         trials.append(trial)
+    if tracer is not None:
+        emit_campaign_end(tracer, campaign, golden, counts)
+        if span_root:
+            end_campaign_span(tracer, span_root, campaign)
+    return CampaignResult(golden=golden, counts=counts, trials=trials)
+
+
+# -- provably-benign trial pruning ---------------------------------------------
+#
+# A pruned campaign resolves every trial's fault (site, bit, firing point)
+# with a single replay of the golden run, asks the masking analysis
+# (repro.analysis.masking) which faults are EXACT_BENIGN — provably
+# reproducing the golden run bit for bit — and reconstructs those trial
+# records instead of executing them.  Only the prunable subset is skipped:
+# CHECK_MASKED faults are proven benign-or-detected, but which of the two
+# depends on dynamic values, so they still run.
+
+
+@dataclass(frozen=True)
+class PlannedTrial:
+    """One trial of a pruned campaign, fully resolved before execution.
+
+    Attributes:
+        spec: the resolved fault (dynamic index = firing point, location
+            and bit fixed) — or the unresolved request when the fault
+            never fired.
+        fired: whether the fault lands at all.
+        func: function executing at the firing point ("" when unfired).
+        block: basic block of the firing point.
+        body_index: index into ``block.body`` of the instruction the hook
+            fired before (-1 when unfired).
+        mask_class: the masking analysis verdict
+            (:class:`repro.analysis.masking.MaskClass`; None when unfired).
+        pruned: True when the trial record can be reconstructed without
+            execution (EXACT_BENIGN verdict, or the fault never fired).
+    """
+
+    spec: FaultSpec
+    fired: bool
+    func: str
+    block: str
+    body_index: int
+    mask_class: "MaskClass | None"  # noqa: F821 - analysis import is lazy
+    pruned: bool
+
+
+@dataclass
+class PrunedTrials:
+    """The execution plan of a pruned campaign.
+
+    Attributes:
+        golden: the fault-free reference run.
+        report: the masking analysis that justified each pruning verdict.
+        trials: one :class:`PlannedTrial` per campaign trial, index-aligned
+            with the unpruned campaign's trial sequence.
+    """
+
+    golden: ExecutionResult
+    report: "MaskingReport"  # noqa: F821 - analysis import is lazy
+    trials: list[PlannedTrial]
+
+    @property
+    def n_pruned(self) -> int:
+        return sum(1 for trial in self.trials if trial.pruned)
+
+    @property
+    def prune_rate(self) -> float:
+        if not self.trials:
+            return 0.0
+        return self.n_pruned / len(self.trials)
+
+
+class _TrialPlanner:
+    """Step hook that resolves every trial's fault in one golden replay.
+
+    Replicates :class:`repro.faults.seu.RegisterFaultInjector`'s draw
+    sequence exactly — each trial's own forked generator draws the site
+    name from the sorted live environment, then the bit from the site's
+    injectable width, at the first hook call at or past its drawn dynamic
+    index with a non-empty environment.  The planner only *reads* the
+    frame; the replay stays fault-free, which is precisely why the
+    environments it observes equal the ones each faulted trial's injector
+    would have seen (the fault has not fired yet at its own firing point).
+    """
+
+    def __init__(
+        self, module: Module, requests: list[tuple[int, np.random.Generator]]
+    ) -> None:
+        self.requests = requests
+        #: per-trial (resolved spec, (func, block, body_index) | None);
+        #: None while (or if never) resolved.
+        self.resolutions: list[
+            tuple[FaultSpec, tuple[str, str, int] | None] | None
+        ] = [None] * len(requests)
+        # Trials in drawn-index order; all trials whose index <= the
+        # current dynamic index fire at the same hook call (each from its
+        # own generator, so resolution order cannot perturb the draws).
+        self._order = sorted(
+            range(len(requests)), key=lambda i: requests[i][0]
+        )
+        self._next = 0
+        self._points: dict[int, tuple[str, str, int]] = {}
+        for func in module:
+            for block in func.blocks:
+                for body_index, instr in enumerate(block.body):
+                    self._points[id(instr)] = (
+                        func.name, block.name, body_index
+                    )
+        self._type_cache: dict[str, dict] = {}
+
+    def __call__(self, interp, frame, instr, dynamic_index: int) -> None:
+        if self._next >= len(self._order):
+            return
+        env = frame.env
+        if not env:
+            return  # injectors wait for live state; so does the planner
+        if self.requests[self._order[self._next]][0] > dynamic_index:
+            return
+        names = sorted(env)
+        types = self._type_cache.get(frame.func.name)
+        if types is None:
+            types = _value_types(frame.func)
+            self._type_cache[frame.func.name] = types
+        point = self._points.get(id(instr))
+        while self._next < len(self._order):
+            number = self._order[self._next]
+            if self.requests[number][0] > dynamic_index:
+                return
+            rng = self.requests[number][1]
+            name = names[int(rng.integers(len(names)))]
+            type_ = types.get(
+                name, F64 if isinstance(env[name], float) else None
+            )
+            if type_ is None:
+                type_ = INT64
+            bit = int(rng.integers(injectable_width(type_)))
+            spec = FaultSpec(
+                target=FaultTarget.REGISTER,
+                dynamic_index=dynamic_index,
+                location=name,
+                bit=bit,
+            )
+            self.resolutions[number] = (spec, point)
+            self._next += 1
+
+
+def prune_masked_trials(
+    campaign: Campaign,
+    seed: int | np.random.Generator | None = None,
+    report: "MaskingReport | None" = None,  # noqa: F821
+) -> PrunedTrials:
+    """Plan a pruned campaign: resolve every trial, classify, mark prunable.
+
+    Consumes the campaign RNG exactly as :func:`run_campaign` would (fork
+    per trial, then the injector's index/site/bit draws), so the resolved
+    specs equal the ones the unpruned campaign's injectors would resolve.
+    Faults classified EXACT_BENIGN by the masking analysis — plus faults
+    that never fire — are marked ``pruned``; the rest must execute.
+
+    Register campaigns only: heap faults have no masking analysis.
+    """
+    from repro.analysis.masking import EXACT_BENIGN, MaskClass, analyze_masking
+
+    if campaign.target is not FaultTarget.REGISTER:
+        raise FaultInjectionError(
+            f"trial pruning requires a REGISTER campaign, got "
+            f"{campaign.target.value} — the masking analysis proves "
+            f"register faults benign, not heap faults"
+        )
+    golden = run_golden(campaign)
+    rng = make_rng(seed)
+    requests: list[tuple[int, np.random.Generator]] = []
+    for trial_rng in fork(rng, campaign.n_trials):
+        index = int(trial_rng.integers(golden.instructions))
+        requests.append((index, trial_rng))
+
+    planner = _TrialPlanner(campaign.module, requests)
+    replay = Interpreter(
+        campaign.module,
+        cost_model=campaign.cost_model,
+        fuel=campaign.fuel,
+        step_hook=planner,
+        # hook_index=None keeps the interpreter on the per-instruction
+        # path so the planner observes every firing opportunity.
+        hook_index=None,
+    ).run(campaign.func_name, list(campaign.args))
+    if not replay.ok or replay.instructions != golden.instructions:
+        raise FaultInjectionError(
+            f"pruning replay of @{campaign.func_name} diverged from the "
+            f"golden run ({replay.status.value}, "
+            f"{replay.instructions} != {golden.instructions} instructions)"
+        )
+
+    if report is None:
+        report = analyze_masking(campaign.module)
+
+    trials: list[PlannedTrial] = []
+    for number, (index, _rng) in enumerate(requests):
+        resolution = planner.resolutions[number]
+        if resolution is None:
+            # The fault never fired: the trial re-runs the golden path
+            # untouched and classifies BENIGN — reconstructible exactly.
+            trials.append(PlannedTrial(
+                spec=FaultSpec(
+                    target=campaign.target, dynamic_index=index
+                ),
+                fired=False, func="", block="", body_index=-1,
+                mask_class=None, pruned=True,
+            ))
+            continue
+        spec, point = resolution
+        if point is None:  # pragma: no cover - hook always passes body instrs
+            trials.append(PlannedTrial(
+                spec=spec, fired=True, func="", block="", body_index=-1,
+                mask_class=MaskClass.POSSIBLY_ACE, pruned=False,
+            ))
+            continue
+        func_name, block, body_index = point
+        masking = report.for_function(func_name)
+        mask_class = (
+            masking.classify(block, body_index, str(spec.location), spec.bit)
+            if masking is not None else MaskClass.POSSIBLY_ACE
+        )
+        trials.append(PlannedTrial(
+            spec=spec, fired=True, func=func_name, block=block,
+            body_index=body_index, mask_class=mask_class,
+            pruned=mask_class in EXACT_BENIGN,
+        ))
+    return PrunedTrials(golden=golden, report=report, trials=trials)
+
+
+def reconstruct_pruned_trial(
+    golden: ExecutionResult, planned: PlannedTrial
+) -> TrialResult:
+    """The exact :class:`TrialResult` a pruned trial would have produced.
+
+    Sound because EXACT_BENIGN faults (and faults that never fire) leave
+    execution bit-identical to the golden run: same return value, same
+    cycle count, relative error zero.
+    """
+    return TrialResult(
+        spec=planned.spec,
+        outcome=FaultOutcome.BENIGN,
+        value=golden.value,
+        rel_error=0.0,
+        cycles=golden.cycles,
+    )
+
+
+def emit_pruned_trial(
+    tracer: Tracer,
+    index: int,
+    trial: TrialResult,
+    planned: PlannedTrial,
+    span_root: str = "",
+) -> None:
+    """Emit a reconstructed trial's event stream (injection flagged pruned)."""
+    trial_span = ""
+    if span_root:
+        trial_span = begin_trial_span(tracer, span_root, index)
+    tracer.emit(TrialStart(trial=index))
+    emit_trial_events(
+        tracer, index, trial, fired=planned.fired, pruned=True
+    )
+    if trial_span:
+        end_trial_span(tracer, trial_span, trial)
+
+
+def run_campaign_pruned(
+    campaign: Campaign,
+    seed: int | np.random.Generator | None = None,
+    workers: int | None = None,
+    lockstep: bool = False,
+    lockstep_batch: int = 32,
+    plan: PrunedTrials | None = None,
+    report: "MaskingReport | None" = None,  # noqa: F821
+    tracer: Tracer | None = None,
+    trace_blocks: bool = False,
+    trace_spans: bool = False,
+) -> CampaignResult:
+    """Execute ``campaign``, skipping statically-proven-benign trials.
+
+    Produces the exact ``CampaignResult`` of ``run_campaign(campaign,
+    seed)`` — byte-identical trial records and outcome counts — while
+    only executing the trials the masking analysis could not prove
+    EXACT_BENIGN.  Pruned trial records are reconstructed from the golden
+    run; executed trials run with pre-resolved injectors (same site, bit
+    and firing point the unpruned campaign would draw).  ``workers > 1``
+    fans the executed subset across the warm pool; ``lockstep=True`` runs
+    it through the batched lockstep engine — both still byte-identical.
+
+    Pass a precomputed ``plan`` (from :func:`prune_masked_trials`) to
+    amortize planning across repeat campaigns, or a ``report`` to reuse
+    one module's masking analysis.
+    """
+    span_root = ""
+    if tracer is not None and trace_spans:
+        span_root = begin_campaign_span(tracer, campaign, seed)
+    if plan is None:
+        plan = prune_masked_trials(campaign, seed, report=report)
+    if tracer is not None:
+        emit_campaign_start(tracer, campaign)
+    golden = run_golden(campaign, tracer=tracer)
+    trial_fuel = trial_fuel_for(campaign, golden)
+
+    trials: list[TrialResult] | None = None
+    if workers is not None and workers > 1:
+        from repro.faults.parallel import planned_trials_parallel
+
+        trials = planned_trials_parallel(
+            campaign, golden, plan, workers,
+            lockstep=lockstep, lockstep_batch=lockstep_batch,
+            tracer=tracer, trace_blocks=trace_blocks, span_root=span_root,
+        )
+    if trials is None:
+        code_cache: dict = {}
+        trials = []
+        if lockstep:
+            from repro.faults.lockstep import run_planned_lockstep_trials
+
+            indexed = [
+                (i, p.spec) for i, p in enumerate(plan.trials)
+                if not p.pruned
+            ]
+            rows = iter(run_planned_lockstep_trials(
+                campaign, golden, trial_fuel, indexed, code_cache,
+                batch=lockstep_batch,
+                record_trace=tracer is not None and trace_blocks,
+            ))
+            for index, planned in enumerate(plan.trials):
+                if planned.pruned:
+                    trial = reconstruct_pruned_trial(golden, planned)
+                    if tracer is not None:
+                        emit_pruned_trial(
+                            tracer, index, trial, planned,
+                            span_root=span_root,
+                        )
+                else:
+                    trial, fired, block_trace = next(rows)
+                    if tracer is not None:
+                        emit_lockstep_trial(
+                            tracer, index, trial, fired, block_trace,
+                            span_root=span_root,
+                        )
+                trials.append(trial)
+        else:
+            for index, planned in enumerate(plan.trials):
+                if planned.pruned:
+                    trial = reconstruct_pruned_trial(golden, planned)
+                    if tracer is not None:
+                        emit_pruned_trial(
+                            tracer, index, trial, planned,
+                            span_root=span_root,
+                        )
+                else:
+                    trial = run_trial(
+                        campaign, golden, trial_fuel, None, code_cache,
+                        tracer=tracer, trial_index=index,
+                        trace_blocks=trace_blocks, span_root=span_root,
+                        injector=RegisterFaultInjector(planned.spec),
+                    )
+                trials.append(trial)
+
+    counts = OutcomeCounts()
+    for trial in trials:
+        counts.record(trial.outcome)
     if tracer is not None:
         emit_campaign_end(tracer, campaign, golden, counts)
         if span_root:

@@ -42,7 +42,9 @@ from repro.faults.campaign import (
     run_golden,
     trial_fuel_for,
 )
+from repro.faults.model import FaultSpec
 from repro.faults.outcomes import OutcomeCounts, TrialResult
+from repro.faults.seu import RegisterFaultInjector
 from repro.ir.interp import ExecutionResult
 from repro.ir.lockstep import run_lockstep, start_lane
 from repro.obs.events import Tracer
@@ -73,6 +75,48 @@ def run_lockstep_trials(
     for lo in range(0, len(trial_rngs), batch):
         chunk = trial_rngs[lo:lo + batch]
         injectors = [make_injector(campaign, golden, rng) for rng in chunk]
+        lanes = [
+            start_lane(
+                campaign.module,
+                campaign.func_name,
+                list(campaign.args),
+                cost_model=campaign.cost_model,
+                fuel=trial_fuel,
+                step_hook=injector,
+                hook_index=injector.spec.dynamic_index,
+                code_cache=code_cache,
+                record_trace=record_trace,
+            )
+            for injector in injectors
+        ]
+        for injector, result in zip(injectors, run_lockstep(lanes)):
+            trial = classify_trial(campaign, golden, injector, result)
+            out.append((trial, injector.fired, result.block_trace))
+    return out
+
+
+def run_planned_lockstep_trials(
+    campaign: Campaign,
+    golden: ExecutionResult,
+    trial_fuel: int,
+    planned: list[tuple[int, FaultSpec]],
+    code_cache: dict,
+    batch: int = DEFAULT_BATCH,
+    record_trace: bool = False,
+) -> list[tuple[TrialResult, bool, list[tuple[str, str]]]]:
+    """Run a pruned campaign's executed trials in lockstep batches.
+
+    ``planned`` carries ``(global_trial_index, resolved_spec)`` pairs —
+    the non-pruned subset of a :class:`repro.faults.campaign.PrunedTrials`
+    plan.  Each lane's injector is built from its fully resolved spec
+    (location and bit fixed by the planning replay), so no generator is
+    consumed and results equal the per-trial pruned loop's exactly.
+    Returns ``(trial, fired, block_trace)`` rows in ``planned`` order.
+    """
+    out: list[tuple[TrialResult, bool, list[tuple[str, str]]]] = []
+    for lo in range(0, len(planned), batch):
+        chunk = planned[lo:lo + batch]
+        injectors = [RegisterFaultInjector(spec) for _index, spec in chunk]
         lanes = [
             start_lane(
                 campaign.module,

@@ -77,16 +77,20 @@ from repro.errors import FaultInjectionError
 from repro.faults.campaign import (
     Campaign,
     CampaignResult,
+    PrunedTrials,
     begin_campaign_span,
     emit_campaign_end,
     emit_campaign_start,
     emit_lockstep_trial,
+    emit_pruned_trial,
     end_campaign_span,
+    reconstruct_pruned_trial,
     run_golden,
     run_trial,
     trial_fuel_for,
 )
-from repro.faults.model import FaultTarget
+from repro.faults.model import FaultSpec, FaultTarget
+from repro.faults.seu import RegisterFaultInjector
 from repro.faults.outcomes import OutcomeCounts, TrialResult
 from repro.ir.costmodel import CostModel
 from repro.ir.interp import ExecutionResult
@@ -332,6 +336,71 @@ def _run_trial_chunk_traced(payload: tuple) -> list[tuple[TrialResult, list[Even
     return out
 
 
+def _run_planned_chunk(payload: tuple) -> list[TrialResult]:
+    """Pruned-campaign chunk body: pre-resolved specs, no RNG traffic.
+
+    Each item is ``(global_trial_index, resolved_spec)``; the worker
+    builds an injector from the spec (location and bit already fixed), so
+    results are byte-identical to the serial pruned loop's.
+    """
+    indexed_specs, lockstep, batch = payload
+    state = _WORKER_STATE
+    assert state is not None, "worker used before initialization"
+    if lockstep:
+        from repro.faults.lockstep import run_planned_lockstep_trials
+
+        rows = run_planned_lockstep_trials(
+            state.campaign, state.golden, state.trial_fuel, indexed_specs,
+            state.code_cache, batch=batch,
+        )
+        return [trial for trial, _fired, _trace in rows]
+    return [
+        run_trial(
+            state.campaign, state.golden, state.trial_fuel, None,
+            state.code_cache, injector=RegisterFaultInjector(spec),
+        )
+        for _index, spec in indexed_specs
+    ]
+
+
+def _run_planned_chunk_traced(
+    payload: tuple,
+) -> list[tuple[TrialResult, list[Event]]]:
+    """Traced pruned chunk: per-trial event batches for order-stable merge."""
+    indexed_specs, trace_blocks, lockstep, batch, span_root = payload
+    state = _WORKER_STATE
+    assert state is not None, "worker used before initialization"
+    if lockstep:
+        from repro.faults.lockstep import run_planned_lockstep_trials
+
+        rows = run_planned_lockstep_trials(
+            state.campaign, state.golden, state.trial_fuel, indexed_specs,
+            state.code_cache, batch=batch, record_trace=trace_blocks,
+        )
+        out: list[tuple[TrialResult, list[Event]]] = []
+        for (index, _spec), (trial, fired, block_trace) in zip(
+            indexed_specs, rows
+        ):
+            sink = InMemorySink()
+            emit_lockstep_trial(
+                Tracer(sink), index, trial, fired, block_trace,
+                span_root=span_root,
+            )
+            out.append((trial, sink.events))
+        return out
+    out = []
+    for index, spec in indexed_specs:
+        sink = InMemorySink()
+        trial = run_trial(
+            state.campaign, state.golden, state.trial_fuel, None,
+            state.code_cache, tracer=Tracer(sink), trial_index=index,
+            trace_blocks=trace_blocks, span_root=span_root,
+            injector=RegisterFaultInjector(spec),
+        )
+        out.append((trial, sink.events))
+    return out
+
+
 def _run_supervised_chunk(trial_rngs: list[np.random.Generator]) -> list[tuple]:
     state = _WORKER_STATE
     assert state is not None, "worker used before initialization"
@@ -471,6 +540,80 @@ def _trials_via_shm(
     finally:
         buffer.close()
         buffer.unlink()
+
+
+def planned_trials_parallel(
+    campaign: Campaign,
+    golden: ExecutionResult,
+    plan: PrunedTrials,
+    workers: int | None,
+    chunk_size: int | None = None,
+    lockstep: bool = False,
+    lockstep_batch: int = 32,
+    tracer: Tracer | None = None,
+    trace_blocks: bool = False,
+    span_root: str = "",
+) -> list[TrialResult] | None:
+    """Fan a pruned campaign's executed trials across the warm pool.
+
+    Ships ``(global_index, resolved_spec)`` pairs — specs are plain
+    frozen dataclasses, so no generator state crosses the process
+    boundary — and merges worker results back with the reconstructed
+    pruned trials in global trial-index order.  Returns the full merged
+    trial list, or None when the pool is unavailable or the executed
+    subset is too small to amortize dispatch (caller falls back to the
+    serial pruned loop; results are byte-identical either way).
+    """
+    workers = resolve_workers(workers)
+    executed: list[tuple[int, FaultSpec]] = [
+        (index, planned.spec)
+        for index, planned in enumerate(plan.trials)
+        if not planned.pruned
+    ]
+    if workers <= 1 or len(executed) < MIN_PARALLEL_TRIALS:
+        return None
+    wire = WireCampaign.from_campaign(campaign, golden)
+    with profile_stage("fork"):
+        pool = _get_pool(wire, None, workers)
+    if pool is None:
+        return None
+    chunks = _chunk_rngs(executed, workers, chunk_size)
+    trials: list[TrialResult] = []
+    if tracer is not None:
+        payloads = [
+            (chunk, trace_blocks, lockstep, lockstep_batch, span_root)
+            for chunk in chunks
+        ]
+        with profile_stage("dispatch"):
+            chunk_results = _pool_map(
+                pool, _run_planned_chunk_traced, payloads
+            )
+        stream = iter(
+            pair for chunk in chunk_results for pair in chunk
+        )
+        with profile_stage("merge"):
+            for index, planned in enumerate(plan.trials):
+                if planned.pruned:
+                    trial = reconstruct_pruned_trial(golden, planned)
+                    emit_pruned_trial(
+                        tracer, index, trial, planned, span_root=span_root
+                    )
+                else:
+                    trial, events = next(stream)
+                    tracer.emit_all(events)
+                trials.append(trial)
+        return trials
+    payloads = [(chunk, lockstep, lockstep_batch) for chunk in chunks]
+    with profile_stage("dispatch"):
+        chunk_results = _pool_map(pool, _run_planned_chunk, payloads)
+    stream = iter(t for chunk in chunk_results for t in chunk)
+    with profile_stage("merge"):
+        for planned in plan.trials:
+            trials.append(
+                reconstruct_pruned_trial(golden, planned)
+                if planned.pruned else next(stream)
+            )
+    return trials
 
 
 def run_campaign_parallel(

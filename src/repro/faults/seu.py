@@ -17,7 +17,7 @@ from repro.faults.model import FaultSpec, FaultTarget, flip_value_bit, flip_int_
 from repro.ir.function import Function
 from repro.ir.instructions import Instruction
 from repro.ir.interp import Frame, Interpreter
-from repro.ir.types import F64, Type
+from repro.ir.types import F64, Type, injectable_width
 from repro.rng import make_rng
 
 
@@ -84,7 +84,7 @@ class RegisterFaultInjector:
             from repro.ir.types import INT64
 
             type_ = INT64
-        width = 64 if (type_.is_float or type_.is_pointer) else type_.bits
+        width = injectable_width(type_)
         bit = (
             self.spec.bit
             if self.spec.bit is not None

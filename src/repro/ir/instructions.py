@@ -11,7 +11,7 @@ import enum
 from typing import TYPE_CHECKING, Sequence
 
 from repro.errors import IRError
-from repro.ir.types import Type, VOID
+from repro.ir.types import Type, VOID, bit_class, injectable_width
 from repro.ir.values import Value
 
 if TYPE_CHECKING:
@@ -149,6 +149,27 @@ class Instruction(Value):
     def defines_value(self) -> bool:
         """Whether this instruction produces an SSA result."""
         return self.type is not VOID and not self.type.is_void
+
+    # -- bit-class metadata -------------------------------------------------
+
+    @property
+    def injection_width(self) -> int:
+        """Bit positions an SEU can flip in this instruction's result.
+
+        Mirrors the register injector's width rule (floats and pointers
+        fill a 64-bit register; integers expose ``type.bits``), so the
+        masking analysis and pre-resolved trial plans index bits exactly
+        as live injection does.
+        """
+        if not self.defines_value:
+            raise IRError(f"{self.ref()} defines no value to inject into")
+        return injectable_width(self.type)
+
+    def bit_class(self, bit: int) -> str:
+        """Semantic class (sign/exponent/mantissa/…) of result bit ``bit``."""
+        if not self.defines_value:
+            raise IRError(f"{self.ref()} defines no value to classify")
+        return bit_class(self.type, bit)
 
     # -- mutation ----------------------------------------------------------
 

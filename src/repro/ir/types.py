@@ -99,3 +99,42 @@ def type_from_name(name: str) -> Type:
         return _BY_NAME[name]
     except KeyError:
         raise IRTypeError(f"unknown IR type {name!r}") from None
+
+
+def injectable_width(type_: Type) -> int:
+    """Number of bit positions an SEU can flip in a value of ``type_``.
+
+    Floats and pointers occupy a full 64-bit register regardless of
+    their logical width; integers expose exactly ``bits`` positions.
+    This is the single definition the injectors, the trial planner and
+    the masking analysis all draw bit indices from — they must agree or
+    pre-resolved trial plans would diverge from live injection.
+    """
+    if type_.is_float or type_.is_pointer:
+        return 64
+    if type_.is_void:
+        raise IRTypeError("void values hold no injectable bits")
+    return type_.bits
+
+
+def bit_class(type_: Type, bit: int) -> str:
+    """Semantic class of bit ``bit`` within a value of ``type_``.
+
+    Floats follow IEEE-754 double layout (``sign`` / ``exponent`` /
+    ``mantissa``); pointers are uniform ``address`` bits; integers split
+    into the two's-complement ``sign`` bit and ``magnitude`` bits.  The
+    masking analysis reports PROVEN_BENIGN fractions per class and the
+    fault model uses the same partition for error attribution.
+    """
+    width = injectable_width(type_)
+    if not 0 <= bit < width:
+        raise IRTypeError(f"bit {bit} outside {type_} ({width} bits)")
+    if type_.is_float:
+        if bit == 63:
+            return "sign"
+        if bit >= 52:
+            return "exponent"
+        return "mantissa"
+    if type_.is_pointer:
+        return "address"
+    return "sign" if bit == width - 1 else "magnitude"

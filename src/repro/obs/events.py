@@ -134,7 +134,9 @@ class Injection(Event):
     ``location`` is a register name for register faults or a heap cell
     index for memory faults; ``fired`` is False when the particle missed
     (e.g. a MEMORY target with nothing allocated), in which case the
-    remaining fields echo the unresolved request.
+    remaining fields echo the unresolved request.  ``pruned`` marks a
+    trial whose record was reconstructed by the masking analysis instead
+    of executed (see ``repro.faults.campaign.run_campaign_pruned``).
     """
 
     kind: ClassVar[str] = "injection"
@@ -145,6 +147,7 @@ class Injection(Event):
     location: str | int | None
     bit: int | None
     fired: bool = True
+    pruned: bool = False
 
 
 @dataclass(frozen=True)

@@ -101,6 +101,7 @@ class CampaignSummary:
     declared_counts: dict[str, int] | None = None
     trial_outcomes: dict[int, str] = field(default_factory=dict)
     recovered_trials: set[int] = field(default_factory=set)
+    pruned_trials: set[int] = field(default_factory=set)
     site_outcomes: dict[str, dict[str, int]] = field(default_factory=dict)
     rung_wins: dict[str, int] = field(default_factory=dict)
     ladder_attempts: dict[str, int] = field(default_factory=dict)
@@ -176,6 +177,8 @@ def summarize(events: list[Event]) -> TraceSummary:
             # The injection precedes its trial-end; remember the site so
             # the outcome can be attributed to it.
             pending_site[event.trial] = _site_label(event)
+            if event.pruned:
+                ensure_campaign().pruned_trials.add(event.trial)
         elif isinstance(event, TrialEnd):
             campaign = ensure_campaign()
             campaign.outcomes[event.outcome] = (
@@ -290,6 +293,13 @@ def render_campaign(campaign: CampaignSummary, index: int) -> str:
         lines.append(
             f"  engine tally: {_fmt_counts(campaign.declared_counts)} "
             f"[{agreement} with per-trial events]"
+        )
+    if campaign.pruned_trials:
+        total = len(campaign.trial_outcomes) or campaign.n_trials
+        rate = len(campaign.pruned_trials) / total if total else 0.0
+        lines.append(
+            f"  pruned trials: {len(campaign.pruned_trials)} "
+            f"({rate:.1%}) reconstructed from the masking analysis"
         )
     lines.append("  timeline (lowercase = recovered):")
     lines.extend(_timeline(campaign))
@@ -487,6 +497,7 @@ def summary_as_dict(summary: TraceSummary) -> dict:
                 "outcomes": {
                     o: c.outcomes.get(o, 0) for o in OUTCOME_ORDER
                 },
+                "pruned": len(c.pruned_trials),
                 "recovery_rate": c.recovery_rate,
                 "rung_wins": dict(sorted(c.rung_wins.items())),
                 "recovery_latency_s": c.recovery_latency.summary(),

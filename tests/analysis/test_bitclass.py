@@ -1,0 +1,210 @@
+"""Unit tests for the known-bits and demanded-bits domains."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.bitclass import (
+    KnownBits,
+    KnownBitsAnalysis,
+    demanded_bits,
+    known_bits,
+    mask_up_to_msb,
+)
+from repro.analysis.dataflow import solve
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.ir.instructions import Predicate
+from repro.ir.module import Module
+from repro.ir.types import INT64
+
+
+def _func(ret_of):
+    """Build @f(a, b) with ``ret_of(builder, a, b)`` as the body."""
+    module = Module("m")
+    func = Function("f", [("a", INT64), ("b", INT64)], INT64)
+    module.add_function(func)
+    b = IRBuilder(func)
+    b.set_block(func.add_block("entry"))
+    b.ret(ret_of(b, func.args[0], func.args[1]))
+    return func
+
+
+class TestKnownBits:
+    def test_constant_and_top(self):
+        kb = KnownBits.from_pattern(0b1010, 8)
+        assert kb.is_constant
+        assert kb.ones == 0b1010
+        assert kb.zeros == 0xF5
+        assert KnownBits.top(8).is_top
+        assert not KnownBits.top(8).is_constant
+
+    def test_contradiction_rejected(self):
+        with pytest.raises(ValueError):
+            KnownBits(8, zeros=1, ones=1)
+
+    def test_parity(self):
+        assert KnownBits.from_pattern(6, 8).parity == 0
+        assert KnownBits.from_pattern(7, 8).parity == 1
+        assert KnownBits.top(8).parity is None
+
+    def test_join_keeps_agreement(self):
+        a = KnownBits.from_pattern(0b1100, 8)
+        b = KnownBits.from_pattern(0b1010, 8)
+        j = a.join(b)
+        assert j.ones == 0b1000
+        assert j.zeros & 0b0001
+        with pytest.raises(ValueError):
+            a.join(KnownBits.top(16))
+
+    def test_signed_range_brackets_concretizations(self):
+        # bits: x1x0 for width 4 -> values {4, 6, 12, 14}, signed {4,6,-4,-2}
+        kb = KnownBits(4, zeros=0b0001, ones=0b0100)
+        lo, hi = kb.signed_range()
+        for pattern in range(16):
+            if pattern & kb.zeros or (pattern & kb.ones) != kb.ones:
+                continue
+            value = pattern - 16 if pattern >= 8 else pattern
+            assert lo <= value <= hi
+
+    def test_mask_up_to_msb(self):
+        assert mask_up_to_msb(0) == 0
+        assert mask_up_to_msb(0b1000) == 0b1111
+        assert mask_up_to_msb(1) == 1
+
+
+def _summary(ret_of):
+    return known_bits(_func(ret_of))
+
+
+class TestTransfer:
+    def test_and_or_xor_with_literal(self):
+        kb = _summary(lambda b, a, _b2: b.and_(a, b.i64(0xFF)))
+        (_name, fact), = [
+            (n, f) for n, f in kb.items() if f.zeros & ~0xFF
+        ] or [(None, None)]
+        assert fact is not None and fact.zeros == ~0xFF & (2**64 - 1)
+
+        kb = _summary(lambda b, a, _b2: b.or_(a, b.i64(1)))
+        assert any(f.ones & 1 for f in kb.values())
+
+        kb = _summary(lambda b, a, _b2: b.xor(b.i64(0b101), b.i64(0b011)))
+        assert any(f.is_constant and f.ones == 0b110 for f in kb.values())
+
+    def test_add_carry_low_bits(self):
+        # (a | 1) + 1 has known bit 0 == 0 (carry out of bit 0 unknown above)
+        kb = _summary(lambda b, a, _b2: b.add(b.or_(a, b.i64(1)), b.i64(1)))
+        assert any(f.zeros & 1 and not f.known >> 1 for f in kb.values())
+
+    def test_mul_trailing_zeros(self):
+        # (a << 2) * 2 has at least 3 trailing zero bits
+        kb = _summary(lambda b, a, _b2: b.mul(b.shl(a, b.i64(2)), b.i64(2)))
+        assert any(f.zeros & 0b111 == 0b111 for f in kb.values())
+
+    def test_shifts(self):
+        kb = _summary(lambda b, a, _b2: b.shl(a, b.i64(4)))
+        assert any(f.zeros & 0xF == 0xF for f in kb.values())
+        kb = _summary(lambda b, a, _b2: b.lshr(a, b.i64(60)))
+        assert any(
+            f.zeros == (2**64 - 1) & ~0xF and f.known & ~0xF for f in kb.values()
+        )
+
+    def test_icmp_decided_by_disagreement(self):
+        kb = _summary(
+            lambda b, a, _b2: b.select(
+                b.icmp(Predicate.EQ, b.or_(a, b.i64(1)), b.and_(a, b.i64(~1))),
+                b.i64(7),
+                b.i64(9),
+            )
+        )
+        # bit 0 disagrees (1 vs 0): EQ is constantly false -> select = 9
+        assert any(f.is_constant and f.ones == 9 for f in kb.values())
+
+
+class TestFixpoint:
+    def test_solver_is_idempotent(self):
+        func = _func(lambda b, a, b2: b.add(b.and_(a, b.i64(0xFF)), b2))
+        analysis = KnownBitsAnalysis()
+        result = solve(func, analysis)
+        for block in func.blocks:
+            again = analysis.transfer(block, result.in_facts[block.name])
+            assert again == result.out_facts[block.name]
+
+    def test_loop_phi_converges(self):
+        module = Module("m")
+        func = Function("f", [("n", INT64)], INT64)
+        module.add_function(func)
+        b = IRBuilder(func)
+        entry = func.add_block("entry")
+        loop = func.add_block("loop")
+        done = func.add_block("done")
+        b.set_block(entry)
+        b.jmp(loop)
+        b.set_block(loop)
+        acc = b.phi(INT64, name="acc")
+        i = b.phi(INT64, name="i")
+        acc_next = b.and_(b.add(acc, b.i64(2)), b.i64(0xFE))
+        i_next = b.add(i, b.i64(1))
+        b.br(b.icmp(Predicate.LT, i_next, func.args[0]), loop, done)
+        acc.add_phi_incoming(b.i64(0), entry)
+        acc.add_phi_incoming(acc_next, loop)
+        i.add_phi_incoming(b.i64(0), entry)
+        i.add_phi_incoming(i_next, loop)
+        b.set_block(done)
+        b.ret(acc)
+        kb = known_bits(func)
+        # acc stays even through every iteration: bit 0 known zero.
+        assert kb["acc"].parity == 0
+
+
+class TestDemandedBits:
+    def test_and_literal_masks_demand(self):
+        func = _func(lambda b, a, _b2: b.and_(a, b.i64(0xFF), name="low"))
+        demanded = demanded_bits(func)
+        assert demanded["a"] == 0xFF
+        assert demanded["low"] == 2**64 - 1  # feeds ret
+
+    def test_or_literal_clears_demand(self):
+        func = _func(lambda b, a, _b2: b.or_(a, b.i64(0xF0)))
+        demanded = demanded_bits(func)
+        assert demanded["a"] == (2**64 - 1) & ~0xF0
+
+    def test_shl_shifts_demand_down(self):
+        func = _func(
+            lambda b, a, _b2: b.and_(b.shl(a, b.i64(8)), b.i64(0xFF00))
+        )
+        demanded = demanded_bits(func)
+        assert demanded["a"] == 0xFF
+
+    def test_unused_value_demands_nothing(self):
+        def body(b, a, b2):
+            b.mul(a, b.i64(3), name="dead")
+            return b2
+
+        func = _func(body)
+        demanded = demanded_bits(func)
+        assert demanded["dead"] == 0
+        assert demanded["a"] == 0
+
+    def test_sinks_demand_everything(self):
+        func = _func(lambda b, a, b2: b.add(a, b2, name="s"))
+        demanded = demanded_bits(func)
+        assert demanded["s"] == 2**64 - 1
+        assert demanded["a"] == 2**64 - 1
+
+    def test_icmp_against_literal_refines(self):
+        # and 1 -> value in {0, 1}; icmp LT 16 cannot be changed by bits
+        # 0..3 (jointly at most +14, still < 16) nor by the sign bit
+        # (the value only gets more negative).  Bits 4..62 each push the
+        # value past the threshold, so they stay demanded.
+        def body(b, a, _b2):
+            bit = b.and_(a, b.i64(1), name="bit")
+            cond = b.icmp(Predicate.LT, bit, b.i64(16))
+            return b.select(cond, b.i64(1), b.i64(0))
+
+        func = _func(body)
+        demanded = demanded_bits(func)
+        assert demanded["bit"] & 0xF == 0
+        assert demanded["bit"] & (1 << 63) == 0
+        assert demanded["bit"] & (1 << 4)
+        assert demanded["bit"] & (1 << 62)

@@ -1,0 +1,132 @@
+"""Property-based checks of the masking prover on random programs.
+
+Hypothesis feeds the same random program families as the IR pipeline
+fuzzer through the masking analysis: every claim the prover makes about
+a random, unprotected program must survive real injection through the
+reference interpreter, and both bit-level fixpoints must be idempotent.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.bitclass import KnownBitsAnalysis, demanded_bits
+from repro.analysis.dataflow import solve
+from repro.analysis.masking import (
+    EXACT_BENIGN,
+    PROVEN_BENIGN,
+    analyze_masking,
+)
+from repro.faults.model import FaultSpec, FaultTarget
+from repro.faults.outcomes import FaultOutcome, classify
+from repro.faults.seu import RegisterFaultInjector
+from repro.ir.refinterp import ReferenceInterpreter
+from tests.analysis.test_masking import _SiteRecorder
+from tests.ir.test_fuzz_pipeline import looped_programs, straightline_programs
+
+PROGRAMS = st.one_of(straightline_programs(), looped_programs())
+
+FUEL = 200_000
+
+#: Injection budget per generated program; keeps each example fast while
+#: still exercising claims at several distinct points.
+MAX_INJECTIONS = 12
+
+
+@settings(max_examples=30, deadline=None)
+@given(PROGRAMS)
+def test_proven_benign_sound_on_random_programs(case):
+    module, args = case
+    golden = ReferenceInterpreter(module, fuel=FUEL).run("f", list(args))
+    assert golden.ok
+
+    recorder = _SiteRecorder(module)
+    ReferenceInterpreter(module, fuel=FUEL, step_hook=recorder).run(
+        "f", list(args)
+    )
+    report = analyze_masking(module)
+    fm = report.for_function("f")
+    assert fm is not None
+
+    injected = 0
+    for (func, block, body_index), (dyn, sites) in sorted(recorder.seen.items()):
+        if injected >= MAX_INJECTIONS:
+            break
+        for site in sites:
+            claims = [
+                (bit, cls)
+                for bit in range(fm.width_of(site))
+                if (cls := fm.classify(block, body_index, site, bit))
+                in PROVEN_BENIGN
+            ]
+            # Boundary bits of the claimed set stress the window edges.
+            for bit, cls in (claims[:1] + claims[-1:]):
+                spec = FaultSpec(
+                    target=FaultTarget.REGISTER, dynamic_index=dyn,
+                    location=site, bit=bit,
+                )
+                injector = RegisterFaultInjector(spec)
+                result = ReferenceInterpreter(
+                    module, fuel=FUEL, step_hook=injector
+                ).run("f", list(args))
+                assert injector.fired
+                outcome, _err = classify(result, golden.value)
+                assert outcome in (
+                    FaultOutcome.BENIGN, FaultOutcome.DETECTED
+                ), (
+                    f"unsound claim @{func} {block}[{body_index}] "
+                    f"%{site} bit {bit} ({cls.value}) -> {outcome.value}"
+                )
+                if cls in EXACT_BENIGN:
+                    assert result.value == golden.value
+                    assert result.cycles == golden.cycles
+                injected += 1
+                if injected >= MAX_INJECTIONS:
+                    break
+            if injected >= MAX_INJECTIONS:
+                break
+
+
+@settings(max_examples=30, deadline=None)
+@given(PROGRAMS)
+def test_known_bits_fixpoint_is_idempotent(case):
+    module, _args = case
+    func = module.function("f")
+    analysis = KnownBitsAnalysis()
+    result = solve(func, analysis)
+    for block in func.blocks:
+        again = analysis.transfer(block, result.in_facts[block.name])
+        assert again == result.out_facts[block.name]
+
+
+@settings(max_examples=30, deadline=None)
+@given(PROGRAMS)
+def test_demanded_bits_fixpoint_is_stable(case):
+    module, _args = case
+    func = module.function("f")
+    first = demanded_bits(func)
+    assert demanded_bits(func) == first
+    # Demand masks fit each value's declared width.
+    widths = {
+        instr.name: instr.type.bits
+        for instr in func.instructions()
+        if instr.defines_value and instr.type.is_int
+    }
+    for arg in func.args:
+        if arg.type.is_int:
+            widths[arg.name] = arg.type.bits
+    for name, mask in first.items():
+        assert 0 <= mask < (1 << widths[name])
+
+
+@settings(max_examples=30, deadline=None)
+@given(PROGRAMS)
+def test_masking_counts_are_consistent(case):
+    module, _args = case
+    fm = analyze_masking(module).for_function("f")
+    total = sum(fm.counts.values())
+    per_class_total = sum(
+        n for bucket in fm.class_counts.values() for n in bucket.values()
+    )
+    assert total == per_class_total
+    assert 0.0 <= fm.avf_upper_bound <= 1.0

@@ -1,0 +1,151 @@
+"""Translation validation: clean passes and mutation detection.
+
+The validator must (a) accept every real instrumentation of every gate
+workload at every protection level, including the zero-fault dynamic
+check, and (b) reject tampered protected modules — a replica that no
+longer recomputes its primary, a check comparing with the wrong
+predicate, a corrupted residual computation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.protect_verify import (
+    VerifyFinding,
+    VerifyResult,
+    _FunctionValidator,
+    verify_protection,
+)
+from repro.core.dmr import ProtectionLevel, instrument_module
+from repro.core.dmr.levels import ALL_LEVELS
+from repro.ir.instructions import Opcode, Predicate
+from repro.workloads.irprograms import build_program
+
+WORKLOAD_ARGS = {
+    "fact": (6,),
+    "gcd": (21, 6),
+    "checksum": (16,),
+    "dot": (8,),
+    "horner": (2.5, 5),
+    "fmul_chain": (3.7, 1.9),
+}
+
+
+@pytest.mark.parametrize("level", ALL_LEVELS, ids=lambda lv: lv.value)
+@pytest.mark.parametrize("name", sorted(WORKLOAD_ARGS))
+def test_real_instrumentation_validates(name, level):
+    module = build_program(name)
+    result = verify_protection(
+        module, level, func_name=name, args=WORKLOAD_ARGS[name]
+    )
+    assert result.equivalent, [f"{f.kind}: {f.detail}" for f in result.findings]
+    metrics = result.metrics[name]
+    assert metrics["protected_instructions"] >= metrics["base_instructions"]
+    assert metrics["protected_cycles"] >= metrics["base_cycles"]
+
+
+def test_result_as_dict_round_trip():
+    module = build_program("gcd")
+    result = verify_protection(
+        module, ProtectionLevel.FULL_DMR, func_name="gcd", args=(21, 6)
+    )
+    data = result.as_dict()
+    assert data["equivalent"] is True
+    assert data["level"] == ProtectionLevel.FULL_DMR.value
+    assert data["findings"] == []
+    assert "gcd" in data["metrics"]
+
+
+def _validated_mutation(name, mutate):
+    """Instrument ``name`` at FULL_DMR, apply ``mutate``, revalidate."""
+    module = build_program(name)
+    protected, _plans = instrument_module(module, ProtectionLevel.FULL_DMR)
+    func = protected.function(name)
+    mutate(func)
+    validator = _FunctionValidator(module.function(name), func)
+    validator.run()
+    return validator.findings
+
+
+def _kinds(findings: list[VerifyFinding]) -> set[str]:
+    return {f.kind for f in findings}
+
+
+def test_tampered_replica_is_rejected():
+    def mutate(func):
+        replica = next(
+            i for i in func.instructions()
+            if i.name.endswith(".dup") and i.opcode is Opcode.ADD
+        )
+        replica.opcode = Opcode.SUB
+
+    findings = _kinds(_validated_mutation("fact", mutate))
+    assert "replica-mismatch" in findings
+
+
+def test_tampered_check_predicate_is_rejected():
+    def mutate(func):
+        check = next(
+            i for i in func.instructions() if i.name.startswith("dmr.ne")
+        )
+        check.predicate = Predicate.EQ
+
+    findings = _kinds(_validated_mutation("fact", mutate))
+    assert "malformed-check" in findings
+
+
+def test_tampered_residual_is_rejected():
+    def mutate(func):
+        residual = next(
+            i for i in func.instructions()
+            if i.opcode is Opcode.MUL and not i.name.endswith(".dup")
+        )
+        residual.opcode = Opcode.ADD
+
+    findings = _validated_mutation("fact", mutate)
+    assert findings, "corrupted residual computation must be reported"
+
+
+def test_redirected_guard_is_rejected():
+    def mutate(func):
+        validator_view = [
+            b for b in func.blocks
+            if b.is_terminated and b.terminator.opcode is Opcode.BR
+        ]
+        for block in validator_view:
+            term = block.terminator
+            targets = term.block_targets
+            detect = [t for t in targets if len(t.instructions) == 1
+                      and t.instructions[0].opcode is Opcode.TRAP]
+            if detect:
+                # Swap [detect, continuation] so the guard falls through
+                # into the detect block on the *clean* path.
+                term.block_targets = [targets[1], targets[0]]
+                return
+        raise AssertionError("no guard branch found to tamper")
+
+    findings = _kinds(_validated_mutation("fact", mutate))
+    assert "malformed-guard" in findings
+
+
+def test_scaffold_on_unprotected_level_is_rejected():
+    module = build_program("gcd")
+    result = verify_protection(module, ProtectionLevel.NONE)
+    assert result.equivalent
+
+    # Force the instrumented-at-NONE path to contain a fake replica by
+    # validating a FULL_DMR clone against NONE expectations via the
+    # public entry point's structural sweep.
+    protected, _plans = instrument_module(module, ProtectionLevel.FULL_DMR)
+    validator = _FunctionValidator(
+        module.function("gcd"), protected.function("gcd")
+    )
+    assert validator.replicas, "FULL_DMR must introduce replicas"
+
+
+def test_verify_result_equivalent_property():
+    result = VerifyResult(module="m", level=ProtectionLevel.NONE)
+    assert result.equivalent
+    result.findings.append(VerifyFinding("f", "kind", "detail"))
+    assert not result.equivalent

@@ -1,0 +1,89 @@
+"""Regression tests: site ranking must be a deterministic total order.
+
+Targeted campaigns spend trial budget down the ranked list, so a
+nondeterministic tie-break (dict order, hash order) would silently make
+campaigns irreproducible.  Equal scores break ties by site name.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.vulnerability import (
+    SiteScore,
+    VulnerabilityReport,
+    analyze_function,
+)
+from repro.faults.campaign import Campaign, rank_sites
+from repro.workloads.irprograms import build_program
+
+
+@pytest.fixture(scope="module")
+def gcd_report():
+    return analyze_function(build_program("gcd").function("gcd"))
+
+
+def _score(name: str, score: float) -> SiteScore:
+    return SiteScore(
+        name=name,
+        func="f",
+        block="entry",
+        opcode="add",
+        live_cycles=1,
+        fanout=0,
+        criticality="compute",
+        score=score,
+    )
+
+
+def _report(gcd_report, sites: dict[str, SiteScore]) -> VulnerabilityReport:
+    return VulnerabilityReport(func="f", sites=sites, live=gcd_report.live)
+
+
+def test_equal_scores_sort_by_name(gcd_report):
+    report = _report(gcd_report, {
+        name: _score(name, 5.0) for name in ("zeta", "alpha", "mid")
+    })
+    assert [s.name for s in report.ranked()] == ["alpha", "mid", "zeta"]
+
+
+def test_ranked_is_stable_across_insertion_order(gcd_report):
+    names = ["b", "a", "d", "c"]
+    forward = _report(
+        gcd_report,
+        {n: _score(n, float(i % 2)) for i, n in enumerate(names)},
+    )
+    backward = _report(
+        gcd_report,
+        {
+            n: _score(n, float(i % 2))
+            for i, n in reversed(list(enumerate(names)))
+        },
+    )
+    assert [s.name for s in forward.ranked()] == [
+        s.name for s in backward.ranked()
+    ]
+
+
+def test_rank_sites_deterministic_for_workloads():
+    for name in ("gcd", "fact", "checksum"):
+        module = build_program(name)
+        campaign = Campaign(
+            module=module, func_name=name, args=(3, 2) if name == "gcd"
+            else (4,), n_trials=1,
+        )
+        first = rank_sites(campaign)
+        assert first, f"no ranked sites for {name}"
+        for _ in range(3):
+            assert rank_sites(campaign) == first
+        # A rebuilt module yields the same order: nothing depends on ids.
+        rebuilt = Campaign(
+            module=build_program(name), func_name=name,
+            args=campaign.args, n_trials=1,
+        )
+        assert rank_sites(rebuilt) == first
+
+
+def test_ranked_scores_monotone(gcd_report):
+    scores = [s.score for s in gcd_report.ranked()]
+    assert scores == sorted(scores, reverse=True)

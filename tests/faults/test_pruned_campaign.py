@@ -1,0 +1,168 @@
+"""Differential tests: pruned campaigns are byte-identical to full runs.
+
+``run_campaign_pruned`` skips trials the masking analysis proves
+bit-identical to the golden run and reconstructs their records.  The
+contract is *exact* equality with ``run_campaign`` at the same seed —
+trial by trial, count by count — across the serial, lockstep, parallel
+and traced execution paths.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.masking import MaskClass, analyze_masking
+from repro.core.dmr import ProtectionLevel, instrument_module
+from repro.errors import FaultInjectionError
+from repro.faults.campaign import (
+    Campaign,
+    PrunedTrials,
+    prune_masked_trials,
+    run_campaign,
+    run_campaign_pruned,
+)
+from repro.faults.model import FaultTarget
+from repro.faults.outcomes import FaultOutcome
+from repro.obs.events import InMemorySink, Tracer
+from repro.obs.report import summarize
+from repro.workloads.irprograms import build_program
+
+SEED = 11
+N_TRIALS = 80
+
+
+def _campaign(name="gcd", level=ProtectionLevel.FULL_DMR, **kw):
+    args = {"gcd": (1071, 462), "fact": (12,), "checksum": (64,)}[name]
+    module = build_program(name)
+    if level is not ProtectionLevel.NONE:
+        module, _plans = instrument_module(module, level)
+    return Campaign(
+        module=module, func_name=name, args=args,
+        n_trials=kw.pop("n_trials", N_TRIALS), **kw,
+    )
+
+
+@pytest.mark.parametrize(
+    "name,level",
+    [
+        ("gcd", ProtectionLevel.FULL_DMR),
+        ("fact", ProtectionLevel.NONE),
+        ("checksum", ProtectionLevel.FULL_DMR),
+    ],
+)
+def test_pruned_equals_full_serial(name, level):
+    campaign = _campaign(name, level)
+    base = run_campaign(campaign, seed=SEED)
+    pruned = run_campaign_pruned(campaign, seed=SEED)
+    assert pruned.trials == base.trials
+    assert pruned.counts.as_dict() == base.counts.as_dict()
+    assert pruned.golden.value == base.golden.value
+    assert pruned.golden.cycles == base.golden.cycles
+
+
+def test_prune_rate_is_substantial():
+    campaign = _campaign("gcd", ProtectionLevel.FULL_DMR)
+    plan = prune_masked_trials(campaign, seed=SEED)
+    assert isinstance(plan, PrunedTrials)
+    assert len(plan.trials) == campaign.n_trials
+    assert plan.n_pruned == sum(1 for p in plan.trials if p.pruned)
+    assert plan.prune_rate >= 0.20
+    for planned in plan.trials:
+        if planned.fired and planned.pruned:
+            assert planned.mask_class in (
+                MaskClass.DEAD, MaskClass.OVERWRITTEN, MaskClass.MASKED_BITS
+            )
+        if not planned.fired:
+            assert planned.pruned  # unfired trials rerun the golden path
+
+
+def test_pruned_trials_reconstruct_golden_records():
+    campaign = _campaign("gcd", ProtectionLevel.FULL_DMR)
+    plan = prune_masked_trials(campaign, seed=SEED)
+    result = run_campaign_pruned(campaign, seed=SEED, plan=plan)
+    for planned, trial in zip(plan.trials, result.trials):
+        if planned.pruned:
+            assert trial.outcome is FaultOutcome.BENIGN
+            assert trial.rel_error == 0.0
+            assert trial.value == result.golden.value
+            assert trial.cycles == result.golden.cycles
+
+
+def test_pruned_lockstep_equals_serial():
+    campaign = _campaign("gcd", ProtectionLevel.FULL_DMR)
+    base = run_campaign(campaign, seed=SEED)
+    pruned = run_campaign_pruned(campaign, seed=SEED, lockstep=True)
+    assert pruned.trials == base.trials
+    assert pruned.counts.as_dict() == base.counts.as_dict()
+
+
+def test_pruned_parallel_equals_serial():
+    campaign = _campaign("gcd", ProtectionLevel.FULL_DMR)
+    serial = run_campaign_pruned(campaign, seed=SEED)
+    parallel = run_campaign_pruned(campaign, seed=SEED, workers=2)
+    assert parallel.trials == serial.trials
+    assert parallel.counts.as_dict() == serial.counts.as_dict()
+    lockstep = run_campaign_pruned(
+        campaign, seed=SEED, workers=2, lockstep=True
+    )
+    assert lockstep.trials == serial.trials
+
+
+def test_precomputed_plan_and_report_are_honored():
+    campaign = _campaign("gcd", ProtectionLevel.FULL_DMR)
+    report = analyze_masking(campaign.module)
+    plan = prune_masked_trials(campaign, seed=SEED, report=report)
+    fresh = prune_masked_trials(campaign, seed=SEED)
+    assert plan.trials == fresh.trials
+    result = run_campaign_pruned(campaign, seed=SEED, plan=plan)
+    base = run_campaign(campaign, seed=SEED)
+    assert result.trials == base.trials
+
+
+def test_traced_pruned_campaign_emits_identical_tallies():
+    campaign = _campaign("gcd", ProtectionLevel.FULL_DMR)
+    base = run_campaign(campaign, seed=SEED)
+    plan = prune_masked_trials(campaign, seed=SEED)
+
+    sink = InMemorySink()
+    with Tracer(sink) as tracer:
+        run_campaign_pruned(campaign, seed=SEED, plan=plan, tracer=tracer)
+    summary = summarize(sink.events)
+    (camp,) = summary.campaigns
+    assert camp.trial_outcomes and len(camp.trial_outcomes) == N_TRIALS
+    assert camp.pruned_trials
+    assert len(camp.pruned_trials) == plan.n_pruned
+    tally = {
+        outcome: sum(
+            1 for o in camp.trial_outcomes.values() if o == outcome
+        )
+        for outcome in {o.value for o in FaultOutcome}
+    }
+    for outcome, count in base.counts.as_dict().items():
+        assert tally.get(outcome, 0) == count
+
+    # The parallel traced stream is byte-identical to the serial one.
+    sink2 = InMemorySink()
+    with Tracer(sink2) as tracer:
+        run_campaign_pruned(
+            campaign, seed=SEED, plan=plan, tracer=tracer, workers=2
+        )
+    assert sink2.events == sink.events
+
+
+def test_memory_target_is_rejected():
+    campaign = _campaign("gcd", ProtectionLevel.FULL_DMR)
+    campaign = Campaign(
+        module=campaign.module, func_name=campaign.func_name,
+        args=campaign.args, n_trials=8, target=FaultTarget.MEMORY,
+    )
+    with pytest.raises(FaultInjectionError):
+        prune_masked_trials(campaign, seed=SEED)
+
+
+def test_prune_rate_properties_on_empty_plan():
+    campaign = _campaign("gcd", ProtectionLevel.FULL_DMR, n_trials=0)
+    plan = prune_masked_trials(campaign, seed=SEED)
+    assert plan.trials == []
+    assert plan.n_pruned == 0
+    assert plan.prune_rate == 0.0

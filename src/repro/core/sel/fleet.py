@@ -84,6 +84,40 @@ class FleetMember:
             self.controller = PowerCycleController(board=self.board)
 
 
+def schedule_fleet_latchups(
+    members: list["FleetMember"],
+    timeline: EnvironmentTimeline,
+    sel_rate_per_board_day: float,
+    timeline_seed: int,
+    t0: float,
+    t1: float,
+) -> dict[str, list[float]]:
+    """Inject timeline-driven latch-ups over ``[t0, t1)`` fleet-wide.
+
+    Each board gets its own thinned non-homogeneous Poisson arrival
+    stream (board-subsystem sensitivity, so SPE phases dominate) and its
+    own log-uniform severity draws, all forked deterministically from
+    ``timeline_seed`` in member order — the schedule is a pure function
+    of (timeline, seed, window, member order).  Both the synchronous
+    :class:`SelFleetService` and the sharded async service call this one
+    function, so their fleets see byte-identical fault schedules.
+    Returns the onset times per board id.
+    """
+    base_rate = sel_rate_per_board_day / SECONDS_PER_DAY
+    master = make_rng(timeline_seed)
+    onsets: dict[str, list[float]] = {}
+    for member, child in zip(members, master.spawn(len(members))):
+        arrivals = sample_arrivals(
+            timeline, t0, t1, base_rate, child, subsystem="board"
+        )
+        generator = LatchupGenerator(seed=child)
+        times = [float(t) for t in arrivals]
+        for onset in times:
+            member.board.inject_latchup(generator.sample(onset))
+        onsets[member.board_id] = times
+    return onsets
+
+
 @dataclass
 class FleetTickResult:
     """What happened during one service tick.
@@ -163,30 +197,16 @@ class SelFleetService:
     ) -> dict[str, list[float]]:
         """Inject timeline-driven latch-ups over ``[t0, t1)`` fleet-wide.
 
-        Each board gets its own thinned non-homogeneous Poisson arrival
-        stream (board-subsystem sensitivity, so SPE phases dominate) and
-        its own log-uniform severity draws, all forked deterministically
-        from ``timeline_seed`` in member order — the schedule is a pure
-        function of (timeline, seed, window, member order).  Returns the
-        onset times per board id.
+        Delegates to :func:`schedule_fleet_latchups` (shared with the
+        sharded async service) so the schedule stays a pure function of
+        (timeline, seed, window, member order).
         """
         if self.timeline is None:
             raise ConfigError("no timeline attached to this fleet service")
-        base_rate = self.sel_rate_per_board_day / SECONDS_PER_DAY
-        master = make_rng(self.timeline_seed)
-        onsets: dict[str, list[float]] = {}
-        for member, child in zip(
-            self.members, master.spawn(len(self.members))
-        ):
-            arrivals = sample_arrivals(
-                self.timeline, t0, t1, base_rate, child, subsystem="board"
-            )
-            generator = LatchupGenerator(seed=child)
-            times = [float(t) for t in arrivals]
-            for onset in times:
-                member.board.inject_latchup(generator.sample(onset))
-            onsets[member.board_id] = times
-        return onsets
+        return schedule_fleet_latchups(
+            self.members, self.timeline, self.sel_rate_per_board_day,
+            self.timeline_seed, t0, t1,
+        )
 
     def _apply_phase(self, t: float) -> None:
         """Follow the timeline's phase; tighten the detector as flux rises."""

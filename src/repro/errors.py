@@ -113,3 +113,11 @@ class RecoveryError(ReproError):
 
 class CheckpointError(RecoveryError):
     """A checkpoint could not be taken, verified, or restored."""
+
+
+class ServiceError(ReproError):
+    """The mission-control service was misused or failed internally."""
+
+
+class ShardCrashed(ServiceError):
+    """A shard worker died mid-run (recoverable via snapshot restore)."""

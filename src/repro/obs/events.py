@@ -276,6 +276,79 @@ class FleetDecision(Event):
 
 
 @dataclass(frozen=True)
+class QueueShed(Event):
+    """The ingestion front-end shed a telemetry frame under backpressure.
+
+    Emitted by the mission-control service when a board's bounded queue
+    overflows.  ``policy`` names the shed policy that acted
+    ("drop-oldest" dropped the queue's oldest frame to admit the new
+    one; "reject" refused the new frame).  ``tick`` is the logical tick
+    index of the *shed* frame, so the trace pins down exactly which
+    sample never reached the scorer.
+
+    Attributes:
+        t: simulated time of the shed frame.
+        board_id: board whose frame was shed.
+        tick: logical tick index of the shed frame.
+        policy: shed policy that acted.
+        queue_len: queue depth after the shed.
+    """
+
+    kind: ClassVar[str] = "queue-shed"
+
+    t: float
+    board_id: str
+    tick: int
+    policy: str
+    queue_len: int
+
+
+@dataclass(frozen=True)
+class BoardPowerCycle(Event):
+    """The fleet supervisor power-cycled one board.
+
+    The sharded service's escalation record: one event per commanded
+    reboot, so per-board escalation history is reconstructible from the
+    trace alone (the synchronous service keeps it only on the live
+    controller).
+
+    Attributes:
+        t: simulated time of the reboot command.
+        board_id: rebooted board.
+        shard: shard index that raised the alarm.
+        had_latchup: whether a latch-up was active (False = false reboot).
+    """
+
+    kind: ClassVar[str] = "board-power-cycle"
+
+    t: float
+    board_id: str
+    shard: int = 0
+    had_latchup: bool = True
+
+
+@dataclass(frozen=True)
+class ShardRestart(Event):
+    """A crashed shard worker was restarted and its state restored.
+
+    Attributes:
+        t: simulated time of the tick being processed when the crash
+            was detected.
+        shard: shard index.
+        snapshot_tick: tick of the snapshot the shard was restored from.
+        replayed_ticks: ticks re-stepped from the replay buffer to catch
+            the restored scorer up to the last applied decision.
+    """
+
+    kind: ClassVar[str] = "shard-restart"
+
+    t: float
+    shard: int
+    snapshot_tick: int
+    replayed_ticks: int
+
+
+@dataclass(frozen=True)
 class BlockTransition(Event):
     """The interpreter entered a basic block (hot; enable deliberately)."""
 

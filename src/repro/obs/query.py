@@ -88,15 +88,18 @@ class SpanNode:
 
 
 def _board_ids(event: Event) -> set[str]:
-    """Board ids an event mentions (FleetDecision membership strings)."""
-    if not isinstance(event, FleetDecision):
-        return set()
-    ids = set(event.alarm_ids())
-    if event.quarantined:
-        ids.update(event.quarantined.split(","))
-    if event.released:
-        ids.update(event.released.split(","))
-    return ids
+    """Board ids an event mentions (FleetDecision membership strings,
+    plus any event carrying a scalar ``board_id`` field — queue sheds
+    and power cycles from the sharded service)."""
+    if isinstance(event, FleetDecision):
+        ids = set(event.alarm_ids())
+        if event.quarantined:
+            ids.update(event.quarantined.split(","))
+        if event.released:
+            ids.update(event.released.split(","))
+        return ids
+    board_id = getattr(event, "board_id", None)
+    return {board_id} if isinstance(board_id, str) else set()
 
 
 class TraceIndex:

@@ -1,0 +1,189 @@
+"""Telemetry sources and the queue-fronted ingestion of one shard.
+
+Two ways telemetry enters the service:
+
+- :class:`LiveBoardSource` — sample the simulated boards themselves,
+  replicating the synchronous service's per-board semantics exactly:
+  each board draws only from its own RNG, a destroyed board yields NaN
+  rows forever after, and sampling order across boards is immaterial.
+  This is the mode the byte-identity soak test runs, because escalation
+  (power cycles) feeds back into what the next sample reads.
+- :class:`ReplaySource` — a pre-recorded ``(n_ticks, n_boards, d)``
+  telemetry tensor, the load generator's saturation mode: frames are
+  served as fast as the pipeline will take them, with no feedback into
+  the recording.
+
+:class:`ShardIngest` fronts one shard's boards with bounded
+:class:`~repro.service.queues.BoardQueue`\\ s: ``produce`` samples and
+offers one tick's frames (emitting a traced
+:class:`~repro.obs.events.QueueShed` per shed), ``assemble`` pops one
+tick back out as the row matrix the shard scorer consumes — a board
+whose frame was shed scores as a sensor dropout (NaN row) for that
+tick, which is exactly how the fleet scorer treats a failed sensor.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.sel.featurizer import Featurizer
+from repro.core.sel.fleet import FleetMember
+from repro.errors import ConfigError, DeviceDestroyed
+from repro.obs.events import QueueShed, Tracer
+from repro.service.queues import BoardQueue, Frame, ShedPolicy
+from repro.telemetry.sampler import sample_fleet_tick
+
+
+class LiveBoardSource:
+    """Samples live simulated boards (escalation feedback included)."""
+
+    def __init__(self, members: list[FleetMember]) -> None:
+        if not members:
+            raise ConfigError("live source needs at least one member")
+        n_cores = members[0].board.spec.n_cores
+        if any(m.board.spec.n_cores != n_cores for m in members):
+            raise ConfigError("fleet members must share a core count")
+        self.members = members
+        self.featurizer = Featurizer(n_cores=n_cores)
+
+    @property
+    def n_columns(self) -> int:
+        return self.featurizer.n_columns
+
+    def row(self, index: int, tick: int, t: float) -> np.ndarray:
+        """One board's featurized row at ``t`` (NaN once destroyed)."""
+        member = self.members[index]
+        if member.dead:
+            return np.full(self.n_columns, np.nan)
+        try:
+            samples = sample_fleet_tick(
+                [member.board], [member.schedule], t
+            )
+        except DeviceDestroyed:
+            member.dead = True
+            return np.full(self.n_columns, np.nan)
+        return self.featurizer.row(samples[0])
+
+
+class ReplaySource:
+    """Serves a pre-recorded telemetry tensor (saturation mode)."""
+
+    def __init__(self, rows: np.ndarray) -> None:
+        rows = np.asarray(rows, dtype=float)
+        if rows.ndim != 3:
+            raise ConfigError(
+                f"replay tensor must be (ticks, boards, d), got {rows.shape}"
+            )
+        self.rows = rows
+
+    @property
+    def n_ticks(self) -> int:
+        return self.rows.shape[0]
+
+    @property
+    def n_columns(self) -> int:
+        return self.rows.shape[2]
+
+    def row(self, index: int, tick: int, t: float) -> np.ndarray:
+        if tick >= self.n_ticks:
+            raise ConfigError(
+                f"replay exhausted: tick {tick} of {self.n_ticks}"
+            )
+        return self.rows[tick, index]
+
+
+class ShardIngest:
+    """One shard's bounded ingestion front: produce frames, assemble ticks.
+
+    Attributes:
+        shard: shard index (trace labeling only).
+        board_indices: fleet member indices of this shard's boards.
+        board_ids: ids, index-aligned with ``board_indices``.
+        queues: one bounded queue per board.
+    """
+
+    def __init__(
+        self,
+        shard: int,
+        board_indices: list[int],
+        board_ids: list[str],
+        source,
+        capacity: int = 64,
+        policy: ShedPolicy = ShedPolicy.DROP_OLDEST,
+        tracer: Tracer | None = None,
+    ) -> None:
+        if len(board_indices) != len(board_ids):
+            raise ConfigError("one id per board index required")
+        self.shard = shard
+        self.board_indices = list(board_indices)
+        self.board_ids = list(board_ids)
+        self.source = source
+        self.tracer = tracer
+        self.queues = {
+            board_id: BoardQueue(board_id, capacity=capacity, policy=policy)
+            for board_id in board_ids
+        }
+
+    @property
+    def n_boards(self) -> int:
+        return len(self.board_ids)
+
+    def produce(self, tick: int, t: float) -> int:
+        """Sample and offer one tick's frame for every board.
+
+        Returns the number of frames shed by the policy this call.
+        """
+        sheds = 0
+        stamp = time.perf_counter()
+        for index, board_id in zip(self.board_indices, self.board_ids):
+            row = self.source.row(index, tick, t)
+            queue = self.queues[board_id]
+            outcome = queue.offer(
+                Frame(
+                    board_id=board_id, tick=tick, t=t, row=row,
+                    enqueued_pc=stamp,
+                )
+            )
+            if outcome.shed is not None:
+                sheds += 1
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        QueueShed(
+                            t=outcome.shed.t,
+                            board_id=board_id,
+                            tick=outcome.shed.tick,
+                            policy=queue.policy.value,
+                            queue_len=len(queue),
+                        )
+                    )
+        return sheds
+
+    def assemble(
+        self, tick: int
+    ) -> tuple[np.ndarray, dict[str, Frame]]:
+        """Pop tick ``tick``'s frames into the shard's row matrix.
+
+        Boards with no frame for the tick (shed under either policy)
+        contribute a NaN row — a sensor dropout, exactly as the fleet
+        scorer models a failed sensor.
+        """
+        rows = np.full((self.n_boards, self.source.n_columns), np.nan)
+        frames: dict[str, Frame] = {}
+        for i, board_id in enumerate(self.board_ids):
+            frame, _stale = self.queues[board_id].pop_tick(tick)
+            if frame is not None:
+                rows[i] = frame.row
+                frames[board_id] = frame
+        return rows, frames
+
+    def counters(self) -> dict[str, int]:
+        """Summed queue accounting across the shard's boards."""
+        totals = {"arrivals": 0, "processed": 0, "shed": 0, "queued": 0}
+        for queue in self.queues.values():
+            totals["arrivals"] += queue.arrivals
+            totals["processed"] += queue.processed
+            totals["shed"] += queue.shed
+            totals["queued"] += len(queue)
+        return totals

@@ -1,0 +1,138 @@
+"""Decision-latency metrics for the mission-control service.
+
+Latency is measured wall-clock (``perf_counter``) from the instant a
+frame is enqueued to the instant the supervisor applies the decision
+that consumed it.  Stamps live only on in-flight
+:class:`~repro.service.queues.Frame` objects and in this tracker —
+never in traced events, which stay clock-free and byte-identical across
+runs.
+
+Percentiles use the nearest-rank definition (ceil(p/100 * n)), so every
+reported quantile is an actually-observed sample, and the edge cases
+are NaN-free by contract:
+
+- an **empty** window reports ``count == 0`` and the explicit
+  ``0.0`` sentinel for mean/max and every percentile (consumers must
+  key off ``count``, not the values);
+- a **single-sample** window reports that sample for every percentile
+  (nearest-rank of one value is that value — no interpolation, no NaN).
+
+``tests/service/test_metrics_edge.py`` pins both contracts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.obs.aggregate import latency_histogram
+
+#: Value reported for mean/max/percentiles of an empty window.  Chosen
+#: over NaN so summaries stay JSON-round-trippable and comparable; the
+#: paired ``count == 0`` disambiguates "no data" from "zero latency".
+EMPTY_SENTINEL = 0.0
+
+#: Percentiles every summary reports.
+DEFAULT_PERCENTILES = (50.0, 90.0, 99.0)
+
+
+def nearest_rank(sorted_values: list[float], p: float) -> float:
+    """Nearest-rank percentile over pre-sorted values.
+
+    Returns :data:`EMPTY_SENTINEL` for an empty input; for a single
+    value returns that value for every ``p``.
+    """
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile out of range: {p}")
+    n = len(sorted_values)
+    if n == 0:
+        return EMPTY_SENTINEL
+    rank = math.ceil(p / 100.0 * n)
+    return float(sorted_values[max(rank, 1) - 1])
+
+
+def latency_summary(
+    values: list[float],
+    percentiles: tuple[float, ...] = DEFAULT_PERCENTILES,
+) -> dict[str, float]:
+    """NaN-free summary of a latency window (seconds).
+
+    Non-finite samples are excluded from the statistics but reported in
+    ``dropped`` so the accounting stays exact.
+    """
+    finite = sorted(v for v in values if math.isfinite(v))
+    summary: dict[str, float] = {
+        "count": len(finite),
+        "dropped": len(values) - len(finite),
+    }
+    if finite:
+        summary["mean"] = sum(finite) / len(finite)
+        summary["max"] = finite[-1]
+    else:
+        summary["mean"] = EMPTY_SENTINEL
+        summary["max"] = EMPTY_SENTINEL
+    for p in percentiles:
+        name = f"p{int(p)}" if float(p).is_integer() else f"p{p}"
+        summary[name] = nearest_rank(finite, p)
+    return summary
+
+
+@dataclass
+class DecisionLatencyTracker:
+    """Accumulates enqueue-to-decision latencies, optionally windowed.
+
+    Attributes:
+        window_s: simulated-time width of summary windows (None keeps
+            one global window).
+        histogram: canonical fixed-bucket latency histogram (same
+            bounds as ``fleet.score_latency_s``), mergeable with the
+            rest of the observability stack.
+    """
+
+    window_s: float | None = None
+    _samples: list[tuple[float, float]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.window_s is not None and self.window_s <= 0:
+            raise ValueError("window_s must be positive when set")
+        self.histogram = latency_histogram()
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    def record(self, t: float, latency_s: float) -> None:
+        """Record one decision latency observed at simulated time ``t``."""
+        self._samples.append((t, latency_s))
+        if math.isfinite(latency_s):
+            self.histogram.record(latency_s)
+
+    def summary(self) -> dict[str, float]:
+        """Summary over every recorded sample."""
+        return latency_summary([lat for _, lat in self._samples])
+
+    def window_summaries(self) -> dict[int, dict[str, float]]:
+        """Per-window summaries keyed by window index (floor(t / width)).
+
+        Without a configured window everything lands in window 0.
+        Windows that received no samples are simply absent — callers
+        probing a missing window get the same empty-window sentinel
+        contract via :func:`latency_summary` on an empty list.
+        """
+        buckets: dict[int, list[float]] = {}
+        for t, lat in self._samples:
+            index = (
+                0 if self.window_s is None else int(t // self.window_s)
+            )
+            buckets.setdefault(index, []).append(lat)
+        return {
+            index: latency_summary(values)
+            for index, values in sorted(buckets.items())
+        }
+
+
+def rows_per_second(n_rows: int, elapsed_s: float) -> float:
+    """Throughput with a zero-elapsed guard (0.0, never inf/NaN)."""
+    if elapsed_s <= 0 or n_rows <= 0:
+        return 0.0
+    return n_rows / elapsed_s
